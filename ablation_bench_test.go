@@ -1,0 +1,225 @@
+// Ablation benchmarks for the design choices the reproduction makes (see
+// DESIGN.md): the Barnes–Hut acceptance parameter, delta- vs key-frame
+// encoding, COVISE's demand-driven re-execution, the simulations' worker
+// pools, and the monopole+dipole expansion.
+package main
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"testing"
+
+	"repro/internal/covise"
+	"repro/internal/render"
+	"repro/internal/sim/lb"
+	"repro/internal/sim/pepc"
+	"repro/internal/viz"
+	"repro/internal/vizserver"
+)
+
+// BenchmarkAblation_TreeTheta sweeps the multipole acceptance parameter:
+// larger theta is faster but less accurate. The RMS force error against
+// direct summation is reported per theta.
+func BenchmarkAblation_TreeTheta(b *testing.B) {
+	sim, err := pepc.New(pepc.Params{Theta: 0.5, Dt: 0.01, Eps: 0.05, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim.AddPlasmaBall(2000, pepc.Vec{}, 1.0, 0.05)
+	exact := sim.ForcesDirect()
+
+	for _, theta := range []float64{0.2, 0.5, 0.9} {
+		b.Run(fmt.Sprintf("theta=%.1f", theta), func(b *testing.B) {
+			var forces []pepc.Vec
+			for i := 0; i < b.N; i++ {
+				forces = sim.ForcesTree(theta)
+			}
+			b.StopTimer()
+			var errSq, magSq float64
+			for i := range forces {
+				d := forces[i].Sub(exact[i])
+				errSq += d.Dot(d)
+				magSq += exact[i].Dot(exact[i])
+			}
+			b.ReportMetric(math.Sqrt(errSq/magSq)*100, "rms_err_%")
+			b.ReportMetric(float64(sim.Interactions()), "interactions")
+		})
+	}
+}
+
+// BenchmarkAblation_FrameEncoding compares shipping a remote-rendered frame
+// raw, as a compressed keyframe, and as a compressed delta after a small
+// camera move.
+func BenchmarkAblation_FrameEncoding(b *testing.B) {
+	f := viz.NewScalarField(20, 20, 20)
+	c := 9.5
+	f.Fill(func(i, j, k int) float64 {
+		dx, dy, dz := float64(i)-c, float64(j)-c, float64(k)-c
+		return dx*dx + dy*dy + dz*dz
+	})
+	scene := &render.Scene{Meshes: []*render.Mesh{viz.Isosurface(f, 40, render.Blue)}}
+	fb := render.NewFramebuffer(320, 240)
+	cam := render.Camera{
+		Eye: render.Vec3{X: 48, Y: 38, Z: 55}, Center: render.Vec3{X: 10, Y: 10, Z: 10},
+		Up: render.Vec3{Y: 1}, FovY: 0.7854, Near: 0.1, Far: 1000,
+	}
+	render.Render(fb, cam, scene)
+	prev := append([]byte(nil), fb.Pix...)
+	cam.Eye.X += 0.3
+	render.Render(fb, cam, scene)
+
+	b.Run("raw", func(b *testing.B) {
+		n := 0
+		for i := 0; i < b.N; i++ {
+			buf := make([]byte, len(fb.Pix))
+			n = copy(buf, fb.Pix)
+		}
+		b.ReportMetric(float64(n), "bytes")
+	})
+	b.Run("keyframe", func(b *testing.B) {
+		n := 0
+		for i := 0; i < b.N; i++ {
+			n = len(vizserver.EncodeKey(fb.Pix))
+		}
+		b.ReportMetric(float64(n), "bytes")
+	})
+	b.Run("delta", func(b *testing.B) {
+		n := 0
+		for i := 0; i < b.N; i++ {
+			d, err := vizserver.EncodeDelta(prev, fb.Pix)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n = len(d)
+		}
+		b.ReportMetric(float64(n), "bytes")
+	})
+}
+
+// BenchmarkAblation_DemandDrivenExecution compares COVISE's dirty-flag
+// re-execution (only downstream of the changed parameter) against forcing
+// the whole pipeline, for a renderer-parameter change that should not
+// recompute the cutting plane.
+func BenchmarkAblation_DemandDrivenExecution(b *testing.B) {
+	buildCtrl := func() (*covise.Controller, error) {
+		field := viz.NewScalarField(24, 24, 24)
+		field.Fill(func(i, j, k int) float64 { return float64(i + 2*j + 3*k) })
+		host := covise.NewHost("h")
+		c := covise.NewController()
+		if err := c.AddModule("source", host, &covise.FieldSource{Provide: func() *viz.ScalarField { return field }}); err != nil {
+			return nil, err
+		}
+		if err := c.AddModule("cut", host, &covise.CuttingPlane{}); err != nil {
+			return nil, err
+		}
+		if err := c.AddModule("render", host, &covise.Renderer{Width: 160, Height: 120, LookAt: render.Vec3{X: 12, Y: 12, Z: 12}}); err != nil {
+			return nil, err
+		}
+		if err := c.Connect("source", "field", "cut", "field"); err != nil {
+			return nil, err
+		}
+		if err := c.Connect("cut", "geometry", "render", "geometry"); err != nil {
+			return nil, err
+		}
+		c.SetParam("cut", "axis", 2)
+		c.SetParam("cut", "index", 10)
+		c.SetParam("render", "eyeX", 60)
+		c.SetParam("render", "eyeY", 45)
+		c.SetParam("render", "eyeZ", 70)
+		_, err := c.Execute()
+		return c, err
+	}
+
+	b.Run("demand-driven", func(b *testing.B) {
+		c, err := buildCtrl()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.SetParam("render", "eyeX", 60+float64(i%5))
+			if _, err := c.Execute(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(c.ModuleExecutions())/float64(c.Waves()), "modules/wave")
+	})
+	b.Run("force-all", func(b *testing.B) {
+		c, err := buildCtrl()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.SetParam("render", "eyeX", 60+float64(i%5))
+			c.MarkDirty("source")
+			c.MarkDirty("cut")
+			if _, err := c.Execute(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(c.ModuleExecutions())/float64(c.Waves()), "modules/wave")
+	})
+}
+
+// BenchmarkAblation_LBWorkers sweeps the lattice-Boltzmann worker pool,
+// the stand-in for the original code's MPI decomposition.
+func BenchmarkAblation_LBWorkers(b *testing.B) {
+	max := runtime.GOMAXPROCS(0)
+	for _, w := range []int{1, 2, max} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			sim, err := lb.New(lb.Params{Nx: 24, Ny: 24, Nz: 24, Tau: 1, G: 4, Seed: 1, Workers: w})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sim.Step()
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_PEPCWorkers sweeps the tree-force worker pool.
+func BenchmarkAblation_PEPCWorkers(b *testing.B) {
+	max := runtime.GOMAXPROCS(0)
+	for _, w := range []int{1, 2, max} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			sim, err := pepc.New(pepc.Params{Theta: 0.5, Dt: 0.01, Eps: 0.05, Seed: 3, Workers: w})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sim.AddPlasmaBall(3000, pepc.Vec{}, 1.0, 0.05)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sim.ForcesTree(0.5)
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_IsosurfaceResolution shows isosurface extraction cost and
+// output size versus field resolution (the geometry-volume driver of E3/E12).
+func BenchmarkAblation_IsosurfaceResolution(b *testing.B) {
+	for _, n := range []int{12, 20, 28} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			f := viz.NewScalarField(n, n, n)
+			c := float64(n-1) / 2
+			f.Fill(func(i, j, k int) float64 {
+				dx, dy, dz := float64(i)-c, float64(j)-c, float64(k)-c
+				return math.Sqrt(dx*dx + dy*dy + dz*dz)
+			})
+			var tris int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mesh := viz.Isosurface(f, c*0.7, render.Blue)
+				tris = len(mesh.Triangles)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(tris), "triangles")
+		})
+	}
+}

@@ -1,0 +1,411 @@
+// Repository-level benchmarks: one per evaluation artefact of the paper
+// (experiments E1–E13, see DESIGN.md §9 and EXPERIMENTS.md). Each benchmark
+// times the experiment's hot kernel under b.N and attaches the shape metrics
+// of a full experiment run (cached across benchmarks) via b.ReportMetric, so
+// `go test -bench=. -benchmem` regenerates every row the paper's claims rest
+// on.
+package main
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/netsim"
+	"repro/internal/render"
+	"repro/internal/sim/airflow"
+	"repro/internal/sim/lb"
+	"repro/internal/sim/pepc"
+	"repro/internal/visit"
+	"repro/internal/viz"
+	"repro/internal/vizserver"
+	"repro/internal/vnc"
+	"repro/internal/wire"
+)
+
+// expCache memoises full experiment runs so benchmark calibration reruns do
+// not repeat multi-second setups.
+var expCache sync.Map
+
+func expMetrics(b *testing.B, id string) map[string]float64 {
+	b.Helper()
+	if v, ok := expCache.Load(id); ok {
+		return v.(map[string]float64)
+	}
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("no experiment %s", id)
+	}
+	res, err := e.Run()
+	if err != nil {
+		b.Fatalf("%s: %v", id, err)
+	}
+	expCache.Store(id, res.Metrics)
+	return res.Metrics
+}
+
+func reportMetrics(b *testing.B, m map[string]float64, keys ...string) {
+	b.Helper()
+	for _, k := range keys {
+		if v, ok := m[k]; ok {
+			b.ReportMetric(v, k)
+		}
+	}
+}
+
+// BenchmarkE1_RealityGridPipeline times one simulation step + order-parameter
+// extraction (the per-sample cost of the Figure 1 pipeline) and reports the
+// end-to-end steer latency of the full experiment.
+func BenchmarkE1_RealityGridPipeline(b *testing.B) {
+	m := expMetrics(b, "E1")
+	sim, err := lb.New(lb.Params{Nx: 16, Ny: 16, Nz: 16, Tau: 1, G: 4.5, Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Step()
+		_ = sim.OrderParameter()
+	}
+	b.StopTimer()
+	reportMetrics(b, m, "steer_to_effect_ms", "frame_rt_ms", "seg_after")
+}
+
+// BenchmarkE2_OGSIService times the steer-through-grid-service round trip of
+// Figure 2.
+func BenchmarkE2_OGSIService(b *testing.B) {
+	m := expMetrics(b, "E2")
+	session := core.NewSession(core.SessionConfig{Name: "bench"})
+	defer session.Close()
+	st := session.Steered()
+	st.RegisterFloat("g", 0, 0, 10, "", func(float64) {})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := session.QueueSetParam("g", float64(i%10)); err != nil {
+			b.Fatal(err)
+		}
+		st.Poll()
+	}
+	b.StopTimer()
+	reportMetrics(b, m, "steer_service_us", "find_us", "create_us")
+}
+
+// BenchmarkE3_VizServerBandwidth times render+compress of one frame (the
+// VizServer unit of work) and reports the bytes-per-frame series.
+func BenchmarkE3_VizServerBandwidth(b *testing.B) {
+	m := expMetrics(b, "E3")
+	sim, err := lb.New(lb.Params{Nx: 20, Ny: 20, Nz: 20, Tau: 1, G: 4.5, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		sim.Step()
+	}
+	mesh := viz.Isosurface(sim.OrderParameter(), 0, render.Blue)
+	scene := &render.Scene{Meshes: []*render.Mesh{mesh}}
+	fb := render.NewFramebuffer(320, 240)
+	cam := render.Camera{
+		Eye: render.Vec3{X: 50, Y: 40, Z: 56}, Center: render.Vec3{X: 10, Y: 10, Z: 10},
+		Up: render.Vec3{Y: 1}, FovY: 0.7854, Near: 0.1, Far: 1000,
+	}
+	var bytesOut int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cam.Eye.X += 0.01
+		render.Render(fb, cam, scene)
+		bytesOut = len(vizserver.EncodeKey(fb.Pix))
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(bytesOut), "keyframe_bytes")
+	reportMetrics(b, m, "geo_28_kb", "key_28_kb", "delta_28_kb", "reduction_at_28")
+}
+
+// BenchmarkE4_VisitOverhead times an instrumented PEPC step against a live
+// visualization; the reported metrics include the dead-visualization bound.
+func BenchmarkE4_VisitOverhead(b *testing.B) {
+	m := expMetrics(b, "E4")
+	srv := visit.NewServer(visit.ServerConfig{})
+	srv.HandleSend(1, func(*wire.Message) error { return nil })
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(l)
+	defer srv.Close()
+	sim, err := pepc.New(pepc.Params{Theta: 0.5, Dt: 0.005, Eps: 0.05, Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim.AddPlasmaBall(600, pepc.Vec{}, 1.0, 0.05)
+	vs := visit.NewSim(visit.TCPDialer(l.Addr().String()), "")
+	defer vs.Close()
+	coords := make([]float64, 0, 600*3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Step()
+		snap := sim.Snapshot()
+		coords = coords[:0]
+		for _, p := range snap.Pos {
+			coords = append(coords, p.X, p.Y, p.Z)
+		}
+		if err := vs.SendFloat64s(1, coords, 100*time.Millisecond); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	reportMetrics(b, m, "base_ms", "live_ms", "dead_ms", "worst_block_ms")
+}
+
+// BenchmarkE5_UnicoreProxy times a native VISIT exchange (the baseline) and
+// reports the gateway-proxied latency of the full experiment.
+func BenchmarkE5_UnicoreProxy(b *testing.B) {
+	m := expMetrics(b, "E5")
+	srv := visit.NewServer(visit.ServerConfig{})
+	srv.HandleSend(1, func(*wire.Message) error { return nil })
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(l)
+	defer srv.Close()
+	vs := visit.NewSim(visit.TCPDialer(l.Addr().String()), "")
+	defer vs.Close()
+	payload := make([]float64, 3000)
+	if err := vs.SendFloat64s(1, payload, time.Second); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := vs.SendFloat64s(1, payload, time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	reportMetrics(b, m, "direct_ms", "proxy_ms", "overhead_x")
+}
+
+// BenchmarkE6_Vbroker times a fanned-out send through a 4-participant broker.
+func BenchmarkE6_Vbroker(b *testing.B) {
+	m := expMetrics(b, "E6")
+	broker := visit.NewBroker(visit.BrokerConfig{})
+	defer broker.Close()
+	for i := 0; i < 4; i++ {
+		srv := visit.NewServer(visit.ServerConfig{})
+		srv.HandleSend(1, func(*wire.Message) error { return nil })
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		go srv.Serve(l)
+		defer srv.Close()
+		if err := broker.AttachViz(fmt.Sprintf("v%d", i), visit.TCPDialer(l.Addr().String()), ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+	bl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go broker.Serve(bl)
+	sim := visit.NewSim(visit.TCPDialer(bl.Addr().String()), "")
+	defer sim.Close()
+	payload := make([]float64, 2000)
+	if err := sim.SendFloat64s(1, payload, 2*time.Second); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sim.SendFloat64s(1, payload, 2*time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	reportMetrics(b, m, "send_ms_1", "send_ms_8", "recv_ms_1", "recv_ms_8", "handoff_us")
+}
+
+// BenchmarkE7_PEPCScaling times one tree-force evaluation at N=4000 and
+// reports the scaling series.
+func BenchmarkE7_PEPCScaling(b *testing.B) {
+	m := expMetrics(b, "E7")
+	sim, err := pepc.New(pepc.Params{Theta: 0.5, Dt: 0.01, Eps: 0.05, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim.AddPlasmaBall(4000, pepc.Vec{}, 1.0, 0.05)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.ForcesTree(0.5)
+	}
+	b.StopTimer()
+	reportMetrics(b, m, "tree_ms_8000", "direct_ms_8000", "inter_8000", "growth_8000")
+}
+
+// BenchmarkE7_PEPCDirectBaseline times the O(N²) baseline at the same N for
+// direct comparison in the same output.
+func BenchmarkE7_PEPCDirectBaseline(b *testing.B) {
+	sim, err := pepc.New(pepc.Params{Theta: 0.5, Dt: 0.01, Eps: 0.05, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim.AddPlasmaBall(4000, pepc.Vec{}, 1.0, 0.05)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.ForcesDirect()
+	}
+}
+
+// BenchmarkE8_RenderFeedbackLoop times one local redraw (the loop the CAVE
+// depends on) and reports the remote-loop latencies per WAN profile.
+func BenchmarkE8_RenderFeedbackLoop(b *testing.B) {
+	m := expMetrics(b, "E8")
+	f := viz.NewScalarField(24, 24, 24)
+	c := 11.5
+	f.Fill(func(i, j, k int) float64 {
+		dx, dy, dz := float64(i)-c, float64(j)-c, float64(k)-c
+		return dx*dx + dy*dy + dz*dz
+	})
+	scene := &render.Scene{Meshes: []*render.Mesh{viz.Isosurface(f, 64, render.Blue)}}
+	fb := render.NewFramebuffer(320, 240)
+	cam := render.Camera{
+		Eye: render.Vec3{X: 55, Y: 45, Z: 65}, Center: render.Vec3{X: 12, Y: 12, Z: 12},
+		Up: render.Vec3{Y: 1}, FovY: 0.7854, Near: 0.1, Far: 1000,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cam.Eye.X += 0.01
+		render.Render(fb, cam, scene)
+	}
+	b.StopTimer()
+	reportMetrics(b, m, "local_ms", "remote_ms_LAN", "remote_ms_national", "remote_ms_transatlantic")
+}
+
+// BenchmarkE9_DesktopSync times one dirty-tile desktop update with two
+// attached viewers and reports the divergence metrics.
+func BenchmarkE9_DesktopSync(b *testing.B) {
+	m := expMetrics(b, "E9")
+	srv := vnc.NewServer(320, 240)
+	defer srv.Close()
+	for i := 0; i < 2; i++ {
+		cliConn, srvConn := netsim.Pipe(netsim.LAN)
+		go srv.ServeConn(srvConn)
+		cli, err := vnc.Attach(cliConn)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cli.Close()
+	}
+	frame := make([]byte, 320*240*4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Change one tile per update: the steady-state desktop case.
+		frame[(i%100)*16*4] = byte(i)
+		if _, err := srv.Update(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	reportMetrics(b, m, "rate_fps", "near_lag", "far_lag", "state_lag")
+}
+
+// BenchmarkE10_PostProcessingLoop times one local cutting-plane regeneration
+// + render (the per-change cost at every site) and reports the sync-vs-image
+// traffic comparison.
+func BenchmarkE10_PostProcessingLoop(b *testing.B) {
+	m := expMetrics(b, "E10")
+	building, err := airflow.CarShowBuilding(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		building.Step()
+	}
+	field := building.Temperature()
+	fb := render.NewFramebuffer(320, 240)
+	cam := render.Camera{
+		Eye: render.Vec3{X: 60, Y: 45, Z: 70}, Center: render.Vec3{X: 20, Y: 6, Z: 12},
+		Up: render.Vec3{Y: 1}, FovY: 0.7854, Near: 0.1, Far: 1000,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		meshes := viz.CutPlane(field, viz.AxisY, 2+i%8, nil)
+		render.Render(fb, cam, &render.Scene{Meshes: meshes})
+	}
+	b.StopTimer()
+	reportMetrics(b, m, "local_ms", "image_ms", "sync_kb", "image_kb")
+}
+
+// BenchmarkE11_SimulationFeedbackLoop times one building timestep (the unit
+// of waiting between steer and effect) and reports the observed response
+// time against the 60 s tolerance.
+func BenchmarkE11_SimulationFeedbackLoop(b *testing.B) {
+	m := expMetrics(b, "E11")
+	building, err := airflow.CarShowBuilding(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		building.Step()
+	}
+	b.StopTimer()
+	reportMetrics(b, m, "respond_s", "samples", "events")
+}
+
+// BenchmarkE12_CollaborationScaling times one full COVISE steer cycle
+// (param change + local pipeline re-execution) on a 16³ dataset and reports
+// the traffic scaling series.
+func BenchmarkE12_CollaborationScaling(b *testing.B) {
+	m := expMetrics(b, "E12")
+	sim, err := lb.New(lb.Params{Nx: 16, Ny: 16, Nz: 16, Tau: 1, G: 4.5, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		sim.Step()
+	}
+	field := sim.OrderParameter()
+	fb := render.NewFramebuffer(320, 240)
+	cam := render.Camera{
+		Eye: render.Vec3{X: 40, Y: 32, Z: 45}, Center: render.Vec3{X: 8, Y: 8, Z: 8},
+		Up: render.Vec3{Y: 1}, FovY: 0.7854, Near: 0.1, Far: 1000,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		iso := 0.01 * float64(1+i%3)
+		mesh := viz.Isosurface(field, iso, render.Blue)
+		render.Render(fb, cam, &render.Scene{Meshes: []*render.Mesh{mesh}})
+	}
+	b.StopTimer()
+	reportMetrics(b, m, "sync_B_12", "sync_B_32", "vnc_KB_32", "geo_KB_32")
+}
+
+// BenchmarkE13_VenueIntegration times one multicast video-frame fan-out to
+// four venue members and reports the delivery metrics.
+func BenchmarkE13_VenueIntegration(b *testing.B) {
+	m := expMetrics(b, "E13")
+	net2 := netsim.NewNetwork()
+	g := net2.Group("bench-video")
+	tx := g.Join("cam", netsim.Loopback)
+	var members []*netsim.Member
+	for i := 0; i < 4; i++ {
+		members = append(members, g.Join(fmt.Sprintf("m%d", i), netsim.Loopback))
+	}
+	payload := make([]byte, 8192)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tx.Send(payload); err != nil {
+			b.Fatal(err)
+		}
+		for _, mm := range members {
+			if _, err := mm.Recv(time.Second); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	reportMetrics(b, m, "mcast_frames", "bridged_kb")
+}

@@ -1,0 +1,66 @@
+// Command sc03bench regenerates every evaluation artefact of "Application
+// Steering in a Collaborative Environment" (SC2003): the behaviours of
+// Figures 1–4 and the quantified claims of sections 2.4, 3.2–3.4 and
+// 4.2–4.6, as experiments E1–E13 (see DESIGN.md and EXPERIMENTS.md).
+//
+// Usage:
+//
+//	sc03bench            # run everything
+//	sc03bench -run E7    # run one experiment
+//	sc03bench -list      # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	runID := flag.String("run", "", "run only this experiment ID (e.g. E7)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All {
+			fmt.Printf("%-5s %-55s [%s]\n", e.ID, e.Title, e.Source)
+		}
+		return
+	}
+
+	todo := experiments.All
+	if *runID != "" {
+		e, ok := experiments.ByID(*runID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "no experiment %q; try -list\n", *runID)
+			os.Exit(2)
+		}
+		todo = []experiments.Experiment{e}
+	}
+
+	failures := 0
+	for _, e := range todo {
+		fmt.Printf("=== %s: %s (%s)\n", e.ID, e.Title, e.Source)
+		start := time.Now()
+		res, err := e.Run()
+		if err != nil {
+			fmt.Printf("    ERROR: %v\n\n", err)
+			failures++
+			continue
+		}
+		for _, line := range res.Lines {
+			fmt.Printf("    %s\n", line)
+		}
+		fmt.Printf("    -> %s  (%.1fs)\n\n", res.Verdict, time.Since(start).Seconds())
+		if len(res.Verdict) >= 4 && res.Verdict[:4] == "FAIL" {
+			failures++
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "%d experiment(s) failed\n", failures)
+		os.Exit(1)
+	}
+}

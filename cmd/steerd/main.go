@@ -1,0 +1,105 @@
+// Command steerd hosts an OGSI-Lite grid-service container with a steerable
+// demonstration simulation: the standing infrastructure of the RealityGrid
+// scenario (Figure 1/2). It starts a Lattice-Boltzmann run, exposes a
+// registry, a steering service and a visualization service over HTTP, and a
+// core steering session over TCP for full clients.
+//
+// Usage:
+//
+//	steerd [-http :8090] [-steer :8091] [-lattice 16]
+//
+// Then, e.g.:
+//
+//	curl -s -X POST localhost:8090/services/steering/2 \
+//	     -d '{"op":"steer","args":{"name":"miscibility-g","value":4.5}}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/ogsi"
+	"repro/internal/sim/lb"
+)
+
+func main() {
+	httpAddr := flag.String("http", "127.0.0.1:8090", "OGSI hosting address")
+	steerAddr := flag.String("steer", "127.0.0.1:8091", "core steering session address")
+	lattice := flag.Int("lattice", 16, "LB lattice edge size")
+	flag.Parse()
+
+	sim, err := lb.New(lb.Params{Nx: *lattice, Ny: *lattice, Nz: *lattice, Tau: 1, G: 0, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	session := core.NewSession(core.SessionConfig{Name: "steerd-lb3d", AppName: "lb3d"})
+	st := session.Steered()
+	if err := st.RegisterFloat("miscibility-g", 0, 0, 6,
+		"Shan–Chen coupling: 0 mixes, >4 demixes", sim.SetCoupling); err != nil {
+		log.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for step := int64(0); ; step++ {
+			if st.PollBlocking(0) == core.ControlStop {
+				return
+			}
+			sim.Step()
+			s := core.NewSample(step)
+			s.Channels["segregation"] = core.Scalar(sim.Segregation())
+			st.Emit(s)
+		}
+	}()
+
+	sl, err := net.Listen("tcp", *steerAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	go session.Serve(sl)
+
+	hosting := ogsi.NewHosting()
+	hosting.RegisterFactory("registry", ogsi.RegistryFactory)
+	hosting.RegisterFactory("steering", ogsi.SteeringFactory(session))
+	hosting.RegisterFactory("viz", ogsi.VizFactory(session))
+	hl, err := net.Listen("tcp", *httpAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hosting.BaseURL = "http://" + hl.Addr().String()
+	go http.Serve(hl, hosting)
+
+	client := &ogsi.Client{}
+	registry, err := client.Create(hosting.BaseURL, "registry", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	steerGSH, _ := client.Create(hosting.BaseURL, "steering", nil)
+	vizGSH, _ := client.Create(hosting.BaseURL, "viz", nil)
+	client.Register(registry, ogsi.Entry{GSH: steerGSH, Type: "SteeringService", Keywords: []string{"lb3d"}}, 0)
+	client.Register(registry, ogsi.Entry{GSH: vizGSH, Type: "VizService", Keywords: []string{"lb3d"}}, 0)
+
+	fmt.Printf("steerd: OGSI hosting %s\n", hosting.BaseURL)
+	fmt.Printf("steerd: registry     %s\n", registry)
+	fmt.Printf("steerd: steering     %s\n", steerGSH)
+	fmt.Printf("steerd: viz          %s\n", vizGSH)
+	fmt.Printf("steerd: core session %s (attach with core.Attach)\n", sl.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("steerd: shutting down")
+	session.QueueStop()
+	session.Close()
+	hosting.Close()
+	wg.Wait()
+}

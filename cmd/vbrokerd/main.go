@@ -1,0 +1,78 @@
+// Command vbrokerd runs a standalone VISIT collaboration multiplexer: the
+// vbroker "that is part of the standard VISIT distribution" (section 3.3).
+// The steered simulation connects to -addr as its visualization server; every
+// visualization named with -viz receives all data; only the master (the
+// first, or the one set with -master) serves steering receive-requests.
+//
+// Usage:
+//
+//	vbrokerd -addr :8093 -viz juelich=host1:7000 -viz phoenix=host2:7000 [-master phoenix]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+
+	"repro/internal/visit"
+)
+
+// vizFlags collects repeated -viz name=addr flags.
+type vizFlags []string
+
+func (v *vizFlags) String() string { return strings.Join(*v, ",") }
+
+// Set implements flag.Value.
+func (v *vizFlags) Set(s string) error {
+	if !strings.Contains(s, "=") {
+		return fmt.Errorf("-viz wants name=addr, got %q", s)
+	}
+	*v = append(*v, s)
+	return nil
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8093", "simulation-facing listen address")
+	password := flag.String("password", "", "connection password required from the simulation")
+	vizPassword := flag.String("viz-password", "", "password presented to visualization servers")
+	master := flag.String("master", "", "initial master visualization (default: first -viz)")
+	var vizs vizFlags
+	flag.Var(&vizs, "viz", "visualization endpoint as name=addr (repeatable)")
+	flag.Parse()
+
+	broker := visit.NewBroker(visit.BrokerConfig{Password: *password})
+	defer broker.Close()
+	for _, spec := range vizs {
+		name, target, _ := strings.Cut(spec, "=")
+		if err := broker.AttachViz(name, visit.TCPDialer(target), *vizPassword); err != nil {
+			log.Fatalf("vbrokerd: attach %s: %v", spec, err)
+		}
+		fmt.Printf("vbrokerd: attached visualization %q at %s\n", name, target)
+	}
+	if *master != "" {
+		if err := broker.SetMaster(*master); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if m := broker.Master(); m != "" {
+		fmt.Printf("vbrokerd: master is %q\n", m)
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	go broker.Serve(l)
+	fmt.Printf("vbrokerd: simulations connect to %s\n", l.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	st := broker.Stats()
+	fmt.Printf("vbrokerd: %d sends in, %d fanned, %d steering recvs; shutting down\n",
+		st.SendsIn, st.SendsFanned, st.RecvsForwarded)
+}

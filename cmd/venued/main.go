@@ -1,0 +1,55 @@
+// Command venued runs an Access Grid venue server with an HTTP admin
+// surface, pre-creating the SC2003 showcase venue (section 4.6's venue
+// server that stores shared-application state and supports bridges).
+//
+// Usage:
+//
+//	venued [-addr :8092]
+//
+// Then:
+//
+//	curl -s localhost:8092/venues
+//	curl -s -X POST localhost:8092/venues -d '{"name":"Lobby","description":"..."}'
+//	curl -s -X POST localhost:8092/venues/Lobby/enter -d '{"name":"brooke","site":"manchester"}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+
+	"repro/internal/accessgrid"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8092", "admin HTTP address")
+	flag.Parse()
+
+	vs := accessgrid.NewVenueServer()
+	showcase, err := vs.CreateVenue("SC03 Showcase", "Phoenix show floor, collaborative steering demos")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := showcase.RegisterApp(accessgrid.AppDescriptor{
+		Name: "building-analysis", Type: "covise-session",
+		Endpoint: "covise://hlrs/carshow.net",
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(l, accessgrid.AdminHandler(vs))
+	fmt.Printf("venued: admin HTTP on http://%s (venue %q ready)\n", l.Addr(), showcase.Name)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("venued: shutting down")
+}

@@ -1,0 +1,200 @@
+// COVISE collaborative building analysis inside an Access Grid venue
+// (paper section 4, Figure 4).
+//
+// The car-show building climatization simulation runs while three sites —
+// HLRS, DaimlerChrysler and Sandia — analyse it collaboratively: each site
+// runs its own replica of the COVISE module network (source → cutting plane
+// → renderer), so only parameter-synchronisation messages cross the network
+// and every site renders identical pixels locally. The session is started
+// from a Virtual Venue whose video stream distributes frames to passive AG
+// viewers, including a NAT'd site fed through a unicast bridge.
+//
+//	go run ./examples/covise
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/accessgrid"
+	"repro/internal/covise"
+	"repro/internal/netsim"
+	"repro/internal/render"
+	"repro/internal/sim/airflow"
+	"repro/internal/viz"
+)
+
+func main() {
+	// --- the simulation: car-show building climatization ------------------
+	building, err := airflow.CarShowBuilding(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		building.Step()
+	}
+	fmt.Printf("car-show building simulated: %d steps, mean temperature %.2f°C\n",
+		building.StepCount(), building.MeanTemperature())
+
+	// --- the Access Grid venue --------------------------------------------
+	vs := accessgrid.NewVenueServer()
+	venue, err := vs.CreateVenue("HLRS Virtual Venue", "collaborative building analysis")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range [][2]string{
+		{"woessner", "hlrs"}, {"architect", "daimlerchrysler"}, {"analyst", "sandia"},
+	} {
+		if _, err := venue.Enter(p[0], p[1]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// The venue stores the shared-application descriptor so participants can
+	// start the COVISE session from the room (the section 4.6 venue server).
+	if err := venue.RegisterApp(accessgrid.AppDescriptor{
+		Name: "building-analysis", Type: "covise-session",
+		Endpoint: "covise://hlrs/carshow.net",
+		Data:     map[string]string{"map": "source→cut→render"},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	apps := venue.FindApps("covise-session")
+	fmt.Printf("venue %q: %d participants, shared app %q available\n",
+		venue.Name, len(venue.Participants()), apps[0].Name)
+
+	// --- the collaborative COVISE session ---------------------------------
+	// Each site replicates the same pipeline; the field provider reads the
+	// live simulation output.
+	provide := func() *viz.ScalarField { return building.Temperature() }
+	build := func(h *covise.Host) (*covise.Controller, error) {
+		c := covise.NewController()
+		if err := c.AddModule("source", h, &covise.FieldSource{Provide: provide}); err != nil {
+			return nil, err
+		}
+		if err := c.AddModule("cut", h, &covise.CuttingPlane{}); err != nil {
+			return nil, err
+		}
+		if err := c.AddModule("render", h, &covise.Renderer{
+			Width: 192, Height: 144,
+			LookAt: render.Vec3{X: 20, Y: 6, Z: 12},
+		}); err != nil {
+			return nil, err
+		}
+		if err := c.Connect("source", "field", "cut", "field"); err != nil {
+			return nil, err
+		}
+		if err := c.Connect("cut", "geometry", "render", "geometry"); err != nil {
+			return nil, err
+		}
+		c.SetParam("cut", "axis", 1) // horizontal slice through the hall
+		c.SetParam("cut", "index", 2)
+		c.SetParam("render", "eyeX", 60)
+		c.SetParam("render", "eyeY", 45)
+		c.SetParam("render", "eyeZ", 70)
+		return c, nil
+	}
+
+	session := covise.NewCollabSession()
+	for _, site := range []string{"hlrs", "daimlerchrysler", "sandia"} {
+		if _, err := session.AddSite(site, build); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := session.ExecuteAll(); err != nil {
+		log.Fatal(err)
+	}
+	converged, err := session.Converged("render", "checksum")
+	if err != nil || !converged {
+		log.Fatalf("initial convergence failed: %v %v", converged, err)
+	}
+	fmt.Printf("COVISE session: sites %v all display identical content\n", session.Sites())
+
+	// --- collaborative exploration ----------------------------------------
+	// HLRS (active steerer) sweeps the cutting plane through the building;
+	// the other sites follow through parameter sync alone.
+	for _, idx := range []float64{4, 6, 8} {
+		stats, err := session.SetParam("hlrs", "cut", "index", idx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		converged, _ := session.Converged("render", "checksum")
+		fmt.Printf("  cut plane -> level %.0f: re-ran %v, converged=%v\n", idx, stats.Executed, converged)
+	}
+	geo, _ := session.Checksums("render", "checksum")
+	_ = geo
+	fmt.Printf("sync traffic for the whole exploration: %d bytes in %d messages\n",
+		session.SyncBytes(), session.SyncMessages())
+
+	// A passive participant may not steer until roles change (section 4.3).
+	if _, err := session.SetParam("sandia", "cut", "index", 3); err == nil {
+		log.Fatal("passive site steered")
+	}
+	if err := session.SetMaster("sandia"); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := session.SetParam("sandia", "cut", "index", 3); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("roles changed: sandia now steers the exploration")
+
+	// --- steer the building itself ----------------------------------------
+	// Turn one supply vent hot and advance the simulation; all replicas mark
+	// their sources dirty and re-converge on the new temperature field.
+	if err := building.SetVent(10, 10, 6, 30, 1.0); err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		building.Step()
+	}
+	session.MarkDirtyAll("source")
+	if err := session.ExecuteAll(); err != nil {
+		log.Fatal(err)
+	}
+	converged, _ = session.Converged("render", "checksum")
+	fmt.Printf("vent steered to 30°C, simulation advanced: sites converged=%v, mean T %.2f°C\n",
+		converged, building.MeanTemperature())
+
+	// --- AG distribution: video stream + NAT bridge ------------------------
+	video, _ := venue.Stream("video")
+	img, err := sessionImage(session)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cam := video.Join("hlrs-covise", netsim.Loopback)
+	viewer := video.Join("observer-site", netsim.Metro)
+
+	bridge := video.Bridge("nat-bridge", netsim.Loopback)
+	defer bridge.Close()
+	natConn, natSite := netsim.Pipe(netsim.Metro)
+	defer natSite.Close()
+	go bridge.Subscribe(natConn)
+	time.Sleep(10 * time.Millisecond)
+
+	if err := cam.Send(img.Pix[:4096]); err != nil { // one video packet of the rendered view
+		log.Fatal(err)
+	}
+	if _, err := viewer.Recv(2 * time.Second); err != nil {
+		log.Fatalf("AG viewer missed the frame: %v", err)
+	}
+	buf := make([]byte, 8192)
+	natSite.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := natSite.Read(buf); err != nil {
+		log.Fatalf("NAT'd site missed the bridged frame: %v", err)
+	}
+	fmt.Println("venue video: multicast viewer and NAT-bridged site both received the rendered view")
+	fmt.Println("done")
+}
+
+// sessionImage fetches the rendered image from the first site.
+func sessionImage(s *covise.CollabSession) (*render.Framebuffer, error) {
+	site, err := s.Site(s.Sites()[0])
+	if err != nil {
+		return nil, err
+	}
+	obj, err := site.Controller.Output("render", "image")
+	if err != nil {
+		return nil, err
+	}
+	return obj.Image, nil
+}

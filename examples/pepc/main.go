@@ -1,0 +1,237 @@
+// PEPC steering through the VISIT extension to UNICORE (paper section 3,
+// Figure 3).
+//
+// A Barnes–Hut plasma simulation (a particle beam striking a spherical
+// plasma target) is consigned as a UNICORE job. The job carries a VISIT
+// proxy, so the running code reaches its visualizations through the
+// gateway's single TCP port. Two Access Grid sites attach as VISIT
+// visualizations: Jülich (master, may steer) and Phoenix (observer). The
+// master steers the beam intensity mid-run, the master role is handed to
+// Phoenix, and Phoenix shuts the run down — the paper's "coordinated
+// cooperative steering".
+//
+//	go run ./examples/pepc
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sim/pepc"
+	"repro/internal/unicore"
+	"repro/internal/visit"
+	"repro/internal/wire"
+)
+
+// VISIT payload tags of this application.
+const (
+	tagParticles = 1 // Float64s: x,y,z per particle
+	tagDomains   = 2 // Float64s: min/max boxes per worker domain
+	tagEnergy    = 3 // Float64s: [kinetic]
+	tagParams    = 4 // Recv: [beamIntensity, stop]
+)
+
+// site is one collaborating visualization endpoint.
+type site struct {
+	name      string
+	server    *visit.Server
+	particles atomic.Int64
+	energy    atomic.Uint64
+	// steering state served to the simulation when this site is master
+	beamIntensity atomic.Int64
+	stop          atomic.Bool
+	consulted     atomic.Int64
+}
+
+func newSite(name, password string) *site {
+	s := &site{name: name}
+	s.beamIntensity.Store(2)
+	s.server = visit.NewServer(visit.ServerConfig{Password: password})
+	s.server.HandleSend(tagParticles, func(m *wire.Message) error {
+		v, err := m.AsFloat64s()
+		if err != nil {
+			return err
+		}
+		s.particles.Store(int64(len(v) / 3))
+		return nil
+	})
+	s.server.HandleSend(tagDomains, func(m *wire.Message) error { return nil })
+	s.server.HandleSend(tagEnergy, func(m *wire.Message) error {
+		v, err := m.AsFloat64s()
+		if err != nil || len(v) != 1 {
+			return err
+		}
+		s.energy.Store(uint64(v[0] * 1000))
+		return nil
+	})
+	s.server.HandleRecv(tagParams, func() (*wire.Message, error) {
+		s.consulted.Add(1)
+		stop := 0.0
+		if s.stop.Load() {
+			stop = 1
+		}
+		return &wire.Message{
+			Header:   wire.Header{Kind: wire.KindFloat64, Count: 2},
+			Float64s: []float64{float64(s.beamIntensity.Load()), stop},
+		}, nil
+	})
+	return s
+}
+
+func main() {
+	const vizPassword = "sc03-demo"
+
+	// --- the Vsite: TSI with the instrumented PEPC application -----------
+	tsi := unicore.NewTSI()
+	appDone := make(chan int, 1) // final particle count
+	tsi.RegisterApp("pepc", func(ctx *unicore.TaskContext) error {
+		sim, err := pepc.New(pepc.Params{Theta: 0.5, Dt: 0.005, Eps: 0.05, Seed: 11})
+		if err != nil {
+			return err
+		}
+		sim.AddPlasmaBall(400, pepc.Vec{}, 1.0, 0.05)
+		sim.SetBeam(pepc.BeamParams{
+			Charge: -1, Intensity: 2, Direction: pepc.Vec{Z: -1},
+			Speed: 4, Origin: pepc.Vec{Z: 3}, Spread: 0.15,
+		})
+
+		// The simulation is the VISIT client: every exchange below is
+		// simulation-initiated with a hard timeout.
+		vs := visit.NewSim(ctx.VISITDialer, vizPassword)
+		defer vs.Close()
+		const timeout = 150 * time.Millisecond
+
+		for step := 0; step < 4000; step++ {
+			sim.Step()
+			snap := sim.Snapshot()
+
+			coords := make([]float64, 0, len(snap.Pos)*3)
+			for _, p := range snap.Pos {
+				coords = append(coords, p.X, p.Y, p.Z)
+			}
+			vs.SendFloat64s(tagParticles, coords, timeout)
+			boxes := make([]float64, 0, len(snap.Domains)*6)
+			for _, b := range snap.Domains {
+				boxes = append(boxes, b[0].X, b[0].Y, b[0].Z, b[1].X, b[1].Y, b[1].Z)
+			}
+			vs.SendFloat64s(tagDomains, boxes, timeout)
+			vs.SendFloat64s(tagEnergy, []float64{sim.KineticEnergy()}, timeout)
+
+			if m, err := vs.Recv(tagParams, timeout); err == nil {
+				if v, _ := m.AsFloat64s(); len(v) == 2 {
+					if v[1] == 1 {
+						fmt.Fprintf(ctx.Stdout, "steered to stop at step %d with %d particles\n", step, sim.N())
+						appDone <- sim.N()
+						return nil
+					}
+					b := sim.Beam()
+					if int(v[0]) != b.Intensity {
+						b.Intensity = int(v[0])
+						sim.SetBeam(b)
+					}
+				}
+			}
+			time.Sleep(time.Millisecond)
+		}
+		appDone <- sim.N()
+		return nil
+	})
+
+	// --- the protected domain: gateway + NJS -----------------------------
+	njs := unicore.NewNJS("JUELICH", tsi)
+	gw := unicore.NewGateway()
+	gw.AddVsite(njs)
+	gw.AddUser("gibbon", "sso-token")
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go gw.Serve(l)
+	defer gw.Close()
+	fmt.Printf("UNICORE gateway on single port %s\n", l.Addr())
+
+	// --- consign the steered job -----------------------------------------
+	client := unicore.NewClient(l.Addr().String(), "gibbon", "sso-token")
+	ajo := &unicore.AJO{
+		ID:    "pepc-laser-1",
+		Vsite: "JUELICH",
+		Tasks: []unicore.Task{
+			{Kind: unicore.TaskStartVISITProxy, Name: "steering-proxy", VISITPassword: vizPassword},
+			{Kind: unicore.TaskExecute, Name: "run", Executable: "pepc",
+				Args: []string{"--target", "sphere", "--beam", "on"}},
+		},
+	}
+	if err := client.Consign(ajo); err != nil {
+		log.Fatal(err)
+	}
+	if st, err := client.WaitStatus("pepc-laser-1", unicore.StatusRunning, 5*time.Second); err != nil {
+		log.Fatalf("job not running: %v %v", st, err)
+	}
+	fmt.Println("job pepc-laser-1 consigned and RUNNING")
+
+	// --- two AG sites attach through the gateway -------------------------
+	juelich := newSite("juelich", vizPassword)
+	go client.OpenVISITChannel("pepc-laser-1", "juelich", vizPassword, juelich.server)
+	waitParticles(juelich)
+	fmt.Printf("juelich attached (master): seeing %d particles\n", juelich.particles.Load())
+
+	phoenix := newSite("phoenix", vizPassword)
+	go client.OpenVISITChannel("pepc-laser-1", "phoenix", vizPassword, phoenix.server)
+	waitParticles(phoenix)
+	fmt.Printf("phoenix attached (observer): seeing %d particles\n", phoenix.particles.Load())
+
+	// --- steer the beam from the master -----------------------------------
+	n0 := juelich.particles.Load()
+	juelich.beamIntensity.Store(12)
+	time.Sleep(700 * time.Millisecond)
+	n1 := juelich.particles.Load()
+	fmt.Printf("beam intensity steered 2 -> 12: particle count %d -> %d\n", n0, n1)
+	if phoenix.consulted.Load() != 0 {
+		log.Fatal("observer was consulted for parameters")
+	}
+	fmt.Printf("observer consulted %d times (want 0) while master consulted %d times\n",
+		phoenix.consulted.Load(), juelich.consulted.Load())
+
+	// --- coordinated cooperative steering: hand the master role over ------
+	if err := client.SetVISITMaster("pepc-laser-1", "phoenix"); err != nil {
+		log.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for phoenix.consulted.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	fmt.Println("master role moved to phoenix")
+
+	phoenix.beamIntensity.Store(12)
+	phoenix.stop.Store(true)
+	finalN := <-appDone
+	if st, err := client.WaitStatus("pepc-laser-1", unicore.StatusDone, 5*time.Second); err != nil || st != unicore.StatusDone {
+		log.Fatalf("job did not finish: %v %v", st, err)
+	}
+	fmt.Printf("phoenix steered the run to a stop; final particle count %d\n", finalN)
+
+	out, err := client.Outcome("pepc-laser-1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("job outcome: %s, %d log entries\n", out.Status, len(out.Log))
+	bstats, _ := njs.VISITBrokerStats("pepc-laser-1")
+	fmt.Printf("proxy multiplexer: %d sim sends fanned to %d viz deliveries, %d steering recvs\n",
+		bstats.SendsIn, bstats.SendsFanned, bstats.RecvsForwarded)
+	fmt.Printf("gateway: %d connections total, %d steering channels — all on one port\n",
+		gw.Stats().Connections, gw.Stats().ChannelsOpened)
+}
+
+// waitParticles blocks until a site has seen particle data.
+func waitParticles(s *site) {
+	deadline := time.Now().Add(10 * time.Second)
+	for s.particles.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if s.particles.Load() == 0 {
+		log.Fatalf("site %s never received particles", s.name)
+	}
+}

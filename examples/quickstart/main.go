@@ -1,0 +1,160 @@
+// Quickstart: instrument a simulation with the steering core, attach a
+// remote client, steer a parameter mid-run, and pause/resume the run.
+//
+// This is the smallest complete use of the library: one Session, one
+// Steered handle polled at loop boundaries, one Client over TCP.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"net"
+	"time"
+
+	"repro/internal/core"
+)
+
+func main() {
+	// --- the application side -------------------------------------------
+	// A damped oscillator whose damping coefficient is steerable.
+	session := core.NewSession(core.SessionConfig{
+		Name:    "quickstart-run",
+		AppName: "oscillator",
+	})
+	defer session.Close()
+	st := session.Steered()
+
+	damping := 0.01
+	if err := st.RegisterFloat("damping", damping, 0, 1,
+		"velocity damping coefficient", func(v float64) { damping = v }); err != nil {
+		log.Fatal(err)
+	}
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go session.Serve(l)
+	fmt.Printf("steering session %q listening on %s\n", session.Name(), l.Addr())
+
+	// The simulation loop: integrate, poll for steering, emit samples.
+	simDone := make(chan struct{})
+	go func() {
+		defer close(simDone)
+		x, v := 1.0, 0.0
+		const dt = 0.05
+		for step := int64(0); ; step++ {
+			switch st.PollBlocking(10 * time.Second) {
+			case core.ControlStop:
+				fmt.Printf("simulation stopped at step %d\n", step)
+				return
+			case core.ControlPaused:
+				continue
+			}
+			// Leapfrog for x'' = -x - damping*x'.
+			v += dt * (-x - damping*v)
+			x += dt * v
+
+			sample := core.NewSample(step)
+			sample.Channels["x"] = core.Scalar(x)
+			sample.Channels["energy"] = core.Scalar(0.5 * (x*x + v*v))
+			st.Emit(sample)
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	// --- the steering client side ----------------------------------------
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	client, err := core.Attach(conn, core.AttachOptions{Name: "laptop"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	fmt.Printf("attached as %q (role %s)\n", client.Name(), client.Role())
+	for _, p := range client.Params() {
+		fmt.Printf("  steerable: %-10s = %6.3f  [%g, %g]  %s\n", p.Name, p.Value, p.Min, p.Max, p.Help)
+	}
+
+	// Watch the energy decay under light damping.
+	e0 := watchEnergy(client, 20)
+	fmt.Printf("energy after 20 samples with damping=0.01: %.4f\n", e0)
+
+	// Steer: crank the damping up and watch the energy die.
+	if err := client.SetParam("damping", 0.5, time.Second); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("steered damping -> 0.5")
+	e1 := watchEnergy(client, 40)
+	fmt.Printf("energy after 40 more samples with damping=0.5: %.4f\n", e1)
+	if e1 < e0 {
+		fmt.Println("steering verified: stronger damping drains the oscillator")
+	}
+
+	// Pause, verify the sample stream stalls, resume.
+	if err := client.Pause(time.Second); err != nil {
+		log.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	drain(client)
+	quiet := countSamples(client, 100*time.Millisecond)
+	fmt.Printf("paused: %d samples in 100ms (want 0)\n", quiet)
+	if err := client.Resume(time.Second); err != nil {
+		log.Fatal(err)
+	}
+	flowing := countSamples(client, 200*time.Millisecond)
+	fmt.Printf("resumed: %d samples in 200ms\n", flowing)
+
+	// Stop the run cleanly.
+	if err := client.Stop(time.Second); err != nil {
+		log.Fatal(err)
+	}
+	<-simDone
+	stats := session.Stats()
+	fmt.Printf("session stats: %d samples emitted, %d steers applied\n",
+		stats.SamplesEmitted, stats.SteersApplied)
+}
+
+// watchEnergy consumes n samples and returns the last energy value.
+func watchEnergy(c *core.Client, n int) float64 {
+	last := math.NaN()
+	for i := 0; i < n; i++ {
+		select {
+		case s := <-c.Samples():
+			last = s.Channels["energy"].Value()
+		case <-time.After(2 * time.Second):
+			log.Fatal("sample stream stalled")
+		}
+	}
+	return last
+}
+
+// drain empties the sample queue.
+func drain(c *core.Client) {
+	for {
+		select {
+		case <-c.Samples():
+		default:
+			return
+		}
+	}
+}
+
+// countSamples counts arrivals within a window.
+func countSamples(c *core.Client, window time.Duration) int {
+	deadline := time.After(window)
+	n := 0
+	for {
+		select {
+		case <-c.Samples():
+			n++
+		case <-deadline:
+			return n
+		}
+	}
+}

@@ -1,0 +1,193 @@
+// RealityGrid scenario (paper sections 2.1–2.4, Figures 1 and 2).
+//
+// A Lattice-Boltzmann two-fluid simulation runs on the "compute
+// supercomputer"; isosurfaces of its order parameter are rendered on a
+// separate "visualization supercomputer" (vizserver); steering happens
+// through an OGSI grid-service stack: a registry is published with a
+// steering service and a visualization service, a laptop client discovers
+// them, binds, and steers the fluids' miscibility while two sites watch the
+// shared remote-rendered view over WAN-shaped links.
+//
+//	go run ./examples/realitygrid
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/ogsi"
+	"repro/internal/render"
+	"repro/internal/sim/lb"
+	"repro/internal/viz"
+	"repro/internal/vizserver"
+)
+
+func main() {
+	// --- the compute supercomputer: LB3D with steering instrumentation ---
+	sim, err := lb.New(lb.Params{Nx: 16, Ny: 16, Nz: 16, Tau: 1, G: 0, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	session := core.NewSession(core.SessionConfig{Name: "lb3d-run", AppName: "lb3d"})
+	defer session.Close()
+	st := session.Steered()
+	if err := st.RegisterFloat("miscibility-g", 0, 0, 6,
+		"Shan–Chen coupling: 0 = miscible, >4 demixes", sim.SetCoupling); err != nil {
+		log.Fatal(err)
+	}
+
+	// The latest order-parameter field, shared with the viz pipeline.
+	var fieldMu sync.Mutex
+	field := sim.OrderParameter()
+
+	simDone := make(chan struct{})
+	go func() {
+		defer close(simDone)
+		for step := int64(0); ; step++ {
+			if st.Poll() == core.ControlStop {
+				return
+			}
+			sim.Step()
+			fieldMu.Lock()
+			field = sim.OrderParameter()
+			fieldMu.Unlock()
+			s := core.NewSample(step)
+			s.Channels["segregation"] = core.Scalar(sim.Segregation())
+			st.Emit(s)
+		}
+	}()
+
+	// --- the visualization supercomputer: isosurfaces + VizServer --------
+	scene := func() *render.Scene {
+		fieldMu.Lock()
+		f := field
+		fieldMu.Unlock()
+		mesh := viz.Isosurface(f, 0, render.Blue) // φ=0: the fluid interface
+		return &render.Scene{Meshes: []*render.Mesh{mesh}}
+	}
+	cam := render.Camera{
+		Eye: render.Vec3{X: 40, Y: 30, Z: 45}, Center: render.Vec3{X: 8, Y: 8, Z: 8},
+		Up: render.Vec3{Y: 1}, FovY: 0.7854, Near: 0.1, Far: 500,
+	}
+	vsrv, err := vizserver.NewServer(vizserver.Config{Width: 200, Height: 150, Scene: scene, Camera: cam})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer vsrv.Close()
+
+	// --- the OGSI layer: registry + steering + viz services --------------
+	hosting := ogsi.NewHosting()
+	defer hosting.Close()
+	hosting.RegisterFactory("registry", ogsi.RegistryFactory)
+	hosting.RegisterFactory("steering", ogsi.SteeringFactory(session))
+	hosting.RegisterFactory("viz", ogsi.VizFactory(session))
+
+	hl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hosting.BaseURL = "http://" + hl.Addr().String()
+	go http.Serve(hl, hosting)
+
+	gsClient := &ogsi.Client{}
+	registry, _ := gsClient.Create(hosting.BaseURL, "registry", nil)
+	steerGSH, _ := gsClient.Create(hosting.BaseURL, "steering", nil)
+	vizGSH, _ := gsClient.Create(hosting.BaseURL, "viz", nil)
+	gsClient.Register(registry, ogsi.Entry{GSH: steerGSH, Type: "SteeringService", Keywords: []string{"lb3d"}}, 300)
+	gsClient.Register(registry, ogsi.Entry{GSH: vizGSH, Type: "VizService", Keywords: []string{"lb3d"}}, 300)
+	fmt.Printf("OGSI hosting at %s\n  registry: %s\n", hosting.BaseURL, registry)
+
+	// --- participants join the shared visualization over WAN links -------
+	// The laptop attaches first and therefore holds the session camera
+	// (VizServer's control model); Phoenix joins as a second participant.
+	laptopConn, vizEnd1 := netsim.Pipe(netsim.National) // Manchester laptop
+	go vsrv.ServeConn(vizEnd1)
+	laptop, err := vizserver.Attach(laptopConn)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer laptop.Close()
+	waitFrame(laptop, 1)
+
+	phoenixConn, vizEnd2 := netsim.Pipe(netsim.Transatlantic) // Phoenix show floor
+	go vsrv.ServeConn(vizEnd2)
+	phoenix, err := vizserver.Attach(phoenixConn)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer phoenix.Close()
+	waitFrame(phoenix, 1)
+
+	// --- the Figure 2 flow: discover, bind, steer ------------------------
+	found, err := gsClient.Find(registry, "SteeringService", "lb3d")
+	if err != nil || len(found) != 1 {
+		log.Fatalf("service discovery failed: %v %v", found, err)
+	}
+	fmt.Printf("laptop discovered steering service: %s\n", found[0].GSH)
+
+	report := func(label string) float64 {
+		var sv struct {
+			Step    int64              `json:"step"`
+			Scalars map[string]float64 `json:"scalars"`
+		}
+		gsClient.Call(found[0].GSH, "sample", nil, &sv)
+		fmt.Printf("  %-28s step %5d   segregation %.4f\n", label, sv.Step, sv.Scalars["segregation"])
+		return sv.Scalars["segregation"]
+	}
+
+	time.Sleep(300 * time.Millisecond)
+	before := report("mixed fluids (g=0):")
+
+	// Steer the miscibility through the grid service.
+	if err := gsClient.Call(found[0].GSH, "steer", map[string]any{"name": "miscibility-g", "value": 4.5}, nil); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("steered miscibility-g -> 4.5 through the OGSI service")
+	time.Sleep(1200 * time.Millisecond)
+	after := report("demixing fluids (g=4.5):")
+	if after > 2*before {
+		fmt.Println("steering verified: the fluids demix, structures form")
+	}
+
+	// Refresh the shared view: both sites receive the new isosurface.
+	f0, fl0 := phoenix.Frames(), laptop.Frames()
+	laptop.Refresh()
+	waitFrame(phoenix, f0+1)
+	waitFrame(laptop, fl0+1)
+	if laptop.Checksum() == phoenix.Checksum() {
+		fmt.Println("collaborative view verified: Manchester and Phoenix show identical pixels")
+	}
+
+	// Camera control: the laptop flies around the dataset; Phoenix follows.
+	newCam := cam
+	newCam.Eye = render.Vec3{X: -35, Y: 20, Z: 40}
+	if err := laptop.SetCamera(newCam, 5*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	time.Sleep(500 * time.Millisecond)
+	fmt.Printf("camera moved; views identical: %v\n", laptop.Checksum() == phoenix.Checksum())
+
+	st2 := vsrv.Stats()
+	fmt.Printf("VizServer: %d frames, %.1f KB compressed vs %.1f KB raw (%.1fx reduction)\n",
+		st2.FramesRendered, float64(st2.BytesSent)/1024, float64(st2.RawBytes)/1024,
+		float64(st2.RawBytes)/float64(st2.BytesSent+1))
+
+	// Shut down through the service.
+	gsClient.Call(found[0].GSH, "command", map[string]string{"command": "stop"}, nil)
+	<-simDone
+	fmt.Println("run stopped through the steering service; done")
+}
+
+// waitFrame blocks until the client has received at least n frames.
+func waitFrame(c *vizserver.Client, n uint64) {
+	deadline := time.Now().Add(10 * time.Second)
+	for c.Frames() < n && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+}

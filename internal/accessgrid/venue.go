@@ -1,0 +1,273 @@
+// Package accessgrid implements the Access Grid collaboration substrate the
+// paper's demonstrations run inside: a venue server hosting Virtual Venues,
+// per-venue multicast media streams (the vic/rat video and audio channels),
+// participant presence, and — per section 4.6 — the HLRS extensions: venue
+// state that "allows the start-up of shared applications" (COVISE sessions)
+// and "support for unicast/multicast bridges and point to point sessions"
+// for sites behind firewalls and NAT.
+package accessgrid
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// StreamKind classifies a media stream.
+type StreamKind uint8
+
+// Stream kinds.
+const (
+	StreamVideo StreamKind = iota + 1
+	StreamAudio
+)
+
+// String returns the kind name.
+func (k StreamKind) String() string {
+	switch k {
+	case StreamVideo:
+		return "video"
+	case StreamAudio:
+		return "audio"
+	default:
+		return "unknown"
+	}
+}
+
+// AppDescriptor advertises a shared application session startable from a
+// venue: the COVISE integration stores its session endpoint here.
+type AppDescriptor struct {
+	Name string
+	// Type identifies the application kind, e.g. "covise-session".
+	Type string
+	// Endpoint is how participants connect (address, session id...).
+	Endpoint string
+	// Data carries application-specific startup information.
+	Data map[string]string
+}
+
+// Stream is one media channel of a venue.
+type Stream struct {
+	Name string
+	Kind StreamKind
+	// Addr is the simulated multicast address.
+	Addr  string
+	group *netsim.Group
+}
+
+// Join subscribes a receiver to the stream with the given network profile.
+func (s *Stream) Join(member string, p netsim.Profile) *netsim.Member {
+	return s.group.Join(member, p)
+}
+
+// Bridge creates a unicast/multicast bridge on this stream for NAT'd sites.
+func (s *Stream) Bridge(name string, p netsim.Profile) *netsim.Bridge {
+	return netsim.NewBridge(s.group, name, p)
+}
+
+// Participant is one person/site present in a venue.
+type Participant struct {
+	Name    string
+	Site    string
+	Entered time.Time
+}
+
+// Venue is one Virtual Venue: "the power of Access Grid [lies] in being able
+// to coordinate multiple channels of communication within a virtual space
+// (the Virtual Venue of the meeting)" (section 1).
+type Venue struct {
+	Name        string
+	Description string
+
+	net *netsim.Network
+
+	mu           sync.Mutex
+	participants map[string]*Participant
+	streams      map[string]*Stream
+	apps         map[string]*AppDescriptor
+	events       []string
+}
+
+// Enter adds a participant; duplicate names are rejected.
+func (v *Venue) Enter(name, site string) (*Participant, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if _, dup := v.participants[name]; dup {
+		return nil, fmt.Errorf("accessgrid: %q already in venue %q", name, v.Name)
+	}
+	p := &Participant{Name: name, Site: site, Entered: time.Now()}
+	v.participants[name] = p
+	v.events = append(v.events, "enter:"+name)
+	return p, nil
+}
+
+// Exit removes a participant.
+func (v *Venue) Exit(name string) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if _, ok := v.participants[name]; ok {
+		delete(v.participants, name)
+		v.events = append(v.events, "exit:"+name)
+	}
+}
+
+// Participants lists present participants, sorted by name.
+func (v *Venue) Participants() []*Participant {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]*Participant, 0, len(v.participants))
+	for _, p := range v.participants {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// AddStream creates a media stream on the venue's multicast network.
+func (v *Venue) AddStream(name string, kind StreamKind) (*Stream, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if _, dup := v.streams[name]; dup {
+		return nil, fmt.Errorf("accessgrid: stream %q exists in venue %q", name, v.Name)
+	}
+	addr := fmt.Sprintf("233.2.171.%d:%d/%s/%s", len(v.streams)+1, 9000+len(v.streams), v.Name, name)
+	s := &Stream{Name: name, Kind: kind, Addr: addr, group: v.net.Group(addr)}
+	v.streams[name] = s
+	return s, nil
+}
+
+// Stream fetches a stream by name.
+func (v *Venue) Stream(name string) (*Stream, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	s, ok := v.streams[name]
+	return s, ok
+}
+
+// Streams lists the venue's streams sorted by name.
+func (v *Venue) Streams() []*Stream {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]*Stream, 0, len(v.streams))
+	for _, s := range v.streams {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// RegisterApp stores a shared-application descriptor in the venue.
+func (v *Venue) RegisterApp(app AppDescriptor) error {
+	if app.Name == "" || app.Type == "" {
+		return fmt.Errorf("accessgrid: app descriptor needs name and type")
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if _, dup := v.apps[app.Name]; dup {
+		return fmt.Errorf("accessgrid: app %q already registered in venue %q", app.Name, v.Name)
+	}
+	a := app
+	v.apps[app.Name] = &a
+	return nil
+}
+
+// UnregisterApp removes a shared-application descriptor.
+func (v *Venue) UnregisterApp(name string) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	delete(v.apps, name)
+}
+
+// Apps lists registered shared applications sorted by name.
+func (v *Venue) Apps() []AppDescriptor {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]AppDescriptor, 0, len(v.apps))
+	for _, a := range v.apps {
+		out = append(out, *a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// FindApps returns descriptors of a given type.
+func (v *Venue) FindApps(typ string) []AppDescriptor {
+	var out []AppDescriptor
+	for _, a := range v.Apps() {
+		if a.Type == typ {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Events returns the presence event log.
+func (v *Venue) Events() []string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return append([]string(nil), v.events...)
+}
+
+// VenueServer hosts venues.
+type VenueServer struct {
+	net *netsim.Network
+
+	mu     sync.Mutex
+	venues map[string]*Venue
+}
+
+// NewVenueServer creates a server with its own simulated multicast network.
+func NewVenueServer() *VenueServer {
+	return &VenueServer{net: netsim.NewNetwork(), venues: make(map[string]*Venue)}
+}
+
+// CreateVenue adds a venue with the standard video+audio streams.
+func (vs *VenueServer) CreateVenue(name, description string) (*Venue, error) {
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	if _, dup := vs.venues[name]; dup {
+		return nil, fmt.Errorf("accessgrid: venue %q exists", name)
+	}
+	v := &Venue{
+		Name:         name,
+		Description:  description,
+		net:          vs.net,
+		participants: make(map[string]*Participant),
+		streams:      make(map[string]*Stream),
+		apps:         make(map[string]*AppDescriptor),
+	}
+	vs.venues[name] = v
+	// Every venue starts with the standard AG media channels. The venue is
+	// not yet visible to other goroutines (vs.mu held), so these cannot
+	// contend.
+	if _, err := v.AddStream("video", StreamVideo); err != nil {
+		return nil, err
+	}
+	if _, err := v.AddStream("audio", StreamAudio); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// Venue fetches a venue by name.
+func (vs *VenueServer) Venue(name string) (*Venue, bool) {
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	v, ok := vs.venues[name]
+	return v, ok
+}
+
+// Venues lists venue names sorted.
+func (vs *VenueServer) Venues() []string {
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	out := make([]string, 0, len(vs.venues))
+	for n := range vs.venues {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

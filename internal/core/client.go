@@ -1,0 +1,356 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Client is a remote steering/viewing participant. It connects to a Session
+// over any net.Conn (real TCP, or a netsim shaped link in the experiments).
+type Client struct {
+	codec *codec
+	name  string
+
+	mu      sync.Mutex
+	role    Role
+	master  string
+	session string
+	app     string
+	params  map[string]Param
+	view    ViewState
+	events  []string
+
+	seq     uint64
+	pending map[uint64]chan *ackMsg
+
+	samples chan *Sample
+	updates chan ViewState
+	closed  chan struct{}
+	once    sync.Once
+	readErr error
+}
+
+// AttachOptions configure Attach.
+type AttachOptions struct {
+	// Name identifies the client; "" lets the session assign one.
+	Name string
+	// WantMaster requests the master role if free.
+	WantMaster bool
+	// SampleBuffer bounds the local sample queue (default 16). When full,
+	// the oldest sample is discarded: a slow consumer sees the freshest data.
+	SampleBuffer int
+	// Timeout bounds the attach handshake (default 5s).
+	Timeout time.Duration
+}
+
+// Attach performs the handshake and starts the client's read loop.
+func Attach(conn net.Conn, opts AttachOptions) (*Client, error) {
+	if opts.SampleBuffer <= 0 {
+		opts.SampleBuffer = 16
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 5 * time.Second
+	}
+	c := &Client{
+		codec:   newCodec(conn),
+		params:  make(map[string]Param),
+		pending: make(map[uint64]chan *ackMsg),
+		samples: make(chan *Sample, opts.SampleBuffer),
+		updates: make(chan ViewState, 16),
+		closed:  make(chan struct{}),
+	}
+	if err := c.codec.write(&envelope{
+		Type:   msgAttach,
+		Attach: &attachMsg{Name: opts.Name, WantMaster: opts.WantMaster},
+	}, opts.Timeout); err != nil {
+		conn.Close()
+		return nil, err
+	}
+
+	conn.SetReadDeadline(time.Now().Add(opts.Timeout))
+	first, err := c.codec.read()
+	conn.SetReadDeadline(time.Time{})
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	switch first.Type {
+	case msgWelcome:
+		w := first.Welcome
+		c.name = w.ClientName
+		c.role = w.Role
+		c.master = w.Master
+		c.session = w.SessionName
+		c.app = w.AppName
+		for _, p := range w.Params {
+			c.params[p.Name] = p
+		}
+		if w.View != nil {
+			c.view = *w.View
+		}
+	case msgAck:
+		conn.Close()
+		return nil, fmt.Errorf("core: attach rejected: %s", first.Ack.Err)
+	default:
+		conn.Close()
+		return nil, errors.New("core: protocol error: expected welcome")
+	}
+
+	go c.readLoop()
+	return c, nil
+}
+
+// Name returns the client's session-assigned name.
+func (c *Client) Name() string { return c.name }
+
+// SessionName returns the session's name from the welcome.
+func (c *Client) SessionName() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.session
+}
+
+// AppName returns the steered application's name.
+func (c *Client) AppName() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.app
+}
+
+// Role returns the client's current role.
+func (c *Client) Role() Role {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.master == c.name {
+		return RoleMaster
+	}
+	return RoleObserver
+}
+
+// Master returns the current master's name.
+func (c *Client) Master() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.master
+}
+
+// Params returns the last known parameter table.
+func (c *Client) Params() []Param {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Param, 0, len(c.params))
+	for _, p := range c.params {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Param returns one parameter by name.
+func (c *Client) Param(name string) (Param, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.params[name]
+	return p, ok
+}
+
+// View returns the last synchronised view state.
+func (c *Client) View() ViewState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.view
+}
+
+// Events returns the accumulated event strings.
+func (c *Client) Events() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.events...)
+}
+
+// Samples returns the channel of incoming samples. Slow consumers lose the
+// oldest entries, never block the session.
+func (c *Client) Samples() <-chan *Sample { return c.samples }
+
+// ViewUpdates returns the channel of view synchronisation updates.
+func (c *Client) ViewUpdates() <-chan ViewState { return c.updates }
+
+// readLoop dispatches inbound frames until the connection dies.
+func (c *Client) readLoop() {
+	for {
+		e, err := c.codec.read()
+		if err != nil {
+			c.mu.Lock()
+			c.readErr = err
+			c.mu.Unlock()
+			c.Close()
+			return
+		}
+		switch e.Type {
+		case msgSample:
+			if e.Sample == nil {
+				continue
+			}
+			for {
+				select {
+				case c.samples <- e.Sample:
+				default:
+					select {
+					case <-c.samples: // evict oldest
+						continue
+					default:
+					}
+				}
+				break
+			}
+		case msgParamUpdate:
+			c.mu.Lock()
+			for _, p := range e.Params {
+				c.params[p.Name] = p
+			}
+			c.mu.Unlock()
+		case msgViewUpdate:
+			if e.View == nil {
+				continue
+			}
+			c.mu.Lock()
+			if e.View.Seq > c.view.Seq {
+				c.view = *e.View
+			}
+			c.mu.Unlock()
+			select {
+			case c.updates <- *e.View:
+			default:
+				select {
+				case <-c.updates:
+				default:
+				}
+				select {
+				case c.updates <- *e.View:
+				default:
+				}
+			}
+		case msgMasterChanged:
+			c.mu.Lock()
+			c.master = e.Target
+			if c.master == c.name {
+				c.role = RoleMaster
+			} else {
+				c.role = RoleObserver
+			}
+			c.mu.Unlock()
+		case msgEvent:
+			c.mu.Lock()
+			c.events = append(c.events, e.Event)
+			c.mu.Unlock()
+		case msgAck:
+			c.mu.Lock()
+			ch, ok := c.pending[e.Seq]
+			delete(c.pending, e.Seq)
+			c.mu.Unlock()
+			if ok {
+				ch <- e.Ack
+			}
+		}
+	}
+}
+
+// request performs a synchronous request/ack exchange.
+func (c *Client) request(e *envelope, timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	seq := atomic.AddUint64(&c.seq, 1)
+	e.Seq = seq
+	ch := make(chan *ackMsg, 1)
+	c.mu.Lock()
+	c.pending[seq] = ch
+	c.mu.Unlock()
+
+	if err := c.codec.write(e, timeout); err != nil {
+		c.mu.Lock()
+		delete(c.pending, seq)
+		c.mu.Unlock()
+		return err
+	}
+	select {
+	case ack := <-ch:
+		if ack == nil || !ack.OK {
+			why := "rejected"
+			if ack != nil && ack.Err != "" {
+				why = ack.Err
+			}
+			return fmt.Errorf("core: %s", why)
+		}
+		return nil
+	case <-time.After(timeout):
+		c.mu.Lock()
+		delete(c.pending, seq)
+		c.mu.Unlock()
+		return errors.New("core: request timed out")
+	case <-c.closed:
+		return errors.New("core: connection closed")
+	}
+}
+
+// SetParam submits a steering request; only the master succeeds. The value
+// is applied at the simulation's next poll.
+func (c *Client) SetParam(name string, value float64, timeout time.Duration) error {
+	return c.request(&envelope{Type: msgSetParam, Set: &setParamMsg{Name: name, Value: value}}, timeout)
+}
+
+// Pause asks the simulation to pause at its next poll (master only).
+func (c *Client) Pause(timeout time.Duration) error {
+	return c.request(&envelope{Type: msgCommand, Command: cmdPause}, timeout)
+}
+
+// Resume releases a paused simulation (master only).
+func (c *Client) Resume(timeout time.Duration) error {
+	return c.request(&envelope{Type: msgCommand, Command: cmdResume}, timeout)
+}
+
+// Stop asks the simulation to terminate cleanly (master only).
+func (c *Client) Stop(timeout time.Duration) error {
+	return c.request(&envelope{Type: msgCommand, Command: cmdStop}, timeout)
+}
+
+// Checkpoint asks the simulation to write a checkpoint (master only).
+func (c *Client) Checkpoint(timeout time.Duration) error {
+	return c.request(&envelope{Type: msgCommand, Command: cmdCheckpoint}, timeout)
+}
+
+// SetView publishes a new shared view state (master only).
+func (c *Client) SetView(v ViewState, timeout time.Duration) error {
+	return c.request(&envelope{Type: msgSetView, View: &v}, timeout)
+}
+
+// RequestMaster claims the master role if it is free.
+func (c *Client) RequestMaster(timeout time.Duration) error {
+	return c.request(&envelope{Type: msgRequestMaster}, timeout)
+}
+
+// HandoffMaster transfers the master role to another attached client
+// (master only): the paper's "coordinated cooperative steering".
+func (c *Client) HandoffMaster(to string, timeout time.Duration) error {
+	return c.request(&envelope{Type: msgHandoffMaster, Target: to}, timeout)
+}
+
+// Close detaches and closes the connection.
+func (c *Client) Close() error {
+	c.once.Do(func() {
+		c.codec.write(&envelope{Type: msgDetach}, time.Second)
+		close(c.closed)
+		c.codec.close()
+	})
+	return nil
+}
+
+// Err returns the read-loop error after the connection has failed.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.readErr
+}

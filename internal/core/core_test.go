@@ -1,0 +1,513 @@
+package core
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testSession starts a session on a loopback TCP listener and returns it
+// with a dialer.
+func testSession(t *testing.T, cfg SessionConfig) (*Session, func(opts AttachOptions) *Client) {
+	t.Helper()
+	if cfg.Name == "" {
+		cfg.Name = "test-session"
+	}
+	s := NewSession(cfg)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(l)
+	t.Cleanup(s.Close)
+
+	dial := func(opts AttachOptions) *Client {
+		t.Helper()
+		conn, err := net.Dial("tcp", l.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := Attach(conn, opts)
+		if err != nil {
+			t.Fatalf("attach: %v", err)
+		}
+		t.Cleanup(func() { c.Close() })
+		return c
+	}
+	return s, dial
+}
+
+// waitFor polls cond until true or the deadline expires.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestAttachWelcome(t *testing.T) {
+	s, dial := testSession(t, SessionConfig{Name: "lb3d-run", AppName: "lb3d"})
+	st := s.Steered()
+	var coupling float64
+	if err := st.RegisterFloat("coupling", 1.5, 0, 10, "miscibility", func(v float64) { coupling = v }); err != nil {
+		t.Fatal(err)
+	}
+	_ = coupling
+
+	c := dial(AttachOptions{Name: "manchester"})
+	if c.SessionName() != "lb3d-run" || c.AppName() != "lb3d" {
+		t.Fatalf("welcome contents: %q %q", c.SessionName(), c.AppName())
+	}
+	if c.Role() != RoleMaster {
+		t.Fatal("first client should be master")
+	}
+	p, ok := c.Param("coupling")
+	if !ok || p.Value != 1.5 || p.Min != 0 || p.Max != 10 {
+		t.Fatalf("param not in welcome: %+v", p)
+	}
+}
+
+func TestSecondClientIsObserver(t *testing.T) {
+	_, dial := testSession(t, SessionConfig{})
+	m := dial(AttachOptions{Name: "master"})
+	o := dial(AttachOptions{Name: "obs"})
+	if m.Role() != RoleMaster {
+		t.Fatal("first client lost master role")
+	}
+	if o.Role() != RoleObserver {
+		t.Fatal("second client should observe")
+	}
+	if o.Master() != "master" {
+		t.Fatalf("observer sees master %q", o.Master())
+	}
+}
+
+func TestDuplicateNameRejected(t *testing.T) {
+	s := NewSession(SessionConfig{Name: "x"})
+	defer s.Close()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(l)
+
+	conn1, _ := net.Dial("tcp", l.Addr().String())
+	c1, err := Attach(conn1, AttachOptions{Name: "alice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+
+	conn2, _ := net.Dial("tcp", l.Addr().String())
+	if _, err := Attach(conn2, AttachOptions{Name: "alice"}); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+}
+
+func TestSteeringAppliedAtPoll(t *testing.T) {
+	s, dial := testSession(t, SessionConfig{})
+	st := s.Steered()
+	applied := make(chan float64, 1)
+	st.RegisterFloat("g", 0, 0, 10, "", func(v float64) { applied <- v })
+
+	m := dial(AttachOptions{Name: "m"})
+	if err := m.SetParam("g", 4.5, time.Second); err != nil {
+		t.Fatalf("SetParam: %v", err)
+	}
+	// Not yet applied: the simulation has not polled.
+	select {
+	case v := <-applied:
+		t.Fatalf("applied %v before poll", v)
+	case <-time.After(20 * time.Millisecond):
+	}
+	if got := st.Poll(); got != ControlContinue {
+		t.Fatalf("Poll = %v", got)
+	}
+	select {
+	case v := <-applied:
+		if v != 4.5 {
+			t.Fatalf("applied %v", v)
+		}
+	default:
+		t.Fatal("steer not applied at poll")
+	}
+	// Update broadcast reaches the client.
+	waitFor(t, "param update", func() bool {
+		p, _ := m.Param("g")
+		return p.Value == 4.5
+	})
+	if s.Stats().SteersApplied != 1 {
+		t.Fatalf("SteersApplied = %d", s.Stats().SteersApplied)
+	}
+}
+
+func TestObserverCannotSteer(t *testing.T) {
+	s, dial := testSession(t, SessionConfig{})
+	st := s.Steered()
+	st.RegisterFloat("g", 0, 0, 10, "", func(float64) {})
+	dial(AttachOptions{Name: "m"})
+	o := dial(AttachOptions{Name: "o"})
+	err := o.SetParam("g", 1, time.Second)
+	if err == nil || !strings.Contains(err.Error(), "master") {
+		t.Fatalf("observer steer err = %v", err)
+	}
+	if s.Stats().SteersRejected == 0 {
+		t.Fatal("rejection not counted")
+	}
+}
+
+func TestParamValidation(t *testing.T) {
+	s, dial := testSession(t, SessionConfig{})
+	st := s.Steered()
+	st.RegisterFloat("g", 0, 0, 10, "", func(float64) {})
+	m := dial(AttachOptions{Name: "m"})
+	if err := m.SetParam("nosuch", 1, time.Second); err == nil {
+		t.Fatal("unknown param accepted")
+	}
+	if err := m.SetParam("g", 11, time.Second); err == nil {
+		t.Fatal("out-of-bounds accepted")
+	}
+	if err := m.SetParam("g", -0.1, time.Second); err == nil {
+		t.Fatal("below-min accepted")
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	s := NewSession(SessionConfig{})
+	defer s.Close()
+	st := s.Steered()
+	if err := st.RegisterFloat("a", 0, 0, 1, "", nil); err == nil {
+		t.Fatal("nil apply accepted")
+	}
+	if err := st.RegisterFloat("a", 0, 1, 0, "", func(float64) {}); err == nil {
+		t.Fatal("inverted bounds accepted")
+	}
+	if err := st.RegisterFloat("a", 0, 0, 1, "", func(float64) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.RegisterFloat("a", 0, 0, 1, "", func(float64) {}); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+}
+
+func TestPauseResumeStop(t *testing.T) {
+	s, dial := testSession(t, SessionConfig{})
+	st := s.Steered()
+	m := dial(AttachOptions{Name: "m"})
+
+	if err := m.Pause(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "pause to take effect", func() bool { return st.Poll() == ControlPaused })
+
+	// A paused PollBlocking with timeout returns paused, not hang.
+	if got := st.PollBlocking(30 * time.Millisecond); got != ControlPaused {
+		t.Fatalf("PollBlocking = %v", got)
+	}
+
+	done := make(chan Control, 1)
+	go func() { done <- st.PollBlocking(0) }()
+	time.Sleep(20 * time.Millisecond)
+	if err := m.Resume(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-done:
+		if got != ControlContinue {
+			t.Fatalf("after resume: %v", got)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("PollBlocking stuck after resume")
+	}
+
+	if err := m.Stop(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "stop", func() bool { return st.Poll() == ControlStop })
+}
+
+func TestCheckpointRequest(t *testing.T) {
+	s, dial := testSession(t, SessionConfig{})
+	st := s.Steered()
+	m := dial(AttachOptions{Name: "m"})
+	if st.CheckpointRequested() {
+		t.Fatal("spurious checkpoint request")
+	}
+	if err := m.Checkpoint(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "checkpoint pending", func() bool {
+		st.Poll()
+		return st.CheckpointRequested()
+	})
+	if st.CheckpointRequested() {
+		t.Fatal("checkpoint request not cleared")
+	}
+}
+
+func TestViewSynchronisation(t *testing.T) {
+	_, dial := testSession(t, SessionConfig{})
+	m := dial(AttachOptions{Name: "m"})
+	o1 := dial(AttachOptions{Name: "o1"})
+	o2 := dial(AttachOptions{Name: "o2"})
+
+	v := ViewState{Eye: [3]float64{5, 6, 7}, FovY: 1.1, VizParams: map[string]float64{"iso": 0.25}}
+	if err := m.SetView(v, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []*Client{m, o1, o2} {
+		waitFor(t, "view convergence", func() bool {
+			got := c.View()
+			return got.Eye == [3]float64{5, 6, 7} && got.VizParams["iso"] == 0.25
+		})
+	}
+	// Observer may not move the shared view.
+	if err := o1.SetView(v, time.Second); err == nil {
+		t.Fatal("observer moved the shared view")
+	}
+}
+
+func TestViewSeqMonotonic(t *testing.T) {
+	_, dial := testSession(t, SessionConfig{})
+	m := dial(AttachOptions{Name: "m"})
+	o := dial(AttachOptions{Name: "o"})
+	for i := 1; i <= 5; i++ {
+		v := ViewState{Eye: [3]float64{float64(i), 0, 0}}
+		if err := m.SetView(v, time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "final view", func() bool { return o.View().Eye[0] == 5 })
+	if o.View().Seq != 5 {
+		t.Fatalf("view seq = %d, want 5", o.View().Seq)
+	}
+}
+
+func TestMasterHandoff(t *testing.T) {
+	s, dial := testSession(t, SessionConfig{})
+	st := s.Steered()
+	st.RegisterFloat("g", 0, 0, 10, "", func(float64) {})
+	m := dial(AttachOptions{Name: "juelich"})
+	o := dial(AttachOptions{Name: "phoenix"})
+
+	if err := o.HandoffMaster("juelich", time.Second); err == nil {
+		t.Fatal("non-master handed off")
+	}
+	if err := m.HandoffMaster("nosuch", time.Second); err == nil {
+		t.Fatal("handoff to unknown client accepted")
+	}
+	if err := m.HandoffMaster("phoenix", time.Second); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "role propagation", func() bool {
+		return o.Role() == RoleMaster && m.Role() == RoleObserver
+	})
+	if s.Master() != "phoenix" {
+		t.Fatalf("session master = %q", s.Master())
+	}
+	// The new master steers; the old one cannot.
+	if err := o.SetParam("g", 2, time.Second); err != nil {
+		t.Fatalf("new master rejected: %v", err)
+	}
+	if err := m.SetParam("g", 3, time.Second); err == nil {
+		t.Fatal("old master still steering")
+	}
+}
+
+func TestMasterDisconnectPromotesOldest(t *testing.T) {
+	s, dial := testSession(t, SessionConfig{})
+	m := dial(AttachOptions{Name: "first"})
+	o1 := dial(AttachOptions{Name: "second"})
+	o2 := dial(AttachOptions{Name: "third"})
+	waitFor(t, "all attached", func() bool { return len(s.Clients()) == 3 })
+
+	m.Close()
+	waitFor(t, "promotion", func() bool { return s.Master() == "second" })
+	waitFor(t, "client view of promotion", func() bool {
+		return o1.Role() == RoleMaster && o2.Master() == "second"
+	})
+}
+
+func TestRequestMaster(t *testing.T) {
+	s, dial := testSession(t, SessionConfig{})
+	m := dial(AttachOptions{Name: "m"})
+	o := dial(AttachOptions{Name: "o"})
+	if err := o.RequestMaster(time.Second); err == nil {
+		t.Fatal("role stolen while held")
+	}
+	m.Close()
+	waitFor(t, "master release", func() bool { return s.Master() == "o" })
+	// o was auto-promoted as oldest remaining; a fresh client requesting
+	// master while o holds it must fail, then succeed after o leaves.
+	late := dial(AttachOptions{Name: "late"})
+	if err := late.RequestMaster(time.Second); err == nil {
+		t.Fatal("role stolen while held by o")
+	}
+	o.Close()
+	waitFor(t, "second promotion", func() bool { return s.Master() == "late" })
+}
+
+func TestWantMasterOnAttach(t *testing.T) {
+	_, dial := testSession(t, SessionConfig{})
+	o := dial(AttachOptions{Name: "viewer"}) // auto-master as first
+	o.Close()
+	time.Sleep(10 * time.Millisecond)
+	m := dial(AttachOptions{Name: "steerer", WantMaster: true})
+	waitFor(t, "master on attach", func() bool { return m.Role() == RoleMaster })
+}
+
+func TestSampleDelivery(t *testing.T) {
+	s, dial := testSession(t, SessionConfig{})
+	st := s.Steered()
+	c := dial(AttachOptions{Name: "viz"})
+	waitFor(t, "attach", func() bool { return len(s.Clients()) == 1 })
+
+	sample := NewSample(42)
+	sample.Channels["phi"] = Channel{Dims: [3]int{2, 2, 1}, Data: []float64{1, 2, 3, 4}}
+	sample.Channels["seg"] = Scalar(0.7)
+	st.Emit(sample)
+
+	select {
+	case got := <-c.Samples():
+		if got.Step != 42 {
+			t.Fatalf("step = %d", got.Step)
+		}
+		if got.Channels["seg"].Value() != 0.7 {
+			t.Fatalf("scalar = %v", got.Channels["seg"].Value())
+		}
+		if len(got.Channels["phi"].Data) != 4 {
+			t.Fatalf("phi data = %v", got.Channels["phi"].Data)
+		}
+		if got.ByteSize() != 5*8 {
+			t.Fatalf("ByteSize = %d", got.ByteSize())
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("sample not delivered")
+	}
+}
+
+func TestEmitNeverBlocksOnSlowClient(t *testing.T) {
+	s, dial := testSession(t, SessionConfig{SampleQueue: 2})
+	st := s.Steered()
+	c := dial(AttachOptions{Name: "slow", SampleBuffer: 1})
+	waitFor(t, "attach", func() bool { return len(s.Clients()) == 1 })
+	_ = c // the client never reads its samples
+
+	start := time.Now()
+	for i := 0; i < 500; i++ {
+		sample := NewSample(int64(i))
+		sample.Channels["x"] = Scalar(float64(i))
+		st.Emit(sample)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("Emit blocked on slow client: %v for 500 samples", elapsed)
+	}
+	stats := s.Stats()
+	if stats.SamplesEmitted != 500 {
+		t.Fatalf("emitted = %d", stats.SamplesEmitted)
+	}
+	if stats.SamplesDropped == 0 {
+		t.Fatal("no drops recorded despite slow client")
+	}
+}
+
+func TestEmitWithNoClients(t *testing.T) {
+	s := NewSession(SessionConfig{})
+	defer s.Close()
+	st := s.Steered()
+	sample := NewSample(1)
+	st.Emit(sample) // must not panic or block
+	if s.Stats().SamplesEmitted != 1 {
+		t.Fatal("emission not counted")
+	}
+}
+
+func TestEventsBroadcast(t *testing.T) {
+	s, dial := testSession(t, SessionConfig{})
+	st := s.Steered()
+	c := dial(AttachOptions{Name: "c"})
+	waitFor(t, "attach", func() bool { return len(s.Clients()) == 1 })
+	st.Event("iterating: residual 1e-3")
+	waitFor(t, "event", func() bool {
+		evs := c.Events()
+		return len(evs) == 1 && evs[0] == "iterating: residual 1e-3"
+	})
+}
+
+func TestClientCrashDoesNotDisturbOthers(t *testing.T) {
+	s, dial := testSession(t, SessionConfig{})
+	st := s.Steered()
+	good := dial(AttachOptions{Name: "good"})
+
+	// A client that attaches and then has its conn severed abruptly.
+	bad := dial(AttachOptions{Name: "bad"})
+	waitFor(t, "both attached", func() bool { return len(s.Clients()) == 2 })
+	bad.codec.conn.Close() // abrupt severing, no detach frame
+
+	waitFor(t, "dead client dropped", func() bool { return len(s.Clients()) == 1 })
+	sample := NewSample(1)
+	sample.Channels["x"] = Scalar(1)
+	st.Emit(sample)
+	select {
+	case <-good.Samples():
+	case <-time.After(2 * time.Second):
+		t.Fatal("surviving client starved")
+	}
+}
+
+func TestConcurrentClientsSingleMasterInvariant(t *testing.T) {
+	s, dial := testSession(t, SessionConfig{})
+	const n = 8
+	clients := make([]*Client, n)
+	for i := 0; i < n; i++ {
+		clients[i] = dial(AttachOptions{Name: string(rune('a' + i))})
+	}
+	waitFor(t, "all attached", func() bool { return len(s.Clients()) == n })
+
+	// Everyone hammers RequestMaster concurrently; the invariant is that the
+	// session never reports more than one master and client roles converge.
+	var wg sync.WaitGroup
+	for _, c := range clients {
+		wg.Add(1)
+		go func(c *Client) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				c.RequestMaster(time.Second)
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	waitFor(t, "role convergence", func() bool {
+		masters := 0
+		for _, c := range clients {
+			if c.Role() == RoleMaster {
+				masters++
+			}
+		}
+		return masters == 1
+	})
+	if s.Master() == "" {
+		t.Fatal("no master after churn")
+	}
+}
+
+func TestControlStringers(t *testing.T) {
+	if ControlContinue.String() != "continue" || ControlStop.String() != "stop" ||
+		ControlPaused.String() != "paused" || ControlCheckpoint.String() != "checkpoint" {
+		t.Fatal("control names wrong")
+	}
+	if Control(99).String() != "unknown" {
+		t.Fatal("unknown control must format")
+	}
+	if RoleMaster.String() != "master" || RoleObserver.String() != "observer" {
+		t.Fatal("role names wrong")
+	}
+}

@@ -1,0 +1,114 @@
+// Package core implements collaborative application steering: the central
+// contribution of Brooke et al., "Application Steering in a Collaborative
+// Environment" (SC2003).
+//
+// A simulation instruments itself with a Steered handle: it registers
+// steerable parameters, emits samples at loop boundaries, and polls for
+// steering commands. A Session exposes the simulation to any number of
+// remote Clients, of which exactly one at a time holds the master role and
+// may steer; the others are observers (the paper's active vs passive
+// collaboration modes, sections 2.4 and 3.3). The session keeps every
+// participant's view state synchronised so "everyone has the same view of
+// the data (e.g. position and orientation of view point or parameters like
+// thresholds that influence the visualization)".
+//
+// The design obeys the VISIT rule of section 3.2: nothing a client does can
+// stall the simulation. All interaction with the simulation happens at
+// simulation-initiated poll points; sample delivery to slow clients drops
+// frames rather than blocking the emitter.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Param describes one steerable parameter as shipped to clients.
+type Param struct {
+	Name string
+	// Value is the current value. Only float parameters are steerable in
+	// this implementation, matching the showcase demos (miscibility, beam
+	// charge/intensity/direction components, vent temperature...).
+	Value    float64
+	Min, Max float64
+	// Help is a one-line description shown by steering UIs.
+	Help string
+}
+
+// paramDef is the application-side definition backing a Param.
+type paramDef struct {
+	Param
+	apply func(float64)
+}
+
+// paramTable is the concurrency-safe registry of steerable parameters.
+type paramTable struct {
+	mu   sync.RWMutex
+	defs map[string]*paramDef
+}
+
+func newParamTable() *paramTable {
+	return &paramTable{defs: make(map[string]*paramDef)}
+}
+
+// register adds a parameter definition; duplicate names are an error.
+func (t *paramTable) register(d *paramDef) error {
+	if d.apply == nil {
+		return fmt.Errorf("core: parameter %q has no apply function", d.Name)
+	}
+	if d.Max < d.Min {
+		return fmt.Errorf("core: parameter %q has inverted bounds [%v, %v]", d.Name, d.Min, d.Max)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, dup := t.defs[d.Name]; dup {
+		return fmt.Errorf("core: duplicate parameter %q", d.Name)
+	}
+	t.defs[d.Name] = d
+	return nil
+}
+
+// validate checks a steering request against the table and bounds.
+func (t *paramTable) validate(name string, v float64) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	d, ok := t.defs[name]
+	if !ok {
+		return fmt.Errorf("core: unknown parameter %q", name)
+	}
+	if v < d.Min || v > d.Max {
+		return fmt.Errorf("core: %q = %v outside [%v, %v]", name, v, d.Min, d.Max)
+	}
+	return nil
+}
+
+// applyAndGet applies a validated steering request and returns the updated
+// Param for broadcast. It must only be called from the simulation's poll
+// path so applications never see concurrent parameter mutation.
+func (t *paramTable) applyAndGet(name string, v float64) (Param, error) {
+	t.mu.Lock()
+	d, ok := t.defs[name]
+	if !ok {
+		t.mu.Unlock()
+		return Param{}, fmt.Errorf("core: unknown parameter %q", name)
+	}
+	d.Value = v
+	p := d.Param
+	apply := d.apply
+	t.mu.Unlock()
+	apply(v)
+	return p, nil
+}
+
+// snapshot returns all parameters sorted by name.
+func (t *paramTable) snapshot() []Param {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]Param, 0, len(t.defs))
+	for _, d := range t.defs {
+		out = append(out, d.Param)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

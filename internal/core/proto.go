@@ -1,0 +1,118 @@
+package core
+
+import (
+	"encoding/gob"
+	"net"
+	"sync"
+	"time"
+)
+
+// msgType discriminates envelope payloads.
+type msgType uint8
+
+const (
+	msgAttach msgType = iota + 1
+	msgWelcome
+	msgSample
+	msgSetParam
+	msgParamUpdate
+	msgSetView
+	msgViewUpdate
+	msgCommand
+	msgRequestMaster
+	msgHandoffMaster
+	msgMasterChanged
+	msgEvent
+	msgAck
+	msgDetach
+)
+
+// commandKind names the session-level commands a master may issue.
+type commandKind uint8
+
+const (
+	cmdPause commandKind = iota + 1
+	cmdResume
+	cmdStop
+	cmdCheckpoint
+)
+
+// envelope is the single frame type exchanged between Session and Client.
+// gob handles the sparse optional fields compactly.
+type envelope struct {
+	Type msgType
+	// Seq correlates requests with acks.
+	Seq uint64
+
+	Attach  *attachMsg
+	Welcome *welcomeMsg
+	Sample  *Sample
+	Set     *setParamMsg
+	Params  []Param
+	View    *ViewState
+	Command commandKind
+	Target  string // handoff target / master-changed name
+	Event   string
+	Ack     *ackMsg
+}
+
+type attachMsg struct {
+	Name string
+	// WantMaster asks for the master role if it is free.
+	WantMaster bool
+}
+
+type welcomeMsg struct {
+	SessionName string
+	AppName     string
+	ClientName  string
+	Role        Role
+	Master      string
+	Params      []Param
+	View        *ViewState
+}
+
+type setParamMsg struct {
+	Name  string
+	Value float64
+}
+
+type ackMsg struct {
+	OK  bool
+	Err string
+}
+
+// codec wraps a conn with gob encoding and a write lock; envelopes may be
+// written from multiple goroutines.
+type codec struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	wmu  sync.Mutex
+}
+
+func newCodec(conn net.Conn) *codec {
+	return &codec{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+}
+
+// write sends one envelope, applying the write deadline if non-zero.
+func (c *codec) write(e *envelope, timeout time.Duration) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if timeout > 0 {
+		c.conn.SetWriteDeadline(time.Now().Add(timeout))
+		defer c.conn.SetWriteDeadline(time.Time{})
+	}
+	return c.enc.Encode(e)
+}
+
+// read receives the next envelope.
+func (c *codec) read() (*envelope, error) {
+	var e envelope
+	if err := c.dec.Decode(&e); err != nil {
+		return nil, err
+	}
+	return &e, nil
+}
+
+func (c *codec) close() error { return c.conn.Close() }

@@ -1,0 +1,111 @@
+package core
+
+// Channel is one named data array inside a Sample: a scalar field, particle
+// coordinate block, or monitored quantity. Dims gives the logical shape;
+// scalars use Dims = [3]int{1, 1, 1}.
+type Channel struct {
+	Dims [3]int
+	Data []float64
+}
+
+// Scalar wraps a single monitored value as a Channel.
+func Scalar(v float64) Channel {
+	return Channel{Dims: [3]int{1, 1, 1}, Data: []float64{v}}
+}
+
+// Value returns the first element, the idiom for scalar channels.
+func (c Channel) Value() float64 {
+	if len(c.Data) == 0 {
+		return 0
+	}
+	return c.Data[0]
+}
+
+// Sample is what the simulation emits for consumption by visualization
+// components: "the simulation component periodically (or as demanded by the
+// steerer component) emits 'samples'" (section 2.1).
+type Sample struct {
+	// Step is the simulation timestep the sample was taken at.
+	Step int64
+	// Channels maps channel names to data.
+	Channels map[string]Channel
+}
+
+// NewSample allocates an empty sample for the given step.
+func NewSample(step int64) *Sample {
+	return &Sample{Step: step, Channels: make(map[string]Channel)}
+}
+
+// ByteSize estimates the payload size of the sample in bytes (8 per value).
+func (s *Sample) ByteSize() int {
+	n := 0
+	for _, c := range s.Channels {
+		n += len(c.Data) * 8
+	}
+	return n
+}
+
+// ViewState is the shared visualization state synchronised across all
+// session participants: camera plus named visualization parameters such as
+// isosurface thresholds or cutting-plane positions (section 4.3).
+type ViewState struct {
+	// Seq is a monotonically increasing revision number assigned by the
+	// session; later revisions supersede earlier ones.
+	Seq uint64
+	// Eye, Center, Up, FovY define the camera.
+	Eye, Center, Up [3]float64
+	FovY            float64
+	// VizParams carries tool parameters (e.g. "iso", "cutplane-z").
+	VizParams map[string]float64
+}
+
+// Control is the verdict a simulation receives when polling for steering.
+type Control int
+
+// Control values.
+const (
+	// ControlContinue means run the next iteration.
+	ControlContinue Control = iota
+	// ControlPaused means hold: poll again (or block) until resumed.
+	ControlPaused
+	// ControlStop means terminate the run cleanly.
+	ControlStop
+	// ControlCheckpoint means write a checkpoint, then continue.
+	ControlCheckpoint
+)
+
+// String returns the control name.
+func (c Control) String() string {
+	switch c {
+	case ControlContinue:
+		return "continue"
+	case ControlPaused:
+		return "paused"
+	case ControlStop:
+		return "stop"
+	case ControlCheckpoint:
+		return "checkpoint"
+	default:
+		return "unknown"
+	}
+}
+
+// Role distinguishes the one steering master from passive observers.
+type Role int
+
+// Roles.
+const (
+	// RoleObserver participants view synchronised output but cannot steer.
+	RoleObserver Role = iota
+	// RoleMaster is the single participant allowed to steer the application
+	// and the shared view.
+	RoleMaster
+)
+
+// String returns the role name.
+func (r Role) String() string {
+	if r == RoleMaster {
+		return "master"
+	}
+	return "observer"
+}

@@ -1,0 +1,594 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// SessionConfig configures a steering session.
+type SessionConfig struct {
+	// Name identifies the session in registries and welcomes.
+	Name string
+	// AppName is the instrumented application's name.
+	AppName string
+	// SampleQueue bounds the per-client outbound sample queue; when a slow
+	// client falls behind, its oldest queued samples are dropped (the VISIT
+	// no-stall rule). 0 selects a default of 16.
+	SampleQueue int
+	// ControlTimeout bounds writes of control traffic to a client; a client
+	// that cannot accept control messages within it is declared dead.
+	// 0 selects a default of 2s.
+	ControlTimeout time.Duration
+}
+
+// Session is the hub connecting one steered application with any number of
+// collaborating clients. Create it with NewSession, hand its Steered handle
+// to the simulation loop, and feed client connections to ServeConn (or
+// Serve with a listener).
+type Session struct {
+	cfg SessionConfig
+
+	params *paramTable
+
+	mu      sync.Mutex
+	clients map[string]*clientConn
+	order   []string // attach order, for deterministic master promotion
+	master  string   // "" when no master
+	view    ViewState
+	viewSeq uint64
+	nextID  int
+
+	// application-side state
+	pending           chan pendingOp // steering ops awaiting the next poll
+	paused            bool
+	stopped           bool
+	checkpointPending bool
+	resumeCh          chan struct{}
+
+	stats Stats
+	// lastSample retains the most recent emission for pull-style consumers
+	// (the OGSI steering service's sample operation).
+	lastSample *Sample
+
+	closed  bool
+	closeCh chan struct{}
+}
+
+// Stats counts session activity; the experiments read these.
+type Stats struct {
+	SamplesEmitted   uint64
+	SamplesDelivered uint64
+	SamplesDropped   uint64
+	SteersApplied    uint64
+	SteersRejected   uint64
+}
+
+// pendingOp is a steering operation queued for the simulation's next poll.
+type pendingOp struct {
+	set *setParamMsg
+	cmd commandKind
+}
+
+// clientConn is the session's view of one attached client.
+type clientConn struct {
+	name  string
+	codec *codec
+	role  Role
+	// out is the bounded sample/broadcast queue drained by a writer
+	// goroutine; control messages bypass it with a deadline write.
+	out     chan *envelope
+	dropped uint64
+	gone    chan struct{}
+}
+
+// NewSession creates a session ready to accept clients.
+func NewSession(cfg SessionConfig) *Session {
+	if cfg.SampleQueue <= 0 {
+		cfg.SampleQueue = 16
+	}
+	if cfg.ControlTimeout <= 0 {
+		cfg.ControlTimeout = 2 * time.Second
+	}
+	return &Session{
+		cfg:     cfg,
+		params:  newParamTable(),
+		clients: make(map[string]*clientConn),
+		pending: make(chan pendingOp, 256),
+		view: ViewState{
+			Eye: [3]float64{1.8, 1.4, 2.2}, Center: [3]float64{0.5, 0.5, 0.5},
+			Up: [3]float64{0, 1, 0}, FovY: 0.7854,
+			VizParams: map[string]float64{},
+		},
+		resumeCh: make(chan struct{}),
+		closeCh:  make(chan struct{}),
+	}
+}
+
+// Name returns the session name.
+func (s *Session) Name() string { return s.cfg.Name }
+
+// Steered returns the application-side handle. See the Steered type.
+func (s *Session) Steered() *Steered { return &Steered{s: s} }
+
+// Params returns the current parameter table snapshot.
+func (s *Session) Params() []Param { return s.params.snapshot() }
+
+// Master returns the current master's client name, or "".
+func (s *Session) Master() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.master
+}
+
+// Clients returns the attached client names in attach order.
+func (s *Session) Clients() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.order...)
+}
+
+// Stats returns a copy of the activity counters.
+func (s *Session) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// View returns the current shared view state.
+func (s *Session) View() ViewState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.view
+}
+
+// Serve accepts connections from l until the session closes or the listener
+// fails, handling each with ServeConn on its own goroutine.
+func (s *Session) Serve(l net.Listener) error {
+	go func() {
+		<-s.closeCh
+		l.Close()
+	}()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			select {
+			case <-s.closeCh:
+				return nil
+			default:
+				return err
+			}
+		}
+		go s.ServeConn(conn)
+	}
+}
+
+// ServeConn runs the session protocol on one client connection until the
+// client detaches or fails. It may be called concurrently.
+func (s *Session) ServeConn(conn net.Conn) error {
+	c := newCodec(conn)
+	defer c.close()
+
+	// The first frame must be an attach.
+	first, err := c.read()
+	if err != nil {
+		return err
+	}
+	if first.Type != msgAttach || first.Attach == nil {
+		return errors.New("core: protocol error: expected attach")
+	}
+
+	cc, err := s.admit(first.Attach, c)
+	if err != nil {
+		c.write(&envelope{Type: msgAck, Seq: first.Seq, Ack: &ackMsg{Err: err.Error()}}, s.cfg.ControlTimeout)
+		return err
+	}
+	defer s.drop(cc)
+
+	// Writer goroutine drains the bounded queue.
+	go func() {
+		for {
+			select {
+			case e := <-cc.out:
+				if err := cc.codec.write(e, s.cfg.ControlTimeout); err != nil {
+					select {
+					case <-cc.gone:
+					default:
+						close(cc.gone)
+					}
+					return
+				}
+			case <-cc.gone:
+				return
+			case <-s.closeCh:
+				return
+			}
+		}
+	}()
+
+	// Welcome frame carries the full session state.
+	s.mu.Lock()
+	welcome := &envelope{Type: msgWelcome, Seq: first.Seq, Welcome: &welcomeMsg{
+		SessionName: s.cfg.Name,
+		AppName:     s.cfg.AppName,
+		ClientName:  cc.name,
+		Role:        cc.role,
+		Master:      s.master,
+		Params:      s.params.snapshot(),
+		View:        cloneView(s.view),
+	}}
+	s.mu.Unlock()
+	if err := cc.codec.write(welcome, s.cfg.ControlTimeout); err != nil {
+		return err
+	}
+
+	// Read loop: dispatch client requests.
+	for {
+		select {
+		case <-cc.gone:
+			return errors.New("core: client writer failed")
+		case <-s.closeCh:
+			return nil
+		default:
+		}
+		e, err := c.read()
+		if err != nil {
+			return err
+		}
+		if done, err := s.dispatch(cc, e); done {
+			return err
+		}
+	}
+}
+
+// admit registers a new client, assigning the master role when requested and
+// free, or when the client is the first to attach.
+func (s *Session) admit(a *attachMsg, c *codec) (*clientConn, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errors.New("core: session closed")
+	}
+	name := a.Name
+	if name == "" {
+		name = fmt.Sprintf("client-%d", s.nextID)
+	}
+	if _, dup := s.clients[name]; dup {
+		return nil, fmt.Errorf("core: client name %q already attached", name)
+	}
+	s.nextID++
+	cc := &clientConn{
+		name:  name,
+		codec: c,
+		role:  RoleObserver,
+		out:   make(chan *envelope, s.cfg.SampleQueue),
+		gone:  make(chan struct{}),
+	}
+	if s.master == "" && (a.WantMaster || len(s.clients) == 0) {
+		cc.role = RoleMaster
+		s.master = name
+	}
+	s.clients[name] = cc
+	s.order = append(s.order, name)
+	return cc, nil
+}
+
+// drop removes a client; if it held the master role the oldest remaining
+// client is promoted, so a master crash never strands the session
+// (failure-handling behaviour of section 3.3's authenticated collaboration).
+func (s *Session) drop(cc *clientConn) {
+	s.mu.Lock()
+	if _, ok := s.clients[cc.name]; !ok {
+		s.mu.Unlock()
+		return
+	}
+	delete(s.clients, cc.name)
+	for i, n := range s.order {
+		if n == cc.name {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	var promoted *clientConn
+	if s.master == cc.name {
+		s.master = ""
+		if len(s.order) > 0 {
+			s.master = s.order[0]
+			promoted = s.clients[s.master]
+			promoted.role = RoleMaster
+		}
+	}
+	master := s.master
+	s.mu.Unlock()
+
+	select {
+	case <-cc.gone:
+	default:
+		close(cc.gone)
+	}
+	if promoted != nil {
+		s.broadcastControl(&envelope{Type: msgMasterChanged, Target: master})
+	}
+}
+
+// dispatch handles one client request. done reports that the connection
+// should terminate.
+func (s *Session) dispatch(cc *clientConn, e *envelope) (done bool, err error) {
+	switch e.Type {
+	case msgDetach:
+		return true, nil
+
+	case msgSetParam:
+		if e.Set == nil {
+			return false, nil
+		}
+		if !s.isMaster(cc) {
+			s.rejectSteer(cc, e.Seq, "only the master may steer")
+			return false, nil
+		}
+		if verr := s.params.validate(e.Set.Name, e.Set.Value); verr != nil {
+			s.rejectSteer(cc, e.Seq, verr.Error())
+			return false, nil
+		}
+		s.enqueueOp(pendingOp{set: e.Set})
+		s.ack(cc, e.Seq)
+
+	case msgCommand:
+		if !s.isMaster(cc) {
+			s.rejectSteer(cc, e.Seq, "only the master may issue commands")
+			return false, nil
+		}
+		s.enqueueOp(pendingOp{cmd: e.Command})
+		if e.Command == cmdResume {
+			s.signalResume()
+		}
+		s.ack(cc, e.Seq)
+
+	case msgSetView:
+		if e.View == nil {
+			return false, nil
+		}
+		if !s.isMaster(cc) {
+			s.rejectSteer(cc, e.Seq, "only the master may move the shared view")
+			return false, nil
+		}
+		s.mu.Lock()
+		s.viewSeq++
+		v := *e.View
+		v.Seq = s.viewSeq
+		s.view = v
+		update := cloneView(s.view)
+		s.mu.Unlock()
+		s.ack(cc, e.Seq)
+		s.broadcastControl(&envelope{Type: msgViewUpdate, View: update})
+
+	case msgRequestMaster:
+		s.mu.Lock()
+		if s.master == "" {
+			s.master = cc.name
+			cc.role = RoleMaster
+			s.mu.Unlock()
+			s.ack(cc, e.Seq)
+			s.broadcastControl(&envelope{Type: msgMasterChanged, Target: cc.name})
+		} else {
+			master := s.master
+			s.mu.Unlock()
+			s.rejectSteer(cc, e.Seq, fmt.Sprintf("master role held by %q", master))
+		}
+
+	case msgHandoffMaster:
+		s.mu.Lock()
+		if s.master != cc.name {
+			s.mu.Unlock()
+			s.rejectSteer(cc, e.Seq, "only the master may hand off")
+			return false, nil
+		}
+		target, ok := s.clients[e.Target]
+		if !ok {
+			s.mu.Unlock()
+			s.rejectSteer(cc, e.Seq, fmt.Sprintf("no client %q", e.Target))
+			return false, nil
+		}
+		cc.role = RoleObserver
+		target.role = RoleMaster
+		s.master = target.name
+		s.mu.Unlock()
+		s.ack(cc, e.Seq)
+		s.broadcastControl(&envelope{Type: msgMasterChanged, Target: e.Target})
+	}
+	return false, nil
+}
+
+func (s *Session) isMaster(cc *clientConn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.master == cc.name
+}
+
+func (s *Session) enqueueOp(op pendingOp) {
+	select {
+	case s.pending <- op:
+	default:
+		// The simulation has not polled for a long time and the queue is
+		// full; dropping the oldest keeps the newest intent, matching
+		// "latest steering wins" semantics.
+		select {
+		case <-s.pending:
+		default:
+		}
+		s.pending <- op
+	}
+}
+
+func (s *Session) ack(cc *clientConn, seq uint64) {
+	cc.codec.write(&envelope{Type: msgAck, Seq: seq, Ack: &ackMsg{OK: true}}, s.cfg.ControlTimeout)
+}
+
+func (s *Session) rejectSteer(cc *clientConn, seq uint64, why string) {
+	s.mu.Lock()
+	s.stats.SteersRejected++
+	s.mu.Unlock()
+	cc.codec.write(&envelope{Type: msgAck, Seq: seq, Ack: &ackMsg{Err: why}}, s.cfg.ControlTimeout)
+}
+
+// broadcastControl queues a control frame to every client; clients whose
+// queue is full have older entries evicted (control frames are small and
+// idempotent: last-writer-wins state updates).
+func (s *Session) broadcastControl(e *envelope) {
+	s.mu.Lock()
+	clients := make([]*clientConn, 0, len(s.clients))
+	for _, cc := range s.clients {
+		clients = append(clients, cc)
+	}
+	s.mu.Unlock()
+	for _, cc := range clients {
+		for {
+			select {
+			case cc.out <- e:
+			default:
+				select {
+				case <-cc.out: // evict oldest
+					continue
+				default:
+				}
+			}
+			break
+		}
+	}
+}
+
+// broadcastSample fans a sample out to all clients, dropping when a client's
+// queue is full: "failures or slow operation of the visualization must not
+// disturb the simulation progress".
+func (s *Session) broadcastSample(sample *Sample) {
+	e := &envelope{Type: msgSample, Sample: sample}
+	s.mu.Lock()
+	s.stats.SamplesEmitted++
+	s.lastSample = sample
+	clients := make([]*clientConn, 0, len(s.clients))
+	for _, cc := range s.clients {
+		clients = append(clients, cc)
+	}
+	s.mu.Unlock()
+
+	var delivered, dropped uint64
+	for _, cc := range clients {
+		select {
+		case cc.out <- e:
+			delivered++
+		default:
+			cc.dropped++
+			dropped++
+		}
+	}
+	s.mu.Lock()
+	s.stats.SamplesDelivered += delivered
+	s.stats.SamplesDropped += dropped
+	s.mu.Unlock()
+}
+
+// broadcastEvent sends a progress/status event string (the section 4.4
+// "visual reminder that there are still ongoing activities").
+func (s *Session) broadcastEvent(ev string) {
+	s.broadcastControl(&envelope{Type: msgEvent, Event: ev})
+}
+
+// ---- trusted in-process steering surface ----
+//
+// Grid services hosted next to the session (package ogsi) steer through
+// these methods instead of a network client; they carry the same
+// apply-at-poll semantics. Authorisation is the hosting service's concern,
+// mirroring how the UNICORE proxy made collaborators authenticate to the
+// grid layer rather than to VISIT.
+
+// QueueSetParam validates and queues a steering request for the next poll.
+func (s *Session) QueueSetParam(name string, value float64) error {
+	if err := s.params.validate(name, value); err != nil {
+		return err
+	}
+	s.enqueueOp(pendingOp{set: &setParamMsg{Name: name, Value: value}})
+	return nil
+}
+
+// QueuePause queues a pause command.
+func (s *Session) QueuePause() { s.enqueueOp(pendingOp{cmd: cmdPause}) }
+
+// QueueResume queues a resume command and releases a blocked PollBlocking.
+func (s *Session) QueueResume() {
+	s.enqueueOp(pendingOp{cmd: cmdResume})
+	s.signalResume()
+}
+
+// QueueStop queues a stop command.
+func (s *Session) QueueStop() { s.enqueueOp(pendingOp{cmd: cmdStop}) }
+
+// QueueCheckpoint queues a checkpoint request.
+func (s *Session) QueueCheckpoint() { s.enqueueOp(pendingOp{cmd: cmdCheckpoint}) }
+
+// SetViewServer updates the shared view state from a trusted in-process
+// caller and broadcasts it to all clients.
+func (s *Session) SetViewServer(v ViewState) ViewState {
+	s.mu.Lock()
+	s.viewSeq++
+	v.Seq = s.viewSeq
+	s.view = v
+	update := cloneView(s.view)
+	s.mu.Unlock()
+	s.broadcastControl(&envelope{Type: msgViewUpdate, View: update})
+	return *update
+}
+
+// LastSample returns the most recently emitted sample (nil before the first
+// emission).
+func (s *Session) LastSample() *Sample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastSample
+}
+
+// Paused reports whether the session is currently paused.
+func (s *Session) Paused() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.paused
+}
+
+func (s *Session) signalResume() {
+	s.mu.Lock()
+	if s.paused {
+		s.paused = false
+		close(s.resumeCh)
+		s.resumeCh = make(chan struct{})
+	}
+	s.mu.Unlock()
+}
+
+// Close terminates the session and all client connections.
+func (s *Session) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	clients := make([]*clientConn, 0, len(s.clients))
+	for _, cc := range s.clients {
+		clients = append(clients, cc)
+	}
+	s.mu.Unlock()
+	close(s.closeCh)
+	for _, cc := range clients {
+		cc.codec.close()
+	}
+}
+
+func cloneView(v ViewState) *ViewState {
+	c := v
+	c.VizParams = make(map[string]float64, len(v.VizParams))
+	for k, val := range v.VizParams {
+		c.VizParams[k] = val
+	}
+	return &c
+}

@@ -1,0 +1,144 @@
+package core
+
+import "time"
+
+// Steered is the application-side instrumentation handle, the analogue of
+// the RealityGrid steering API / VISIT simulation bindings: "the RealityGrid
+// project has defined APIs for the steering calls which can be used to link
+// from the application to the services" (section 2.3).
+//
+// All methods are simulation-initiated and non-blocking (except
+// PollBlocking, which the application opts into while paused), so steering
+// can never stall the computation.
+type Steered struct {
+	s *Session
+}
+
+// RegisterFloat declares a steerable float parameter. apply is invoked from
+// the simulation's Poll path when a validated steering request arrives, so
+// applications need no locking of their own if they poll at loop boundaries.
+func (st *Steered) RegisterFloat(name string, initial, min, max float64, help string, apply func(float64)) error {
+	return st.s.params.register(&paramDef{
+		Param: Param{Name: name, Value: initial, Min: min, Max: max, Help: help},
+		apply: apply,
+	})
+}
+
+// Emit publishes a sample to all attached clients. It never blocks: slow
+// clients lose frames instead.
+func (st *Steered) Emit(sample *Sample) {
+	st.s.broadcastSample(sample)
+}
+
+// Event publishes a progress/status string (section 4.4's activity
+// indicator for long-running steering actions).
+func (st *Steered) Event(ev string) {
+	st.s.broadcastEvent(ev)
+}
+
+// Poll applies every queued steering operation and returns the control
+// verdict. Call it once per simulation loop iteration; it never blocks.
+func (st *Steered) Poll() Control {
+	s := st.s
+	for {
+		select {
+		case op := <-s.pending:
+			st.applyOp(op)
+		default:
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			switch {
+			case s.stopped:
+				return ControlStop
+			case s.paused:
+				return ControlPaused
+			default:
+				return ControlContinue
+			}
+		}
+	}
+}
+
+// PollBlocking behaves like Poll but, when the session is paused, blocks
+// until resumed or stopped (with a safety timeout so a lost client cannot
+// hold the application forever; 0 means wait indefinitely).
+func (st *Steered) PollBlocking(pauseTimeout time.Duration) Control {
+	for {
+		c := st.Poll()
+		if c != ControlPaused {
+			return c
+		}
+		s := st.s
+		s.mu.Lock()
+		ch := s.resumeCh
+		s.mu.Unlock()
+
+		if pauseTimeout <= 0 {
+			select {
+			case <-ch:
+			case <-s.closeCh:
+				return ControlStop
+			}
+			continue
+		}
+		select {
+		case <-ch:
+		case <-s.closeCh:
+			return ControlStop
+		case <-time.After(pauseTimeout):
+			return ControlPaused
+		}
+	}
+}
+
+// applyOp performs one queued steering operation on the simulation
+// goroutine.
+func (st *Steered) applyOp(op pendingOp) {
+	s := st.s
+	if op.set != nil {
+		p, err := s.params.applyAndGet(op.set.Name, op.set.Value)
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		s.stats.SteersApplied++
+		s.mu.Unlock()
+		s.broadcastControl(&envelope{Type: msgParamUpdate, Params: []Param{p}})
+		return
+	}
+	switch op.cmd {
+	case cmdPause:
+		s.mu.Lock()
+		s.paused = true
+		s.mu.Unlock()
+		s.broadcastEvent("paused")
+	case cmdResume:
+		s.signalResume()
+		s.broadcastEvent("resumed")
+	case cmdStop:
+		s.mu.Lock()
+		s.stopped = true
+		s.mu.Unlock()
+		s.signalResume()
+		s.broadcastEvent("stopping")
+	case cmdCheckpoint:
+		// Delivered to the application via the control verdict exactly once.
+		s.broadcastEvent("checkpoint requested")
+		s.mu.Lock()
+		s.checkpointPending = true
+		s.mu.Unlock()
+	}
+}
+
+// CheckpointRequested reports and clears a pending checkpoint request; the
+// application should write its checkpoint when true.
+func (st *Steered) CheckpointRequested() bool {
+	s := st.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.checkpointPending {
+		s.checkpointPending = false
+		return true
+	}
+	return false
+}

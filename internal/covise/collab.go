@@ -1,0 +1,251 @@
+package covise
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Site is one participant in a collaborative session: a host running its own
+// replica of the module network. "In a collaborative session all partners
+// see the same screen representations at the same time on their local
+// workstation" — achieved by executing the pipeline locally everywhere and
+// exchanging only synchronisation messages.
+type Site struct {
+	Name       string
+	Host       *Host
+	Controller *Controller
+}
+
+// PipelineBuilder constructs one site's replica of the shared map.
+type PipelineBuilder func(host *Host) (*Controller, error)
+
+// CollabSession replicates a pipeline across sites and keeps parameters
+// synchronised. One site at a time is the active steerer; the others watch
+// but stay synchronised ("actively steering the exploration process or
+// passively watching but participating in the discussion", section 4.3).
+type CollabSession struct {
+	mu     sync.Mutex
+	sites  []*Site
+	master string
+
+	// syncBytes counts parameter-synchronisation traffic: the only data
+	// that crosses the network in this collaboration mode.
+	syncBytes uint64
+	syncMsgs  uint64
+}
+
+// NewCollabSession returns an empty session.
+func NewCollabSession() *CollabSession {
+	return &CollabSession{}
+}
+
+// AddSite joins a new participant, building its pipeline replica. The first
+// site becomes the active steerer.
+func (s *CollabSession) AddSite(name string, build PipelineBuilder) (*Site, error) {
+	host := NewHost(name)
+	ctrl, err := build(host)
+	if err != nil {
+		return nil, err
+	}
+	site := &Site{Name: name, Host: host, Controller: ctrl}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, existing := range s.sites {
+		if existing.Name == name {
+			return nil, fmt.Errorf("covise: site %q already in session", name)
+		}
+	}
+	s.sites = append(s.sites, site)
+	if s.master == "" {
+		s.master = name
+	}
+	return site, nil
+}
+
+// Site returns a participant by name.
+func (s *CollabSession) Site(name string) (*Site, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, site := range s.sites {
+		if site.Name == name {
+			return site, nil
+		}
+	}
+	return nil, fmt.Errorf("covise: no site %q", name)
+}
+
+// Sites returns the participant names in join order.
+func (s *CollabSession) Sites() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, len(s.sites))
+	for i, site := range s.sites {
+		out[i] = site.Name
+	}
+	return out
+}
+
+// Master returns the active steerer.
+func (s *CollabSession) Master() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.master
+}
+
+// SetMaster changes roles.
+func (s *CollabSession) SetMaster(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, site := range s.sites {
+		if site.Name == name {
+			s.master = name
+			return nil
+		}
+	}
+	return fmt.Errorf("covise: no site %q", name)
+}
+
+// SetParam steers a parameter from a site. Only the active steerer may; the
+// change is synchronised to every replica and each site re-executes its own
+// pipeline locally. Returns the per-wave execution stats of the steering
+// site.
+func (s *CollabSession) SetParam(from, module, param string, value float64) (*ExecStats, error) {
+	s.mu.Lock()
+	if from != s.master {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("covise: site %q is not the active steerer (%q is)", from, s.master)
+	}
+	sites := append([]*Site(nil), s.sites...)
+	// One sync message per remote site: module + param + 8-byte value.
+	msgSize := uint64(len(module) + len(param) + 8)
+	s.syncBytes += msgSize * uint64(len(sites)-1)
+	s.syncMsgs += uint64(len(sites) - 1)
+	s.mu.Unlock()
+
+	var firstStats *ExecStats
+	var firstErr error
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for _, site := range sites {
+		wg.Add(1)
+		go func(site *Site) {
+			defer wg.Done()
+			if err := site.Controller.SetParam(module, param, value); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			stats, err := site.Controller.Execute()
+			mu.Lock()
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			if site.Name == from {
+				firstStats = stats
+			}
+			mu.Unlock()
+		}(site)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return firstStats, nil
+}
+
+// ExecuteAll runs one wave on every replica (e.g. after marking sources
+// dirty when the simulation advanced).
+func (s *CollabSession) ExecuteAll() error {
+	s.mu.Lock()
+	sites := append([]*Site(nil), s.sites...)
+	s.mu.Unlock()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for _, site := range sites {
+		wg.Add(1)
+		go func(site *Site) {
+			defer wg.Done()
+			if _, err := site.Controller.Execute(); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(site)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// MarkDirtyAll marks a module dirty on every replica.
+func (s *CollabSession) MarkDirtyAll(module string) error {
+	s.mu.Lock()
+	sites := append([]*Site(nil), s.sites...)
+	s.mu.Unlock()
+	for _, site := range sites {
+		if err := site.Controller.MarkDirty(module); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Checksums gathers a scalar output (typically the renderer's "checksum")
+// from every site: equal values mean every participant displays identical
+// content, the synchronisation requirement of section 4.2.
+func (s *CollabSession) Checksums(module, port string) (map[string]float64, error) {
+	s.mu.Lock()
+	sites := append([]*Site(nil), s.sites...)
+	s.mu.Unlock()
+	out := make(map[string]float64, len(sites))
+	for _, site := range sites {
+		obj, err := site.Controller.Output(module, port)
+		if err != nil {
+			return nil, fmt.Errorf("covise: site %s: %w", site.Name, err)
+		}
+		if obj.Kind != KindScalar {
+			return nil, fmt.Errorf("covise: %s:%s is not a scalar", module, port)
+		}
+		out[site.Name] = obj.Scalar
+	}
+	return out, nil
+}
+
+// Converged reports whether every site displays identical content.
+func (s *CollabSession) Converged(module, port string) (bool, error) {
+	sums, err := s.Checksums(module, port)
+	if err != nil {
+		return false, err
+	}
+	var first float64
+	started := false
+	for _, v := range sums {
+		if !started {
+			first, started = v, true
+			continue
+		}
+		if v != first {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// SyncBytes reports total parameter-synchronisation traffic.
+func (s *CollabSession) SyncBytes() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.syncBytes
+}
+
+// SyncMessages reports the number of sync messages sent.
+func (s *CollabSession) SyncMessages() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.syncMsgs
+}

@@ -1,0 +1,290 @@
+package covise
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// node is one module instance placed on a host.
+type node struct {
+	name   string
+	host   *Host
+	module Module
+	params map[string]float64
+	dirty  bool
+	// outputs maps port -> data object name of the last execution.
+	outputs map[string]string
+}
+
+// connection wires an output port to an input port.
+type connection struct {
+	fromModule, fromPort string
+	toModule, toPort     string
+}
+
+// Controller is the central session manager: "session management for adding
+// new hosts and synchronizing the tasks in the module network is done in a
+// central controller which has the only knowledge about the whole
+// application topology".
+type Controller struct {
+	mu    sync.Mutex
+	nodes map[string]*node
+	order []string // insertion order, for deterministic scheduling
+	conns []connection
+
+	execWaves  uint64
+	execsTotal uint64
+}
+
+// NewController returns an empty map.
+func NewController() *Controller {
+	return &Controller{nodes: make(map[string]*node)}
+}
+
+// AddModule places a module instance named name on a host.
+func (c *Controller) AddModule(name string, host *Host, m Module) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.nodes[name]; dup {
+		return fmt.Errorf("covise: duplicate module %q", name)
+	}
+	c.nodes[name] = &node{
+		name: name, host: host, module: m,
+		params:  make(map[string]float64),
+		dirty:   true,
+		outputs: make(map[string]string),
+	}
+	c.order = append(c.order, name)
+	return nil
+}
+
+// Connect wires from:port to to:port.
+func (c *Controller) Connect(fromModule, fromPort, toModule, toPort string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.nodes[fromModule]; !ok {
+		return fmt.Errorf("covise: no module %q", fromModule)
+	}
+	if _, ok := c.nodes[toModule]; !ok {
+		return fmt.Errorf("covise: no module %q", toModule)
+	}
+	for _, conn := range c.conns {
+		if conn.toModule == toModule && conn.toPort == toPort {
+			return fmt.Errorf("covise: input %s:%s already connected", toModule, toPort)
+		}
+	}
+	c.conns = append(c.conns, connection{fromModule, fromPort, toModule, toPort})
+	return nil
+}
+
+// SetParam updates a module parameter and marks it dirty; the change takes
+// effect at the next Execute.
+func (c *Controller) SetParam(module, param string, value float64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.nodes[module]
+	if !ok {
+		return fmt.Errorf("covise: no module %q", module)
+	}
+	if n.params[param] != value {
+		n.params[param] = value
+		n.dirty = true
+	}
+	return nil
+}
+
+// Param reads a module parameter.
+func (c *Controller) Param(module, param string) (float64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.nodes[module]
+	if !ok {
+		return 0, fmt.Errorf("covise: no module %q", module)
+	}
+	return n.params[param], nil
+}
+
+// MarkDirty forces a module to re-execute at the next wave (e.g. a source
+// whose underlying simulation advanced).
+func (c *Controller) MarkDirty(module string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.nodes[module]
+	if !ok {
+		return fmt.Errorf("covise: no module %q", module)
+	}
+	n.dirty = true
+	return nil
+}
+
+// topoOrder returns module names in dependency order.
+func (c *Controller) topoOrder() ([]string, error) {
+	indeg := make(map[string]int, len(c.nodes))
+	adj := make(map[string][]string)
+	for _, name := range c.order {
+		indeg[name] = 0
+	}
+	for _, conn := range c.conns {
+		adj[conn.fromModule] = append(adj[conn.fromModule], conn.toModule)
+		indeg[conn.toModule]++
+	}
+	// Kahn's algorithm with deterministic tie-breaking on insertion order.
+	pos := make(map[string]int, len(c.order))
+	for i, n := range c.order {
+		pos[n] = i
+	}
+	var ready []string
+	for name, d := range indeg {
+		if d == 0 {
+			ready = append(ready, name)
+		}
+	}
+	sort.Slice(ready, func(i, j int) bool { return pos[ready[i]] < pos[ready[j]] })
+
+	var out []string
+	for len(ready) > 0 {
+		n := ready[0]
+		ready = ready[1:]
+		out = append(out, n)
+		for _, m := range adj[n] {
+			indeg[m]--
+			if indeg[m] == 0 {
+				ready = append(ready, m)
+				sort.Slice(ready, func(i, j int) bool { return pos[ready[i]] < pos[ready[j]] })
+			}
+		}
+	}
+	if len(out) != len(c.nodes) {
+		return nil, fmt.Errorf("covise: module network has a cycle")
+	}
+	return out, nil
+}
+
+// ExecStats reports what one Execute wave did.
+type ExecStats struct {
+	// Executed lists modules that ran (dirty or fed by a module that ran).
+	Executed []string
+	// Skipped lists modules whose cached outputs were reused.
+	Skipped []string
+}
+
+// Execute runs one wave: every dirty module, plus everything downstream of a
+// module that ran, in topological order. Clean modules keep their cached
+// outputs (COVISE's demand-driven pipeline semantics). Inter-host input
+// resolution goes through the request brokers, counting transfer bytes.
+func (c *Controller) Execute() (*ExecStats, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	order, err := c.topoOrder()
+	if err != nil {
+		return nil, err
+	}
+
+	ran := make(map[string]bool)
+	stats := &ExecStats{}
+	for _, name := range order {
+		n := c.nodes[name]
+
+		// A module runs if dirty or if any producer feeding it ran.
+		need := n.dirty
+		if !need {
+			for _, conn := range c.conns {
+				if conn.toModule == name && ran[conn.fromModule] {
+					need = true
+					break
+				}
+			}
+		}
+		if !need {
+			stats.Skipped = append(stats.Skipped, name)
+			continue
+		}
+
+		ctx := &ExecCtx{
+			inputs:  make(map[string]*DataObject),
+			params:  n.params,
+			outputs: make(map[string]*DataObject),
+		}
+		for _, conn := range c.conns {
+			if conn.toModule != name {
+				continue
+			}
+			src := c.nodes[conn.fromModule]
+			objName, ok := src.outputs[conn.fromPort]
+			if !ok {
+				return nil, fmt.Errorf("covise: %s:%s has no output for %s", conn.fromModule, conn.fromPort, name)
+			}
+			obj, err := n.host.importFrom(src.host, objName)
+			if err != nil {
+				return nil, err
+			}
+			ctx.inputs[conn.toPort] = obj
+		}
+
+		if err := n.module.Execute(ctx); err != nil {
+			return nil, fmt.Errorf("covise: module %s: %w", name, err)
+		}
+		for port, obj := range ctx.outputs {
+			obj.Name = uniqueName(name, port)
+			if err := n.host.put(obj); err != nil {
+				return nil, err
+			}
+			n.outputs[port] = obj.Name
+		}
+		n.dirty = false
+		ran[name] = true
+		stats.Executed = append(stats.Executed, name)
+		c.execsTotal++
+	}
+	c.execWaves++
+
+	// Garbage-collect superseded objects per host.
+	keep := make(map[string]bool)
+	for _, n := range c.nodes {
+		for _, objName := range n.outputs {
+			keep[objName] = true
+		}
+	}
+	hosts := make(map[*Host]bool)
+	for _, n := range c.nodes {
+		hosts[n.host] = true
+	}
+	for h := range hosts {
+		h.gc(keep)
+	}
+	return stats, nil
+}
+
+// Output fetches a module's last output object.
+func (c *Controller) Output(module, port string) (*DataObject, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.nodes[module]
+	if !ok {
+		return nil, fmt.Errorf("covise: no module %q", module)
+	}
+	objName, ok := n.outputs[port]
+	if !ok {
+		return nil, fmt.Errorf("covise: %s:%s has not produced output", module, port)
+	}
+	obj, ok := n.host.get(objName)
+	if !ok {
+		return nil, fmt.Errorf("covise: object %q vanished from %s", objName, n.host.Name())
+	}
+	return obj, nil
+}
+
+// Waves reports the number of Execute calls.
+func (c *Controller) Waves() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.execWaves
+}
+
+// ModuleExecutions reports total module runs across all waves.
+func (c *Controller) ModuleExecutions() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.execsTotal
+}

@@ -1,0 +1,358 @@
+package covise
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/viz"
+)
+
+// rampField returns a deterministic test field.
+func rampField() *viz.ScalarField {
+	f := viz.NewScalarField(10, 10, 10)
+	f.Fill(func(i, j, k int) float64 { return float64(i + 2*j + 3*k) })
+	return f
+}
+
+// buildPipeline wires source → cutplane → renderer on one host.
+func buildPipeline(host *Host, provide func() *viz.ScalarField) (*Controller, error) {
+	c := NewController()
+	if err := c.AddModule("source", host, &FieldSource{Provide: provide}); err != nil {
+		return nil, err
+	}
+	if err := c.AddModule("cut", host, &CuttingPlane{}); err != nil {
+		return nil, err
+	}
+	if err := c.AddModule("render", host, &Renderer{Width: 96, Height: 72, LookAt: renderCenter()}); err != nil {
+		return nil, err
+	}
+	if err := c.Connect("source", "field", "cut", "field"); err != nil {
+		return nil, err
+	}
+	if err := c.Connect("cut", "geometry", "render", "geometry"); err != nil {
+		return nil, err
+	}
+	c.SetParam("cut", "axis", 2)
+	c.SetParam("cut", "index", 4)
+	c.SetParam("render", "eyeX", 20)
+	c.SetParam("render", "eyeY", 15)
+	c.SetParam("render", "eyeZ", 25)
+	return c, nil
+}
+
+func renderCenter() (v struct{ X, Y, Z float64 }) {
+	v.X, v.Y, v.Z = 5, 5, 5
+	return
+}
+
+func TestPipelineExecutes(t *testing.T) {
+	host := NewHost("hlrs")
+	c, err := buildPipeline(host, rampField)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := c.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Executed) != 3 {
+		t.Fatalf("executed = %v", stats.Executed)
+	}
+	img, err := c.Output("render", "image")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Kind != KindImage || img.Image.W != 96 {
+		t.Fatalf("image output wrong: %+v", img)
+	}
+	sum, err := c.Output("render", "checksum")
+	if err != nil || sum.Kind != KindScalar {
+		t.Fatalf("checksum output: %v %v", sum, err)
+	}
+}
+
+func TestDemandDrivenReexecution(t *testing.T) {
+	host := NewHost("h")
+	c, _ := buildPipeline(host, rampField)
+	c.Execute()
+
+	// Nothing dirty: nothing runs.
+	stats, _ := c.Execute()
+	if len(stats.Executed) != 0 || len(stats.Skipped) != 3 {
+		t.Fatalf("clean wave ran modules: %+v", stats)
+	}
+
+	// Changing the cut index re-runs cut and render but not the source.
+	c.SetParam("cut", "index", 7)
+	stats, _ = c.Execute()
+	if strings.Join(stats.Executed, ",") != "cut,render" {
+		t.Fatalf("executed = %v, want cut,render", stats.Executed)
+	}
+	if len(stats.Skipped) != 1 || stats.Skipped[0] != "source" {
+		t.Fatalf("skipped = %v", stats.Skipped)
+	}
+
+	// Same value again: no-op.
+	c.SetParam("cut", "index", 7)
+	stats, _ = c.Execute()
+	if len(stats.Executed) != 0 {
+		t.Fatalf("idempotent param change re-ran %v", stats.Executed)
+	}
+}
+
+func TestParamChangeChangesOutput(t *testing.T) {
+	host := NewHost("h")
+	c, _ := buildPipeline(host, rampField)
+	c.Execute()
+	before, _ := c.Output("render", "checksum")
+	c.SetParam("cut", "index", 8)
+	c.Execute()
+	after, _ := c.Output("render", "checksum")
+	if before.Scalar == after.Scalar {
+		t.Fatal("moving the cutting plane did not change the rendered image")
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	host := NewHost("h")
+	c := NewController()
+	c.AddModule("a", host, &CuttingPlane{})
+	c.AddModule("b", host, &IsoSurface{})
+	c.Connect("a", "geometry", "b", "field")
+	c.Connect("b", "geometry", "a", "field")
+	if _, err := c.Execute(); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("cycle not detected: %v", err)
+	}
+}
+
+func TestDuplicateModuleAndConnectionValidation(t *testing.T) {
+	host := NewHost("h")
+	c := NewController()
+	if err := c.AddModule("m", host, &CuttingPlane{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddModule("m", host, &CuttingPlane{}); err == nil {
+		t.Fatal("duplicate module accepted")
+	}
+	if err := c.Connect("m", "geometry", "ghost", "field"); err == nil {
+		t.Fatal("connection to unknown module accepted")
+	}
+	c.AddModule("n", host, &IsoSurface{})
+	if err := c.Connect("m", "geometry", "n", "field"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Connect("m", "geometry", "n", "field"); err == nil {
+		t.Fatal("double-connected input accepted")
+	}
+}
+
+func TestMissingInputFails(t *testing.T) {
+	host := NewHost("h")
+	c := NewController()
+	c.AddModule("cut", host, &CuttingPlane{})
+	if _, err := c.Execute(); err == nil {
+		t.Fatal("unconnected input executed")
+	}
+}
+
+func TestCrossHostTransferCountsBytes(t *testing.T) {
+	// Source on the supercomputer, post-processing + rendering on the
+	// workstation: the distributed deployment of section 4.1.
+	super := NewHost("supercomputer")
+	work := NewHost("workstation")
+	c := NewController()
+	c.AddModule("source", super, &FieldSource{Provide: rampField})
+	c.AddModule("cut", work, &CuttingPlane{})
+	c.AddModule("render", work, &Renderer{LookAt: renderCenter()})
+	c.Connect("source", "field", "cut", "field")
+	c.Connect("cut", "geometry", "render", "geometry")
+	c.SetParam("cut", "axis", 2)
+	c.SetParam("cut", "index", 3)
+	c.SetParam("render", "eyeX", 20)
+	c.SetParam("render", "eyeY", 15)
+	c.SetParam("render", "eyeZ", 25)
+	if _, err := c.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	wantField := uint64(10 * 10 * 10 * 8)
+	if got := work.BytesIn(); got != wantField {
+		t.Fatalf("workstation imported %d bytes, want %d (the field)", got, wantField)
+	}
+	if super.BytesIn() != 0 {
+		t.Fatal("supercomputer should import nothing")
+	}
+
+	// Re-running only the local part of the pipeline moves no new data.
+	c.SetParam("render", "eyeX", 21)
+	c.Execute()
+	if got := work.BytesIn(); got != wantField {
+		t.Fatalf("local re-render moved data: %d", got)
+	}
+}
+
+func TestSharedDataSpaceGC(t *testing.T) {
+	host := NewHost("h")
+	c, _ := buildPipeline(host, rampField)
+	for i := 0; i < 10; i++ {
+		c.SetParam("cut", "index", float64(i%9))
+		if _, err := c.Execute(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Live objects: one per output port (source 1, cut 1, render 2).
+	if n := host.ObjectCount(); n > 4 {
+		t.Fatalf("SDS grew to %d objects: GC broken", n)
+	}
+}
+
+func TestIsoSurfaceModule(t *testing.T) {
+	host := NewHost("h")
+	c := NewController()
+	c.AddModule("source", host, &FieldSource{Provide: rampField})
+	c.AddModule("iso", host, &IsoSurface{})
+	c.Connect("source", "field", "iso", "field")
+	c.SetParam("iso", "iso", 20)
+	if _, err := c.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	geo, err := c.Output("iso", "geometry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if geo.Scene.TriangleCount() == 0 {
+		t.Fatal("isosurface empty")
+	}
+}
+
+func TestProbeModule(t *testing.T) {
+	host := NewHost("h")
+	c := NewController()
+	c.AddModule("source", host, &FieldSource{Provide: rampField})
+	c.AddModule("probe", host, &Probe{})
+	c.Connect("source", "field", "probe", "field")
+	c.SetParam("probe", "i", 1)
+	c.SetParam("probe", "j", 2)
+	c.SetParam("probe", "k", 3)
+	if _, err := c.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := c.Output("probe", "value")
+	if v.Scalar != 1+2*2+3*3 {
+		t.Fatalf("probe = %v", v.Scalar)
+	}
+}
+
+// ---- collaborative session ----
+
+func newCollab(t *testing.T, sites ...string) *CollabSession {
+	t.Helper()
+	s := NewCollabSession()
+	for _, name := range sites {
+		if _, err := s.AddSite(name, func(h *Host) (*Controller, error) {
+			return buildPipeline(h, rampField)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.ExecuteAll(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCollabSitesConverge(t *testing.T) {
+	s := newCollab(t, "hlrs", "sandia", "daimler")
+	ok, err := s.Converged("render", "checksum")
+	if err != nil || !ok {
+		t.Fatalf("initial convergence failed: %v %v", ok, err)
+	}
+	if _, err := s.SetParam("hlrs", "cut", "index", 6); err != nil {
+		t.Fatal(err)
+	}
+	ok, err = s.Converged("render", "checksum")
+	if err != nil || !ok {
+		t.Fatalf("post-steer convergence failed: %v %v", ok, err)
+	}
+}
+
+func TestCollabOnlyMasterSteers(t *testing.T) {
+	s := newCollab(t, "hlrs", "sandia")
+	if _, err := s.SetParam("sandia", "cut", "index", 6); err == nil {
+		t.Fatal("passive site steered")
+	}
+	if err := s.SetMaster("sandia"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SetParam("sandia", "cut", "index", 6); err != nil {
+		t.Fatalf("role change ineffective: %v", err)
+	}
+	if _, err := s.SetParam("hlrs", "cut", "index", 2); err == nil {
+		t.Fatal("old master still steering")
+	}
+}
+
+func TestCollabSyncBytesTiny(t *testing.T) {
+	// The section 4.6 scaling claim: only parameters cross the network.
+	s := newCollab(t, "a", "b", "c", "d")
+	before := s.SyncBytes()
+	if _, err := s.SetParam("a", "cut", "index", 5); err != nil {
+		t.Fatal(err)
+	}
+	delta := s.SyncBytes() - before
+	// 3 remote sites × (3+5+8) bytes.
+	if delta != 3*(3+5+8) {
+		t.Fatalf("sync bytes = %d", delta)
+	}
+	// Versus the geometry that would have been shipped: orders of magnitude.
+	site0Geo, _ := s.sites[0].Controller.Output("cut", "geometry")
+	if int(delta)*100 > site0Geo.ByteSize() {
+		t.Fatalf("sync %d bytes not ≪ geometry %d bytes", delta, site0Geo.ByteSize())
+	}
+}
+
+func TestCollabDuplicateSite(t *testing.T) {
+	s := newCollab(t, "a")
+	if _, err := s.AddSite("a", func(h *Host) (*Controller, error) {
+		return buildPipeline(h, rampField)
+	}); err == nil {
+		t.Fatal("duplicate site accepted")
+	}
+	if err := s.SetMaster("ghost"); err == nil {
+		t.Fatal("unknown master accepted")
+	}
+}
+
+func TestCollabSimulationAdvance(t *testing.T) {
+	// When the simulation advances, sources are marked dirty everywhere and
+	// all sites re-converge on the new content.
+	step := 0
+	provide := func() *viz.ScalarField {
+		f := viz.NewScalarField(8, 8, 8)
+		s := step
+		// The colormap normalises min/max, so the change must alter the
+		// field's shape, not just its offset.
+		f.Fill(func(i, j, k int) float64 { return float64(i+j+k) + float64(s*i*i) })
+		return f
+	}
+	s := NewCollabSession()
+	for _, name := range []string{"x", "y"} {
+		if _, err := s.AddSite(name, func(h *Host) (*Controller, error) {
+			return buildPipeline(h, provide)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.ExecuteAll()
+	sums1, _ := s.Checksums("render", "checksum")
+
+	step = 5
+	s.MarkDirtyAll("source")
+	s.ExecuteAll()
+	sums2, _ := s.Checksums("render", "checksum")
+	if sums1["x"] == sums2["x"] {
+		t.Fatal("advancing the simulation did not change the view")
+	}
+	if sums2["x"] != sums2["y"] {
+		t.Fatal("sites diverged after simulation advance")
+	}
+}

@@ -1,0 +1,159 @@
+// Package covise reimplements the COVISE collaborative visualization and
+// simulation environment of the paper's section 4: dataflow module networks
+// built in a map editor, a central controller holding "the only knowledge
+// about the whole application topology", per-host request brokers managing a
+// shared data space of immutable, system-wide uniquely named data objects,
+// and collaborative sessions in which every site runs the same pipeline
+// locally and only parameter/synchronisation messages cross the network —
+// the design that makes "the collaboration speed not degrade with the volume
+// of displayed geometric data" (section 4.6).
+package covise
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/render"
+	"repro/internal/viz"
+)
+
+// Kind classifies a data object's payload.
+type Kind uint8
+
+// Data object kinds.
+const (
+	KindField    Kind = iota + 1 // 3D scalar field
+	KindGeometry                 // triangle meshes + lines + points
+	KindImage                    // rendered framebuffer
+	KindScalar                   // single value
+)
+
+// DataObject is one immutable object in the shared data space. "Scientific
+// data is handled as data objects which have attributes such as names and
+// lifetime"; modules exchange objects by name, never by mutation.
+type DataObject struct {
+	Name string
+	Kind Kind
+
+	Field  *viz.ScalarField
+	Scene  *render.Scene
+	Image  *render.Framebuffer
+	Scalar float64
+}
+
+// ByteSize estimates the payload size: the cost of shipping the object to
+// another host.
+func (d *DataObject) ByteSize() int {
+	switch d.Kind {
+	case KindField:
+		return len(d.Field.Data) * 8
+	case KindGeometry:
+		return d.Scene.GeometryBytes()
+	case KindImage:
+		return len(d.Image.Pix)
+	case KindScalar:
+		return 8
+	default:
+		return 0
+	}
+}
+
+// objSeq generates system-wide unique data object names.
+var objSeq atomic.Uint64
+
+// uniqueName mints a fresh object name: "the underlying data management
+// takes care of assigning system-wide unique names".
+func uniqueName(module, port string) string {
+	return fmt.Sprintf("obj_%s_%s_%d", module, port, objSeq.Add(1))
+}
+
+// Host is one participating machine: its request broker and shared data
+// space. "Request brokers on each participating host take care of data
+// management, efficient data transfer and conversion between different
+// platforms"; on one host the SDS is shared memory (here: a map), between
+// hosts objects are copied and the traffic is counted.
+type Host struct {
+	name string
+
+	mu  sync.Mutex
+	sds map[string]*DataObject
+	// bytesIn counts data copied in from other hosts.
+	bytesIn uint64
+}
+
+// NewHost creates a host with an empty shared data space.
+func NewHost(name string) *Host {
+	return &Host{name: name, sds: make(map[string]*DataObject)}
+}
+
+// Name returns the host name.
+func (h *Host) Name() string { return h.name }
+
+// put stores an object in the local SDS.
+func (h *Host) put(obj *DataObject) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, dup := h.sds[obj.Name]; dup {
+		return fmt.Errorf("covise: duplicate data object %q on %s", obj.Name, h.name)
+	}
+	h.sds[obj.Name] = obj
+	return nil
+}
+
+// get fetches an object from the local SDS.
+func (h *Host) get(name string) (*DataObject, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	obj, ok := h.sds[name]
+	return obj, ok
+}
+
+// importFrom copies an object from another host's SDS, counting the bytes
+// that crossed the network. Same-host access is free (shared memory).
+func (h *Host) importFrom(src *Host, name string) (*DataObject, error) {
+	if src == h {
+		obj, ok := h.get(name)
+		if !ok {
+			return nil, fmt.Errorf("covise: no object %q on %s", name, h.name)
+		}
+		return obj, nil
+	}
+	obj, ok := src.get(name)
+	if !ok {
+		return nil, fmt.Errorf("covise: no object %q on %s", name, src.name)
+	}
+	h.mu.Lock()
+	h.bytesIn += uint64(obj.ByteSize())
+	if _, dup := h.sds[name]; !dup {
+		h.sds[name] = obj
+	}
+	h.mu.Unlock()
+	return obj, nil
+}
+
+// BytesIn reports the data volume imported from other hosts.
+func (h *Host) BytesIn() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.bytesIn
+}
+
+// ObjectCount reports the number of objects in the SDS.
+func (h *Host) ObjectCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.sds)
+}
+
+// gc removes objects not in the keep set (the controller calls this between
+// execution waves so the SDS does not grow without bound).
+func (h *Host) gc(keep map[string]bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for name := range h.sds {
+		if !keep[name] {
+			delete(h.sds, name)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package covise
+
+import (
+	"fmt"
+
+	"repro/internal/render"
+	"repro/internal/viz"
+)
+
+// ExecCtx is what a module sees during one execution: its resolved inputs,
+// its parameters, and an output sink.
+type ExecCtx struct {
+	inputs  map[string]*DataObject
+	params  map[string]float64
+	outputs map[string]*DataObject
+}
+
+// Input returns the object connected to an input port.
+func (c *ExecCtx) Input(port string) (*DataObject, error) {
+	obj, ok := c.inputs[port]
+	if !ok {
+		return nil, fmt.Errorf("covise: input port %q not connected", port)
+	}
+	return obj, nil
+}
+
+// Param returns a parameter value (0 if unset).
+func (c *ExecCtx) Param(name string) float64 { return c.params[name] }
+
+// Output publishes an object on an output port; the controller names it.
+func (c *ExecCtx) Output(port string, obj *DataObject) { c.outputs[port] = obj }
+
+// Module is one processing step in a map: "distributed applications can be
+// built by combining modules (modeled as processes) from different
+// application categories on different hosts to form module networks".
+type Module interface {
+	// TypeName identifies the module type in the map editor.
+	TypeName() string
+	// Execute computes outputs from inputs and parameters.
+	Execute(ctx *ExecCtx) error
+}
+
+// ---- built-in module library ----
+
+// FieldSource produces a scalar field obtained from a provider (typically a
+// running simulation's latest output).
+type FieldSource struct {
+	Provide func() *viz.ScalarField
+}
+
+// TypeName implements Module.
+func (m *FieldSource) TypeName() string { return "FieldSource" }
+
+// Execute implements Module. Output port "field".
+func (m *FieldSource) Execute(ctx *ExecCtx) error {
+	f := m.Provide()
+	if f == nil {
+		return fmt.Errorf("covise: FieldSource provider returned nil")
+	}
+	ctx.Output("field", &DataObject{Kind: KindField, Field: f})
+	return nil
+}
+
+// CuttingPlane slices a field into coloured geometry. Params: "axis"
+// (0/1/2), "index". Input "field", output "geometry".
+type CuttingPlane struct{}
+
+// TypeName implements Module.
+func (m *CuttingPlane) TypeName() string { return "CuttingPlane" }
+
+// Execute implements Module.
+func (m *CuttingPlane) Execute(ctx *ExecCtx) error {
+	in, err := ctx.Input("field")
+	if err != nil {
+		return err
+	}
+	if in.Kind != KindField {
+		return fmt.Errorf("covise: CuttingPlane needs a field, got kind %d", in.Kind)
+	}
+	axis := viz.Axis(int(ctx.Param("axis")))
+	index := int(ctx.Param("index"))
+	meshes := viz.CutPlane(in.Field, axis, index, nil)
+	ctx.Output("geometry", &DataObject{Kind: KindGeometry, Scene: &render.Scene{Meshes: meshes}})
+	return nil
+}
+
+// IsoSurface extracts a level set. Param "iso"; input "field", output
+// "geometry".
+type IsoSurface struct{}
+
+// TypeName implements Module.
+func (m *IsoSurface) TypeName() string { return "IsoSurface" }
+
+// Execute implements Module.
+func (m *IsoSurface) Execute(ctx *ExecCtx) error {
+	in, err := ctx.Input("field")
+	if err != nil {
+		return err
+	}
+	if in.Kind != KindField {
+		return fmt.Errorf("covise: IsoSurface needs a field, got kind %d", in.Kind)
+	}
+	mesh := viz.Isosurface(in.Field, ctx.Param("iso"), render.Blue)
+	ctx.Output("geometry", &DataObject{Kind: KindGeometry, Scene: &render.Scene{Meshes: []*render.Mesh{mesh}}})
+	return nil
+}
+
+// Renderer rasterises geometry: "at the end of such networks the rendering
+// step performs the final visualization". Params: camera position
+// "eyeX/eyeY/eyeZ" and "fov"; input "geometry", outputs "image" and
+// "checksum" (scalar, for cross-site view comparison).
+type Renderer struct {
+	Width, Height int
+	// LookAt is the fixed view target (scene dependent).
+	LookAt render.Vec3
+}
+
+// TypeName implements Module.
+func (m *Renderer) TypeName() string { return "Renderer" }
+
+// Execute implements Module.
+func (m *Renderer) Execute(ctx *ExecCtx) error {
+	in, err := ctx.Input("geometry")
+	if err != nil {
+		return err
+	}
+	if in.Kind != KindGeometry {
+		return fmt.Errorf("covise: Renderer needs geometry, got kind %d", in.Kind)
+	}
+	w, h := m.Width, m.Height
+	if w == 0 {
+		w, h = 160, 120
+	}
+	fov := ctx.Param("fov")
+	if fov == 0 {
+		fov = 0.7854
+	}
+	cam := render.Camera{
+		Eye:    render.Vec3{X: ctx.Param("eyeX"), Y: ctx.Param("eyeY"), Z: ctx.Param("eyeZ")},
+		Center: m.LookAt,
+		Up:     render.Vec3{Y: 1},
+		FovY:   fov,
+		Near:   0.1, Far: 1000,
+	}
+	fb := render.NewFramebuffer(w, h)
+	render.Render(fb, cam, in.Scene)
+	ctx.Output("image", &DataObject{Kind: KindImage, Image: fb})
+	ctx.Output("checksum", &DataObject{Kind: KindScalar, Scalar: float64(fb.Checksum())})
+	return nil
+}
+
+// Probe samples a field at a grid point. Params "i","j","k"; input "field",
+// output "value".
+type Probe struct{}
+
+// TypeName implements Module.
+func (m *Probe) TypeName() string { return "Probe" }
+
+// Execute implements Module.
+func (m *Probe) Execute(ctx *ExecCtx) error {
+	in, err := ctx.Input("field")
+	if err != nil {
+		return err
+	}
+	if in.Kind != KindField {
+		return fmt.Errorf("covise: Probe needs a field, got kind %d", in.Kind)
+	}
+	f := in.Field
+	clamp := func(v, n int) int {
+		if v < 0 {
+			return 0
+		}
+		if v >= n {
+			return n - 1
+		}
+		return v
+	}
+	i := clamp(int(ctx.Param("i")), f.Nx)
+	j := clamp(int(ctx.Param("j")), f.Ny)
+	k := clamp(int(ctx.Param("k")), f.Nz)
+	ctx.Output("value", &DataObject{Kind: KindScalar, Scalar: f.At(i, j, k)})
+	return nil
+}

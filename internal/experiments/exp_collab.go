@@ -1,0 +1,658 @@
+package experiments
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/accessgrid"
+	"repro/internal/core"
+	"repro/internal/covise"
+	"repro/internal/netsim"
+	"repro/internal/render"
+	"repro/internal/sim/airflow"
+	"repro/internal/sim/lb"
+	"repro/internal/viz"
+	"repro/internal/vizserver"
+	"repro/internal/vnc"
+)
+
+// e8Scene builds a moderately complex isosurface scene for render-loop
+// experiments.
+func e8Scene() *render.Scene {
+	f := viz.NewScalarField(24, 24, 24)
+	c := 11.5
+	f.Fill(func(i, j, k int) float64 {
+		dx, dy, dz := float64(i)-c, float64(j)-c, float64(k)-c
+		return dx*dx + dy*dy + dz*dz
+	})
+	mesh := viz.Isosurface(f, 64, render.Blue)
+	return &render.Scene{Meshes: []*render.Mesh{mesh}}
+}
+
+func e8Camera() render.Camera {
+	return render.Camera{
+		Eye: render.Vec3{X: 55, Y: 45, Z: 65}, Center: render.Vec3{X: 12, Y: 12, Z: 12},
+		Up: render.Vec3{Y: 1}, FovY: 0.7854, Near: 0.1, Far: 1000,
+	}
+}
+
+// RunE8 reproduces section 4.2: a CAVE needs 10–15 redraws per second on
+// viewpoint change; a remote-rendering round trip "already exceed[s] the
+// required turn around time" once WAN latency enters, while a local scene
+// graph meets it — which is why distributed VR uses local rendering plus
+// avatar/state sync.
+func RunE8() (*Result, error) {
+	r := newResult()
+	scene := e8Scene()
+	cam := e8Camera()
+
+	// Local redraw: render into a local framebuffer (local scene graph).
+	fb := render.NewFramebuffer(320, 240)
+	const localN = 20
+	t0 := time.Now()
+	for i := 0; i < localN; i++ {
+		cam.Eye.X += 0.01
+		render.Render(fb, cam, scene)
+	}
+	local := time.Since(t0) / localN
+
+	const budgetLo, budgetHi = 66 * time.Millisecond, 100 * time.Millisecond
+	verdict := func(d time.Duration) string {
+		switch {
+		case d <= budgetLo:
+			return "meets 15 Hz"
+		case d <= budgetHi:
+			return "meets 10 Hz"
+		default:
+			return "FAILS VR budget"
+		}
+	}
+
+	r.linef("configuration              per redraw     rate      vs 66-100 ms budget")
+	r.linef("local scene graph         %9.2f ms %7.1f fps   %s", ms(local), fpsFromPeriod(local), verdict(local))
+	r.Metrics["local_ms"] = ms(local)
+
+	// Remote loop: viewpoint upstream, rendered+compressed frame downstream,
+	// across increasingly remote links.
+	for _, link := range []struct {
+		name    string
+		profile netsim.Profile
+	}{
+		{"remote via LAN", netsim.LAN},
+		{"remote via metro", netsim.Metro},
+		{"remote via national", netsim.National},
+		{"remote via transatlantic", netsim.Transatlantic},
+	} {
+		srv, err := vizserver.NewServer(vizserver.Config{
+			Width: 320, Height: 240, Scene: func() *render.Scene { return scene }, Camera: e8Camera(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		cliConn, srvConn := netsim.Pipe(link.profile)
+		go srv.ServeConn(srvConn)
+		cli, err := vizserver.Attach(cliConn)
+		if err != nil {
+			return nil, err
+		}
+		// Wait for the keyframe.
+		deadline := time.Now().Add(10 * time.Second)
+		for cli.Frames() == 0 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+
+		const n = 8
+		c := e8Camera()
+		t0 := time.Now()
+		for i := 0; i < n; i++ {
+			c.Eye.X += 0.5
+			before := cli.Frames()
+			if err := cli.SetCamera(c, 10*time.Second); err != nil {
+				return nil, err
+			}
+			for cli.Frames() <= before {
+				time.Sleep(200 * time.Microsecond)
+			}
+		}
+		per := time.Since(t0) / n
+		r.linef("%-25s %9.2f ms %7.1f fps   %s", link.name, ms(per), fpsFromPeriod(per), verdict(per))
+		key := link.name[len("remote via "):]
+		r.Metrics["remote_ms_"+key] = ms(per)
+		cli.Close()
+		srv.Close()
+	}
+
+	// The paper requires "at least 10 to 15 updates per second" for VR and
+	// argues the remote loop's communication delays alone exceed that turn-
+	// around time. Local rendering must meet the strict 15 Hz budget; the
+	// intercontinental remote loop must fail it.
+	if r.Metrics["local_ms"] < 66 && r.Metrics["remote_ms_transatlantic"] > 66 {
+		r.Verdict = "PASS: local rendering meets 15 Hz; the transatlantic remote loop cannot (its two WAN crossings alone spend the budget)"
+	} else {
+		r.Verdict = "CHECK: unexpected budget outcome (see rows)"
+	}
+	return r, nil
+}
+
+// RunE9 reproduces the desktop requirement of section 4.2 (3–5 fps with one
+// frame delay) and the multi-site synchronisation requirement: "a variation
+// of one frame does not influence a discussion process, while multiple
+// frames difference ... might lead to misunderstanding".
+func RunE9() (*Result, error) {
+	r := newResult()
+
+	srv := vnc.NewServer(320, 240)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go srv.Serve(l)
+	defer srv.Close()
+
+	attach := func(profile netsim.Profile) (*vnc.Client, error) {
+		// vnc over a shaped link: dial loopback, then wrap in shaping is not
+		// possible for real TCP, so shaped sessions use in-memory pipes.
+		cliConn, srvConn := netsim.Pipe(profile)
+		go srv.ServeConn(srvConn)
+		return vnc.Attach(cliConn)
+	}
+	nearC, err := attach(netsim.LAN)
+	if err != nil {
+		return nil, err
+	}
+	defer nearC.Close()
+	// The far site gets a thin, lossy-feeling link: transatlantic latency
+	// with tight bandwidth.
+	farC, err := attach(netsim.Profile{Latency: 45 * time.Millisecond, Bandwidth: 1.5e6})
+	if err != nil {
+		return nil, err
+	}
+	defer farC.Close()
+
+	// Drive the desktop at the paper's 4 fps for 2 seconds with full-screen
+	// changes (the worst case for bitmap sharing).
+	frame := make([]byte, 320*240*4)
+	const frames = 8
+	const period = 250 * time.Millisecond
+	start := time.Now()
+	for i := 0; i < frames; i++ {
+		for p := range frame {
+			frame[p] = byte(p*31 + i*97)
+		}
+		if _, err := srv.Update(frame); err != nil {
+			return nil, err
+		}
+		time.Sleep(period)
+	}
+	elapsed := time.Since(start)
+	time.Sleep(300 * time.Millisecond) // drain in flight
+
+	nearSeq, farSeq := nearC.FrameSeq(), farC.FrameSeq()
+	srvSeq := int32(frames) + 0 // initial full frame carries seq 0
+	nearLag := float64(srvSeq - nearSeq)
+	farLag := float64(srvSeq - farSeq)
+	rate := float64(frames) / elapsed.Seconds()
+
+	r.linef("desktop update rate          %6.1f fps (target 3–5 fps)", rate)
+	r.linef("LAN site frame lag           %6.0f frames (budget: 1)", nearLag)
+	r.linef("thin-WAN site frame lag      %6.0f frames", farLag)
+	r.Metrics["rate_fps"] = rate
+	r.Metrics["near_lag"] = nearLag
+	r.Metrics["far_lag"] = farLag
+
+	// Against that: synchronised view STATE (a core session) keeps every
+	// site at the same revision with tiny messages even on the thin link.
+	session := core.NewSession(core.SessionConfig{Name: "e9"})
+	defer session.Close()
+	sl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go session.Serve(sl)
+	mConn, _ := net.Dial("tcp", sl.Addr().String())
+	master, err := core.Attach(mConn, core.AttachOptions{Name: "master"})
+	if err != nil {
+		return nil, err
+	}
+	defer master.Close()
+	oConn, _ := net.Dial("tcp", sl.Addr().String())
+	obs, err := core.Attach(oConn, core.AttachOptions{Name: "observer"})
+	if err != nil {
+		return nil, err
+	}
+	defer obs.Close()
+	for i := 0; i < frames; i++ {
+		if err := master.SetView(core.ViewState{Eye: [3]float64{float64(i), 0, 0}}, time.Second); err != nil {
+			return nil, err
+		}
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for obs.View().Seq < uint64(frames) && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	stateLag := float64(uint64(frames) - obs.View().Seq)
+	r.linef("view-state sync lag          %6.0f revisions (state sync, not pixels)", stateLag)
+	r.Metrics["state_lag"] = stateLag
+
+	if nearLag <= 1 && stateLag == 0 && farLag >= nearLag {
+		r.Verdict = "PASS: well-connected sites stay within the one-frame budget; state sync always converges; thin links drift with bitmap sharing"
+	} else {
+		r.Verdict = "CHECK: unexpected lag shape (see rows)"
+	}
+	return r, nil
+}
+
+// RunE10 reproduces section 4.3: a post-processing parameter change (cutting
+// plane position) must update all sites near-simultaneously; local
+// regeneration with parameter sync achieves rates that shipping images
+// cannot, and costs orders of magnitude less bandwidth.
+func RunE10() (*Result, error) {
+	r := newResult()
+
+	building, err := airflow.CarShowBuilding(2)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < 30; i++ {
+		building.Step()
+	}
+	provide := func() *viz.ScalarField { return building.Temperature() }
+	build := func(h *covise.Host) (*covise.Controller, error) {
+		c := covise.NewController()
+		if err := c.AddModule("source", h, &covise.FieldSource{Provide: provide}); err != nil {
+			return nil, err
+		}
+		if err := c.AddModule("cut", h, &covise.CuttingPlane{}); err != nil {
+			return nil, err
+		}
+		if err := c.AddModule("render", h, &covise.Renderer{Width: 320, Height: 240, LookAt: render.Vec3{X: 20, Y: 6, Z: 12}}); err != nil {
+			return nil, err
+		}
+		if err := c.Connect("source", "field", "cut", "field"); err != nil {
+			return nil, err
+		}
+		if err := c.Connect("cut", "geometry", "render", "geometry"); err != nil {
+			return nil, err
+		}
+		c.SetParam("cut", "axis", 1)
+		c.SetParam("cut", "index", 2)
+		c.SetParam("render", "eyeX", 60)
+		c.SetParam("render", "eyeY", 45)
+		c.SetParam("render", "eyeZ", 70)
+		return c, nil
+	}
+	session := covise.NewCollabSession()
+	for _, s := range []string{"hlrs", "daimler", "sandia"} {
+		if _, err := session.AddSite(s, build); err != nil {
+			return nil, err
+		}
+	}
+	if err := session.ExecuteAll(); err != nil {
+		return nil, err
+	}
+
+	// Local-regeneration mode: param change → every site recomputes.
+	const n = 10
+	t0 := time.Now()
+	for i := 0; i < n; i++ {
+		if _, err := session.SetParam("hlrs", "cut", "index", float64(2+i%8)); err != nil {
+			return nil, err
+		}
+	}
+	localLat := time.Since(t0) / n
+	converged, err := session.Converged("render", "checksum")
+	if err != nil {
+		return nil, err
+	}
+	syncBytes := session.SyncBytes()
+
+	// Image-streaming mode: one site computes, ships the rendered frame to
+	// the others over a national link (vnc-style sharing of the map editor).
+	hlrs, err := session.Site("hlrs")
+	if err != nil {
+		return nil, err
+	}
+	imgObj, err := hlrs.Controller.Output("render", "image")
+	if err != nil {
+		return nil, err
+	}
+	img := imgObj.Image
+	vsrv := vnc.NewServer(img.W, img.H)
+	defer vsrv.Close()
+	cliConn, srvConn := netsim.Pipe(netsim.National)
+	go vsrv.ServeConn(srvConn)
+	viewer, err := vnc.Attach(cliConn)
+	if err != nil {
+		return nil, err
+	}
+	defer viewer.Close()
+	waitF := func(n uint64) {
+		deadline := time.Now().Add(10 * time.Second)
+		for viewer.Frames() < n && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitF(1)
+	bytes0 := vsrv.Stats().BytesSent
+
+	t0 = time.Now()
+	for i := 0; i < n; i++ {
+		hlrs.Controller.SetParam("cut", "index", float64(2+(i+1)%8))
+		if _, err := hlrs.Controller.Execute(); err != nil {
+			return nil, err
+		}
+		obj, err := hlrs.Controller.Output("render", "image")
+		if err != nil {
+			return nil, err
+		}
+		before := viewer.Frames()
+		if _, err := vsrv.Update(obj.Image.Pix); err != nil {
+			return nil, err
+		}
+		waitF(before + 1)
+	}
+	imageLat := time.Since(t0) / n
+	imageBytes := vsrv.Stats().BytesSent - bytes0
+
+	r.linef("mode                         per change      sync traffic    all sites consistent")
+	r.linef("local regen + param sync    %9.2f ms   %10.2f KB      %v", ms(localLat), kb(syncBytes), converged)
+	r.linef("compute once + ship image   %9.2f ms   %10.2f KB      image only", ms(imageLat), kb(imageBytes))
+	r.Metrics["local_ms"] = ms(localLat)
+	r.Metrics["image_ms"] = ms(imageLat)
+	r.Metrics["sync_kb"] = kb(syncBytes)
+	r.Metrics["image_kb"] = kb(imageBytes)
+	if converged && syncBytes*100 < imageBytes {
+		r.Verdict = "PASS: parameter sync keeps sites identical at ≫100x less traffic than image shipping"
+	} else {
+		r.Verdict = "CHECK: unexpected cost ratio (see rows)"
+	}
+	return r, nil
+}
+
+// RunE11 reproduces section 4.4: steering a simulation parameter shows an
+// effect well inside the ~60 s human tolerance, and intermediate results
+// (session events and samples) keep the user informed while waiting.
+func RunE11() (*Result, error) {
+	r := newResult()
+
+	building, err := airflow.CarShowBuilding(2)
+	if err != nil {
+		return nil, err
+	}
+	session := core.NewSession(core.SessionConfig{Name: "e11", AppName: "airflow"})
+	defer session.Close()
+	st := session.Steered()
+	st.RegisterFloat("vent-temp", 18, 5, 40, "supply temperature", func(v float64) {
+		building.SetVent(10, 10, 6, v, 1.0)
+		building.SetVent(10, 10, 18, v, 1.0)
+		building.SetVent(30, 10, 12, v, 1.2)
+	})
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go session.Serve(l)
+	conn, _ := net.Dial("tcp", l.Addr().String())
+	client, err := core.Attach(conn, core.AttachOptions{Name: "engineer", SampleBuffer: 64})
+	if err != nil {
+		return nil, err
+	}
+	defer client.Close()
+
+	stop := make(chan struct{})
+	go func() {
+		for step := int64(0); ; step++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if st.Poll() == core.ControlStop {
+				return
+			}
+			building.Step()
+			s := core.NewSample(step)
+			s.Channels["meanT"] = core.Scalar(building.MeanTemperature())
+			st.Emit(s)
+			if step%20 == 0 {
+				st.Event(fmt.Sprintf("solver iterating, step %d", step))
+			}
+		}
+	}()
+	defer close(stop)
+
+	// Let it settle, then steer the vents hot and wait for the room mean to
+	// respond by 0.3°C.
+	time.Sleep(200 * time.Millisecond)
+	baseline := building.MeanTemperature()
+	t0 := time.Now()
+	if err := client.SetParam("vent-temp", 35, time.Second); err != nil {
+		return nil, err
+	}
+	var responded time.Duration
+	samples := 0
+	for {
+		select {
+		case s := <-client.Samples():
+			samples++
+			if s.Channels["meanT"].Value() > baseline+0.3 {
+				responded = time.Since(t0)
+			}
+		case <-time.After(100 * time.Millisecond):
+		}
+		if responded > 0 || time.Since(t0) > 60*time.Second {
+			break
+		}
+	}
+	events := len(client.Events())
+
+	r.linef("steer -> observable effect    %8.2f s  (tolerance: 60 s)", responded.Seconds())
+	r.linef("intermediate samples shown    %8d", samples)
+	r.linef("activity events (hourglass)   %8d", events)
+	r.Metrics["respond_s"] = responded.Seconds()
+	r.Metrics["samples"] = float64(samples)
+	r.Metrics["events"] = float64(events)
+	if responded > 0 && responded < 60*time.Second && samples > 0 {
+		r.Verdict = "PASS: effect inside human tolerance, with continuous intermediate feedback"
+	} else {
+		r.Verdict = "FAIL: no observable effect within tolerance"
+	}
+	return r, nil
+}
+
+// RunE12 reproduces the scaling claim of section 4.6: COVISE-style
+// collaboration cost is flat in displayed-geometry volume, while
+// bitmap sharing scales with screen change and geometry replication scales
+// with data volume.
+func RunE12() (*Result, error) {
+	r := newResult()
+	r.linef("%-9s %14s %16s %16s %14s", "lattice", "geometry", "param sync", "vnc update", "geom ship")
+
+	var syncSeries, geoSeries []float64
+	for _, n := range []int{12, 16, 24, 32} {
+		sim, err := lb.New(lb.Params{Nx: n, Ny: n, Nz: n, Tau: 1, G: 4.5, Seed: 7})
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < 30; i++ {
+			sim.Step()
+		}
+		field := sim.OrderParameter()
+
+		// COVISE mode: the steer costs one param message per remote site.
+		session := covise.NewCollabSession()
+		for _, s := range []string{"a", "b", "c"} {
+			if _, err := session.AddSite(s, func(h *covise.Host) (*covise.Controller, error) {
+				c := covise.NewController()
+				if err := c.AddModule("source", h, &covise.FieldSource{Provide: func() *viz.ScalarField { return field }}); err != nil {
+					return nil, err
+				}
+				if err := c.AddModule("iso", h, &covise.IsoSurface{}); err != nil {
+					return nil, err
+				}
+				if err := c.AddModule("render", h, &covise.Renderer{Width: 320, Height: 240, LookAt: render.Vec3{X: float64(n) / 2, Y: float64(n) / 2, Z: float64(n) / 2}}); err != nil {
+					return nil, err
+				}
+				if err := c.Connect("source", "field", "iso", "field"); err != nil {
+					return nil, err
+				}
+				if err := c.Connect("iso", "geometry", "render", "geometry"); err != nil {
+					return nil, err
+				}
+				c.SetParam("render", "eyeX", 2.5*float64(n))
+				c.SetParam("render", "eyeY", 2*float64(n))
+				c.SetParam("render", "eyeZ", 2.8*float64(n))
+				return c, nil
+			}); err != nil {
+				return nil, err
+			}
+		}
+		if err := session.ExecuteAll(); err != nil {
+			return nil, err
+		}
+		s0 := session.SyncBytes()
+		if _, err := session.SetParam("a", "iso", "iso", 0.01); err != nil {
+			return nil, err
+		}
+		syncCost := session.SyncBytes() - s0
+
+		// Geometry volume of what each site rendered locally.
+		siteA, _ := session.Site("a")
+		geoObj, err := siteA.Controller.Output("iso", "geometry")
+		if err != nil {
+			return nil, err
+		}
+		geoBytes := uint64(geoObj.ByteSize())
+
+		// vnc mode: the same steer shipped as a screen update.
+		imgObj, err := siteA.Controller.Output("render", "image")
+		if err != nil {
+			return nil, err
+		}
+		vsrv := vnc.NewServer(imgObj.Image.W, imgObj.Image.H)
+		cliConn, srvConn := netsim.Pipe(netsim.Loopback)
+		go vsrv.ServeConn(srvConn)
+		viewer, err := vnc.Attach(cliConn)
+		if err != nil {
+			return nil, err
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for viewer.Frames() < 1 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		b0 := vsrv.Stats().BytesSent
+		siteA.Controller.SetParam("iso", "iso", -0.01)
+		if _, err := siteA.Controller.Execute(); err != nil {
+			return nil, err
+		}
+		obj2, _ := siteA.Controller.Output("render", "image")
+		if _, err := vsrv.Update(obj2.Image.Pix); err != nil {
+			return nil, err
+		}
+		for viewer.Frames() < 2 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		vncCost := vsrv.Stats().BytesSent - b0
+		viewer.Close()
+		vsrv.Close()
+
+		r.linef("%-9s %12.1fKB %13dB %13.1fKB %11.1fKB",
+			fmt.Sprintf("%d^3", n), float64(geoBytes)/1024, syncCost, kb(vncCost), float64(3*geoBytes)/1024)
+		r.Metrics[fmt.Sprintf("sync_B_%d", n)] = float64(syncCost)
+		r.Metrics[fmt.Sprintf("vnc_KB_%d", n)] = kb(vncCost)
+		r.Metrics[fmt.Sprintf("geo_KB_%d", n)] = float64(geoBytes) / 1024
+		syncSeries = append(syncSeries, float64(syncCost))
+		geoSeries = append(geoSeries, float64(geoBytes))
+	}
+	flat := syncSeries[len(syncSeries)-1] == syncSeries[0]
+	grows := geoSeries[len(geoSeries)-1] > 4*geoSeries[0]
+	if flat && grows {
+		r.Verdict = "PASS: collaboration traffic flat in geometry volume (COVISE claim); data modes grow"
+	} else {
+		r.Verdict = "CHECK: unexpected scaling (see rows)"
+	}
+	return r, nil
+}
+
+// RunE13 reproduces Figure 4 / section 4.6: a venue hosts the COVISE session
+// descriptor and media streams; native-multicast sites and a NAT'd bridged
+// site all receive the video, with the bridge's extra hop measurable.
+func RunE13() (*Result, error) {
+	r := newResult()
+	vs := accessgrid.NewVenueServer()
+	venue, err := vs.CreateVenue("e13", "showcase")
+	if err != nil {
+		return nil, err
+	}
+	if err := venue.RegisterApp(accessgrid.AppDescriptor{
+		Name: "building-analysis", Type: "covise-session", Endpoint: "covise://hlrs/carshow",
+	}); err != nil {
+		return nil, err
+	}
+	if len(venue.FindApps("covise-session")) != 1 {
+		return nil, fmt.Errorf("E13: shared app not discoverable")
+	}
+
+	video, _ := venue.Stream("video")
+	cam := video.Join("cave", netsim.Loopback)
+	var members []*netsim.Member
+	for i := 0; i < 4; i++ {
+		members = append(members, video.Join(fmt.Sprintf("site-%d", i), netsim.Metro))
+	}
+	bridge := video.Bridge("bridge", netsim.Loopback)
+	defer bridge.Close()
+	natConn, natSite := netsim.Pipe(netsim.Metro)
+	defer natSite.Close()
+	go bridge.Subscribe(natConn)
+	time.Sleep(10 * time.Millisecond)
+
+	payload := make([]byte, 8192) // one video frame packet
+	const frames = 20
+	t0 := time.Now()
+	for i := 0; i < frames; i++ {
+		if err := cam.Send(payload); err != nil {
+			return nil, err
+		}
+	}
+	// Multicast delivery.
+	var mcastLat time.Duration
+	got := 0
+	for _, m := range members {
+		for i := 0; i < frames; i++ {
+			if _, err := m.Recv(2 * time.Second); err == nil {
+				got++
+			}
+		}
+	}
+	mcastLat = time.Since(t0)
+
+	// Bridged delivery: read frames*payload bytes (plus framing) from the
+	// unicast conn.
+	t0 = time.Now()
+	buf := make([]byte, 16<<10)
+	bridgedBytes := 0
+	natSite.SetReadDeadline(time.Now().Add(3 * time.Second))
+	for bridgedBytes < frames*len(payload) {
+		n, err := natSite.Read(buf)
+		if err != nil {
+			break
+		}
+		bridgedBytes += n
+	}
+	bridgeLat := time.Since(t0)
+
+	r.linef("multicast sites            %d, received %d/%d frames in %.1f ms", len(members), got, len(members)*frames, ms(mcastLat))
+	r.linef("bridged NAT site           received %.0f KB in %.1f ms", float64(bridgedBytes)/1024, ms(bridgeLat))
+	r.linef("bridge relayed             %d packets", bridge.Relayed())
+	r.linef("shared app in venue        %q -> %s", "building-analysis", "covise://hlrs/carshow")
+	r.Metrics["mcast_frames"] = float64(got)
+	r.Metrics["bridged_kb"] = float64(bridgedBytes) / 1024
+	if got == len(members)*frames && bridgedBytes >= frames*len(payload) {
+		r.Verdict = "PASS: multicast and bridged sites both receive the full stream; session startable from the venue"
+	} else {
+		r.Verdict = fmt.Sprintf("FAIL: mcast %d/%d, bridged %dB", got, len(members)*frames, bridgedBytes)
+	}
+	return r, nil
+}

@@ -1,0 +1,106 @@
+// Package experiments regenerates every evaluation artefact of the paper:
+// its figures (architecture behaviours) and its quantified claims (the
+// reaction-time requirements of sections 4.2–4.4, the bandwidth claims of
+// sections 2.4 and 4.6, the O(N log N) claim of section 3.4, the
+// no-disturbance guarantee of section 3.2 and the single-port claim of
+// section 3.3). Each experiment builds the relevant subsystems, measures,
+// and reports rows comparable with the paper's statements.
+//
+// The same implementations back the sc03bench command line tool and the
+// repository-level benchmarks in bench_test.go; EXPERIMENTS.md records the
+// paper-vs-measured comparison.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Result is what one experiment produces.
+type Result struct {
+	// Lines is the human-readable table, one row per line.
+	Lines []string
+	// Metrics are machine-readable key figures (benchmarks re-report them).
+	Metrics map[string]float64
+	// Verdict summarises whether the paper's claim held.
+	Verdict string
+}
+
+func newResult() *Result {
+	return &Result{Metrics: make(map[string]float64)}
+}
+
+func (r *Result) linef(format string, args ...any) {
+	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+// SortedMetricKeys returns metric names in stable order.
+func (r *Result) SortedMetricKeys() []string {
+	keys := make([]string, 0, len(r.Metrics))
+	for k := range r.Metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Experiment is one reproducible evaluation artefact.
+type Experiment struct {
+	// ID is the experiment identifier used throughout DESIGN.md and
+	// EXPERIMENTS.md (E1..E13).
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Source cites the paper section/figure being reproduced.
+	Source string
+	// Run executes the experiment.
+	Run func() (*Result, error)
+}
+
+// All lists every experiment in order.
+var All = []Experiment{
+	{"E1", "RealityGrid steering pipeline end to end", "Fig 1, §2.2", RunE1},
+	{"E2", "OGSI steering service: discover, bind, steer", "Fig 2, §2.3", RunE2},
+	{"E3", "VizServer bandwidth: compressed bitmaps vs raw data", "§2.4", RunE3},
+	{"E4", "VISIT no-disturbance guarantee under dead visualization", "§3.2", RunE4},
+	{"E5", "VISIT through the UNICORE single-port gateway", "§3.3", RunE5},
+	{"E6", "vbroker multiplexer: fan-out, master-only steering", "§3.3", RunE6},
+	{"E7", "PEPC tree code O(N log N) vs direct O(N²)", "§3.4, Fig 3", RunE7},
+	{"E8", "VR rendering feedback loop: local vs remote under WAN latency", "§4.2", RunE8},
+	{"E9", "Desktop rate and multi-site view divergence", "§4.2", RunE9},
+	{"E10", "Post-processing loop: local regeneration vs image streaming", "§4.3", RunE10},
+	{"E11", "Simulation feedback loop vs human tolerance", "§4.4", RunE11},
+	{"E12", "Collaboration cost vs displayed geometry volume", "§4.6", RunE12},
+	{"E13", "Venue integration: shared app, multicast and bridge", "Fig 4, §4.6", RunE13},
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// ---- shared helpers ----
+
+// ms converts a duration to milliseconds.
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// us converts a duration to microseconds.
+func us(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+// kb converts bytes to kilobytes.
+func kb(n uint64) float64 { return float64(n) / 1024 }
+
+// fpsFromPeriod converts a per-frame duration to a rate.
+func fpsFromPeriod(d time.Duration) float64 {
+	if d <= 0 {
+		return math.Inf(1)
+	}
+	return float64(time.Second) / float64(d)
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsPass runs every evaluation artefact end to end and
+// requires the paper's claims to hold in this reproduction. This is the
+// repository's top-level integration test: it exercises all simulations,
+// all middleware tiers and all transports together.
+func TestAllExperimentsPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments take ~20s; skipped in -short mode")
+	}
+	for _, e := range All {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			res, err := e.Run()
+			if err != nil {
+				t.Fatalf("%s (%s): %v", e.ID, e.Title, err)
+			}
+			if res.Verdict == "" {
+				t.Fatalf("%s: no verdict", e.ID)
+			}
+			if strings.HasPrefix(res.Verdict, "FAIL") {
+				t.Fatalf("%s: %s\n%s", e.ID, res.Verdict, strings.Join(res.Lines, "\n"))
+			}
+			if strings.HasPrefix(res.Verdict, "CHECK") {
+				t.Errorf("%s: %s\n%s", e.ID, res.Verdict, strings.Join(res.Lines, "\n"))
+			}
+			if len(res.Lines) == 0 {
+				t.Fatalf("%s: no result rows", e.ID)
+			}
+			if len(res.Metrics) == 0 {
+				t.Fatalf("%s: no metrics", e.ID)
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("E7"); !ok {
+		t.Fatal("E7 missing")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Fatal("phantom experiment")
+	}
+	seen := map[string]bool{}
+	for _, e := range All {
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment ID %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Title == "" || e.Source == "" || e.Run == nil {
+			t.Fatalf("experiment %s incomplete", e.ID)
+		}
+	}
+	if len(All) != 13 {
+		t.Fatalf("expected 13 experiments, have %d", len(All))
+	}
+}

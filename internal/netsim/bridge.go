@@ -1,0 +1,160 @@
+package netsim
+
+import (
+	"encoding/binary"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Bridge relays between a simulated multicast group and point-to-point
+// unicast connections. It reproduces the Access Grid venue-server extension
+// of section 4.6: "virtual environment systems are often behind firewalls
+// which do not support multicast and sometimes even do NAT. Thus, we added
+// support for unicast/multicast bridges and point to point sessions."
+//
+// Each unicast subscriber gets packets framed as wire messages
+// (tag = BridgeTag, payload = sender-name length-prefixed + payload), and
+// anything a subscriber writes is multicast into the group on its behalf.
+type Bridge struct {
+	member *Member
+
+	mu      sync.Mutex
+	subs    map[*bridgeSub]struct{}
+	closed  bool
+	done    chan struct{}
+	relayed uint64
+}
+
+// BridgeTag is the wire tag used for bridged multicast frames.
+const BridgeTag = 0xB71D
+
+type bridgeSub struct {
+	enc  *wire.Encoder
+	conn interface{ Close() error }
+	mu   sync.Mutex
+}
+
+// NewBridge joins the group as a relay member named name and starts
+// forwarding multicast traffic to subscribers.
+func NewBridge(g *Group, name string, p Profile) *Bridge {
+	b := &Bridge{
+		member: g.Join(name, p),
+		subs:   make(map[*bridgeSub]struct{}),
+		done:   make(chan struct{}),
+	}
+	go b.pump()
+	return b
+}
+
+// frame encodes a packet as sender-name + payload.
+func frame(from string, payload []byte) []byte {
+	out := make([]byte, 0, 4+len(from)+len(payload))
+	out = binary.BigEndian.AppendUint32(out, uint32(len(from)))
+	out = append(out, from...)
+	out = append(out, payload...)
+	return out
+}
+
+// Unframe splits a bridged frame back into sender name and payload.
+func Unframe(b []byte) (from string, payload []byte, ok bool) {
+	if len(b) < 4 {
+		return "", nil, false
+	}
+	n := binary.BigEndian.Uint32(b[:4])
+	if int(n) > len(b)-4 {
+		return "", nil, false
+	}
+	return string(b[4 : 4+n]), b[4+n:], true
+}
+
+func (b *Bridge) pump() {
+	for {
+		p, err := b.member.Recv(100 * time.Millisecond)
+		if err != nil {
+			select {
+			case <-b.done:
+				return
+			default:
+				continue // timeout: poll again so Close is noticed
+			}
+		}
+		b.mu.Lock()
+		b.relayed++
+		for s := range b.subs {
+			s.mu.Lock()
+			err := s.enc.Bytes(BridgeTag, frame(p.From, p.Payload))
+			s.mu.Unlock()
+			if err != nil {
+				delete(b.subs, s)
+				s.conn.Close()
+			}
+		}
+		b.mu.Unlock()
+	}
+}
+
+// Subscribe attaches a unicast connection (anything with wire framing over a
+// stream). The bridge forwards group traffic to it and multicasts frames it
+// sends. It returns when the connection fails or the bridge closes.
+func (b *Bridge) Subscribe(conn interface {
+	Read([]byte) (int, error)
+	Write([]byte) (int, error)
+	Close() error
+}) error {
+	sub := &bridgeSub{enc: wire.NewEncoder(conn), conn: conn}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return ErrMemberClosed
+	}
+	b.subs[sub] = struct{}{}
+	b.mu.Unlock()
+
+	dec := wire.NewDecoder(conn)
+	for {
+		m, err := dec.Next()
+		if err != nil {
+			b.mu.Lock()
+			delete(b.subs, sub)
+			b.mu.Unlock()
+			return err
+		}
+		if m.Header.Kind == wire.KindBytes && len(m.Blobs) == 1 {
+			if err := b.member.Send(m.Blobs[0]); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// Relayed reports how many multicast packets have been forwarded to
+// subscribers.
+func (b *Bridge) Relayed() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.relayed
+}
+
+// Close detaches the bridge from the group and closes all subscribers.
+func (b *Bridge) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	subs := make([]*bridgeSub, 0, len(b.subs))
+	for s := range b.subs {
+		subs = append(subs, s)
+	}
+	b.subs = make(map[*bridgeSub]struct{})
+	b.mu.Unlock()
+
+	close(b.done)
+	b.member.Leave()
+	for _, s := range subs {
+		s.conn.Close()
+	}
+}

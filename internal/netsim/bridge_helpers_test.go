@@ -1,0 +1,33 @@
+package netsim
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// testDecoder reads bridged frames from a unicast connection.
+type testDecoder struct{ dec *wire.Decoder }
+
+func newTestDecoder(r io.Reader) *testDecoder {
+	return &testDecoder{dec: wire.NewDecoder(r)}
+}
+
+func (d *testDecoder) next(t *testing.T) (from string, payload []byte, err error) {
+	t.Helper()
+	m, err := d.dec.Expect(BridgeTag)
+	if err != nil {
+		return "", nil, err
+	}
+	from, payload, ok := Unframe(m.Blobs[0])
+	if !ok {
+		t.Fatalf("malformed bridge frame: %v", m.Blobs[0])
+	}
+	return from, payload, nil
+}
+
+// writeBridgeFrame sends a frame into the bridge on behalf of a unicast site.
+func writeBridgeFrame(w io.Writer, from string, payload []byte) error {
+	return wire.NewEncoder(w).Bytes(BridgeTag, frame(from, payload))
+}

@@ -1,0 +1,295 @@
+// Package netsim provides deterministic wide-area-network emulation for the
+// experiments in this repository. The paper's collaborative-steering sessions
+// span "intra and inter-continental networks" (SuperJanet, G-WiN,
+// UK↔US links); netsim substitutes those with in-memory links whose one-way
+// latency, jitter and bandwidth are configurable, plus simulated multicast
+// groups and the unicast/multicast bridges Access Grid sites behind NAT
+// require (paper section 4.6).
+package netsim
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Profile describes one direction of a network path.
+type Profile struct {
+	// Latency is the one-way propagation delay.
+	Latency time.Duration
+	// Jitter adds a uniformly distributed extra delay in [0, Jitter).
+	Jitter time.Duration
+	// Bandwidth is the link rate in bytes per second; 0 means unlimited.
+	Bandwidth float64
+	// Loss is the packet-loss probability in [0,1) for datagram transports.
+	// Stream links (Pipe) never lose data.
+	Loss float64
+	// Seed makes jitter and loss deterministic; 0 selects a fixed default.
+	Seed int64
+}
+
+// Common profiles used throughout the experiments.
+var (
+	// LAN approximates a machine-room network.
+	LAN = Profile{Latency: 200 * time.Microsecond, Bandwidth: 125e6} // 1 Gb/s
+	// Metro approximates a same-city academic network.
+	Metro = Profile{Latency: 2 * time.Millisecond, Bandwidth: 12.5e6} // 100 Mb/s
+	// National approximates SuperJanet-era UK national links (UCL→Manchester).
+	National = Profile{Latency: 8 * time.Millisecond, Bandwidth: 12.5e6}
+	// Transatlantic approximates the UK↔Phoenix showcase-floor path.
+	Transatlantic = Profile{Latency: 45 * time.Millisecond, Bandwidth: 2.5e6} // 20 Mb/s
+	// Loopback is an unshaped in-memory link.
+	Loopback = Profile{}
+)
+
+// transmitDelay returns the serialisation time of n bytes at the profile's
+// bandwidth.
+func (p Profile) transmitDelay(n int) time.Duration {
+	if p.Bandwidth <= 0 || n == 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / p.Bandwidth * float64(time.Second))
+}
+
+// chunk is one write travelling down a link direction.
+type chunk struct {
+	data      []byte
+	deliverAt time.Time
+}
+
+// ErrLinkClosed is returned by operations on a closed link end.
+var ErrLinkClosed = errors.New("netsim: link closed")
+
+// timeoutError satisfies net.Error with Timeout() == true so shaped links
+// behave like real conns under SetDeadline.
+type timeoutError struct{}
+
+func (timeoutError) Error() string   { return "netsim: i/o timeout" }
+func (timeoutError) Timeout() bool   { return true }
+func (timeoutError) Temporary() bool { return true }
+
+// linkAddr is the net.Addr of a simulated link end.
+type linkAddr string
+
+func (a linkAddr) Network() string { return "netsim" }
+func (a linkAddr) String() string  { return string(a) }
+
+// halfLink carries data in one direction.
+type halfLink struct {
+	profile Profile
+	rng     *rand.Rand
+
+	mu        sync.Mutex
+	busyUntil time.Time // sender serialisation horizon
+
+	ch     chan chunk
+	closed chan struct{}
+	once   sync.Once
+}
+
+func newHalfLink(p Profile) *halfLink {
+	seed := p.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &halfLink{
+		profile: p,
+		rng:     rand.New(rand.NewSource(seed)),
+		ch:      make(chan chunk, 4096),
+		closed:  make(chan struct{}),
+	}
+}
+
+func (h *halfLink) close() {
+	h.once.Do(func() { close(h.closed) })
+}
+
+// send enqueues data with its computed delivery time.
+func (h *halfLink) send(b []byte, deadline time.Time) (int, error) {
+	data := make([]byte, len(b))
+	copy(data, b)
+
+	h.mu.Lock()
+	now := time.Now()
+	start := now
+	if h.busyUntil.After(start) {
+		start = h.busyUntil
+	}
+	txDone := start.Add(h.profile.transmitDelay(len(b)))
+	h.busyUntil = txDone
+	delay := h.profile.Latency
+	if h.profile.Jitter > 0 {
+		delay += time.Duration(h.rng.Int63n(int64(h.profile.Jitter)))
+	}
+	c := chunk{data: data, deliverAt: txDone.Add(delay)}
+	h.mu.Unlock()
+
+	var timer <-chan time.Time
+	if !deadline.IsZero() {
+		t := time.NewTimer(time.Until(deadline))
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case h.ch <- c:
+		return len(b), nil
+	case <-h.closed:
+		return 0, ErrLinkClosed
+	case <-timer:
+		return 0, timeoutError{}
+	}
+}
+
+// End is one endpoint of a shaped bidirectional link. It implements net.Conn.
+type End struct {
+	name    string
+	in, out *halfLink
+
+	mu            sync.Mutex
+	pending       chunk // partially consumed or not-yet-deliverable chunk
+	readDeadline  time.Time
+	writeDeadline time.Time
+}
+
+var _ net.Conn = (*End)(nil)
+
+// Pipe returns the two endpoints of a link shaped by p in both directions.
+// It is the shaped analogue of net.Pipe.
+func Pipe(p Profile) (*End, *End) {
+	return AsymmetricPipe(p, p)
+}
+
+// AsymmetricPipe returns a link with distinct per-direction profiles: ab
+// shapes data flowing a→b, ba shapes data flowing b→a. Asymmetry models the
+// showcase scenario where bulk samples flow one way and small steering
+// commands the other.
+func AsymmetricPipe(ab, ba Profile) (a, b *End) {
+	abHalf := newHalfLink(ab)
+	baHalf := newHalfLink(ba)
+	a = &End{name: "netsim-a", in: baHalf, out: abHalf}
+	b = &End{name: "netsim-b", in: abHalf, out: baHalf}
+	return a, b
+}
+
+// Read implements net.Conn. Data becomes readable only once its simulated
+// delivery time has passed.
+func (e *End) Read(b []byte) (int, error) {
+	e.mu.Lock()
+	deadline := e.readDeadline
+	// Serve from a pending chunk first.
+	if e.pending.data != nil {
+		c := e.pending
+		e.mu.Unlock()
+		return e.deliver(b, c, deadline)
+	}
+	e.mu.Unlock()
+
+	var timer <-chan time.Time
+	if !deadline.IsZero() {
+		t := time.NewTimer(time.Until(deadline))
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case c := <-e.in.ch:
+		return e.deliver(b, c, deadline)
+	case <-e.in.closed:
+		// Drain anything already queued before reporting EOF.
+		select {
+		case c := <-e.in.ch:
+			return e.deliver(b, c, deadline)
+		default:
+			return 0, io.EOF
+		}
+	case <-timer:
+		return 0, timeoutError{}
+	}
+}
+
+// deliver waits for the chunk's delivery time, then copies as much as fits,
+// stashing any remainder.
+func (e *End) deliver(b []byte, c chunk, deadline time.Time) (int, error) {
+	wait := time.Until(c.deliverAt)
+	if wait > 0 {
+		if !deadline.IsZero() && c.deliverAt.After(deadline) {
+			e.stash(c)
+			time.Sleep(time.Until(deadline))
+			return 0, timeoutError{}
+		}
+		time.Sleep(wait)
+	}
+	n := copy(b, c.data)
+	if n < len(c.data) {
+		c.data = c.data[n:]
+		e.stash(c)
+	} else {
+		e.clearPending()
+	}
+	return n, nil
+}
+
+func (e *End) stash(c chunk) {
+	e.mu.Lock()
+	e.pending = c
+	e.mu.Unlock()
+}
+
+func (e *End) clearPending() {
+	e.mu.Lock()
+	e.pending = chunk{}
+	e.mu.Unlock()
+}
+
+// Write implements net.Conn.
+func (e *End) Write(b []byte) (int, error) {
+	e.mu.Lock()
+	deadline := e.writeDeadline
+	e.mu.Unlock()
+	select {
+	case <-e.out.closed:
+		return 0, ErrLinkClosed
+	default:
+	}
+	return e.out.send(b, deadline)
+}
+
+// Close closes both directions. The peer's reads drain queued data and then
+// report EOF.
+func (e *End) Close() error {
+	e.in.close()
+	e.out.close()
+	return nil
+}
+
+// LocalAddr implements net.Conn.
+func (e *End) LocalAddr() net.Addr { return linkAddr(e.name) }
+
+// RemoteAddr implements net.Conn.
+func (e *End) RemoteAddr() net.Addr { return linkAddr(e.name + "-peer") }
+
+// SetDeadline implements net.Conn.
+func (e *End) SetDeadline(t time.Time) error {
+	e.mu.Lock()
+	e.readDeadline, e.writeDeadline = t, t
+	e.mu.Unlock()
+	return nil
+}
+
+// SetReadDeadline implements net.Conn.
+func (e *End) SetReadDeadline(t time.Time) error {
+	e.mu.Lock()
+	e.readDeadline = t
+	e.mu.Unlock()
+	return nil
+}
+
+// SetWriteDeadline implements net.Conn.
+func (e *End) SetWriteDeadline(t time.Time) error {
+	e.mu.Lock()
+	e.writeDeadline = t
+	e.mu.Unlock()
+	return nil
+}

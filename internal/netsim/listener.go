@@ -1,0 +1,72 @@
+package netsim
+
+import (
+	"net"
+	"sync"
+)
+
+// MemListener is an in-memory net.Listener whose connections are shaped
+// Pipes. The UNICORE tiers use it for their internal links so that a whole
+// Vsite (gateway + NJS + TSI + running jobs) exposes exactly one real
+// listening port — the gateway's — reproducing the paper's
+// "firewall-friendliness; handling of all communication over a single fixed
+// TCP server-port".
+type MemListener struct {
+	profile Profile
+
+	mu     sync.Mutex
+	queue  chan net.Conn
+	closed bool
+}
+
+var _ net.Listener = (*MemListener)(nil)
+
+// NewMemListener returns a listener whose accepted conns are shaped by p.
+func NewMemListener(p Profile) *MemListener {
+	return &MemListener{profile: p, queue: make(chan net.Conn, 64)}
+}
+
+// Dial creates a new connection pair, queues the server end for Accept, and
+// returns the client end.
+func (l *MemListener) Dial() (net.Conn, error) {
+	client, server := Pipe(l.profile)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		client.Close()
+		server.Close()
+		return nil, ErrLinkClosed
+	}
+	// The send cannot block while mu is held: it either queues or fails.
+	select {
+	case l.queue <- server:
+		return client, nil
+	default:
+		client.Close()
+		server.Close()
+		return nil, ErrLinkClosed
+	}
+}
+
+// Accept implements net.Listener.
+func (l *MemListener) Accept() (net.Conn, error) {
+	conn, ok := <-l.queue
+	if !ok {
+		return nil, ErrLinkClosed
+	}
+	return conn, nil
+}
+
+// Close implements net.Listener.
+func (l *MemListener) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.closed {
+		l.closed = true
+		close(l.queue)
+	}
+	return nil
+}
+
+// Addr implements net.Listener.
+func (l *MemListener) Addr() net.Addr { return linkAddr("netsim-mem") }

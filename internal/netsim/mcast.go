@@ -1,0 +1,226 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Packet is one datagram delivered through a simulated multicast group.
+type Packet struct {
+	From    string
+	Seq     uint64
+	Payload []byte
+}
+
+// Network is a collection of named multicast groups, standing in for the
+// native-multicast MBone the Access Grid used for vic/rat streams.
+type Network struct {
+	mu     sync.Mutex
+	groups map[string]*Group
+}
+
+// NewNetwork returns an empty simulated network.
+func NewNetwork() *Network {
+	return &Network{groups: make(map[string]*Group)}
+}
+
+// Group returns the multicast group with the given address, creating it on
+// first use (multicast groups have no owner).
+func (n *Network) Group(addr string) *Group {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	g, ok := n.groups[addr]
+	if !ok {
+		g = &Group{addr: addr, members: make(map[*Member]struct{})}
+		n.groups[addr] = g
+	}
+	return g
+}
+
+// Group is one simulated multicast group. Every packet sent by a member is
+// fanned out to all other members, shaped by each receiver's profile.
+type Group struct {
+	addr string
+
+	mu      sync.Mutex
+	members map[*Member]struct{}
+	seq     uint64
+}
+
+// Addr returns the group address.
+func (g *Group) Addr() string { return g.addr }
+
+// MemberCount reports the current number of joined members.
+func (g *Group) MemberCount() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.members)
+}
+
+// Join adds a member whose inbound packets are shaped by p. The name
+// identifies the member in Packet.From.
+func (g *Group) Join(name string, p Profile) *Member {
+	seed := p.Seed
+	if seed == 0 {
+		seed = int64(len(name)) + 7
+	}
+	m := &Member{
+		group:   g,
+		name:    name,
+		profile: p,
+		rng:     rand.New(rand.NewSource(seed)),
+		inbox:   make(chan Packet, 4096),
+		closed:  make(chan struct{}),
+	}
+	g.mu.Lock()
+	g.members[m] = struct{}{}
+	g.mu.Unlock()
+	return m
+}
+
+// send fans a payload out to every member except the sender.
+func (g *Group) send(from *Member, payload []byte) {
+	g.mu.Lock()
+	g.seq++
+	seq := g.seq
+	targets := make([]*Member, 0, len(g.members))
+	for m := range g.members {
+		if m != from {
+			targets = append(targets, m)
+		}
+	}
+	g.mu.Unlock()
+
+	for _, m := range targets {
+		m.receive(Packet{From: from.name, Seq: seq, Payload: payload})
+	}
+}
+
+func (g *Group) leave(m *Member) {
+	g.mu.Lock()
+	delete(g.members, m)
+	g.mu.Unlock()
+}
+
+// ErrMemberClosed is returned on operations after Leave.
+var ErrMemberClosed = errors.New("netsim: multicast member closed")
+
+// Member is one participant in a multicast group.
+type Member struct {
+	group   *Group
+	name    string
+	profile Profile
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	drops  uint64
+	inbox  chan Packet
+	closed chan struct{}
+	once   sync.Once
+}
+
+// Name returns the member name.
+func (m *Member) Name() string { return m.name }
+
+// Send multicasts payload to every other member of the group.
+func (m *Member) Send(payload []byte) error {
+	select {
+	case <-m.closed:
+		return ErrMemberClosed
+	default:
+	}
+	data := make([]byte, len(payload))
+	copy(data, payload)
+	m.group.send(m, data)
+	return nil
+}
+
+// receive applies loss and delay, then queues the packet. Packets that would
+// overflow the inbox are dropped, like real UDP.
+func (m *Member) receive(p Packet) {
+	m.mu.Lock()
+	if m.profile.Loss > 0 && m.rng.Float64() < m.profile.Loss {
+		m.drops++
+		m.mu.Unlock()
+		return
+	}
+	delay := m.profile.Latency + m.profile.transmitDelay(len(p.Payload))
+	if m.profile.Jitter > 0 {
+		delay += time.Duration(m.rng.Int63n(int64(m.profile.Jitter)))
+	}
+	m.mu.Unlock()
+
+	if delay <= 0 {
+		m.enqueue(p)
+		return
+	}
+	time.AfterFunc(delay, func() { m.enqueue(p) })
+}
+
+func (m *Member) enqueue(p Packet) {
+	select {
+	case m.inbox <- p:
+	case <-m.closed:
+	default:
+		m.mu.Lock()
+		m.drops++
+		m.mu.Unlock()
+	}
+}
+
+// Recv blocks for the next packet or until the timeout elapses (0 waits
+// forever).
+func (m *Member) Recv(timeout time.Duration) (Packet, error) {
+	var timer <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case p := <-m.inbox:
+		return p, nil
+	case <-m.closed:
+		select {
+		case p := <-m.inbox:
+			return p, nil
+		default:
+			return Packet{}, ErrMemberClosed
+		}
+	case <-timer:
+		return Packet{}, timeoutError{}
+	}
+}
+
+// TryRecv returns the next packet without blocking.
+func (m *Member) TryRecv() (Packet, bool) {
+	select {
+	case p := <-m.inbox:
+		return p, true
+	default:
+		return Packet{}, false
+	}
+}
+
+// Drops reports how many packets were lost (by loss probability or overflow).
+func (m *Member) Drops() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.drops
+}
+
+// Leave removes the member from its group.
+func (m *Member) Leave() {
+	m.once.Do(func() {
+		m.group.leave(m)
+		close(m.closed)
+	})
+}
+
+// String implements fmt.Stringer.
+func (m *Member) String() string {
+	return fmt.Sprintf("%s@%s", m.name, m.group.addr)
+}

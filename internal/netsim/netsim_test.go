@@ -1,0 +1,335 @@
+package netsim
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPipeBasicTransfer(t *testing.T) {
+	a, b := Pipe(Loopback)
+	defer a.Close()
+	defer b.Close()
+
+	msg := []byte("hello collaborative steering")
+	go func() {
+		if _, err := a.Write(msg); err != nil {
+			t.Error(err)
+		}
+	}()
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(b, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, msg) {
+		t.Fatalf("got %q want %q", buf, msg)
+	}
+}
+
+func TestPipeLatency(t *testing.T) {
+	const lat = 30 * time.Millisecond
+	a, b := Pipe(Profile{Latency: lat})
+	defer a.Close()
+	defer b.Close()
+
+	start := time.Now()
+	go a.Write([]byte("x"))
+	buf := make([]byte, 1)
+	if _, err := io.ReadFull(b, buf); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed < lat {
+		t.Fatalf("delivery after %v, want >= %v", elapsed, lat)
+	}
+	if elapsed > 5*lat {
+		t.Fatalf("delivery after %v, far exceeds %v", elapsed, lat)
+	}
+}
+
+func TestPipeBandwidthSerialisation(t *testing.T) {
+	// 1 MB at 10 MB/s should take ~100 ms on top of zero latency.
+	a, b := Pipe(Profile{Bandwidth: 10e6})
+	defer a.Close()
+	defer b.Close()
+
+	payload := make([]byte, 1<<20)
+	start := time.Now()
+	go func() {
+		a.Write(payload)
+	}()
+	buf := make([]byte, len(payload))
+	if _, err := io.ReadFull(b, buf); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed < 80*time.Millisecond {
+		t.Fatalf("1MB at 10MB/s arrived in %v, want >= ~100ms", elapsed)
+	}
+}
+
+func TestPipeOrderingAcrossWrites(t *testing.T) {
+	a, b := Pipe(Profile{Latency: time.Millisecond})
+	defer a.Close()
+	defer b.Close()
+
+	go func() {
+		for i := 0; i < 50; i++ {
+			a.Write([]byte{byte(i)})
+		}
+	}()
+	buf := make([]byte, 50)
+	if _, err := io.ReadFull(b, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := range buf {
+		if buf[i] != byte(i) {
+			t.Fatalf("byte %d = %d, out of order", i, buf[i])
+		}
+	}
+}
+
+func TestPipeReadDeadline(t *testing.T) {
+	a, b := Pipe(Loopback)
+	defer a.Close()
+	defer b.Close()
+
+	b.SetReadDeadline(time.Now().Add(20 * time.Millisecond))
+	buf := make([]byte, 1)
+	_, err := b.Read(buf)
+	ne, ok := err.(net.Error)
+	if !ok || !ne.Timeout() {
+		t.Fatalf("err = %v, want net.Error timeout", err)
+	}
+}
+
+func TestPipeDeadlineDoesNotLoseData(t *testing.T) {
+	a, b := Pipe(Profile{Latency: 50 * time.Millisecond})
+	defer a.Close()
+	defer b.Close()
+
+	go a.Write([]byte("late"))
+	b.SetReadDeadline(time.Now().Add(5 * time.Millisecond))
+	buf := make([]byte, 4)
+	if _, err := b.Read(buf); err == nil {
+		t.Fatal("expected timeout on first read")
+	}
+	b.SetReadDeadline(time.Time{})
+	if _, err := io.ReadFull(b, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "late" {
+		t.Fatalf("got %q after deadline retry", buf)
+	}
+}
+
+func TestPipeCloseGivesEOFAfterDrain(t *testing.T) {
+	a, b := Pipe(Loopback)
+	if _, err := a.Write([]byte("bye")); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	buf := make([]byte, 3)
+	if _, err := io.ReadFull(b, buf); err != nil {
+		t.Fatalf("drain after close: %v", err)
+	}
+	if _, err := b.Read(buf); err != io.EOF {
+		t.Fatalf("err = %v, want EOF", err)
+	}
+}
+
+func TestPipeWriteAfterCloseFails(t *testing.T) {
+	a, b := Pipe(Loopback)
+	b.Close()
+	a.Close()
+	if _, err := a.Write([]byte("x")); err == nil {
+		t.Fatal("want error writing to closed link")
+	}
+}
+
+func TestAsymmetricPipe(t *testing.T) {
+	// a→b slow, b→a fast.
+	a, b := AsymmetricPipe(Profile{Latency: 40 * time.Millisecond}, Loopback)
+	defer a.Close()
+	defer b.Close()
+
+	start := time.Now()
+	go b.Write([]byte("q"))
+	buf := make([]byte, 1)
+	io.ReadFull(a, buf)
+	if fast := time.Since(start); fast > 20*time.Millisecond {
+		t.Fatalf("fast direction took %v", fast)
+	}
+
+	start = time.Now()
+	go a.Write([]byte("r"))
+	io.ReadFull(b, buf)
+	if slow := time.Since(start); slow < 40*time.Millisecond {
+		t.Fatalf("slow direction took only %v", slow)
+	}
+}
+
+func TestMulticastFanOut(t *testing.T) {
+	n := NewNetwork()
+	g := n.Group("233.2.171.1:9999")
+	sender := g.Join("hlrs", Loopback)
+	var members []*Member
+	for _, name := range []string{"manchester", "juelich", "phoenix"} {
+		members = append(members, g.Join(name, Loopback))
+	}
+
+	if err := sender.Send([]byte("frame-1")); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range members {
+		p, err := m.Recv(time.Second)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if p.From != "hlrs" || string(p.Payload) != "frame-1" {
+			t.Fatalf("%s got %+v", m.Name(), p)
+		}
+	}
+	// Sender must not hear its own packet.
+	if _, ok := sender.TryRecv(); ok {
+		t.Fatal("sender received its own multicast")
+	}
+}
+
+func TestMulticastLossIsDeterministic(t *testing.T) {
+	count := func() uint64 {
+		n := NewNetwork()
+		g := n.Group("g")
+		s := g.Join("s", Loopback)
+		r := g.Join("r", Profile{Loss: 0.5, Seed: 42})
+		for i := 0; i < 200; i++ {
+			s.Send([]byte{byte(i)})
+		}
+		time.Sleep(10 * time.Millisecond)
+		return r.Drops()
+	}
+	d1, d2 := count(), count()
+	if d1 == 0 || d1 == 200 {
+		t.Fatalf("drops = %d, want partial loss", d1)
+	}
+	if d1 != d2 {
+		t.Fatalf("loss not deterministic: %d vs %d", d1, d2)
+	}
+}
+
+func TestMulticastLeave(t *testing.T) {
+	n := NewNetwork()
+	g := n.Group("g")
+	s := g.Join("s", Loopback)
+	r := g.Join("r", Loopback)
+	r.Leave()
+	if g.MemberCount() != 1 {
+		t.Fatalf("members = %d, want 1", g.MemberCount())
+	}
+	s.Send([]byte("x"))
+	if _, err := r.Recv(10 * time.Millisecond); err != ErrMemberClosed {
+		t.Fatalf("err = %v, want ErrMemberClosed", err)
+	}
+	if err := r.Send(nil); err != ErrMemberClosed {
+		t.Fatalf("send after leave: %v", err)
+	}
+}
+
+func TestMulticastConcurrentSenders(t *testing.T) {
+	n := NewNetwork()
+	g := n.Group("g")
+	recv := g.Join("recv", Loopback)
+	const senders, each = 8, 50
+
+	var wg sync.WaitGroup
+	for i := 0; i < senders; i++ {
+		m := g.Join(string(rune('a'+i)), Loopback)
+		wg.Add(1)
+		go func(m *Member) {
+			defer wg.Done()
+			for j := 0; j < each; j++ {
+				m.Send([]byte{1})
+			}
+		}(m)
+	}
+	wg.Wait()
+
+	got := 0
+	for {
+		if _, ok := recv.TryRecv(); !ok {
+			break
+		}
+		got++
+	}
+	if got != senders*each {
+		t.Fatalf("received %d packets, want %d", got, senders*each)
+	}
+}
+
+func TestBridgeRelaysMulticastToUnicast(t *testing.T) {
+	n := NewNetwork()
+	g := n.Group("venue-video")
+	src := g.Join("cave", Loopback)
+
+	br := NewBridge(g, "bridge", Loopback)
+	defer br.Close()
+
+	a, b := Pipe(Loopback) // b = NAT'd site end
+	defer b.Close()
+	go br.Subscribe(a)
+
+	time.Sleep(5 * time.Millisecond) // let subscription register
+	if err := src.Send([]byte("stereo-frame")); err != nil {
+		t.Fatal(err)
+	}
+
+	dec := newTestDecoder(b)
+	from, payload, err := dec.next(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if from != "cave" || string(payload) != "stereo-frame" {
+		t.Fatalf("bridged frame = %q from %q", payload, from)
+	}
+	if br.Relayed() != 1 {
+		t.Fatalf("relayed = %d", br.Relayed())
+	}
+}
+
+func TestBridgeInjectsUnicastIntoGroup(t *testing.T) {
+	n := NewNetwork()
+	g := n.Group("venue-video")
+	listener := g.Join("listener", Loopback)
+
+	br := NewBridge(g, "bridge", Loopback)
+	defer br.Close()
+
+	a, b := Pipe(Loopback)
+	defer b.Close()
+	go br.Subscribe(a)
+	time.Sleep(5 * time.Millisecond)
+
+	if err := writeBridgeFrame(b, "nat-site", []byte("hello-group")); err != nil {
+		t.Fatal(err)
+	}
+	p, err := listener.Recv(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	from, payload, ok := Unframe(p.Payload)
+	if !ok || from != "nat-site" || string(payload) != "hello-group" {
+		t.Fatalf("injected packet = %+v (from=%q payload=%q)", p, from, payload)
+	}
+}
+
+func TestUnframeMalformed(t *testing.T) {
+	if _, _, ok := Unframe([]byte{1, 2}); ok {
+		t.Fatal("short frame accepted")
+	}
+	if _, _, ok := Unframe([]byte{0, 0, 0, 200, 'x'}); ok {
+		t.Fatal("overlong name accepted")
+	}
+}

@@ -1,0 +1,133 @@
+package ogsi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Client calls grid services over HTTP: the steering client of Figure 1,
+// runnable from "a users laptop".
+type Client struct {
+	// HTTP is the transport; the zero value uses a 10s-timeout client.
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{Timeout: 10 * time.Second}
+}
+
+// decode unwraps an opResponse into out.
+func decode(resp *http.Response, out any) error {
+	defer resp.Body.Close()
+	var r opResponse
+	if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+		return err
+	}
+	if !r.OK {
+		return fmt.Errorf("ogsi: remote: %s", r.Err)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(r.Result, out)
+}
+
+// Create asks a factory for a new instance and returns its GSH URL.
+func (c *Client) Create(baseURL, factory string, args any) (string, error) {
+	raw, err := json.Marshal(args)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.http().Post(baseURL+"/factories/"+factory, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return "", err
+	}
+	var out struct {
+		GSH string `json:"gsh"`
+	}
+	if err := decode(resp, &out); err != nil {
+		return "", err
+	}
+	return out.GSH, nil
+}
+
+// Call invokes an operation on a service instance by GSH URL.
+func (c *Client) Call(gshURL, op string, args, out any) error {
+	raw, err := json.Marshal(opRequest{Op: op, Args: mustRaw(args)})
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Post(gshURL, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	return decode(resp, out)
+}
+
+func mustRaw(args any) json.RawMessage {
+	if args == nil {
+		return nil
+	}
+	raw, err := json.Marshal(args)
+	if err != nil {
+		return nil
+	}
+	return raw
+}
+
+// ServiceData fetches one SDE (or all, with name "").
+func (c *Client) ServiceData(gshURL, name string, out any) error {
+	url := gshURL
+	if name != "" {
+		url += "?sde=" + name
+	}
+	resp, err := c.http().Get(url)
+	if err != nil {
+		return err
+	}
+	return decode(resp, out)
+}
+
+// SetLifetime sets the instance's termination time (seconds from now;
+// <= 0 makes it immortal again).
+func (c *Client) SetLifetime(gshURL string, seconds float64) error {
+	raw, _ := json.Marshal(map[string]float64{"seconds": seconds})
+	resp, err := c.http().Post(gshURL+"/lifetime", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	return decode(resp, nil)
+}
+
+// Destroy removes a service instance.
+func (c *Client) Destroy(gshURL string) error {
+	req, err := http.NewRequest(http.MethodDelete, gshURL, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	return decode(resp, nil)
+}
+
+// Register publishes a service into a registry instance.
+func (c *Client) Register(registryURL string, e Entry, ttlSeconds float64) error {
+	return c.Call(registryURL, "register", registerArgs{
+		GSH: e.GSH, Type: e.Type, Keywords: e.Keywords, TTLSeconds: ttlSeconds,
+	}, nil)
+}
+
+// Find queries a registry for services by type and keyword.
+func (c *Client) Find(registryURL, typ, keyword string) ([]Entry, error) {
+	var out []Entry
+	err := c.Call(registryURL, "find", findArgs{Type: typ, Keyword: keyword}, &out)
+	return out, err
+}

@@ -1,0 +1,151 @@
+package ogsi
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Entry is one registry record: a published grid service.
+type Entry struct {
+	GSH      string   `json:"gsh"`
+	Type     string   `json:"type"`
+	Keywords []string `json:"keywords,omitempty"`
+	// Expiry is soft state: entries must be refreshed before it passes.
+	Expiry time.Time `json:"expiry"`
+}
+
+// Registry is the service "which [has] details of the steering services
+// that have published to the registry" (section 2.3). It is itself a hosted
+// grid service with register/unregister/find operations.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]Entry
+}
+
+var _ Service = (*Registry)(nil)
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]Entry)}
+}
+
+// RegistryFactory creates registry instances for a Hosting container.
+func RegistryFactory(json.RawMessage) (Service, error) { return NewRegistry(), nil }
+
+// registerArgs are the arguments of the register operation.
+type registerArgs struct {
+	GSH      string   `json:"gsh"`
+	Type     string   `json:"type"`
+	Keywords []string `json:"keywords,omitempty"`
+	// TTLSeconds bounds the registration's soft-state lifetime (default 60).
+	TTLSeconds float64 `json:"ttl_seconds,omitempty"`
+}
+
+// findArgs are the arguments of the find operation.
+type findArgs struct {
+	Type    string `json:"type,omitempty"`
+	Keyword string `json:"keyword,omitempty"`
+}
+
+// ServeOp implements Service.
+func (r *Registry) ServeOp(op string, args json.RawMessage) (any, error) {
+	switch op {
+	case "register":
+		var a registerArgs
+		if err := json.Unmarshal(args, &a); err != nil {
+			return nil, err
+		}
+		if a.GSH == "" || a.Type == "" {
+			return nil, fmt.Errorf("ogsi: register needs gsh and type")
+		}
+		ttl := a.TTLSeconds
+		if ttl <= 0 {
+			ttl = 60
+		}
+		e := Entry{
+			GSH: a.GSH, Type: a.Type, Keywords: a.Keywords,
+			Expiry: time.Now().Add(time.Duration(ttl * float64(time.Second))),
+		}
+		r.mu.Lock()
+		r.entries[a.GSH] = e
+		r.mu.Unlock()
+		return e, nil
+
+	case "unregister":
+		var a struct {
+			GSH string `json:"gsh"`
+		}
+		if err := json.Unmarshal(args, &a); err != nil {
+			return nil, err
+		}
+		r.mu.Lock()
+		_, found := r.entries[a.GSH]
+		delete(r.entries, a.GSH)
+		r.mu.Unlock()
+		return map[string]bool{"removed": found}, nil
+
+	case "find":
+		var a findArgs
+		if len(args) > 0 {
+			if err := json.Unmarshal(args, &a); err != nil {
+				return nil, err
+			}
+		}
+		return r.Find(a.Type, a.Keyword), nil
+
+	default:
+		return nil, fmt.Errorf("ogsi: registry has no operation %q", op)
+	}
+}
+
+// Find returns live entries matching the type (exact, "" matches all) and
+// keyword (substring of any keyword, "" matches all).
+func (r *Registry) Find(typ, keyword string) []Entry {
+	now := time.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Entry
+	for gsh, e := range r.entries {
+		if now.After(e.Expiry) {
+			delete(r.entries, gsh)
+			continue
+		}
+		if typ != "" && e.Type != typ {
+			continue
+		}
+		if keyword != "" {
+			hit := false
+			for _, k := range e.Keywords {
+				if strings.Contains(k, keyword) {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				continue
+			}
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// ServiceData implements Service.
+func (r *Registry) ServiceData() map[string]any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return map[string]any{
+		"serviceType": "Registry",
+		"entryCount":  len(r.entries),
+	}
+}
+
+// Destroy implements Service.
+func (r *Registry) Destroy() {
+	r.mu.Lock()
+	r.entries = make(map[string]Entry)
+	r.mu.Unlock()
+}

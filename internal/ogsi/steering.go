@@ -1,0 +1,166 @@
+package ogsi
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// SteeringService exposes a running core.Session as an OGSA grid service:
+// the architecture of Figures 1 and 2, where "the steering client ...
+// contacts a steering service which will actually orchestrate the details of
+// the steering". One service instance steers one application session.
+type SteeringService struct {
+	session *core.Session
+}
+
+var _ Service = (*SteeringService)(nil)
+
+// NewSteeringService wraps a session.
+func NewSteeringService(s *core.Session) *SteeringService {
+	return &SteeringService{session: s}
+}
+
+// SteeringFactory returns a Factory producing steering services bound to the
+// given session (the hosting environment runs alongside the simulation).
+func SteeringFactory(s *core.Session) Factory {
+	return func(json.RawMessage) (Service, error) {
+		return NewSteeringService(s), nil
+	}
+}
+
+// sampleView is the JSON projection of a sample: scalar channels inline,
+// array channels summarised by shape (bulk data travels the data path, not
+// the control path).
+type sampleView struct {
+	Step    int64              `json:"step"`
+	Scalars map[string]float64 `json:"scalars,omitempty"`
+	Arrays  map[string][3]int  `json:"arrays,omitempty"`
+}
+
+// ServeOp implements Service.
+func (s *SteeringService) ServeOp(op string, args json.RawMessage) (any, error) {
+	switch op {
+	case "params":
+		return s.session.Params(), nil
+
+	case "steer":
+		var a struct {
+			Name  string  `json:"name"`
+			Value float64 `json:"value"`
+		}
+		if err := json.Unmarshal(args, &a); err != nil {
+			return nil, err
+		}
+		if err := s.session.QueueSetParam(a.Name, a.Value); err != nil {
+			return nil, err
+		}
+		return map[string]bool{"queued": true}, nil
+
+	case "command":
+		var a struct {
+			Command string `json:"command"`
+		}
+		if err := json.Unmarshal(args, &a); err != nil {
+			return nil, err
+		}
+		switch a.Command {
+		case "pause":
+			s.session.QueuePause()
+		case "resume":
+			s.session.QueueResume()
+		case "stop":
+			s.session.QueueStop()
+		case "checkpoint":
+			s.session.QueueCheckpoint()
+		default:
+			return nil, fmt.Errorf("ogsi: unknown command %q", a.Command)
+		}
+		return map[string]bool{"queued": true}, nil
+
+	case "sample":
+		sm := s.session.LastSample()
+		if sm == nil {
+			return sampleView{Step: -1}, nil
+		}
+		v := sampleView{Step: sm.Step, Scalars: map[string]float64{}, Arrays: map[string][3]int{}}
+		for name, ch := range sm.Channels {
+			if len(ch.Data) == 1 {
+				v.Scalars[name] = ch.Data[0]
+			} else {
+				v.Arrays[name] = ch.Dims
+			}
+		}
+		return v, nil
+
+	case "clients":
+		return s.session.Clients(), nil
+
+	default:
+		return nil, fmt.Errorf("ogsi: steering service has no operation %q", op)
+	}
+}
+
+// ServiceData implements Service: the SDEs a steering client inspects before
+// binding.
+func (s *SteeringService) ServiceData() map[string]any {
+	return map[string]any{
+		"serviceType": "SteeringService",
+		"session":     s.session.Name(),
+		"paramCount":  len(s.session.Params()),
+		"clients":     s.session.Clients(),
+		"master":      s.session.Master(),
+		"paused":      s.session.Paused(),
+	}
+}
+
+// Destroy implements Service. The session belongs to the simulation, so the
+// service releases only its binding.
+func (s *SteeringService) Destroy() {}
+
+// VizService exposes the session's shared visualization state as a second
+// grid service: Figure 2 shows "one service that steers the application and
+// another that steers the visualization".
+type VizService struct {
+	session *core.Session
+}
+
+var _ Service = (*VizService)(nil)
+
+// NewVizService wraps a session's view state.
+func NewVizService(s *core.Session) *VizService { return &VizService{session: s} }
+
+// VizFactory returns a Factory producing visualization-steering services.
+func VizFactory(s *core.Session) Factory {
+	return func(json.RawMessage) (Service, error) { return NewVizService(s), nil }
+}
+
+// ServeOp implements Service.
+func (v *VizService) ServeOp(op string, args json.RawMessage) (any, error) {
+	switch op {
+	case "view":
+		return v.session.View(), nil
+	case "setview":
+		var a core.ViewState
+		if err := json.Unmarshal(args, &a); err != nil {
+			return nil, err
+		}
+		return v.session.SetViewServer(a), nil
+	default:
+		return nil, fmt.Errorf("ogsi: viz service has no operation %q", op)
+	}
+}
+
+// ServiceData implements Service.
+func (v *VizService) ServiceData() map[string]any {
+	view := v.session.View()
+	return map[string]any{
+		"serviceType": "VizService",
+		"session":     v.session.Name(),
+		"viewSeq":     view.Seq,
+	}
+}
+
+// Destroy implements Service.
+func (v *VizService) Destroy() {}

@@ -1,0 +1,108 @@
+package render
+
+import (
+	"fmt"
+	"hash/crc32"
+)
+
+// Color is an RGBA colour with 8 bits per channel.
+type Color struct{ R, G, B, A uint8 }
+
+// Common colours used by the examples and tests.
+var (
+	Black = Color{0, 0, 0, 255}
+	White = Color{255, 255, 255, 255}
+	Red   = Color{220, 40, 40, 255}
+	Green = Color{40, 200, 80, 255}
+	Blue  = Color{60, 90, 230, 255}
+)
+
+// Shade scales the RGB channels of c by s in [0,1], keeping alpha.
+func (c Color) Shade(s float64) Color {
+	if s < 0 {
+		s = 0
+	}
+	if s > 1 {
+		s = 1
+	}
+	return Color{uint8(float64(c.R) * s), uint8(float64(c.G) * s), uint8(float64(c.B) * s), c.A}
+}
+
+// Framebuffer is a W×H RGBA image with a depth buffer.
+type Framebuffer struct {
+	W, H int
+	Pix  []byte    // RGBA, row-major, 4 bytes per pixel
+	Z    []float64 // depth per pixel, +Inf-like initialised via Clear
+}
+
+// NewFramebuffer allocates a framebuffer of the given size.
+func NewFramebuffer(w, h int) *Framebuffer {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("render: invalid framebuffer size %dx%d", w, h))
+	}
+	return &Framebuffer{W: w, H: h, Pix: make([]byte, w*h*4), Z: make([]float64, w*h)}
+}
+
+// Clear fills the framebuffer with c and resets the depth buffer.
+func (f *Framebuffer) Clear(c Color) {
+	for i := 0; i < len(f.Pix); i += 4 {
+		f.Pix[i], f.Pix[i+1], f.Pix[i+2], f.Pix[i+3] = c.R, c.G, c.B, c.A
+	}
+	for i := range f.Z {
+		f.Z[i] = 1e30
+	}
+}
+
+// Set writes a pixel unconditionally (no depth test).
+func (f *Framebuffer) Set(x, y int, c Color) {
+	if x < 0 || y < 0 || x >= f.W || y >= f.H {
+		return
+	}
+	i := (y*f.W + x) * 4
+	f.Pix[i], f.Pix[i+1], f.Pix[i+2], f.Pix[i+3] = c.R, c.G, c.B, c.A
+}
+
+// setDepth writes a pixel if z passes the depth test.
+func (f *Framebuffer) setDepth(x, y int, z float64, c Color) {
+	if x < 0 || y < 0 || x >= f.W || y >= f.H {
+		return
+	}
+	zi := y*f.W + x
+	if z >= f.Z[zi] {
+		return
+	}
+	f.Z[zi] = z
+	i := zi * 4
+	f.Pix[i], f.Pix[i+1], f.Pix[i+2], f.Pix[i+3] = c.R, c.G, c.B, c.A
+}
+
+// At returns the pixel colour at (x, y).
+func (f *Framebuffer) At(x, y int) Color {
+	i := (y*f.W + x) * 4
+	return Color{f.Pix[i], f.Pix[i+1], f.Pix[i+2], f.Pix[i+3]}
+}
+
+// Checksum returns a CRC-32 of the pixel data; tests and the view-divergence
+// experiments use it to compare what different sites are displaying.
+func (f *Framebuffer) Checksum() uint32 { return crc32.ChecksumIEEE(f.Pix) }
+
+// Clone returns a deep copy of the framebuffer's pixels (depth is reset).
+func (f *Framebuffer) Clone() *Framebuffer {
+	g := NewFramebuffer(f.W, f.H)
+	copy(g.Pix, f.Pix)
+	return g
+}
+
+// DiffPixels counts pixels that differ between two equally sized buffers.
+func (f *Framebuffer) DiffPixels(g *Framebuffer) int {
+	if f.W != g.W || f.H != g.H {
+		return f.W * f.H
+	}
+	n := 0
+	for i := 0; i < len(f.Pix); i += 4 {
+		if f.Pix[i] != g.Pix[i] || f.Pix[i+1] != g.Pix[i+1] || f.Pix[i+2] != g.Pix[i+2] || f.Pix[i+3] != g.Pix[i+3] {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,134 @@
+// Package render is a deterministic software renderer: an RGBA framebuffer
+// with a z-buffer, a perspective camera, and flat-shaded triangle/line/point
+// rasterisation. It stands in for the graphics pipes of the SGI Onyx visual
+// supercomputers in the paper: the experiments need real per-frame rendering
+// cost, real pixels to compress (VizServer/vnc substrates) and geometry whose
+// volume scales with dataset size.
+package render
+
+import "math"
+
+// Vec3 is a 3-component vector.
+type Vec3 struct{ X, Y, Z float64 }
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns v * s.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{v.X * s, v.Y * s, v.Z * s} }
+
+// Dot returns the dot product v · w.
+func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Cross returns the cross product v × w.
+func (v Vec3) Cross(w Vec3) Vec3 {
+	return Vec3{
+		v.Y*w.Z - v.Z*w.Y,
+		v.Z*w.X - v.X*w.Z,
+		v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Len returns |v|.
+func (v Vec3) Len() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Normalize returns v/|v|, or the zero vector if |v| == 0.
+func (v Vec3) Normalize() Vec3 {
+	l := v.Len()
+	if l == 0 {
+		return Vec3{}
+	}
+	return v.Scale(1 / l)
+}
+
+// Mat4 is a 4×4 matrix in row-major order.
+type Mat4 [16]float64
+
+// Identity returns the identity matrix.
+func Identity() Mat4 {
+	return Mat4{
+		1, 0, 0, 0,
+		0, 1, 0, 0,
+		0, 0, 1, 0,
+		0, 0, 0, 1,
+	}
+}
+
+// Mul returns m × n.
+func (m Mat4) Mul(n Mat4) Mat4 {
+	var out Mat4
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			s := 0.0
+			for k := 0; k < 4; k++ {
+				s += m[r*4+k] * n[k*4+c]
+			}
+			out[r*4+c] = s
+		}
+	}
+	return out
+}
+
+// TransformPoint applies m to (v, 1) and performs the perspective divide.
+// The returned w is the clip-space w component, needed for near-plane tests.
+func (m Mat4) TransformPoint(v Vec3) (out Vec3, w float64) {
+	x := m[0]*v.X + m[1]*v.Y + m[2]*v.Z + m[3]
+	y := m[4]*v.X + m[5]*v.Y + m[6]*v.Z + m[7]
+	z := m[8]*v.X + m[9]*v.Y + m[10]*v.Z + m[11]
+	w = m[12]*v.X + m[13]*v.Y + m[14]*v.Z + m[15]
+	if w != 0 {
+		inv := 1 / w
+		return Vec3{x * inv, y * inv, z * inv}, w
+	}
+	return Vec3{x, y, z}, w
+}
+
+// LookAt builds a right-handed view matrix with the camera at eye looking at
+// center with the given up vector.
+func LookAt(eye, center, up Vec3) Mat4 {
+	f := center.Sub(eye).Normalize()
+	s := f.Cross(up.Normalize()).Normalize()
+	u := s.Cross(f)
+	return Mat4{
+		s.X, s.Y, s.Z, -s.Dot(eye),
+		u.X, u.Y, u.Z, -u.Dot(eye),
+		-f.X, -f.Y, -f.Z, f.Dot(eye),
+		0, 0, 0, 1,
+	}
+}
+
+// Perspective builds a perspective projection with the given vertical field
+// of view (radians), aspect ratio and near/far planes.
+func Perspective(fovY, aspect, near, far float64) Mat4 {
+	t := 1 / math.Tan(fovY/2)
+	return Mat4{
+		t / aspect, 0, 0, 0,
+		0, t, 0, 0,
+		0, 0, (far + near) / (near - far), 2 * far * near / (near - far),
+		0, 0, -1, 0,
+	}
+}
+
+// RotateY returns a rotation matrix about the Y axis (radians).
+func RotateY(a float64) Mat4 {
+	c, s := math.Cos(a), math.Sin(a)
+	return Mat4{
+		c, 0, s, 0,
+		0, 1, 0, 0,
+		-s, 0, c, 0,
+		0, 0, 0, 1,
+	}
+}
+
+// Translate returns a translation matrix.
+func Translate(v Vec3) Mat4 {
+	return Mat4{
+		1, 0, 0, v.X,
+		0, 1, 0, v.Y,
+		0, 0, 1, v.Z,
+		0, 0, 0, 1,
+	}
+}

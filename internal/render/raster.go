@@ -1,0 +1,246 @@
+package render
+
+import "math"
+
+// Mesh is indexed triangle geometry with one colour, the unit of data
+// exchanged between visualization and rendering components.
+type Mesh struct {
+	Vertices  []Vec3
+	Triangles [][3]int32
+	Color     Color
+}
+
+// ByteSize reports the raw size of the mesh if shipped uncompressed
+// (3 float64 per vertex + 3 int32 per triangle). The VizServer bandwidth
+// experiment compares this against compressed framebuffer bytes.
+func (m *Mesh) ByteSize() int { return len(m.Vertices)*24 + len(m.Triangles)*12 }
+
+// PointCloud is a set of coloured points (e.g. PEPC particles as glyphs).
+type PointCloud struct {
+	Points []Vec3
+	Color  Color
+	// Size is the glyph half-extent in pixels (0 renders single pixels).
+	Size int
+}
+
+// Lines is a set of independent line segments (e.g. tree-domain box edges).
+type Lines struct {
+	Segments [][2]Vec3
+	Color    Color
+}
+
+// Scene is everything drawn in one frame.
+type Scene struct {
+	Meshes []*Mesh
+	Points []*PointCloud
+	Lines  []*Lines
+}
+
+// GeometryBytes reports the raw geometry volume of the scene.
+func (s *Scene) GeometryBytes() int {
+	n := 0
+	for _, m := range s.Meshes {
+		n += m.ByteSize()
+	}
+	for _, p := range s.Points {
+		n += len(p.Points) * 24
+	}
+	for _, l := range s.Lines {
+		n += len(l.Segments) * 48
+	}
+	return n
+}
+
+// TriangleCount reports the total triangle count of the scene.
+func (s *Scene) TriangleCount() int {
+	n := 0
+	for _, m := range s.Meshes {
+		n += len(m.Triangles)
+	}
+	return n
+}
+
+// Camera defines the viewpoint. The collaborative-session view state that
+// COVISE and VizServer synchronise between sites is exactly this struct.
+type Camera struct {
+	Eye, Center, Up Vec3
+	FovY            float64 // radians
+	Near, Far       float64
+}
+
+// DefaultCamera returns a camera looking at the unit cube from a distance.
+func DefaultCamera() Camera {
+	return Camera{
+		Eye:    Vec3{1.8, 1.4, 2.2},
+		Center: Vec3{0.5, 0.5, 0.5},
+		Up:     Vec3{0, 1, 0},
+		FovY:   math.Pi / 4,
+		Near:   0.1,
+		Far:    100,
+	}
+}
+
+// viewProjection returns the combined view-projection matrix for the target
+// aspect ratio.
+func (c Camera) viewProjection(aspect float64) Mat4 {
+	return Perspective(c.FovY, aspect, c.Near, c.Far).Mul(LookAt(c.Eye, c.Center, c.Up))
+}
+
+// lightDir is the fixed directional light used for flat shading.
+var lightDir = Vec3{0.4, 0.8, 0.45}.Normalize()
+
+// Render draws the scene into fb from the camera's viewpoint. It clears the
+// framebuffer first. Rendering is single-threaded and deterministic: the same
+// scene and camera always produce identical pixels, which the collaborative
+// view-synchronisation experiments rely on.
+func Render(fb *Framebuffer, cam Camera, scene *Scene) {
+	fb.Clear(Black)
+	vp := cam.viewProjection(float64(fb.W) / float64(fb.H))
+	for _, m := range scene.Meshes {
+		renderMesh(fb, vp, m)
+	}
+	for _, l := range scene.Lines {
+		renderLines(fb, vp, l)
+	}
+	for _, p := range scene.Points {
+		renderPoints(fb, vp, p)
+	}
+}
+
+// project maps a world point to framebuffer coordinates. ok is false when
+// the point lies behind the near plane.
+func project(fb *Framebuffer, vp Mat4, v Vec3) (x, y int, z float64, ok bool) {
+	ndc, w := vp.TransformPoint(v)
+	if w <= 0 {
+		return 0, 0, 0, false
+	}
+	x = int((ndc.X + 1) / 2 * float64(fb.W))
+	y = int((1 - (ndc.Y+1)/2) * float64(fb.H))
+	return x, y, ndc.Z, true
+}
+
+func renderMesh(fb *Framebuffer, vp Mat4, m *Mesh) {
+	for _, tri := range m.Triangles {
+		a, b, c := m.Vertices[tri[0]], m.Vertices[tri[1]], m.Vertices[tri[2]]
+		n := b.Sub(a).Cross(c.Sub(a)).Normalize()
+		// Two-sided flat shading with ambient floor.
+		shade := math.Abs(n.Dot(lightDir))*0.75 + 0.25
+		col := m.Color.Shade(shade)
+
+		x0, y0, z0, ok0 := project(fb, vp, a)
+		x1, y1, z1, ok1 := project(fb, vp, b)
+		x2, y2, z2, ok2 := project(fb, vp, c)
+		if !ok0 || !ok1 || !ok2 {
+			continue
+		}
+		fillTriangle(fb, x0, y0, z0, x1, y1, z1, x2, y2, z2, col)
+	}
+}
+
+// fillTriangle rasterises one screen-space triangle with barycentric depth
+// interpolation.
+func fillTriangle(fb *Framebuffer, x0, y0 int, z0 float64, x1, y1 int, z1 float64, x2, y2 int, z2 float64, col Color) {
+	minX := max(min3(x0, x1, x2), 0)
+	maxX := min(max3(x0, x1, x2), fb.W-1)
+	minY := max(min3(y0, y1, y2), 0)
+	maxY := min(max3(y0, y1, y2), fb.H-1)
+	if minX > maxX || minY > maxY {
+		return
+	}
+	area := float64((x1-x0)*(y2-y0) - (x2-x0)*(y1-y0))
+	if area == 0 {
+		return
+	}
+	inv := 1 / area
+	for y := minY; y <= maxY; y++ {
+		for x := minX; x <= maxX; x++ {
+			w0 := float64((x1-x)*(y2-y)-(x2-x)*(y1-y)) * inv
+			w1 := float64((x2-x)*(y0-y)-(x0-x)*(y2-y)) * inv
+			w2 := 1 - w0 - w1
+			if w0 < 0 || w1 < 0 || w2 < 0 {
+				continue
+			}
+			z := w0*z0 + w1*z1 + w2*z2
+			fb.setDepth(x, y, z, col)
+		}
+	}
+}
+
+func renderLines(fb *Framebuffer, vp Mat4, l *Lines) {
+	for _, seg := range l.Segments {
+		x0, y0, z0, ok0 := project(fb, vp, seg[0])
+		x1, y1, z1, ok1 := project(fb, vp, seg[1])
+		if !ok0 || !ok1 {
+			continue
+		}
+		drawLine(fb, x0, y0, z0, x1, y1, z1, l.Color)
+	}
+}
+
+// drawLine is Bresenham with linear depth interpolation.
+func drawLine(fb *Framebuffer, x0, y0 int, z0 float64, x1, y1 int, z1 float64, col Color) {
+	dx, dy := abs(x1-x0), -abs(y1-y0)
+	sx, sy := sign(x1-x0), sign(y1-y0)
+	err := dx + dy
+	steps := max(abs(x1-x0), abs(y1-y0))
+	total := float64(max(steps, 1))
+	i := 0.0
+	for {
+		t := i / total
+		fb.setDepth(x0, y0, z0+(z1-z0)*t-1e-6, col) // slight bias so edges win over faces
+		if x0 == x1 && y0 == y1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x0 += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y0 += sy
+		}
+		i++
+	}
+}
+
+func renderPoints(fb *Framebuffer, vp Mat4, p *PointCloud) {
+	for _, pt := range p.Points {
+		x, y, z, ok := project(fb, vp, pt)
+		if !ok {
+			continue
+		}
+		if p.Size <= 0 {
+			fb.setDepth(x, y, z, p.Color)
+			continue
+		}
+		// Diamond glyph, as the paper renders PEPC particles.
+		for dy := -p.Size; dy <= p.Size; dy++ {
+			w := p.Size - abs(dy)
+			for dx := -w; dx <= w; dx++ {
+				fb.setDepth(x+dx, y+dy, z, p.Color)
+			}
+		}
+	}
+}
+
+func abs(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+func sign(a int) int {
+	switch {
+	case a > 0:
+		return 1
+	case a < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+func min3(a, b, c int) int { return min(a, min(b, c)) }
+func max3(a, b, c int) int { return max(a, max(b, c)) }

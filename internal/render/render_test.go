@@ -1,0 +1,298 @@
+package render
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVecOps(t *testing.T) {
+	v := Vec3{1, 2, 3}
+	w := Vec3{4, 5, 6}
+	if got := v.Add(w); got != (Vec3{5, 7, 9}) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := v.Sub(w); got != (Vec3{-3, -3, -3}) {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := v.Dot(w); got != 32 {
+		t.Fatalf("Dot = %v", got)
+	}
+	if got := v.Cross(w); got != (Vec3{-3, 6, -3}) {
+		t.Fatalf("Cross = %v", got)
+	}
+	n := Vec3{3, 0, 4}.Normalize()
+	if math.Abs(n.Len()-1) > 1e-12 {
+		t.Fatalf("Normalize len = %v", n.Len())
+	}
+	if (Vec3{}).Normalize() != (Vec3{}) {
+		t.Fatal("zero normalize must stay zero")
+	}
+}
+
+func TestMatIdentity(t *testing.T) {
+	v := Vec3{1, -2, 3}
+	got, w := Identity().TransformPoint(v)
+	if got != v || w != 1 {
+		t.Fatalf("identity transform = %v w=%v", got, w)
+	}
+}
+
+func TestMatMulAssociative(t *testing.T) {
+	a := RotateY(0.5)
+	b := Translate(Vec3{1, 2, 3})
+	c := RotateY(-0.2)
+	l := a.Mul(b).Mul(c)
+	r := a.Mul(b.Mul(c))
+	for i := range l {
+		if math.Abs(l[i]-r[i]) > 1e-12 {
+			t.Fatalf("matrix mul not associative at %d: %v vs %v", i, l[i], r[i])
+		}
+	}
+}
+
+func TestLookAtMapsCenterToAxis(t *testing.T) {
+	view := LookAt(Vec3{0, 0, 5}, Vec3{}, Vec3{0, 1, 0})
+	p, _ := view.TransformPoint(Vec3{})
+	if math.Abs(p.X) > 1e-12 || math.Abs(p.Y) > 1e-12 {
+		t.Fatalf("center not on view axis: %v", p)
+	}
+	if p.Z >= 0 {
+		t.Fatalf("center should be in front (negative Z in view space): %v", p)
+	}
+}
+
+func TestPerspectiveDepthOrdering(t *testing.T) {
+	cam := DefaultCamera()
+	vp := cam.viewProjection(1)
+	nearPt, _ := vp.TransformPoint(Vec3{0.5, 0.5, 0.5})
+	farther := cam.Eye.Add(Vec3{0.5, 0.5, 0.5}.Sub(cam.Eye).Scale(2))
+	farPt, _ := vp.TransformPoint(farther)
+	if nearPt.Z >= farPt.Z {
+		t.Fatalf("depth ordering wrong: near %v far %v", nearPt.Z, farPt.Z)
+	}
+}
+
+func TestFramebufferClearAndSet(t *testing.T) {
+	fb := NewFramebuffer(8, 8)
+	fb.Clear(Blue)
+	if fb.At(3, 3) != Blue {
+		t.Fatalf("clear color = %v", fb.At(3, 3))
+	}
+	fb.Set(1, 2, Red)
+	if fb.At(1, 2) != Red {
+		t.Fatal("set failed")
+	}
+	fb.Set(-1, 0, Red) // out of bounds must not panic
+	fb.Set(100, 100, Red)
+}
+
+func TestFramebufferDiffAndChecksum(t *testing.T) {
+	a := NewFramebuffer(16, 16)
+	a.Clear(Black)
+	b := a.Clone()
+	if a.DiffPixels(b) != 0 || a.Checksum() != b.Checksum() {
+		t.Fatal("identical buffers differ")
+	}
+	b.Set(5, 5, White)
+	if a.DiffPixels(b) != 1 {
+		t.Fatalf("diff = %d, want 1", a.DiffPixels(b))
+	}
+	if a.Checksum() == b.Checksum() {
+		t.Fatal("checksum blind to pixel change")
+	}
+}
+
+// unitTriangle returns a scene with one triangle facing the default camera.
+func unitTriangle() *Scene {
+	return &Scene{Meshes: []*Mesh{{
+		Vertices:  []Vec3{{0, 0, 0.5}, {1, 0, 0.5}, {0.5, 1, 0.5}},
+		Triangles: [][3]int32{{0, 1, 2}},
+		Color:     Red,
+	}}}
+}
+
+func TestRenderTrianglePaintsPixels(t *testing.T) {
+	fb := NewFramebuffer(64, 64)
+	Render(fb, DefaultCamera(), unitTriangle())
+	painted := 0
+	for y := 0; y < fb.H; y++ {
+		for x := 0; x < fb.W; x++ {
+			if fb.At(x, y) != Black {
+				painted++
+			}
+		}
+	}
+	if painted < 50 {
+		t.Fatalf("painted %d pixels, want a visible triangle", painted)
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	fb1 := NewFramebuffer(64, 64)
+	fb2 := NewFramebuffer(64, 64)
+	s := unitTriangle()
+	cam := DefaultCamera()
+	Render(fb1, cam, s)
+	Render(fb2, cam, s)
+	if fb1.Checksum() != fb2.Checksum() {
+		t.Fatal("identical render produced different pixels")
+	}
+}
+
+func TestRenderViewpointChangesImage(t *testing.T) {
+	fb1 := NewFramebuffer(64, 64)
+	fb2 := NewFramebuffer(64, 64)
+	s := unitTriangle()
+	cam := DefaultCamera()
+	Render(fb1, cam, s)
+	cam.Eye = Vec3{-1.8, 1.4, 2.2}
+	Render(fb2, cam, s)
+	if fb1.Checksum() == fb2.Checksum() {
+		t.Fatal("moving the camera did not change the image")
+	}
+}
+
+func TestDepthOcclusion(t *testing.T) {
+	// A red triangle in front of a green one; the centre pixel must be red.
+	s := &Scene{Meshes: []*Mesh{
+		{
+			Vertices:  []Vec3{{-2, -2, 0}, {2, -2, 0}, {0, 2, 0}},
+			Triangles: [][3]int32{{0, 1, 2}},
+			Color:     Green,
+		},
+		{
+			Vertices:  []Vec3{{-2, -2, 2}, {2, -2, 2}, {0, 2, 2}},
+			Triangles: [][3]int32{{0, 1, 2}},
+			Color:     Red,
+		},
+	}}
+	cam := Camera{Eye: Vec3{0, 0, 6}, Center: Vec3{}, Up: Vec3{0, 1, 0}, FovY: math.Pi / 3, Near: 0.1, Far: 50}
+	fb := NewFramebuffer(64, 64)
+	Render(fb, cam, s)
+	got := fb.At(32, 40)
+	if got.R <= got.G {
+		t.Fatalf("front triangle lost depth test: %+v", got)
+	}
+}
+
+func TestBehindCameraCulled(t *testing.T) {
+	s := &Scene{Meshes: []*Mesh{{
+		Vertices:  []Vec3{{0, 0, 50}, {1, 0, 50}, {0.5, 1, 50}}, // behind eye at z=6 looking -z
+		Triangles: [][3]int32{{0, 1, 2}},
+		Color:     Red,
+	}}}
+	cam := Camera{Eye: Vec3{0, 0, 6}, Center: Vec3{}, Up: Vec3{0, 1, 0}, FovY: math.Pi / 3, Near: 0.1, Far: 50}
+	fb := NewFramebuffer(32, 32)
+	Render(fb, cam, s)
+	for y := 0; y < 32; y++ {
+		for x := 0; x < 32; x++ {
+			if fb.At(x, y) != Black {
+				t.Fatalf("geometry behind camera rendered at %d,%d", x, y)
+			}
+		}
+	}
+}
+
+func TestPointGlyphs(t *testing.T) {
+	s := &Scene{Points: []*PointCloud{{
+		Points: []Vec3{{0.5, 0.5, 0.5}},
+		Color:  White,
+		Size:   3,
+	}}}
+	fb := NewFramebuffer(64, 64)
+	Render(fb, DefaultCamera(), s)
+	painted := 0
+	for y := 0; y < fb.H; y++ {
+		for x := 0; x < fb.W; x++ {
+			if fb.At(x, y) != Black {
+				painted++
+			}
+		}
+	}
+	// Diamond of size 3 = 2*3^2+2*3+1 = 25 pixels.
+	if painted != 25 {
+		t.Fatalf("glyph painted %d pixels, want 25", painted)
+	}
+}
+
+func TestLinesDrawn(t *testing.T) {
+	s := &Scene{Lines: []*Lines{{
+		Segments: [][2]Vec3{{{0, 0, 0}, {1, 1, 1}}},
+		Color:    Green,
+	}}}
+	fb := NewFramebuffer(64, 64)
+	Render(fb, DefaultCamera(), s)
+	painted := 0
+	for i := 0; i < len(fb.Pix); i += 4 {
+		if fb.Pix[i+1] > 0 {
+			painted++
+		}
+	}
+	if painted < 10 {
+		t.Fatalf("line painted %d pixels", painted)
+	}
+}
+
+func TestSceneAccounting(t *testing.T) {
+	s := unitTriangle()
+	s.Points = []*PointCloud{{Points: make([]Vec3, 10)}}
+	s.Lines = []*Lines{{Segments: make([][2]Vec3, 5)}}
+	if got := s.TriangleCount(); got != 1 {
+		t.Fatalf("TriangleCount = %d", got)
+	}
+	want := 3*24 + 1*12 + 10*24 + 5*48
+	if got := s.GeometryBytes(); got != want {
+		t.Fatalf("GeometryBytes = %d, want %d", got, want)
+	}
+}
+
+func TestColorShadeClamps(t *testing.T) {
+	c := Color{200, 100, 50, 255}
+	if got := c.Shade(2); got != (Color{200, 100, 50, 255}) {
+		t.Fatalf("over-shade = %+v", got)
+	}
+	if got := c.Shade(-1); got != (Color{0, 0, 0, 255}) {
+		t.Fatalf("negative shade = %+v", got)
+	}
+}
+
+// Property: normalize always yields unit length (or zero).
+func TestQuickNormalize(t *testing.T) {
+	f := func(x, y, z float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsNaN(z) ||
+			math.IsInf(x, 0) || math.IsInf(y, 0) || math.IsInf(z, 0) {
+			return true
+		}
+		v := Vec3{x, y, z}
+		n := v.Normalize()
+		l := n.Len()
+		return l == 0 || math.Abs(l-1) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cross product is orthogonal to both inputs.
+func TestQuickCrossOrthogonal(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		clamp := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 1
+			}
+			return math.Mod(v, 1e3)
+		}
+		a := Vec3{clamp(ax), clamp(ay), clamp(az)}
+		b := Vec3{clamp(bx), clamp(by), clamp(bz)}
+		c := a.Cross(b)
+		scale := a.Len() * b.Len() * c.Len()
+		if scale == 0 {
+			return true
+		}
+		return math.Abs(c.Dot(a))/scale < 1e-9 && math.Abs(c.Dot(b))/scale < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,477 @@
+// Package airflow implements a voxelised building-climatization simulation:
+// the workload of the paper's COVISE demonstration (section 4.7), where
+// "simulations allow determining and optimizing the climatization layout" of
+// a car-show building and the behaviour of its visitors is analysed.
+//
+// The model is deliberately classic: a potential-flow velocity field driven
+// by supply vents (sources) and exhausts (sinks), solved with Jacobi
+// iterations, advecting and diffusing a temperature field with first-order
+// upwind differencing. Visitors are steerable point heat sources; vent
+// temperature and flow rate are the steerable climatization parameters.
+package airflow
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/viz"
+)
+
+// Cell classifies one voxel of the building.
+type Cell uint8
+
+// Voxel types.
+const (
+	Open Cell = iota
+	Wall
+	Vent    // air supply: flow source with a supply temperature
+	Exhaust // air return: flow sink
+)
+
+// VentSpec describes one steerable air supply.
+type VentSpec struct {
+	I, J, K     int
+	Temperature float64 // supply temperature
+	Flow        float64 // volumetric source strength
+}
+
+// Params configures the solver.
+type Params struct {
+	Nx, Ny, Nz int
+	// Kappa is the thermal diffusivity (stability requires Kappa*Dt < 1/6
+	// with unit spacing; Step clamps automatically).
+	Kappa float64
+	// Dt is the timestep.
+	Dt float64
+	// AmbientT is the initial temperature everywhere.
+	AmbientT float64
+	// Workers bounds the parallel worker pool; 0 uses a serial loop.
+	Workers int
+}
+
+// Sim is a running climatization simulation.
+type Sim struct {
+	p     Params
+	cells []Cell
+	temp  []float64
+	vx    []float64
+	vy    []float64
+	vz    []float64
+
+	mu        sync.RWMutex
+	vents     map[int]*VentSpec // keyed by flat index
+	exhausts  []int
+	heat      map[int]float64 // visitor/exhibit heat sources, W per cell
+	flowDirty bool
+
+	step int
+}
+
+// New allocates a building filled with open space at ambient temperature,
+// enclosed by walls on all six faces.
+func New(p Params) (*Sim, error) {
+	if p.Nx < 3 || p.Ny < 3 || p.Nz < 3 {
+		return nil, fmt.Errorf("airflow: grid %dx%dx%d too small", p.Nx, p.Ny, p.Nz)
+	}
+	if p.Dt <= 0 || p.Kappa < 0 {
+		return nil, fmt.Errorf("airflow: invalid dt %v / kappa %v", p.Dt, p.Kappa)
+	}
+	n := p.Nx * p.Ny * p.Nz
+	s := &Sim{
+		p:     p,
+		cells: make([]Cell, n),
+		temp:  make([]float64, n),
+		vx:    make([]float64, n),
+		vy:    make([]float64, n),
+		vz:    make([]float64, n),
+		vents: make(map[int]*VentSpec),
+		heat:  make(map[int]float64),
+	}
+	for i := range s.temp {
+		s.temp[i] = p.AmbientT
+	}
+	// Enclose with walls.
+	for k := 0; k < p.Nz; k++ {
+		for j := 0; j < p.Ny; j++ {
+			for i := 0; i < p.Nx; i++ {
+				if i == 0 || j == 0 || k == 0 || i == p.Nx-1 || j == p.Ny-1 || k == p.Nz-1 {
+					s.cells[s.idx(i, j, k)] = Wall
+				}
+			}
+		}
+	}
+	return s, nil
+}
+
+func (s *Sim) idx(i, j, k int) int { return (k*s.p.Ny+j)*s.p.Nx + i }
+
+// Size returns the grid dimensions.
+func (s *Sim) Size() (nx, ny, nz int) { return s.p.Nx, s.p.Ny, s.p.Nz }
+
+// StepCount returns the number of completed steps.
+func (s *Sim) StepCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.step
+}
+
+// SetWall marks a voxel as solid wall.
+func (s *Sim) SetWall(i, j, k int) { s.cells[s.idx(i, j, k)] = Wall }
+
+// AddWallBox fills the axis-aligned box [i0,i1]×[j0,j1]×[k0,k1] with wall.
+func (s *Sim) AddWallBox(i0, j0, k0, i1, j1, k1 int) {
+	for k := k0; k <= k1; k++ {
+		for j := j0; j <= j1; j++ {
+			for i := i0; i <= i1; i++ {
+				s.SetWall(i, j, k)
+			}
+		}
+	}
+}
+
+// AddVent installs a steerable air supply at (i, j, k).
+func (s *Sim) AddVent(v VentSpec) {
+	id := s.idx(v.I, v.J, v.K)
+	s.mu.Lock()
+	s.cells[id] = Vent
+	spec := v
+	s.vents[id] = &spec
+	s.flowDirty = true
+	s.mu.Unlock()
+}
+
+// AddExhaust installs an air return at (i, j, k).
+func (s *Sim) AddExhaust(i, j, k int) {
+	id := s.idx(i, j, k)
+	s.mu.Lock()
+	s.cells[id] = Exhaust
+	s.exhausts = append(s.exhausts, id)
+	s.flowDirty = true
+	s.mu.Unlock()
+}
+
+// SetVent steers an existing vent's temperature and flow; safe to call while
+// Step runs on another goroutine.
+func (s *Sim) SetVent(i, j, k int, temperature, flow float64) error {
+	id := s.idx(i, j, k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.vents[id]
+	if !ok {
+		return fmt.Errorf("airflow: no vent at %d,%d,%d", i, j, k)
+	}
+	v.Temperature = temperature
+	if v.Flow != flow {
+		v.Flow = flow
+		s.flowDirty = true
+	}
+	return nil
+}
+
+// AddHeatSource places a heat source (a visitor cluster or exhibit) of the
+// given power at a voxel; power 0 removes it.
+func (s *Sim) AddHeatSource(i, j, k int, power float64) {
+	id := s.idx(i, j, k)
+	s.mu.Lock()
+	if power == 0 {
+		delete(s.heat, id)
+	} else {
+		s.heat[id] = power
+	}
+	s.mu.Unlock()
+}
+
+// solveFlow computes the potential-flow velocity field from the current vent
+// and exhaust configuration: ∇²φ = −(sources − sinks), v = −∇φ, with
+// zero-normal-flow walls. Jacobi iteration is run to a fixed tolerance.
+func (s *Sim) solveFlow() {
+	nx, ny, nz := s.p.Nx, s.p.Ny, s.p.Nz
+	n := nx * ny * nz
+	phi := make([]float64, n)
+	next := make([]float64, n)
+	src := make([]float64, n)
+
+	var totalIn float64
+	for id, v := range s.vents {
+		src[id] += v.Flow
+		totalIn += v.Flow
+	}
+	// Distribute the balancing sink over exhausts so the system is solvable.
+	if len(s.exhausts) > 0 && totalIn > 0 {
+		per := totalIn / float64(len(s.exhausts))
+		for _, id := range s.exhausts {
+			src[id] -= per
+		}
+	}
+
+	const maxIter = 400
+	for iter := 0; iter < maxIter; iter++ {
+		var maxDelta float64
+		for k := 1; k < nz-1; k++ {
+			for j := 1; j < ny-1; j++ {
+				for i := 1; i < nx-1; i++ {
+					id := s.idx(i, j, k)
+					if s.cells[id] == Wall {
+						next[id] = phi[id]
+						continue
+					}
+					var sum float64
+					var cnt float64
+					for _, d := range [6][3]int{{1, 0, 0}, {-1, 0, 0}, {0, 1, 0}, {0, -1, 0}, {0, 0, 1}, {0, 0, -1}} {
+						nid := s.idx(i+d[0], j+d[1], k+d[2])
+						if s.cells[nid] == Wall {
+							continue // Neumann: mirror, contributes nothing
+						}
+						sum += phi[nid]
+						cnt++
+					}
+					if cnt == 0 {
+						next[id] = phi[id]
+						continue
+					}
+					v := (sum + src[id]) / cnt
+					if d := math.Abs(v - phi[id]); d > maxDelta {
+						maxDelta = d
+					}
+					next[id] = v
+				}
+			}
+		}
+		phi, next = next, phi
+		if maxDelta < 1e-7 {
+			break
+		}
+	}
+
+	// v = −∇φ with central differences; zero at walls.
+	for k := 1; k < nz-1; k++ {
+		for j := 1; j < ny-1; j++ {
+			for i := 1; i < nx-1; i++ {
+				id := s.idx(i, j, k)
+				if s.cells[id] == Wall {
+					s.vx[id], s.vy[id], s.vz[id] = 0, 0, 0
+					continue
+				}
+				grad := func(a, b int) float64 { return -(phi[a] - phi[b]) / 2 }
+				s.vx[id] = grad(s.idx(i+1, j, k), s.idx(i-1, j, k))
+				s.vy[id] = grad(s.idx(i, j+1, k), s.idx(i, j-1, k))
+				s.vz[id] = grad(s.idx(i, j, k+1), s.idx(i, j, k-1))
+			}
+		}
+	}
+	s.flowDirty = false
+}
+
+// Step advances temperature by one timestep: upwind advection along the flow
+// field, explicit diffusion, heat sources and vent supply temperatures.
+func (s *Sim) Step() {
+	s.mu.Lock()
+	if s.flowDirty {
+		s.solveFlow()
+	}
+	heat := make(map[int]float64, len(s.heat))
+	for k, v := range s.heat {
+		heat[k] = v
+	}
+	vents := make(map[int]VentSpec, len(s.vents))
+	for k, v := range s.vents {
+		vents[k] = *v
+	}
+	s.mu.Unlock()
+
+	nx, ny, nz := s.p.Nx, s.p.Ny, s.p.Nz
+	dt := s.p.Dt
+	kappa := s.p.Kappa
+	if kappa*dt > 1.0/6.1 {
+		kappa = 1.0 / 6.1 / dt // clamp for explicit stability
+	}
+	next := make([]float64, len(s.temp))
+	copy(next, s.temp)
+
+	run := func(k0, k1 int) {
+		for k := k0; k < k1; k++ {
+			for j := 1; j < ny-1; j++ {
+				for i := 1; i < nx-1; i++ {
+					id := s.idx(i, j, k)
+					if s.cells[id] == Wall {
+						continue
+					}
+					t := s.temp[id]
+
+					// Diffusion with insulated (mirrored) walls.
+					var lap float64
+					for _, d := range [6][3]int{{1, 0, 0}, {-1, 0, 0}, {0, 1, 0}, {0, -1, 0}, {0, 0, 1}, {0, 0, -1}} {
+						nid := s.idx(i+d[0], j+d[1], k+d[2])
+						tn := s.temp[nid]
+						if s.cells[nid] == Wall {
+							tn = t
+						}
+						lap += tn - t
+					}
+
+					// Upwind advection.
+					adv := 0.0
+					v := s.vx[id]
+					if v > 0 {
+						adv += v * (t - s.upT(i-1, j, k, t))
+					} else {
+						adv += v * (s.upT(i+1, j, k, t) - t)
+					}
+					v = s.vy[id]
+					if v > 0 {
+						adv += v * (t - s.upT(i, j-1, k, t))
+					} else {
+						adv += v * (s.upT(i, j+1, k, t) - t)
+					}
+					v = s.vz[id]
+					if v > 0 {
+						adv += v * (t - s.upT(i, j, k-1, t))
+					} else {
+						adv += v * (s.upT(i, j, k+1, t) - t)
+					}
+
+					next[id] = t + dt*(kappa*lap-adv+heat[id])
+				}
+			}
+		}
+	}
+
+	workers := s.p.Workers
+	if workers <= 1 || nz < 8 {
+		run(1, nz-1)
+	} else {
+		var wg sync.WaitGroup
+		chunk := (nz - 2 + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			k0 := 1 + w*chunk
+			k1 := k0 + chunk
+			if k1 > nz-1 {
+				k1 = nz - 1
+			}
+			if k0 >= k1 {
+				continue
+			}
+			wg.Add(1)
+			go func(k0, k1 int) {
+				defer wg.Done()
+				run(k0, k1)
+			}(k0, k1)
+		}
+		wg.Wait()
+	}
+
+	// Vents impose their supply temperature.
+	for id, v := range vents {
+		next[id] = v.Temperature
+	}
+	s.mu.Lock()
+	s.temp = next
+	s.step++
+	s.mu.Unlock()
+}
+
+// upT returns the neighbour temperature for upwind differencing, treating
+// walls as the local value (no flux through walls).
+func (s *Sim) upT(i, j, k int, local float64) float64 {
+	id := s.idx(i, j, k)
+	if s.cells[id] == Wall {
+		return local
+	}
+	return s.temp[id]
+}
+
+// Temperature returns the temperature as a scalar field for visualization.
+// The observers in this file are safe to call concurrently with Step, the
+// access pattern of a monitoring client.
+func (s *Sim) Temperature() *viz.ScalarField {
+	f := viz.NewScalarField(s.p.Nx, s.p.Ny, s.p.Nz)
+	s.mu.RLock()
+	copy(f.Data, s.temp)
+	s.mu.RUnlock()
+	return f
+}
+
+// Speed returns |v| as a scalar field.
+func (s *Sim) Speed() *viz.ScalarField {
+	f := viz.NewScalarField(s.p.Nx, s.p.Ny, s.p.Nz)
+	// solveFlow rewrites vx/vy/vz under the write lock, so holding the read
+	// lock for the whole pass is required, not just polite.
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for i := range f.Data {
+		f.Data[i] = math.Sqrt(s.vx[i]*s.vx[i] + s.vy[i]*s.vy[i] + s.vz[i]*s.vz[i])
+	}
+	return f
+}
+
+// MeanTemperature returns the average over open cells: the scalar monitored
+// quantity steering clients watch.
+func (s *Sim) MeanTemperature() float64 {
+	var sum float64
+	var n int
+	s.mu.RLock()
+	temp := s.temp
+	s.mu.RUnlock()
+	for id, c := range s.cells {
+		if c == Wall {
+			continue
+		}
+		sum += temp[id]
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// TotalHeat returns the sum of temperature over open cells, conserved under
+// pure diffusion with insulated walls.
+func (s *Sim) TotalHeat() float64 {
+	var sum float64
+	s.mu.RLock()
+	temp := s.temp
+	s.mu.RUnlock()
+	for id, c := range s.cells {
+		if c == Wall {
+			continue
+		}
+		sum += temp[id]
+	}
+	return sum
+}
+
+// CarShowBuilding constructs the demonstration scenario of section 4.7: an
+// exhibition hall with an interior partition, supply vents, exhausts, parked
+// exhibits and visitor clusters.
+func CarShowBuilding(workers int) (*Sim, error) {
+	s, err := New(Params{
+		Nx: 40, Ny: 12, Nz: 24,
+		Kappa:    0.08,
+		Dt:       0.25,
+		AmbientT: 20,
+		Workers:  workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Interior partition wall with a doorway, splitting hall and showroom.
+	s.AddWallBox(20, 1, 1, 20, 10, 8)
+	s.AddWallBox(20, 1, 14, 20, 10, 22)
+	// Exhibits (cars) on the showroom floor.
+	s.AddWallBox(26, 1, 4, 29, 3, 7)
+	s.AddWallBox(26, 1, 14, 29, 3, 17)
+	s.AddWallBox(8, 1, 9, 11, 3, 12)
+	// Climatization: supply vents in the ceiling, exhausts near the floor.
+	s.AddVent(VentSpec{I: 10, J: 10, K: 6, Temperature: 18, Flow: 1.0})
+	s.AddVent(VentSpec{I: 10, J: 10, K: 18, Temperature: 18, Flow: 1.0})
+	s.AddVent(VentSpec{I: 30, J: 10, K: 12, Temperature: 18, Flow: 1.2})
+	s.AddExhaust(2, 1, 2)
+	s.AddExhaust(37, 1, 21)
+	// Visitor clusters radiating heat.
+	s.AddHeatSource(27, 1, 10, 1.5)
+	s.AddHeatSource(13, 1, 11, 1.0)
+	s.AddHeatSource(32, 1, 16, 0.8)
+	return s, nil
+}

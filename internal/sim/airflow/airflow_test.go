@@ -1,0 +1,229 @@
+package airflow
+
+import (
+	"math"
+	"testing"
+)
+
+func newBox(t *testing.T) *Sim {
+	t.Helper()
+	s, err := New(Params{Nx: 12, Ny: 10, Nz: 12, Kappa: 0.1, Dt: 0.2, AmbientT: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Params{Nx: 2, Ny: 5, Nz: 5, Dt: 0.1}); err == nil {
+		t.Fatal("accepted tiny grid")
+	}
+	if _, err := New(Params{Nx: 5, Ny: 5, Nz: 5, Dt: 0}); err == nil {
+		t.Fatal("accepted dt 0")
+	}
+}
+
+func TestWallsEncloseDomain(t *testing.T) {
+	s := newBox(t)
+	nx, ny, nz := s.Size()
+	for k := 0; k < nz; k++ {
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				onBoundary := i == 0 || j == 0 || k == 0 || i == nx-1 || j == ny-1 || k == nz-1
+				if onBoundary && s.cells[s.idx(i, j, k)] != Wall {
+					t.Fatalf("boundary cell %d,%d,%d not wall", i, j, k)
+				}
+			}
+		}
+	}
+}
+
+func TestHeatConservationPureDiffusion(t *testing.T) {
+	s := newBox(t)
+	// Hot spot in the middle, no vents, no sources: insulated box conserves
+	// total heat.
+	s.temp[s.idx(6, 5, 6)] = 100
+	before := s.TotalHeat()
+	for i := 0; i < 50; i++ {
+		s.Step()
+	}
+	after := s.TotalHeat()
+	if math.Abs(after-before)/before > 1e-9 {
+		t.Fatalf("heat drifted %v → %v", before, after)
+	}
+}
+
+func TestDiffusionSmoothsExtremes(t *testing.T) {
+	s := newBox(t)
+	s.temp[s.idx(6, 5, 6)] = 100
+	for i := 0; i < 50; i++ {
+		s.Step()
+	}
+	f := s.Temperature()
+	lo, hi := f.MinMax()
+	if hi >= 100 || hi <= 20 {
+		t.Fatalf("peak should decay but stay above ambient: hi = %v", hi)
+	}
+	if lo < 20-1e-9 {
+		t.Fatalf("diffusion undershot ambient: lo = %v", lo)
+	}
+}
+
+func TestHeatSourceWarmsRoom(t *testing.T) {
+	s := newBox(t)
+	s.AddHeatSource(6, 5, 6, 2.0)
+	before := s.MeanTemperature()
+	for i := 0; i < 30; i++ {
+		s.Step()
+	}
+	if s.MeanTemperature() <= before {
+		t.Fatalf("visitors did not warm the room: %v → %v", before, s.MeanTemperature())
+	}
+}
+
+func TestVentCoolsRoom(t *testing.T) {
+	s := newBox(t)
+	for i := range s.temp {
+		s.temp[i] = 30
+	}
+	s.AddVent(VentSpec{I: 6, J: 8, K: 6, Temperature: 15, Flow: 1.0})
+	s.AddExhaust(2, 1, 2)
+	before := s.MeanTemperature()
+	for i := 0; i < 150; i++ {
+		s.Step()
+	}
+	after := s.MeanTemperature()
+	if after >= before-0.5 {
+		t.Fatalf("climatization ineffective: %v → %v", before, after)
+	}
+}
+
+func TestSteeringVentTemperature(t *testing.T) {
+	s := newBox(t)
+	s.AddVent(VentSpec{I: 6, J: 8, K: 6, Temperature: 18, Flow: 1.0})
+	s.AddExhaust(2, 1, 2)
+	for i := 0; i < 50; i++ {
+		s.Step()
+	}
+	cool := s.MeanTemperature()
+	// Steer: blast hot air instead.
+	if err := s.SetVent(6, 8, 6, 35, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 150; i++ {
+		s.Step()
+	}
+	if s.MeanTemperature() <= cool {
+		t.Fatalf("vent steering had no effect: %v → %v", cool, s.MeanTemperature())
+	}
+}
+
+func TestSetVentUnknownLocation(t *testing.T) {
+	s := newBox(t)
+	if err := s.SetVent(3, 3, 3, 20, 1); err == nil {
+		t.Fatal("steering a non-existent vent must fail")
+	}
+}
+
+func TestFlowFieldZeroAtWalls(t *testing.T) {
+	s := newBox(t)
+	s.AddVent(VentSpec{I: 6, J: 8, K: 6, Temperature: 18, Flow: 2.0})
+	s.AddExhaust(2, 1, 2)
+	s.Step()
+	nx, ny, nz := s.Size()
+	for k := 0; k < nz; k++ {
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				id := s.idx(i, j, k)
+				if s.cells[id] == Wall && (s.vx[id] != 0 || s.vy[id] != 0 || s.vz[id] != 0) {
+					t.Fatalf("flow inside wall at %d,%d,%d", i, j, k)
+				}
+			}
+		}
+	}
+}
+
+func TestFlowRespondsToVentFlowSteering(t *testing.T) {
+	s := newBox(t)
+	s.AddVent(VentSpec{I: 6, J: 8, K: 6, Temperature: 18, Flow: 0.5})
+	s.AddExhaust(2, 1, 2)
+	s.Step()
+	speedBefore := fieldMax(s)
+	if err := s.SetVent(6, 8, 6, 18, 4.0); err != nil {
+		t.Fatal(err)
+	}
+	s.Step()
+	speedAfter := fieldMax(s)
+	if speedAfter <= speedBefore {
+		t.Fatalf("flow steering ignored: %v → %v", speedBefore, speedAfter)
+	}
+}
+
+func fieldMax(s *Sim) float64 {
+	f := s.Speed()
+	_, hi := f.MinMax()
+	return hi
+}
+
+func TestTemperatureStaysFinite(t *testing.T) {
+	s, err := New(Params{Nx: 10, Ny: 10, Nz: 10, Kappa: 10 /* over-stable: clamped */, Dt: 0.5, AmbientT: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AddVent(VentSpec{I: 5, J: 8, K: 5, Temperature: 25, Flow: 1})
+	s.AddExhaust(2, 1, 2)
+	s.AddHeatSource(5, 2, 5, 3)
+	for i := 0; i < 100; i++ {
+		s.Step()
+	}
+	for id, v := range s.temp {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("temperature blew up at cell %d: %v", id, v)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(workers int) float64 {
+		s, _ := New(Params{Nx: 12, Ny: 10, Nz: 12, Kappa: 0.1, Dt: 0.2, AmbientT: 20, Workers: workers})
+		s.AddVent(VentSpec{I: 6, J: 8, K: 6, Temperature: 16, Flow: 1})
+		s.AddExhaust(2, 1, 2)
+		s.AddHeatSource(8, 2, 8, 1)
+		for i := 0; i < 20; i++ {
+			s.Step()
+		}
+		return s.MeanTemperature()
+	}
+	if run(1) != run(1) {
+		t.Fatal("same configuration produced different results")
+	}
+	if math.Abs(run(1)-run(4)) > 1e-12 {
+		t.Fatal("worker count changed physics")
+	}
+}
+
+func TestCarShowBuilding(t *testing.T) {
+	s, err := CarShowBuilding(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 25; i++ {
+		s.Step()
+	}
+	f := s.Temperature()
+	lo, hi := f.MinMax()
+	if math.IsNaN(lo) || math.IsNaN(hi) {
+		t.Fatal("car show building produced NaN temperatures")
+	}
+	// Visitors heat, vents cool at 18: the field must have developed
+	// structure around ambient 20.
+	if hi <= 20 {
+		t.Fatalf("no warm regions: hi = %v", hi)
+	}
+	if lo >= 20 {
+		t.Fatalf("no cool regions: lo = %v", lo)
+	}
+	if s.StepCount() != 25 {
+		t.Fatalf("StepCount = %d", s.StepCount())
+	}
+}

@@ -1,0 +1,64 @@
+package lb
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// This file implements checkpoint/restore, the substrate for the paper's
+// section 2.4 capability: "RealityGrid is developing the ability to migrate
+// both computation and visualization within a session without any
+// disturbance or intervention on the part of the participating clients."
+// A checkpoint written on one host restores to a bit-identical simulation on
+// another (see the migration test and core session integration).
+
+// checkpoint is the serialised simulation state.
+type checkpoint struct {
+	Params Params
+	G      float64
+	Step   int
+	FA, FB []float64
+}
+
+// WriteCheckpoint serialises the full simulation state.
+func (s *Sim) WriteCheckpoint(w io.Writer) error {
+	s.mu.RLock()
+	g := s.g
+	s.mu.RUnlock()
+	cp := checkpoint{
+		Params: s.p,
+		G:      g,
+		Step:   s.step,
+		FA:     s.fA,
+		FB:     s.fB,
+	}
+	if err := gob.NewEncoder(w).Encode(&cp); err != nil {
+		return fmt.Errorf("lb: checkpoint write: %w", err)
+	}
+	return nil
+}
+
+// Restore reconstructs a simulation from a checkpoint stream. The restored
+// run continues the original trajectory exactly (bitwise, for equal worker
+// counts or not — the update is worker-count independent).
+func Restore(r io.Reader) (*Sim, error) {
+	var cp checkpoint
+	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
+		return nil, fmt.Errorf("lb: checkpoint read: %w", err)
+	}
+	s, err := New(cp.Params)
+	if err != nil {
+		return nil, err
+	}
+	want := s.ncell * q
+	if len(cp.FA) != want || len(cp.FB) != want {
+		return nil, fmt.Errorf("lb: checkpoint has %d/%d distribution entries, want %d", len(cp.FA), len(cp.FB), want)
+	}
+	copy(s.fA, cp.FA)
+	copy(s.fB, cp.FB)
+	s.g = cp.G
+	s.step = cp.Step
+	s.updateDensities()
+	return s, nil
+}

@@ -1,0 +1,208 @@
+package lb
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func newTestSim(t *testing.T, g float64) *Sim {
+	t.Helper()
+	s, err := New(Params{Nx: 12, Ny: 12, Nz: 12, Tau: 1, G: g, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Params{Nx: 1, Ny: 4, Nz: 4, Tau: 1}); err == nil {
+		t.Fatal("accepted degenerate lattice")
+	}
+	if _, err := New(Params{Nx: 4, Ny: 4, Nz: 4, Tau: 0.5}); err == nil {
+		t.Fatal("accepted unstable tau")
+	}
+}
+
+func TestWeightsSumToOne(t *testing.T) {
+	sum := 0.0
+	for _, w := range wt {
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-14 {
+		t.Fatalf("weights sum to %v", sum)
+	}
+}
+
+func TestVelocitySetSymmetric(t *testing.T) {
+	// Every non-rest direction must have its opposite in the set, a
+	// precondition of periodic streaming correctness.
+	for d := 1; d < q; d++ {
+		found := false
+		for e := 1; e < q; e++ {
+			if ex[e] == -ex[d] && ey[e] == -ey[d] && ez[e] == -ez[d] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("direction %d has no opposite", d)
+		}
+	}
+	// First moment of weights must vanish.
+	var mx, my, mz float64
+	for d := 0; d < q; d++ {
+		mx += wt[d] * float64(ex[d])
+		my += wt[d] * float64(ey[d])
+		mz += wt[d] * float64(ez[d])
+	}
+	if mx != 0 || my != 0 || mz != 0 {
+		t.Fatalf("first moment = %v,%v,%v", mx, my, mz)
+	}
+}
+
+func TestMassConservation(t *testing.T) {
+	s := newTestSim(t, 3.0)
+	a0, b0 := s.TotalMass()
+	for i := 0; i < 20; i++ {
+		s.Step()
+	}
+	a1, b1 := s.TotalMass()
+	if math.Abs(a1-a0)/a0 > 1e-10 || math.Abs(b1-b0)/b0 > 1e-10 {
+		t.Fatalf("mass drifted: A %v→%v, B %v→%v", a0, a1, b0, b1)
+	}
+}
+
+func TestUniformStateIsFixedPointWithoutCoupling(t *testing.T) {
+	s, err := New(Params{Nx: 8, Ny: 8, Nz: 8, Tau: 1, G: 0, Noise: 1e-12, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := s.Segregation()
+	for i := 0; i < 10; i++ {
+		s.Step()
+	}
+	after := s.Segregation()
+	if after > before+1e-9 {
+		t.Fatalf("uniform state destabilised without coupling: %v → %v", before, after)
+	}
+}
+
+func TestDemixingUnderStrongCoupling(t *testing.T) {
+	// This is the steering physics of section 2.2: raising the coupling
+	// (lowering miscibility) makes structure form.
+	mixed := newTestSim(t, 0)
+	demix := newTestSim(t, 4.5)
+	for i := 0; i < 60; i++ {
+		mixed.Step()
+		demix.Step()
+	}
+	if demix.Segregation() < 5*mixed.Segregation() {
+		t.Fatalf("segregation: g=0 %v, g=4.5 %v; expected strong demixing",
+			mixed.Segregation(), demix.Segregation())
+	}
+	if demix.Segregation() < 0.1 {
+		t.Fatalf("demixed segregation %v too weak", demix.Segregation())
+	}
+}
+
+func TestSteeringMidRunChangesBehaviour(t *testing.T) {
+	s := newTestSim(t, 0)
+	for i := 0; i < 20; i++ {
+		s.Step()
+	}
+	segMixed := s.Segregation()
+	s.SetCoupling(4.5) // steer: make the fluids immiscible
+	if s.Coupling() != 4.5 {
+		t.Fatal("coupling not applied")
+	}
+	for i := 0; i < 60; i++ {
+		s.Step()
+	}
+	if s.Segregation() < 3*segMixed {
+		t.Fatalf("steering had no effect: %v → %v", segMixed, s.Segregation())
+	}
+}
+
+func TestOrderParameterField(t *testing.T) {
+	s := newTestSim(t, 0)
+	f := s.OrderParameter()
+	if f.Nx != 12 || f.Ny != 12 || f.Nz != 12 {
+		t.Fatalf("field size %dx%dx%d", f.Nx, f.Ny, f.Nz)
+	}
+	// Total of φ equals massA - massB.
+	a, b := s.TotalMass()
+	sum := 0.0
+	for _, v := range f.Data {
+		sum += v
+	}
+	if math.Abs(sum-(a-b)) > 1e-9 {
+		t.Fatalf("Σφ = %v, want %v", sum, a-b)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() float64 {
+		s, _ := New(Params{Nx: 8, Ny: 8, Nz: 8, Tau: 1, G: 4, Seed: 7, Workers: 4})
+		for i := 0; i < 15; i++ {
+			s.Step()
+		}
+		return s.Segregation()
+	}
+	if run() != run() {
+		t.Fatal("same seed produced different trajectories")
+	}
+}
+
+func TestWorkerCountDoesNotChangePhysics(t *testing.T) {
+	run := func(workers int) float64 {
+		s, _ := New(Params{Nx: 8, Ny: 8, Nz: 8, Tau: 1, G: 4, Seed: 7, Workers: workers})
+		for i := 0; i < 10; i++ {
+			s.Step()
+		}
+		return s.Segregation()
+	}
+	if math.Abs(run(1)-run(8)) > 1e-12 {
+		t.Fatalf("parallel decomposition changed result: %v vs %v", run(1), run(8))
+	}
+}
+
+func TestStepCount(t *testing.T) {
+	s := newTestSim(t, 0)
+	for i := 0; i < 5; i++ {
+		s.Step()
+	}
+	if s.StepCount() != 5 {
+		t.Fatalf("StepCount = %d", s.StepCount())
+	}
+}
+
+func TestWrap(t *testing.T) {
+	for _, tc := range []struct{ i, n, want int }{
+		{-1, 8, 7}, {8, 8, 0}, {3, 8, 3}, {0, 8, 0}, {7, 8, 7},
+	} {
+		if got := wrap(tc.i, tc.n); got != tc.want {
+			t.Fatalf("wrap(%d,%d) = %d, want %d", tc.i, tc.n, got, tc.want)
+		}
+	}
+}
+
+// Property: mass is conserved for arbitrary (sane) couplings and seeds.
+func TestQuickMassConservation(t *testing.T) {
+	f := func(seed int64, gRaw uint8) bool {
+		g := float64(gRaw%50) / 10 // 0..4.9
+		s, err := New(Params{Nx: 6, Ny: 6, Nz: 6, Tau: 1, G: g, Seed: seed})
+		if err != nil {
+			return false
+		}
+		a0, b0 := s.TotalMass()
+		for i := 0; i < 5; i++ {
+			s.Step()
+		}
+		a1, b1 := s.TotalMass()
+		return math.Abs(a1-a0) < 1e-9 && math.Abs(b1-b0) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,223 @@
+// Package mc implements a Metropolis Monte Carlo simulation of the 3D Ising
+// model. RealityGrid's remit (paper section 2.1) covers "diverse simulation
+// methods (Lattice Boltzmann, Molecular Dynamics and Monte Carlo ...)
+// spanning many time and length scales" with "distributed and collaborative
+// exploration of parameter space through computational steering"; this is
+// the Monte Carlo member of that family. The steerable parameters are the
+// temperature and external field — sweeping the temperature through the
+// critical point (T_c ≈ 4.51 J/k_B for the simple-cubic lattice) is the
+// classic parameter-space exploration, with the magnetisation as the
+// monitored order parameter and the spin field feeding the visualization
+// pipeline.
+package mc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"repro/internal/viz"
+)
+
+// Params configures a simulation.
+type Params struct {
+	// N is the lattice edge length (N³ spins, periodic boundaries).
+	N int
+	// T is the initial temperature in units of J/k_B.
+	T float64
+	// H is the initial external field in units of J.
+	H float64
+	// Seed makes runs reproducible.
+	Seed int64
+	// Hot starts from a random (T = ∞) configuration; otherwise all spins up.
+	Hot bool
+}
+
+// Sim is a running Ising Monte Carlo simulation.
+type Sim struct {
+	n     int
+	spins []int8
+	rng   *rand.Rand
+
+	mu    sync.RWMutex
+	beta  float64
+	h     float64
+	sweep int
+	// acceptance statistics for the current parameters
+	accepted, attempted uint64
+}
+
+// New creates a simulation.
+func New(p Params) (*Sim, error) {
+	if p.N < 2 {
+		return nil, fmt.Errorf("mc: lattice edge %d too small", p.N)
+	}
+	if p.T <= 0 {
+		return nil, fmt.Errorf("mc: temperature %v must be positive", p.T)
+	}
+	s := &Sim{
+		n:     p.N,
+		spins: make([]int8, p.N*p.N*p.N),
+		rng:   rand.New(rand.NewSource(p.Seed)),
+		beta:  1 / p.T,
+		h:     p.H,
+	}
+	for i := range s.spins {
+		if p.Hot && s.rng.Intn(2) == 0 {
+			s.spins[i] = -1
+		} else {
+			s.spins[i] = 1
+		}
+	}
+	return s, nil
+}
+
+func (s *Sim) idx(i, j, k int) int { return (k*s.n+j)*s.n + i }
+
+// SetTemperature steers the temperature; safe to call while Sweep runs.
+func (s *Sim) SetTemperature(t float64) error {
+	if t <= 0 {
+		return fmt.Errorf("mc: temperature %v must be positive", t)
+	}
+	s.mu.Lock()
+	s.beta = 1 / t
+	s.accepted, s.attempted = 0, 0
+	s.mu.Unlock()
+	return nil
+}
+
+// Temperature returns the current temperature.
+func (s *Sim) Temperature() float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return 1 / s.beta
+}
+
+// SetField steers the external field; safe to call while Sweep runs.
+func (s *Sim) SetField(h float64) {
+	s.mu.Lock()
+	s.h = h
+	s.accepted, s.attempted = 0, 0
+	s.mu.Unlock()
+}
+
+// Field returns the current external field.
+func (s *Sim) Field() float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.h
+}
+
+// SweepCount returns the number of completed Metropolis sweeps.
+func (s *Sim) SweepCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sweep
+}
+
+// neighbourSum returns the sum of the six neighbouring spins.
+func (s *Sim) neighbourSum(i, j, k int) int {
+	n := s.n
+	wrap := func(x int) int {
+		if x < 0 {
+			return x + n
+		}
+		if x >= n {
+			return x - n
+		}
+		return x
+	}
+	return int(s.spins[s.idx(wrap(i+1), j, k)]) +
+		int(s.spins[s.idx(wrap(i-1), j, k)]) +
+		int(s.spins[s.idx(i, wrap(j+1), k)]) +
+		int(s.spins[s.idx(i, wrap(j-1), k)]) +
+		int(s.spins[s.idx(i, j, wrap(k+1))]) +
+		int(s.spins[s.idx(i, j, wrap(k-1))])
+}
+
+// Sweep performs one Metropolis sweep: N³ single-spin-flip attempts at
+// random sites.
+func (s *Sim) Sweep() {
+	s.mu.RLock()
+	beta, h := s.beta, s.h
+	s.mu.RUnlock()
+
+	nSites := len(s.spins)
+	var acc uint64
+	for a := 0; a < nSites; a++ {
+		site := s.rng.Intn(nSites)
+		k := site / (s.n * s.n)
+		j := (site / s.n) % s.n
+		i := site % s.n
+		spin := float64(s.spins[site])
+		// ΔE for flipping: E = −J Σ s_i s_j − H Σ s_i with J = 1.
+		dE := 2 * spin * (float64(s.neighbourSum(i, j, k)) + h)
+		if dE <= 0 || s.rng.Float64() < math.Exp(-beta*dE) {
+			s.spins[site] = -s.spins[site]
+			acc++
+		}
+	}
+	s.mu.Lock()
+	s.sweep++
+	s.accepted += acc
+	s.attempted += uint64(nSites)
+	s.mu.Unlock()
+}
+
+// Magnetisation returns the mean spin in [−1, 1]: the monitored order
+// parameter. Safe to call concurrently with Sweep (the value is a monitoring
+// estimate; exactness is not required mid-sweep).
+func (s *Sim) Magnetisation() float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var sum int
+	for _, v := range s.spins {
+		sum += int(v)
+	}
+	return float64(sum) / float64(len(s.spins))
+}
+
+// Energy returns the configuration energy per spin.
+func (s *Sim) Energy() float64 {
+	s.mu.RLock()
+	h := s.h
+	s.mu.RUnlock()
+	var e float64
+	for k := 0; k < s.n; k++ {
+		for j := 0; j < s.n; j++ {
+			for i := 0; i < s.n; i++ {
+				spin := float64(s.spins[s.idx(i, j, k)])
+				// Count each bond once: +x, +y, +z neighbours.
+				right := float64(s.spins[s.idx((i+1)%s.n, j, k)])
+				up := float64(s.spins[s.idx(i, (j+1)%s.n, k)])
+				front := float64(s.spins[s.idx(i, j, (k+1)%s.n)])
+				e += -spin*(right+up+front) - h*spin
+			}
+		}
+	}
+	return e / float64(len(s.spins))
+}
+
+// AcceptanceRate returns the fraction of accepted flips since the last
+// parameter change.
+func (s *Sim) AcceptanceRate() float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.attempted == 0 {
+		return 0
+	}
+	return float64(s.accepted) / float64(s.attempted)
+}
+
+// SpinField exports the spins as a scalar field (±1) for the visualization
+// pipeline; its 0-isosurface is the domain boundary between phases.
+func (s *Sim) SpinField() *viz.ScalarField {
+	f := viz.NewScalarField(s.n, s.n, s.n)
+	s.mu.RLock()
+	for i, v := range s.spins {
+		f.Data[i] = float64(v)
+	}
+	s.mu.RUnlock()
+	return f
+}

@@ -1,0 +1,179 @@
+package mc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func newSim(t *testing.T, temp float64, hot bool) *Sim {
+	t.Helper()
+	s, err := New(Params{N: 10, T: temp, Seed: 7, Hot: hot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Params{N: 1, T: 1}); err == nil {
+		t.Fatal("tiny lattice accepted")
+	}
+	if _, err := New(Params{N: 8, T: 0}); err == nil {
+		t.Fatal("zero temperature accepted")
+	}
+	if err := newSim(t, 1, false).SetTemperature(-1); err == nil {
+		t.Fatal("negative steer accepted")
+	}
+}
+
+func TestColdStartIsOrdered(t *testing.T) {
+	s := newSim(t, 1, false)
+	if s.Magnetisation() != 1 {
+		t.Fatalf("cold start magnetisation = %v", s.Magnetisation())
+	}
+	// Ground-state energy per spin: −3 (three bonds each) with H = 0.
+	if math.Abs(s.Energy()-(-3)) > 1e-12 {
+		t.Fatalf("ground state energy = %v, want -3", s.Energy())
+	}
+}
+
+func TestLowTemperatureStaysOrdered(t *testing.T) {
+	s := newSim(t, 2.0, false) // well below T_c ≈ 4.51
+	for i := 0; i < 50; i++ {
+		s.Sweep()
+	}
+	if m := math.Abs(s.Magnetisation()); m < 0.9 {
+		t.Fatalf("|m| = %v at T=2, want ordered (>0.9)", m)
+	}
+}
+
+func TestHighTemperatureDisorders(t *testing.T) {
+	s := newSim(t, 10.0, false) // far above T_c
+	for i := 0; i < 100; i++ {
+		s.Sweep()
+	}
+	if m := math.Abs(s.Magnetisation()); m > 0.2 {
+		t.Fatalf("|m| = %v at T=10, want disordered (<0.2)", m)
+	}
+	if s.AcceptanceRate() < 0.5 {
+		t.Fatalf("acceptance %v at high T, want high", s.AcceptanceRate())
+	}
+}
+
+func TestSteeringThroughTransition(t *testing.T) {
+	// The parameter-space exploration of section 2.1: steer the temperature
+	// across the critical point and watch the order parameter respond.
+	s := newSim(t, 10.0, true)
+	for i := 0; i < 80; i++ {
+		s.Sweep()
+	}
+	disordered := math.Abs(s.Magnetisation())
+
+	if err := s.SetTemperature(1.5); err != nil {
+		t.Fatal(err)
+	}
+	if s.Temperature() != 1.5 {
+		t.Fatalf("steer lost: T = %v", s.Temperature())
+	}
+	for i := 0; i < 400; i++ {
+		s.Sweep()
+	}
+	ordered := math.Abs(s.Magnetisation())
+	if ordered < disordered+0.4 {
+		t.Fatalf("quench did not order: |m| %v -> %v", disordered, ordered)
+	}
+}
+
+func TestFieldAlignsSpins(t *testing.T) {
+	s := newSim(t, 6.0, true) // disordered regime
+	s.SetField(2.0)
+	if s.Field() != 2 {
+		t.Fatal("field steer lost")
+	}
+	for i := 0; i < 150; i++ {
+		s.Sweep()
+	}
+	if s.Magnetisation() < 0.5 {
+		t.Fatalf("m = %v under strong +field, want aligned", s.Magnetisation())
+	}
+}
+
+func TestQuenchLowersEnergy(t *testing.T) {
+	s := newSim(t, 8.0, true)
+	for i := 0; i < 30; i++ {
+		s.Sweep()
+	}
+	hot := s.Energy()
+	s.SetTemperature(1.0)
+	for i := 0; i < 200; i++ {
+		s.Sweep()
+	}
+	if cold := s.Energy(); cold >= hot {
+		t.Fatalf("energy did not drop on quench: %v -> %v", hot, cold)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() float64 {
+		s, _ := New(Params{N: 8, T: 3, Seed: 42, Hot: true})
+		for i := 0; i < 20; i++ {
+			s.Sweep()
+		}
+		return s.Magnetisation()
+	}
+	if run() != run() {
+		t.Fatal("same seed diverged")
+	}
+}
+
+func TestSpinFieldExport(t *testing.T) {
+	s := newSim(t, 3, true)
+	s.Sweep()
+	f := s.SpinField()
+	if f.Nx != 10 || f.Ny != 10 || f.Nz != 10 {
+		t.Fatalf("field dims %dx%dx%d", f.Nx, f.Ny, f.Nz)
+	}
+	var sum float64
+	for _, v := range f.Data {
+		if v != 1 && v != -1 {
+			t.Fatalf("non-spin value %v", v)
+		}
+		sum += v
+	}
+	if got := sum / float64(len(f.Data)); math.Abs(got-s.Magnetisation()) > 1e-12 {
+		t.Fatalf("field mean %v != magnetisation %v", got, s.Magnetisation())
+	}
+}
+
+func TestSweepCount(t *testing.T) {
+	s := newSim(t, 3, false)
+	for i := 0; i < 7; i++ {
+		s.Sweep()
+	}
+	if s.SweepCount() != 7 {
+		t.Fatalf("sweeps = %d", s.SweepCount())
+	}
+}
+
+// Property: magnetisation stays in [−1, 1] and energy per spin in
+// [−3−|H|, 3+|H|] for arbitrary parameters.
+func TestQuickBounds(t *testing.T) {
+	f := func(seed int64, tRaw, hRaw uint8) bool {
+		temp := 0.5 + float64(tRaw%100)/10
+		h := float64(int(hRaw%7)-3) / 2
+		s, err := New(Params{N: 6, T: temp, H: h, Seed: seed, Hot: true})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 5; i++ {
+			s.Sweep()
+		}
+		m := s.Magnetisation()
+		e := s.Energy()
+		return m >= -1 && m <= 1 && e >= -3-math.Abs(h)-1e-9 && e <= 3+math.Abs(h)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

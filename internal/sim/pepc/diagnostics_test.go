@@ -1,0 +1,165 @@
+package pepc
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/viz"
+)
+
+func diagMesh() MeshSpec {
+	return MeshSpec{Nx: 9, Ny: 9, Nz: 9, Min: Vec{-2, -2, -2}, Max: Vec{2, 2, 2}}
+}
+
+func TestMeshSpecValidation(t *testing.T) {
+	if err := (MeshSpec{Nx: 1, Ny: 4, Nz: 4, Min: Vec{}, Max: Vec{1, 1, 1}}).Validate(); err == nil {
+		t.Fatal("degenerate mesh accepted")
+	}
+	if err := (MeshSpec{Nx: 4, Ny: 4, Nz: 4, Min: Vec{1, 0, 0}, Max: Vec{1, 1, 1}}).Validate(); err == nil {
+		t.Fatal("empty extent accepted")
+	}
+	if err := diagMesh().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChargeDepositionConservesCharge(t *testing.T) {
+	s := newSim(t, 0.5, 2)
+	s.AddPlasmaBall(300, Vec{}, 1.0, 0.1)
+	// Add a beam so total charge is non-zero.
+	for i := 0; i < 25; i++ {
+		s.AddParticle(Vec{0, 0, 1}, Vec{}, -1, 1)
+	}
+	mesh := diagMesh()
+	f, err := s.ChargeDensity(mesh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Integrate density × cell volume back to total charge.
+	total := 0.0
+	for _, v := range f.Data {
+		total += v
+	}
+	total *= mesh.cellVolume()
+	if math.Abs(total-(-25)) > 1e-9 {
+		t.Fatalf("deposited charge %v, want -25", total)
+	}
+}
+
+func TestChargeDensityLocalisesBeam(t *testing.T) {
+	s := newSim(t, 0.5, 1)
+	for i := 0; i < 50; i++ {
+		s.AddParticle(Vec{1.5, 1.5, 1.5}, Vec{}, -1, 1)
+	}
+	f, err := s.ChargeDensity(diagMesh())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The most negative node should be adjacent to the beam cluster.
+	minV, minIdx := 0.0, -1
+	for i, v := range f.Data {
+		if v < minV {
+			minV, minIdx = v, i
+		}
+	}
+	if minIdx < 0 {
+		t.Fatal("no negative density found")
+	}
+	k := minIdx / (9 * 9)
+	j := (minIdx / 9) % 9
+	i := minIdx % 9
+	x, y, z := f.WorldPos(i, j, k)
+	if math.Abs(x-1.5) > 0.5 || math.Abs(y-1.5) > 0.5 || math.Abs(z-1.5) > 0.5 {
+		t.Fatalf("density peak at (%v,%v,%v), want near (1.5,1.5,1.5)", x, y, z)
+	}
+}
+
+func TestParticlesOutsideMeshIgnored(t *testing.T) {
+	s := newSim(t, 0.5, 1)
+	s.AddParticle(Vec{100, 100, 100}, Vec{}, 5, 1)
+	f, err := s.ChargeDensity(diagMesh())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range f.Data {
+		if v != 0 {
+			t.Fatal("out-of-mesh particle deposited charge")
+		}
+	}
+}
+
+func TestCurrentDensityDirectional(t *testing.T) {
+	s := newSim(t, 0.5, 1)
+	// A beam moving in -z with charge -1: current density jz = q·vz = +3.
+	for i := 0; i < 40; i++ {
+		s.AddParticle(Vec{0, 0, 0}, Vec{0, 0, -3}, -1, 1)
+	}
+	mesh := diagMesh()
+	jz, err := s.CurrentDensity(mesh, viz.AxisZ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, v := range jz.Data {
+		total += v
+	}
+	total *= mesh.cellVolume()
+	if math.Abs(total-120) > 1e-9 { // 40 particles × (−1)·(−3)
+		t.Fatalf("total jz = %v, want 120", total)
+	}
+	jx, err := s.CurrentDensity(mesh, viz.AxisX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range jx.Data {
+		if v != 0 {
+			t.Fatal("transverse current from longitudinal beam")
+		}
+	}
+}
+
+func TestElectricFieldOfPointCharge(t *testing.T) {
+	s := newSim(t, 0.5, 1)
+	s.AddParticle(Vec{}, Vec{}, 1, 1)
+	mesh := MeshSpec{Nx: 5, Ny: 5, Nz: 5, Min: Vec{-2, -2, -2}, Max: Vec{2, 2, 2}}
+	f, err := s.ElectricFieldMagnitude(mesh, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// |E| at a corner node (distance √12) ≈ q/d² with softening.
+	corner := f.At(0, 0, 0)
+	d2 := 12 + s.p.Eps*s.p.Eps
+	want := math.Sqrt(12) / (d2 * math.Sqrt(d2))
+	if math.Abs(corner-want)/want > 0.01 {
+		t.Fatalf("corner |E| = %v, want %v", corner, want)
+	}
+	// Field decays with distance: corner < mid-edge neighbour towards centre.
+	if f.At(1, 1, 1) <= corner {
+		t.Fatal("field does not grow towards the charge")
+	}
+}
+
+func TestPotentialOfPointCharge(t *testing.T) {
+	s := newSim(t, 0.5, 1)
+	s.AddParticle(Vec{}, Vec{}, 1, 1)
+	mesh := MeshSpec{Nx: 5, Ny: 5, Nz: 5, Min: Vec{-2, -2, -2}, Max: Vec{2, 2, 2}}
+	f, err := s.Potential(mesh, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corner := f.At(0, 0, 0)
+	want := 1 / math.Sqrt(12+s.p.Eps*s.p.Eps)
+	if math.Abs(corner-want)/want > 0.01 {
+		t.Fatalf("corner potential = %v, want %v", corner, want)
+	}
+}
+
+func TestDiagnosticsOnEmptySim(t *testing.T) {
+	s := newSim(t, 0.5, 1)
+	if _, err := s.ElectricFieldMagnitude(diagMesh(), 0.3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Potential(diagMesh(), 0.3); err != nil {
+		t.Fatal(err)
+	}
+}

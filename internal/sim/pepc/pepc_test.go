@@ -1,0 +1,306 @@
+package pepc
+
+import (
+	"math"
+	"testing"
+)
+
+func newSim(t *testing.T, theta float64, workers int) *Sim {
+	t.Helper()
+	s, err := New(Params{Theta: theta, Dt: 0.01, Eps: 0.05, Seed: 3, Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Params{Theta: 0, Dt: 0.01}); err == nil {
+		t.Fatal("accepted theta 0")
+	}
+	if _, err := New(Params{Theta: 0.5, Dt: 0}); err == nil {
+		t.Fatal("accepted dt 0")
+	}
+}
+
+func TestPlasmaBallConstruction(t *testing.T) {
+	s := newSim(t, 0.5, 2)
+	s.AddPlasmaBall(200, Vec{1, 2, 3}, 2.0, 0.1)
+	if s.N() != 200 {
+		t.Fatalf("N = %d", s.N())
+	}
+	var totalQ float64
+	for i, p := range s.pos {
+		if p.Sub(Vec{1, 2, 3}).Len() > 2.0+1e-9 {
+			t.Fatalf("particle %d outside ball", i)
+		}
+		totalQ += s.charge[i]
+	}
+	if totalQ != 0 {
+		t.Fatalf("plasma not neutral: total charge %v", totalQ)
+	}
+}
+
+func TestTwoBodyForceMatchesCoulomb(t *testing.T) {
+	s := newSim(t, 0.5, 1)
+	s.AddParticle(Vec{0, 0, 0}, Vec{}, 1, 1)
+	s.AddParticle(Vec{2, 0, 0}, Vec{}, 1, 1)
+	f := s.ForcesDirect()
+	d2 := 4 + s.p.Eps*s.p.Eps
+	want := 1 / (d2 * math.Sqrt(d2)) * 2 // q1*q2*r/|r|^3 with softening
+	if math.Abs(f[1].X-want) > 1e-12 {
+		t.Fatalf("force = %v, want %v", f[1].X, want)
+	}
+	// Like charges repel: particle 1 pushed +x, particle 0 pushed -x.
+	if f[1].X <= 0 || f[0].X >= 0 {
+		t.Fatalf("repulsion direction wrong: %v %v", f[0].X, f[1].X)
+	}
+	if math.Abs(f[0].X+f[1].X) > 1e-12 {
+		t.Fatal("Newton's third law violated")
+	}
+}
+
+func TestOppositeChargesAttract(t *testing.T) {
+	s := newSim(t, 0.5, 1)
+	s.AddParticle(Vec{0, 0, 0}, Vec{}, 1, 1)
+	s.AddParticle(Vec{2, 0, 0}, Vec{}, -1, 1)
+	f := s.ForcesDirect()
+	if f[1].X >= 0 || f[0].X <= 0 {
+		t.Fatalf("attraction direction wrong: %v %v", f[0].X, f[1].X)
+	}
+}
+
+func TestTreeMatchesDirectForces(t *testing.T) {
+	s := newSim(t, 0.3, 4)
+	s.AddPlasmaBall(500, Vec{}, 1.0, 0.05)
+	tree := s.ForcesTree(0.3)
+	direct := s.ForcesDirect()
+
+	// Compare RMS error against RMS force magnitude.
+	var errSq, magSq float64
+	for i := range tree {
+		d := tree[i].Sub(direct[i])
+		errSq += d.Dot(d)
+		magSq += direct[i].Dot(direct[i])
+	}
+	rel := math.Sqrt(errSq / magSq)
+	if rel > 0.02 {
+		t.Fatalf("tree force RMS relative error %v, want < 2%%", rel)
+	}
+}
+
+func TestTreeErrorDecreasesWithTheta(t *testing.T) {
+	s := newSim(t, 0.5, 4)
+	s.AddPlasmaBall(400, Vec{}, 1.0, 0.05)
+	direct := s.ForcesDirect()
+	relErr := func(theta float64) float64 {
+		tree := s.ForcesTree(theta)
+		var errSq, magSq float64
+		for i := range tree {
+			d := tree[i].Sub(direct[i])
+			errSq += d.Dot(d)
+			magSq += direct[i].Dot(direct[i])
+		}
+		return math.Sqrt(errSq / magSq)
+	}
+	loose := relErr(0.9)
+	tight := relErr(0.2)
+	if tight >= loose {
+		t.Fatalf("error not monotone in theta: θ=0.2 %v, θ=0.9 %v", tight, loose)
+	}
+}
+
+func TestInteractionScalingSubQuadratic(t *testing.T) {
+	// The O(N log N) claim, measured in interactions rather than wall time.
+	count := func(n int) float64 {
+		s := newSim(t, 0.5, 1)
+		s.AddPlasmaBall(n, Vec{}, 1.0, 0.05)
+		s.ForcesTree(0.5)
+		return float64(s.Interactions())
+	}
+	c1 := count(1000)
+	c2 := count(4000)
+	// Quadratic would grow 16x; N log N grows ~4.8x. Allow generous slack.
+	if ratio := c2 / c1; ratio > 8 {
+		t.Fatalf("interaction growth %vx for 4x particles; not sub-quadratic", ratio)
+	}
+	// Must also beat direct summation's N² at this size.
+	if c2 >= 4000*3999/2 {
+		t.Fatalf("tree interactions %v not below direct pair count", c2)
+	}
+}
+
+func TestEnergyConservation(t *testing.T) {
+	s, err := New(Params{Theta: 0.3, Dt: 0.002, Eps: 0.1, Seed: 5, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AddPlasmaBall(300, Vec{}, 1.0, 0.2)
+	k0, u0 := s.Energy()
+	e0 := k0 + u0
+	for i := 0; i < 50; i++ {
+		s.Step()
+	}
+	k1, u1 := s.Energy()
+	e1 := k1 + u1
+	scale := math.Abs(k0) + math.Abs(u0)
+	if math.Abs(e1-e0)/scale > 0.05 {
+		t.Fatalf("energy drift: %v → %v (scale %v)", e0, e1, scale)
+	}
+}
+
+func TestMomentumConservationDirect(t *testing.T) {
+	s := newSim(t, 0.5, 4)
+	s.AddPlasmaBall(200, Vec{}, 1.0, 0.1)
+	f := s.ForcesDirect()
+	var sum Vec
+	for _, v := range f {
+		sum = sum.Add(v)
+	}
+	if sum.Len() > 1e-9 {
+		t.Fatalf("net force %v, want ~0", sum.Len())
+	}
+}
+
+func TestBeamInjection(t *testing.T) {
+	s := newSim(t, 0.5, 2)
+	s.AddPlasmaBall(50, Vec{}, 1.0, 0.0)
+	s.SetBeam(BeamParams{
+		Charge:    -1,
+		Intensity: 5,
+		Direction: Vec{0, 0, -1},
+		Speed:     3,
+		Origin:    Vec{0, 0, 4},
+		Spread:    0.1,
+	})
+	n0 := s.N()
+	s.Step()
+	if s.N() != n0+5 {
+		t.Fatalf("N = %d, want %d", s.N(), n0+5)
+	}
+	// Injected particles fly towards the target.
+	for i := n0; i < s.N(); i++ {
+		if s.vel[i].Z >= 0 {
+			t.Fatalf("beam particle %d not moving towards target: vz = %v", i, s.vel[i].Z)
+		}
+		if s.charge[i] != -1 {
+			t.Fatalf("beam charge = %v", s.charge[i])
+		}
+	}
+}
+
+func TestBeamSteeringMidRun(t *testing.T) {
+	s := newSim(t, 0.5, 2)
+	s.SetBeam(BeamParams{Charge: 1, Intensity: 2, Direction: Vec{0, 0, 1}, Speed: 1})
+	s.Step()
+	s.SetBeam(BeamParams{Charge: 1, Intensity: 7, Direction: Vec{0, 0, 1}, Speed: 1})
+	n := s.N()
+	s.Step()
+	if s.N()-n != 7 {
+		t.Fatalf("intensity steer ignored: added %d", s.N()-n)
+	}
+	if got := s.Beam().Intensity; got != 7 {
+		t.Fatalf("Beam().Intensity = %d", got)
+	}
+}
+
+func TestDampingCoolsPlasma(t *testing.T) {
+	// Section 3.4: the user can assist the plasma towards a cold state.
+	// Coulomb interactions keep converting potential into kinetic energy, so
+	// compare against an undamped twin rather than an absolute threshold.
+	run := func(damping float64) float64 {
+		s := newSim(t, 0.5, 2)
+		s.AddPlasmaBall(100, Vec{}, 1.0, 0.5)
+		s.SetDamping(damping)
+		for i := 0; i < 30; i++ {
+			s.Step()
+		}
+		return s.KineticEnergy()
+	}
+	hot, cold := run(0), run(0.2)
+	if cold > hot/2 {
+		t.Fatalf("damping ineffective: undamped %v, damped %v", hot, cold)
+	}
+}
+
+func TestSnapshotContents(t *testing.T) {
+	s := newSim(t, 0.5, 3)
+	s.AddPlasmaBall(90, Vec{}, 1.0, 0.1)
+	s.Step()
+	snap := s.Snapshot()
+	if len(snap.Pos) != 90 || len(snap.Vel) != 90 || len(snap.Charge) != 90 ||
+		len(snap.Proc) != 90 || len(snap.Labels) != 90 {
+		t.Fatalf("snapshot sizes wrong: %+v", snap)
+	}
+	if snap.Step != 1 {
+		t.Fatalf("snapshot step = %d", snap.Step)
+	}
+	if len(snap.Domains) == 0 || len(snap.Domains) > 3 {
+		t.Fatalf("domains = %d, want 1..3", len(snap.Domains))
+	}
+	// Labels are unique.
+	seen := make(map[int32]bool)
+	for _, l := range snap.Labels {
+		if seen[l] {
+			t.Fatalf("duplicate label %d", l)
+		}
+		seen[l] = true
+	}
+	// Every particle lies inside its domain box.
+	for i, p := range snap.Pos {
+		w := int(snap.Proc[i])
+		if w >= len(snap.Domains) {
+			continue
+		}
+		b := snap.Domains[w]
+		if p.X < b[0].X-1e-9 || p.X > b[1].X+1e-9 ||
+			p.Y < b[0].Y-1e-9 || p.Y > b[1].Y+1e-9 ||
+			p.Z < b[0].Z-1e-9 || p.Z > b[1].Z+1e-9 {
+			t.Fatalf("particle %d outside its domain box", i)
+		}
+	}
+}
+
+func TestWorkerCountDoesNotChangeForces(t *testing.T) {
+	build := func(workers int) []Vec {
+		s, _ := New(Params{Theta: 0.4, Dt: 0.01, Eps: 0.05, Seed: 9, Workers: workers})
+		s.AddPlasmaBall(200, Vec{}, 1.0, 0.1)
+		return s.ForcesTree(0.4)
+	}
+	f1, f8 := build(1), build(8)
+	for i := range f1 {
+		if f1[i].Sub(f8[i]).Len() > 1e-12 {
+			t.Fatalf("worker count changed force %d", i)
+		}
+	}
+}
+
+func TestEmptySimStep(t *testing.T) {
+	s := newSim(t, 0.5, 2)
+	s.Step() // must not panic with zero particles
+	if s.StepCount() != 1 {
+		t.Fatal("step not counted")
+	}
+}
+
+func TestTreeSingleParticle(t *testing.T) {
+	s := newSim(t, 0.5, 2)
+	s.AddParticle(Vec{}, Vec{}, 1, 1)
+	f := s.ForcesTree(0.5)
+	if f[0].Len() != 0 {
+		t.Fatalf("self-force = %v", f[0])
+	}
+}
+
+func TestCoincidentParticlesDoNotPanic(t *testing.T) {
+	s := newSim(t, 0.5, 1)
+	for i := 0; i < 20; i++ {
+		s.AddParticle(Vec{1, 1, 1}, Vec{}, 1, 1)
+	}
+	f := s.ForcesTree(0.5)
+	for i, v := range f {
+		if math.IsNaN(v.Len()) {
+			t.Fatalf("NaN force for coincident particle %d", i)
+		}
+	}
+}

@@ -1,0 +1,285 @@
+// Package pepc implements a mesh-free electrostatic plasma simulation in the
+// style of PEPC (Parallel Electrostatic Plasma Coulomb-solver), the
+// demonstration application of the paper's section 3.4: "a hierarchical tree
+// algorithm to perform potential and force summation for charged particles in
+// a time O(N log N)". Forces are computed with a Barnes–Hut octree carrying
+// monopole and dipole moments; an O(N²) direct summation is included as the
+// accuracy and scaling baseline. The particle set is decomposed across a
+// goroutine worker pool, and per-worker domain boxes are exported for
+// visualization exactly as the paper ships "information on the tree
+// structure ... consisting of a set of node coordinates representing each
+// processor domain".
+package pepc
+
+import "math"
+
+// Vec is a 3-vector; pepc keeps its own to stay independent of the render
+// package.
+type Vec struct{ X, Y, Z float64 }
+
+// Add returns v + w.
+func (v Vec) Add(w Vec) Vec { return Vec{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v Vec) Sub(w Vec) Vec { return Vec{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns v * s.
+func (v Vec) Scale(s float64) Vec { return Vec{v.X * s, v.Y * s, v.Z * s} }
+
+// Dot returns v · w.
+func (v Vec) Dot(w Vec) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Len returns |v|.
+func (v Vec) Len() float64 { return math.Sqrt(v.Dot(v)) }
+
+// node is one octree cell.
+type node struct {
+	center   Vec     // geometric centre of the cell
+	half     float64 // half edge length
+	children [8]*node
+	leaf     bool
+	// particle indices stored in a leaf
+	idx []int32
+	// multipole data (about com)
+	com    Vec     // |q|-weighted centroid: stable expansion centre for mixed signs
+	q      float64 // monopole: total charge
+	dipole Vec     // dipole moment about com
+	count  int
+}
+
+// leafCap is the maximum number of particles stored in a leaf cell.
+const leafCap = 8
+
+// buildTree constructs the octree over all particles.
+func buildTree(pos []Vec, charge []float64) *node {
+	// Bounding cube.
+	lo := pos[0]
+	hi := pos[0]
+	for _, p := range pos[1:] {
+		lo.X = math.Min(lo.X, p.X)
+		lo.Y = math.Min(lo.Y, p.Y)
+		lo.Z = math.Min(lo.Z, p.Z)
+		hi.X = math.Max(hi.X, p.X)
+		hi.Y = math.Max(hi.Y, p.Y)
+		hi.Z = math.Max(hi.Z, p.Z)
+	}
+	c := lo.Add(hi).Scale(0.5)
+	half := math.Max(hi.X-lo.X, math.Max(hi.Y-lo.Y, hi.Z-lo.Z))/2 + 1e-9
+
+	root := &node{center: c, half: half, leaf: true}
+	for i := range pos {
+		root.insert(pos, int32(i))
+	}
+	root.computeMoments(pos, charge)
+	return root
+}
+
+// octant returns which child cell position p falls into.
+func (n *node) octant(p Vec) int {
+	o := 0
+	if p.X >= n.center.X {
+		o |= 1
+	}
+	if p.Y >= n.center.Y {
+		o |= 2
+	}
+	if p.Z >= n.center.Z {
+		o |= 4
+	}
+	return o
+}
+
+// childCenter returns the centre of child octant o.
+func (n *node) childCenter(o int) Vec {
+	h := n.half / 2
+	c := n.center
+	if o&1 != 0 {
+		c.X += h
+	} else {
+		c.X -= h
+	}
+	if o&2 != 0 {
+		c.Y += h
+	} else {
+		c.Y -= h
+	}
+	if o&4 != 0 {
+		c.Z += h
+	} else {
+		c.Z -= h
+	}
+	return c
+}
+
+// insert adds particle i to the subtree.
+func (n *node) insert(pos []Vec, i int32) {
+	if n.leaf {
+		if len(n.idx) < leafCap || n.half < 1e-9 {
+			n.idx = append(n.idx, i)
+			return
+		}
+		// Split: push existing particles down.
+		n.leaf = false
+		old := n.idx
+		n.idx = nil
+		for _, j := range old {
+			n.insertChild(pos, j)
+		}
+	}
+	n.insertChild(pos, i)
+}
+
+func (n *node) insertChild(pos []Vec, i int32) {
+	o := n.octant(pos[i])
+	if n.children[o] == nil {
+		n.children[o] = &node{center: n.childCenter(o), half: n.half / 2, leaf: true}
+	}
+	n.children[o].insert(pos, i)
+}
+
+// computeMoments fills q, com and dipole bottom-up.
+func (n *node) computeMoments(pos []Vec, charge []float64) {
+	var absQ float64
+	if n.leaf {
+		for _, i := range n.idx {
+			q := charge[i]
+			n.q += q
+			a := math.Abs(q)
+			absQ += a
+			n.com = n.com.Add(pos[i].Scale(a))
+			n.count++
+		}
+	} else {
+		for _, c := range n.children {
+			if c == nil {
+				continue
+			}
+			c.computeMoments(pos, charge)
+			n.q += c.q
+			// Recombine |q|-weighted centroids using child absolute charge.
+			ca := c.absCharge(pos, charge)
+			absQ += ca
+			n.com = n.com.Add(c.com.Scale(ca))
+			n.count += c.count
+		}
+	}
+	if absQ > 0 {
+		n.com = n.com.Scale(1 / absQ)
+	} else {
+		n.com = n.center
+	}
+	// Dipole about com.
+	if n.leaf {
+		for _, i := range n.idx {
+			n.dipole = n.dipole.Add(pos[i].Sub(n.com).Scale(charge[i]))
+		}
+	} else {
+		for _, c := range n.children {
+			if c == nil {
+				continue
+			}
+			// Child dipole shifted to this com: D' = D + q_c (com_c - com).
+			n.dipole = n.dipole.Add(c.dipole).Add(c.com.Sub(n.com).Scale(c.q))
+		}
+	}
+}
+
+// absCharge returns the total |q| in the subtree. Leaves recompute from the
+// particle list; internal nodes sum children. Used only during moment
+// construction (O(N log N) total).
+func (n *node) absCharge(pos []Vec, charge []float64) float64 {
+	var a float64
+	if n.leaf {
+		for _, i := range n.idx {
+			a += math.Abs(charge[i])
+		}
+		return a
+	}
+	for _, c := range n.children {
+		if c != nil {
+			a += c.absCharge(pos, charge)
+		}
+	}
+	return a
+}
+
+// forceAt computes the electric field at position p (belonging to particle
+// self, which is excluded from direct sums), using the multipole acceptance
+// criterion size/distance < theta. stats, when non-nil, counts interactions.
+func (n *node) forceAt(pos []Vec, charge []float64, p Vec, self int32, theta, eps2 float64, stats *int64) Vec {
+	r := p.Sub(n.com)
+	d2 := r.Dot(r)
+	size := 2 * n.half
+
+	if !n.leaf && size*size < theta*theta*d2 {
+		// Well separated: monopole + dipole approximation.
+		if stats != nil {
+			*stats++
+		}
+		return fieldMonoDipole(r, d2+eps2, n.q, n.dipole)
+	}
+	if n.leaf {
+		var e Vec
+		for _, i := range n.idx {
+			if i == self {
+				continue
+			}
+			if stats != nil {
+				*stats++
+			}
+			ri := p.Sub(pos[i])
+			di2 := ri.Dot(ri) + eps2
+			inv := 1 / (di2 * math.Sqrt(di2))
+			e = e.Add(ri.Scale(charge[i] * inv))
+		}
+		return e
+	}
+	var e Vec
+	for _, c := range n.children {
+		if c != nil {
+			e = e.Add(c.forceAt(pos, charge, p, self, theta, eps2, stats))
+		}
+	}
+	return e
+}
+
+// fieldMonoDipole evaluates the far-field E of a monopole q and dipole D at
+// displacement r (|r|² pre-softened as d2).
+func fieldMonoDipole(r Vec, d2, q float64, d Vec) Vec {
+	invD := 1 / math.Sqrt(d2)
+	inv3 := invD * invD * invD
+	e := r.Scale(q * inv3)
+	// Dipole field: (3(D·r̂)r̂ − D)/|r|³.
+	rhat := r.Scale(invD)
+	e = e.Add(rhat.Scale(3 * d.Dot(rhat) * inv3).Sub(d.Scale(inv3)))
+	return e
+}
+
+// potentialAt evaluates the potential at p with the same acceptance rule.
+func (n *node) potentialAt(pos []Vec, charge []float64, p Vec, self int32, theta, eps2 float64) float64 {
+	r := p.Sub(n.com)
+	d2 := r.Dot(r)
+	size := 2 * n.half
+	if !n.leaf && size*size < theta*theta*d2 {
+		d := math.Sqrt(d2 + eps2)
+		return n.q/d + n.dipole.Dot(r)/(d*d*d)
+	}
+	if n.leaf {
+		var phi float64
+		for _, i := range n.idx {
+			if i == self {
+				continue
+			}
+			ri := p.Sub(pos[i])
+			phi += charge[i] / math.Sqrt(ri.Dot(ri)+eps2)
+		}
+		return phi
+	}
+	var phi float64
+	for _, c := range n.children {
+		if c != nil {
+			phi += c.potentialAt(pos, charge, p, self, theta, eps2)
+		}
+	}
+	return phi
+}

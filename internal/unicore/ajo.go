@@ -1,0 +1,163 @@
+// Package unicore reimplements the UNICORE grid middleware tier structure of
+// the paper's section 3.1, as far as the steering showcase depends on it:
+//
+//   - a Gateway "acting as point-of-entry into the protected domain", with
+//     ALL communication — job consignment, status, outcome retrieval and
+//     VISIT steering streams — multiplexed over its single server port,
+//   - a Network Job Supervisor (NJS) that "adapts the abstract UNICORE job
+//     for the specific HPC system" by incarnating Abstract Job Objects into
+//     target-system scripts via the TSI,
+//   - a Target System Interface (TSI) that executes the incarnated work,
+//   - single sign-on: one token authenticates every operation of a user,
+//   - the VISIT steering extension of section 3.3: a proxy on the target
+//     system that carries VISIT traffic through the gateway port and embeds
+//     the vbroker multiplexer so that "all users participating in the
+//     collaboration have to authenticate to the UNICORE system".
+//
+// AJOs travel as gob-serialised Go structs, standing in for the original
+// "serialised Java objects" sent via ssl.
+package unicore
+
+import (
+	"fmt"
+	"time"
+)
+
+// TaskKind enumerates the abstract task types the showcase needs.
+type TaskKind uint8
+
+// Task kinds.
+const (
+	// TaskExecute runs an application registered with the TSI.
+	TaskExecute TaskKind = iota + 1
+	// TaskImportFile places a byte blob into the job workspace.
+	TaskImportFile
+	// TaskExportFile declares a workspace file as a job outcome.
+	TaskExportFile
+	// TaskStartVISITProxy starts the VISIT steering proxy for this job.
+	TaskStartVISITProxy
+)
+
+// String returns the kind name.
+func (k TaskKind) String() string {
+	switch k {
+	case TaskExecute:
+		return "Execute"
+	case TaskImportFile:
+		return "ImportFile"
+	case TaskExportFile:
+		return "ExportFile"
+	case TaskStartVISITProxy:
+		return "StartVISITProxy"
+	default:
+		return fmt.Sprintf("TaskKind(%d)", uint8(k))
+	}
+}
+
+// Task is one abstract work item inside an AJO.
+type Task struct {
+	Kind TaskKind
+	// Name identifies the task inside the job.
+	Name string
+	// Executable and Args apply to TaskExecute.
+	Executable string
+	Args       []string
+	// Env is exported into the incarnated script.
+	Env map[string]string
+	// FileName and Data apply to the file tasks.
+	FileName string
+	Data     []byte
+	// VISITPassword protects the steering proxy (TaskStartVISITProxy).
+	VISITPassword string
+}
+
+// AJO is an Abstract Job Object: "the workflows being instantiated are known
+// in UNICORE as Abstract Job Objects" (section 2.2). Tasks run sequentially;
+// TaskStartVISITProxy runs concurrently alongside the remaining tasks so the
+// steered application can reach its proxy.
+type AJO struct {
+	// ID must be unique per consignment; the client assigns it.
+	ID string
+	// User is the authenticated owner.
+	User string
+	// Vsite names the target system behind the gateway.
+	Vsite string
+	// Tasks execute in order.
+	Tasks []Task
+	// Submitted is stamped by the client.
+	Submitted time.Time
+}
+
+// Validate checks structural invariants before consignment.
+func (a *AJO) Validate() error {
+	if a.ID == "" {
+		return fmt.Errorf("unicore: AJO has no ID")
+	}
+	if a.Vsite == "" {
+		return fmt.Errorf("unicore: AJO %s has no Vsite", a.ID)
+	}
+	if len(a.Tasks) == 0 {
+		return fmt.Errorf("unicore: AJO %s has no tasks", a.ID)
+	}
+	proxies := 0
+	for i, t := range a.Tasks {
+		switch t.Kind {
+		case TaskExecute:
+			if t.Executable == "" {
+				return fmt.Errorf("unicore: task %d has no executable", i)
+			}
+		case TaskImportFile, TaskExportFile:
+			if t.FileName == "" {
+				return fmt.Errorf("unicore: task %d has no file name", i)
+			}
+		case TaskStartVISITProxy:
+			proxies++
+		default:
+			return fmt.Errorf("unicore: task %d has unknown kind %d", i, t.Kind)
+		}
+	}
+	if proxies > 1 {
+		return fmt.Errorf("unicore: AJO %s has %d VISIT proxies, max 1", a.ID, proxies)
+	}
+	return nil
+}
+
+// JobStatus is the NJS-side lifecycle state of a consigned AJO.
+type JobStatus uint8
+
+// Job lifecycle states.
+const (
+	StatusUnknown JobStatus = iota
+	StatusConsigned
+	StatusRunning
+	StatusDone
+	StatusFailed
+)
+
+// String returns the status name.
+func (s JobStatus) String() string {
+	switch s {
+	case StatusConsigned:
+		return "CONSIGNED"
+	case StatusRunning:
+		return "RUNNING"
+	case StatusDone:
+		return "DONE"
+	case StatusFailed:
+		return "FAILED"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Outcome is what a client fetches after (or during) a job: per-task logs
+// and exported files.
+type Outcome struct {
+	Status JobStatus
+	// Log holds one entry per executed task.
+	Log []string
+	// Files maps exported file names to contents.
+	Files map[string][]byte
+	// Err is the failure reason when Status == StatusFailed.
+	Err string
+}

@@ -1,0 +1,157 @@
+package unicore
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"repro/internal/visit"
+)
+
+// Client is the user-side UNICORE client: it constructs, submits and
+// controls jobs through a gateway, and — with the VISIT extension — attaches
+// steering participants to running jobs. Every method opens a fresh
+// connection, performs one transaction and returns, matching UNICORE's
+// stateless client model.
+type Client struct {
+	// Dial connects to the gateway's single port.
+	Dial func() (net.Conn, error)
+	// User and Token are the single sign-on credentials.
+	User, Token string
+	// Timeout bounds each transaction (default 10s).
+	Timeout time.Duration
+}
+
+// NewClient returns a client for a gateway TCP address.
+func NewClient(gatewayAddr, user, token string) *Client {
+	return &Client{
+		Dial:  func() (net.Conn, error) { return net.Dial("tcp", gatewayAddr) },
+		User:  user,
+		Token: token,
+	}
+}
+
+func (c *Client) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return 10 * time.Second
+}
+
+// transact performs one request/response exchange.
+func (c *Client) transact(req *request) (*response, error) {
+	conn, err := c.Dial()
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(c.timeout()))
+
+	req.User, req.Token = c.User, c.Token
+	if err := gob.NewEncoder(conn).Encode(req); err != nil {
+		return nil, err
+	}
+	var resp response
+	if err := gob.NewDecoder(conn).Decode(&resp); err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return &resp, fmt.Errorf("unicore: %s", resp.Err)
+	}
+	return &resp, nil
+}
+
+// Consign submits an AJO.
+func (c *Client) Consign(a *AJO) error {
+	if a.Submitted.IsZero() {
+		a.Submitted = time.Now()
+	}
+	_, err := c.transact(&request{Op: OpConsign, Vsite: a.Vsite, AJO: a})
+	return err
+}
+
+// Status queries a job's lifecycle state.
+func (c *Client) Status(jobID string) (JobStatus, error) {
+	resp, err := c.transact(&request{Op: OpStatus, JobID: jobID})
+	if err != nil {
+		return StatusUnknown, err
+	}
+	return resp.Status, nil
+}
+
+// WaitStatus polls until the job reaches want (or a terminal state), with
+// the given overall deadline.
+func (c *Client) WaitStatus(jobID string, want JobStatus, deadline time.Duration) (JobStatus, error) {
+	end := time.Now().Add(deadline)
+	for {
+		st, err := c.Status(jobID)
+		if err != nil {
+			return st, err
+		}
+		if st == want || st == StatusDone || st == StatusFailed {
+			return st, nil
+		}
+		if time.Now().After(end) {
+			return st, fmt.Errorf("unicore: job %s still %s after %v", jobID, st, deadline)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Outcome fetches a job's logs and exported files.
+func (c *Client) Outcome(jobID string) (*Outcome, error) {
+	resp, err := c.transact(&request{Op: OpOutcome, JobID: jobID})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Outcome, nil
+}
+
+// SetVISITMaster moves the steering master role among attached participants.
+func (c *Client) SetVISITMaster(jobID, vizName string) error {
+	_, err := c.transact(&request{Op: OpSetVISITMaster, JobID: jobID, VizName: vizName})
+	return err
+}
+
+// OpenVISITChannel opens a steering stream to a running job through the
+// gateway port and serves the given visit.Server on it: the user-side
+// "proxy-client ... implemented as a client-plugin" of section 3.3. The
+// participant appears to the job's proxy as visualization vizName; the first
+// participant becomes master. The call returns when the stream ends.
+func (c *Client) OpenVISITChannel(jobID, vizName, vizPassword string, server *visit.Server) error {
+	conn, err := c.Dial()
+	if err != nil {
+		return err
+	}
+	conn.SetDeadline(time.Now().Add(c.timeout()))
+	req := &request{
+		Op: OpOpenVISITChannel, JobID: jobID,
+		VizName: vizName, VizPassword: vizPassword,
+		User: c.User, Token: c.Token,
+	}
+	if err := gob.NewEncoder(conn).Encode(req); err != nil {
+		conn.Close()
+		return err
+	}
+	// One raw status byte avoids any buffered over-read before the stream
+	// switches to VISIT framing.
+	var status [1]byte
+	if _, err := io.ReadFull(conn, status[:]); err != nil {
+		conn.Close()
+		return err
+	}
+	if status[0] != chanOK {
+		msg, _ := io.ReadAll(conn)
+		conn.Close()
+		return fmt.Errorf("unicore: channel rejected: %s", msg)
+	}
+	conn.SetDeadline(time.Time{})
+	err = server.ServeConn(conn)
+	if err == nil || errors.Is(err, io.EOF) {
+		return nil
+	}
+	return err
+}

@@ -1,0 +1,272 @@
+package unicore
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Op enumerates gateway operations. Every operation — including the VISIT
+// steering stream — enters the protected domain through the gateway's single
+// server port.
+type Op uint8
+
+// Gateway operations.
+const (
+	OpConsign Op = iota + 1
+	OpStatus
+	OpOutcome
+	OpOpenVISITChannel
+	OpSetVISITMaster
+)
+
+// request is the single gob frame a client sends per connection; UNICORE
+// operations are "separate transactions that do not require a stateful
+// connection" (section 3.3).
+type request struct {
+	User  string
+	Token string
+	Op    Op
+	Vsite string
+	AJO   *AJO
+	JobID string
+	// VizName and VizPassword configure VISIT channel operations.
+	VizName     string
+	VizPassword string
+}
+
+// response answers every operation except OpOpenVISITChannel (which switches
+// to a raw stream after a one-byte status).
+type response struct {
+	OK      bool
+	Err     string
+	Status  JobStatus
+	Outcome *Outcome
+}
+
+// channel status bytes.
+const (
+	chanOK  byte = 0x00
+	chanErr byte = 0x01
+)
+
+// Gateway is the single point of entry of a protected domain: it
+// authenticates every request (single sign-on: one token per user covers
+// job management and steering), routes to the NJS of the requested Vsite,
+// and carries VISIT steering streams over its own port.
+type Gateway struct {
+	mu     sync.RWMutex
+	users  map[string]string // user -> token
+	vsites map[string]*NJS
+
+	stats  GatewayStats
+	closed chan struct{}
+	once   sync.Once
+}
+
+// GatewayStats counts gateway activity; the single-port experiment reads
+// Connections and ChannelsOpened.
+type GatewayStats struct {
+	Connections    uint64
+	AuthFailures   uint64
+	Consignments   uint64
+	ChannelsOpened uint64
+}
+
+// NewGateway returns an empty gateway.
+func NewGateway() *Gateway {
+	return &Gateway{
+		users:  make(map[string]string),
+		vsites: make(map[string]*NJS),
+		closed: make(chan struct{}),
+	}
+}
+
+// AddUser registers a user with its sign-on token.
+func (g *Gateway) AddUser(user, token string) {
+	g.mu.Lock()
+	g.users[user] = token
+	g.mu.Unlock()
+}
+
+// AddVsite registers the NJS serving a Vsite behind this gateway.
+func (g *Gateway) AddVsite(n *NJS) {
+	g.mu.Lock()
+	g.vsites[n.Vsite()] = n
+	g.mu.Unlock()
+}
+
+// Stats returns a copy of the counters.
+func (g *Gateway) Stats() GatewayStats {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.stats
+}
+
+// Serve accepts client connections on the gateway's one listener.
+func (g *Gateway) Serve(l net.Listener) error {
+	go func() {
+		<-g.closed
+		l.Close()
+	}()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			select {
+			case <-g.closed:
+				return nil
+			default:
+				return err
+			}
+		}
+		go g.ServeConn(conn)
+	}
+}
+
+// ServeConn handles one client transaction.
+func (g *Gateway) ServeConn(conn net.Conn) error {
+	g.count(func(s *GatewayStats) { s.Connections++ })
+
+	dec := gob.NewDecoder(conn)
+	var req request
+	conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+	if err := dec.Decode(&req); err != nil {
+		conn.Close()
+		return err
+	}
+	conn.SetReadDeadline(time.Time{})
+
+	if !g.authenticate(req.User, req.Token) {
+		g.count(func(s *GatewayStats) { s.AuthFailures++ })
+		g.reply(conn, &req, &response{Err: "authentication failed"})
+		conn.Close()
+		return errors.New("unicore: authentication failed")
+	}
+
+	njs := g.lookupVsite(req.Vsite)
+	if njs == nil && req.Op != OpConsign {
+		// Non-consign ops may omit Vsite if the job id is globally unique;
+		// search all Vsites.
+		njs = g.findJob(req.JobID)
+	}
+	if njs == nil {
+		g.reply(conn, &req, &response{Err: fmt.Sprintf("no Vsite %q behind this gateway", req.Vsite)})
+		conn.Close()
+		return nil
+	}
+
+	switch req.Op {
+	case OpConsign:
+		err := njs.Consign(req.AJO)
+		if err == nil {
+			g.count(func(s *GatewayStats) { s.Consignments++ })
+		}
+		g.reply(conn, &req, errResponse(err))
+		conn.Close()
+
+	case OpStatus:
+		g.reply(conn, &req, &response{OK: true, Status: njs.Status(req.JobID)})
+		conn.Close()
+
+	case OpOutcome:
+		out, err := njs.Outcome(req.JobID)
+		if err != nil {
+			g.reply(conn, &req, errResponse(err))
+		} else {
+			g.reply(conn, &req, &response{OK: true, Status: out.Status, Outcome: out})
+		}
+		conn.Close()
+
+	case OpSetVISITMaster:
+		g.reply(conn, &req, errResponse(njs.SetVISITMaster(req.JobID, req.VizName)))
+		conn.Close()
+
+	case OpOpenVISITChannel:
+		// Switch the connection to a raw VISIT stream: one status byte,
+		// then the conn belongs to the job's steering proxy. The client
+		// must already be running its visit.Server on the other end.
+		if err := njs.HasVISITProxy(req.JobID); err != nil {
+			g.reply(conn, &req, errResponse(err))
+			conn.Close()
+			return nil
+		}
+		if _, err := conn.Write([]byte{chanOK}); err != nil {
+			conn.Close()
+			return err
+		}
+		g.count(func(s *GatewayStats) { s.ChannelsOpened++ })
+		if _, err := njs.AttachVISITViz(req.JobID, req.VizName, conn, req.VizPassword); err != nil {
+			conn.Close()
+			return err
+		}
+		// The proxy now owns the conn; it will be closed when the broker
+		// detaches the participant.
+
+	default:
+		g.reply(conn, &req, &response{Err: "unknown operation"})
+		conn.Close()
+	}
+	return nil
+}
+
+func errResponse(err error) *response {
+	if err != nil {
+		return &response{Err: err.Error()}
+	}
+	return &response{OK: true}
+}
+
+// reply writes the response frame; channel ops never reach here.
+func (g *Gateway) reply(conn net.Conn, req *request, resp *response) {
+	if req.Op == OpOpenVISITChannel {
+		msg := resp.Err
+		conn.Write(append([]byte{chanErr}, msg...))
+		return
+	}
+	enc := gob.NewEncoder(conn)
+	conn.SetWriteDeadline(time.Now().Add(30 * time.Second))
+	enc.Encode(resp)
+	conn.SetWriteDeadline(time.Time{})
+}
+
+func (g *Gateway) authenticate(user, token string) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	want, ok := g.users[user]
+	return ok && want == token && token != ""
+}
+
+func (g *Gateway) lookupVsite(vsite string) *NJS {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.vsites[vsite]
+}
+
+// findJob locates the NJS holding a job when the request names no Vsite.
+func (g *Gateway) findJob(jobID string) *NJS {
+	if jobID == "" {
+		return nil
+	}
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	for _, n := range g.vsites {
+		if n.Status(jobID) != StatusUnknown {
+			return n
+		}
+	}
+	return nil
+}
+
+// Close stops the gateway.
+func (g *Gateway) Close() {
+	g.once.Do(func() { close(g.closed) })
+}
+
+func (g *Gateway) count(f func(*GatewayStats)) {
+	g.mu.Lock()
+	f(&g.stats)
+	g.mu.Unlock()
+}

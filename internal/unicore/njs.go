@@ -1,0 +1,288 @@
+package unicore
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/visit"
+)
+
+// NJS is the Network Job Supervisor of one Vsite: it accepts consigned AJOs
+// from the gateway, incarnates them through the TSI, runs them, and tracks
+// their lifecycle. For jobs carrying a VISIT proxy task it owns the proxy —
+// a vbroker embedded at the target system, per section 3.3: "this
+// functionality has been moved into the VISIT proxy-server running on the
+// UNICORE target system. This has the advantage that all users participating
+// in the collaboration have to authenticate to the UNICORE system."
+type NJS struct {
+	vsite string
+	tsi   *TSI
+
+	mu   sync.Mutex
+	jobs map[string]*job
+}
+
+// job is one consigned AJO with its runtime state.
+type job struct {
+	ajo       *AJO
+	status    JobStatus
+	log       []string
+	err       string
+	workspace *Workspace
+	// proxy is non-nil while a VISIT proxy runs for this job.
+	proxy *visitProxy
+	done  chan struct{}
+}
+
+// visitProxy is the target-system end of the VISIT-UNICORE extension: the
+// steered simulation dials its in-memory listener (never a new network
+// port), and remote participants are attached as visualizations through
+// gateway channels.
+type visitProxy struct {
+	broker   *visit.Broker
+	listener *netsim.MemListener
+	nextViz  int
+	mu       sync.Mutex
+}
+
+// NewNJS returns an NJS for a Vsite using the given TSI.
+func NewNJS(vsite string, tsi *TSI) *NJS {
+	return &NJS{vsite: vsite, tsi: tsi, jobs: make(map[string]*job)}
+}
+
+// Vsite returns the Vsite name this NJS serves.
+func (n *NJS) Vsite() string { return n.vsite }
+
+// Consign accepts an AJO and starts executing it asynchronously.
+func (n *NJS) Consign(a *AJO) error {
+	if err := a.Validate(); err != nil {
+		return err
+	}
+	if a.Vsite != n.vsite {
+		return fmt.Errorf("unicore: AJO targets Vsite %q, this NJS serves %q", a.Vsite, n.vsite)
+	}
+	n.mu.Lock()
+	if _, dup := n.jobs[a.ID]; dup {
+		n.mu.Unlock()
+		return fmt.Errorf("unicore: job %s already consigned", a.ID)
+	}
+	j := &job{
+		ajo:       a,
+		status:    StatusConsigned,
+		workspace: NewWorkspace(),
+		done:      make(chan struct{}),
+	}
+	n.jobs[a.ID] = j
+	n.mu.Unlock()
+
+	go n.run(j)
+	return nil
+}
+
+// run executes the job's tasks in order.
+func (n *NJS) run(j *job) {
+	defer close(j.done)
+	n.setStatus(j, StatusRunning)
+
+	// Start the VISIT proxy first if the job has one, so the application
+	// task can reach it.
+	var proxyTask *Task
+	for i := range j.ajo.Tasks {
+		if j.ajo.Tasks[i].Kind == TaskStartVISITProxy {
+			proxyTask = &j.ajo.Tasks[i]
+			break
+		}
+	}
+	if proxyTask != nil {
+		p := &visitProxy{
+			broker:   visit.NewBroker(visit.BrokerConfig{Password: proxyTask.VISITPassword, VizTimeout: 2 * time.Second}),
+			listener: netsim.NewMemListener(netsim.Loopback),
+		}
+		go p.broker.Serve(p.listener)
+		n.mu.Lock()
+		j.proxy = p
+		n.mu.Unlock()
+		n.appendLog(j, n.tsi.Incarnate(j.ajo.ID, proxyTask))
+		defer func() {
+			p.broker.Close()
+			p.listener.Close()
+		}()
+	}
+
+	for i := range j.ajo.Tasks {
+		task := &j.ajo.Tasks[i]
+		if task.Kind == TaskStartVISITProxy {
+			continue // already running
+		}
+		script := n.tsi.Incarnate(j.ajo.ID, task)
+		n.appendLog(j, script)
+
+		ctx := &TaskContext{
+			JobID:     j.ajo.ID,
+			Stdout:    &bytes.Buffer{},
+			Workspace: j.workspace,
+		}
+		if j.proxy != nil {
+			p := j.proxy
+			pw := proxyTask.VISITPassword
+			_ = pw
+			ctx.VISITDialer = func() (net.Conn, error) { return p.listener.Dial() }
+		}
+		err := n.tsi.Execute(ctx, task)
+		if out := ctx.Stdout.String(); out != "" {
+			n.appendLog(j, fmt.Sprintf("[%s stdout]\n%s", task.Name, out))
+		}
+		if err != nil {
+			n.mu.Lock()
+			j.err = err.Error()
+			n.mu.Unlock()
+			n.setStatus(j, StatusFailed)
+			return
+		}
+	}
+	n.setStatus(j, StatusDone)
+}
+
+func (n *NJS) setStatus(j *job, s JobStatus) {
+	n.mu.Lock()
+	j.status = s
+	n.mu.Unlock()
+}
+
+func (n *NJS) appendLog(j *job, entry string) {
+	n.mu.Lock()
+	j.log = append(j.log, entry)
+	n.mu.Unlock()
+}
+
+// Status returns the lifecycle state of a job.
+func (n *NJS) Status(jobID string) JobStatus {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	j, ok := n.jobs[jobID]
+	if !ok {
+		return StatusUnknown
+	}
+	return j.status
+}
+
+// Wait blocks until the job finishes or the timeout elapses.
+func (n *NJS) Wait(jobID string, timeout time.Duration) error {
+	n.mu.Lock()
+	j, ok := n.jobs[jobID]
+	n.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("unicore: no job %s", jobID)
+	}
+	select {
+	case <-j.done:
+		return nil
+	case <-time.After(timeout):
+		return fmt.Errorf("unicore: job %s still running after %v", jobID, timeout)
+	}
+}
+
+// Outcome fetches the job's current outcome (logs, exported files).
+func (n *NJS) Outcome(jobID string) (*Outcome, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	j, ok := n.jobs[jobID]
+	if !ok {
+		return nil, fmt.Errorf("unicore: no job %s", jobID)
+	}
+	out := &Outcome{
+		Status: j.status,
+		Log:    append([]string(nil), j.log...),
+		Files:  make(map[string][]byte),
+		Err:    j.err,
+	}
+	for _, t := range j.ajo.Tasks {
+		if t.Kind == TaskExportFile {
+			if data, ok := j.workspace.Get(t.FileName); ok {
+				out.Files[t.FileName] = data
+			}
+		}
+	}
+	return out, nil
+}
+
+// HasVISITProxy reports whether the job exists and runs a VISIT proxy.
+func (n *NJS) HasVISITProxy(jobID string) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	j, ok := n.jobs[jobID]
+	if !ok {
+		return fmt.Errorf("unicore: no job %s", jobID)
+	}
+	if j.proxy == nil {
+		return fmt.Errorf("unicore: job %s has no VISIT proxy", jobID)
+	}
+	return nil
+}
+
+// AttachVISITViz connects one remote participant (a gateway channel conn,
+// ultimately a visit.Server at the user's site) to the job's VISIT proxy as
+// a named visualization. The first participant becomes the steering master.
+func (n *NJS) AttachVISITViz(jobID, vizName string, conn net.Conn, password string) (string, error) {
+	n.mu.Lock()
+	j, ok := n.jobs[jobID]
+	p := (*visitProxy)(nil)
+	if ok {
+		p = j.proxy
+	}
+	n.mu.Unlock()
+	if !ok {
+		return "", fmt.Errorf("unicore: no job %s", jobID)
+	}
+	if p == nil {
+		return "", fmt.Errorf("unicore: job %s has no VISIT proxy", jobID)
+	}
+	if vizName == "" {
+		p.mu.Lock()
+		p.nextViz++
+		vizName = fmt.Sprintf("viz-%d", p.nextViz)
+		p.mu.Unlock()
+	}
+
+	// The channel conn can be handed out exactly once: a broken stream needs
+	// a fresh gateway channel. Sim serialises dial calls under its own lock,
+	// so a plain flag suffices.
+	used := false
+	dial := func() (net.Conn, error) {
+		if used {
+			return nil, fmt.Errorf("unicore: gateway channel cannot be redialled; open a new channel")
+		}
+		used = true
+		return conn, nil
+	}
+	if err := p.broker.AttachViz(vizName, dial, password); err != nil {
+		return "", err
+	}
+	return vizName, nil
+}
+
+// SetVISITMaster moves the steering master among attached participants.
+func (n *NJS) SetVISITMaster(jobID, vizName string) error {
+	n.mu.Lock()
+	j, ok := n.jobs[jobID]
+	n.mu.Unlock()
+	if !ok || j.proxy == nil {
+		return fmt.Errorf("unicore: no VISIT proxy for job %s", jobID)
+	}
+	return j.proxy.broker.SetMaster(vizName)
+}
+
+// VISITBrokerStats exposes the proxy's multiplexer counters for experiments.
+func (n *NJS) VISITBrokerStats(jobID string) (visit.BrokerStats, error) {
+	n.mu.Lock()
+	j, ok := n.jobs[jobID]
+	n.mu.Unlock()
+	if !ok || j.proxy == nil {
+		return visit.BrokerStats{}, fmt.Errorf("unicore: no VISIT proxy for job %s", jobID)
+	}
+	return j.proxy.broker.Stats(), nil
+}

@@ -1,0 +1,173 @@
+package unicore
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/visit"
+)
+
+// AppFunc is an application the TSI can run. It stands in for the real
+// executables a production TSI would exec: the showcase simulations register
+// themselves under their executable names. ctx gives the task its arguments,
+// workspace and (for steered applications) the VISIT proxy endpoint.
+type AppFunc func(ctx *TaskContext) error
+
+// TaskContext is handed to a running application.
+type TaskContext struct {
+	// JobID identifies the surrounding job.
+	JobID string
+	// Args are the task arguments.
+	Args []string
+	// Env is the task environment.
+	Env map[string]string
+	// Stdout collects application output into the job log.
+	Stdout *bytes.Buffer
+	// Workspace is the job's file space (import/export tasks use it too).
+	Workspace *Workspace
+	// VISITDialer is non-nil when the job carries a VISIT proxy: the steered
+	// application dials it (visit.NewSim) to reach its visualization(s)
+	// through UNICORE without needing any modification, the portability
+	// goal of section 3.1.
+	VISITDialer visit.Dialer
+}
+
+// Workspace is the per-job file space (Uspace in UNICORE terms).
+type Workspace struct {
+	mu    sync.Mutex
+	files map[string][]byte
+}
+
+// NewWorkspace returns an empty workspace.
+func NewWorkspace() *Workspace {
+	return &Workspace{files: make(map[string][]byte)}
+}
+
+// Put stores a file.
+func (w *Workspace) Put(name string, data []byte) {
+	w.mu.Lock()
+	w.files[name] = append([]byte(nil), data...)
+	w.mu.Unlock()
+}
+
+// Get retrieves a file.
+func (w *Workspace) Get(name string) ([]byte, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	b, ok := w.files[name]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), b...), true
+}
+
+// List returns the stored file names, sorted.
+func (w *Workspace) List() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	names := make([]string, 0, len(w.files))
+	for n := range w.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TSI is the Target System Interface: "a Target System Interface (TSI),
+// which is available as a Java application or a set of Perl scripts,
+// performs the communication with the NJS" and runs the incarnated work on
+// the HPC platform. This TSI executes registered AppFuncs; the paper's
+// VISIT extension modifies only this component, preserved here by keeping
+// the proxy hooks inside the TSI.
+type TSI struct {
+	mu   sync.RWMutex
+	apps map[string]AppFunc
+}
+
+// NewTSI returns a TSI with no applications registered.
+func NewTSI() *TSI {
+	return &TSI{apps: make(map[string]AppFunc)}
+}
+
+// RegisterApp makes an application available under an executable name.
+func (t *TSI) RegisterApp(name string, fn AppFunc) {
+	t.mu.Lock()
+	t.apps[name] = fn
+	t.mu.Unlock()
+}
+
+// lookup returns the registered application.
+func (t *TSI) lookup(name string) (AppFunc, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	fn, ok := t.apps[name]
+	if !ok {
+		return nil, fmt.Errorf("unicore: no application %q on this Vsite", name)
+	}
+	return fn, nil
+}
+
+// Incarnate renders one task as the target-system script the NJS would
+// submit: "the AJOs are translated into Perl scripts for a target machine.
+// This process is known as incarnation in the UNICORE model; it allows the
+// details of the scripts used to run the workflow to be hidden from the
+// application" (section 2.2). The script text is recorded in the job log so
+// the abstraction is inspectable.
+func (t *TSI) Incarnate(jobID string, task *Task) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "#!/bin/sh\n# UNICORE TSI incarnation\n# job %s task %q kind %s\n", jobID, task.Name, task.Kind)
+	fmt.Fprintf(&b, "export UC_JOBID=%s\n", jobID)
+	keys := make([]string, 0, len(task.Env))
+	for k := range task.Env {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "export %s=%s\n", k, task.Env[k])
+	}
+	switch task.Kind {
+	case TaskExecute:
+		fmt.Fprintf(&b, "exec %s", task.Executable)
+		for _, a := range task.Args {
+			fmt.Fprintf(&b, " %q", a)
+		}
+		b.WriteString("\n")
+	case TaskImportFile:
+		fmt.Fprintf(&b, "cat > $UC_USPACE/%s  # %d bytes staged in\n", task.FileName, len(task.Data))
+	case TaskExportFile:
+		fmt.Fprintf(&b, "uc_export $UC_USPACE/%s\n", task.FileName)
+	case TaskStartVISITProxy:
+		fmt.Fprintf(&b, "exec visit-proxy --job %s --single-port\n", jobID)
+	}
+	return b.String()
+}
+
+// Execute runs one incarnated task in the given context.
+func (t *TSI) Execute(ctx *TaskContext, task *Task) error {
+	switch task.Kind {
+	case TaskExecute:
+		fn, err := t.lookup(task.Executable)
+		if err != nil {
+			return err
+		}
+		ctx.Args = task.Args
+		ctx.Env = task.Env
+		return fn(ctx)
+	case TaskImportFile:
+		ctx.Workspace.Put(task.FileName, task.Data)
+		return nil
+	case TaskExportFile:
+		if _, ok := ctx.Workspace.Get(task.FileName); !ok {
+			return fmt.Errorf("unicore: export: no file %q in workspace", task.FileName)
+		}
+		return nil
+	case TaskStartVISITProxy:
+		// Handled by the NJS (it owns the proxy lifecycle); nothing to run.
+		return nil
+	default:
+		return fmt.Errorf("unicore: cannot execute task kind %d", task.Kind)
+	}
+}

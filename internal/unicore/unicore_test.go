@@ -1,0 +1,457 @@
+package unicore
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/visit"
+	"repro/internal/wire"
+)
+
+// testGrid stands up a gateway + one Vsite on a loopback TCP port.
+func testGrid(t *testing.T) (gw *Gateway, tsi *TSI, addr string) {
+	t.Helper()
+	tsi = NewTSI()
+	njs := NewNJS("JUELICH", tsi)
+	gw = NewGateway()
+	gw.AddVsite(njs)
+	gw.AddUser("brooke", "token-1")
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go gw.Serve(l)
+	t.Cleanup(gw.Close)
+	return gw, tsi, l.Addr().String()
+}
+
+func TestAJOValidation(t *testing.T) {
+	base := func() *AJO {
+		return &AJO{ID: "j1", Vsite: "X", Tasks: []Task{{Kind: TaskExecute, Executable: "a"}}}
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	a := base()
+	a.ID = ""
+	if a.Validate() == nil {
+		t.Fatal("empty ID accepted")
+	}
+	a = base()
+	a.Vsite = ""
+	if a.Validate() == nil {
+		t.Fatal("empty Vsite accepted")
+	}
+	a = base()
+	a.Tasks = nil
+	if a.Validate() == nil {
+		t.Fatal("empty task list accepted")
+	}
+	a = base()
+	a.Tasks[0].Executable = ""
+	if a.Validate() == nil {
+		t.Fatal("execute without executable accepted")
+	}
+	a = base()
+	a.Tasks = append(a.Tasks, Task{Kind: TaskStartVISITProxy}, Task{Kind: TaskStartVISITProxy})
+	if a.Validate() == nil {
+		t.Fatal("two proxies accepted")
+	}
+	a = base()
+	a.Tasks = append(a.Tasks, Task{Kind: TaskImportFile})
+	if a.Validate() == nil {
+		t.Fatal("import without name accepted")
+	}
+}
+
+func TestIncarnationScripts(t *testing.T) {
+	tsi := NewTSI()
+	script := tsi.Incarnate("job-7", &Task{
+		Kind: TaskExecute, Name: "run", Executable: "pepc",
+		Args: []string{"--particles", "50000"},
+		Env:  map[string]string{"OMP_NUM_THREADS": "8"},
+	})
+	for _, want := range []string{"#!/bin/sh", "UC_JOBID=job-7", "exec pepc", `"--particles"`, "OMP_NUM_THREADS=8"} {
+		if !strings.Contains(script, want) {
+			t.Fatalf("incarnation missing %q:\n%s", want, script)
+		}
+	}
+	proxy := tsi.Incarnate("job-7", &Task{Kind: TaskStartVISITProxy})
+	if !strings.Contains(proxy, "visit-proxy") || !strings.Contains(proxy, "--single-port") {
+		t.Fatalf("proxy incarnation wrong:\n%s", proxy)
+	}
+}
+
+func TestJobLifecycleThroughGateway(t *testing.T) {
+	_, tsi, addr := testGrid(t)
+	ran := make(chan []string, 1)
+	tsi.RegisterApp("lb3d", func(ctx *TaskContext) error {
+		ran <- ctx.Args
+		fmt.Fprintf(ctx.Stdout, "lattice initialised\n")
+		ctx.Workspace.Put("result.dat", []byte("phi-field"))
+		return nil
+	})
+
+	c := NewClient(addr, "brooke", "token-1")
+	ajo := &AJO{
+		ID:    "job-1",
+		Vsite: "JUELICH",
+		Tasks: []Task{
+			{Kind: TaskImportFile, Name: "stage-in", FileName: "input.dat", Data: []byte("params")},
+			{Kind: TaskExecute, Name: "run", Executable: "lb3d", Args: []string{"--steps", "100"}},
+			{Kind: TaskExportFile, Name: "stage-out", FileName: "result.dat"},
+		},
+	}
+	if err := c.Consign(ajo); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.WaitStatus("job-1", StatusDone, 5*time.Second)
+	if err != nil || st != StatusDone {
+		t.Fatalf("status = %v, err %v", st, err)
+	}
+	select {
+	case args := <-ran:
+		if len(args) != 2 || args[1] != "100" {
+			t.Fatalf("app args = %v", args)
+		}
+	default:
+		t.Fatal("application never ran")
+	}
+	out, err := c.Outcome("job-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out.Files["result.dat"]) != "phi-field" {
+		t.Fatalf("export missing: %+v", out.Files)
+	}
+	joined := strings.Join(out.Log, "\n")
+	if !strings.Contains(joined, "exec lb3d") || !strings.Contains(joined, "lattice initialised") {
+		t.Fatalf("log missing incarnation/stdout:\n%s", joined)
+	}
+}
+
+func TestAuthFailure(t *testing.T) {
+	gw, _, addr := testGrid(t)
+	c := NewClient(addr, "brooke", "wrong-token")
+	err := c.Consign(&AJO{ID: "j", Vsite: "JUELICH", Tasks: []Task{{Kind: TaskExecute, Executable: "x"}}})
+	if err == nil || !strings.Contains(err.Error(), "authentication") {
+		t.Fatalf("err = %v", err)
+	}
+	if gw.Stats().AuthFailures != 1 {
+		t.Fatal("auth failure not counted")
+	}
+	// Unknown user too.
+	c2 := NewClient(addr, "mallory", "token-1")
+	if err := c2.Consign(&AJO{ID: "j2", Vsite: "JUELICH", Tasks: []Task{{Kind: TaskExecute, Executable: "x"}}}); err == nil {
+		t.Fatal("unknown user accepted")
+	}
+}
+
+func TestUnknownVsite(t *testing.T) {
+	_, _, addr := testGrid(t)
+	c := NewClient(addr, "brooke", "token-1")
+	err := c.Consign(&AJO{ID: "j", Vsite: "NOWHERE", Tasks: []Task{{Kind: TaskExecute, Executable: "x"}}})
+	if err == nil || !strings.Contains(err.Error(), "Vsite") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDuplicateJobID(t *testing.T) {
+	_, tsi, addr := testGrid(t)
+	tsi.RegisterApp("noop", func(ctx *TaskContext) error { return nil })
+	c := NewClient(addr, "brooke", "token-1")
+	mk := func() *AJO {
+		return &AJO{ID: "dup", Vsite: "JUELICH", Tasks: []Task{{Kind: TaskExecute, Executable: "noop"}}}
+	}
+	if err := c.Consign(mk()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Consign(mk()); err == nil {
+		t.Fatal("duplicate job ID accepted")
+	}
+}
+
+func TestFailingApplication(t *testing.T) {
+	_, tsi, addr := testGrid(t)
+	tsi.RegisterApp("broken", func(ctx *TaskContext) error {
+		return fmt.Errorf("segmentation fault (simulated)")
+	})
+	c := NewClient(addr, "brooke", "token-1")
+	ajo := &AJO{ID: "jf", Vsite: "JUELICH", Tasks: []Task{{Kind: TaskExecute, Executable: "broken"}}}
+	if err := c.Consign(ajo); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := c.WaitStatus("jf", StatusDone, 5*time.Second)
+	if st != StatusFailed {
+		t.Fatalf("status = %v, want FAILED", st)
+	}
+	out, _ := c.Outcome("jf")
+	if !strings.Contains(out.Err, "segmentation fault") {
+		t.Fatalf("outcome err = %q", out.Err)
+	}
+}
+
+func TestUnregisteredExecutableFails(t *testing.T) {
+	_, _, addr := testGrid(t)
+	c := NewClient(addr, "brooke", "token-1")
+	ajo := &AJO{ID: "jx", Vsite: "JUELICH", Tasks: []Task{{Kind: TaskExecute, Executable: "ghost"}}}
+	if err := c.Consign(ajo); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := c.WaitStatus("jx", StatusDone, 5*time.Second)
+	if st != StatusFailed {
+		t.Fatalf("status = %v", st)
+	}
+}
+
+func TestMissingExportFails(t *testing.T) {
+	_, tsi, addr := testGrid(t)
+	tsi.RegisterApp("noop", func(ctx *TaskContext) error { return nil })
+	c := NewClient(addr, "brooke", "token-1")
+	ajo := &AJO{ID: "je", Vsite: "JUELICH", Tasks: []Task{
+		{Kind: TaskExecute, Executable: "noop"},
+		{Kind: TaskExportFile, FileName: "never-written.dat"},
+	}}
+	if err := c.Consign(ajo); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := c.WaitStatus("je", StatusDone, 5*time.Second)
+	if st != StatusFailed {
+		t.Fatalf("status = %v", st)
+	}
+}
+
+func TestWorkspace(t *testing.T) {
+	w := NewWorkspace()
+	w.Put("b.txt", []byte("bee"))
+	w.Put("a.txt", []byte("ay"))
+	if got, ok := w.Get("a.txt"); !ok || string(got) != "ay" {
+		t.Fatalf("get = %q %v", got, ok)
+	}
+	if _, ok := w.Get("c.txt"); ok {
+		t.Fatal("phantom file")
+	}
+	if names := w.List(); len(names) != 2 || names[0] != "a.txt" {
+		t.Fatalf("list = %v", names)
+	}
+	// Mutating the returned slice must not corrupt the workspace.
+	got, _ := w.Get("a.txt")
+	got[0] = 'X'
+	again, _ := w.Get("a.txt")
+	if string(again) != "ay" {
+		t.Fatal("workspace aliasing bug")
+	}
+}
+
+// steeredParticipant is one collaborating site for the VISIT extension test.
+type steeredParticipant struct {
+	server *visit.Server
+	frames chan float64
+	stop   atomic.Bool
+	recvs  atomic.Int64
+}
+
+func newSteeredParticipant(t *testing.T, password string) *steeredParticipant {
+	p := &steeredParticipant{frames: make(chan float64, 256)}
+	p.server = visit.NewServer(visit.ServerConfig{Password: password})
+	p.server.HandleSend(1, func(m *wire.Message) error {
+		v, err := m.AsFloat64s()
+		if err != nil {
+			return err
+		}
+		select {
+		case p.frames <- v[0]:
+		default:
+		}
+		return nil
+	})
+	p.server.HandleRecv(2, func() (*wire.Message, error) {
+		p.recvs.Add(1)
+		stop := 0.0
+		if p.stop.Load() {
+			stop = 1
+		}
+		return &wire.Message{
+			Header:   wire.Header{Kind: wire.KindFloat64, Count: 1},
+			Float64s: []float64{stop},
+		}, nil
+	})
+	t.Cleanup(p.server.Close)
+	return p
+}
+
+func (p *steeredParticipant) waitFrame(t *testing.T) float64 {
+	t.Helper()
+	select {
+	case v := <-p.frames:
+		return v
+	case <-time.After(5 * time.Second):
+		t.Fatal("no frame received")
+		return 0
+	}
+}
+
+func TestVISITSteeringThroughGateway(t *testing.T) {
+	gw, tsi, addr := testGrid(t)
+
+	// The steered application: a PEPC stand-in that ships a frame counter
+	// and polls a stop parameter, all through its UNICORE-provided proxy.
+	appDone := make(chan error, 1)
+	tsi.RegisterApp("pepc", func(ctx *TaskContext) error {
+		if ctx.VISITDialer == nil {
+			return fmt.Errorf("no VISIT proxy available")
+		}
+		sim := visit.NewSim(ctx.VISITDialer, "viz-pw")
+		defer sim.Close()
+		var err error
+		for i := 0; i < 2000; i++ {
+			sim.SendFloat64s(1, []float64{float64(i)}, 200*time.Millisecond)
+			if m, rerr := sim.Recv(2, 200*time.Millisecond); rerr == nil {
+				if v, _ := m.AsFloat64s(); len(v) == 1 && v[0] == 1 {
+					fmt.Fprintf(ctx.Stdout, "stopped by steerer at step %d\n", i)
+					appDone <- nil
+					return nil
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		err = fmt.Errorf("never steered to stop")
+		appDone <- err
+		return err
+	})
+
+	c := NewClient(addr, "brooke", "token-1")
+	ajo := &AJO{
+		ID:    "steered-1",
+		Vsite: "JUELICH",
+		Tasks: []Task{
+			{Kind: TaskStartVISITProxy, Name: "proxy", VISITPassword: "viz-pw"},
+			{Kind: TaskExecute, Name: "run", Executable: "pepc"},
+		},
+	}
+	if err := c.Consign(ajo); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := c.WaitStatus("steered-1", StatusRunning, 5*time.Second); err != nil || st != StatusRunning {
+		t.Fatalf("status = %v, %v", st, err)
+	}
+
+	// First participant (master) attaches through the gateway port.
+	master := newSteeredParticipant(t, "viz-pw")
+	go c.OpenVISITChannel("steered-1", "manchester", "viz-pw", master.server)
+	master.waitFrame(t)
+
+	// Second participant attaches: passive observer, sees the same frames.
+	observer := newSteeredParticipant(t, "viz-pw")
+	go c.OpenVISITChannel("steered-1", "phoenix", "viz-pw", observer.server)
+	observer.waitFrame(t)
+
+	// Frames keep flowing to both; only the master is consulted for params.
+	master.waitFrame(t)
+	observer.waitFrame(t)
+	if master.recvs.Load() == 0 {
+		t.Fatal("master never consulted for parameters")
+	}
+	if observer.recvs.Load() != 0 {
+		t.Fatal("observer was consulted for parameters: broker leaked steering")
+	}
+
+	// Move the master role to phoenix (coordinated cooperative steering),
+	// then steer the application to stop from there.
+	if err := c.SetVISITMaster("steered-1", "phoenix"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for observer.recvs.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("new master never consulted after handoff")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	observer.stop.Store(true)
+
+	select {
+	case err := <-appDone:
+		if err != nil {
+			t.Fatalf("application: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("application never stopped")
+	}
+	if st, err := c.WaitStatus("steered-1", StatusDone, 5*time.Second); err != nil || st != StatusDone {
+		t.Fatalf("final status = %v, %v", st, err)
+	}
+
+	// The firewall-friendliness claim: both steering channels and all job
+	// management flowed through the gateway's single port.
+	if got := gw.Stats().ChannelsOpened; got != 2 {
+		t.Fatalf("ChannelsOpened = %d, want 2", got)
+	}
+	out, err := c.Outcome("steered-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(out.Log, "\n")
+	if !strings.Contains(joined, "visit-proxy") || !strings.Contains(joined, "stopped by steerer") {
+		t.Fatalf("log missing steering evidence:\n%s", joined)
+	}
+}
+
+func TestVISITChannelRejectedForJobWithoutProxy(t *testing.T) {
+	_, tsi, addr := testGrid(t)
+	block := make(chan struct{})
+	tsi.RegisterApp("noop", func(ctx *TaskContext) error { <-block; return nil })
+	defer close(block)
+	c := NewClient(addr, "brooke", "token-1")
+	ajo := &AJO{ID: "plain", Vsite: "JUELICH", Tasks: []Task{{Kind: TaskExecute, Executable: "noop"}}}
+	if err := c.Consign(ajo); err != nil {
+		t.Fatal(err)
+	}
+	c.WaitStatus("plain", StatusRunning, 5*time.Second)
+	p := newSteeredParticipant(t, "")
+	err := c.OpenVISITChannel("plain", "site", "", p.server)
+	if err == nil || !strings.Contains(err.Error(), "proxy") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestVISITChannelBadPassword(t *testing.T) {
+	_, tsi, addr := testGrid(t)
+	tsi.RegisterApp("steady", func(ctx *TaskContext) error {
+		time.Sleep(300 * time.Millisecond)
+		return nil
+	})
+	c := NewClient(addr, "brooke", "token-1")
+	ajo := &AJO{ID: "pw", Vsite: "JUELICH", Tasks: []Task{
+		{Kind: TaskStartVISITProxy, VISITPassword: "right"},
+		{Kind: TaskExecute, Executable: "steady"},
+	}}
+	if err := c.Consign(ajo); err != nil {
+		t.Fatal(err)
+	}
+	c.WaitStatus("pw", StatusRunning, 5*time.Second)
+	p := newSteeredParticipant(t, "right")
+	// Wrong VISIT password: the broker's attach ping fails, the channel drops.
+	if err := c.OpenVISITChannel("pw", "site", "wrong", p.server); err == nil {
+		t.Fatal("bad viz password accepted")
+	}
+}
+
+func TestStatusStringer(t *testing.T) {
+	for s, want := range map[JobStatus]string{
+		StatusConsigned: "CONSIGNED", StatusRunning: "RUNNING",
+		StatusDone: "DONE", StatusFailed: "FAILED", StatusUnknown: "UNKNOWN",
+	} {
+		if s.String() != want {
+			t.Fatalf("%d => %q", s, s.String())
+		}
+	}
+	if TaskExecute.String() != "Execute" || TaskStartVISITProxy.String() != "StartVISITProxy" {
+		t.Fatal("task kind names wrong")
+	}
+}

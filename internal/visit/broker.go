@@ -1,0 +1,238 @@
+package visit
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// BrokerConfig configures a collaboration multiplexer.
+type BrokerConfig struct {
+	// Password authenticates the simulation to the broker.
+	Password string
+	// VizTimeout bounds each forwarded operation per visualization
+	// (default 2s). A visualization slower than this loses the frame; it
+	// never slows the simulation more than the broker's own ack.
+	VizTimeout time.Duration
+	// MaxFailures is the consecutive-failure count after which a
+	// visualization is detached (default 3).
+	MaxFailures int
+}
+
+// Broker is the vbroker of section 3.3: it stands between the simulation
+// and any number of visualizations, fanning send-requests out to everyone
+// ("ensuring that everyone views the same data") while directing
+// receive-requests only to the master, "so that only that master is able to
+// actively steer the application". The master role is movable.
+type Broker struct {
+	cfg    BrokerConfig
+	server *Server
+
+	mu     sync.Mutex
+	vizs   map[string]*vizLink
+	order  []string
+	master string
+	stats  BrokerStats
+}
+
+// vizLink is one attached visualization.
+type vizLink struct {
+	name     string
+	sim      *Sim // the broker is a VISIT client towards each visualization
+	failures int
+}
+
+// BrokerStats counts multiplexer activity.
+type BrokerStats struct {
+	SendsIn        uint64 // send ops received from the simulation
+	SendsFanned    uint64 // per-viz forwarded sends
+	SendFailures   uint64
+	RecvsForwarded uint64
+	RecvsNoMaster  uint64
+	VizsDetached   uint64
+}
+
+// NewBroker returns a broker ready to accept the simulation connection.
+func NewBroker(cfg BrokerConfig) *Broker {
+	if cfg.VizTimeout <= 0 {
+		cfg.VizTimeout = 2 * time.Second
+	}
+	if cfg.MaxFailures <= 0 {
+		cfg.MaxFailures = 3
+	}
+	b := &Broker{
+		cfg:  cfg,
+		vizs: make(map[string]*vizLink),
+	}
+	b.server = NewServer(ServerConfig{Password: cfg.Password})
+	b.server.HandleSendDefault(b.forwardSend)
+	b.server.HandleRecvDefault(b.forwardRecv)
+	return b
+}
+
+// AttachViz connects the broker to a visualization server. The first
+// visualization attached becomes master.
+func (b *Broker) AttachViz(name string, dial Dialer, password string) error {
+	sim := NewSim(dial, password)
+	if err := sim.Ping(b.cfg.VizTimeout); err != nil {
+		sim.Close()
+		return fmt.Errorf("visit: attach %q: %w", name, err)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, dup := b.vizs[name]; dup {
+		sim.Close()
+		return fmt.Errorf("visit: visualization %q already attached", name)
+	}
+	b.vizs[name] = &vizLink{name: name, sim: sim}
+	b.order = append(b.order, name)
+	if b.master == "" {
+		b.master = name
+	}
+	return nil
+}
+
+// DetachViz removes a visualization; a detached master passes the role to
+// the oldest remaining visualization.
+func (b *Broker) DetachViz(name string) {
+	b.mu.Lock()
+	v, ok := b.vizs[name]
+	if ok {
+		b.removeLocked(v)
+	}
+	b.mu.Unlock()
+}
+
+// removeLocked removes v and repairs master. Caller holds mu.
+func (b *Broker) removeLocked(v *vizLink) {
+	delete(b.vizs, v.name)
+	for i, n := range b.order {
+		if n == v.name {
+			b.order = append(b.order[:i], b.order[i+1:]...)
+			break
+		}
+	}
+	if b.master == v.name {
+		b.master = ""
+		if len(b.order) > 0 {
+			b.master = b.order[0]
+		}
+	}
+	b.stats.VizsDetached++
+	v.sim.Close()
+}
+
+// SetMaster moves the steering role: "the master-role can be moved between
+// the [visualizations] allowing for a coordinated cooperative steering".
+func (b *Broker) SetMaster(name string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.vizs[name]; !ok {
+		return fmt.Errorf("visit: no visualization %q", name)
+	}
+	b.master = name
+	return nil
+}
+
+// Master returns the current master visualization name.
+func (b *Broker) Master() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.master
+}
+
+// Vizs returns the attached visualization names in attach order.
+func (b *Broker) Vizs() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]string(nil), b.order...)
+}
+
+// Stats returns a copy of the counters.
+func (b *Broker) Stats() BrokerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
+
+// forwardSend fans one pushed message out to all attached visualizations.
+func (b *Broker) forwardSend(tag uint32, m *wire.Message) error {
+	b.mu.Lock()
+	b.stats.SendsIn++
+	links := make([]*vizLink, 0, len(b.vizs))
+	for _, name := range b.order {
+		links = append(links, b.vizs[name])
+	}
+	b.mu.Unlock()
+
+	for _, v := range links {
+		err := v.sim.SendMessage(tag, m, b.cfg.VizTimeout)
+		b.mu.Lock()
+		if err != nil {
+			b.stats.SendFailures++
+			v.failures++
+			if v.failures >= b.cfg.MaxFailures {
+				b.removeLocked(v)
+			}
+		} else {
+			v.failures = 0
+			b.stats.SendsFanned++
+		}
+		b.mu.Unlock()
+	}
+	// The simulation's send succeeds as long as the broker accepted it;
+	// individual visualization failures must not disturb the simulation.
+	return nil
+}
+
+// forwardRecv directs a receive-request to the master visualization only.
+func (b *Broker) forwardRecv(tag uint32) (*wire.Message, error) {
+	b.mu.Lock()
+	master := b.master
+	v := b.vizs[master]
+	b.mu.Unlock()
+	if v == nil {
+		b.mu.Lock()
+		b.stats.RecvsNoMaster++
+		b.mu.Unlock()
+		return nil, ErrNoMaster
+	}
+	m, err := v.sim.Recv(tag, b.cfg.VizTimeout)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err != nil {
+		v.failures++
+		if v.failures >= b.cfg.MaxFailures {
+			b.removeLocked(v)
+		}
+		return nil, err
+	}
+	v.failures = 0
+	b.stats.RecvsForwarded++
+	return m, nil
+}
+
+// Serve accepts simulation connections on l (usually exactly one).
+func (b *Broker) Serve(l net.Listener) error { return b.server.Serve(l) }
+
+// ServeConn runs the simulation-facing protocol on one connection.
+func (b *Broker) ServeConn(conn net.Conn) error { return b.server.ServeConn(conn) }
+
+// Close shuts the broker and detaches all visualizations.
+func (b *Broker) Close() {
+	b.server.Close()
+	b.mu.Lock()
+	links := make([]*vizLink, 0, len(b.vizs))
+	for _, v := range b.vizs {
+		links = append(links, v)
+	}
+	b.vizs = make(map[string]*vizLink)
+	b.order = nil
+	b.mu.Unlock()
+	for _, v := range links {
+		v.sim.Close()
+	}
+}

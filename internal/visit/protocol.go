@@ -1,0 +1,81 @@
+// Package visit reimplements the VISualization Interface Toolkit of the
+// paper's section 3.2: a lightweight library for online visualization and
+// computational steering in which the *simulation* is the client and the
+// *visualization* is the server — "all operations (like opening a
+// connection, sending data to be visualized or receiving new parameters)
+// have to be initiated by the simulation and are guaranteed to complete (or
+// fail) after a user-specified timeout".
+//
+// Messages are tagged and typed (package wire) in the MPI style; any
+// byte-order or precision conversion is performed by the receiving server so
+// the simulation is disturbed as little as possible. Authentication is a
+// clear-text connection password — the weakness the paper points out and
+// resolves by running VISIT through UNICORE (package unicore).
+//
+// The package also provides the vbroker collaboration multiplexer of
+// section 3.3: send-requests are fanned out to every participating
+// visualization so "everyone views the same data", while receive-requests
+// are served only by the current master, and the master role can be moved
+// for coordinated cooperative steering.
+package visit
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// Control tags of the VISIT exchange protocol. User payload tags must stay
+// below tagAuth.
+const (
+	tagAuth = 0xF1510000 + iota
+	tagOp
+	tagOK
+	tagErr
+)
+
+// MaxUserTag is the highest tag application payloads may use.
+const MaxUserTag = 0xF150FFFF
+
+// op codes carried in a tagOp frame as [op, userTag].
+const (
+	opSend int32 = iota + 1
+	opRecv
+	opPing
+)
+
+// Errors reported by the package.
+var (
+	// ErrTimeout reports that an operation did not complete within its
+	// user-specified timeout. The guarantee of section 3.2 is that every
+	// simulation-side call returns by its deadline with this (or success).
+	ErrTimeout = errors.New("visit: operation timed out")
+	// ErrAuth reports a rejected connection password.
+	ErrAuth = errors.New("visit: authentication failed")
+	// ErrNoHandler reports that the server has no handler for the tag.
+	ErrNoHandler = errors.New("visit: no handler for tag")
+	// ErrClosed reports use of a closed endpoint.
+	ErrClosed = errors.New("visit: endpoint closed")
+	// ErrNoMaster reports a receive-request with no master attached.
+	ErrNoMaster = errors.New("visit: no master visualization attached")
+)
+
+// remoteError wraps an error string sent by the peer.
+type remoteError struct{ msg string }
+
+func (e *remoteError) Error() string { return "visit: remote: " + e.msg }
+
+// checkUserTag validates an application payload tag.
+func checkUserTag(tag uint32) error {
+	if tag > MaxUserTag {
+		return fmt.Errorf("visit: tag %#x collides with protocol tags", tag)
+	}
+	return nil
+}
+
+// writeErr sends an error frame; failures are ignored (the peer is already
+// suspect).
+func writeErr(enc *wire.Encoder, msg string) {
+	_ = enc.String(tagErr, msg)
+}

@@ -1,0 +1,251 @@
+package visit
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// SendHandler consumes a data message pushed by the simulation.
+type SendHandler func(m *wire.Message) error
+
+// RecvHandler produces the data message a simulation asked for (steering
+// parameters, typically).
+type RecvHandler func() (*wire.Message, error)
+
+// ServerConfig configures a visualization-side server.
+type ServerConfig struct {
+	// Password is the clear-text connection password ("" disables auth,
+	// as in a trusted testbed).
+	Password string
+	// IdleTimeout disconnects simulations silent for this long (0: never).
+	IdleTimeout time.Duration
+}
+
+// Server is the visualization end of VISIT: it dispatches the simulation's
+// send/receive requests to registered handlers.
+type Server struct {
+	cfg ServerConfig
+
+	mu    sync.RWMutex
+	sends map[uint32]SendHandler
+	recvs map[uint32]RecvHandler
+	// defaultSend/defaultRecv catch tags with no specific handler; the
+	// vbroker uses them to forward arbitrary traffic.
+	defaultSend func(tag uint32, m *wire.Message) error
+	defaultRecv func(tag uint32) (*wire.Message, error)
+
+	stats  ServerStats
+	closed chan struct{}
+	once   sync.Once
+}
+
+// ServerStats counts server activity.
+type ServerStats struct {
+	Connections uint64
+	AuthFailed  uint64
+	Sends       uint64
+	Recvs       uint64
+	Pings       uint64
+	Errors      uint64
+}
+
+// NewServer returns a server with no handlers registered.
+func NewServer(cfg ServerConfig) *Server {
+	return &Server{
+		cfg:    cfg,
+		sends:  make(map[uint32]SendHandler),
+		recvs:  make(map[uint32]RecvHandler),
+		closed: make(chan struct{}),
+	}
+}
+
+// HandleSend registers the consumer for data pushed with the given tag.
+func (s *Server) HandleSend(tag uint32, h SendHandler) error {
+	if err := checkUserTag(tag); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.sends[tag] = h
+	s.mu.Unlock()
+	return nil
+}
+
+// HandleRecv registers the producer for data requested with the given tag.
+func (s *Server) HandleRecv(tag uint32, h RecvHandler) error {
+	if err := checkUserTag(tag); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.recvs[tag] = h
+	s.mu.Unlock()
+	return nil
+}
+
+// HandleSendDefault registers a catch-all consumer for pushed data whose tag
+// has no specific handler.
+func (s *Server) HandleSendDefault(h func(tag uint32, m *wire.Message) error) {
+	s.mu.Lock()
+	s.defaultSend = h
+	s.mu.Unlock()
+}
+
+// HandleRecvDefault registers a catch-all producer for requested tags with
+// no specific handler.
+func (s *Server) HandleRecvDefault(h func(tag uint32) (*wire.Message, error)) {
+	s.mu.Lock()
+	s.defaultRecv = h
+	s.mu.Unlock()
+}
+
+// Stats returns a copy of the counters.
+func (s *Server) Stats() ServerStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.stats
+}
+
+// Serve accepts simulation connections until the listener fails or the
+// server closes.
+func (s *Server) Serve(l net.Listener) error {
+	go func() {
+		<-s.closed
+		l.Close()
+	}()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return nil
+			default:
+				return err
+			}
+		}
+		go s.ServeConn(conn)
+	}
+}
+
+// ServeConn runs the protocol on one simulation connection.
+func (s *Server) ServeConn(conn net.Conn) error {
+	defer conn.Close()
+	s.count(func(st *ServerStats) { st.Connections++ })
+
+	dec := wire.NewDecoder(conn)
+	enc := wire.NewEncoder(conn)
+
+	// Authentication handshake.
+	if s.cfg.IdleTimeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+	}
+	hello, err := dec.Expect(tagAuth)
+	if err != nil {
+		return err
+	}
+	pw, err := hello.AsString()
+	if err != nil || pw != s.cfg.Password {
+		s.count(func(st *ServerStats) { st.AuthFailed++ })
+		writeErr(enc, "bad password")
+		return ErrAuth
+	}
+	if err := enc.Int(tagOK, 1); err != nil {
+		return err
+	}
+
+	for {
+		select {
+		case <-s.closed:
+			return nil
+		default:
+		}
+		if s.cfg.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		}
+		op, err := dec.Expect(tagOp)
+		if err != nil {
+			return err
+		}
+		ints, err := op.AsInt64s()
+		if err != nil || len(ints) != 2 {
+			writeErr(enc, "malformed op frame")
+			return err
+		}
+		code, userTag := int32(ints[0]), uint32(ints[1])
+
+		switch code {
+		case opPing:
+			s.count(func(st *ServerStats) { st.Pings++ })
+			if err := enc.Int(tagOK, 1); err != nil {
+				return err
+			}
+
+		case opSend:
+			data, err := dec.Next()
+			if err != nil {
+				return err
+			}
+			s.mu.RLock()
+			h := s.sends[userTag]
+			def := s.defaultSend
+			s.mu.RUnlock()
+			if h == nil && def != nil {
+				h = func(m *wire.Message) error { return def(userTag, m) }
+			}
+			if h == nil {
+				s.count(func(st *ServerStats) { st.Errors++ })
+				writeErr(enc, ErrNoHandler.Error())
+				continue
+			}
+			if err := h(data); err != nil {
+				s.count(func(st *ServerStats) { st.Errors++ })
+				writeErr(enc, err.Error())
+				continue
+			}
+			s.count(func(st *ServerStats) { st.Sends++ })
+			if err := enc.Int(tagOK, 1); err != nil {
+				return err
+			}
+
+		case opRecv:
+			s.mu.RLock()
+			h := s.recvs[userTag]
+			defR := s.defaultRecv
+			s.mu.RUnlock()
+			if h == nil && defR != nil {
+				h = func() (*wire.Message, error) { return defR(userTag) }
+			}
+			if h == nil {
+				s.count(func(st *ServerStats) { st.Errors++ })
+				writeErr(enc, ErrNoHandler.Error())
+				continue
+			}
+			m, err := h()
+			if err != nil {
+				s.count(func(st *ServerStats) { st.Errors++ })
+				writeErr(enc, err.Error())
+				continue
+			}
+			m.Header.Tag = userTag
+			s.count(func(st *ServerStats) { st.Recvs++ })
+			if err := enc.Message(m); err != nil {
+				return err
+			}
+
+		default:
+			writeErr(enc, "unknown op")
+		}
+	}
+}
+
+// Close stops the server; active connections terminate on their next op.
+func (s *Server) Close() {
+	s.once.Do(func() { close(s.closed) })
+}
+
+func (s *Server) count(f func(*ServerStats)) {
+	s.mu.Lock()
+	f(&s.stats)
+	s.mu.Unlock()
+}

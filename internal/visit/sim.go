@@ -1,0 +1,275 @@
+package visit
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Dialer produces a connection to the visualization server. The simulation
+// side depends on nothing else, keeping it portable to "classic
+// supercomputers" in the paper's terms — and to shaped netsim links in the
+// experiments.
+type Dialer func() (net.Conn, error)
+
+// TCPDialer returns a Dialer for a TCP address.
+func TCPDialer(addr string) Dialer {
+	return func() (net.Conn, error) { return net.Dial("tcp", addr) }
+}
+
+// Sim is the simulation end of VISIT. Every method takes an explicit
+// timeout and is guaranteed to return (with success or an error) by that
+// deadline; a failed or slow visualization can cost the simulation at most
+// the timeout per call, never a stall. Sim is safe for use from a single
+// simulation goroutine (the VISIT model); guard it externally if several
+// goroutines share one handle.
+type Sim struct {
+	dial     Dialer
+	password string
+
+	mu      sync.Mutex
+	conn    net.Conn
+	enc     *wire.Encoder
+	dec     *wire.Decoder
+	stats   SimStats
+	closed  bool
+	lastErr error
+}
+
+// SimStats counts simulation-side activity, including how often a slow or
+// dead visualization cost the simulation a timeout.
+type SimStats struct {
+	Dials      uint64
+	Sends      uint64
+	Recvs      uint64
+	Timeouts   uint64
+	Failures   uint64
+	Reconnects uint64
+}
+
+// NewSim returns a simulation handle; no connection is made until the first
+// operation (connection setup is itself simulation-initiated).
+func NewSim(dial Dialer, password string) *Sim {
+	return &Sim{dial: dial, password: password}
+}
+
+// Stats returns a copy of the counters.
+func (s *Sim) Stats() SimStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// LastErr returns the most recent operation error (nil after a success).
+func (s *Sim) LastErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastErr
+}
+
+// ensureConn dials and authenticates if necessary. Caller holds mu.
+func (s *Sim) ensureConn(deadline time.Time) error {
+	if s.closed {
+		return ErrClosed
+	}
+	if s.conn != nil {
+		return nil
+	}
+	conn, err := s.dial()
+	if err != nil {
+		return err
+	}
+	s.stats.Dials++
+	conn.SetDeadline(deadline)
+	enc := wire.NewEncoder(conn)
+	dec := wire.NewDecoder(conn)
+	if err := enc.String(tagAuth, s.password); err != nil {
+		conn.Close()
+		return err
+	}
+	reply, err := dec.Next()
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	if reply.Header.Tag == tagErr {
+		conn.Close()
+		return ErrAuth
+	}
+	conn.SetDeadline(time.Time{})
+	s.conn, s.enc, s.dec = conn, enc, dec
+	return nil
+}
+
+// dropConn closes the connection after a failure so the next operation
+// starts clean (a half-finished exchange would corrupt framing).
+func (s *Sim) dropConn() {
+	if s.conn != nil {
+		s.conn.Close()
+		s.conn, s.enc, s.dec = nil, nil, nil
+		s.stats.Reconnects++
+	}
+}
+
+// classify updates stats and lastErr for an operation result.
+func (s *Sim) classify(err error) error {
+	if err == nil {
+		s.lastErr = nil
+		return nil
+	}
+	s.lastErr = err
+	if _, remote := err.(*remoteError); remote {
+		// The exchange completed cleanly; the server just declined. Keep
+		// the connection.
+		s.stats.Failures++
+		return err
+	}
+	if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		s.stats.Timeouts++
+		s.dropConn()
+		return ErrTimeout
+	}
+	s.stats.Failures++
+	s.dropConn()
+	return err
+}
+
+// exchange runs fn with the connection deadline set, reconnecting first if
+// needed.
+func (s *Sim) exchange(timeout time.Duration, fn func() error) error {
+	deadline := time.Now().Add(timeout)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.ensureConn(deadline); err != nil {
+		return s.classify(err)
+	}
+	s.conn.SetDeadline(deadline)
+	defer func() {
+		if s.conn != nil {
+			s.conn.SetDeadline(time.Time{})
+		}
+	}()
+	return s.classify(fn())
+}
+
+// readAck consumes an OK or error frame.
+func (s *Sim) readAck() error {
+	m, err := s.dec.Next()
+	if err != nil {
+		return err
+	}
+	if m.Header.Tag == tagErr {
+		msg, _ := m.AsString()
+		return &remoteError{msg: msg}
+	}
+	return nil
+}
+
+// Ping verifies connectivity within the timeout.
+func (s *Sim) Ping(timeout time.Duration) error {
+	return s.exchange(timeout, func() error {
+		if err := s.enc.Int32s(tagOp, []int32{opPing, 0}); err != nil {
+			return err
+		}
+		return s.readAck()
+	})
+}
+
+// send pushes one pre-built message under the user tag.
+func (s *Sim) send(tag uint32, timeout time.Duration, write func() error) error {
+	if err := checkUserTag(tag); err != nil {
+		return err
+	}
+	err := s.exchange(timeout, func() error {
+		if err := s.enc.Int32s(tagOp, []int32{opSend, int32(tag)}); err != nil {
+			return err
+		}
+		if err := write(); err != nil {
+			return err
+		}
+		return s.readAck()
+	})
+	if err == nil {
+		s.mu.Lock()
+		s.stats.Sends++
+		s.mu.Unlock()
+	}
+	return err
+}
+
+// SendFloat64s pushes a float64 array to the visualization.
+func (s *Sim) SendFloat64s(tag uint32, v []float64, timeout time.Duration) error {
+	return s.send(tag, timeout, func() error { return s.enc.Float64s(tag, v) })
+}
+
+// SendFloat32s pushes a float32 array (the server converts as needed).
+func (s *Sim) SendFloat32s(tag uint32, v []float32, timeout time.Duration) error {
+	return s.send(tag, timeout, func() error { return s.enc.Float32s(tag, v) })
+}
+
+// SendInt32s pushes an int32 array.
+func (s *Sim) SendInt32s(tag uint32, v []int32, timeout time.Duration) error {
+	return s.send(tag, timeout, func() error { return s.enc.Int32s(tag, v) })
+}
+
+// SendString pushes a string.
+func (s *Sim) SendString(tag uint32, v string, timeout time.Duration) error {
+	return s.send(tag, timeout, func() error { return s.enc.String(tag, v) })
+}
+
+// SendBytes pushes a raw byte blob.
+func (s *Sim) SendBytes(tag uint32, v []byte, timeout time.Duration) error {
+	return s.send(tag, timeout, func() error { return s.enc.Bytes(tag, v) })
+}
+
+// SendMessage pushes an already-decoded message under the given tag; the
+// vbroker uses it to replay the simulation's traffic to each visualization.
+func (s *Sim) SendMessage(tag uint32, m *wire.Message, timeout time.Duration) error {
+	m.Header.Tag = tag
+	return s.send(tag, timeout, func() error { return s.enc.Message(m) })
+}
+
+// Recv asks the visualization for the data registered under tag (typically
+// updated steering parameters) and returns the reply message.
+func (s *Sim) Recv(tag uint32, timeout time.Duration) (*wire.Message, error) {
+	if err := checkUserTag(tag); err != nil {
+		return nil, err
+	}
+	var reply *wire.Message
+	err := s.exchange(timeout, func() error {
+		if err := s.enc.Int32s(tagOp, []int32{opRecv, int32(tag)}); err != nil {
+			return err
+		}
+		m, err := s.dec.Next()
+		if err != nil {
+			return err
+		}
+		if m.Header.Tag == tagErr {
+			msg, _ := m.AsString()
+			return &remoteError{msg: msg}
+		}
+		reply = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.stats.Recvs++
+	s.mu.Unlock()
+	return reply, nil
+}
+
+// Close releases the connection; further operations fail with ErrClosed.
+func (s *Sim) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	if s.conn != nil {
+		s.conn.Close()
+		s.conn = nil
+	}
+	return nil
+}

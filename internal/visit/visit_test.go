@@ -1,0 +1,458 @@
+package visit
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+// startServer runs a Server on a loopback listener.
+func startServer(t *testing.T, cfg ServerConfig) (*Server, string) {
+	t.Helper()
+	srv := NewServer(cfg)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	t.Cleanup(srv.Close)
+	return srv, l.Addr().String()
+}
+
+func TestSendReceivesAtServer(t *testing.T) {
+	srv, addr := startServer(t, ServerConfig{Password: "pw"})
+	got := make(chan []float64, 1)
+	srv.HandleSend(10, func(m *wire.Message) error {
+		v, err := m.AsFloat64s()
+		if err != nil {
+			return err
+		}
+		got <- v
+		return nil
+	})
+
+	sim := NewSim(TCPDialer(addr), "pw")
+	defer sim.Close()
+	if err := sim.SendFloat64s(10, []float64{1, 2, 3}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case v := <-got:
+		if len(v) != 3 || v[0] != 1 || v[2] != 3 {
+			t.Fatalf("server got %v", v)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("server never received the data")
+	}
+	if srv.Stats().Sends != 1 {
+		t.Fatalf("stats.Sends = %d", srv.Stats().Sends)
+	}
+}
+
+func TestServerSideConversion(t *testing.T) {
+	// The simulation pushes float32; the server reads float64: conversion is
+	// the server's job per section 3.2.
+	srv, addr := startServer(t, ServerConfig{})
+	got := make(chan []float64, 1)
+	srv.HandleSend(11, func(m *wire.Message) error {
+		v, err := m.AsFloat64s()
+		if err != nil {
+			return err
+		}
+		got <- v
+		return nil
+	})
+	sim := NewSim(TCPDialer(addr), "")
+	defer sim.Close()
+	if err := sim.SendFloat32s(11, []float32{1.5, -2}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	v := <-got
+	if v[0] != 1.5 || v[1] != -2 {
+		t.Fatalf("converted = %v", v)
+	}
+}
+
+func TestRecvParameters(t *testing.T) {
+	srv, addr := startServer(t, ServerConfig{Password: "pw"})
+	srv.HandleRecv(20, func() (*wire.Message, error) {
+		return &wire.Message{
+			Header:   wire.Header{Kind: wire.KindFloat64, Count: 2},
+			Float64s: []float64{4.5, 0.1},
+		}, nil
+	})
+	sim := NewSim(TCPDialer(addr), "pw")
+	defer sim.Close()
+	m, err := sim.Recv(20, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.AsFloat64s()
+	if err != nil || v[0] != 4.5 {
+		t.Fatalf("recv = %v, %v", v, err)
+	}
+}
+
+func TestAuthRejected(t *testing.T) {
+	srv, addr := startServer(t, ServerConfig{Password: "secret"})
+	sim := NewSim(TCPDialer(addr), "wrong")
+	defer sim.Close()
+	if err := sim.Ping(time.Second); !errors.Is(err, ErrAuth) {
+		t.Fatalf("err = %v, want ErrAuth", err)
+	}
+	if srv.Stats().AuthFailed != 1 {
+		t.Fatal("auth failure not counted")
+	}
+}
+
+func TestNoHandlerError(t *testing.T) {
+	_, addr := startServer(t, ServerConfig{})
+	sim := NewSim(TCPDialer(addr), "")
+	defer sim.Close()
+	if err := sim.SendFloat64s(99, []float64{1}, time.Second); err == nil {
+		t.Fatal("send to unhandled tag succeeded")
+	}
+	if _, err := sim.Recv(98, time.Second); err == nil {
+		t.Fatal("recv from unhandled tag succeeded")
+	}
+	// The connection survives remote rejections.
+	if err := sim.Ping(time.Second); err != nil {
+		t.Fatalf("connection lost after remote error: %v", err)
+	}
+	if sim.Stats().Reconnects != 0 {
+		t.Fatal("remote errors must not force reconnects")
+	}
+}
+
+func TestTimeoutGuarantee(t *testing.T) {
+	// A visualization that accepts the connection and then never responds:
+	// the simulation-side call must return by its deadline.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			// Read forever, never reply.
+			go func() {
+				buf := make([]byte, 4096)
+				for {
+					if _, err := conn.Read(buf); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+
+	sim := NewSim(TCPDialer(l.Addr().String()), "pw")
+	defer sim.Close()
+	const timeout = 80 * time.Millisecond
+	start := time.Now()
+	err = sim.Ping(timeout)
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if elapsed > 4*timeout {
+		t.Fatalf("call returned after %v, far beyond the %v guarantee", elapsed, timeout)
+	}
+	if sim.Stats().Timeouts != 1 {
+		t.Fatalf("Timeouts = %d", sim.Stats().Timeouts)
+	}
+}
+
+func TestDeadServerFailsFastAndRecovers(t *testing.T) {
+	srv, addr := startServer(t, ServerConfig{})
+	srv.HandleSend(5, func(m *wire.Message) error { return nil })
+	sim := NewSim(TCPDialer(addr), "")
+	defer sim.Close()
+	if err := sim.SendFloat64s(5, []float64{1}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	time.Sleep(10 * time.Millisecond)
+	// Operations fail but return promptly.
+	start := time.Now()
+	sim.SendFloat64s(5, []float64{2}, 100*time.Millisecond)
+	if time.Since(start) > 500*time.Millisecond {
+		t.Fatal("failure not bounded by timeout")
+	}
+
+	// A replacement server at a new address: the simulation reconnects via
+	// its dialer (here we swap the dialer to the new address).
+	srv2, addr2 := startServer(t, ServerConfig{})
+	srv2.HandleSend(5, func(m *wire.Message) error { return nil })
+	sim2 := NewSim(TCPDialer(addr2), "")
+	defer sim2.Close()
+	if err := sim2.SendFloat64s(5, []float64{3}, time.Second); err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+}
+
+func TestSimOverShapedLink(t *testing.T) {
+	// VISIT over a transatlantic link still completes within a generous
+	// timeout; the latency shows up in elapsed time.
+	srv := NewServer(ServerConfig{})
+	srv.HandleSend(7, func(m *wire.Message) error { return nil })
+	a, b := netsim.Pipe(netsim.Profile{Latency: 20 * time.Millisecond})
+	go srv.ServeConn(b)
+	defer srv.Close()
+
+	sim := NewSim(func() (net.Conn, error) { return a, nil }, "")
+	defer sim.Close()
+	start := time.Now()
+	if err := sim.SendFloat64s(7, []float64{1, 2}, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Auth round trip + op round trip ≥ 4 one-way latencies.
+	if elapsed := time.Since(start); elapsed < 80*time.Millisecond {
+		t.Fatalf("latency unaccounted: %v", elapsed)
+	}
+}
+
+func TestTagValidation(t *testing.T) {
+	sim := NewSim(TCPDialer("127.0.0.1:1"), "")
+	defer sim.Close()
+	if err := sim.SendFloat64s(tagAuth, []float64{1}, time.Second); err == nil {
+		t.Fatal("protocol tag accepted as user tag")
+	}
+	srv := NewServer(ServerConfig{})
+	if err := srv.HandleSend(tagOp, func(*wire.Message) error { return nil }); err == nil {
+		t.Fatal("protocol tag registered as handler")
+	}
+}
+
+func TestClosedSim(t *testing.T) {
+	sim := NewSim(TCPDialer("127.0.0.1:1"), "")
+	sim.Close()
+	if err := sim.Ping(time.Second); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+// ---- broker tests ----
+
+// vizHarness is one fake visualization for broker tests.
+type vizHarness struct {
+	srv    *Server
+	addr   string
+	frames chan []float64
+	params []float64
+	mu     sync.Mutex
+}
+
+func newVizHarness(t *testing.T, password string) *vizHarness {
+	t.Helper()
+	h := &vizHarness{frames: make(chan []float64, 64), params: []float64{0}}
+	h.srv = NewServer(ServerConfig{Password: password})
+	h.srv.HandleSend(1, func(m *wire.Message) error {
+		v, err := m.AsFloat64s()
+		if err != nil {
+			return err
+		}
+		h.frames <- v
+		return nil
+	})
+	h.srv.HandleRecv(2, func() (*wire.Message, error) {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		return &wire.Message{
+			Header:   wire.Header{Kind: wire.KindFloat64, Count: uint32(len(h.params))},
+			Float64s: append([]float64(nil), h.params...),
+		}, nil
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go h.srv.Serve(l)
+	t.Cleanup(h.srv.Close)
+	h.addr = l.Addr().String()
+	return h
+}
+
+func (h *vizHarness) setParams(v []float64) {
+	h.mu.Lock()
+	h.params = append([]float64(nil), v...)
+	h.mu.Unlock()
+}
+
+func startBroker(t *testing.T, cfg BrokerConfig) (*Broker, string) {
+	t.Helper()
+	b := NewBroker(cfg)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go b.Serve(l)
+	t.Cleanup(b.Close)
+	return b, l.Addr().String()
+}
+
+func TestBrokerFansOutSends(t *testing.T) {
+	v1 := newVizHarness(t, "")
+	v2 := newVizHarness(t, "")
+	v3 := newVizHarness(t, "")
+	b, addr := startBroker(t, BrokerConfig{Password: "sim-pw"})
+	for name, h := range map[string]*vizHarness{"juelich": v1, "manchester": v2, "phoenix": v3} {
+		if err := b.AttachViz(name, TCPDialer(h.addr), ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sim := NewSim(TCPDialer(addr), "sim-pw")
+	defer sim.Close()
+	if err := sim.SendFloat64s(1, []float64{9, 8}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range []*vizHarness{v1, v2, v3} {
+		select {
+		case v := <-h.frames:
+			if v[0] != 9 {
+				t.Fatalf("viz %d got %v", i, v)
+			}
+		case <-time.After(time.Second):
+			t.Fatalf("viz %d never received the frame", i)
+		}
+	}
+	st := b.Stats()
+	if st.SendsIn != 1 || st.SendsFanned != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestBrokerRecvOnlyFromMaster(t *testing.T) {
+	v1 := newVizHarness(t, "")
+	v2 := newVizHarness(t, "")
+	v1.setParams([]float64{111})
+	v2.setParams([]float64{222})
+
+	b, addr := startBroker(t, BrokerConfig{})
+	b.AttachViz("first", TCPDialer(v1.addr), "")
+	b.AttachViz("second", TCPDialer(v2.addr), "")
+	if b.Master() != "first" {
+		t.Fatalf("master = %q, want first attached", b.Master())
+	}
+
+	sim := NewSim(TCPDialer(addr), "")
+	defer sim.Close()
+	m, err := sim.Recv(2, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.AsFloat64s(); v[0] != 111 {
+		t.Fatalf("recv from %v, want master's 111", v)
+	}
+
+	// Move the master role and receive again: coordinated cooperative
+	// steering.
+	if err := b.SetMaster("second"); err != nil {
+		t.Fatal(err)
+	}
+	m, err = sim.Recv(2, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.AsFloat64s(); v[0] != 222 {
+		t.Fatalf("recv = %v after handoff, want 222", v)
+	}
+}
+
+func TestBrokerNoMaster(t *testing.T) {
+	_, addr := startBroker(t, BrokerConfig{})
+	sim := NewSim(TCPDialer(addr), "")
+	defer sim.Close()
+	if _, err := sim.Recv(2, time.Second); err == nil {
+		t.Fatal("recv succeeded with no master attached")
+	}
+}
+
+func TestBrokerSetMasterUnknown(t *testing.T) {
+	b, _ := startBroker(t, BrokerConfig{})
+	if err := b.SetMaster("ghost"); err == nil {
+		t.Fatal("unknown master accepted")
+	}
+}
+
+func TestBrokerDetachMasterPromotes(t *testing.T) {
+	v1 := newVizHarness(t, "")
+	v2 := newVizHarness(t, "")
+	b, _ := startBroker(t, BrokerConfig{})
+	b.AttachViz("a", TCPDialer(v1.addr), "")
+	b.AttachViz("b", TCPDialer(v2.addr), "")
+	b.DetachViz("a")
+	if b.Master() != "b" {
+		t.Fatalf("master = %q after detach, want b", b.Master())
+	}
+	if got := b.Vizs(); len(got) != 1 || got[0] != "b" {
+		t.Fatalf("vizs = %v", got)
+	}
+}
+
+func TestBrokerSurvivesDeadViz(t *testing.T) {
+	v1 := newVizHarness(t, "")
+	v2 := newVizHarness(t, "")
+	b, addr := startBroker(t, BrokerConfig{VizTimeout: 150 * time.Millisecond, MaxFailures: 2})
+	b.AttachViz("live", TCPDialer(v1.addr), "")
+	b.AttachViz("dead", TCPDialer(v2.addr), "")
+	v2.srv.Close() // kill one visualization abruptly
+	time.Sleep(10 * time.Millisecond)
+
+	sim := NewSim(TCPDialer(addr), "")
+	defer sim.Close()
+	// The simulation keeps sending; the live viz keeps receiving; after
+	// MaxFailures the dead one is detached.
+	for i := 0; i < 4; i++ {
+		if err := sim.SendFloat64s(1, []float64{float64(i)}, 2*time.Second); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	got := 0
+	for {
+		select {
+		case <-v1.frames:
+			got++
+			continue
+		default:
+		}
+		break
+	}
+	if got != 4 {
+		t.Fatalf("live viz received %d/4 frames", got)
+	}
+	if vs := b.Vizs(); len(vs) != 1 || vs[0] != "live" {
+		t.Fatalf("dead viz not detached: %v", vs)
+	}
+	if b.Stats().VizsDetached != 1 {
+		t.Fatalf("stats = %+v", b.Stats())
+	}
+}
+
+func TestBrokerAttachFailsForUnreachableViz(t *testing.T) {
+	b, _ := startBroker(t, BrokerConfig{VizTimeout: 100 * time.Millisecond})
+	if err := b.AttachViz("ghost", TCPDialer("127.0.0.1:1"), ""); err == nil {
+		t.Fatal("attach to unreachable viz succeeded")
+	}
+}
+
+func TestBrokerDuplicateAttach(t *testing.T) {
+	v := newVizHarness(t, "")
+	b, _ := startBroker(t, BrokerConfig{})
+	if err := b.AttachViz("x", TCPDialer(v.addr), ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AttachViz("x", TCPDialer(v.addr), ""); err == nil {
+		t.Fatal("duplicate attach accepted")
+	}
+}

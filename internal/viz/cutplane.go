@@ -1,0 +1,177 @@
+package viz
+
+import (
+	"fmt"
+
+	"repro/internal/render"
+)
+
+// Axis selects the slicing axis of a cutting plane.
+type Axis int
+
+// Slicing axes.
+const (
+	AxisX Axis = iota
+	AxisY
+	AxisZ
+)
+
+// String returns the axis name.
+func (a Axis) String() string {
+	switch a {
+	case AxisX:
+		return "X"
+	case AxisY:
+		return "Y"
+	case AxisZ:
+		return "Z"
+	default:
+		return fmt.Sprintf("Axis(%d)", int(a))
+	}
+}
+
+// Colormap maps a normalised value in [0,1] to a colour. The default is a
+// blue→white→red diverging map, the classic CFD temperature palette.
+type Colormap func(t float64) render.Color
+
+// DefaultColormap is a blue→white→red diverging colour map.
+func DefaultColormap(t float64) render.Color {
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	if t < 0.5 {
+		// blue → white
+		s := t * 2
+		return render.Color{
+			R: uint8(60 + 195*s),
+			G: uint8(90 + 165*s),
+			B: 255,
+			A: 255,
+		}
+	}
+	// white → red
+	s := (t - 0.5) * 2
+	return render.Color{
+		R: 255,
+		G: uint8(255 - 215*s),
+		B: uint8(255 - 215*s),
+		A: 255,
+	}
+}
+
+// CutPlane extracts an axis-aligned slice through the field at the given
+// sample index and returns it as one coloured mesh per distinct colour bucket
+// (geometry is grouped into a fixed number of buckets so the mesh count stays
+// bounded). The slice index is clamped to the valid range.
+func CutPlane(f *ScalarField, axis Axis, index int, cmap Colormap) []*render.Mesh {
+	if cmap == nil {
+		cmap = DefaultColormap
+	}
+	lo, hi := f.MinMax()
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+
+	const buckets = 16
+	meshes := make([]*render.Mesh, buckets)
+	for b := range meshes {
+		meshes[b] = &render.Mesh{Color: cmap((float64(b) + 0.5) / buckets)}
+	}
+
+	// u, v iterate the two in-plane axes; sample() reads the field and
+	// pos() computes the world position of in-plane coordinates.
+	var nu, nv int
+	var sample func(u, v int) float64
+	var pos func(u, v int) render.Vec3
+
+	clampIdx := func(i, n int) int {
+		if i < 0 {
+			return 0
+		}
+		if i >= n {
+			return n - 1
+		}
+		return i
+	}
+
+	switch axis {
+	case AxisX:
+		i := clampIdx(index, f.Nx)
+		nu, nv = f.Ny, f.Nz
+		sample = func(u, v int) float64 { return f.At(i, u, v) }
+		pos = func(u, v int) render.Vec3 {
+			x, y, z := f.WorldPos(i, u, v)
+			return render.Vec3{X: x, Y: y, Z: z}
+		}
+	case AxisY:
+		j := clampIdx(index, f.Ny)
+		nu, nv = f.Nx, f.Nz
+		sample = func(u, v int) float64 { return f.At(u, j, v) }
+		pos = func(u, v int) render.Vec3 {
+			x, y, z := f.WorldPos(u, j, v)
+			return render.Vec3{X: x, Y: y, Z: z}
+		}
+	default:
+		k := clampIdx(index, f.Nz)
+		nu, nv = f.Nx, f.Ny
+		sample = func(u, v int) float64 { return f.At(u, v, k) }
+		pos = func(u, v int) render.Vec3 {
+			x, y, z := f.WorldPos(u, v, k)
+			return render.Vec3{X: x, Y: y, Z: z}
+		}
+	}
+
+	for v := 0; v+1 < nv; v++ {
+		for u := 0; u+1 < nu; u++ {
+			avg := (sample(u, v) + sample(u+1, v) + sample(u, v+1) + sample(u+1, v+1)) / 4
+			b := int((avg - lo) / span * buckets)
+			if b >= buckets {
+				b = buckets - 1
+			}
+			if b < 0 {
+				b = 0
+			}
+			m := meshes[b]
+			base := int32(len(m.Vertices))
+			m.Vertices = append(m.Vertices, pos(u, v), pos(u+1, v), pos(u+1, v+1), pos(u, v+1))
+			m.Triangles = append(m.Triangles, [3]int32{base, base + 1, base + 2}, [3]int32{base, base + 2, base + 3})
+		}
+	}
+
+	out := meshes[:0]
+	for _, m := range meshes {
+		if len(m.Triangles) > 0 {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// BoxOutline returns the 12 edges of an axis-aligned box, used to display
+// PEPC tree domains "as transparent or solid boxes" (section 3.4).
+func BoxOutline(min, max render.Vec3) [][2]render.Vec3 {
+	c := [8]render.Vec3{
+		{X: min.X, Y: min.Y, Z: min.Z},
+		{X: max.X, Y: min.Y, Z: min.Z},
+		{X: min.X, Y: max.Y, Z: min.Z},
+		{X: max.X, Y: max.Y, Z: min.Z},
+		{X: min.X, Y: min.Y, Z: max.Z},
+		{X: max.X, Y: min.Y, Z: max.Z},
+		{X: min.X, Y: max.Y, Z: max.Z},
+		{X: max.X, Y: max.Y, Z: max.Z},
+	}
+	edges := [12][2]int{
+		{0, 1}, {2, 3}, {4, 5}, {6, 7}, // x edges
+		{0, 2}, {1, 3}, {4, 6}, {5, 7}, // y edges
+		{0, 4}, {1, 5}, {2, 6}, {3, 7}, // z edges
+	}
+	out := make([][2]render.Vec3, 0, 12)
+	for _, e := range edges {
+		out = append(out, [2]render.Vec3{c[e[0]], c[e[1]]})
+	}
+	return out
+}

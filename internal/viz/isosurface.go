@@ -1,0 +1,137 @@
+package viz
+
+import (
+	"repro/internal/render"
+)
+
+// cubeTets splits the unit cube (corners indexed 0..7 as bit-coded
+// (i,j,k) offsets: bit0=x, bit1=y, bit2=z) into six tetrahedra sharing the
+// main diagonal 0-7. Every face diagonal is used consistently by both
+// adjacent cells, so the extracted surface is crack-free.
+var cubeTets = [6][4]int{
+	{0, 5, 1, 7},
+	{0, 1, 3, 7},
+	{0, 3, 2, 7},
+	{0, 2, 6, 7},
+	{0, 6, 4, 7},
+	{0, 4, 5, 7},
+}
+
+// cornerOffset maps corner index to (di, dj, dk).
+var cornerOffset = [8][3]int{
+	{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {1, 1, 0},
+	{0, 0, 1}, {1, 0, 1}, {0, 1, 1}, {1, 1, 1},
+}
+
+// Isosurface extracts the level set field == iso as a triangle mesh using
+// marching tetrahedra. The mesh's vertex count grows with the surface area,
+// which is exactly the property the bandwidth experiments need: more complex
+// fluid structures produce proportionally more geometry.
+func Isosurface(f *ScalarField, iso float64, color render.Color) *render.Mesh {
+	mesh := &render.Mesh{Color: color}
+	var corners [8]render.Vec3
+	var values [8]float64
+
+	emit := func(a, b, c render.Vec3) {
+		base := int32(len(mesh.Vertices))
+		mesh.Vertices = append(mesh.Vertices, a, b, c)
+		mesh.Triangles = append(mesh.Triangles, [3]int32{base, base + 1, base + 2})
+	}
+
+	for k := 0; k+1 < f.Nz; k++ {
+		for j := 0; j+1 < f.Ny; j++ {
+			for i := 0; i+1 < f.Nx; i++ {
+				for c := 0; c < 8; c++ {
+					o := cornerOffset[c]
+					ci, cj, ck := i+o[0], j+o[1], k+o[2]
+					x, y, z := f.WorldPos(ci, cj, ck)
+					corners[c] = render.Vec3{X: x, Y: y, Z: z}
+					values[c] = f.At(ci, cj, ck)
+				}
+				for _, tet := range cubeTets {
+					marchTet(
+						corners[tet[0]], corners[tet[1]], corners[tet[2]], corners[tet[3]],
+						values[tet[0]], values[tet[1]], values[tet[2]], values[tet[3]],
+						iso, emit)
+				}
+			}
+		}
+	}
+	return mesh
+}
+
+// interp returns the point where the iso level crosses the edge p0-p1.
+func interp(p0, p1 render.Vec3, v0, v1, iso float64) render.Vec3 {
+	d := v1 - v0
+	t := 0.5
+	if d != 0 {
+		t = (iso - v0) / d
+	}
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	return p0.Add(p1.Sub(p0).Scale(t))
+}
+
+// marchTet triangulates the iso crossing inside one tetrahedron. There are
+// 16 sign cases; by symmetry they reduce to: no crossing, one triangle
+// (one corner separated), or one quad (two corners separated, emitted as two
+// triangles).
+func marchTet(p0, p1, p2, p3 render.Vec3, v0, v1, v2, v3, iso float64, emit func(a, b, c render.Vec3)) {
+	var code int
+	if v0 < iso {
+		code |= 1
+	}
+	if v1 < iso {
+		code |= 2
+	}
+	if v2 < iso {
+		code |= 4
+	}
+	if v3 < iso {
+		code |= 8
+	}
+
+	p := [4]render.Vec3{p0, p1, p2, p3}
+	v := [4]float64{v0, v1, v2, v3}
+
+	// tri emits the triangle cut off around lone corner a against b,c,d.
+	tri := func(a, b, c, d int) {
+		emit(
+			interp(p[a], p[b], v[a], v[b], iso),
+			interp(p[a], p[c], v[a], v[c], iso),
+			interp(p[a], p[d], v[a], v[d], iso),
+		)
+	}
+	// quad emits the surface separating edge pair (a,b) from (c,d).
+	quad := func(a, b, c, d int) {
+		q0 := interp(p[a], p[c], v[a], v[c], iso)
+		q1 := interp(p[a], p[d], v[a], v[d], iso)
+		q2 := interp(p[b], p[d], v[b], v[d], iso)
+		q3 := interp(p[b], p[c], v[b], v[c], iso)
+		emit(q0, q1, q2)
+		emit(q0, q2, q3)
+	}
+
+	switch code {
+	case 0x0, 0xF:
+		// all corners on the same side: no surface
+	case 0x1, 0xE:
+		tri(0, 1, 2, 3)
+	case 0x2, 0xD:
+		tri(1, 0, 2, 3)
+	case 0x4, 0xB:
+		tri(2, 0, 1, 3)
+	case 0x8, 0x7:
+		tri(3, 0, 1, 2)
+	case 0x3, 0xC:
+		quad(0, 1, 2, 3)
+	case 0x5, 0xA:
+		quad(0, 2, 1, 3)
+	case 0x6, 0x9:
+		quad(1, 2, 0, 3)
+	}
+}

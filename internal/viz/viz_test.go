@@ -1,0 +1,247 @@
+package viz
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/render"
+)
+
+// sphereField returns a field of distance-from-centre values, whose
+// isosurfaces are spheres.
+func sphereField(n int) *ScalarField {
+	f := NewScalarField(n, n, n)
+	c := float64(n-1) / 2
+	f.Fill(func(i, j, k int) float64 {
+		dx, dy, dz := float64(i)-c, float64(j)-c, float64(k)-c
+		return math.Sqrt(dx*dx + dy*dy + dz*dz)
+	})
+	return f
+}
+
+func TestFieldIndexing(t *testing.T) {
+	f := NewScalarField(3, 4, 5)
+	f.Set(2, 3, 4, 7.5)
+	if f.At(2, 3, 4) != 7.5 {
+		t.Fatal("round trip failed")
+	}
+	if f.Index(2, 3, 4) != len(f.Data)-1 {
+		t.Fatalf("last index = %d, want %d", f.Index(2, 3, 4), len(f.Data)-1)
+	}
+}
+
+func TestFieldMinMax(t *testing.T) {
+	f := NewScalarField(2, 2, 2)
+	f.Data = []float64{3, -1, 4, 1, 5, -9, 2, 6}
+	lo, hi := f.MinMax()
+	if lo != -9 || hi != 6 {
+		t.Fatalf("MinMax = %v, %v", lo, hi)
+	}
+}
+
+func TestFieldWorldPos(t *testing.T) {
+	f := NewScalarField(4, 4, 4)
+	f.OriginX, f.OriginY, f.OriginZ = 1, 2, 3
+	f.SpacingX, f.SpacingY, f.SpacingZ = 0.5, 0.25, 2
+	x, y, z := f.WorldPos(2, 4, 1)
+	if x != 2 || y != 3 || z != 5 {
+		t.Fatalf("WorldPos = %v %v %v", x, y, z)
+	}
+}
+
+func TestIsosurfaceSphere(t *testing.T) {
+	f := sphereField(17)
+	r := 5.0
+	mesh := Isosurface(f, r, render.Red)
+	if len(mesh.Triangles) == 0 {
+		t.Fatal("no triangles extracted")
+	}
+	// Every vertex must lie close to the sphere of radius r.
+	c := float64(17-1) / 2
+	for _, v := range mesh.Vertices {
+		d := math.Sqrt((v.X-c)*(v.X-c) + (v.Y-c)*(v.Y-c) + (v.Z-c)*(v.Z-c))
+		if math.Abs(d-r) > 0.35 {
+			t.Fatalf("vertex at distance %v, want ~%v", d, r)
+		}
+	}
+}
+
+func TestIsosurfaceEmptyOutsideRange(t *testing.T) {
+	f := sphereField(9)
+	if m := Isosurface(f, 1e9, render.Red); len(m.Triangles) != 0 {
+		t.Fatal("iso above max produced triangles")
+	}
+	if m := Isosurface(f, -1e9, render.Red); len(m.Triangles) != 0 {
+		t.Fatal("iso below min produced triangles")
+	}
+}
+
+func TestIsosurfaceAreaScaling(t *testing.T) {
+	// A larger sphere has more surface area, so more triangles: the property
+	// the bandwidth experiments rely on.
+	f := sphereField(33)
+	small := Isosurface(f, 4, render.Red)
+	large := Isosurface(f, 12, render.Red)
+	if len(large.Triangles) <= len(small.Triangles) {
+		t.Fatalf("triangles: small=%d large=%d, want growth with area",
+			len(small.Triangles), len(large.Triangles))
+	}
+}
+
+func TestIsosurfacePlanarSlab(t *testing.T) {
+	// Field = x coordinate: iso at 2.5 is the plane x = 2.5.
+	f := NewScalarField(6, 6, 6)
+	f.Fill(func(i, j, k int) float64 { return float64(i) })
+	mesh := Isosurface(f, 2.5, render.Green)
+	if len(mesh.Triangles) == 0 {
+		t.Fatal("no plane extracted")
+	}
+	for _, v := range mesh.Vertices {
+		if math.Abs(v.X-2.5) > 1e-9 {
+			t.Fatalf("vertex x = %v, want 2.5", v.X)
+		}
+	}
+	// The plane covers the full 5x5 cell cross-section.
+	area := 0.0
+	for _, tri := range mesh.Triangles {
+		a, b, c := mesh.Vertices[tri[0]], mesh.Vertices[tri[1]], mesh.Vertices[tri[2]]
+		area += b.Sub(a).Cross(c.Sub(a)).Len() / 2
+	}
+	if math.Abs(area-25) > 1e-6 {
+		t.Fatalf("plane area = %v, want 25", area)
+	}
+}
+
+func TestIsosurfaceDeterministic(t *testing.T) {
+	f := sphereField(13)
+	m1 := Isosurface(f, 4, render.Red)
+	m2 := Isosurface(f, 4, render.Red)
+	if len(m1.Vertices) != len(m2.Vertices) {
+		t.Fatal("non-deterministic extraction")
+	}
+	for i := range m1.Vertices {
+		if m1.Vertices[i] != m2.Vertices[i] {
+			t.Fatal("vertex mismatch")
+		}
+	}
+}
+
+// Property: marching a random tetrahedron field never emits vertices outside
+// the cell bounding box, and interpolated points always lie on edges.
+func TestQuickIsosurfaceInBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		field := NewScalarField(4, 4, 4)
+		s := seed
+		next := func() float64 {
+			s = s*6364136223846793005 + 1442695040888963407
+			return float64(s%1000) / 500.0
+		}
+		field.Fill(func(i, j, k int) float64 { return next() })
+		mesh := Isosurface(field, 1.0, render.Red)
+		for _, v := range mesh.Vertices {
+			if v.X < 0 || v.X > 3 || v.Y < 0 || v.Y > 3 || v.Z < 0 || v.Z > 3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCutPlaneGeometry(t *testing.T) {
+	f := NewScalarField(8, 8, 8)
+	f.Fill(func(i, j, k int) float64 { return float64(i + j + k) })
+	meshes := CutPlane(f, AxisZ, 3, nil)
+	if len(meshes) == 0 {
+		t.Fatal("no cut plane meshes")
+	}
+	tris := 0
+	for _, m := range meshes {
+		tris += len(m.Triangles)
+		for _, v := range m.Vertices {
+			if v.Z != 3 {
+				t.Fatalf("cut plane vertex off plane: z = %v", v.Z)
+			}
+		}
+	}
+	if tris != 7*7*2 {
+		t.Fatalf("triangles = %d, want %d", tris, 7*7*2)
+	}
+}
+
+func TestCutPlaneAxes(t *testing.T) {
+	f := NewScalarField(5, 6, 7)
+	f.Fill(func(i, j, k int) float64 { return float64(i * j * k) })
+	for _, tc := range []struct {
+		axis Axis
+		want int // quads
+	}{
+		{AxisX, 5 * 6 * 2},
+		{AxisY, 4 * 6 * 2},
+		{AxisZ, 4 * 5 * 2},
+	} {
+		tris := 0
+		for _, m := range CutPlane(f, tc.axis, 2, nil) {
+			tris += len(m.Triangles)
+		}
+		if tris != tc.want {
+			t.Fatalf("axis %v: triangles = %d, want %d", tc.axis, tris, tc.want)
+		}
+	}
+}
+
+func TestCutPlaneClampsIndex(t *testing.T) {
+	f := NewScalarField(4, 4, 4)
+	if meshes := CutPlane(f, AxisX, 99, nil); len(meshes) == 0 {
+		t.Fatal("clamped cut plane empty")
+	}
+	if meshes := CutPlane(f, AxisX, -5, nil); len(meshes) == 0 {
+		t.Fatal("clamped cut plane empty")
+	}
+}
+
+func TestDefaultColormapEndpoints(t *testing.T) {
+	lo := DefaultColormap(0)
+	hi := DefaultColormap(1)
+	if lo.B != 255 || lo.R >= 200 {
+		t.Fatalf("low end not blue: %+v", lo)
+	}
+	if hi.R != 255 || hi.B >= 200 {
+		t.Fatalf("high end not red: %+v", hi)
+	}
+	mid := DefaultColormap(0.5)
+	if mid.R < 240 || mid.G < 240 || mid.B < 240 {
+		t.Fatalf("midpoint not white-ish: %+v", mid)
+	}
+	// Out-of-range inputs clamp rather than wrap.
+	if DefaultColormap(-3) != lo || DefaultColormap(7) != hi {
+		t.Fatal("colormap does not clamp")
+	}
+}
+
+func TestBoxOutline(t *testing.T) {
+	edges := BoxOutline(render.Vec3{}, render.Vec3{X: 1, Y: 2, Z: 3})
+	if len(edges) != 12 {
+		t.Fatalf("edges = %d, want 12", len(edges))
+	}
+	// Sum of edge lengths = 4*(1+2+3).
+	total := 0.0
+	for _, e := range edges {
+		total += e[1].Sub(e[0]).Len()
+	}
+	if math.Abs(total-24) > 1e-12 {
+		t.Fatalf("total edge length = %v, want 24", total)
+	}
+}
+
+func TestAxisString(t *testing.T) {
+	if AxisX.String() != "X" || AxisY.String() != "Y" || AxisZ.String() != "Z" {
+		t.Fatal("axis names wrong")
+	}
+	if Axis(9).String() == "" {
+		t.Fatal("unknown axis must still format")
+	}
+}

@@ -1,0 +1,238 @@
+package vizserver
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/render"
+	"repro/internal/wire"
+)
+
+// Client is one participant in a shared remote-rendering session: the
+// "laptop" of Figure 1, viewing isosurfaces it could never render itself.
+type Client struct {
+	conn net.Conn
+	enc  *wire.Encoder
+
+	mu       sync.Mutex
+	w, h     int
+	pix      []byte
+	frameSeq int32
+	frames   uint64
+	rxBytes  uint64
+	readErr  error
+
+	acks    chan bool
+	frameCh chan int32
+	reqMu   sync.Mutex // serialises request/ack exchanges
+	once    sync.Once
+}
+
+// Attach joins a session over an established connection.
+func Attach(conn net.Conn) (*Client, error) {
+	c := &Client{
+		conn:    conn,
+		enc:     wire.NewEncoder(conn),
+		acks:    make(chan bool, 4),
+		frameCh: make(chan int32, 64),
+	}
+	dec := wire.NewDecoder(conn)
+	init, err := dec.Expect(tagInit)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	dims, err := init.AsInt64s()
+	if err != nil || len(dims) != 2 {
+		conn.Close()
+		return nil, fmt.Errorf("vizserver: malformed init")
+	}
+	c.w, c.h = int(dims[0]), int(dims[1])
+	c.pix = make([]byte, c.w*c.h*4)
+	go c.readLoop(dec)
+	return c, nil
+}
+
+func (c *Client) readLoop(dec *wire.Decoder) {
+	var pendingHdr []int64
+	for {
+		m, err := dec.Next()
+		if err != nil {
+			c.mu.Lock()
+			c.readErr = err
+			c.mu.Unlock()
+			c.Close()
+			return
+		}
+		switch m.Header.Tag {
+		case tagCamAck:
+			v, err := m.AsInt64s()
+			if err == nil && len(v) == 1 {
+				select {
+				case c.acks <- v[0] == 1:
+				default:
+				}
+			}
+		case tagFrameHdr:
+			hdr, err := m.AsInt64s()
+			if err == nil && len(hdr) == 2 {
+				pendingHdr = hdr
+			}
+		case tagFrame:
+			if pendingHdr == nil || len(m.Blobs) != 1 {
+				continue
+			}
+			seq, enc := int32(pendingHdr[0]), int32(pendingHdr[1])
+			pendingHdr = nil
+			c.mu.Lock()
+			size := c.w * c.h * 4
+			var next []byte
+			var derr error
+			if enc == EncKey {
+				next, derr = DecodeKey(m.Blobs[0], size)
+			} else {
+				next, derr = DecodeDelta(c.pix, m.Blobs[0], size)
+			}
+			if derr == nil {
+				c.pix = next
+				c.frameSeq = seq
+				c.frames++
+				c.rxBytes += uint64(len(m.Blobs[0]))
+			}
+			c.mu.Unlock()
+			if derr == nil {
+				select {
+				case c.frameCh <- seq:
+				default:
+				}
+			}
+		}
+	}
+}
+
+// request sends a frame and waits for the matching ack.
+func (c *Client) request(write func() error, timeout time.Duration) (bool, error) {
+	c.reqMu.Lock()
+	defer c.reqMu.Unlock()
+	// Drain stale acks.
+	for {
+		select {
+		case <-c.acks:
+			continue
+		default:
+		}
+		break
+	}
+	if err := write(); err != nil {
+		return false, err
+	}
+	select {
+	case ok := <-c.acks:
+		return ok, nil
+	case <-time.After(timeout):
+		return false, errors.New("vizserver: ack timeout")
+	}
+}
+
+// SetCamera moves the shared session camera. Only the controlling
+// participant succeeds; the server re-renders and broadcasts to everyone.
+func (c *Client) SetCamera(cam render.Camera, timeout time.Duration) error {
+	ok, err := c.request(func() error {
+		return c.enc.Float64s(tagSetCam, []float64{
+			cam.Eye.X, cam.Eye.Y, cam.Eye.Z,
+			cam.Center.X, cam.Center.Y, cam.Center.Z,
+			cam.Up.X, cam.Up.Y, cam.Up.Z,
+			cam.FovY,
+		})
+	}, timeout)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return errors.New("vizserver: not in control of the session")
+	}
+	return nil
+}
+
+// GrabControl claims the session camera (fails while another participant
+// holds it).
+func (c *Client) GrabControl(timeout time.Duration) error {
+	ok, err := c.request(func() error {
+		return c.enc.Int32s(tagControl, []int32{1})
+	}, timeout)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return errors.New("vizserver: control held by another participant")
+	}
+	return nil
+}
+
+// ReleaseControl gives up the session camera.
+func (c *Client) ReleaseControl(timeout time.Duration) error {
+	_, err := c.request(func() error {
+		return c.enc.Int32s(tagControl, []int32{0})
+	}, timeout)
+	return err
+}
+
+// Refresh asks the server to re-render (the scene advanced).
+func (c *Client) Refresh() error {
+	return c.enc.Int32s(tagRefresh, []int32{1})
+}
+
+// Framebuffer returns a copy of the last decoded frame.
+func (c *Client) Framebuffer() []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]byte(nil), c.pix...)
+}
+
+// Checksum hashes the last decoded frame.
+func (c *Client) Checksum() uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return crc32.ChecksumIEEE(c.pix)
+}
+
+// FrameSeq returns the sequence number of the last decoded frame.
+func (c *Client) FrameSeq() int32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.frameSeq
+}
+
+// Frames returns the number of frames received.
+func (c *Client) Frames() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.frames
+}
+
+// RxBytes returns the compressed bytes received.
+func (c *Client) RxBytes() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rxBytes
+}
+
+// FrameUpdates exposes frame-arrival notifications.
+func (c *Client) FrameUpdates() <-chan int32 { return c.frameCh }
+
+// Err returns the terminal read error, if any.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.readErr
+}
+
+// Close leaves the session.
+func (c *Client) Close() error {
+	c.once.Do(func() { c.conn.Close() })
+	return nil
+}

@@ -1,0 +1,97 @@
+// Package vizserver reimplements the remote-rendering model the paper uses
+// SGI OpenGL VizServer for: "the datasets which are being rendered as
+// isosurfaces are too large to be visualized on a laptop client. VizServer
+// allows the output of the graphics pipes from an Onyx visual supercomputer
+// to be accessed remotely. In addition this greatly reduces network traffic
+// since only compressed bitmaps need to be sent to the participating sites"
+// (section 2.4).
+//
+// A Server owns the scene (too large to ship) and a software renderer; any
+// number of clients attach to one shared session. Exactly one client holds
+// the camera control at a time — VizServer's collaborative "multiple users
+// share the same login session" mode — and every rendered frame is broadcast
+// to all participants as a flate-compressed keyframe or XOR-delta bitmap.
+package vizserver
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+)
+
+// Frame encodings.
+const (
+	// EncKey is a self-contained compressed frame.
+	EncKey int32 = iota
+	// EncDelta is a compressed XOR against the previous frame.
+	EncDelta
+)
+
+// compress flate-compresses b at BestSpeed.
+func compress(b []byte) []byte {
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		return b
+	}
+	w.Write(b)
+	w.Close()
+	return buf.Bytes()
+}
+
+// decompress inflates b, expecting want bytes.
+func decompress(b []byte, want int) ([]byte, error) {
+	r := flate.NewReader(bytes.NewReader(b))
+	out := make([]byte, 0, want)
+	buf := make([]byte, 16<<10)
+	for {
+		n, err := r.Read(buf)
+		out = append(out, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(out) != want {
+		return nil, fmt.Errorf("vizserver: frame %d bytes, want %d", len(out), want)
+	}
+	return out, nil
+}
+
+// EncodeKey encodes a self-contained frame.
+func EncodeKey(pix []byte) []byte { return compress(pix) }
+
+// DecodeKey decodes a keyframe of the expected size.
+func DecodeKey(data []byte, size int) ([]byte, error) { return decompress(data, size) }
+
+// EncodeDelta encodes cur as a compressed XOR against prev. Frames that
+// changed little compress dramatically — the paper's bandwidth claim.
+func EncodeDelta(prev, cur []byte) ([]byte, error) {
+	if len(prev) != len(cur) {
+		return nil, fmt.Errorf("vizserver: delta frames differ in size: %d vs %d", len(prev), len(cur))
+	}
+	x := make([]byte, len(cur))
+	for i := range cur {
+		x[i] = cur[i] ^ prev[i]
+	}
+	return compress(x), nil
+}
+
+// DecodeDelta reverses EncodeDelta against the receiver's previous frame.
+func DecodeDelta(prev, data []byte, size int) ([]byte, error) {
+	x, err := decompress(data, size)
+	if err != nil {
+		return nil, err
+	}
+	if len(prev) != size {
+		return nil, fmt.Errorf("vizserver: receiver frame %d bytes, want %d", len(prev), size)
+	}
+	out := make([]byte, size)
+	for i := range out {
+		out[i] = x[i] ^ prev[i]
+	}
+	return out, nil
+}

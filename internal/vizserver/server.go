@@ -1,0 +1,307 @@
+package vizserver
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/render"
+	"repro/internal/wire"
+)
+
+// wire tags of the protocol.
+const (
+	tagInit     = 0x0AF1 // Int32s [w, h]
+	tagSetCam   = 0x0AF2 // Float64s [eye3, center3, up3, fovy]
+	tagCamAck   = 0x0AF3 // Int32s [ok]
+	tagControl  = 0x0AF4 // Int32s [1 grab / 0 release]
+	tagFrameHdr = 0x0AF5 // Int32s [seq, encoding]
+	tagFrame    = 0x0AF6 // Bytes
+	tagRefresh  = 0x0AF7 // Int32s [1]: ask for a re-render (scene advanced)
+)
+
+// SceneProvider supplies the current scene at render time; the simulation
+// side updates it between frames.
+type SceneProvider func() *render.Scene
+
+// Config configures a render service.
+type Config struct {
+	// Width, Height are the remote viewport dimensions.
+	Width, Height int
+	// Scene supplies the geometry; required.
+	Scene SceneProvider
+	// Camera is the initial session camera.
+	Camera render.Camera
+}
+
+// Server is the remote rendering service.
+type Server struct {
+	cfg Config
+
+	mu         sync.Mutex
+	cam        render.Camera
+	fb         *render.Framebuffer
+	prevPix    []byte // last broadcast frame, delta base
+	frameSeq   int32
+	clients    map[*clientConn]struct{}
+	controller *clientConn
+	stats      Stats
+	closed     bool
+}
+
+// Stats counts rendering and transport activity.
+type Stats struct {
+	FramesRendered uint64
+	BytesSent      uint64
+	RawBytes       uint64 // what uncompressed transport would have cost
+	CamMoves       uint64
+	ControlDenied  uint64
+}
+
+// clientConn is one attached participant.
+type clientConn struct {
+	conn net.Conn
+	enc  *wire.Encoder
+	emu  sync.Mutex
+	// hasFrame tracks whether the participant has a delta base yet.
+	hasFrame bool
+}
+
+// NewServer creates a render service.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		return nil, fmt.Errorf("vizserver: bad viewport %dx%d", cfg.Width, cfg.Height)
+	}
+	if cfg.Scene == nil {
+		return nil, fmt.Errorf("vizserver: nil scene provider")
+	}
+	return &Server{
+		cfg:     cfg,
+		cam:     cfg.Camera,
+		fb:      render.NewFramebuffer(cfg.Width, cfg.Height),
+		clients: make(map[*clientConn]struct{}),
+	}, nil
+}
+
+// Stats returns a copy of the counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Camera returns the current session camera.
+func (s *Server) Camera() render.Camera {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cam
+}
+
+// Serve accepts participants from a listener.
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go s.ServeConn(conn)
+	}
+}
+
+// ServeConn attaches one participant and runs its read loop.
+func (s *Server) ServeConn(conn net.Conn) error {
+	c := &clientConn{conn: conn, enc: wire.NewEncoder(conn)}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return fmt.Errorf("vizserver: closed")
+	}
+	s.clients[c] = struct{}{}
+	if s.controller == nil {
+		s.controller = c // first participant starts in control
+	}
+	s.mu.Unlock()
+
+	if err := c.enc.Int32s(tagInit, []int32{int32(s.cfg.Width), int32(s.cfg.Height)}); err != nil {
+		s.detach(c)
+		return err
+	}
+	// Ship the current view immediately so late joiners see content.
+	s.RenderBroadcast()
+
+	dec := wire.NewDecoder(conn)
+	for {
+		m, err := dec.Next()
+		if err != nil {
+			s.detach(c)
+			return err
+		}
+		switch m.Header.Tag {
+		case tagSetCam:
+			v, err := m.AsFloat64s()
+			if err != nil || len(v) != 10 {
+				s.ack(c, false)
+				continue
+			}
+			s.mu.Lock()
+			isController := s.controller == c
+			if isController {
+				s.cam = render.Camera{
+					Eye:    render.Vec3{X: v[0], Y: v[1], Z: v[2]},
+					Center: render.Vec3{X: v[3], Y: v[4], Z: v[5]},
+					Up:     render.Vec3{X: v[6], Y: v[7], Z: v[8]},
+					FovY:   v[9],
+					Near:   s.cam.Near, Far: s.cam.Far,
+				}
+				if s.cam.Near == 0 {
+					s.cam.Near, s.cam.Far = 0.1, 100
+				}
+				s.stats.CamMoves++
+			} else {
+				s.stats.ControlDenied++
+			}
+			s.mu.Unlock()
+			s.ack(c, isController)
+			if isController {
+				s.RenderBroadcast()
+			}
+		case tagControl:
+			v, err := m.AsInt64s()
+			if err != nil || len(v) != 1 {
+				continue
+			}
+			s.mu.Lock()
+			if v[0] == 1 {
+				// Grab succeeds when nobody (or this client) holds control.
+				grabbed := s.controller == nil || s.controller == c
+				if grabbed {
+					s.controller = c
+				}
+				s.mu.Unlock()
+				s.ack(c, grabbed)
+			} else {
+				if s.controller == c {
+					s.controller = nil
+				}
+				s.mu.Unlock()
+				s.ack(c, true)
+			}
+		case tagRefresh:
+			s.RenderBroadcast()
+		}
+	}
+}
+
+func (s *Server) ack(c *clientConn, ok bool) {
+	v := int32(0)
+	if ok {
+		v = 1
+	}
+	c.emu.Lock()
+	c.enc.Int32s(tagCamAck, []int32{v})
+	c.emu.Unlock()
+}
+
+// RenderBroadcast renders the scene from the session camera and sends the
+// frame to every participant (keyframe for those without a delta base).
+// It returns the rendered framebuffer's checksum.
+func (s *Server) RenderBroadcast() uint32 {
+	s.mu.Lock()
+	cam := s.cam
+	scene := s.cfg.Scene()
+	s.mu.Unlock()
+
+	// Render outside the lock: it is the expensive part.
+	render.Render(s.fb, cam, scene)
+	pix := append([]byte(nil), s.fb.Pix...)
+	sum := s.fb.Checksum()
+
+	s.mu.Lock()
+	prev := s.prevPix
+	s.prevPix = pix
+	s.frameSeq++
+	seq := s.frameSeq
+	s.stats.FramesRendered++
+	clients := make([]*clientConn, 0, len(s.clients))
+	for c := range s.clients {
+		clients = append(clients, c)
+	}
+	s.mu.Unlock()
+
+	var key []byte // lazily encoded
+	var delta []byte
+	for _, c := range clients {
+		var enc int32
+		var data []byte
+		if c.hasFrame && prev != nil {
+			if delta == nil {
+				delta, _ = EncodeDelta(prev, pix)
+			}
+			enc, data = EncDelta, delta
+		} else {
+			if key == nil {
+				key = EncodeKey(pix)
+			}
+			enc, data = EncKey, key
+		}
+		c.emu.Lock()
+		err1 := c.enc.Int32s(tagFrameHdr, []int32{seq, enc})
+		err2 := c.enc.Bytes(tagFrame, data)
+		c.emu.Unlock()
+		if err1 != nil || err2 != nil {
+			s.detach(c)
+			continue
+		}
+		c.hasFrame = true
+		s.mu.Lock()
+		s.stats.BytesSent += uint64(len(data))
+		s.stats.RawBytes += uint64(len(pix))
+		s.mu.Unlock()
+	}
+	return sum
+}
+
+func (s *Server) detach(c *clientConn) {
+	s.mu.Lock()
+	delete(s.clients, c)
+	if s.controller == c {
+		s.controller = nil
+		// Pass control to any remaining participant for continuity.
+		for other := range s.clients {
+			s.controller = other
+			break
+		}
+	}
+	s.mu.Unlock()
+	c.conn.Close()
+}
+
+// FrameSeq returns the sequence number of the most recently broadcast frame.
+func (s *Server) FrameSeq() int32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.frameSeq
+}
+
+// ClientCount reports attached participants.
+func (s *Server) ClientCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.clients)
+}
+
+// Close detaches everyone.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	clients := make([]*clientConn, 0, len(s.clients))
+	for c := range s.clients {
+		clients = append(clients, c)
+	}
+	s.clients = make(map[*clientConn]struct{})
+	s.mu.Unlock()
+	for _, c := range clients {
+		c.conn.Close()
+	}
+}

@@ -1,0 +1,279 @@
+package vizserver
+
+import (
+	"bytes"
+	"math"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/render"
+	"repro/internal/viz"
+)
+
+// testScene returns a provider for a sphere isosurface scene.
+func testScene(n int) SceneProvider {
+	f := viz.NewScalarField(n, n, n)
+	c := float64(n-1) / 2
+	f.Fill(func(i, j, k int) float64 {
+		dx, dy, dz := float64(i)-c, float64(j)-c, float64(k)-c
+		return math.Sqrt(dx*dx + dy*dy + dz*dz)
+	})
+	mesh := viz.Isosurface(f, float64(n)/3, render.Blue)
+	scene := &render.Scene{Meshes: []*render.Mesh{mesh}}
+	return func() *render.Scene { return scene }
+}
+
+func startSession(t *testing.T, nClients int) (*Server, []*Client) {
+	t.Helper()
+	cam := render.DefaultCamera()
+	cam.Center = render.Vec3{X: 8, Y: 8, Z: 8}
+	cam.Eye = render.Vec3{X: 30, Y: 25, Z: 35}
+	srv, err := NewServer(Config{Width: 160, Height: 120, Scene: testScene(17), Camera: cam})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	t.Cleanup(func() { srv.Close(); l.Close() })
+
+	clients := make([]*Client, nClients)
+	for i := range clients {
+		conn, err := net.Dial("tcp", l.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := Attach(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+		clients[i] = c
+		waitFrames(t, c, 1)
+	}
+	return srv, clients
+}
+
+func waitFrames(t *testing.T, c *Client, n uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Frames() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("client stuck at %d frames, want %d", c.Frames(), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	size := 64 * 64 * 4
+	a := make([]byte, size)
+	b := make([]byte, size)
+	for i := range a {
+		a[i] = byte(i * 7)
+		b[i] = byte(i * 7)
+	}
+	b[100] = 0xFF // small change
+
+	key := EncodeKey(a)
+	back, err := DecodeKey(key, size)
+	if err != nil || !bytes.Equal(back, a) {
+		t.Fatalf("keyframe round trip failed: %v", err)
+	}
+
+	delta, err := EncodeDelta(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back2, err := DecodeDelta(a, delta, size)
+	if err != nil || !bytes.Equal(back2, b) {
+		t.Fatalf("delta round trip failed: %v", err)
+	}
+	// Small changes compress dramatically better than keyframes.
+	if len(delta) >= len(key)/2 {
+		t.Fatalf("delta %d bytes vs key %d: delta coding ineffective", len(delta), len(key))
+	}
+}
+
+func TestCodecSizeMismatch(t *testing.T) {
+	if _, err := EncodeDelta(make([]byte, 4), make([]byte, 8)); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	if _, err := DecodeKey(EncodeKey(make([]byte, 16)), 32); err == nil {
+		t.Fatal("wrong decode size accepted")
+	}
+}
+
+func TestFirstFrameDelivered(t *testing.T) {
+	_, clients := startSession(t, 1)
+	fb := clients[0].Framebuffer()
+	painted := 0
+	for i := 0; i < len(fb); i += 4 {
+		if fb[i] != 0 || fb[i+1] != 0 || fb[i+2] != 0 {
+			painted++
+		}
+	}
+	if painted == 0 {
+		t.Fatal("client frame is empty: isosurface not visible")
+	}
+}
+
+func TestCompressionBeatsRaw(t *testing.T) {
+	srv, clients := startSession(t, 1)
+	cam := srv.Camera()
+	for i := 0; i < 5; i++ {
+		cam.Eye.X += 0.5
+		if err := clients[0].SetCamera(cam, 2*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFrames(t, clients[0], 6)
+	st := srv.Stats()
+	if st.BytesSent >= st.RawBytes/2 {
+		t.Fatalf("compressed %d vs raw %d: bandwidth claim fails", st.BytesSent, st.RawBytes)
+	}
+}
+
+func TestAllParticipantsSeeSameFrame(t *testing.T) {
+	srv, clients := startSession(t, 3)
+	cam := srv.Camera()
+	cam.Eye.Y += 2
+	if err := clients[0].SetCamera(cam, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until every participant has decoded the server's LATEST frame:
+	// attach-time broadcasts mean raw frame counts differ between clients.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		caughtUp := true
+		for _, c := range clients {
+			if c.FrameSeq() != srv.FrameSeq() {
+				caughtUp = false
+			}
+		}
+		if caughtUp {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("participants never caught up to the latest frame")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	want := clients[0].Checksum()
+	for i, c := range clients[1:] {
+		if c.Checksum() != want {
+			t.Fatalf("participant %d sees different pixels", i+1)
+		}
+	}
+}
+
+func TestOnlyControllerMovesCamera(t *testing.T) {
+	srv, clients := startSession(t, 2)
+	cam := srv.Camera()
+	cam.Eye.X += 1
+	// Participant 1 (not controller) is denied.
+	if err := clients[1].SetCamera(cam, 2*time.Second); err == nil {
+		t.Fatal("non-controller moved the shared camera")
+	}
+	if srv.Stats().ControlDenied == 0 {
+		t.Fatal("denial not counted")
+	}
+	// Controller succeeds.
+	if err := clients[0].SetCamera(cam, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestControlHandoff(t *testing.T) {
+	srv, clients := startSession(t, 2)
+	if err := clients[1].GrabControl(2 * time.Second); err == nil {
+		t.Fatal("control stolen while held")
+	}
+	if err := clients[0].ReleaseControl(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := clients[1].GrabControl(2 * time.Second); err != nil {
+		t.Fatalf("grab after release failed: %v", err)
+	}
+	cam := srv.Camera()
+	cam.Eye.Z += 3
+	if err := clients[1].SetCamera(cam, 2*time.Second); err != nil {
+		t.Fatalf("new controller denied: %v", err)
+	}
+	cam.Eye.Z += 1
+	if err := clients[0].SetCamera(cam, 2*time.Second); err == nil {
+		t.Fatal("old controller still steering the view")
+	}
+}
+
+func TestControllerDisconnectPassesControl(t *testing.T) {
+	srv, clients := startSession(t, 2)
+	clients[0].Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.ClientCount() > 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("dead controller never detached")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cam := srv.Camera()
+	cam.Eye.X -= 2
+	if err := clients[1].SetCamera(cam, 2*time.Second); err != nil {
+		t.Fatalf("surviving participant did not inherit control: %v", err)
+	}
+}
+
+func TestRefreshRendersSceneAdvance(t *testing.T) {
+	// A mutable scene: the provider reflects simulation progress.
+	var mu sync.Mutex
+	color := render.Red
+	scene := func() *render.Scene {
+		mu.Lock()
+		defer mu.Unlock()
+		return &render.Scene{Meshes: []*render.Mesh{{
+			Vertices:  []render.Vec3{{X: 0, Y: 0, Z: 0.5}, {X: 1, Y: 0, Z: 0.5}, {X: 0.5, Y: 1, Z: 0.5}},
+			Triangles: [][3]int32{{0, 1, 2}},
+			Color:     color,
+		}}}
+	}
+	srv, err := NewServer(Config{Width: 64, Height: 64, Scene: scene, Camera: render.DefaultCamera()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, _ := net.Listen("tcp", "127.0.0.1:0")
+	go srv.Serve(l)
+	defer func() { srv.Close(); l.Close() }()
+
+	conn, _ := net.Dial("tcp", l.Addr().String())
+	c, err := Attach(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	waitFrames(t, c, 1)
+	before := c.Checksum()
+
+	mu.Lock()
+	color = render.Green
+	mu.Unlock()
+	if err := c.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	waitFrames(t, c, 2)
+	if c.Checksum() == before {
+		t.Fatal("refresh did not pick up scene change")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := NewServer(Config{Width: 0, Height: 10, Scene: testScene(5)}); err == nil {
+		t.Fatal("zero width accepted")
+	}
+	if _, err := NewServer(Config{Width: 10, Height: 10}); err == nil {
+		t.Fatal("nil scene accepted")
+	}
+}

@@ -1,0 +1,143 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// A Decoder reads messages from an input stream. It is not safe for
+// concurrent use.
+type Decoder struct {
+	r   *bufio.Reader
+	hdr [headerSize]byte
+}
+
+// NewDecoder returns a Decoder reading from r.
+func NewDecoder(r io.Reader) *Decoder {
+	if br, ok := r.(*bufio.Reader); ok {
+		return &Decoder{r: br}
+	}
+	return &Decoder{r: bufio.NewReaderSize(r, 32<<10)}
+}
+
+// readHeader reads and validates one message header.
+func (d *Decoder) readHeader() (Header, error) {
+	if _, err := io.ReadFull(d.r, d.hdr[:]); err != nil {
+		return Header{}, err
+	}
+	if [4]byte(d.hdr[0:4]) != magic {
+		return Header{}, ErrBadMagic
+	}
+	h := Header{
+		Tag:   binary.BigEndian.Uint32(d.hdr[4:8]),
+		Kind:  Kind(d.hdr[8]),
+		Count: binary.BigEndian.Uint32(d.hdr[12:16]),
+	}
+	if h.Kind == KindInvalid || h.Kind > KindBytes {
+		return Header{}, ErrBadKind
+	}
+	if h.Count > MaxElements {
+		return Header{}, ErrTooLarge
+	}
+	return h, nil
+}
+
+// Next reads the next message, whatever its tag and kind.
+func (d *Decoder) Next() (*Message, error) {
+	h, err := d.readHeader()
+	if err != nil {
+		return nil, err
+	}
+	m := &Message{Header: h}
+	n := int(h.Count)
+	switch h.Kind {
+	case KindInt32:
+		m.Int32s = make([]int32, n)
+		var b [4]byte
+		for i := range m.Int32s {
+			if _, err := io.ReadFull(d.r, b[:]); err != nil {
+				return nil, err
+			}
+			m.Int32s[i] = int32(binary.BigEndian.Uint32(b[:]))
+		}
+	case KindInt64:
+		m.Int64s = make([]int64, n)
+		var b [8]byte
+		for i := range m.Int64s {
+			if _, err := io.ReadFull(d.r, b[:]); err != nil {
+				return nil, err
+			}
+			m.Int64s[i] = int64(binary.BigEndian.Uint64(b[:]))
+		}
+	case KindFloat32:
+		m.Float32s = make([]float32, n)
+		var b [4]byte
+		for i := range m.Float32s {
+			if _, err := io.ReadFull(d.r, b[:]); err != nil {
+				return nil, err
+			}
+			m.Float32s[i] = math.Float32frombits(binary.BigEndian.Uint32(b[:]))
+		}
+	case KindFloat64:
+		m.Float64s = make([]float64, n)
+		var b [8]byte
+		for i := range m.Float64s {
+			if _, err := io.ReadFull(d.r, b[:]); err != nil {
+				return nil, err
+			}
+			m.Float64s[i] = math.Float64frombits(binary.BigEndian.Uint64(b[:]))
+		}
+	case KindString:
+		m.Strings = make([]string, n)
+		for i := range m.Strings {
+			s, err := d.readBlob()
+			if err != nil {
+				return nil, err
+			}
+			m.Strings[i] = string(s)
+		}
+	case KindBytes:
+		m.Blobs = make([][]byte, n)
+		for i := range m.Blobs {
+			b, err := d.readBlob()
+			if err != nil {
+				return nil, err
+			}
+			m.Blobs[i] = b
+		}
+	}
+	return m, nil
+}
+
+func (d *Decoder) readBlob() ([]byte, error) {
+	var lb [4]byte
+	if _, err := io.ReadFull(d.r, lb[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(lb[:])
+	if n > MaxBlobLen {
+		return nil, ErrTooLarge
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(d.r, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Expect reads the next message and verifies its tag. A tag mismatch is a
+// protocol error: the VISIT exchanges in this repository are strictly
+// request/response ordered per connection.
+func (d *Decoder) Expect(tag uint32) (*Message, error) {
+	m, err := d.Next()
+	if err != nil {
+		return nil, err
+	}
+	if m.Header.Tag != tag {
+		return nil, fmt.Errorf("wire: got tag %d, want %d", m.Header.Tag, tag)
+	}
+	return m, nil
+}

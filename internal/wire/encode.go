@@ -1,0 +1,146 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// An Encoder writes messages to an output stream. It buffers one message at
+// a time and is not safe for concurrent use; wrap writes in the caller's own
+// synchronisation when a connection is shared.
+type Encoder struct {
+	w   io.Writer
+	buf []byte
+}
+
+// NewEncoder returns an Encoder writing to w.
+func NewEncoder(w io.Writer) *Encoder {
+	return &Encoder{w: w, buf: make([]byte, 0, 4096)}
+}
+
+func (e *Encoder) putHeader(tag uint32, kind Kind, count int) {
+	e.buf = append(e.buf, magic[:]...)
+	e.buf = binary.BigEndian.AppendUint32(e.buf, tag)
+	e.buf = append(e.buf, byte(kind), 0, 0, 0)
+	e.buf = binary.BigEndian.AppendUint32(e.buf, uint32(count))
+}
+
+func (e *Encoder) flush() error {
+	n, err := e.w.Write(e.buf)
+	if err == nil && n != len(e.buf) {
+		err = ErrShortWrite
+	}
+	e.buf = e.buf[:0]
+	return err
+}
+
+// Int32s writes an int32-array message.
+func (e *Encoder) Int32s(tag uint32, v []int32) error {
+	if len(v) > MaxElements {
+		return ErrTooLarge
+	}
+	e.putHeader(tag, KindInt32, len(v))
+	for _, x := range v {
+		e.buf = binary.BigEndian.AppendUint32(e.buf, uint32(x))
+	}
+	return e.flush()
+}
+
+// Int64s writes an int64-array message.
+func (e *Encoder) Int64s(tag uint32, v []int64) error {
+	if len(v) > MaxElements {
+		return ErrTooLarge
+	}
+	e.putHeader(tag, KindInt64, len(v))
+	for _, x := range v {
+		e.buf = binary.BigEndian.AppendUint64(e.buf, uint64(x))
+	}
+	return e.flush()
+}
+
+// Float32s writes a float32-array message.
+func (e *Encoder) Float32s(tag uint32, v []float32) error {
+	if len(v) > MaxElements {
+		return ErrTooLarge
+	}
+	e.putHeader(tag, KindFloat32, len(v))
+	for _, x := range v {
+		e.buf = binary.BigEndian.AppendUint32(e.buf, math.Float32bits(x))
+	}
+	return e.flush()
+}
+
+// Float64s writes a float64-array message.
+func (e *Encoder) Float64s(tag uint32, v []float64) error {
+	if len(v) > MaxElements {
+		return ErrTooLarge
+	}
+	e.putHeader(tag, KindFloat64, len(v))
+	for _, x := range v {
+		e.buf = binary.BigEndian.AppendUint64(e.buf, math.Float64bits(x))
+	}
+	return e.flush()
+}
+
+// String writes a single-string message.
+func (e *Encoder) String(tag uint32, s string) error { return e.Strings(tag, []string{s}) }
+
+// Strings writes a string-array message.
+func (e *Encoder) Strings(tag uint32, v []string) error {
+	if len(v) > MaxElements {
+		return ErrTooLarge
+	}
+	for _, s := range v {
+		if len(s) > MaxBlobLen {
+			return ErrTooLarge
+		}
+	}
+	e.putHeader(tag, KindString, len(v))
+	for _, s := range v {
+		e.buf = binary.BigEndian.AppendUint32(e.buf, uint32(len(s)))
+		e.buf = append(e.buf, s...)
+	}
+	return e.flush()
+}
+
+// Bytes writes a single byte-blob message.
+func (e *Encoder) Bytes(tag uint32, b []byte) error {
+	if len(b) > MaxBlobLen {
+		return ErrTooLarge
+	}
+	e.putHeader(tag, KindBytes, 1)
+	e.buf = binary.BigEndian.AppendUint32(e.buf, uint32(len(b)))
+	e.buf = append(e.buf, b...)
+	return e.flush()
+}
+
+// Int writes a single int64 message; the idiomatic way to send one scalar.
+func (e *Encoder) Int(tag uint32, v int64) error { return e.Int64s(tag, []int64{v}) }
+
+// Float writes a single float64 message.
+func (e *Encoder) Float(tag uint32, v float64) error { return e.Float64s(tag, []float64{v}) }
+
+// Message writes an already-assembled Message, re-encoding its payload.
+func (e *Encoder) Message(m *Message) error {
+	switch m.Header.Kind {
+	case KindInt32:
+		return e.Int32s(m.Header.Tag, m.Int32s)
+	case KindInt64:
+		return e.Int64s(m.Header.Tag, m.Int64s)
+	case KindFloat32:
+		return e.Float32s(m.Header.Tag, m.Float32s)
+	case KindFloat64:
+		return e.Float64s(m.Header.Tag, m.Float64s)
+	case KindString:
+		return e.Strings(m.Header.Tag, m.Strings)
+	case KindBytes:
+		if len(m.Blobs) != 1 {
+			return fmt.Errorf("%w: bytes message must carry exactly one blob", ErrBadKind)
+		}
+		return e.Bytes(m.Header.Tag, m.Blobs[0])
+	default:
+		return ErrBadKind
+	}
+}

@@ -1,0 +1,209 @@
+// Package wire implements the tagged, typed binary message format used by
+// every transport in this repository. It reproduces the data-transport layer
+// of the VISIT toolkit (Brooke et al., SC2003, section 3.2): messages are
+// "distinguished via tags" like MPI messages, carry simple data types
+// (integers, floats, strings, byte blobs and arrays of these), and any data
+// conversion (byte order, precision) is performed by the receiver so that the
+// sending simulation is disturbed as little as possible.
+//
+// All multi-byte quantities are big-endian on the wire. A message is a fixed
+// 16-byte header followed by a payload:
+//
+//	offset size  field
+//	0      4     magic "VSIT"
+//	4      4     tag (uint32, application-defined routing key)
+//	8      1     element type (Kind)
+//	9      3     reserved (zero)
+//	12     4     element count (uint32)
+//	16     ...   payload: count elements of the declared kind
+//
+// Strings and byte blobs are encoded as a single element whose payload is a
+// 4-byte length followed by the raw bytes.
+package wire
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Kind identifies the element type carried by a message.
+type Kind uint8
+
+// Element kinds supported on the wire. These mirror the VISIT basic types:
+// strings, integers, floats and arrays thereof.
+const (
+	KindInvalid Kind = iota
+	KindInt32
+	KindInt64
+	KindFloat32
+	KindFloat64
+	KindString
+	KindBytes
+)
+
+// String returns the human-readable name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindInt32:
+		return "int32"
+	case KindInt64:
+		return "int64"
+	case KindFloat32:
+		return "float32"
+	case KindFloat64:
+		return "float64"
+	case KindString:
+		return "string"
+	case KindBytes:
+		return "bytes"
+	default:
+		return fmt.Sprintf("invalid(%d)", uint8(k))
+	}
+}
+
+// size returns the on-wire size of one element of the kind, or 0 for
+// variable-length kinds (string, bytes).
+func (k Kind) size() int {
+	switch k {
+	case KindInt32, KindFloat32:
+		return 4
+	case KindInt64, KindFloat64:
+		return 8
+	default:
+		return 0
+	}
+}
+
+// Header describes one message.
+type Header struct {
+	Tag   uint32
+	Kind  Kind
+	Count uint32
+}
+
+// magic is the wire magic prefix of every message.
+var magic = [4]byte{'V', 'S', 'I', 'T'}
+
+// headerSize is the fixed size of the encoded header.
+const headerSize = 16
+
+// MaxElements bounds the element count of a single message. It protects
+// receivers from allocating unbounded memory on a corrupt or hostile header.
+const MaxElements = 64 << 20
+
+// MaxBlobLen bounds the length of a single string or byte-blob element.
+const MaxBlobLen = 256 << 20
+
+// Errors reported by the codec.
+var (
+	ErrBadMagic   = errors.New("wire: bad magic")
+	ErrBadKind    = errors.New("wire: unknown element kind")
+	ErrTooLarge   = errors.New("wire: message exceeds size limits")
+	ErrKindClash  = errors.New("wire: element kind does not match request")
+	ErrShortWrite = errors.New("wire: short write")
+)
+
+// Message is a decoded message: the header plus its payload in native form.
+// Exactly one of the slices is populated, matching Header.Kind; String
+// payloads are stored in Strings, byte blobs in Blobs.
+type Message struct {
+	Header   Header
+	Int32s   []int32
+	Int64s   []int64
+	Float32s []float32
+	Float64s []float64
+	Strings  []string
+	Blobs    [][]byte
+}
+
+// Len reports the number of payload elements.
+func (m *Message) Len() int { return int(m.Header.Count) }
+
+// AsFloat64s returns the payload as float64s, converting from any numeric
+// kind. This is the receiver-side conversion the paper requires: the server
+// adapts precision so the simulation never does.
+func (m *Message) AsFloat64s() ([]float64, error) {
+	switch m.Header.Kind {
+	case KindFloat64:
+		return m.Float64s, nil
+	case KindFloat32:
+		out := make([]float64, len(m.Float32s))
+		for i, v := range m.Float32s {
+			out[i] = float64(v)
+		}
+		return out, nil
+	case KindInt32:
+		out := make([]float64, len(m.Int32s))
+		for i, v := range m.Int32s {
+			out[i] = float64(v)
+		}
+		return out, nil
+	case KindInt64:
+		out := make([]float64, len(m.Int64s))
+		for i, v := range m.Int64s {
+			out[i] = float64(v)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("%w: cannot convert %s to float64", ErrKindClash, m.Header.Kind)
+	}
+}
+
+// AsFloat32s returns the payload as float32s, converting (and narrowing)
+// from any numeric kind.
+func (m *Message) AsFloat32s() ([]float32, error) {
+	switch m.Header.Kind {
+	case KindFloat32:
+		return m.Float32s, nil
+	case KindFloat64:
+		out := make([]float32, len(m.Float64s))
+		for i, v := range m.Float64s {
+			out[i] = float32(v)
+		}
+		return out, nil
+	case KindInt32:
+		out := make([]float32, len(m.Int32s))
+		for i, v := range m.Int32s {
+			out[i] = float32(v)
+		}
+		return out, nil
+	case KindInt64:
+		out := make([]float32, len(m.Int64s))
+		for i, v := range m.Int64s {
+			out[i] = float32(v)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("%w: cannot convert %s to float32", ErrKindClash, m.Header.Kind)
+	}
+}
+
+// AsInt64s returns the payload as int64s, converting from any integer kind.
+// Float payloads are rejected: silent truncation would hide steering bugs.
+func (m *Message) AsInt64s() ([]int64, error) {
+	switch m.Header.Kind {
+	case KindInt64:
+		return m.Int64s, nil
+	case KindInt32:
+		out := make([]int64, len(m.Int32s))
+		for i, v := range m.Int32s {
+			out[i] = int64(v)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("%w: cannot convert %s to int64", ErrKindClash, m.Header.Kind)
+	}
+}
+
+// AsString returns the payload as a single string. It accepts one-element
+// string and bytes messages.
+func (m *Message) AsString() (string, error) {
+	switch {
+	case m.Header.Kind == KindString && len(m.Strings) == 1:
+		return m.Strings[0], nil
+	case m.Header.Kind == KindBytes && len(m.Blobs) == 1:
+		return string(m.Blobs[0]), nil
+	default:
+		return "", fmt.Errorf("%w: message is %s x%d, want one string", ErrKindClash, m.Header.Kind, m.Header.Count)
+	}
+}
