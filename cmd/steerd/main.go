@@ -1,12 +1,19 @@
-// Command steerd hosts an OGSI-Lite grid-service container with a steerable
-// demonstration simulation: the standing infrastructure of the RealityGrid
-// scenario (Figure 1/2). It starts a Lattice-Boltzmann run, exposes a
-// registry, a steering service and a visualization service over HTTP, and a
-// core steering session over TCP for full clients.
+// Command steerd hosts an OGSI-Lite grid-service container with steerable
+// demonstration simulations: the standing infrastructure of the RealityGrid
+// scenario (Figure 1/2). It runs Lattice-Boltzmann sessions on a sharded
+// steering hub, exposes a registry, steering services and visualization
+// services over HTTP, and serves every steering session over one TCP
+// listener for full clients.
 //
 // Usage:
 //
-//	steerd [-http :8090] [-steer :8091] [-lattice 16]
+//	steerd [-http :8090] [-steer :8091] [-lattice 16] [-sessions 1] [-shards 0]
+//
+// With the default -sessions 1 the daemon behaves exactly like the classic
+// single-session steerd: one session named "steerd-lb3d" that clients may
+// attach to without naming it. With -sessions N the hub hosts
+// steerd-lb3d-00 … steerd-lb3d-N-1, and clients select one with
+// core.AttachOptions.Session.
 //
 // Then, e.g.:
 //
@@ -25,52 +32,80 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/hub"
 	"repro/internal/ogsi"
 	"repro/internal/sim/lb"
 )
 
 func main() {
 	httpAddr := flag.String("http", "127.0.0.1:8090", "OGSI hosting address")
-	steerAddr := flag.String("steer", "127.0.0.1:8091", "core steering session address")
+	steerAddr := flag.String("steer", "127.0.0.1:8091", "steering hub address (all sessions)")
 	lattice := flag.Int("lattice", 16, "LB lattice edge size")
+	sessions := flag.Int("sessions", 1, "number of concurrent LB sessions to host")
+	shards := flag.Int("shards", 0, "hub shard count (0 = auto)")
 	flag.Parse()
+	if *sessions < 1 {
+		log.Fatal("steerd: -sessions must be >= 1")
+	}
 
-	sim, err := lb.New(lb.Params{Nx: *lattice, Ny: *lattice, Nz: *lattice, Tau: 1, G: 0, Seed: 1})
-	if err != nil {
-		log.Fatal(err)
-	}
-	session := core.NewSession(core.SessionConfig{Name: "steerd-lb3d", AppName: "lb3d"})
-	st := session.Steered()
-	if err := st.RegisterFloat("miscibility-g", 0, 0, 6,
-		"Shan–Chen coupling: 0 mixes, >4 demixes", sim.SetCoupling); err != nil {
-		log.Fatal(err)
-	}
+	h := hub.New(hub.Config{Shards: *shards})
+	defer h.Close()
+	hosting := ogsi.NewHosting()
+	hosting.RegisterFactory("registry", ogsi.RegistryFactory)
 
 	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		for step := int64(0); ; step++ {
-			if st.PollBlocking(0) == core.ControlStop {
-				return
-			}
-			sim.Step()
-			s := core.NewSample(step)
-			s.Channels["segregation"] = core.Scalar(sim.Segregation())
-			st.Emit(s)
+	for i := 0; i < *sessions; i++ {
+		name := "steerd-lb3d"
+		if *sessions > 1 {
+			name = fmt.Sprintf("steerd-lb3d-%02d", i)
 		}
-	}()
+		sim, err := lb.New(lb.Params{Nx: *lattice, Ny: *lattice, Nz: *lattice, Tau: 1, G: 0, Seed: int64(1 + i)})
+		if err != nil {
+			log.Fatal(err)
+		}
+		session, err := h.CreateSession(core.SessionConfig{Name: name, AppName: "lb3d"})
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := session.Steered()
+		if err := st.RegisterFloat("miscibility-g", 0, 0, 6,
+			"Shan–Chen coupling: 0 mixes, >4 demixes", sim.SetCoupling); err != nil {
+			log.Fatal(err)
+		}
+
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Closing on a steered stop is what lets the hub evict the
+			// ended session and free its name.
+			defer session.Close()
+			for step := int64(0); ; step++ {
+				if st.PollBlocking(0) == core.ControlStop {
+					return
+				}
+				sim.Step()
+				s := core.NewSample(step)
+				s.Channels["segregation"] = core.Scalar(sim.Segregation())
+				st.Emit(s)
+			}
+		}()
+
+		// Per-session grid services; the first session also keeps the
+		// classic factory names so existing tooling works unchanged.
+		steerFactory, vizFactory := "steering-"+name, "viz-"+name
+		if i == 0 {
+			steerFactory, vizFactory = "steering", "viz"
+		}
+		hosting.RegisterFactory(steerFactory, ogsi.SteeringFactory(session))
+		hosting.RegisterFactory(vizFactory, ogsi.VizFactory(session))
+	}
 
 	sl, err := net.Listen("tcp", *steerAddr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	go session.Serve(sl)
+	go h.Serve(sl)
 
-	hosting := ogsi.NewHosting()
-	hosting.RegisterFactory("registry", ogsi.RegistryFactory)
-	hosting.RegisterFactory("steering", ogsi.SteeringFactory(session))
-	hosting.RegisterFactory("viz", ogsi.VizFactory(session))
 	hl, err := net.Listen("tcp", *httpAddr)
 	if err != nil {
 		log.Fatal(err)
@@ -92,14 +127,24 @@ func main() {
 	fmt.Printf("steerd: registry     %s\n", registry)
 	fmt.Printf("steerd: steering     %s\n", steerGSH)
 	fmt.Printf("steerd: viz          %s\n", vizGSH)
-	fmt.Printf("steerd: core session %s (attach with core.Attach)\n", sl.Addr())
+	fmt.Printf("steerd: steering hub %s hosting %d session(s) on %d shard(s) (attach with core.Attach)\n",
+		sl.Addr(), *sessions, h.Stats().Shards)
+	for _, name := range h.SessionNames() {
+		fmt.Printf("steerd:   session %q on shard %d\n", name, h.ShardOf(name))
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
-	fmt.Println("steerd: shutting down")
-	session.QueueStop()
-	session.Close()
+	stats := h.Stats()
+	fmt.Printf("steerd: shutting down (%d sessions, %d clients, %d samples emitted, %d delivered, %d dropped)\n",
+		stats.Sessions, stats.Clients, stats.SamplesEmitted, stats.SamplesDelivered, stats.SamplesDropped)
+	for _, name := range h.SessionNames() {
+		if s, ok := h.Lookup(name); ok {
+			s.QueueStop()
+		}
+	}
+	h.Close()
 	hosting.Close()
 	wg.Wait()
 }

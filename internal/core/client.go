@@ -38,6 +38,9 @@ type Client struct {
 type AttachOptions struct {
 	// Name identifies the client; "" lets the session assign one.
 	Name string
+	// Session names the target session when dialing a hub hosting several;
+	// "" selects the endpoint's default session.
+	Session string
 	// WantMaster requests the master role if free.
 	WantMaster bool
 	// SampleBuffer bounds the local sample queue (default 16). When full,
@@ -65,7 +68,7 @@ func Attach(conn net.Conn, opts AttachOptions) (*Client, error) {
 	}
 	if err := c.codec.write(&envelope{
 		Type:   msgAttach,
-		Attach: &attachMsg{Name: opts.Name, WantMaster: opts.WantMaster},
+		Attach: &attachMsg{Name: opts.Name, WantMaster: opts.WantMaster, Session: opts.Session},
 	}, opts.Timeout); err != nil {
 		conn.Close()
 		return nil, err

@@ -87,10 +87,13 @@ func TestMigrationWithoutClientDisturbance(t *testing.T) {
 	}
 
 	// The client saw one uninterrupted stream: monotonically increasing
-	// steps spanning the migration point, and the migration event.
+	// steps spanning the migration point, and the migration event. Emission
+	// is asynchronous (Emit never blocks on delivery), so in-flight samples
+	// get a quiescence window to arrive; 300ms of silence means drained.
 	deadline := time.Now().Add(5 * time.Second)
 	last := int64(-1)
 	spanned := false
+drain:
 	for time.Now().Before(deadline) {
 		select {
 		case s := <-client.Samples():
@@ -101,8 +104,8 @@ func TestMigrationWithoutClientDisturbance(t *testing.T) {
 			if s.Step > 30 {
 				spanned = true
 			}
-		default:
-			deadline = time.Now() // drained
+		case <-time.After(300 * time.Millisecond):
+			break drain
 		}
 	}
 	if !spanned {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bufio"
 	"encoding/gob"
 	"net"
 	"sync"
@@ -60,6 +61,9 @@ type attachMsg struct {
 	Name string
 	// WantMaster asks for the master role if it is free.
 	WantMaster bool
+	// Session names the target session when the endpoint hosts several
+	// (a hub); "" lets the endpoint pick its default session.
+	Session string
 }
 
 type welcomeMsg struct {
@@ -83,16 +87,20 @@ type ackMsg struct {
 }
 
 // codec wraps a conn with gob encoding and a write lock; envelopes may be
-// written from multiple goroutines.
+// written from multiple goroutines. Writes are buffered so a batch of
+// envelopes coalesces into few syscalls; every write path flushes before
+// releasing the lock.
 type codec struct {
 	conn net.Conn
+	bw   *bufio.Writer
 	enc  *gob.Encoder
 	dec  *gob.Decoder
 	wmu  sync.Mutex
 }
 
 func newCodec(conn net.Conn) *codec {
-	return &codec{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+	bw := bufio.NewWriter(conn)
+	return &codec{conn: conn, bw: bw, enc: gob.NewEncoder(bw), dec: gob.NewDecoder(conn)}
 }
 
 // write sends one envelope, applying the write deadline if non-zero.
@@ -103,7 +111,30 @@ func (c *codec) write(e *envelope, timeout time.Duration) error {
 		c.conn.SetWriteDeadline(time.Now().Add(timeout))
 		defer c.conn.SetWriteDeadline(time.Time{})
 	}
-	return c.enc.Encode(e)
+	if err := c.enc.Encode(e); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// writeBatch sends several envelopes under one lock acquisition and one
+// deadline, flushing once at the end: the unit of work of a pooled writer.
+func (c *codec) writeBatch(batch []*envelope, timeout time.Duration) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if timeout > 0 {
+		c.conn.SetWriteDeadline(time.Now().Add(timeout))
+		defer c.conn.SetWriteDeadline(time.Time{})
+	}
+	for _, e := range batch {
+		if err := c.enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return c.bw.Flush()
 }
 
 // read receives the next envelope.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -22,6 +23,12 @@ type SessionConfig struct {
 	// that cannot accept control messages within it is declared dead.
 	// 0 selects a default of 2s.
 	ControlTimeout time.Duration
+	// Writer, when non-nil, replaces the per-client writer goroutine with an
+	// external scheduler (a hub's per-shard writer pool): the session signals
+	// ClientReady after queueing output and the scheduler drains via
+	// ClientHandle.DrainBatch. Nil keeps the classic one-goroutine-per-client
+	// draining.
+	Writer WriterScheduler
 }
 
 // Session is the hub connecting one steered application with any number of
@@ -77,11 +84,29 @@ type clientConn struct {
 	name  string
 	codec *codec
 	role  Role
-	// out is the bounded sample/broadcast queue drained by a writer
-	// goroutine; control messages bypass it with a deadline write.
-	out     chan *envelope
-	dropped uint64
-	gone    chan struct{}
+	// out is the bounded sample queue; when full the oldest sample is
+	// evicted so a slow client sees the freshest data. ctrl is the separate
+	// control-frame queue, drained with priority, so a sample burst can
+	// never starve or evict an event, param update or master change.
+	// Synchronous acks bypass both with a deadline write.
+	out      chan *envelope
+	ctrl     chan *envelope
+	dropped  uint64
+	gone     chan struct{}
+	goneOnce sync.Once
+	// welcomed flips once the welcome frame is on the wire; no writer —
+	// dedicated or pooled — may drain the queues before then, or the client
+	// would see a sample/control frame as its first post-attach message.
+	welcomed atomic.Bool
+	// handle is the external-writer view of this client; nil when the
+	// session drains queues with per-client goroutines.
+	handle *ClientHandle
+}
+
+// markGone declares the client dead exactly once; the read loop and any
+// writer observing gone will unwind and drop the client.
+func (cc *clientConn) markGone() {
+	cc.goneOnce.Do(func() { close(cc.gone) })
 }
 
 // NewSession creates a session ready to accept clients.
@@ -137,6 +162,17 @@ func (s *Session) Stats() Stats {
 	return s.stats
 }
 
+// ClientCount returns the number of attached clients.
+func (s *Session) ClientCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.clients)
+}
+
+// Done returns a channel closed when the session closes; registries use it
+// to evict ended sessions.
+func (s *Session) Done() <-chan struct{} { return s.closeCh }
+
 // View returns the current shared view state.
 func (s *Session) View() ViewState {
 	s.mu.Lock()
@@ -165,50 +201,89 @@ func (s *Session) Serve(l net.Listener) error {
 	}
 }
 
+// PendingConn is a client connection whose attach frame has been read but
+// which is not yet bound to a session: the handoff unit between a routing
+// layer (package hub) and the Session that will serve it.
+type PendingConn struct {
+	conn   net.Conn
+	codec  *codec
+	attach *attachMsg
+	seq    uint64
+}
+
+// AcceptConn reads the attach frame from conn. Callers that must bound the
+// handshake set a read deadline on conn first (and clear it afterwards).
+func AcceptConn(conn net.Conn) (*PendingConn, error) {
+	c := newCodec(conn)
+	first, err := c.read()
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if first.Type != msgAttach || first.Attach == nil {
+		conn.Close()
+		return nil, errors.New("core: protocol error: expected attach")
+	}
+	return &PendingConn{conn: conn, codec: c, attach: first.Attach, seq: first.Seq}, nil
+}
+
+// SessionName returns the session the client asked for ("" = default).
+func (p *PendingConn) SessionName() string { return p.attach.Session }
+
+// SetSessionName rewrites the target session: a routing layer resolving an
+// empty name to its configured default.
+func (p *PendingConn) SetSessionName(name string) { p.attach.Session = name }
+
+// ClientName returns the client's requested name ("" = assign one).
+func (p *PendingConn) ClientName() string { return p.attach.Name }
+
+// Reject refuses the attach with a reason and closes the connection.
+func (p *PendingConn) Reject(why string) error {
+	p.codec.write(&envelope{Type: msgAck, Seq: p.seq, Ack: &ackMsg{Err: why}}, 2*time.Second)
+	return p.codec.close()
+}
+
 // ServeConn runs the session protocol on one client connection until the
 // client detaches or fails. It may be called concurrently.
 func (s *Session) ServeConn(conn net.Conn) error {
-	c := newCodec(conn)
-	defer c.close()
-
-	// The first frame must be an attach.
-	first, err := c.read()
+	p, err := AcceptConn(conn)
 	if err != nil {
 		return err
 	}
-	if first.Type != msgAttach || first.Attach == nil {
-		return errors.New("core: protocol error: expected attach")
-	}
+	return s.ServePending(p)
+}
 
-	cc, err := s.admit(first.Attach, c)
+// ServePending runs the session protocol on a connection whose attach frame
+// was already read by AcceptConn. It may be called concurrently.
+func (s *Session) ServePending(p *PendingConn) error {
+	c := p.codec
+	defer c.close()
+	first := &envelope{Seq: p.seq}
+
+	cc, err := s.admit(p.attach, c)
 	if err != nil {
 		c.write(&envelope{Type: msgAck, Seq: first.Seq, Ack: &ackMsg{Err: err.Error()}}, s.cfg.ControlTimeout)
 		return err
 	}
 	defer s.drop(cc)
 
-	// Writer goroutine drains the bounded queue.
+	// Unblock the read loop promptly when the client is declared dead by a
+	// failed write (pooled or dedicated): closing the conn aborts c.read.
+	serveDone := make(chan struct{})
+	defer close(serveDone)
 	go func() {
-		for {
-			select {
-			case e := <-cc.out:
-				if err := cc.codec.write(e, s.cfg.ControlTimeout); err != nil {
-					select {
-					case <-cc.gone:
-					default:
-						close(cc.gone)
-					}
-					return
-				}
-			case <-cc.gone:
-				return
-			case <-s.closeCh:
-				return
-			}
+		select {
+		case <-cc.gone:
+			c.close()
+		case <-serveDone:
 		}
 	}()
 
-	// Welcome frame carries the full session state.
+	// Welcome frame carries the full session state. Broadcasts between
+	// admit and here only queue (no writer runs yet), and a frame queued in
+	// that window duplicates state the welcome snapshot already carries
+	// (view updates are Seq-guarded client-side), so delivering it after
+	// the welcome is harmless.
 	s.mu.Lock()
 	welcome := &envelope{Type: msgWelcome, Seq: first.Seq, Welcome: &welcomeMsg{
 		SessionName: s.cfg.Name,
@@ -222,6 +297,36 @@ func (s *Session) ServeConn(conn net.Conn) error {
 	s.mu.Unlock()
 	if err := cc.codec.write(welcome, s.cfg.ControlTimeout); err != nil {
 		return err
+	}
+	cc.welcomed.Store(true)
+
+	if s.cfg.Writer == nil {
+		// Writer goroutine drains both bounded queues, control first.
+		go func() {
+			for {
+				var e *envelope
+				select {
+				case e = <-cc.ctrl:
+				default:
+					select {
+					case e = <-cc.ctrl:
+					case e = <-cc.out:
+					case <-cc.gone:
+						return
+					case <-s.closeCh:
+						return
+					}
+				}
+				if err := cc.codec.write(e, s.cfg.ControlTimeout); err != nil {
+					cc.markGone()
+					return
+				}
+			}
+		}()
+	} else {
+		// Flush anything queued while the welcome was in flight; earlier
+		// ClientReady signals were suppressed by the welcomed gate.
+		s.notifyWriter(cc)
 	}
 
 	// Read loop: dispatch client requests.
@@ -264,7 +369,11 @@ func (s *Session) admit(a *attachMsg, c *codec) (*clientConn, error) {
 		codec: c,
 		role:  RoleObserver,
 		out:   make(chan *envelope, s.cfg.SampleQueue),
+		ctrl:  make(chan *envelope, 64),
 		gone:  make(chan struct{}),
+	}
+	if s.cfg.Writer != nil {
+		cc.handle = &ClientHandle{s: s, cc: cc}
 	}
 	if s.master == "" && (a.WantMaster || len(s.clients) == 0) {
 		cc.role = RoleMaster
@@ -303,10 +412,9 @@ func (s *Session) drop(cc *clientConn) {
 	master := s.master
 	s.mu.Unlock()
 
-	select {
-	case <-cc.gone:
-	default:
-		close(cc.gone)
+	cc.markGone()
+	if s.cfg.Writer != nil && cc.handle != nil {
+		s.cfg.Writer.ClientClosed(cc.handle)
 	}
 	if promoted != nil {
 		s.broadcastControl(&envelope{Type: msgMasterChanged, Target: master})
@@ -446,22 +554,38 @@ func (s *Session) broadcastControl(e *envelope) {
 	for _, cc := range clients {
 		for {
 			select {
-			case cc.out <- e:
+			case cc.ctrl <- e:
 			default:
+				// Full: evict the oldest if one is still there (a writer
+				// may have drained it meanwhile), then retry the send —
+				// a control frame is never silently discarded.
 				select {
-				case <-cc.out: // evict oldest
-					continue
+				case <-cc.ctrl:
 				default:
 				}
+				continue
 			}
 			break
 		}
+		s.notifyWriter(cc)
 	}
 }
 
-// broadcastSample fans a sample out to all clients, dropping when a client's
-// queue is full: "failures or slow operation of the visualization must not
-// disturb the simulation progress".
+// notifyWriter tells the external writer scheduler, if any, that cc has
+// queued output to drain. Suppressed until the welcome frame is on the
+// wire; ServePending notifies once after it.
+func (s *Session) notifyWriter(cc *clientConn) {
+	if s.cfg.Writer != nil && cc.handle != nil && cc.welcomed.Load() {
+		s.cfg.Writer.ClientReady(cc.handle)
+	}
+}
+
+// broadcastSample fans a sample out to all clients. A slow client's queue
+// evicts its oldest entries so the freshest data always survives a burst:
+// "failures or slow operation of the visualization must not disturb the
+// simulation progress", and a client that falls behind sees the most recent
+// samples rather than a stale prefix (dropping newest would strand a client
+// on pre-migration data across a compute handoff).
 func (s *Session) broadcastSample(sample *Sample) {
 	e := &envelope{Type: msgSample, Sample: sample}
 	s.mu.Lock()
@@ -473,19 +597,34 @@ func (s *Session) broadcastSample(sample *Sample) {
 	}
 	s.mu.Unlock()
 
-	var delivered, dropped uint64
+	// delivered may go negative within one call: evicting a queued sample
+	// retracts a delivery counted by an earlier call.
+	var delivered, dropped int64
 	for _, cc := range clients {
-		select {
-		case cc.out <- e:
-			delivered++
-		default:
-			cc.dropped++
-			dropped++
+		for {
+			select {
+			case cc.out <- e:
+				delivered++
+			default:
+				// Full: evict the oldest if one is still there (a writer
+				// may have drained it meanwhile), then retry the send —
+				// the freshest sample always lands.
+				select {
+				case <-cc.out:
+					cc.dropped++
+					dropped++
+					delivered--
+				default:
+				}
+				continue
+			}
+			break
 		}
+		s.notifyWriter(cc)
 	}
 	s.mu.Lock()
-	s.stats.SamplesDelivered += delivered
-	s.stats.SamplesDropped += dropped
+	s.stats.SamplesDelivered = uint64(int64(s.stats.SamplesDelivered) + delivered)
+	s.stats.SamplesDropped = uint64(int64(s.stats.SamplesDropped) + dropped)
 	s.mu.Unlock()
 }
 

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// ErrClientGone reports a drain attempt on a client already declared dead.
+var ErrClientGone = errors.New("core: client gone")
+
+// WriterScheduler lets an external component (a hub's per-shard writer pool)
+// own the draining of client outbound queues instead of the session spawning
+// one writer goroutine per client. Install it via SessionConfig.Writer.
+//
+// The contract: ClientReady is invoked — possibly concurrently, possibly
+// redundantly — whenever a client has queued output, and must not block;
+// the scheduler eventually calls ClientHandle.DrainBatch until Pending
+// reaches zero. ClientClosed is invoked once when the client detaches.
+type WriterScheduler interface {
+	ClientReady(*ClientHandle)
+	ClientClosed(*ClientHandle)
+}
+
+// ClientHandle is the external writer's view of one attached client: a
+// bounded outbound queue plus the codec to drain it into.
+type ClientHandle struct {
+	s  *Session
+	cc *clientConn
+	// scheduled is the edge-trigger flag a scheduler uses to keep at most
+	// one pending drain request per client in flight.
+	scheduled atomic.Bool
+}
+
+// Name returns the client's session-assigned name.
+func (h *ClientHandle) Name() string { return h.cc.name }
+
+// SessionName returns the owning session's name.
+func (h *ClientHandle) SessionName() string { return h.s.cfg.Name }
+
+// Pending returns the number of queued envelopes awaiting a drain.
+func (h *ClientHandle) Pending() int { return len(h.cc.ctrl) + len(h.cc.out) }
+
+// Gone returns a channel closed when the client is declared dead.
+func (h *ClientHandle) Gone() <-chan struct{} { return h.cc.gone }
+
+// MarkScheduled flips the edge-trigger flag; it reports true when the caller
+// won the race and must enqueue the handle for draining.
+func (h *ClientHandle) MarkScheduled() bool { return h.scheduled.CompareAndSwap(false, true) }
+
+// ClearScheduled re-arms the edge trigger. Schedulers clear it after a drain
+// pass and then re-check Pending, so an enqueue racing with the drain is
+// never lost.
+func (h *ClientHandle) ClearScheduled() { h.scheduled.Store(false) }
+
+// DrainBatch pops up to max queued envelopes (0 selects 32) and writes them
+// to the client in one coalesced batch under a single deadline. It returns
+// the count written and whether more output remained queued when it left.
+// A write failure declares the client dead (the session's read loop then
+// drops it); DrainBatch never blocks on queue input, only on the write.
+func (h *ClientHandle) DrainBatch(max int, timeout time.Duration) (int, bool, error) {
+	cc := h.cc
+	select {
+	case <-cc.gone:
+		return 0, false, ErrClientGone
+	default:
+	}
+	if max <= 0 {
+		max = 32
+	}
+	if timeout <= 0 {
+		timeout = h.s.cfg.ControlTimeout
+	}
+	batch := make([]*envelope, 0, min(max, len(cc.ctrl)+len(cc.out)))
+	// Control frames first: a sample burst must not delay events, parameter
+	// updates or master changes.
+ctrl:
+	for len(batch) < max {
+		select {
+		case e := <-cc.ctrl:
+			batch = append(batch, e)
+		default:
+			break ctrl
+		}
+	}
+	for len(batch) < max {
+		select {
+		case e := <-cc.out:
+			batch = append(batch, e)
+		default:
+			goto drain
+		}
+	}
+drain:
+	if len(batch) == 0 {
+		return 0, false, nil
+	}
+	if err := cc.codec.writeBatch(batch, timeout); err != nil {
+		cc.markGone()
+		return 0, false, err
+	}
+	return len(batch), len(cc.ctrl)+len(cc.out) > 0, nil
+}

@@ -1,0 +1,317 @@
+// Package hub multiplexes many concurrent steering sessions behind one
+// listener: the broker-mediated layer between the paper's one-session
+// deployment (one steered application, one core.Session, one port) and a
+// production service hosting fleets of them. It follows the spirit of
+// ShAppliT's broker-mediated application sharing and the vbroker of VISIT
+// (section 3.3): participants dial one endpoint and name a session; the hub
+// routes, the session steers.
+//
+// Scale comes from two structural decisions. First, the registry is sharded
+// by consistent-hashing session names onto N shards, each with its own lock,
+// dispatch goroutine and writer pool, so traffic for sessions on different
+// shards never serialises on anything shared. Second, sample fan-out is
+// batched: instead of core's one-writer-goroutine-per-client, each shard
+// runs a small writer pool that coalesces every client's queued envelopes
+// into batched, buffered writes (core.ClientHandle.DrainBatch), keeping
+// core's drop-on-slow-client policy — a stalled viewer loses frames, never
+// stalls a simulation and never holds a pool writer beyond one write
+// deadline.
+package hub
+
+import (
+	"errors"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Config configures a Hub.
+type Config struct {
+	// Shards is the number of session shards; 0 selects GOMAXPROCS capped
+	// at 8.
+	Shards int
+	// WritersPerShard sizes each shard's writer pool; 0 selects 4.
+	WritersPerShard int
+	// WriteBatch bounds envelopes coalesced per client write; 0 selects 32.
+	WriteBatch int
+	// WriteTimeout bounds one batched write to a client; 0 selects 2s.
+	WriteTimeout time.Duration
+	// HandshakeTimeout bounds reading a connection's attach frame; 0
+	// selects 5s.
+	HandshakeTimeout time.Duration
+	// DefaultSession serves clients that attach without naming a session
+	// (a single-session steerd's classic clients). "" rejects them unless
+	// SetDefaultSession is called (CreateSession sets it to the first
+	// session created).
+	DefaultSession string
+	// SessionDefaults seeds SampleQueue and ControlTimeout for sessions the
+	// hub creates.
+	SessionDefaults core.SessionConfig
+}
+
+func (c *Config) fill() {
+	if c.Shards <= 0 {
+		c.Shards = min(runtime.GOMAXPROCS(0), 8)
+	}
+	if c.WritersPerShard <= 0 {
+		c.WritersPerShard = 4
+	}
+	if c.WriteBatch <= 0 {
+		c.WriteBatch = 32
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 2 * time.Second
+	}
+	if c.HandshakeTimeout <= 0 {
+		c.HandshakeTimeout = 5 * time.Second
+	}
+}
+
+// Stats aggregates activity across every session the hub hosts, exposed the
+// way core.Session.Stats is: cumulative counters plus a sampled rate.
+type Stats struct {
+	Shards   int
+	Sessions int
+	Clients  int
+
+	SamplesEmitted   uint64
+	SamplesDelivered uint64
+	SamplesDropped   uint64
+	SteersApplied    uint64
+	SteersRejected   uint64
+
+	// SamplesPerSec is the emission rate observed between the two most
+	// recent Stats calls at least rateWindow apart (0 until measurable).
+	SamplesPerSec float64
+}
+
+// rateWindow is the minimum spacing between rate measurements.
+const rateWindow = 100 * time.Millisecond
+
+// Hub hosts many concurrent core.Sessions behind one listener.
+type Hub struct {
+	cfg    Config
+	ring   *ring
+	shards []*shard
+
+	defaultMu      sync.Mutex
+	defaultSession string
+
+	closeOnce sync.Once
+	closeCh   chan struct{}
+	closed    atomic.Bool
+
+	rateMu      sync.Mutex
+	rateTime    time.Time
+	rateEmitted uint64
+	rate        float64
+}
+
+// New creates a hub ready to create sessions and serve listeners.
+func New(cfg Config) *Hub {
+	cfg.fill()
+	h := &Hub{
+		cfg:            cfg,
+		ring:           newRing(cfg.Shards),
+		shards:         make([]*shard, cfg.Shards),
+		defaultSession: cfg.DefaultSession,
+		closeCh:        make(chan struct{}),
+	}
+	for i := range h.shards {
+		h.shards[i] = newShard(i, cfg.WritersPerShard, cfg.WriteBatch, cfg)
+	}
+	return h
+}
+
+// ShardOf returns the shard index a session name routes to. It is a pure
+// function of the name and the hub's shard count (consistent hashing), so
+// tests and operators can verify routing stability.
+func (h *Hub) ShardOf(name string) int { return h.ring.lookup(name) }
+
+// CreateSession creates and registers a session on its home shard. The
+// session's queues are drained by the shard's writer pool; cfg.Writer must
+// be nil. The first session created becomes the default for clients that
+// attach without naming one.
+func (h *Hub) CreateSession(cfg core.SessionConfig) (*core.Session, error) {
+	if h.closed.Load() {
+		return nil, errors.New("hub: closed")
+	}
+	if cfg.Name == "" {
+		return nil, errors.New("hub: session needs a name")
+	}
+	if cfg.Writer != nil {
+		return nil, errors.New("hub: session writer is owned by the hub")
+	}
+	if cfg.SampleQueue <= 0 {
+		cfg.SampleQueue = h.cfg.SessionDefaults.SampleQueue
+	}
+	if cfg.ControlTimeout <= 0 {
+		cfg.ControlTimeout = h.cfg.SessionDefaults.ControlTimeout
+	}
+	sh := h.shards[h.ring.lookup(cfg.Name)]
+	cfg.Writer = sh.pool
+	sess := core.NewSession(cfg)
+	if err := sh.add(sess); err != nil {
+		sess.Close()
+		return nil, err
+	}
+	h.defaultMu.Lock()
+	if h.defaultSession == "" {
+		h.defaultSession = cfg.Name
+	}
+	h.defaultMu.Unlock()
+
+	// Evict the session from the registry when it closes — via Evict, or
+	// the application's own Close (which a steered stop should end in, as
+	// cmd/steerd's run loops do).
+	go func() {
+		select {
+		case <-sess.Done():
+			sh.remove(cfg.Name, sess)
+		case <-h.closeCh:
+		}
+	}()
+	return sess, nil
+}
+
+// Lookup returns the registered session with the given name.
+func (h *Hub) Lookup(name string) (*core.Session, bool) {
+	return h.shards[h.ring.lookup(name)].lookup(name)
+}
+
+// Evict closes and unregisters a session, detaching its clients. It reports
+// whether the session was registered.
+func (h *Hub) Evict(name string) bool {
+	sh := h.shards[h.ring.lookup(name)]
+	sess, ok := sh.lookup(name)
+	if !ok {
+		return false
+	}
+	removed := sh.remove(name, sess)
+	sess.Close()
+	return removed
+}
+
+// SetDefaultSession names the session served to clients that attach without
+// one.
+func (h *Hub) SetDefaultSession(name string) {
+	h.defaultMu.Lock()
+	h.defaultSession = name
+	h.defaultMu.Unlock()
+}
+
+// SessionNames returns every registered session name, in no particular
+// order.
+func (h *Hub) SessionNames() []string {
+	var out []string
+	for _, sh := range h.shards {
+		for _, s := range sh.snapshot() {
+			out = append(out, s.Name())
+		}
+	}
+	return out
+}
+
+// Serve accepts connections from l until the hub closes or the listener
+// fails. Each connection's attach frame is read on its own goroutine (a
+// stalled handshake never blocks the accept loop), then routed to its
+// session's shard.
+func (h *Hub) Serve(l net.Listener) error {
+	go func() {
+		<-h.closeCh
+		l.Close()
+	}()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			select {
+			case <-h.closeCh:
+				return nil
+			default:
+				return err
+			}
+		}
+		go h.route(conn)
+	}
+}
+
+// route reads the attach frame and hands the pending connection to the home
+// shard's dispatch queue.
+func (h *Hub) route(conn net.Conn) {
+	conn.SetReadDeadline(time.Now().Add(h.cfg.HandshakeTimeout))
+	pc, err := core.AcceptConn(conn)
+	if err != nil {
+		return // AcceptConn closed the conn
+	}
+	conn.SetReadDeadline(time.Time{})
+
+	name := pc.SessionName()
+	if name == "" {
+		h.defaultMu.Lock()
+		name = h.defaultSession
+		h.defaultMu.Unlock()
+		if name == "" {
+			pc.Reject("hub: no session named and no default configured")
+			return
+		}
+		pc.SetSessionName(name)
+	}
+	sh := h.shards[h.ring.lookup(name)]
+	select {
+	case <-h.closeCh: // closed hub: don't race the buffered send
+		pc.Reject("hub: shutting down")
+		return
+	default:
+	}
+	select {
+	case sh.conns <- pc:
+	case <-h.closeCh:
+		pc.Reject("hub: shutting down")
+	}
+}
+
+// Stats aggregates counters across all sessions and samples the emission
+// rate.
+func (h *Hub) Stats() Stats {
+	st := Stats{Shards: len(h.shards)}
+	for _, sh := range h.shards {
+		for _, sess := range sh.snapshot() {
+			st.Sessions++
+			st.Clients += sess.ClientCount()
+			s := sess.Stats()
+			st.SamplesEmitted += s.SamplesEmitted
+			st.SamplesDelivered += s.SamplesDelivered
+			st.SamplesDropped += s.SamplesDropped
+			st.SteersApplied += s.SteersApplied
+			st.SteersRejected += s.SteersRejected
+		}
+	}
+
+	now := time.Now()
+	h.rateMu.Lock()
+	if h.rateTime.IsZero() {
+		h.rateTime, h.rateEmitted = now, st.SamplesEmitted
+	} else if dt := now.Sub(h.rateTime); dt >= rateWindow {
+		h.rate = float64(st.SamplesEmitted-h.rateEmitted) / dt.Seconds()
+		h.rateTime, h.rateEmitted = now, st.SamplesEmitted
+	}
+	st.SamplesPerSec = h.rate
+	h.rateMu.Unlock()
+	return st
+}
+
+// Close terminates every session and shard; listeners passed to Serve shut
+// down.
+func (h *Hub) Close() {
+	h.closeOnce.Do(func() {
+		h.closed.Store(true)
+		close(h.closeCh)
+		for _, sh := range h.shards {
+			sh.close()
+		}
+	})
+}

@@ -1,0 +1,422 @@
+package hub
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func testHub(t *testing.T, cfg Config) (*Hub, string) {
+	t.Helper()
+	h := New(cfg)
+	t.Cleanup(h.Close)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go h.Serve(l)
+	return h, l.Addr().String()
+}
+
+func dialSession(t *testing.T, addr string, opts core.AttachOptions) *core.Client {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.Attach(conn, opts)
+	if err != nil {
+		t.Fatalf("attach %q to session %q: %v", opts.Name, opts.Session, err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestRoutingStability pins the consistent-hash routing: a session name maps
+// to one shard, the same shard every time and in every goroutine, and the
+// spread over shards is not degenerate.
+func TestRoutingStability(t *testing.T) {
+	h := New(Config{Shards: 8})
+	defer h.Close()
+
+	perShard := make(map[int]int)
+	for i := 0; i < 256; i++ {
+		name := fmt.Sprintf("session-%03d", i)
+		want := h.ShardOf(name)
+		perShard[want]++
+		for j := 0; j < 10; j++ {
+			if got := h.ShardOf(name); got != want {
+				t.Fatalf("ShardOf(%q) unstable: %d then %d", name, want, got)
+			}
+		}
+		// A second hub with the same shard count routes identically.
+		h2 := New(Config{Shards: 8})
+		if got := h2.ShardOf(name); got != want {
+			t.Fatalf("ShardOf(%q) differs across hubs: %d vs %d", name, want, got)
+		}
+		h2.Close()
+		if i > 0 { // only need the cross-hub check once per loop shape
+			break
+		}
+	}
+	for i := 0; i < 256; i++ {
+		perShard[h.ShardOf(fmt.Sprintf("session-%03d", i))]++
+	}
+	for s := 0; s < 8; s++ {
+		if perShard[s] == 0 {
+			t.Fatalf("shard %d received no sessions out of 256: degenerate ring %v", s, perShard)
+		}
+	}
+
+	// Created sessions land on — and are served from — their computed shard.
+	sess, err := h.CreateSession(core.SessionConfig{Name: "pinned"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := h.shards[h.ShardOf("pinned")]
+	if got, ok := sh.lookup("pinned"); !ok || got != sess {
+		t.Fatal("session not registered on its ring shard")
+	}
+}
+
+// TestConcurrentAttachSteerDetach drives 12 sessions, each with a steering
+// master and observers attaching, steering, and detaching concurrently: the
+// multi-session load the hub exists for.
+func TestConcurrentAttachSteerDetach(t *testing.T) {
+	const nSessions = 12
+	const observers = 3
+
+	h, addr := testHub(t, Config{Shards: 4})
+	type run struct {
+		st   *core.Steered
+		vals chan float64
+		stop chan struct{}
+	}
+	runs := make([]*run, nSessions)
+	for i := 0; i < nSessions; i++ {
+		sess, err := h.CreateSession(core.SessionConfig{
+			Name: fmt.Sprintf("run-%02d", i), AppName: "osc",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := &run{st: sess.Steered(), vals: make(chan float64, 64), stop: make(chan struct{})}
+		if err := r.st.RegisterFloat("x", 0, 0, 100, "", func(v float64) { r.vals <- v }); err != nil {
+			t.Fatal(err)
+		}
+		runs[i] = r
+		// Simulation loop: poll and emit.
+		go func(i int) {
+			step := int64(0)
+			for {
+				select {
+				case <-r.stop:
+					return
+				default:
+				}
+				r.st.Poll()
+				s := core.NewSample(step)
+				s.Channels["x"] = core.Scalar(float64(step))
+				r.st.Emit(s)
+				step++
+				time.Sleep(time.Millisecond)
+			}
+		}(i)
+		t.Cleanup(func() { close(r.stop) })
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, nSessions*(observers+1))
+	for i := 0; i < nSessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			session := fmt.Sprintf("run-%02d", i)
+			master := dialSession(t, addr, core.AttachOptions{
+				Name: "master", Session: session, WantMaster: true,
+			})
+			if master.SessionName() != session {
+				errCh <- fmt.Errorf("routed to %q, wanted %q", master.SessionName(), session)
+				return
+			}
+			// Observers attach, take a few samples, detach.
+			var owg sync.WaitGroup
+			for o := 0; o < observers; o++ {
+				owg.Add(1)
+				go func(o int) {
+					defer owg.Done()
+					obs := dialSession(t, addr, core.AttachOptions{
+						Name: fmt.Sprintf("obs-%d", o), Session: session,
+					})
+					select {
+					case <-obs.Samples():
+					case <-time.After(5 * time.Second):
+						errCh <- fmt.Errorf("%s obs-%d: no sample", session, o)
+					}
+					obs.Close()
+				}(o)
+			}
+			// The master steers its own session's parameter.
+			want := float64(10 + i)
+			if err := master.SetParam("x", want, 5*time.Second); err != nil {
+				errCh <- fmt.Errorf("%s steer: %v", session, err)
+				return
+			}
+			select {
+			case got := <-runs[i].vals:
+				if got != want {
+					errCh <- fmt.Errorf("%s applied %v, want %v (cross-session steer leak?)", session, got, want)
+				}
+			case <-time.After(5 * time.Second):
+				errCh <- fmt.Errorf("%s: steer never applied", session)
+			}
+			owg.Wait()
+			master.Close()
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	waitFor(t, "all clients detached", func() bool { return h.Stats().Clients == 0 })
+	st := h.Stats()
+	if st.Sessions != nSessions {
+		t.Fatalf("sessions = %d, want %d", st.Sessions, nSessions)
+	}
+	if st.SteersApplied != nSessions {
+		t.Fatalf("steers applied = %d, want %d", st.SteersApplied, nSessions)
+	}
+	if st.SamplesEmitted == 0 || st.SamplesDelivered == 0 {
+		t.Fatalf("no fan-out recorded: %+v", st)
+	}
+}
+
+// TestDefaultSessionRouting preserves the classic single-session client: no
+// Session in AttachOptions lands on the hub's default session.
+func TestDefaultSessionRouting(t *testing.T) {
+	h, addr := testHub(t, Config{Shards: 2})
+	if _, err := h.CreateSession(core.SessionConfig{Name: "only"}); err != nil {
+		t.Fatal(err)
+	}
+	c := dialSession(t, addr, core.AttachOptions{Name: "legacy"})
+	if c.SessionName() != "only" {
+		t.Fatalf("default routing gave %q", c.SessionName())
+	}
+}
+
+// TestAttachUnknownSessionRejected covers the routing error path.
+func TestAttachUnknownSessionRejected(t *testing.T) {
+	_, addr := testHub(t, Config{Shards: 2})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := core.Attach(conn, core.AttachOptions{Session: "ghost", Timeout: 2 * time.Second}); err == nil {
+		t.Fatal("attach to unknown session succeeded")
+	}
+}
+
+// TestEviction covers all three ways a session ends — explicit Evict, a
+// steered stop followed by Close, and hub shutdown — and that ended sessions
+// leave the registry so their names are reusable.
+func TestEviction(t *testing.T) {
+	h, addr := testHub(t, Config{Shards: 4})
+
+	// Explicit evict detaches clients and frees the name.
+	if _, err := h.CreateSession(core.SessionConfig{Name: "doomed"}); err != nil {
+		t.Fatal(err)
+	}
+	c := dialSession(t, addr, core.AttachOptions{Session: "doomed"})
+	if !h.Evict("doomed") {
+		t.Fatal("evict reported no session")
+	}
+	if _, ok := h.Lookup("doomed"); ok {
+		t.Fatal("evicted session still registered")
+	}
+	waitFor(t, "evicted client detach", func() bool {
+		select {
+		case <-c.Samples():
+			return false
+		default:
+			return c.Err() != nil
+		}
+	})
+
+	// A session whose application ends (Close after a steered stop) is
+	// auto-evicted; its name can be reused and routes to the new instance.
+	sess, err := h.CreateSession(core.SessionConfig{Name: "doomed"})
+	if err != nil {
+		t.Fatalf("evicted name not reusable: %v", err)
+	}
+	sess.QueueStop()
+	if sess.Steered().Poll() != core.ControlStop {
+		t.Fatal("stop not seen")
+	}
+	sess.Close()
+	waitFor(t, "auto-evict", func() bool { _, ok := h.Lookup("doomed"); return !ok })
+
+	if h.Evict("never-existed") {
+		t.Fatal("evict of unknown session reported true")
+	}
+}
+
+// TestBatchedFanout exercises the per-shard writer pools: one session, many
+// clients, a burst of samples; every client sees the freshest data and the
+// hub's aggregate stats record the fan-out.
+func TestBatchedFanout(t *testing.T) {
+	const nClients = 10
+	h, addr := testHub(t, Config{Shards: 2, WritersPerShard: 2, WriteBatch: 8})
+	sess, err := h.CreateSession(core.SessionConfig{Name: "burst", SampleQueue: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sess.Steered()
+
+	clients := make([]*core.Client, nClients)
+	for i := range clients {
+		clients[i] = dialSession(t, addr, core.AttachOptions{
+			Name: fmt.Sprintf("viewer-%d", i), Session: "burst", SampleBuffer: 256,
+		})
+	}
+	waitFor(t, "attaches", func() bool { return sess.ClientCount() == nClients })
+
+	const emitted = 200
+	for i := 0; i < emitted; i++ {
+		s := core.NewSample(int64(i))
+		s.Channels["x"] = core.Scalar(float64(i))
+		st.Emit(s)
+	}
+
+	// Every client eventually receives the final sample (freshest-wins), and
+	// the stream it sees is monotonic.
+	for i, c := range clients {
+		last := int64(-1)
+		deadline := time.Now().Add(5 * time.Second)
+		for last != emitted-1 && time.Now().Before(deadline) {
+			select {
+			case s := <-c.Samples():
+				if s.Step <= last {
+					t.Fatalf("client %d: non-monotonic %d after %d", i, s.Step, last)
+				}
+				last = s.Step
+			case <-time.After(300 * time.Millisecond):
+				t.Fatalf("client %d stalled at step %d", i, last)
+			}
+		}
+		if last != emitted-1 {
+			t.Fatalf("client %d never saw final sample (at %d)", i, last)
+		}
+	}
+
+	stats := h.Stats()
+	if stats.SamplesEmitted != emitted {
+		t.Fatalf("emitted = %d", stats.SamplesEmitted)
+	}
+	if stats.SamplesDelivered+stats.SamplesDropped != emitted*nClients {
+		t.Fatalf("delivered %d + dropped %d != %d", stats.SamplesDelivered, stats.SamplesDropped, emitted*nClients)
+	}
+}
+
+// TestAttachDuringEmissionBurst pins the handshake ordering: while a session
+// emits as fast as it can, every attaching client must still see the welcome
+// as its first frame — no pooled writer may slip a sample in front of it.
+func TestAttachDuringEmissionBurst(t *testing.T) {
+	h, addr := testHub(t, Config{Shards: 2})
+	sess, err := h.CreateSession(core.SessionConfig{Name: "hot", SampleQueue: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sess.Steered()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for step := int64(0); ; step++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := core.NewSample(step)
+			s.Channels["x"] = core.Scalar(float64(step))
+			st.Emit(s)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			c, err := core.Attach(conn, core.AttachOptions{
+				Name: fmt.Sprintf("burst-%d", i), Session: "hot", Timeout: 5 * time.Second,
+			})
+			if err != nil {
+				errCh <- fmt.Errorf("attach %d during burst: %w", i, err)
+				return
+			}
+			select {
+			case <-c.Samples():
+			case <-time.After(5 * time.Second):
+				errCh <- fmt.Errorf("client %d: no samples after attach", i)
+			}
+			c.Close()
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}
+
+// TestControlSurvivesSampleBurst pins the split-queue property end to end
+// through the pooled writers: an event queued before a sample burst is
+// delivered, not evicted.
+func TestControlSurvivesSampleBurst(t *testing.T) {
+	h, addr := testHub(t, Config{Shards: 1})
+	sess, err := h.CreateSession(core.SessionConfig{Name: "s", SampleQueue: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sess.Steered()
+	c := dialSession(t, addr, core.AttachOptions{Session: "s"})
+	waitFor(t, "attach", func() bool { return sess.ClientCount() == 1 })
+
+	st.Event("precious")
+	for i := 0; i < 500; i++ {
+		st.Emit(core.NewSample(int64(i)))
+	}
+	waitFor(t, "event delivery", func() bool {
+		for _, ev := range c.Events() {
+			if ev == "precious" {
+				return true
+			}
+		}
+		return false
+	})
+}

@@ -1,0 +1,73 @@
+package hub
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// vnodesPerShard is the number of virtual nodes each shard contributes to
+// the ring. 64 keeps the load spread within a few percent of uniform for
+// the shard counts a hub runs (2–64) while the ring stays small enough to
+// binary-search in nanoseconds.
+const vnodesPerShard = 64
+
+// ring maps session names to shards by consistent hashing. It is built once
+// at hub creation (shard count is fixed for the hub's lifetime) and read
+// without locks afterwards: routing a connection never contends with
+// anything.
+type ring struct {
+	hashes []uint64
+	shards []int // shards[i] owns hashes[i]
+}
+
+func newRing(nShards int) *ring {
+	r := &ring{
+		hashes: make([]uint64, 0, nShards*vnodesPerShard),
+		shards: make([]int, 0, nShards*vnodesPerShard),
+	}
+	type vnode struct {
+		hash  uint64
+		shard int
+	}
+	vnodes := make([]vnode, 0, nShards*vnodesPerShard)
+	for s := 0; s < nShards; s++ {
+		for v := 0; v < vnodesPerShard; v++ {
+			vnodes = append(vnodes, vnode{hash64(fmt.Sprintf("shard-%d#%d", s, v)), s})
+		}
+	}
+	sort.Slice(vnodes, func(i, j int) bool { return vnodes[i].hash < vnodes[j].hash })
+	for _, vn := range vnodes {
+		r.hashes = append(r.hashes, vn.hash)
+		r.shards = append(r.shards, vn.shard)
+	}
+	return r
+}
+
+// lookup returns the shard owning name: the first vnode clockwise from the
+// name's hash. The mapping depends only on the name and the shard count, so
+// routing is stable across hub restarts and across every goroutine that
+// computes it.
+func (r *ring) lookup(name string) int {
+	h := hash64(name)
+	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	if i == len(r.hashes) {
+		i = 0
+	}
+	return r.shards[i]
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	// FNV-1a of short, similar strings clusters in a narrow band of the
+	// 64-bit space, which collapses a consistent-hash ring onto few shards;
+	// the MurmurHash3 finaliser scrambles it to uniform.
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

@@ -1,0 +1,121 @@
+package hub
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// shard owns a disjoint subset of the hub's sessions: its own registry map
+// under its own lock, its own dispatch goroutine binding routed connections
+// to sessions, and its own writer pool draining those sessions' clients.
+// Sessions on different shards therefore never contend on a shared lock,
+// a shared dispatch queue or a shared writer.
+type shard struct {
+	id   int
+	pool *writerPool
+
+	mu       sync.Mutex
+	sessions map[string]*core.Session
+
+	conns   chan *core.PendingConn
+	closeCh chan struct{}
+	wg      sync.WaitGroup
+}
+
+func newShard(id, writers, batch int, cfg Config) *shard {
+	sh := &shard{
+		id:       id,
+		pool:     newWriterPool(writers, batch, cfg.WriteTimeout),
+		sessions: make(map[string]*core.Session),
+		conns:    make(chan *core.PendingConn, 64),
+		closeCh:  make(chan struct{}),
+	}
+	sh.wg.Add(1)
+	go sh.dispatch()
+	return sh
+}
+
+// dispatch binds routed connections to this shard's sessions. Lookup runs
+// under the shard lock only; serving runs on a per-connection goroutine as
+// in core.Session.Serve.
+func (sh *shard) dispatch() {
+	defer sh.wg.Done()
+	for {
+		select {
+		case pc := <-sh.conns:
+			name := pc.SessionName()
+			sh.mu.Lock()
+			sess := sh.sessions[name]
+			sh.mu.Unlock()
+			if sess == nil {
+				pc.Reject(fmt.Sprintf("hub: no session %q", name))
+				continue
+			}
+			go sess.ServePending(pc)
+		case <-sh.closeCh:
+			// Reject connections still buffered (or racing in) so their
+			// clients get an error now instead of a dangling socket.
+			for {
+				select {
+				case pc := <-sh.conns:
+					pc.Reject("hub: shutting down")
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// add registers a session; duplicate names are an error.
+func (sh *shard) add(sess *core.Session) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, dup := sh.sessions[sess.Name()]; dup {
+		return fmt.Errorf("hub: session %q already exists", sess.Name())
+	}
+	sh.sessions[sess.Name()] = sess
+	return nil
+}
+
+// remove unregisters name if it still maps to sess (an evict racing with a
+// re-create must not remove the newcomer) and reports whether it did.
+func (sh *shard) remove(name string, sess *core.Session) bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if cur, ok := sh.sessions[name]; ok && cur == sess {
+		delete(sh.sessions, name)
+		return true
+	}
+	return false
+}
+
+// lookup returns the session named name, if registered.
+func (sh *shard) lookup(name string) (*core.Session, bool) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s, ok := sh.sessions[name]
+	return s, ok
+}
+
+// snapshot returns the shard's sessions.
+func (sh *shard) snapshot() []*core.Session {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	out := make([]*core.Session, 0, len(sh.sessions))
+	for _, s := range sh.sessions {
+		out = append(out, s)
+	}
+	return out
+}
+
+func (sh *shard) close() {
+	close(sh.closeCh)
+	sh.wg.Wait()
+	for _, s := range sh.snapshot() {
+		s.Close()
+	}
+	sh.pool.close()
+}

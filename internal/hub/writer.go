@@ -1,0 +1,103 @@
+package hub
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// writerPool drains client outbound queues for every session on one shard
+// with a fixed set of writer goroutines, instead of one goroutine per
+// client. Sessions signal readiness through the core.WriterScheduler
+// interface; the pool batches each client's queued envelopes into few
+// syscalls (codec.writeBatch) and reuses core's drop-on-slow-client policy —
+// the bounded queues evict their oldest entries, the pool never blocks an
+// emitter.
+//
+// Scheduling is edge-triggered: ClientHandle.MarkScheduled keeps at most one
+// entry per client in the dirty queue, so queue capacity bounds clients, not
+// messages, and a client emitting thousands of samples between drains costs
+// one scheduling slot.
+type writerPool struct {
+	dirty   chan *core.ClientHandle
+	batch   int
+	timeout time.Duration
+	closeCh chan struct{}
+	wg      sync.WaitGroup
+}
+
+func newWriterPool(writers, batch int, timeout time.Duration) *writerPool {
+	p := &writerPool{
+		// One slot per potentially-dirty client; 4096 clients per shard is
+		// far beyond the fan-out the hub targets, and overflow falls back to
+		// a goroutine rather than blocking or losing the signal.
+		dirty:   make(chan *core.ClientHandle, 4096),
+		batch:   batch,
+		timeout: timeout,
+		closeCh: make(chan struct{}),
+	}
+	p.wg.Add(writers)
+	for i := 0; i < writers; i++ {
+		go p.run()
+	}
+	return p
+}
+
+// ClientReady implements core.WriterScheduler. It must not block: the caller
+// is the emitting simulation.
+func (p *writerPool) ClientReady(h *core.ClientHandle) {
+	if !h.MarkScheduled() {
+		return // already queued for a drain
+	}
+	select {
+	case p.dirty <- h:
+	case <-p.closeCh:
+		h.ClearScheduled()
+	default:
+		// Dirty queue full (more live clients than capacity): hand the
+		// signal to a goroutine so the emitter still never blocks.
+		go func() {
+			select {
+			case p.dirty <- h:
+			case <-p.closeCh:
+				h.ClearScheduled()
+			}
+		}()
+	}
+}
+
+// ClientClosed implements core.WriterScheduler. Stale dirty entries for the
+// client drain to ErrClientGone, so nothing to unhook.
+func (p *writerPool) ClientClosed(h *core.ClientHandle) {}
+
+func (p *writerPool) run() {
+	defer p.wg.Done()
+	for {
+		select {
+		case h := <-p.dirty:
+			p.drain(h)
+		case <-p.closeCh:
+			return
+		}
+	}
+}
+
+// drain writes one batch for the client, then re-arms its edge trigger. The
+// clear-then-recheck order guarantees an enqueue racing with the batch is
+// rescheduled rather than lost.
+func (p *writerPool) drain(h *core.ClientHandle) {
+	_, more, err := h.DrainBatch(p.batch, p.timeout)
+	h.ClearScheduled()
+	if err != nil {
+		return // client declared gone; its session drops it
+	}
+	if more || h.Pending() > 0 {
+		p.ClientReady(h)
+	}
+}
+
+func (p *writerPool) close() {
+	close(p.closeCh)
+	p.wg.Wait()
+}
