@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check vet build test bench
+.PHONY: check vet build test bench bench-smoke fuzz-smoke
 
-check: vet build test
+check: vet build test bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -15,3 +15,15 @@ test:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# bench-smoke compiles and runs every benchmark exactly once so bench bitrot
+# fails the build without paying for a full measurement run.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/...
+
+# fuzz-smoke gives the protocol fuzz targets a short exploration budget
+# (the seed corpora already run as plain tests in `make test`).
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime 10s ./internal/wire
+	$(GO) test -run '^$$' -fuzz FuzzEnvelopeRoundTrip -fuzztime 10s ./internal/core

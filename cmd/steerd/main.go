@@ -72,6 +72,17 @@ func main() {
 			"Shan–Chen coupling: 0 mixes, >4 demixes", sim.SetCoupling); err != nil {
 			log.Fatal(err)
 		}
+		// Typed protocol-v2 parameters: an int throttles the sample stream,
+		// a string labels the run in samples and logs.
+		stride := int64(1)
+		if err := st.RegisterInt("sample-stride", 1, 1, 1000,
+			"emit a sample every N steps", func(v int64) { stride = v }); err != nil {
+			log.Fatal(err)
+		}
+		if err := st.RegisterString("run-label", name,
+			"free-form run label", func(v string) { st.Event("run-label: " + v) }); err != nil {
+			log.Fatal(err)
+		}
 
 		wg.Add(1)
 		go func() {
@@ -84,6 +95,9 @@ func main() {
 					return
 				}
 				sim.Step()
+				if step%stride != 0 {
+					continue
+				}
 				s := core.NewSample(step)
 				s.Channels["segregation"] = core.Scalar(sim.Segregation())
 				st.Emit(s)

@@ -1,13 +1,16 @@
 // Quickstart: instrument a simulation with the steering core, attach a
-// remote client, steer a parameter mid-run, and pause/resume the run.
+// remote client, steer typed parameters mid-run, and pause/resume the run.
 //
 // This is the smallest complete use of the library: one Session, one
-// Steered handle polled at loop boundaries, one Client over TCP.
+// Steered handle polled at loop boundaries, one Client over TCP speaking
+// protocol v2 (wire-native tagged frames). The oscillator registers a
+// float, a choice and a bool parameter to show the typed API end to end.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"math"
@@ -32,6 +35,16 @@ func main() {
 		"velocity damping coefficient", func(v float64) { damping = v }); err != nil {
 		log.Fatal(err)
 	}
+	integrator := "leapfrog"
+	if err := st.RegisterChoice("integrator", []string{"leapfrog", "euler"}, integrator,
+		"time integration scheme", func(v string) { integrator = v }); err != nil {
+		log.Fatal(err)
+	}
+	trace := false
+	if err := st.RegisterBool("trace", trace,
+		"log every steered step", func(v bool) { trace = v }); err != nil {
+		log.Fatal(err)
+	}
 
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -54,9 +67,19 @@ func main() {
 			case core.ControlPaused:
 				continue
 			}
-			// Leapfrog for x'' = -x - damping*x'.
-			v += dt * (-x - damping*v)
-			x += dt * v
+			// x'' = -x - damping*x', by the steerable scheme.
+			switch integrator {
+			case "euler":
+				ox := x
+				x += dt * v
+				v += dt * (-ox - damping*v)
+			default: // leapfrog
+				v += dt * (-x - damping*v)
+				x += dt * v
+			}
+			if trace {
+				fmt.Printf("  step %d: x=%.4f v=%.4f (%s)\n", step, x, v, integrator)
+			}
 
 			sample := core.NewSample(step)
 			sample.Channels["x"] = core.Scalar(x)
@@ -78,18 +101,27 @@ func main() {
 	defer client.Close()
 	fmt.Printf("attached as %q (role %s)\n", client.Name(), client.Role())
 	for _, p := range client.Params() {
-		fmt.Printf("  steerable: %-10s = %6.3f  [%g, %g]  %s\n", p.Name, p.Value, p.Min, p.Max, p.Help)
+		fmt.Printf("  steerable: %-10s = %-8s (%s)  %s\n", p.Name, p.Value, p.Type, p.Help)
 	}
 
 	// Watch the energy decay under light damping.
 	e0 := watchEnergy(client, 20)
 	fmt.Printf("energy after 20 samples with damping=0.01: %.4f\n", e0)
 
-	// Steer: crank the damping up and watch the energy die.
-	if err := client.SetParam("damping", 0.5, time.Second); err != nil {
+	// Steer: one atomic batch flips the integrator and cranks the damping,
+	// each value tagged with its own wire kind.
+	if err := client.SetParams([]core.ParamSet{
+		{Name: "damping", Value: core.FloatValue(0.5)},
+		{Name: "integrator", Value: core.StringValue("euler")},
+	}, time.Second); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("steered damping -> 0.5")
+	fmt.Println("steered damping -> 0.5 and integrator -> euler in one batch")
+
+	// Rejections carry typed errors, not strings.
+	if err := client.SetString("integrator", "rk4", time.Second); errors.Is(err, core.ErrBadValue) {
+		fmt.Println("typed rejection: \"rk4\" is not a registered choice (core.ErrBadValue)")
+	}
 	e1 := watchEnergy(client, 40)
 	fmt.Printf("energy after 40 more samples with damping=0.5: %.4f\n", e1)
 	if e1 < e0 {

@@ -41,6 +41,31 @@ func main() {
 		"Shan–Chen coupling: 0 = miscible, >4 demixes", sim.SetCoupling); err != nil {
 		log.Fatal(err)
 	}
+	// Typed (protocol v2) parameters alongside the float: the interface
+	// colour is a choice, the run label a free string.
+	var surfaceMu sync.Mutex
+	surfaceColor := render.Blue
+	if err := st.RegisterChoice("surface-color", []string{"blue", "red", "green"}, "blue",
+		"isosurface colour", func(v string) {
+			surfaceMu.Lock()
+			defer surfaceMu.Unlock()
+			switch v {
+			case "red":
+				surfaceColor = render.Red
+			case "green":
+				surfaceColor = render.Green
+			default:
+				surfaceColor = render.Blue
+			}
+		}); err != nil {
+		log.Fatal(err)
+	}
+	if err := st.RegisterString("run-label", "sc03-demo",
+		"free-form run label, announced to every participant", func(v string) {
+			st.Event("run-label: " + v)
+		}); err != nil {
+		log.Fatal(err)
+	}
 
 	// The latest order-parameter field, shared with the viz pipeline.
 	var fieldMu sync.Mutex
@@ -68,7 +93,10 @@ func main() {
 		fieldMu.Lock()
 		f := field
 		fieldMu.Unlock()
-		mesh := viz.Isosurface(f, 0, render.Blue) // φ=0: the fluid interface
+		surfaceMu.Lock()
+		col := surfaceColor
+		surfaceMu.Unlock()
+		mesh := viz.Isosurface(f, 0, col) // φ=0: the fluid interface
 		return &render.Scene{Meshes: []*render.Mesh{mesh}}
 	}
 	cam := render.Camera{
@@ -149,6 +177,11 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("steered miscibility-g -> 4.5 through the OGSI service")
+	// Typed steering through the same service: a choice takes a string.
+	if err := gsClient.Call(found[0].GSH, "steer", map[string]any{"name": "surface-color", "value": "red"}, nil); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("steered surface-color -> \"red\" (typed choice) through the OGSI service")
 	time.Sleep(1200 * time.Millisecond)
 	after := report("demixing fluids (g=4.5):")
 	if after > 2*before {

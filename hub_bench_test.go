@@ -1,9 +1,12 @@
 // Hub scaling benchmarks (experiment H1, see DESIGN.md §9 and
 // EXPERIMENTS.md): throughput of the sharded multi-session hub's batched
 // sample fan-out. One benchmark op emits one sample in every hosted session;
-// the fan-out work per op is sessions × clients queued writes, coalesced by
-// the per-shard writer pools. Delivered/dropped ratios are reported so the
-// drop-on-slow-client policy is visible next to the timing.
+// under protocol v2 the sample is serialized once per emission and the
+// fan-out work per op is sessions × clients queued buffer handoffs,
+// coalesced into batched writes by the per-shard writer pools.
+// Delivered/dropped ratios are reported so the drop-on-slow-client policy
+// is visible next to the timing. BenchmarkProtocolCodec/-Fanout in
+// internal/core isolate the codec and encode-once costs themselves.
 package main
 
 import (

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -34,6 +35,13 @@ type Client struct {
 	readErr error
 }
 
+// ParamSet names one steering assignment; a batch of them travels in a
+// single envelope and is validated and applied atomically.
+type ParamSet struct {
+	Name  string
+	Value Value
+}
+
 // AttachOptions configure Attach.
 type AttachOptions struct {
 	// Name identifies the client; "" lets the session assign one.
@@ -50,14 +58,81 @@ type AttachOptions struct {
 	Timeout time.Duration
 }
 
-// Attach performs the handshake and starts the client's read loop.
+// Attach performs the protocol v2 handshake and starts the client's read
+// loop. See AttachContext for cancellation.
 func Attach(conn net.Conn, opts AttachOptions) (*Client, error) {
+	return AttachContext(context.Background(), conn, opts)
+}
+
+// AttachContext performs the handshake under ctx: cancellation or deadline
+// expiry during the handshake fails the attach and closes conn. The
+// handshake carries the client's protocol version; an endpoint speaking a
+// different protocol (or not this protocol at all) fails with
+// ErrVersionMismatch.
+func AttachContext(ctx context.Context, conn net.Conn, opts AttachOptions) (*Client, error) {
 	if opts.SampleBuffer <= 0 {
 		opts.SampleBuffer = 16
 	}
 	if opts.Timeout <= 0 {
 		opts.Timeout = 5 * time.Second
 	}
+	if err := ctx.Err(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	deadline := time.Now().Add(opts.Timeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	// Arm the handshake deadline before spawning the cancellation watcher:
+	// the watcher's poison deadline must never be overwritten by this one.
+	conn.SetDeadline(deadline)
+
+	// A cancelled context forces the blocked handshake I/O to fail by
+	// poisoning the deadline. The mutex-guarded done flag makes the race
+	// with handshake completion safe: once finishHandshake has run, a late
+	// cancellation can never poison a connection that now belongs to the
+	// read loop, and finishHandshake's deadline clear undoes any poison
+	// that landed just before it.
+	var (
+		hsMu   sync.Mutex
+		hsDone bool
+		hsOnce sync.Once
+	)
+	handshakeDone := make(chan struct{})
+	finishHandshake := func() {
+		hsOnce.Do(func() {
+			hsMu.Lock()
+			hsDone = true
+			hsMu.Unlock()
+			close(handshakeDone)
+		})
+	}
+	defer finishHandshake()
+	go func() {
+		select {
+		case <-ctx.Done():
+			hsMu.Lock()
+			if !hsDone {
+				conn.SetDeadline(time.Unix(1, 0))
+			}
+			hsMu.Unlock()
+		case <-handshakeDone:
+		}
+	}()
+
+	ctxErr := func(err error) error {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		// The conn deadline mirrors the ctx deadline and may fire a moment
+		// before the context's own timer; report the context's verdict.
+		if d, ok := ctx.Deadline(); ok && !time.Now().Before(d) {
+			return context.DeadlineExceeded
+		}
+		return err
+	}
+
 	c := &Client{
 		codec:   newCodec(conn),
 		params:  make(map[string]Param),
@@ -69,17 +144,19 @@ func Attach(conn net.Conn, opts AttachOptions) (*Client, error) {
 	if err := c.codec.write(&envelope{
 		Type:   msgAttach,
 		Attach: &attachMsg{Name: opts.Name, WantMaster: opts.WantMaster, Session: opts.Session},
-	}, opts.Timeout); err != nil {
+	}, 0); err != nil {
 		conn.Close()
-		return nil, err
+		return nil, ctxErr(err)
 	}
 
-	conn.SetReadDeadline(time.Now().Add(opts.Timeout))
 	first, err := c.codec.read()
-	conn.SetReadDeadline(time.Time{})
+	// Stand the watcher down before clearing the deadline, so the clear
+	// also erases any poison a racing cancellation just planted.
+	finishHandshake()
+	conn.SetDeadline(time.Time{})
 	if err != nil {
 		conn.Close()
-		return nil, err
+		return nil, ctxErr(err)
 	}
 	switch first.Type {
 	case msgWelcome:
@@ -97,7 +174,7 @@ func Attach(conn net.Conn, opts AttachOptions) (*Client, error) {
 		}
 	case msgAck:
 		conn.Close()
-		return nil, fmt.Errorf("core: attach rejected: %s", first.Ack.Err)
+		return nil, fmt.Errorf("core: attach rejected: %w", ackError(first.Ack))
 	default:
 		conn.Close()
 		return nil, errors.New("core: protocol error: expected welcome")
@@ -105,6 +182,18 @@ func Attach(conn net.Conn, opts AttachOptions) (*Client, error) {
 
 	go c.readLoop()
 	return c, nil
+}
+
+// ackError turns a rejection ack into its typed error.
+func ackError(ack *ackMsg) error {
+	if ack == nil {
+		return ErrRejected
+	}
+	typed := errFor(ack.Code)
+	if ack.Err == "" {
+		return typed
+	}
+	return fmt.Errorf("%w: %s", typed, ack.Err)
 }
 
 // Name returns the client's session-assigned name.
@@ -282,11 +371,7 @@ func (c *Client) request(e *envelope, timeout time.Duration) error {
 	select {
 	case ack := <-ch:
 		if ack == nil || !ack.OK {
-			why := "rejected"
-			if ack != nil && ack.Err != "" {
-				why = ack.Err
-			}
-			return fmt.Errorf("core: %s", why)
+			return ackError(ack)
 		}
 		return nil
 	case <-time.After(timeout):
@@ -299,10 +384,43 @@ func (c *Client) request(e *envelope, timeout time.Duration) error {
 	}
 }
 
-// SetParam submits a steering request; only the master succeeds. The value
-// is applied at the simulation's next poll.
+// SetValue submits a typed steering assignment; only the master succeeds.
+// The value is validated against the parameter's registered type and bounds
+// and applied at the simulation's next poll. Rejections carry typed errors:
+// ErrNotMaster, ErrUnknownParam, ErrBadValue.
+func (c *Client) SetValue(name string, value Value, timeout time.Duration) error {
+	return c.SetParams([]ParamSet{{Name: name, Value: value}}, timeout)
+}
+
+// SetParams submits a batch of steering assignments in one envelope with
+// one round trip. The batch is atomic: the session validates every
+// assignment before queueing any, so a rejected batch changes nothing.
+func (c *Client) SetParams(sets []ParamSet, timeout time.Duration) error {
+	if len(sets) == 0 {
+		return nil
+	}
+	return c.request(&envelope{Type: msgSetParam, Sets: sets}, timeout)
+}
+
+// SetParam submits a float steering assignment; the float convenience form
+// of SetValue.
 func (c *Client) SetParam(name string, value float64, timeout time.Duration) error {
-	return c.request(&envelope{Type: msgSetParam, Set: &setParamMsg{Name: name, Value: value}}, timeout)
+	return c.SetValue(name, FloatValue(value), timeout)
+}
+
+// SetInt submits an integer steering assignment.
+func (c *Client) SetInt(name string, value int64, timeout time.Duration) error {
+	return c.SetValue(name, IntValue(value), timeout)
+}
+
+// SetBool submits a bool steering assignment.
+func (c *Client) SetBool(name string, value bool, timeout time.Duration) error {
+	return c.SetValue(name, BoolValue(value), timeout)
+}
+
+// SetString submits a string (or choice) steering assignment.
+func (c *Client) SetString(name, value string, timeout time.Duration) error {
+	return c.SetValue(name, StringValue(value), timeout)
 }
 
 // Pause asks the simulation to pause at its next poll (master only).

@@ -69,8 +69,11 @@ func TestAttachWelcome(t *testing.T) {
 		t.Fatal("first client should be master")
 	}
 	p, ok := c.Param("coupling")
-	if !ok || p.Value != 1.5 || p.Min != 0 || p.Max != 10 {
+	if !ok || p.Value != FloatValue(1.5) || p.Min != 0 || p.Max != 10 {
 		t.Fatalf("param not in welcome: %+v", p)
+	}
+	if p.Type != FloatParam {
+		t.Fatalf("param type = %v", p.Type)
 	}
 }
 
@@ -141,7 +144,7 @@ func TestSteeringAppliedAtPoll(t *testing.T) {
 	// Update broadcast reaches the client.
 	waitFor(t, "param update", func() bool {
 		p, _ := m.Param("g")
-		return p.Value == 4.5
+		return p.Value == FloatValue(4.5)
 	})
 	if s.Stats().SteersApplied != 1 {
 		t.Fatalf("SteersApplied = %d", s.Stats().SteersApplied)

@@ -1,0 +1,71 @@
+package core
+
+import "errors"
+
+// Exported steering errors. Server-side rejections cross the wire as a
+// compact code plus a human-readable message; the client reconstructs the
+// typed error so callers can branch with errors.Is instead of string
+// matching.
+var (
+	// ErrNotMaster reports a steering request from a client that does not
+	// hold the master role.
+	ErrNotMaster = errors.New("core: not the steering master")
+	// ErrUnknownParam reports a steering request naming an unregistered
+	// parameter.
+	ErrUnknownParam = errors.New("core: unknown parameter")
+	// ErrBadValue reports a steering value outside its parameter's bounds,
+	// of an inconvertible kind, or naming an unlisted choice.
+	ErrBadValue = errors.New("core: bad parameter value")
+	// ErrVersionMismatch reports an attach handshake with an unsupported
+	// protocol version or a non-protocol byte stream (bad magic).
+	ErrVersionMismatch = errors.New("core: protocol version mismatch")
+	// ErrRejected is the generic rejection for requests with no more
+	// specific code (master role held, duplicate name, session closed...).
+	ErrRejected = errors.New("core: request rejected")
+)
+
+// errCode is the wire form of a rejection class.
+type errCode uint8
+
+const (
+	codeOK errCode = iota
+	codeGeneric
+	codeNotMaster
+	codeUnknownParam
+	codeBadValue
+	codeVersion
+)
+
+// codeFor maps a server-side error onto its wire code.
+func codeFor(err error) errCode {
+	switch {
+	case err == nil:
+		return codeOK
+	case errors.Is(err, ErrNotMaster):
+		return codeNotMaster
+	case errors.Is(err, ErrUnknownParam):
+		return codeUnknownParam
+	case errors.Is(err, ErrBadValue):
+		return codeBadValue
+	case errors.Is(err, ErrVersionMismatch):
+		return codeVersion
+	default:
+		return codeGeneric
+	}
+}
+
+// errFor reconstructs the typed error for a wire code on the client side.
+func errFor(code errCode) error {
+	switch code {
+	case codeNotMaster:
+		return ErrNotMaster
+	case codeUnknownParam:
+		return ErrUnknownParam
+	case codeBadValue:
+		return ErrBadValue
+	case codeVersion:
+		return ErrVersionMismatch
+	default:
+		return ErrRejected
+	}
+}

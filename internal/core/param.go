@@ -19,19 +19,85 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"sync"
+
+	"repro/internal/wire"
 )
+
+// ParamType names the steering semantics of a parameter; it decides how
+// incoming Values are validated and converted.
+type ParamType uint8
+
+// Parameter types.
+const (
+	// FloatParam is a bounded float64 parameter.
+	FloatParam ParamType = iota + 1
+	// IntParam is a bounded int64 parameter.
+	IntParam
+	// BoolParam is an on/off toggle.
+	BoolParam
+	// StringParam is a free-form string.
+	StringParam
+	// ChoiceParam selects one of a fixed list of strings; an integer value
+	// indexes the list (receiver-side conversion).
+	ChoiceParam
+)
+
+// String returns the type name.
+func (t ParamType) String() string {
+	switch t {
+	case FloatParam:
+		return "float"
+	case IntParam:
+		return "int"
+	case BoolParam:
+		return "bool"
+	case StringParam:
+		return "string"
+	case ChoiceParam:
+		return "choice"
+	default:
+		return fmt.Sprintf("invalid(%d)", uint8(t))
+	}
+}
+
+// MarshalJSON writes the type as its name.
+func (t ParamType) MarshalJSON() ([]byte, error) { return json.Marshal(t.String()) }
+
+// UnmarshalJSON accepts a type name (or a legacy numeric code).
+func (t *ParamType) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		var n uint8
+		if err2 := json.Unmarshal(data, &n); err2 != nil {
+			return err
+		}
+		*t = ParamType(n)
+		return nil
+	}
+	for _, cand := range []ParamType{FloatParam, IntParam, BoolParam, StringParam, ChoiceParam} {
+		if cand.String() == s {
+			*t = cand
+			return nil
+		}
+	}
+	return fmt.Errorf("core: unknown parameter type %q", s)
+}
 
 // Param describes one steerable parameter as shipped to clients.
 type Param struct {
 	Name string
-	// Value is the current value. Only float parameters are steerable in
-	// this implementation, matching the showcase demos (miscibility, beam
-	// charge/intensity/direction components, vent temperature...).
-	Value    float64
+	// Type selects the validation and conversion rules.
+	Type ParamType
+	// Value is the current value, tagged with its wire kind.
+	Value Value
+	// Min, Max bound numeric parameters (FloatParam, IntParam).
 	Min, Max float64
+	// Choices lists the legal values of a ChoiceParam.
+	Choices []string
 	// Help is a one-line description shown by steering UIs.
 	Help string
 }
@@ -39,7 +105,7 @@ type Param struct {
 // paramDef is the application-side definition backing a Param.
 type paramDef struct {
 	Param
-	apply func(float64)
+	apply func(Value)
 }
 
 // paramTable is the concurrency-safe registry of steerable parameters.
@@ -57,8 +123,21 @@ func (t *paramTable) register(d *paramDef) error {
 	if d.apply == nil {
 		return fmt.Errorf("core: parameter %q has no apply function", d.Name)
 	}
-	if d.Max < d.Min {
-		return fmt.Errorf("core: parameter %q has inverted bounds [%v, %v]", d.Name, d.Min, d.Max)
+	switch d.Type {
+	case FloatParam, IntParam:
+		if d.Max < d.Min {
+			return fmt.Errorf("core: parameter %q has inverted bounds [%v, %v]", d.Name, d.Min, d.Max)
+		}
+	case ChoiceParam:
+		if len(d.Choices) == 0 {
+			return fmt.Errorf("core: choice parameter %q has no choices", d.Name)
+		}
+	case BoolParam, StringParam:
+	default:
+		return fmt.Errorf("core: parameter %q has invalid type %v", d.Name, d.Type)
+	}
+	if _, err := normalize(&d.Param, d.Value); err != nil {
+		return fmt.Errorf("core: parameter %q initial value: %w", d.Name, err)
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -69,35 +148,94 @@ func (t *paramTable) register(d *paramDef) error {
 	return nil
 }
 
-// validate checks a steering request against the table and bounds.
-func (t *paramTable) validate(name string, v float64) error {
+// normalize converts v to the parameter's canonical kind and checks it
+// against the parameter's constraints: receiver-side conversion with no
+// silent truncation.
+func normalize(p *Param, v Value) (Value, error) {
+	switch p.Type {
+	case FloatParam:
+		f := v.Float()
+		if v.Kind == wire.KindString || f != f { // NaN: inconvertible or literal NaN
+			return Value{}, fmt.Errorf("%w: %q wants a number, got %s", ErrBadValue, p.Name, v.Kind)
+		}
+		if f < p.Min || f > p.Max {
+			return Value{}, fmt.Errorf("%w: %q = %v outside [%v, %v]", ErrBadValue, p.Name, f, p.Min, p.Max)
+		}
+		return FloatValue(f), nil
+	case IntParam:
+		i, err := v.Int()
+		if err != nil {
+			return Value{}, fmt.Errorf("%w (parameter %q)", err, p.Name)
+		}
+		if f := float64(i); f < p.Min || f > p.Max {
+			return Value{}, fmt.Errorf("%w: %q = %d outside [%v, %v]", ErrBadValue, p.Name, i, p.Min, p.Max)
+		}
+		return IntValue(i), nil
+	case BoolParam:
+		b, err := v.Bool()
+		if err != nil {
+			return Value{}, fmt.Errorf("%w (parameter %q)", err, p.Name)
+		}
+		return BoolValue(b), nil
+	case StringParam:
+		if v.Kind != wire.KindString {
+			return Value{}, fmt.Errorf("%w: %q wants a string, got %s", ErrBadValue, p.Name, v.Kind)
+		}
+		return v, nil
+	case ChoiceParam:
+		if v.Kind != wire.KindString {
+			i, err := v.Int()
+			if err != nil {
+				return Value{}, fmt.Errorf("%w: %q wants a choice name or index, got %s", ErrBadValue, p.Name, v.Kind)
+			}
+			if i < 0 || int(i) >= len(p.Choices) {
+				return Value{}, fmt.Errorf("%w: %q index %d outside choices [0, %d)", ErrBadValue, p.Name, i, len(p.Choices))
+			}
+			return StringValue(p.Choices[i]), nil
+		}
+		for _, c := range p.Choices {
+			if c == v.S {
+				return v, nil
+			}
+		}
+		return Value{}, fmt.Errorf("%w: %q has no choice %q", ErrBadValue, p.Name, v.S)
+	default:
+		return Value{}, fmt.Errorf("%w: parameter %q has invalid type", ErrBadValue, p.Name)
+	}
+}
+
+// validate checks a steering request against the table and returns the
+// normalized (receiver-converted) value.
+func (t *paramTable) validate(name string, v Value) (Value, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	d, ok := t.defs[name]
 	if !ok {
-		return fmt.Errorf("core: unknown parameter %q", name)
+		return Value{}, fmt.Errorf("%w: %q", ErrUnknownParam, name)
 	}
-	if v < d.Min || v > d.Max {
-		return fmt.Errorf("core: %q = %v outside [%v, %v]", name, v, d.Min, d.Max)
-	}
-	return nil
+	return normalize(&d.Param, v)
 }
 
 // applyAndGet applies a validated steering request and returns the updated
 // Param for broadcast. It must only be called from the simulation's poll
 // path so applications never see concurrent parameter mutation.
-func (t *paramTable) applyAndGet(name string, v float64) (Param, error) {
+func (t *paramTable) applyAndGet(name string, v Value) (Param, error) {
 	t.mu.Lock()
 	d, ok := t.defs[name]
 	if !ok {
 		t.mu.Unlock()
-		return Param{}, fmt.Errorf("core: unknown parameter %q", name)
+		return Param{}, fmt.Errorf("%w: %q", ErrUnknownParam, name)
 	}
-	d.Value = v
+	nv, err := normalize(&d.Param, v)
+	if err != nil {
+		t.mu.Unlock()
+		return Param{}, err
+	}
+	d.Value = nv
 	p := d.Param
 	apply := d.apply
 	t.mu.Unlock()
-	apply(v)
+	apply(nv)
 	return p, nil
 }
 

@@ -2,11 +2,104 @@ package core
 
 import (
 	"bufio"
-	"encoding/gob"
+	"errors"
+	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/wire"
 )
+
+// Protocol v2: the session↔client exchange rides internal/wire's tagged
+// binary frames instead of reflection-based gob. One envelope is a
+// header frame followed by a known number of Kind-typed field-group frames:
+//
+//	tagHeader     int64 ×6   [version, msgType, seq, flags, aux, nframes]
+//	tagStrs       string ×k  positional strings of the message type
+//	tagParamMeta  int64 ×4n  [type, valueKind, intValue, nchoices] per param
+//	tagParamNum   f64   ×3n  [floatValue, min, max] per param
+//	tagParamStr   string     [name, help, stringValue, choices...] per param
+//	tagSetMeta    int64 ×2n  [valueKind, intValue] per assignment
+//	tagSetNum     f64   ×n   [floatValue] per assignment
+//	tagSetStr     string ×2n [name, stringValue] per assignment
+//	tagViewMeta   int64 ×2   [seq, nviz]
+//	tagViewNums   f64        [eye×3, center×3, up×3, fovy, viz values...]
+//	tagViewKeys   string     sorted viz parameter names
+//	tagSampleMeta int64      [step, nchan, then d0,d1,d2 per channel]
+//	tagSampleName string ×n  sorted channel names
+//	tagSampleData f64        one frame per channel, in name order
+//
+// The header is versioned; AcceptConn/Attach negotiate the version before
+// anything else is decoded, and an unknown magic or unsupported version
+// fails with ErrVersionMismatch instead of a codec panic. Because an
+// envelope is already a byte sequence, broadcasts serialize once and hand
+// the same buffer to every client queue (encode-once fan-out).
+
+// ProtoVersion is the protocol generation this package speaks. Version 1
+// was the gob-framed protocol and is no longer accepted.
+const ProtoVersion = 2
+
+// Frame tags of the envelope codec.
+const (
+	tagHeader uint32 = 0x53430001 + iota // "SC" + ordinal
+	tagStrs
+	tagParamMeta
+	tagParamNum
+	tagParamStr
+	tagSetMeta
+	tagSetNum
+	tagSetStr
+	tagViewMeta
+	tagViewNums
+	tagViewKeys
+	tagSampleMeta
+	tagSampleName
+	tagSampleData
+)
+
+// Header flag bits.
+const (
+	flagWantMaster = 1 << iota
+	flagAckOK
+	flagHasView
+)
+
+// maxEnvelopeFrames bounds the field-group frames one envelope may declare;
+// far above any legitimate envelope (a sample with thousands of channels),
+// it only stops a corrupt header from spinning the decoder.
+const maxEnvelopeFrames = 1 << 16
+
+// Per-envelope payload budgets: the total bytes one envelope may retain
+// across all its field frames while decoding. Bulk data (samples) flows
+// only session→client, so the client side is generous; everything a client
+// legitimately sends a session is control-sized, so the session side is
+// tight — a hostile client streaming huge frames is cut off long before
+// memory matters.
+const (
+	clientEnvelopeBudget = 1 << 30
+	serverEnvelopeBudget = 8 << 20
+)
+
+// serverLimits are the per-frame wire limits a session imposes on inbound
+// client traffic (attach, steering batches, view state: all small).
+var serverLimits = wire.Limits{MaxElements: 1 << 16, MaxBlobLen: 1 << 16, MaxPayload: 1 << 20}
+
+// messageBytes estimates the retained payload size of one decoded frame.
+func messageBytes(m *wire.Message) int {
+	n := len(m.Int32s)*4 + len(m.Int64s)*8 + len(m.Float32s)*4 + len(m.Float64s)*8 + len(m.Bools)
+	for _, s := range m.Strings {
+		n += 4 + len(s)
+	}
+	for _, b := range m.Blobs {
+		n += 4 + len(b)
+	}
+	return n
+}
+
+// errMalformed reports an envelope whose frames do not assemble.
+var errMalformed = errors.New("core: malformed envelope")
 
 // msgType discriminates envelope payloads.
 type msgType uint8
@@ -38,17 +131,19 @@ const (
 	cmdCheckpoint
 )
 
-// envelope is the single frame type exchanged between Session and Client.
-// gob handles the sparse optional fields compactly.
+// envelope is the in-memory form of one protocol message.
 type envelope struct {
-	Type msgType
+	// Version is the protocol version to encode with; 0 means ProtoVersion.
+	// Decoded envelopes carry the sender's version.
+	Version uint32
+	Type    msgType
 	// Seq correlates requests with acks.
 	Seq uint64
 
 	Attach  *attachMsg
 	Welcome *welcomeMsg
 	Sample  *Sample
-	Set     *setParamMsg
+	Sets    []ParamSet
 	Params  []Param
 	View    *ViewState
 	Command commandKind
@@ -76,50 +171,542 @@ type welcomeMsg struct {
 	View        *ViewState
 }
 
-type setParamMsg struct {
-	Name  string
-	Value float64
-}
-
 type ackMsg struct {
-	OK  bool
-	Err string
+	OK   bool
+	Code errCode
+	Err  string
 }
 
-// codec wraps a conn with gob encoding and a write lock; envelopes may be
-// written from multiple goroutines. Writes are buffered so a batch of
-// envelopes coalesces into few syscalls; every write path flushes before
+// ---- encoding ----
+
+// appendValue splits v into the (kind, int, float, string) lanes of a frame
+// group.
+func valueLanes(v Value) (kind int64, i int64, f float64, s string) {
+	return int64(v.Kind), v.I, v.F, v.S
+}
+
+// valueFromLanes is the inverse of valueLanes.
+func valueFromLanes(kind, i int64, f float64, s string) (Value, error) {
+	k := wire.Kind(kind)
+	switch k {
+	case wire.KindFloat64, wire.KindInt64, wire.KindBool, wire.KindString:
+		return Value{Kind: k, I: i, F: f, S: s}, nil
+	default:
+		return Value{}, fmt.Errorf("%w: value kind %d", errMalformed, kind)
+	}
+}
+
+// frameCount returns the number of field-group frames the envelope encodes
+// to after the header.
+func frameCount(e *envelope) (int, error) {
+	switch e.Type {
+	case msgAttach, msgHandoffMaster, msgMasterChanged, msgEvent, msgAck:
+		return 1, nil
+	case msgWelcome:
+		if e.Welcome == nil {
+			return 0, fmt.Errorf("%w: welcome without payload", errMalformed)
+		}
+		n := 1 + 3 // strings + param group
+		if e.Welcome.View != nil {
+			n += 3
+		}
+		return n, nil
+	case msgSample:
+		if e.Sample == nil {
+			return 0, fmt.Errorf("%w: sample without payload", errMalformed)
+		}
+		return 2 + len(e.Sample.Channels), nil
+	case msgSetParam:
+		return 3, nil
+	case msgParamUpdate:
+		return 3, nil
+	case msgSetView, msgViewUpdate:
+		if e.View == nil {
+			return 0, fmt.Errorf("%w: view message without view", errMalformed)
+		}
+		return 3, nil
+	case msgCommand, msgRequestMaster, msgDetach:
+		return 0, nil
+	default:
+		return 0, fmt.Errorf("%w: type %d", errMalformed, e.Type)
+	}
+}
+
+// encodeEnvelope appends the wire form of e to buf and returns the extended
+// slice. Encoding is deterministic: map-backed groups (sample channels, viz
+// params) are emitted in sorted key order.
+func encodeEnvelope(buf []byte, e *envelope) ([]byte, error) {
+	version := e.Version
+	if version == 0 {
+		version = ProtoVersion
+	}
+	nframes, err := frameCount(e)
+	if err != nil {
+		return nil, err
+	}
+	var flags, aux int64
+	switch e.Type {
+	case msgAttach:
+		if e.Attach != nil && e.Attach.WantMaster {
+			flags |= flagWantMaster
+		}
+	case msgWelcome:
+		aux = int64(e.Welcome.Role)
+		if e.Welcome.View != nil {
+			flags |= flagHasView
+		}
+	case msgSetView, msgViewUpdate:
+		flags |= flagHasView
+	case msgCommand:
+		aux = int64(e.Command)
+	case msgAck:
+		if e.Ack != nil {
+			if e.Ack.OK {
+				flags |= flagAckOK
+			}
+			aux = int64(e.Ack.Code)
+		}
+	}
+	buf = wire.AppendInt64s(buf, tagHeader, []int64{
+		int64(version), int64(e.Type), int64(e.Seq), flags, aux, int64(nframes),
+	})
+
+	switch e.Type {
+	case msgAttach:
+		a := e.Attach
+		if a == nil {
+			a = &attachMsg{}
+		}
+		buf = wire.AppendStrings(buf, tagStrs, []string{a.Name, a.Session})
+	case msgWelcome:
+		w := e.Welcome
+		buf = wire.AppendStrings(buf, tagStrs, []string{w.SessionName, w.AppName, w.ClientName, w.Master})
+		buf = appendParams(buf, w.Params)
+		if w.View != nil {
+			buf = appendView(buf, w.View)
+		}
+	case msgSample:
+		buf = appendSample(buf, e.Sample)
+	case msgSetParam:
+		buf = appendSets(buf, e.Sets)
+	case msgParamUpdate:
+		buf = appendParams(buf, e.Params)
+	case msgSetView, msgViewUpdate:
+		buf = appendView(buf, e.View)
+	case msgHandoffMaster, msgMasterChanged:
+		buf = wire.AppendStrings(buf, tagStrs, []string{e.Target})
+	case msgEvent:
+		buf = wire.AppendStrings(buf, tagStrs, []string{e.Event})
+	case msgAck:
+		msg := ""
+		if e.Ack != nil {
+			msg = e.Ack.Err
+		}
+		buf = wire.AppendStrings(buf, tagStrs, []string{msg})
+	}
+	return buf, nil
+}
+
+// appendParams emits the three-frame parameter group.
+func appendParams(buf []byte, params []Param) []byte {
+	n := len(params)
+	meta := make([]int64, 0, 4*n)
+	nums := make([]float64, 0, 3*n)
+	strs := make([]string, 0, 3*n)
+	for i := range params {
+		p := &params[i]
+		vk, vi, vf, vs := valueLanes(p.Value)
+		meta = append(meta, int64(p.Type), vk, vi, int64(len(p.Choices)))
+		nums = append(nums, vf, p.Min, p.Max)
+		strs = append(strs, p.Name, p.Help, vs)
+		strs = append(strs, p.Choices...)
+	}
+	buf = wire.AppendInt64s(buf, tagParamMeta, meta)
+	buf = wire.AppendFloat64s(buf, tagParamNum, nums)
+	return wire.AppendStrings(buf, tagParamStr, strs)
+}
+
+// parseParams assembles the parameter group back into []Param.
+func parseParams(meta []int64, nums []float64, strs []string) ([]Param, error) {
+	if len(meta)%4 != 0 {
+		return nil, fmt.Errorf("%w: param meta count %d", errMalformed, len(meta))
+	}
+	n := len(meta) / 4
+	if len(nums) != 3*n {
+		return nil, fmt.Errorf("%w: param nums count %d for %d params", errMalformed, len(nums), n)
+	}
+	params := make([]Param, 0, n)
+	cursor := 0
+	for i := 0; i < n; i++ {
+		ptype, vk, vi, nch := meta[4*i], meta[4*i+1], meta[4*i+2], meta[4*i+3]
+		// Bound nch in int64 space before any int conversion: a hostile
+		// count near MaxInt64 must not wrap the slice arithmetic below.
+		if nch < 0 || nch > int64(len(strs)-cursor-3) {
+			return nil, fmt.Errorf("%w: param strings exhausted", errMalformed)
+		}
+		v, err := valueFromLanes(vk, vi, nums[3*i], strs[cursor+2])
+		if err != nil {
+			return nil, err
+		}
+		p := Param{
+			Name:  strs[cursor],
+			Type:  ParamType(ptype),
+			Value: v,
+			Min:   nums[3*i+1],
+			Max:   nums[3*i+2],
+			Help:  strs[cursor+1],
+		}
+		if nch > 0 {
+			p.Choices = append([]string(nil), strs[cursor+3:cursor+3+int(nch)]...)
+		}
+		cursor += 3 + int(nch)
+		params = append(params, p)
+	}
+	if cursor != len(strs) {
+		return nil, fmt.Errorf("%w: %d trailing param strings", errMalformed, len(strs)-cursor)
+	}
+	return params, nil
+}
+
+// appendSets emits the three-frame assignment group of a SetParams batch.
+func appendSets(buf []byte, sets []ParamSet) []byte {
+	n := len(sets)
+	meta := make([]int64, 0, 2*n)
+	nums := make([]float64, 0, n)
+	strs := make([]string, 0, 2*n)
+	for i := range sets {
+		vk, vi, vf, vs := valueLanes(sets[i].Value)
+		meta = append(meta, vk, vi)
+		nums = append(nums, vf)
+		strs = append(strs, sets[i].Name, vs)
+	}
+	buf = wire.AppendInt64s(buf, tagSetMeta, meta)
+	buf = wire.AppendFloat64s(buf, tagSetNum, nums)
+	return wire.AppendStrings(buf, tagSetStr, strs)
+}
+
+// parseSets assembles the assignment group back into []ParamSet.
+func parseSets(meta []int64, nums []float64, strs []string) ([]ParamSet, error) {
+	n := len(nums)
+	if len(meta) != 2*n || len(strs) != 2*n {
+		return nil, fmt.Errorf("%w: set group counts %d/%d/%d", errMalformed, len(meta), n, len(strs))
+	}
+	sets := make([]ParamSet, 0, n)
+	for i := 0; i < n; i++ {
+		v, err := valueFromLanes(meta[2*i], meta[2*i+1], nums[i], strs[2*i+1])
+		if err != nil {
+			return nil, err
+		}
+		sets = append(sets, ParamSet{Name: strs[2*i], Value: v})
+	}
+	return sets, nil
+}
+
+// appendView emits the three-frame view group.
+func appendView(buf []byte, v *ViewState) []byte {
+	keys := make([]string, 0, len(v.VizParams))
+	for k := range v.VizParams {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	buf = wire.AppendInt64s(buf, tagViewMeta, []int64{int64(v.Seq), int64(len(keys))})
+	buf = wire.AppendHeader(buf, tagViewNums, wire.KindFloat64, 10+len(keys))
+	for _, x := range [...]float64{
+		v.Eye[0], v.Eye[1], v.Eye[2],
+		v.Center[0], v.Center[1], v.Center[2],
+		v.Up[0], v.Up[1], v.Up[2],
+		v.FovY,
+	} {
+		buf = wire.AppendFloat64(buf, x)
+	}
+	for _, k := range keys {
+		buf = wire.AppendFloat64(buf, v.VizParams[k])
+	}
+	return wire.AppendStrings(buf, tagViewKeys, keys)
+}
+
+// parseView assembles the view group back into a ViewState.
+func parseView(meta []int64, nums []float64, keys []string) (*ViewState, error) {
+	if len(meta) != 2 {
+		return nil, fmt.Errorf("%w: view meta count %d", errMalformed, len(meta))
+	}
+	// Trust only the actual frame lengths; the declared count must agree.
+	nviz := len(keys)
+	if int64(nviz) != meta[1] || len(nums) != 10+nviz {
+		return nil, fmt.Errorf("%w: view group counts %d/%d", errMalformed, len(nums), len(keys))
+	}
+	v := &ViewState{
+		Seq:       uint64(meta[0]),
+		Eye:       [3]float64{nums[0], nums[1], nums[2]},
+		Center:    [3]float64{nums[3], nums[4], nums[5]},
+		Up:        [3]float64{nums[6], nums[7], nums[8]},
+		FovY:      nums[9],
+		VizParams: make(map[string]float64, nviz),
+	}
+	for i, k := range keys {
+		v.VizParams[k] = nums[10+i]
+	}
+	return v, nil
+}
+
+// appendSample emits the sample group: meta, names, then one data frame per
+// channel in name order.
+func appendSample(buf []byte, s *Sample) []byte {
+	names := make([]string, 0, len(s.Channels))
+	for k := range s.Channels {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	meta := make([]int64, 0, 2+3*len(names))
+	meta = append(meta, s.Step, int64(len(names)))
+	for _, k := range names {
+		ch := s.Channels[k]
+		meta = append(meta, int64(ch.Dims[0]), int64(ch.Dims[1]), int64(ch.Dims[2]))
+	}
+	buf = wire.AppendInt64s(buf, tagSampleMeta, meta)
+	buf = wire.AppendStrings(buf, tagSampleName, names)
+	for _, k := range names {
+		buf = wire.AppendFloat64s(buf, tagSampleData, s.Channels[k].Data)
+	}
+	return buf
+}
+
+// parseSample assembles the sample group back into a Sample.
+func parseSample(meta []int64, names []string, data [][]float64) (*Sample, error) {
+	if len(meta) < 2 {
+		return nil, fmt.Errorf("%w: sample meta count %d", errMalformed, len(meta))
+	}
+	// Trust only the actual frame lengths; the declared count must agree.
+	n := len(names)
+	if int64(n) != meta[1] || len(meta) != 2+3*n || len(data) != n {
+		return nil, fmt.Errorf("%w: sample group counts %d/%d/%d", errMalformed, len(meta), len(names), len(data))
+	}
+	s := &Sample{Step: meta[0], Channels: make(map[string]Channel, n)}
+	for i, name := range names {
+		s.Channels[name] = Channel{
+			Dims: [3]int{int(meta[2+3*i]), int(meta[3+3*i]), int(meta[4+3*i])},
+			Data: data[i],
+		}
+	}
+	return s, nil
+}
+
+// ---- decoding ----
+
+// decodeEnvelope reads one envelope from dec, refusing to retain more than
+// budget payload bytes across its field frames. A bad magic maps to
+// ErrVersionMismatch: the stream is not protocol v2 (a gob v1 client, an
+// HTTP probe...). An unsupported header version also fails with
+// ErrVersionMismatch, wrapped with the offered version.
+func decodeEnvelope(dec *wire.Decoder, budget int) (*envelope, error) {
+	hdr, err := dec.Next()
+	if err != nil {
+		if errors.Is(err, wire.ErrBadMagic) {
+			return nil, fmt.Errorf("%w: %v", ErrVersionMismatch, err)
+		}
+		return nil, err
+	}
+	if hdr.Header.Tag != tagHeader || hdr.Header.Kind != wire.KindInt64 || len(hdr.Int64s) < 6 {
+		return nil, fmt.Errorf("%w: expected envelope header, got tag %d", errMalformed, hdr.Header.Tag)
+	}
+	h := hdr.Int64s
+	version := uint32(h[0])
+	if version != ProtoVersion {
+		return nil, fmt.Errorf("%w: peer speaks v%d, this endpoint speaks v%d", ErrVersionMismatch, version, ProtoVersion)
+	}
+	nframes := h[5]
+	if nframes < 0 || nframes > maxEnvelopeFrames {
+		return nil, fmt.Errorf("%w: %d field frames", errMalformed, nframes)
+	}
+	e := &envelope{
+		Version: version,
+		Type:    msgType(h[1]),
+		Seq:     uint64(h[2]),
+	}
+	flags, aux := h[3], h[4]
+
+	var (
+		strs                []string
+		pMeta, sMeta, vMeta []int64
+		pNum, vNums         []float64
+		sNum                []float64
+		pStr, sStr, vKeys   []string
+		smMeta              []int64
+		smNames             []string
+		smData              [][]float64
+	)
+	for i := int64(0); i < nframes; i++ {
+		m, err := dec.Next()
+		if err != nil {
+			return nil, err
+		}
+		if budget -= messageBytes(m); budget < 0 {
+			return nil, fmt.Errorf("%w: envelope exceeds payload budget", errMalformed)
+		}
+		switch m.Header.Tag {
+		case tagStrs:
+			strs = m.Strings
+		case tagParamMeta:
+			pMeta = m.Int64s
+		case tagParamNum:
+			pNum = m.Float64s
+		case tagParamStr:
+			pStr = m.Strings
+		case tagSetMeta:
+			sMeta = m.Int64s
+		case tagSetNum:
+			sNum = m.Float64s
+		case tagSetStr:
+			sStr = m.Strings
+		case tagViewMeta:
+			vMeta = m.Int64s
+		case tagViewNums:
+			vNums = m.Float64s
+		case tagViewKeys:
+			vKeys = m.Strings
+		case tagSampleMeta:
+			smMeta = m.Int64s
+		case tagSampleName:
+			smNames = m.Strings
+		case tagSampleData:
+			smData = append(smData, m.Float64s)
+		default:
+			// Unknown field group from a newer minor revision: skip.
+		}
+	}
+
+	str := func(i int) string {
+		if i < len(strs) {
+			return strs[i]
+		}
+		return ""
+	}
+	switch e.Type {
+	case msgAttach:
+		e.Attach = &attachMsg{Name: str(0), Session: str(1), WantMaster: flags&flagWantMaster != 0}
+	case msgWelcome:
+		params, err := parseParams(pMeta, pNum, pStr)
+		if err != nil {
+			return nil, err
+		}
+		w := &welcomeMsg{
+			SessionName: str(0), AppName: str(1), ClientName: str(2), Master: str(3),
+			Role:   Role(aux),
+			Params: params,
+		}
+		if flags&flagHasView != 0 {
+			if w.View, err = parseView(vMeta, vNums, vKeys); err != nil {
+				return nil, err
+			}
+		}
+		e.Welcome = w
+	case msgSample:
+		if e.Sample, err = parseSample(smMeta, smNames, smData); err != nil {
+			return nil, err
+		}
+	case msgSetParam:
+		if e.Sets, err = parseSets(sMeta, sNum, sStr); err != nil {
+			return nil, err
+		}
+	case msgParamUpdate:
+		if e.Params, err = parseParams(pMeta, pNum, pStr); err != nil {
+			return nil, err
+		}
+	case msgSetView, msgViewUpdate:
+		if flags&flagHasView == 0 {
+			return nil, fmt.Errorf("%w: view message without view", errMalformed)
+		}
+		if e.View, err = parseView(vMeta, vNums, vKeys); err != nil {
+			return nil, err
+		}
+	case msgCommand:
+		e.Command = commandKind(aux)
+	case msgHandoffMaster, msgMasterChanged:
+		e.Target = str(0)
+	case msgEvent:
+		e.Event = str(0)
+	case msgAck:
+		e.Ack = &ackMsg{OK: flags&flagAckOK != 0, Code: errCode(aux), Err: str(0)}
+	case msgRequestMaster, msgDetach:
+	default:
+		return nil, fmt.Errorf("%w: message type %d", errMalformed, e.Type)
+	}
+	return e, nil
+}
+
+// ---- connection codec ----
+
+// codec wraps a conn with the envelope codec and a write lock; envelopes
+// may be written from multiple goroutines. Writes are buffered so a batch
+// of envelopes coalesces into few syscalls; every write path flushes before
 // releasing the lock.
 type codec struct {
 	conn net.Conn
 	bw   *bufio.Writer
-	enc  *gob.Encoder
-	dec  *gob.Decoder
+	dec  *wire.Decoder
 	wmu  sync.Mutex
+	// budget bounds the payload bytes one inbound envelope may retain.
+	budget int
+	// enc is the reusable scratch buffer for per-client envelope writes
+	// (handshake frames, acks); broadcasts arrive pre-encoded.
+	enc []byte
 }
 
 func newCodec(conn net.Conn) *codec {
-	bw := bufio.NewWriter(conn)
-	return &codec{conn: conn, bw: bw, enc: gob.NewEncoder(bw), dec: gob.NewDecoder(conn)}
+	return &codec{
+		conn:   conn,
+		bw:     bufio.NewWriter(conn),
+		dec:    wire.NewDecoder(conn),
+		budget: clientEnvelopeBudget,
+	}
 }
 
-// write sends one envelope, applying the write deadline if non-zero.
+// harden installs the tight inbound limits a session applies to client
+// traffic — control-sized frames and a small per-envelope budget — so a
+// hostile client cannot grow server memory by streaming bulk frames.
+func (c *codec) harden() {
+	c.dec.SetLimits(serverLimits)
+	c.budget = serverEnvelopeBudget
+}
+
+// write encodes and sends one envelope, applying the write deadline if
+// non-zero.
 func (c *codec) write(e *envelope, timeout time.Duration) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	buf, err := encodeEnvelope(c.enc[:0], e)
+	if err != nil {
+		return err
+	}
+	c.enc = buf[:0]
+	if timeout > 0 {
+		c.conn.SetWriteDeadline(time.Now().Add(timeout))
+		defer c.conn.SetWriteDeadline(time.Time{})
+	}
+	if _, err := c.bw.Write(buf); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// writeBytes sends one pre-encoded envelope.
+func (c *codec) writeBytes(buf []byte, timeout time.Duration) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
 	if timeout > 0 {
 		c.conn.SetWriteDeadline(time.Now().Add(timeout))
 		defer c.conn.SetWriteDeadline(time.Time{})
 	}
-	if err := c.enc.Encode(e); err != nil {
+	if _, err := c.bw.Write(buf); err != nil {
 		return err
 	}
 	return c.bw.Flush()
 }
 
-// writeBatch sends several envelopes under one lock acquisition and one
-// deadline, flushing once at the end: the unit of work of a pooled writer.
-func (c *codec) writeBatch(batch []*envelope, timeout time.Duration) error {
+// writeBatch sends several pre-encoded envelopes under one lock acquisition
+// and one deadline, flushing once at the end: the unit of work of a pooled
+// writer.
+func (c *codec) writeBatch(batch [][]byte, timeout time.Duration) error {
 	if len(batch) == 0 {
 		return nil
 	}
@@ -129,8 +716,8 @@ func (c *codec) writeBatch(batch []*envelope, timeout time.Duration) error {
 		c.conn.SetWriteDeadline(time.Now().Add(timeout))
 		defer c.conn.SetWriteDeadline(time.Time{})
 	}
-	for _, e := range batch {
-		if err := c.enc.Encode(e); err != nil {
+	for _, buf := range batch {
+		if _, err := c.bw.Write(buf); err != nil {
 			return err
 		}
 	}
@@ -138,12 +725,6 @@ func (c *codec) writeBatch(batch []*envelope, timeout time.Duration) error {
 }
 
 // read receives the next envelope.
-func (c *codec) read() (*envelope, error) {
-	var e envelope
-	if err := c.dec.Decode(&e); err != nil {
-		return nil, err
-	}
-	return &e, nil
-}
+func (c *codec) read() (*envelope, error) { return decodeEnvelope(c.dec, c.budget) }
 
 func (c *codec) close() error { return c.conn.Close() }

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// The protocol v1 baseline: the gob envelope shape this package shipped
+// before the wire-native codec, kept here (and only here) so the benchmark
+// quantifies what the redesign bought.
+type gobEnvelope struct {
+	Type uint8
+	Seq  uint64
+
+	Sample *Sample
+	Params []gobParam
+}
+
+type gobParam struct {
+	Name            string
+	Value, Min, Max float64
+	Help            string
+}
+
+// benchSample builds the benchmark payload: one bulk channel of n floats
+// plus a scalar, the shape every steered demo emits.
+func benchSample(n int) *Sample {
+	s := NewSample(12345)
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = float64(i) * 0.25
+	}
+	s.Channels["phi"] = Channel{Dims: [3]int{16, 16, n / 256}, Data: data}
+	s.Channels["seg"] = Scalar(0.7)
+	return s
+}
+
+// BenchmarkProtocolCodec compares the gob v1 baseline against the wire v2
+// codec on the protocol's two dominant frames: bulk samples and small
+// control updates. The gob encoder streams to io.Discard with its type info
+// already amortised — the steady-state per-client cost v1 paid on every
+// broadcast.
+func BenchmarkProtocolCodec(b *testing.B) {
+	sample := benchSample(4096)
+	v2sample := &envelope{Type: msgSample, Sample: sample}
+	v1sample := &gobEnvelope{Type: uint8(msgSample), Sample: sample}
+	v2control := &envelope{Type: msgParamUpdate, Params: []Param{
+		{Name: "miscibility-g", Type: FloatParam, Value: FloatValue(4.5), Min: 0, Max: 6, Help: "coupling"},
+	}}
+	v1control := &gobEnvelope{Type: uint8(msgParamUpdate), Params: []gobParam{
+		{Name: "miscibility-g", Value: 4.5, Min: 0, Max: 6, Help: "coupling"},
+	}}
+
+	b.Run("encode-sample/gob", func(b *testing.B) {
+		enc := gob.NewEncoder(io.Discard)
+		if err := enc.Encode(v1sample); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := enc.Encode(v1sample); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("encode-sample/wire", func(b *testing.B) {
+		var buf []byte
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var err error
+			if buf, err = encodeEnvelope(buf[:0], v2sample); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("encode-control/gob", func(b *testing.B) {
+		enc := gob.NewEncoder(io.Discard)
+		if err := enc.Encode(v1control); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := enc.Encode(v1control); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("encode-control/wire", func(b *testing.B) {
+		var buf []byte
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var err error
+			if buf, err = encodeEnvelope(buf[:0], v2control); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("roundtrip-sample/gob", func(b *testing.B) {
+		var stream bytes.Buffer
+		enc := gob.NewEncoder(&stream)
+		dec := gob.NewDecoder(&stream)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := enc.Encode(v1sample); err != nil {
+				b.Fatal(err)
+			}
+			var out gobEnvelope
+			if err := dec.Decode(&out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("roundtrip-sample/wire", func(b *testing.B) {
+		buf, err := encodeEnvelope(nil, v2sample)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rd := bytes.NewReader(buf)
+		dec := wire.NewDecoder(rd)
+		var scratch []byte
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if scratch, err = encodeEnvelope(scratch[:0], v2sample); err != nil {
+				b.Fatal(err)
+			}
+			rd.Reset(scratch)
+			dec.Reset(rd)
+			if _, err := decodeEnvelope(dec, clientEnvelopeBudget); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkProtocolFanout pins the encode-once property: broadcasting one
+// sample to N clients costs one serialization, so allocs/op stays flat as
+// the client count grows from 1 to 16 (only channel sends scale).
+func BenchmarkProtocolFanout(b *testing.B) {
+	for _, n := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("clients-%d", n), func(b *testing.B) {
+			// Fake attached clients: real queues, no sockets, so the
+			// measurement isolates encode + enqueue.
+			s := NewSession(SessionConfig{SampleQueue: 2})
+			for i := 0; i < n; i++ {
+				name := fmt.Sprintf("c%02d", i)
+				s.clients[name] = &clientConn{
+					name: name,
+					out:  make(chan []byte, 2),
+					ctrl: make(chan []byte, 2),
+					gone: make(chan struct{}),
+				}
+			}
+			sample := benchSample(4096)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.broadcastSample(sample)
+			}
+		})
+	}
+}

@@ -1,0 +1,540 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// TestEnvelopeRoundTripTypes encodes one envelope of every message type and
+// checks the decoded form field by field.
+func TestEnvelopeRoundTripTypes(t *testing.T) {
+	view := &ViewState{
+		Seq: 7, Eye: [3]float64{1, 2, 3}, Center: [3]float64{4, 5, 6},
+		Up: [3]float64{0, 1, 0}, FovY: 0.78,
+		VizParams: map[string]float64{"iso": 0.5, "cut": 2},
+	}
+	sample := NewSample(42)
+	sample.Channels["phi"] = Channel{Dims: [3]int{2, 2, 1}, Data: []float64{1, 2, 3, 4}}
+	sample.Channels["seg"] = Scalar(0.7)
+	params := []Param{
+		{Name: "g", Type: FloatParam, Value: FloatValue(1.5), Min: 0, Max: 10, Help: "coupling"},
+		{Name: "scheme", Type: ChoiceParam, Value: StringValue("fast"), Choices: []string{"fast", "slow"}},
+		{Name: "trace", Type: BoolParam, Value: BoolValue(true)},
+	}
+	cases := []*envelope{
+		{Type: msgAttach, Seq: 1, Attach: &attachMsg{Name: "alice", WantMaster: true, Session: "s1"}},
+		{Type: msgWelcome, Seq: 2, Welcome: &welcomeMsg{
+			SessionName: "s1", AppName: "lb3d", ClientName: "alice", Master: "bob",
+			Role: RoleObserver, Params: params, View: view,
+		}},
+		{Type: msgSample, Sample: sample},
+		{Type: msgSetParam, Seq: 3, Sets: []ParamSet{
+			{Name: "g", Value: FloatValue(4.5)},
+			{Name: "scheme", Value: StringValue("slow")},
+			{Name: "iters", Value: IntValue(9)},
+		}},
+		{Type: msgParamUpdate, Params: params[:1]},
+		{Type: msgSetView, Seq: 4, View: view},
+		{Type: msgViewUpdate, View: view},
+		{Type: msgCommand, Seq: 5, Command: cmdCheckpoint},
+		{Type: msgRequestMaster, Seq: 6},
+		{Type: msgHandoffMaster, Seq: 7, Target: "bob"},
+		{Type: msgMasterChanged, Target: "bob"},
+		{Type: msgEvent, Event: "resumed"},
+		{Type: msgAck, Seq: 8, Ack: &ackMsg{OK: true}},
+		{Type: msgAck, Seq: 9, Ack: &ackMsg{Code: codeNotMaster, Err: "nope"}},
+		{Type: msgDetach},
+	}
+	for _, e := range cases {
+		buf, err := encodeEnvelope(nil, e)
+		if err != nil {
+			t.Fatalf("encode type %d: %v", e.Type, err)
+		}
+		cli, srv := net.Pipe()
+		go func() {
+			cli.Write(buf)
+			cli.Close()
+		}()
+		got, err := decodeEnvelope(wire.NewDecoder(srv), clientEnvelopeBudget)
+		if err != nil {
+			t.Fatalf("decode type %d: %v", e.Type, err)
+		}
+		if got.Type != e.Type || got.Seq != e.Seq {
+			t.Fatalf("type/seq: got %d/%d want %d/%d", got.Type, got.Seq, e.Type, e.Seq)
+		}
+		// Canonical re-encode must be byte-identical.
+		buf2, err := encodeEnvelope(nil, got)
+		if err != nil {
+			t.Fatalf("re-encode type %d: %v", e.Type, err)
+		}
+		if string(buf) != string(buf2) {
+			t.Fatalf("type %d not canonical", e.Type)
+		}
+		switch e.Type {
+		case msgAttach:
+			if *got.Attach != *e.Attach {
+				t.Fatalf("attach: %+v", got.Attach)
+			}
+		case msgWelcome:
+			w := got.Welcome
+			if w.SessionName != "s1" || w.Master != "bob" || w.Role != RoleObserver || len(w.Params) != 3 {
+				t.Fatalf("welcome: %+v", w)
+			}
+			if w.Params[1].Choices[1] != "slow" || w.Params[2].Value != BoolValue(true) {
+				t.Fatalf("welcome params: %+v", w.Params)
+			}
+			if w.View == nil || w.View.VizParams["iso"] != 0.5 || w.View.Seq != 7 {
+				t.Fatalf("welcome view: %+v", w.View)
+			}
+		case msgSample:
+			if got.Sample.Step != 42 || len(got.Sample.Channels) != 2 ||
+				got.Sample.Channels["phi"].Data[3] != 4 ||
+				got.Sample.Channels["seg"].Value() != 0.7 {
+				t.Fatalf("sample: %+v", got.Sample)
+			}
+		case msgSetParam:
+			if len(got.Sets) != 3 || got.Sets[0].Value != FloatValue(4.5) ||
+				got.Sets[1].Value != StringValue("slow") || got.Sets[2].Value != IntValue(9) {
+				t.Fatalf("sets: %+v", got.Sets)
+			}
+		case msgSetView, msgViewUpdate:
+			if got.View.Eye != view.Eye || got.View.VizParams["cut"] != 2 {
+				t.Fatalf("view: %+v", got.View)
+			}
+		case msgCommand:
+			if got.Command != cmdCheckpoint {
+				t.Fatalf("command: %v", got.Command)
+			}
+		case msgHandoffMaster, msgMasterChanged:
+			if got.Target != "bob" {
+				t.Fatalf("target: %q", got.Target)
+			}
+		case msgEvent:
+			if got.Event != "resumed" {
+				t.Fatalf("event: %q", got.Event)
+			}
+		case msgAck:
+			if got.Ack.OK != e.Ack.OK || got.Ack.Code != e.Ack.Code || got.Ack.Err != e.Ack.Err {
+				t.Fatalf("ack: %+v", got.Ack)
+			}
+		}
+		srv.Close()
+	}
+}
+
+// TestParseParamsHostileChoiceCount is the regression test for the integer
+// overflow a hostile peer could plant in the per-param choice count: the
+// bounds check must run in int64 space, erroring instead of wrapping into
+// an out-of-range slice panic.
+func TestParseParamsHostileChoiceCount(t *testing.T) {
+	for _, nch := range []int64{int64(^uint64(0) >> 1), -1, 4} {
+		_, err := parseParams(
+			[]int64{int64(FloatParam), int64(wire.KindFloat64), 0, nch},
+			[]float64{1, 0, 2},
+			[]string{"name", "help", ""},
+		)
+		if !errors.Is(err, errMalformed) {
+			t.Fatalf("nch=%d: err = %v, want errMalformed", nch, err)
+		}
+	}
+}
+
+// TestParseGroupsHostileCounts covers the same class for the sample and
+// view groups: declared counts that disagree with the frames must error.
+func TestParseGroupsHostileCounts(t *testing.T) {
+	if _, err := parseSample([]int64{1, int64(^uint64(0) >> 1)}, []string{"x"}, [][]float64{{1}}); !errors.Is(err, errMalformed) {
+		t.Fatalf("hostile sample count err = %v", err)
+	}
+	if _, err := parseView([]int64{1, int64(^uint64(0) >> 1)}, make([]float64, 10), nil); !errors.Is(err, errMalformed) {
+		t.Fatalf("hostile view count err = %v", err)
+	}
+}
+
+// TestServerEnvelopeBudget proves a hardened (session-side) codec cuts off
+// an envelope that streams more payload than any legitimate client message
+// needs, while the client-side codec still accepts the same bulk sample.
+func TestServerEnvelopeBudget(t *testing.T) {
+	sample := NewSample(1)
+	for i := 0; i < 10; i++ {
+		sample.Channels[fmt.Sprintf("c%02d", i)] = Channel{
+			Dims: [3]int{128, 128, 8}, Data: make([]float64, 131072), // 1 MB each
+		}
+	}
+	buf, err := encodeEnvelope(nil, &envelope{Type: msgSample, Sample: sample})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cli, srv := net.Pipe()
+	defer cli.Close()
+	defer srv.Close()
+	go func() {
+		cli.Write(buf)
+		cli.Close()
+	}()
+	hardened := newCodec(srv)
+	hardened.harden()
+	if _, err := hardened.read(); err == nil {
+		t.Fatal("hardened codec decoded a 10 MB envelope")
+	}
+
+	cli2, srv2 := net.Pipe()
+	defer cli2.Close()
+	defer srv2.Close()
+	go func() {
+		cli2.Write(buf)
+		cli2.Close()
+	}()
+	if _, err := newCodec(srv2).read(); err != nil {
+		t.Fatalf("client codec rejected a legitimate bulk sample: %v", err)
+	}
+}
+
+// TestAcceptConnRejectsBadMagic proves a non-protocol byte stream (an HTTP
+// probe, a gob v1 client) fails the handshake with ErrVersionMismatch
+// instead of a codec panic.
+func TestAcceptConnRejectsBadMagic(t *testing.T) {
+	cli, srv := net.Pipe()
+	defer cli.Close()
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := AcceptConn(srv)
+		errCh <- err
+	}()
+	go cli.Write([]byte("GET /steer HTTP/1.1\r\nHost: nope\r\n\r\n"))
+	// The server answers with a best-effort version-coded ack before closing.
+	reply, err := decodeEnvelope(wire.NewDecoder(cli), clientEnvelopeBudget)
+	if err != nil {
+		t.Fatalf("reading rejection: %v", err)
+	}
+	if reply.Type != msgAck || reply.Ack == nil || reply.Ack.Code != codeVersion {
+		t.Fatalf("rejection = %+v", reply)
+	}
+	if err := <-errCh; !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("AcceptConn err = %v, want ErrVersionMismatch", err)
+	}
+}
+
+// TestAcceptConnRejectsWrongVersion proves version negotiation: a client
+// offering an unsupported protocol version is rejected with
+// ErrVersionMismatch and a version-coded ack.
+func TestAcceptConnRejectsWrongVersion(t *testing.T) {
+	buf, err := encodeEnvelope(nil, &envelope{
+		Version: 99, Type: msgAttach, Attach: &attachMsg{Name: "fut"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, srv := net.Pipe()
+	defer cli.Close()
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := AcceptConn(srv)
+		errCh <- err
+	}()
+	go cli.Write(buf)
+	reply, err := decodeEnvelope(wire.NewDecoder(cli), clientEnvelopeBudget)
+	if err != nil {
+		t.Fatalf("reading rejection: %v", err)
+	}
+	if reply.Type != msgAck || reply.Ack == nil || reply.Ack.Code != codeVersion {
+		t.Fatalf("rejection = %+v", reply)
+	}
+	if err := <-errCh; !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("AcceptConn err = %v, want ErrVersionMismatch", err)
+	}
+}
+
+// TestAcceptConnAcceptsV2 is the positive half of negotiation: a current
+// attach frame yields a PendingConn carrying the requested names.
+func TestAcceptConnAcceptsV2(t *testing.T) {
+	buf, err := encodeEnvelope(nil, &envelope{
+		Type: msgAttach, Attach: &attachMsg{Name: "alice", Session: "s7"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, srv := net.Pipe()
+	defer cli.Close()
+	type res struct {
+		p   *PendingConn
+		err error
+	}
+	resCh := make(chan res, 1)
+	go func() {
+		p, err := AcceptConn(srv)
+		resCh <- res{p, err}
+	}()
+	go cli.Write(buf)
+	r := <-resCh
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if r.p.ClientName() != "alice" || r.p.SessionName() != "s7" {
+		t.Fatalf("pending conn: %q %q", r.p.ClientName(), r.p.SessionName())
+	}
+}
+
+// TestAttachRejectsNonProtocolServer covers the client side of negotiation:
+// attaching to an endpoint that does not speak the protocol fails with
+// ErrVersionMismatch.
+func TestAttachRejectsNonProtocolServer(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		conn.Write([]byte("HTTP/1.1 200 OK\r\nContent-Length: 0\r\n\r\n"))
+		conn.Close()
+	}()
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Attach(conn, AttachOptions{Name: "c", Timeout: 2 * time.Second}); !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("Attach err = %v, want ErrVersionMismatch", err)
+	}
+}
+
+// TestAttachSurfacesVersionAck proves a server's version-coded rejection ack
+// reaches the client as ErrVersionMismatch.
+func TestAttachSurfacesVersionAck(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		c := newCodec(conn)
+		c.read() // consume the attach
+		c.write(&envelope{Type: msgAck, Ack: &ackMsg{Code: codeVersion, Err: "v2 only"}}, time.Second)
+		conn.Close()
+	}()
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Attach(conn, AttachOptions{Name: "c", Timeout: 2 * time.Second}); !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("Attach err = %v, want ErrVersionMismatch", err)
+	}
+}
+
+func TestAttachContextCancellation(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		// Accept and say nothing: the handshake can only end by ctx.
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		time.Sleep(3 * time.Second)
+	}()
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = AttachContext(ctx, conn, AttachOptions{Name: "c", Timeout: 10 * time.Second})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("cancellation did not interrupt the handshake")
+	}
+}
+
+func TestTypedParamsEndToEnd(t *testing.T) {
+	s, dial := testSession(t, SessionConfig{})
+	st := s.Steered()
+	var gotInt int64
+	var gotBool bool
+	var gotStr, gotChoice string
+	if err := st.RegisterInt("iters", 10, 1, 100, "solver iterations", func(v int64) { gotInt = v }); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.RegisterBool("verbose", false, "", func(v bool) { gotBool = v }); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.RegisterString("label", "run-a", "", func(v string) { gotStr = v }); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.RegisterChoice("scheme", []string{"fast", "accurate"}, "fast", "", func(v string) { gotChoice = v }); err != nil {
+		t.Fatal(err)
+	}
+
+	m := dial(AttachOptions{Name: "m"})
+	// The welcome carries types, kinds, and choices.
+	p, ok := m.Param("iters")
+	if !ok || p.Type != IntParam || p.Value != IntValue(10) || p.Min != 1 || p.Max != 100 {
+		t.Fatalf("iters param: %+v", p)
+	}
+	p, _ = m.Param("scheme")
+	if p.Type != ChoiceParam || len(p.Choices) != 2 || p.Value != StringValue("fast") {
+		t.Fatalf("scheme param: %+v", p)
+	}
+
+	if err := m.SetInt("iters", 42, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetBool("verbose", true, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetString("label", "run-b", time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// A choice accepts its index too: receiver-side conversion.
+	if err := m.SetValue("scheme", IntValue(1), time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st.Poll()
+	if gotInt != 42 || !gotBool || gotStr != "run-b" || gotChoice != "accurate" {
+		t.Fatalf("applied: %d %v %q %q", gotInt, gotBool, gotStr, gotChoice)
+	}
+	// Updates reach the client with typed values.
+	waitFor(t, "typed updates", func() bool {
+		a, _ := m.Param("scheme")
+		b, _ := m.Param("verbose")
+		return a.Value == StringValue("accurate") && b.Value == BoolValue(true)
+	})
+
+	// An integer parameter accepts an integral float but rejects a
+	// fractional one (no silent truncation).
+	if err := m.SetParam("iters", 7, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetParam("iters", 7.5, time.Second); !errors.Is(err, ErrBadValue) {
+		t.Fatalf("fractional int err = %v", err)
+	}
+}
+
+func TestTypedErrors(t *testing.T) {
+	s, dial := testSession(t, SessionConfig{})
+	st := s.Steered()
+	st.RegisterFloat("g", 0, 0, 10, "", func(float64) {})
+	m := dial(AttachOptions{Name: "m"})
+	o := dial(AttachOptions{Name: "o"})
+
+	if err := o.SetParam("g", 1, time.Second); !errors.Is(err, ErrNotMaster) {
+		t.Fatalf("observer steer err = %v, want ErrNotMaster", err)
+	}
+	if err := m.SetParam("nosuch", 1, time.Second); !errors.Is(err, ErrUnknownParam) {
+		t.Fatalf("unknown param err = %v, want ErrUnknownParam", err)
+	}
+	if err := m.SetParam("g", 11, time.Second); !errors.Is(err, ErrBadValue) {
+		t.Fatalf("out-of-range err = %v, want ErrBadValue", err)
+	}
+	if err := m.SetValue("g", StringValue("warp"), time.Second); !errors.Is(err, ErrBadValue) {
+		t.Fatalf("kind clash err = %v, want ErrBadValue", err)
+	}
+}
+
+func TestBatchSetParamsAtomic(t *testing.T) {
+	s, dial := testSession(t, SessionConfig{})
+	st := s.Steered()
+	var g float64
+	var n int64
+	st.RegisterFloat("g", 0, 0, 10, "", func(v float64) { g = v })
+	st.RegisterInt("n", 0, 0, 100, "", func(v int64) { n = v })
+	m := dial(AttachOptions{Name: "m"})
+
+	// One envelope, one ack, both applied at the next poll.
+	if err := m.SetParams([]ParamSet{
+		{Name: "g", Value: FloatValue(2.5)},
+		{Name: "n", Value: IntValue(5)},
+	}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st.Poll()
+	if g != 2.5 || n != 5 {
+		t.Fatalf("batch applied g=%v n=%d", g, n)
+	}
+	if got := s.Stats().SteersApplied; got != 2 {
+		t.Fatalf("SteersApplied = %d, want 2", got)
+	}
+
+	// A batch with one bad assignment is rejected whole: nothing applies.
+	err := m.SetParams([]ParamSet{
+		{Name: "g", Value: FloatValue(9)},
+		{Name: "n", Value: IntValue(1000)},
+	}, time.Second)
+	if !errors.Is(err, ErrBadValue) {
+		t.Fatalf("bad batch err = %v", err)
+	}
+	st.Poll()
+	if g != 2.5 || n != 5 {
+		t.Fatalf("rejected batch leaked: g=%v n=%d", g, n)
+	}
+}
+
+func TestChoiceRegistrationValidation(t *testing.T) {
+	s := NewSession(SessionConfig{})
+	defer s.Close()
+	st := s.Steered()
+	if err := st.RegisterChoice("c", nil, "", "", func(string) {}); err == nil {
+		t.Fatal("empty choice list accepted")
+	}
+	if err := st.RegisterChoice("c", []string{"a", "b"}, "z", "", func(string) {}); err == nil {
+		t.Fatal("initial value outside choices accepted")
+	}
+	if err := st.RegisterChoice("c", []string{"a", "b"}, "a", "", func(string) {}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEncodeOnceSharesBuffer pins the tentpole property: one broadcast to N
+// clients performs exactly one serialization, and every queue holds the
+// same buffer.
+func TestEncodeOnceSharesBuffer(t *testing.T) {
+	// No Close: the session never serves a listener and the fake clients
+	// carry no codec to shut down.
+	s := NewSession(SessionConfig{SampleQueue: 4})
+	for i := 0; i < 3; i++ {
+		name := string(rune('a' + i))
+		s.clients[name] = &clientConn{
+			name: name,
+			out:  make(chan []byte, 4),
+			ctrl: make(chan []byte, 4),
+			gone: make(chan struct{}),
+		}
+	}
+	sample := NewSample(1)
+	sample.Channels["x"] = Scalar(1)
+	s.broadcastSample(sample)
+
+	var bufs [][]byte
+	for _, cc := range s.clients {
+		select {
+		case b := <-cc.out:
+			bufs = append(bufs, b)
+		default:
+			t.Fatal("client queue empty after broadcast")
+		}
+	}
+	for _, b := range bufs[1:] {
+		if &b[0] != &bufs[0][0] {
+			t.Fatal("broadcast did not share one encoded buffer across clients")
+		}
+	}
+}

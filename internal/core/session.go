@@ -75,8 +75,8 @@ type Stats struct {
 
 // pendingOp is a steering operation queued for the simulation's next poll.
 type pendingOp struct {
-	set *setParamMsg
-	cmd commandKind
+	sets []ParamSet
+	cmd  commandKind
 }
 
 // clientConn is the session's view of one attached client.
@@ -88,9 +88,11 @@ type clientConn struct {
 	// evicted so a slow client sees the freshest data. ctrl is the separate
 	// control-frame queue, drained with priority, so a sample burst can
 	// never starve or evict an event, param update or master change.
-	// Synchronous acks bypass both with a deadline write.
-	out      chan *envelope
-	ctrl     chan *envelope
+	// Synchronous acks bypass both with a deadline write. Both queues carry
+	// pre-encoded envelope bytes: a broadcast serializes once and every
+	// queue holds a reference to the same buffer (encode-once fan-out).
+	out      chan []byte
+	ctrl     chan []byte
 	dropped  uint64
 	gone     chan struct{}
 	goneOnce sync.Once
@@ -211,12 +213,21 @@ type PendingConn struct {
 	seq    uint64
 }
 
-// AcceptConn reads the attach frame from conn. Callers that must bound the
+// AcceptConn reads and version-checks the attach frame from conn. A stream
+// that is not protocol v2 — wrong magic (a gob v1 client, an HTTP probe) or
+// an unsupported header version — is answered with a version-coded ack when
+// possible and fails with ErrVersionMismatch. Callers that must bound the
 // handshake set a read deadline on conn first (and clear it afterwards).
 func AcceptConn(conn net.Conn) (*PendingConn, error) {
 	c := newCodec(conn)
+	c.harden()
 	first, err := c.read()
 	if err != nil {
+		if errors.Is(err, ErrVersionMismatch) {
+			// Best-effort typed rejection: a v1/foreign client may not parse
+			// it, but a future-versioned client will.
+			c.write(&envelope{Type: msgAck, Ack: &ackMsg{Code: codeVersion, Err: err.Error()}}, 2*time.Second)
+		}
 		conn.Close()
 		return nil, err
 	}
@@ -239,7 +250,7 @@ func (p *PendingConn) ClientName() string { return p.attach.Name }
 
 // Reject refuses the attach with a reason and closes the connection.
 func (p *PendingConn) Reject(why string) error {
-	p.codec.write(&envelope{Type: msgAck, Seq: p.seq, Ack: &ackMsg{Err: why}}, 2*time.Second)
+	p.codec.write(&envelope{Type: msgAck, Seq: p.seq, Ack: &ackMsg{Code: codeGeneric, Err: why}}, 2*time.Second)
 	return p.codec.close()
 }
 
@@ -258,11 +269,10 @@ func (s *Session) ServeConn(conn net.Conn) error {
 func (s *Session) ServePending(p *PendingConn) error {
 	c := p.codec
 	defer c.close()
-	first := &envelope{Seq: p.seq}
 
 	cc, err := s.admit(p.attach, c)
 	if err != nil {
-		c.write(&envelope{Type: msgAck, Seq: first.Seq, Ack: &ackMsg{Err: err.Error()}}, s.cfg.ControlTimeout)
+		c.write(&envelope{Type: msgAck, Seq: p.seq, Ack: &ackMsg{Code: codeFor(err), Err: err.Error()}}, s.cfg.ControlTimeout)
 		return err
 	}
 	defer s.drop(cc)
@@ -285,7 +295,7 @@ func (s *Session) ServePending(p *PendingConn) error {
 	// (view updates are Seq-guarded client-side), so delivering it after
 	// the welcome is harmless.
 	s.mu.Lock()
-	welcome := &envelope{Type: msgWelcome, Seq: first.Seq, Welcome: &welcomeMsg{
+	welcome := &envelope{Type: msgWelcome, Seq: p.seq, Welcome: &welcomeMsg{
 		SessionName: s.cfg.Name,
 		AppName:     s.cfg.AppName,
 		ClientName:  cc.name,
@@ -304,20 +314,20 @@ func (s *Session) ServePending(p *PendingConn) error {
 		// Writer goroutine drains both bounded queues, control first.
 		go func() {
 			for {
-				var e *envelope
+				var buf []byte
 				select {
-				case e = <-cc.ctrl:
+				case buf = <-cc.ctrl:
 				default:
 					select {
-					case e = <-cc.ctrl:
-					case e = <-cc.out:
+					case buf = <-cc.ctrl:
+					case buf = <-cc.out:
 					case <-cc.gone:
 						return
 					case <-s.closeCh:
 						return
 					}
 				}
-				if err := cc.codec.write(e, s.cfg.ControlTimeout); err != nil {
+				if err := cc.codec.writeBytes(buf, s.cfg.ControlTimeout); err != nil {
 					cc.markGone()
 					return
 				}
@@ -368,8 +378,8 @@ func (s *Session) admit(a *attachMsg, c *codec) (*clientConn, error) {
 		name:  name,
 		codec: c,
 		role:  RoleObserver,
-		out:   make(chan *envelope, s.cfg.SampleQueue),
-		ctrl:  make(chan *envelope, 64),
+		out:   make(chan []byte, s.cfg.SampleQueue),
+		ctrl:  make(chan []byte, 64),
 		gone:  make(chan struct{}),
 	}
 	if s.cfg.Writer != nil {
@@ -429,23 +439,30 @@ func (s *Session) dispatch(cc *clientConn, e *envelope) (done bool, err error) {
 		return true, nil
 
 	case msgSetParam:
-		if e.Set == nil {
+		if len(e.Sets) == 0 {
 			return false, nil
 		}
 		if !s.isMaster(cc) {
-			s.rejectSteer(cc, e.Seq, "only the master may steer")
+			s.rejectSteer(cc, e.Seq, ErrNotMaster)
 			return false, nil
 		}
-		if verr := s.params.validate(e.Set.Name, e.Set.Value); verr != nil {
-			s.rejectSteer(cc, e.Seq, verr.Error())
-			return false, nil
+		// Validate the whole batch before queueing any of it: a batch is
+		// atomic, so a typo in one assignment cannot half-apply a steer.
+		normalized := make([]ParamSet, len(e.Sets))
+		for i, set := range e.Sets {
+			v, verr := s.params.validate(set.Name, set.Value)
+			if verr != nil {
+				s.rejectSteer(cc, e.Seq, verr)
+				return false, nil
+			}
+			normalized[i] = ParamSet{Name: set.Name, Value: v}
 		}
-		s.enqueueOp(pendingOp{set: e.Set})
+		s.enqueueOp(pendingOp{sets: normalized})
 		s.ack(cc, e.Seq)
 
 	case msgCommand:
 		if !s.isMaster(cc) {
-			s.rejectSteer(cc, e.Seq, "only the master may issue commands")
+			s.rejectSteer(cc, e.Seq, ErrNotMaster)
 			return false, nil
 		}
 		s.enqueueOp(pendingOp{cmd: e.Command})
@@ -459,7 +476,7 @@ func (s *Session) dispatch(cc *clientConn, e *envelope) (done bool, err error) {
 			return false, nil
 		}
 		if !s.isMaster(cc) {
-			s.rejectSteer(cc, e.Seq, "only the master may move the shared view")
+			s.rejectSteer(cc, e.Seq, ErrNotMaster)
 			return false, nil
 		}
 		s.mu.Lock()
@@ -483,20 +500,20 @@ func (s *Session) dispatch(cc *clientConn, e *envelope) (done bool, err error) {
 		} else {
 			master := s.master
 			s.mu.Unlock()
-			s.rejectSteer(cc, e.Seq, fmt.Sprintf("master role held by %q", master))
+			s.rejectSteer(cc, e.Seq, fmt.Errorf("%w: master role held by %q", ErrRejected, master))
 		}
 
 	case msgHandoffMaster:
 		s.mu.Lock()
 		if s.master != cc.name {
 			s.mu.Unlock()
-			s.rejectSteer(cc, e.Seq, "only the master may hand off")
+			s.rejectSteer(cc, e.Seq, ErrNotMaster)
 			return false, nil
 		}
 		target, ok := s.clients[e.Target]
 		if !ok {
 			s.mu.Unlock()
-			s.rejectSteer(cc, e.Seq, fmt.Sprintf("no client %q", e.Target))
+			s.rejectSteer(cc, e.Seq, fmt.Errorf("%w: no client %q", ErrRejected, e.Target))
 			return false, nil
 		}
 		cc.role = RoleObserver
@@ -534,17 +551,21 @@ func (s *Session) ack(cc *clientConn, seq uint64) {
 	cc.codec.write(&envelope{Type: msgAck, Seq: seq, Ack: &ackMsg{OK: true}}, s.cfg.ControlTimeout)
 }
 
-func (s *Session) rejectSteer(cc *clientConn, seq uint64, why string) {
+func (s *Session) rejectSteer(cc *clientConn, seq uint64, why error) {
 	s.mu.Lock()
 	s.stats.SteersRejected++
 	s.mu.Unlock()
-	cc.codec.write(&envelope{Type: msgAck, Seq: seq, Ack: &ackMsg{Err: why}}, s.cfg.ControlTimeout)
+	cc.codec.write(&envelope{Type: msgAck, Seq: seq, Ack: &ackMsg{Code: codeFor(why), Err: why.Error()}}, s.cfg.ControlTimeout)
 }
 
-// broadcastControl queues a control frame to every client; clients whose
-// queue is full have older entries evicted (control frames are small and
-// idempotent: last-writer-wins state updates).
+// broadcastControl encodes a control frame once and queues the bytes to
+// every client; clients whose queue is full have older entries evicted
+// (control frames are small and idempotent: last-writer-wins state updates).
 func (s *Session) broadcastControl(e *envelope) {
+	buf, err := encodeEnvelope(nil, e)
+	if err != nil {
+		return
+	}
 	s.mu.Lock()
 	clients := make([]*clientConn, 0, len(s.clients))
 	for _, cc := range s.clients {
@@ -554,7 +575,7 @@ func (s *Session) broadcastControl(e *envelope) {
 	for _, cc := range clients {
 		for {
 			select {
-			case cc.ctrl <- e:
+			case cc.ctrl <- buf:
 			default:
 				// Full: evict the oldest if one is still there (a writer
 				// may have drained it meanwhile), then retry the send —
@@ -580,14 +601,23 @@ func (s *Session) notifyWriter(cc *clientConn) {
 	}
 }
 
-// broadcastSample fans a sample out to all clients. A slow client's queue
-// evicts its oldest entries so the freshest data always survives a burst:
-// "failures or slow operation of the visualization must not disturb the
-// simulation progress", and a client that falls behind sees the most recent
-// samples rather than a stale prefix (dropping newest would strand a client
-// on pre-migration data across a compute handoff).
+// broadcastSample fans a sample out to all clients, serializing it exactly
+// once: every client queue (and every batched writer behind DrainBatch)
+// shares the same encoded buffer, so fan-out cost is channel sends, not
+// N encodings. A slow client's queue evicts its oldest entries so the
+// freshest data always survives a burst: "failures or slow operation of the
+// visualization must not disturb the simulation progress", and a client
+// that falls behind sees the most recent samples rather than a stale prefix
+// (dropping newest would strand a client on pre-migration data across a
+// compute handoff).
 func (s *Session) broadcastSample(sample *Sample) {
-	e := &envelope{Type: msgSample, Sample: sample}
+	// Pre-size for the payload so the one serialization also means one
+	// allocation instead of append-growth over a multi-KB sample.
+	est := sample.ByteSize() + 64*len(sample.Channels) + 256
+	buf, err := encodeEnvelope(make([]byte, 0, est), &envelope{Type: msgSample, Sample: sample})
+	if err != nil {
+		return
+	}
 	s.mu.Lock()
 	s.stats.SamplesEmitted++
 	s.lastSample = sample
@@ -603,7 +633,7 @@ func (s *Session) broadcastSample(sample *Sample) {
 	for _, cc := range clients {
 		for {
 			select {
-			case cc.out <- e:
+			case cc.out <- buf:
 				delivered++
 			default:
 				// Full: evict the oldest if one is still there (a writer
@@ -642,13 +672,21 @@ func (s *Session) broadcastEvent(ev string) {
 // mirroring how the UNICORE proxy made collaborators authenticate to the
 // grid layer rather than to VISIT.
 
-// QueueSetParam validates and queues a steering request for the next poll.
-func (s *Session) QueueSetParam(name string, value float64) error {
-	if err := s.params.validate(name, value); err != nil {
+// QueueSetValue validates and queues a typed steering request for the next
+// poll.
+func (s *Session) QueueSetValue(name string, value Value) error {
+	v, err := s.params.validate(name, value)
+	if err != nil {
 		return err
 	}
-	s.enqueueOp(pendingOp{set: &setParamMsg{Name: name, Value: value}})
+	s.enqueueOp(pendingOp{sets: []ParamSet{{Name: name, Value: v}}})
 	return nil
+}
+
+// QueueSetParam validates and queues a float steering request for the next
+// poll; the float convenience form of QueueSetValue.
+func (s *Session) QueueSetParam(name string, value float64) error {
+	return s.QueueSetValue(name, FloatValue(value))
 }
 
 // QueuePause queues a pause command.

@@ -7,6 +7,11 @@ import "time"
 // project has defined APIs for the steering calls which can be used to link
 // from the application to the services" (section 2.3).
 //
+// Parameters are typed — float, int, bool, string, choice — mirroring the
+// VISIT data model (tagged integers, floats, strings; section 3.2). The
+// session performs all validation and conversion on the receiving side, so
+// the apply callbacks always see a value of the registered type.
+//
 // All methods are simulation-initiated and non-blocking (except
 // PollBlocking, which the application opts into while paused), so steering
 // can never stall the computation.
@@ -14,13 +19,63 @@ type Steered struct {
 	s *Session
 }
 
-// RegisterFloat declares a steerable float parameter. apply is invoked from
-// the simulation's Poll path when a validated steering request arrives, so
-// applications need no locking of their own if they poll at loop boundaries.
+// RegisterFloat declares a steerable float parameter bounded to [min, max].
+// apply is invoked from the simulation's Poll path when a validated steering
+// request arrives, so applications need no locking of their own if they poll
+// at loop boundaries.
 func (st *Steered) RegisterFloat(name string, initial, min, max float64, help string, apply func(float64)) error {
+	if apply == nil {
+		return st.s.params.register(&paramDef{Param: Param{Name: name, Type: FloatParam}})
+	}
 	return st.s.params.register(&paramDef{
-		Param: Param{Name: name, Value: initial, Min: min, Max: max, Help: help},
-		apply: apply,
+		Param: Param{Name: name, Type: FloatParam, Value: FloatValue(initial), Min: min, Max: max, Help: help},
+		apply: func(v Value) { apply(v.Float()) },
+	})
+}
+
+// RegisterInt declares a steerable integer parameter bounded to [min, max].
+func (st *Steered) RegisterInt(name string, initial, min, max int64, help string, apply func(int64)) error {
+	if apply == nil {
+		return st.s.params.register(&paramDef{Param: Param{Name: name, Type: IntParam}})
+	}
+	return st.s.params.register(&paramDef{
+		Param: Param{Name: name, Type: IntParam, Value: IntValue(initial), Min: float64(min), Max: float64(max), Help: help},
+		apply: func(v Value) { apply(v.I) },
+	})
+}
+
+// RegisterBool declares a steerable on/off toggle.
+func (st *Steered) RegisterBool(name string, initial bool, help string, apply func(bool)) error {
+	if apply == nil {
+		return st.s.params.register(&paramDef{Param: Param{Name: name, Type: BoolParam}})
+	}
+	return st.s.params.register(&paramDef{
+		Param: Param{Name: name, Type: BoolParam, Value: BoolValue(initial), Help: help},
+		apply: func(v Value) { apply(v.I != 0) },
+	})
+}
+
+// RegisterString declares a steerable free-form string parameter.
+func (st *Steered) RegisterString(name, initial, help string, apply func(string)) error {
+	if apply == nil {
+		return st.s.params.register(&paramDef{Param: Param{Name: name, Type: StringParam}})
+	}
+	return st.s.params.register(&paramDef{
+		Param: Param{Name: name, Type: StringParam, Value: StringValue(initial), Help: help},
+		apply: func(v Value) { apply(v.S) },
+	})
+}
+
+// RegisterChoice declares a parameter selecting one of a fixed list of
+// strings. Steering clients may send either the choice string or its index;
+// apply always receives the choice string.
+func (st *Steered) RegisterChoice(name string, choices []string, initial, help string, apply func(string)) error {
+	if apply == nil {
+		return st.s.params.register(&paramDef{Param: Param{Name: name, Type: ChoiceParam, Choices: choices}})
+	}
+	return st.s.params.register(&paramDef{
+		Param: Param{Name: name, Type: ChoiceParam, Value: StringValue(initial), Choices: choices, Help: help},
+		apply: func(v Value) { apply(v.S) },
 	})
 }
 
@@ -95,15 +150,22 @@ func (st *Steered) PollBlocking(pauseTimeout time.Duration) Control {
 // goroutine.
 func (st *Steered) applyOp(op pendingOp) {
 	s := st.s
-	if op.set != nil {
-		p, err := s.params.applyAndGet(op.set.Name, op.set.Value)
-		if err != nil {
+	if len(op.sets) > 0 {
+		updated := make([]Param, 0, len(op.sets))
+		for _, set := range op.sets {
+			p, err := s.params.applyAndGet(set.Name, set.Value)
+			if err != nil {
+				continue
+			}
+			updated = append(updated, p)
+		}
+		if len(updated) == 0 {
 			return
 		}
 		s.mu.Lock()
-		s.stats.SteersApplied++
+		s.stats.SteersApplied += uint64(len(updated))
 		s.mu.Unlock()
-		s.broadcastControl(&envelope{Type: msgParamUpdate, Params: []Param{p}})
+		s.broadcastControl(&envelope{Type: msgParamUpdate, Params: updated})
 		return
 	}
 	switch op.cmd {

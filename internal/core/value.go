@@ -1,0 +1,147 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+
+	"repro/internal/wire"
+)
+
+// Value is a wire.Kind-tagged scalar: the unit of the typed steering data
+// model (SC2003 §3.2 — tagged messages of integers, floats, strings,
+// converted by the receiver). Exactly one of F, I, S is meaningful,
+// selected by Kind: KindFloat64 → F, KindInt64 → I, KindBool → I (0/1),
+// KindString → S.
+type Value struct {
+	Kind wire.Kind
+	F    float64
+	I    int64
+	S    string
+}
+
+// FloatValue wraps a float64.
+func FloatValue(v float64) Value { return Value{Kind: wire.KindFloat64, F: v} }
+
+// IntValue wraps an int64.
+func IntValue(v int64) Value { return Value{Kind: wire.KindInt64, I: v} }
+
+// BoolValue wraps a bool.
+func BoolValue(v bool) Value {
+	var i int64
+	if v {
+		i = 1
+	}
+	return Value{Kind: wire.KindBool, I: i}
+}
+
+// StringValue wraps a string.
+func StringValue(s string) Value { return Value{Kind: wire.KindString, S: s} }
+
+// Float returns the value as a float64, converting any numeric kind — the
+// receiver-side conversion rule. Strings return NaN.
+func (v Value) Float() float64 {
+	switch v.Kind {
+	case wire.KindFloat64:
+		return v.F
+	case wire.KindInt64, wire.KindBool:
+		return float64(v.I)
+	default:
+		return math.NaN()
+	}
+}
+
+// Int returns the value as an int64. Floats are rejected unless integral:
+// silent truncation would hide steering bugs.
+func (v Value) Int() (int64, error) {
+	switch v.Kind {
+	case wire.KindInt64, wire.KindBool:
+		return v.I, nil
+	case wire.KindFloat64:
+		if v.F == math.Trunc(v.F) && !math.IsInf(v.F, 0) {
+			return int64(v.F), nil
+		}
+		return 0, fmt.Errorf("%w: %v is not integral", ErrBadValue, v.F)
+	default:
+		return 0, fmt.Errorf("%w: cannot convert %s to int", ErrBadValue, v.Kind)
+	}
+}
+
+// Bool returns the value as a bool; any numeric kind converts by the
+// nonzero-is-true rule.
+func (v Value) Bool() (bool, error) {
+	switch v.Kind {
+	case wire.KindBool, wire.KindInt64:
+		return v.I != 0, nil
+	case wire.KindFloat64:
+		return v.F != 0, nil
+	default:
+		return false, fmt.Errorf("%w: cannot convert %s to bool", ErrBadValue, v.Kind)
+	}
+}
+
+// String renders the value for display; it implements fmt.Stringer.
+func (v Value) String() string {
+	switch v.Kind {
+	case wire.KindFloat64:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case wire.KindInt64:
+		return strconv.FormatInt(v.I, 10)
+	case wire.KindBool:
+		return strconv.FormatBool(v.I != 0)
+	case wire.KindString:
+		return v.S
+	default:
+		return "<invalid>"
+	}
+}
+
+// valueJSON is the stable JSON projection of a Value.
+type valueJSON struct {
+	Kind  string   `json:"kind"`
+	Float *float64 `json:"float,omitempty"`
+	Int   *int64   `json:"int,omitempty"`
+	Bool  *bool    `json:"bool,omitempty"`
+	Str   *string  `json:"string,omitempty"`
+}
+
+// MarshalJSON encodes the value as {"kind": ..., <kind>: ...}.
+func (v Value) MarshalJSON() ([]byte, error) {
+	j := valueJSON{Kind: v.Kind.String()}
+	switch v.Kind {
+	case wire.KindFloat64:
+		j.Float = &v.F
+	case wire.KindInt64:
+		j.Int = &v.I
+	case wire.KindBool:
+		b := v.I != 0
+		j.Bool = &b
+	case wire.KindString:
+		j.Str = &v.S
+	default:
+		return nil, fmt.Errorf("core: cannot marshal value of kind %s", v.Kind)
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON decodes the projection written by MarshalJSON.
+func (v *Value) UnmarshalJSON(data []byte) error {
+	var j valueJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	switch {
+	case j.Float != nil:
+		*v = FloatValue(*j.Float)
+	case j.Int != nil:
+		*v = IntValue(*j.Int)
+	case j.Bool != nil:
+		*v = BoolValue(*j.Bool)
+	case j.Str != nil:
+		*v = StringValue(*j.Str)
+	default:
+		return fmt.Errorf("core: value JSON carries no payload (kind %q)", j.Kind)
+	}
+	return nil
+}

@@ -53,11 +53,13 @@ func (h *ClientHandle) MarkScheduled() bool { return h.scheduled.CompareAndSwap(
 // never lost.
 func (h *ClientHandle) ClearScheduled() { h.scheduled.Store(false) }
 
-// DrainBatch pops up to max queued envelopes (0 selects 32) and writes them
-// to the client in one coalesced batch under a single deadline. It returns
-// the count written and whether more output remained queued when it left.
-// A write failure declares the client dead (the session's read loop then
-// drops it); DrainBatch never blocks on queue input, only on the write.
+// DrainBatch pops up to max queued pre-encoded envelopes (0 selects 32) and
+// writes their bytes to the client in one coalesced batch under a single
+// deadline — broadcasts were serialized once at enqueue time, so a drain
+// moves buffers, it never re-encodes. It returns the count written and
+// whether more output remained queued when it left. A write failure
+// declares the client dead (the session's read loop then drops it);
+// DrainBatch never blocks on queue input, only on the write.
 func (h *ClientHandle) DrainBatch(max int, timeout time.Duration) (int, bool, error) {
 	cc := h.cc
 	select {
@@ -71,22 +73,22 @@ func (h *ClientHandle) DrainBatch(max int, timeout time.Duration) (int, bool, er
 	if timeout <= 0 {
 		timeout = h.s.cfg.ControlTimeout
 	}
-	batch := make([]*envelope, 0, min(max, len(cc.ctrl)+len(cc.out)))
+	batch := make([][]byte, 0, min(max, len(cc.ctrl)+len(cc.out)))
 	// Control frames first: a sample burst must not delay events, parameter
 	// updates or master changes.
 ctrl:
 	for len(batch) < max {
 		select {
-		case e := <-cc.ctrl:
-			batch = append(batch, e)
+		case buf := <-cc.ctrl:
+			batch = append(batch, buf)
 		default:
 			break ctrl
 		}
 	}
 	for len(batch) < max {
 		select {
-		case e := <-cc.out:
-			batch = append(batch, e)
+		case buf := <-cc.out:
+			batch = append(batch, buf)
 		default:
 			goto drain
 		}

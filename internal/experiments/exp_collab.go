@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"time"
@@ -210,14 +211,18 @@ func RunE9() (*Result, error) {
 		return nil, err
 	}
 	go session.Serve(sl)
+	// Attach under a context so a wedged endpoint fails the experiment
+	// instead of hanging it (the protocol v2 context-aware handshake).
+	actx, acancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer acancel()
 	mConn, _ := net.Dial("tcp", sl.Addr().String())
-	master, err := core.Attach(mConn, core.AttachOptions{Name: "master"})
+	master, err := core.AttachContext(actx, mConn, core.AttachOptions{Name: "master"})
 	if err != nil {
 		return nil, err
 	}
 	defer master.Close()
 	oConn, _ := net.Dial("tcp", sl.Addr().String())
-	obs, err := core.Attach(oConn, core.AttachOptions{Name: "observer"})
+	obs, err := core.AttachContext(actx, oConn, core.AttachOptions{Name: "observer"})
 	if err != nil {
 		return nil, err
 	}

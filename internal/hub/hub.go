@@ -11,7 +11,8 @@
 // dispatch goroutine and writer pool, so traffic for sessions on different
 // shards never serialises on anything shared. Second, sample fan-out is
 // batched: instead of core's one-writer-goroutine-per-client, each shard
-// runs a small writer pool that coalesces every client's queued envelopes
+// runs a small writer pool that coalesces every client's queued envelopes —
+// pre-encoded []byte buffers under protocol v2's encode-once broadcasts —
 // into batched, buffered writes (core.ClientHandle.DrainBatch), keeping
 // core's drop-on-slow-client policy — a stalled viewer loses frames, never
 // stalls a simulation and never holds a pool writer beyond one write

@@ -10,10 +10,11 @@ import (
 // writerPool drains client outbound queues for every session on one shard
 // with a fixed set of writer goroutines, instead of one goroutine per
 // client. Sessions signal readiness through the core.WriterScheduler
-// interface; the pool batches each client's queued envelopes into few
-// syscalls (codec.writeBatch) and reuses core's drop-on-slow-client policy —
-// the bounded queues evict their oldest entries, the pool never blocks an
-// emitter.
+// interface; the pool batches each client's queued pre-encoded envelopes
+// into few syscalls (protocol v2 broadcasts serialize once, so a drain
+// moves []byte buffers — it never re-encodes per client) and reuses core's
+// drop-on-slow-client policy — the bounded queues evict their oldest
+// entries, the pool never blocks an emitter.
 //
 // Scheduling is edge-triggered: ClientHandle.MarkScheduled keeps at most one
 // entry per client in the dirty queue, so queue capacity bounds clients, not

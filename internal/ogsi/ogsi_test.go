@@ -213,7 +213,7 @@ func TestSteeringServiceParamsAndSteer(t *testing.T) {
 		t.Fatal("poll verdict wrong")
 	}
 	c.Call(steerGSH, "params", nil, &params)
-	if params[0].Value != 4.5 {
+	if params[0].Value != core.FloatValue(4.5) {
 		t.Fatalf("steer not applied: %v", params)
 	}
 
@@ -338,7 +338,7 @@ func TestFullFigure2Flow(t *testing.T) {
 	st.Poll()
 	var params []core.Param
 	c.Call(found[0].GSH, "params", nil, &params)
-	if params[0].Value != 3 {
+	if params[0].Value != core.FloatValue(3) {
 		t.Fatalf("steer through discovered service failed: %v", params)
 	}
 }

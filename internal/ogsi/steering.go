@@ -30,6 +30,25 @@ func SteeringFactory(s *core.Session) Factory {
 	}
 }
 
+// valueFromJSON maps a JSON scalar onto the steering core's tagged Value:
+// numbers steer float parameters (the session converts for int parameters),
+// strings steer string/choice parameters, bools steer toggles.
+func valueFromJSON(raw json.RawMessage) (core.Value, error) {
+	var b bool
+	if err := json.Unmarshal(raw, &b); err == nil {
+		return core.BoolValue(b), nil
+	}
+	var s string
+	if err := json.Unmarshal(raw, &s); err == nil {
+		return core.StringValue(s), nil
+	}
+	var f float64
+	if err := json.Unmarshal(raw, &f); err == nil {
+		return core.FloatValue(f), nil
+	}
+	return core.Value{}, fmt.Errorf("ogsi: steer value %s is not a scalar", raw)
+}
+
 // sampleView is the JSON projection of a sample: scalar channels inline,
 // array channels summarised by shape (bulk data travels the data path, not
 // the control path).
@@ -47,13 +66,17 @@ func (s *SteeringService) ServeOp(op string, args json.RawMessage) (any, error) 
 
 	case "steer":
 		var a struct {
-			Name  string  `json:"name"`
-			Value float64 `json:"value"`
+			Name  string          `json:"name"`
+			Value json.RawMessage `json:"value"`
 		}
 		if err := json.Unmarshal(args, &a); err != nil {
 			return nil, err
 		}
-		if err := s.session.QueueSetParam(a.Name, a.Value); err != nil {
+		v, err := valueFromJSON(a.Value)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.session.QueueSetValue(a.Name, v); err != nil {
 			return nil, err
 		}
 		return map[string]bool{"queued": true}, nil

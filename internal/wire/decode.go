@@ -11,17 +11,48 @@ import (
 // A Decoder reads messages from an input stream. It is not safe for
 // concurrent use.
 type Decoder struct {
-	r   *bufio.Reader
-	hdr [headerSize]byte
+	r      *bufio.Reader
+	hdr    [headerSize]byte
+	limits Limits
+	// scratch is the reused chunk buffer for fixed-size payloads; its size
+	// bounds how much is read (and allocated) ahead of conversion.
+	scratch []byte
 }
 
-// NewDecoder returns a Decoder reading from r.
+// NewDecoder returns a Decoder reading from r with the default Limits.
 func NewDecoder(r io.Reader) *Decoder {
+	d := &Decoder{limits: Limits{}.withDefaults()}
 	if br, ok := r.(*bufio.Reader); ok {
-		return &Decoder{r: br}
+		d.r = br
+	} else {
+		d.r = bufio.NewReaderSize(r, 32<<10)
 	}
-	return &Decoder{r: bufio.NewReaderSize(r, 32<<10)}
+	return d
 }
+
+// SetLimits replaces the decoder's allocation limits. Zero fields select the
+// package defaults. Frames exceeding a limit fail with ErrTooLarge before
+// their payload is allocated.
+func (d *Decoder) SetLimits(l Limits) { d.limits = l.withDefaults() }
+
+// Reset points the decoder at a new stream, keeping its limits and scratch
+// buffer: the reuse hook for pooled connections and benchmarks.
+func (d *Decoder) Reset(r io.Reader) {
+	if br, ok := r.(*bufio.Reader); ok {
+		d.r = br
+		return
+	}
+	if d.r == nil {
+		d.r = bufio.NewReaderSize(r, 32<<10)
+		return
+	}
+	d.r.Reset(r)
+}
+
+// allocChunk bounds the number of elements allocated ahead of the data
+// actually read, so a hostile header claiming a huge count cannot force a
+// huge allocation: slices grow with the stream instead.
+const allocChunk = 8192
 
 // readHeader reads and validates one message header.
 func (d *Decoder) readHeader() (Header, error) {
@@ -36,11 +67,20 @@ func (d *Decoder) readHeader() (Header, error) {
 		Kind:  Kind(d.hdr[8]),
 		Count: binary.BigEndian.Uint32(d.hdr[12:16]),
 	}
-	if h.Kind == KindInvalid || h.Kind > KindBytes {
+	if !h.Kind.Valid() {
 		return Header{}, ErrBadKind
 	}
-	if h.Count > MaxElements {
-		return Header{}, ErrTooLarge
+	if h.Count > d.limits.MaxElements {
+		return Header{}, fmt.Errorf("%w: %d elements (limit %d)", ErrTooLarge, h.Count, d.limits.MaxElements)
+	}
+	if sz := h.Kind.size(); sz > 0 {
+		if int64(h.Count)*int64(sz) > int64(d.limits.MaxPayload) {
+			return Header{}, fmt.Errorf("%w: %d-byte payload (limit %d)", ErrTooLarge, int64(h.Count)*int64(sz), d.limits.MaxPayload)
+		}
+	} else if int64(h.Count)*4 > int64(d.limits.MaxPayload) {
+		// Variable-length elements carry at least a 4-byte length prefix
+		// each, so the count alone bounds the minimum payload.
+		return Header{}, fmt.Errorf("%w: %d variable-length elements (limit %d bytes)", ErrTooLarge, h.Count, d.limits.MaxPayload)
 	}
 	return h, nil
 }
@@ -55,71 +95,93 @@ func (d *Decoder) Next() (*Message, error) {
 	n := int(h.Count)
 	switch h.Kind {
 	case KindInt32:
-		m.Int32s = make([]int32, n)
-		var b [4]byte
-		for i := range m.Int32s {
-			if _, err := io.ReadFull(d.r, b[:]); err != nil {
-				return nil, err
-			}
-			m.Int32s[i] = int32(binary.BigEndian.Uint32(b[:]))
-		}
+		m.Int32s = make([]int32, 0, min(n, allocChunk))
+		err = d.readFixed(n, 4, func(b []byte) {
+			m.Int32s = append(m.Int32s, int32(binary.BigEndian.Uint32(b)))
+		})
 	case KindInt64:
-		m.Int64s = make([]int64, n)
-		var b [8]byte
-		for i := range m.Int64s {
-			if _, err := io.ReadFull(d.r, b[:]); err != nil {
-				return nil, err
-			}
-			m.Int64s[i] = int64(binary.BigEndian.Uint64(b[:]))
-		}
+		m.Int64s = make([]int64, 0, min(n, allocChunk))
+		err = d.readFixed(n, 8, func(b []byte) {
+			m.Int64s = append(m.Int64s, int64(binary.BigEndian.Uint64(b)))
+		})
 	case KindFloat32:
-		m.Float32s = make([]float32, n)
-		var b [4]byte
-		for i := range m.Float32s {
-			if _, err := io.ReadFull(d.r, b[:]); err != nil {
-				return nil, err
-			}
-			m.Float32s[i] = math.Float32frombits(binary.BigEndian.Uint32(b[:]))
-		}
+		m.Float32s = make([]float32, 0, min(n, allocChunk))
+		err = d.readFixed(n, 4, func(b []byte) {
+			m.Float32s = append(m.Float32s, math.Float32frombits(binary.BigEndian.Uint32(b)))
+		})
 	case KindFloat64:
-		m.Float64s = make([]float64, n)
-		var b [8]byte
-		for i := range m.Float64s {
-			if _, err := io.ReadFull(d.r, b[:]); err != nil {
-				return nil, err
-			}
-			m.Float64s[i] = math.Float64frombits(binary.BigEndian.Uint64(b[:]))
-		}
+		m.Float64s = make([]float64, 0, min(n, allocChunk))
+		err = d.readFixed(n, 8, func(b []byte) {
+			m.Float64s = append(m.Float64s, math.Float64frombits(binary.BigEndian.Uint64(b)))
+		})
+	case KindBool:
+		m.Bools = make([]bool, 0, min(n, allocChunk))
+		err = d.readFixed(n, 1, func(b []byte) {
+			m.Bools = append(m.Bools, b[0] != 0)
+		})
 	case KindString:
-		m.Strings = make([]string, n)
-		for i := range m.Strings {
-			s, err := d.readBlob()
-			if err != nil {
-				return nil, err
+		m.Strings = make([]string, 0, min(n, allocChunk))
+		budget := d.limits.MaxPayload
+		for i := 0; i < n; i++ {
+			var s []byte
+			if s, err = d.readBlob(&budget); err != nil {
+				break
 			}
-			m.Strings[i] = string(s)
+			m.Strings = append(m.Strings, string(s))
 		}
 	case KindBytes:
-		m.Blobs = make([][]byte, n)
-		for i := range m.Blobs {
-			b, err := d.readBlob()
-			if err != nil {
-				return nil, err
+		m.Blobs = make([][]byte, 0, min(n, allocChunk))
+		budget := d.limits.MaxPayload
+		for i := 0; i < n; i++ {
+			var b []byte
+			if b, err = d.readBlob(&budget); err != nil {
+				break
 			}
-			m.Blobs[i] = b
+			m.Blobs = append(m.Blobs, b)
 		}
+	}
+	if err != nil {
+		return nil, err
 	}
 	return m, nil
 }
 
-func (d *Decoder) readBlob() ([]byte, error) {
+// readFixed streams n elements of size sz bytes each through emit, reading
+// the payload in bounded chunks so allocation tracks the bytes actually
+// received rather than the count a (possibly hostile) header claims.
+func (d *Decoder) readFixed(n, sz int, emit func([]byte)) error {
+	const chunkBytes = 32 << 10
+	if cap(d.scratch) < chunkBytes {
+		d.scratch = make([]byte, chunkBytes)
+	}
+	for n > 0 {
+		c := min(n, chunkBytes/sz)
+		buf := d.scratch[:c*sz]
+		if _, err := io.ReadFull(d.r, buf); err != nil {
+			return err
+		}
+		for off := 0; off < len(buf); off += sz {
+			emit(buf[off : off+sz])
+		}
+		n -= c
+	}
+	return nil
+}
+
+// readBlob reads one length-prefixed blob, charging prefix and data against
+// the message's remaining payload budget.
+func (d *Decoder) readBlob(budget *int) ([]byte, error) {
 	var lb [4]byte
 	if _, err := io.ReadFull(d.r, lb[:]); err != nil {
 		return nil, err
 	}
 	n := binary.BigEndian.Uint32(lb[:])
-	if n > MaxBlobLen {
-		return nil, ErrTooLarge
+	if int64(n) > int64(d.limits.MaxBlobLen) {
+		return nil, fmt.Errorf("%w: %d-byte blob (limit %d)", ErrTooLarge, n, d.limits.MaxBlobLen)
+	}
+	*budget -= 4 + int(n)
+	if *budget < 0 {
+		return nil, fmt.Errorf("%w: message payload exceeds %d bytes", ErrTooLarge, d.limits.MaxPayload)
 	}
 	b := make([]byte, n)
 	if _, err := io.ReadFull(d.r, b); err != nil {

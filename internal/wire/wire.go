@@ -39,6 +39,7 @@ const (
 	KindFloat64
 	KindString
 	KindBytes
+	KindBool
 )
 
 // String returns the human-readable name of the kind.
@@ -56,10 +57,15 @@ func (k Kind) String() string {
 		return "string"
 	case KindBytes:
 		return "bytes"
+	case KindBool:
+		return "bool"
 	default:
 		return fmt.Sprintf("invalid(%d)", uint8(k))
 	}
 }
+
+// Valid reports whether the kind is one the codec understands.
+func (k Kind) Valid() bool { return k > KindInvalid && k <= KindBool }
 
 // size returns the on-wire size of one element of the kind, or 0 for
 // variable-length kinds (string, bytes).
@@ -69,6 +75,8 @@ func (k Kind) size() int {
 		return 4
 	case KindInt64, KindFloat64:
 		return 8
+	case KindBool:
+		return 1
 	default:
 		return 0
 	}
@@ -87,12 +95,45 @@ var magic = [4]byte{'V', 'S', 'I', 'T'}
 // headerSize is the fixed size of the encoded header.
 const headerSize = 16
 
-// MaxElements bounds the element count of a single message. It protects
-// receivers from allocating unbounded memory on a corrupt or hostile header.
+// MaxElements is the default bound on the element count of a single message.
+// It protects receivers from allocating unbounded memory on a corrupt or
+// hostile header; tighten it per decoder with Decoder.SetLimits.
 const MaxElements = 64 << 20
 
-// MaxBlobLen bounds the length of a single string or byte-blob element.
+// MaxBlobLen is the default bound on the length of a single string or
+// byte-blob element.
 const MaxBlobLen = 256 << 20
+
+// MaxPayload is the default bound on the total payload bytes of a single
+// message (fixed-size elements, or length prefixes plus blob bytes for the
+// variable-length kinds).
+const MaxPayload = 256 << 20
+
+// Limits bounds what a Decoder will accept for one message. The zero value
+// of a field selects the package default; receivers facing untrusted peers
+// should set limits matching the largest frame they legitimately expect.
+type Limits struct {
+	// MaxElements caps Header.Count.
+	MaxElements uint32
+	// MaxBlobLen caps one string/bytes element.
+	MaxBlobLen int
+	// MaxPayload caps the total payload bytes of one message.
+	MaxPayload int
+}
+
+// withDefaults fills zero fields with the package defaults.
+func (l Limits) withDefaults() Limits {
+	if l.MaxElements == 0 {
+		l.MaxElements = MaxElements
+	}
+	if l.MaxBlobLen == 0 {
+		l.MaxBlobLen = MaxBlobLen
+	}
+	if l.MaxPayload == 0 {
+		l.MaxPayload = MaxPayload
+	}
+	return l
+}
 
 // Errors reported by the codec.
 var (
@@ -114,6 +155,7 @@ type Message struct {
 	Float64s []float64
 	Strings  []string
 	Blobs    [][]byte
+	Bools    []bool
 }
 
 // Len reports the number of payload elements.
@@ -178,8 +220,9 @@ func (m *Message) AsFloat32s() ([]float32, error) {
 	}
 }
 
-// AsInt64s returns the payload as int64s, converting from any integer kind.
-// Float payloads are rejected: silent truncation would hide steering bugs.
+// AsInt64s returns the payload as int64s, converting from any integer kind
+// (bools widen to 0/1). Float payloads are rejected: silent truncation would
+// hide steering bugs.
 func (m *Message) AsInt64s() ([]int64, error) {
 	switch m.Header.Kind {
 	case KindInt64:
@@ -190,8 +233,39 @@ func (m *Message) AsInt64s() ([]int64, error) {
 			out[i] = int64(v)
 		}
 		return out, nil
+	case KindBool:
+		out := make([]int64, len(m.Bools))
+		for i, v := range m.Bools {
+			if v {
+				out[i] = 1
+			}
+		}
+		return out, nil
 	default:
 		return nil, fmt.Errorf("%w: cannot convert %s to int64", ErrKindClash, m.Header.Kind)
+	}
+}
+
+// AsBools returns the payload as bools, converting any integer kind by the
+// nonzero-is-true rule.
+func (m *Message) AsBools() ([]bool, error) {
+	switch m.Header.Kind {
+	case KindBool:
+		return m.Bools, nil
+	case KindInt64:
+		out := make([]bool, len(m.Int64s))
+		for i, v := range m.Int64s {
+			out[i] = v != 0
+		}
+		return out, nil
+	case KindInt32:
+		out := make([]bool, len(m.Int32s))
+		for i, v := range m.Int32s {
+			out[i] = v != 0
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("%w: cannot convert %s to bool", ErrKindClash, m.Header.Kind)
 	}
 }
 
