@@ -1,6 +1,9 @@
 GO ?= go
+# FUZZTIME is the per-target budget of fuzz-smoke; CI raises it on the
+# nightly schedule.
+FUZZTIME ?= 10s
 
-.PHONY: check vet build test bench bench-smoke fuzz-smoke
+.PHONY: check vet build test bench bench-smoke fuzz-smoke cover
 
 check: vet build test bench-smoke
 
@@ -16,14 +19,30 @@ test:
 bench:
 	$(GO) test -bench=. -benchmem .
 
+# cover writes coverage.out and prints the total statement coverage; CI
+# surfaces the same line in the job summary.
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -n 1
+
 # bench-smoke compiles and runs every benchmark exactly once so bench bitrot
-# fails the build without paying for a full measurement run.
+# fails the build without paying for a full measurement run. The final step
+# asserts the journal benchmarks still exist by name (`-bench` with a
+# non-matching pattern exits 0, so the sweep alone would not notice the
+# durability subsystem's benches being renamed away).
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/...
+	@out=$$($(GO) test -run '^$$' -list 'Benchmark(JournalAppend|CatchupReplay)' ./internal/journal); \
+	echo "$$out" | grep -q BenchmarkJournalAppend && echo "$$out" | grep -q BenchmarkCatchupReplay \
+		|| { echo 'bench-smoke: journal benchmarks missing'; exit 1; }
 
 # fuzz-smoke gives the protocol fuzz targets a short exploration budget
-# (the seed corpora already run as plain tests in `make test`).
+# (the seed corpora already run as plain tests in `make test`). Both targets
+# always run — a crasher in the first must not mask the second — and the
+# exit status reports any failure after both have finished.
 fuzz-smoke:
-	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime 10s ./internal/wire
-	$(GO) test -run '^$$' -fuzz FuzzEnvelopeRoundTrip -fuzztime 10s ./internal/core
+	@status=0; \
+	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime $(FUZZTIME) ./internal/wire || status=1; \
+	$(GO) test -run '^$$' -fuzz FuzzEnvelopeRoundTrip -fuzztime $(FUZZTIME) ./internal/core || status=1; \
+	exit $$status

@@ -8,12 +8,20 @@
 // Usage:
 //
 //	steerd [-http :8090] [-steer :8091] [-lattice 16] [-sessions 1] [-shards 0]
+//	       [-journal-dir DIR] [-journal-fsync]
 //
 // With the default -sessions 1 the daemon behaves exactly like the classic
 // single-session steerd: one session named "steerd-lb3d" that clients may
 // attach to without naming it. With -sessions N the hub hosts
 // steerd-lb3d-00 … steerd-lb3d-N-1, and clients select one with
 // core.AttachOptions.Session.
+//
+// With -journal-dir every session keeps a durable journal of its broadcast
+// stream under DIR/<session>: clients attaching mid-run replay the recorded
+// event and sample history, and a restarted steerd pointed at the same DIR
+// revives each session's parameter values, view and freshest sample before
+// the first simulation step. -journal-fsync trades append throughput for
+// fsync'd batches.
 //
 // Then, e.g.:
 //
@@ -43,12 +51,14 @@ func main() {
 	lattice := flag.Int("lattice", 16, "LB lattice edge size")
 	sessions := flag.Int("sessions", 1, "number of concurrent LB sessions to host")
 	shards := flag.Int("shards", 0, "hub shard count (0 = auto)")
+	journalDir := flag.String("journal-dir", "", "durable session journal directory (empty disables journaling)")
+	journalFsync := flag.Bool("journal-fsync", false, "fsync batched journal flushes")
 	flag.Parse()
 	if *sessions < 1 {
 		log.Fatal("steerd: -sessions must be >= 1")
 	}
 
-	h := hub.New(hub.Config{Shards: *shards})
+	h := hub.New(hub.Config{Shards: *shards, JournalDir: *journalDir, JournalFsync: *journalFsync})
 	defer h.Close()
 	hosting := ogsi.NewHosting()
 	hosting.RegisterFactory("registry", ogsi.RegistryFactory)
@@ -82,6 +92,19 @@ func main() {
 		if err := st.RegisterString("run-label", name,
 			"free-form run label", func(v string) { st.Event("run-label: " + v) }); err != nil {
 			log.Fatal(err)
+		}
+
+		// Replay-on-restart: with a journal configured, a prior run's
+		// recorded parameter values (the coupling, the stride, the label),
+		// view and freshest sample are applied before the first step.
+		// Recover mutes the journal tap, so run-label's event echo is not
+		// re-journaled on every restart.
+		if *journalDir != "" {
+			if n, err := session.Recover(); err != nil {
+				log.Printf("steerd: %s: journal replay: %v", name, err)
+			} else if n > 0 {
+				fmt.Printf("steerd: %s: revived %d journaled state frame(s)\n", name, n)
+			}
 		}
 
 		wg.Add(1)

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"bytes"
+
+	"repro/internal/wire"
+)
+
+// Durability layer: a session may be given a JournalSink that receives every
+// broadcast envelope as the exact pre-encoded []byte queued to clients —
+// journaling a frame costs one append, never a re-encode (the protocol v2
+// encode-once property extends to disk). The sink replays recorded frames
+// during attach so late joiners converge on the event/sample history an
+// always-attached client accumulated, and after a restart Recover rebuilds
+// session state (parameter values, view, last sample) from the same log.
+// internal/journal provides the durable segmented implementation; tests use
+// in-memory fakes.
+
+// JournalClass partitions journaled frames by their retention and replay
+// semantics.
+type JournalClass uint8
+
+const (
+	// JournalState marks parameter, view and master updates: snapshots of
+	// live state. Later state supersedes earlier, so a compacting sink may
+	// fold them into one snapshot, and attach catch-up skips them — the
+	// welcome frame carries strictly newer state.
+	JournalState JournalClass = iota + 1
+	// JournalEvent marks progress/status events. Events accumulate
+	// client-side, so catch-up replays them to late joiners.
+	JournalEvent
+	// JournalSample marks emitted samples. Catch-up replays them so a late
+	// joiner has data before the next emission; a compacting sink may keep
+	// only the freshest.
+	JournalSample
+)
+
+// JournalSink receives every broadcast envelope a session encodes and hands
+// recorded frames back for late-joiner catch-up and state recovery.
+//
+// Record must not block and must not mutate or retain-and-modify frame: the
+// same buffer sits in client queues. Replay visits recorded frames oldest
+// first until visit returns false. The session serialises Record against
+// Replay on its attach barrier, so a frame is seen exactly once by an
+// attaching client: in the replay, or in its live queue — never both.
+type JournalSink interface {
+	Record(class JournalClass, frame []byte)
+	Replay(visit func(class JournalClass, frame []byte) bool)
+}
+
+// journalClassOf maps a broadcast envelope type to its journal class.
+func journalClassOf(t msgType) JournalClass {
+	switch t {
+	case msgEvent:
+		return JournalEvent
+	case msgSample:
+		return JournalSample
+	default:
+		return JournalState
+	}
+}
+
+// decodeFrame decodes one journaled envelope from its recorded bytes, under
+// the same limits a client applies to session traffic.
+func decodeFrame(frame []byte) (*envelope, error) {
+	return decodeEnvelope(wire.NewDecoder(bytes.NewReader(frame)), clientEnvelopeBudget)
+}
+
+// SnapshotFrames encodes the session's full steerable state — the complete
+// parameter table and the shared view — as wire envelopes, the fold target
+// a compacting journal replaces superseded state frames with. The frames
+// are exactly what a broadcast would carry, so Recover replays them with no
+// special casing.
+func (s *Session) SnapshotFrames() [][]byte {
+	params := s.params.snapshot()
+	s.mu.Lock()
+	view := cloneView(s.view)
+	s.mu.Unlock()
+
+	frames := make([][]byte, 0, 2)
+	if len(params) > 0 {
+		if buf, err := encodeEnvelope(nil, &envelope{Type: msgParamUpdate, Params: params}); err == nil {
+			frames = append(frames, buf)
+		}
+	}
+	if buf, err := encodeEnvelope(nil, &envelope{Type: msgViewUpdate, View: view}); err == nil {
+		frames = append(frames, buf)
+	}
+	return frames
+}
+
+// Recover replays the configured journal into the session: parameter values
+// are validated and applied through their registered apply functions, the
+// shared view adopts the newest recorded revision, and the freshest sample
+// becomes LastSample. Call it after registering parameters and before the
+// simulation loop (it invokes apply callbacks on the calling goroutine, the
+// same contract as Poll). The journal tap is muted while apply callbacks
+// run, so a callback that broadcasts — an event echoing the parameter
+// change — does not re-journal its echo on every restart. Frames for
+// parameters
+// that no longer exist are skipped. It returns the number of frames that
+// changed state and the first decode error encountered, if any.
+func (s *Session) Recover() (int, error) {
+	if s.cfg.Journal == nil {
+		return 0, nil
+	}
+	applied := 0
+	var firstErr error
+	s.cfg.Journal.Replay(func(class JournalClass, frame []byte) bool {
+		e, err := decodeFrame(frame)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			return true
+		}
+		switch e.Type {
+		case msgParamUpdate:
+			n := 0
+			// The mute spans only the synchronous apply callbacks — the
+			// one place replay echoes originate. A concurrent legitimate
+			// broadcast landing in this narrow window also skips the
+			// journal; that is the accepted cost of keeping echoes from
+			// growing the log on every restart.
+			s.recovering.Store(true)
+			for _, p := range e.Params {
+				if _, err := s.params.applyAndGet(p.Name, p.Value); err == nil {
+					n++
+				}
+			}
+			s.recovering.Store(false)
+			if n > 0 {
+				applied++
+			}
+		case msgViewUpdate:
+			if e.View == nil {
+				return true
+			}
+			s.mu.Lock()
+			if e.View.Seq >= s.viewSeq {
+				s.view = *cloneView(*e.View)
+				s.viewSeq = e.View.Seq
+				applied++
+			}
+			s.mu.Unlock()
+		case msgSample:
+			s.mu.Lock()
+			s.lastSample = e.Sample
+			s.mu.Unlock()
+			applied++
+		}
+		return true
+	})
+
+	// Clients may already be attached (a hub keeps its listener live while
+	// a revived session recovers): broadcast the recovered state so their
+	// pre-recovery welcome snapshots converge. The frames are journaled as
+	// ordinary state records — compaction folds them.
+	if applied > 0 {
+		if params := s.params.snapshot(); len(params) > 0 {
+			s.broadcastControl(&envelope{Type: msgParamUpdate, Params: params})
+		}
+		s.mu.Lock()
+		view := cloneView(s.view)
+		s.mu.Unlock()
+		s.broadcastControl(&envelope{Type: msgViewUpdate, View: view})
+	}
+	return applied, firstErr
+}

@@ -712,6 +712,14 @@ func (c *codec) writeBatch(batch [][]byte, timeout time.Duration) error {
 	}
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	return c.writeBatchLocked(batch, timeout)
+}
+
+// writeBatchLocked is writeBatch for a caller already holding the write
+// lock (lockWrites): the attach go-live handoff claims the lock before
+// opening the writer gate so the backlog precedes any live drain, then
+// writes it without holding session-wide locks.
+func (c *codec) writeBatchLocked(batch [][]byte, timeout time.Duration) error {
 	if timeout > 0 {
 		c.conn.SetWriteDeadline(time.Now().Add(timeout))
 		defer c.conn.SetWriteDeadline(time.Time{})
@@ -723,6 +731,11 @@ func (c *codec) writeBatch(batch [][]byte, timeout time.Duration) error {
 	}
 	return c.bw.Flush()
 }
+
+// lockWrites claims the write lock until unlockWrites; writers and acks
+// queue behind it.
+func (c *codec) lockWrites()   { c.wmu.Lock() }
+func (c *codec) unlockWrites() { c.wmu.Unlock() }
 
 // read receives the next envelope.
 func (c *codec) read() (*envelope, error) { return decodeEnvelope(c.dec, c.budget) }

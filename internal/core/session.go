@@ -29,6 +29,12 @@ type SessionConfig struct {
 	// ClientHandle.DrainBatch. Nil keeps the classic one-goroutine-per-client
 	// draining.
 	Writer WriterScheduler
+	// Journal, when non-nil, receives every broadcast envelope's encoded
+	// bytes (the same buffer queued to clients — journaling never
+	// re-encodes) and replays recorded events and samples to late joiners
+	// during attach. internal/journal's Journal is the durable
+	// implementation; the session does not own the sink's lifecycle.
+	Journal JournalSink
 }
 
 // Session is the hub connecting one steered application with any number of
@@ -39,6 +45,25 @@ type Session struct {
 	cfg SessionConfig
 
 	params *paramTable
+
+	// attachMu is the journal attach barrier: broadcasts hold it shared
+	// around record+enqueue, an attach holds it exclusively around
+	// catch-up-fetch+admit. A frame therefore reaches an attaching client
+	// exactly once — in the journal replay (recorded before the fetch) or
+	// in its live queue (enqueued after admission), never both. Only taken
+	// when a Journal is configured.
+	attachMu sync.RWMutex
+	// recovering mutes the journal tap while Recover replays the log:
+	// apply callbacks that broadcast (an event echoing a parameter change)
+	// must not re-journal their echo on every restart.
+	recovering atomic.Bool
+	// closing mutes broadcasts once Close has begun: a frame emitted after
+	// the clients' connections are torn down reaches nobody, so journaling
+	// it would replay ghost history to the session's next generation.
+	// Close stores it under the exclusive attach barrier, so a broadcast
+	// holding the shared side either fully completes first (delivered and
+	// journaled) or observes the flag and drops both — never a ghost.
+	closing atomic.Bool
 
 	mu      sync.Mutex
 	clients map[string]*clientConn
@@ -100,6 +125,12 @@ type clientConn struct {
 	// dedicated or pooled — may drain the queues before then, or the client
 	// would see a sample/control frame as its first post-attach message.
 	welcomed atomic.Bool
+	// stash overflows the ctrl queue while the client is pre-welcome on a
+	// journaled session (the welcome + catch-up writes can outlast a
+	// control burst): frames land here instead of being evicted — or the
+	// client killed — and drain, in order, at the go-live handoff.
+	stashMu sync.Mutex
+	stash   [][]byte
 	// handle is the external-writer view of this client; nil when the
 	// session drains queues with per-client goroutines.
 	handle *ClientHandle
@@ -109,6 +140,54 @@ type clientConn struct {
 // writer observing gone will unwind and drop the client.
 func (cc *clientConn) markGone() {
 	cc.goneOnce.Do(func() { close(cc.gone) })
+}
+
+// maxCtrlStash bounds the pre-welcome overflow stash; a client that falls
+// this many control frames behind during its own attach is beyond saving.
+const maxCtrlStash = 16384
+
+// stashCtrl stores one pre-welcome overflow frame, reporting false when
+// the stash bound is exhausted.
+func (cc *clientConn) stashCtrl(buf []byte) bool {
+	cc.stashMu.Lock()
+	defer cc.stashMu.Unlock()
+	if len(cc.stash) >= maxCtrlStash {
+		return false
+	}
+	cc.stash = append(cc.stash, buf)
+	return true
+}
+
+// stashPending reports whether overflow frames are stashed; while true,
+// later pre-welcome frames must also stash (not re-enter the ctrl queue)
+// or the backlog drain would reorder them.
+func (cc *clientConn) stashPending() bool {
+	cc.stashMu.Lock()
+	defer cc.stashMu.Unlock()
+	return len(cc.stash) > 0
+}
+
+// takeStash empties the stash.
+func (cc *clientConn) takeStash() [][]byte {
+	cc.stashMu.Lock()
+	defer cc.stashMu.Unlock()
+	stash := cc.stash
+	cc.stash = nil
+	return stash
+}
+
+// drainBacklog empties the pre-welcome control backlog in arrival order:
+// the ctrl queue holds the older frames, the stash their overflow.
+func (cc *clientConn) drainBacklog() [][]byte {
+	var backlog [][]byte
+	for {
+		select {
+		case b := <-cc.ctrl:
+			backlog = append(backlog, b)
+		default:
+			return append(backlog, cc.takeStash()...)
+		}
+	}
 }
 
 // NewSession creates a session ready to accept clients.
@@ -203,6 +282,37 @@ func (s *Session) Serve(l net.Listener) error {
 	}
 }
 
+// catchupBatchBytes bounds one catch-up replay batch: with the default 2s
+// ControlTimeout per batch, a client sustaining ~128 KiB/s keeps up with
+// any history size.
+const catchupBatchBytes = 256 << 10
+
+// writeFrames writes pre-encoded frames to the client in batches bounded
+// by bytes as well as count, so each batch gets ControlTimeout for at most
+// catchupBatchBytes — a client slower than that floor (not one with merely
+// a bulky history) is the one that fails.
+func (s *Session) writeFrames(cc *clientConn, frames [][]byte) error {
+	return s.chunkFrames(frames, func(batch [][]byte) error {
+		return cc.codec.writeBatch(batch, s.cfg.ControlTimeout)
+	})
+}
+
+// chunkFrames feeds frames to write in byte- and count-bounded batches.
+func (s *Session) chunkFrames(frames [][]byte, write func([][]byte) error) error {
+	for len(frames) > 0 {
+		n, bytes := 0, 0
+		for n < len(frames) && n < 64 && (n == 0 || bytes+len(frames[n]) <= catchupBatchBytes) {
+			bytes += len(frames[n])
+			n++
+		}
+		if err := write(frames[:n]); err != nil {
+			return err
+		}
+		frames = frames[n:]
+	}
+	return nil
+}
+
 // PendingConn is a client connection whose attach frame has been read but
 // which is not yet bound to a session: the handoff unit between a routing
 // layer (package hub) and the Session that will serve it.
@@ -270,7 +380,7 @@ func (s *Session) ServePending(p *PendingConn) error {
 	c := p.codec
 	defer c.close()
 
-	cc, err := s.admit(p.attach, c)
+	cc, catchup, err := s.admitWithCatchup(p.attach, c)
 	if err != nil {
 		c.write(&envelope{Type: msgAck, Seq: p.seq, Ack: &ackMsg{Code: codeFor(err), Err: err.Error()}}, s.cfg.ControlTimeout)
 		return err
@@ -308,7 +418,53 @@ func (s *Session) ServePending(p *PendingConn) error {
 	if err := cc.codec.write(welcome, s.cfg.ControlTimeout); err != nil {
 		return err
 	}
-	cc.welcomed.Store(true)
+
+	// Catch-up phase: welcome → replay → go live. The journaled event and
+	// sample history is written before any live frame so the late joiner
+	// converges on what an always-attached client accumulated; state frames
+	// were filtered out of catchup (the welcome snapshot above is strictly
+	// newer). Live frames queued since admission wait behind the welcomed
+	// gate until the replay is on the wire.
+	if err := s.writeFrames(cc, catchup); err != nil {
+		return err
+	}
+	if s.cfg.Journal == nil {
+		cc.welcomed.Store(true)
+	} else {
+		// Go-live handoff: frames broadcast during the welcome and
+		// catch-up writes sit in the ctrl queue and the overflow stash.
+		// Large backlogs drain in unlocked rounds — a slow late joiner
+		// must never make a broadcast wait on its socket — and the final
+		// round holds the attach barrier only for memory work: steal the
+		// remaining backlog, claim this client's codec write lock, open
+		// the welcomed gate. The backlog then goes on the wire outside
+		// every session lock; a live drain racing in queues behind the
+		// held write lock, so the first bytes after the catch-up are the
+		// backlog, in order, followed only by strictly newer traffic. A
+		// client that cannot outpace the broadcast rate grows its stash
+		// to the cap and is declared dead, which ends the loop.
+		for {
+			backlog := cc.drainBacklog()
+			if len(backlog) <= 64 {
+				s.attachMu.Lock()
+				backlog = append(backlog, cc.drainBacklog()...)
+				cc.codec.lockWrites()
+				cc.welcomed.Store(true)
+				s.attachMu.Unlock()
+				err := s.chunkFrames(backlog, func(batch [][]byte) error {
+					return cc.codec.writeBatchLocked(batch, s.cfg.ControlTimeout)
+				})
+				cc.codec.unlockWrites()
+				if err != nil {
+					return err
+				}
+				break
+			}
+			if err := s.writeFrames(cc, backlog); err != nil {
+				return err
+			}
+		}
+	}
 
 	if s.cfg.Writer == nil {
 		// Writer goroutine drains both bounded queues, control first.
@@ -356,6 +512,35 @@ func (s *Session) ServePending(p *PendingConn) error {
 			return err
 		}
 	}
+}
+
+// admitWithCatchup fetches the journal catch-up replay and registers the
+// client as one atomic step under the attach barrier. Fetch-then-admit
+// under the exclusive lock is what makes delivery exactly-once: a broadcast
+// completing before the barrier is in the replay and missed the
+// unregistered client; one starting after it is queued live and postdates
+// the fetch. Only events and samples are replayed — parameter, view and
+// master state rides in the welcome frame, which is built after this
+// returns and is therefore never older than the replay.
+func (s *Session) admitWithCatchup(a *attachMsg, c *codec) (*clientConn, [][]byte, error) {
+	if s.cfg.Journal == nil {
+		cc, err := s.admit(a, c)
+		return cc, nil, err
+	}
+	s.attachMu.Lock()
+	defer s.attachMu.Unlock()
+	var catchup [][]byte
+	s.cfg.Journal.Replay(func(class JournalClass, frame []byte) bool {
+		if class == JournalEvent || class == JournalSample {
+			catchup = append(catchup, frame)
+		}
+		return true
+	})
+	cc, err := s.admit(a, c)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cc, catchup, nil
 }
 
 // admit registers a new client, assigning the master role when requested and
@@ -561,11 +746,45 @@ func (s *Session) rejectSteer(cc *clientConn, seq uint64, why error) {
 // broadcastControl encodes a control frame once and queues the bytes to
 // every client; clients whose queue is full have older entries evicted
 // (control frames are small and idempotent: last-writer-wins state updates).
+// tapBroadcast journals one broadcast frame under the shared side of the
+// attach barrier: the journal write is the same buffer the queues get, so
+// durability costs one append, zero re-encodes. It reports false — and
+// takes no lock — when the broadcast must be dropped (the session is
+// closing; the re-check is authoritative, Close stores the flag under the
+// exclusive side). On true the caller must defer unlock around its
+// enqueues. Journal-less sessions tap nothing and hold nothing.
+func (s *Session) tapBroadcast(class JournalClass, buf []byte) (unlock func(), ok bool) {
+	if s.cfg.Journal == nil {
+		return func() {}, true
+	}
+	s.attachMu.RLock()
+	if s.closing.Load() {
+		s.attachMu.RUnlock()
+		return nil, false
+	}
+	if !s.recovering.Load() {
+		s.cfg.Journal.Record(class, buf)
+	}
+	return s.attachMu.RUnlock, true
+}
+
 func (s *Session) broadcastControl(e *envelope) {
+	if s.closing.Load() {
+		// A dying session delivers nothing: the clients' conns are (being)
+		// torn down and the journal is sealing, and dropping on both sides
+		// keeps what clients observed and what the log will replay
+		// consistent.
+		return
+	}
 	buf, err := encodeEnvelope(nil, e)
 	if err != nil {
 		return
 	}
+	unlock, ok := s.tapBroadcast(journalClassOf(e.Type), buf)
+	if !ok {
+		return
+	}
+	defer unlock()
 	s.mu.Lock()
 	clients := make([]*clientConn, 0, len(s.clients))
 	for _, cc := range s.clients {
@@ -573,23 +792,55 @@ func (s *Session) broadcastControl(e *envelope) {
 	}
 	s.mu.Unlock()
 	for _, cc := range clients {
-		for {
-			select {
-			case cc.ctrl <- buf:
-			default:
-				// Full: evict the oldest if one is still there (a writer
-				// may have drained it meanwhile), then retry the send —
-				// a control frame is never silently discarded.
-				select {
-				case <-cc.ctrl:
-				default:
-				}
-				continue
-			}
-			break
-		}
+		s.routeCtrl(cc, buf)
 		s.notifyWriter(cc)
 	}
+}
+
+// enqueueCtrl delivers one control frame to a client's queue. A full queue
+// evicts its oldest entry (control frames are small, idempotent state; the
+// newest must land) — except pre-welcome on a journaled session, where no
+// writer is draining yet and an eviction would lose a frame that is in
+// neither the client's catch-up replay nor its queue: those overflow to
+// the stash, drained in order at the go-live handoff.
+func (s *Session) enqueueCtrl(cc *clientConn, buf []byte) {
+	for {
+		select {
+		case cc.ctrl <- buf:
+			return
+		default:
+		}
+		select {
+		case <-cc.gone:
+			return
+		default:
+		}
+		if s.cfg.Journal != nil && !cc.welcomed.Load() {
+			if !cc.stashCtrl(buf) {
+				cc.markGone()
+			}
+			return
+		}
+		// Evict the oldest if one is still there (a writer may have
+		// drained it meanwhile), then retry the send.
+		select {
+		case <-cc.ctrl:
+		default:
+		}
+	}
+}
+
+// routeCtrl sends one control frame toward a pre-welcome-aware client:
+// once overflow has started stashing, later frames stash too so the
+// backlog drain (ctrl first, then stash) preserves arrival order.
+func (s *Session) routeCtrl(cc *clientConn, buf []byte) {
+	if s.cfg.Journal != nil && !cc.welcomed.Load() && cc.stashPending() {
+		if !cc.stashCtrl(buf) {
+			cc.markGone()
+		}
+		return
+	}
+	s.enqueueCtrl(cc, buf)
 }
 
 // notifyWriter tells the external writer scheduler, if any, that cc has
@@ -611,6 +862,9 @@ func (s *Session) notifyWriter(cc *clientConn) {
 // (dropping newest would strand a client on pre-migration data across a
 // compute handoff).
 func (s *Session) broadcastSample(sample *Sample) {
+	if s.closing.Load() {
+		return // see broadcastControl: a dying session delivers nothing
+	}
 	// Pre-size for the payload so the one serialization also means one
 	// allocation instead of append-growth over a multi-KB sample.
 	est := sample.ByteSize() + 64*len(sample.Channels) + 256
@@ -618,6 +872,11 @@ func (s *Session) broadcastSample(sample *Sample) {
 	if err != nil {
 		return
 	}
+	unlock, ok := s.tapBroadcast(JournalSample, buf)
+	if !ok {
+		return
+	}
+	defer unlock()
 	s.mu.Lock()
 	s.stats.SamplesEmitted++
 	s.lastSample = sample
@@ -744,6 +1003,13 @@ func (s *Session) signalResume() {
 
 // Close terminates the session and all client connections.
 func (s *Session) Close() {
+	// Under the exclusive barrier: in-flight broadcasts (shared holders)
+	// finish wholly-before — delivered and journaled — and later ones see
+	// the flag and drop wholly; the journal never records a frame the
+	// clients could not have observed, and vice versa.
+	s.attachMu.Lock()
+	s.closing.Store(true)
+	s.attachMu.Unlock()
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()

@@ -52,17 +52,19 @@ func (v Value) Float() float64 {
 	}
 }
 
-// Int returns the value as an int64. Floats are rejected unless integral:
-// silent truncation would hide steering bugs.
+// Int returns the value as an int64. Floats are rejected unless integral
+// and within int64 range: silent truncation — or the implementation-
+// defined result of an out-of-range conversion (a huge positive steer
+// arriving as MinInt64) — would hide steering bugs.
 func (v Value) Int() (int64, error) {
 	switch v.Kind {
 	case wire.KindInt64, wire.KindBool:
 		return v.I, nil
 	case wire.KindFloat64:
-		if v.F == math.Trunc(v.F) && !math.IsInf(v.F, 0) {
+		if v.F == math.Trunc(v.F) && v.F >= math.MinInt64 && v.F < math.MaxInt64 {
 			return int64(v.F), nil
 		}
-		return 0, fmt.Errorf("%w: %v is not integral", ErrBadValue, v.F)
+		return 0, fmt.Errorf("%w: %v is not an int64", ErrBadValue, v.F)
 	default:
 		return 0, fmt.Errorf("%w: cannot convert %s to int", ErrBadValue, v.Kind)
 	}

@@ -21,13 +21,18 @@ package hub
 
 import (
 	"errors"
+	"fmt"
+	"hash/fnv"
 	"net"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/journal"
 )
 
 // Config configures a Hub.
@@ -52,6 +57,23 @@ type Config struct {
 	// SessionDefaults seeds SampleQueue and ControlTimeout for sessions the
 	// hub creates.
 	SessionDefaults core.SessionConfig
+	// JournalDir, when non-empty, gives every session a durable on-disk
+	// journal under JournalDir/<session-name>: broadcasts are logged
+	// (encode-once — the journal stores the same bytes the clients get),
+	// late joiners replay accumulated events and samples at attach, and a
+	// session re-created under the same name reopens its log so
+	// core.Session.Recover can revive its state.
+	JournalDir string
+	// JournalFsync fsyncs each batched journal flush: durability over raw
+	// append throughput.
+	JournalFsync bool
+	// JournalSegmentBytes overrides the journal segment rotation
+	// threshold; 0 selects the journal package default (1 MiB).
+	JournalSegmentBytes int
+	// JournalFlushInterval bounds how long an appended frame may sit in a
+	// journal's write buffer before the shard's syncer flushes it; 0
+	// selects 2ms.
+	JournalFlushInterval time.Duration
 }
 
 func (c *Config) fill() {
@@ -137,6 +159,11 @@ func (h *Hub) ShardOf(name string) int { return h.ring.lookup(name) }
 // session's queues are drained by the shard's writer pool; cfg.Writer must
 // be nil. The first session created becomes the default for clients that
 // attach without naming one.
+//
+// With Config.JournalDir set the session gets a durable journal (an
+// existing log directory for the name is recovered, so re-creating an
+// evicted or pre-restart session makes its history replayable again; call
+// Session.Recover after registering parameters to revive state).
 func (h *Hub) CreateSession(cfg core.SessionConfig) (*core.Session, error) {
 	if h.closed.Load() {
 		return nil, errors.New("hub: closed")
@@ -154,11 +181,42 @@ func (h *Hub) CreateSession(cfg core.SessionConfig) (*core.Session, error) {
 		cfg.ControlTimeout = h.cfg.SessionDefaults.ControlTimeout
 	}
 	sh := h.shards[h.ring.lookup(cfg.Name)]
+	// Reserve the name before touching any journal directory: a duplicate
+	// create must fail here, never run recovery (and its torn-tail
+	// truncation) on a live session's log.
+	if err := sh.reserve(cfg.Name); err != nil {
+		return nil, err
+	}
+	var jnl *journal.Journal
+	if h.cfg.JournalDir != "" && cfg.Journal == nil {
+		var err error
+		jnl, err = journal.Open(journal.Options{
+			Dir:          filepath.Join(h.cfg.JournalDir, sessionDirName(cfg.Name)),
+			SegmentBytes: h.cfg.JournalSegmentBytes,
+			Fsync:        h.cfg.JournalFsync,
+		})
+		if err != nil {
+			sh.unreserve(cfg.Name)
+			return nil, fmt.Errorf("hub: session journal: %w", err)
+		}
+		cfg.Journal = jnl
+	}
 	cfg.Writer = sh.pool
 	sess := core.NewSession(cfg)
-	if err := sh.add(sess); err != nil {
+	sh.bind(cfg.Name, sess, jnl)
+	if jnl != nil {
+		jnl.SetSnapshot(sess.SnapshotFrames)
+		sh.syncer.Watch(jnl)
+	}
+	// Close sets the flag before sweeping the shards, so either this
+	// re-check sees it (tear the session straight back down — its journal
+	// would otherwise sit behind a dead syncer, never flushed, its lock
+	// never released) or the bind landed before the shard sweep and
+	// shutdown handles it.
+	if h.closed.Load() {
 		sess.Close()
-		return nil, err
+		sh.remove(cfg.Name, sess)
+		return nil, errors.New("hub: closed")
 	}
 	h.defaultMu.Lock()
 	if h.defaultSession == "" {
@@ -168,7 +226,8 @@ func (h *Hub) CreateSession(cfg core.SessionConfig) (*core.Session, error) {
 
 	// Evict the session from the registry when it closes — via Evict, or
 	// the application's own Close (which a steered stop should end in, as
-	// cmd/steerd's run loops do).
+	// cmd/steerd's run loops do). Removal also closes the journal handle
+	// (hub shutdown leaves that to shard.close, after the final sweep).
 	go func() {
 		select {
 		case <-sess.Done():
@@ -179,22 +238,55 @@ func (h *Hub) CreateSession(cfg core.SessionConfig) (*core.Session, error) {
 	return sess, nil
 }
 
+// sessionDirName maps a session name onto a safe directory name: the
+// sanitised name for readability plus, always, a hash of the raw name —
+// two distinct sessions must never share (and cross-write) one journal
+// directory, including a literal name crafted to look like another name's
+// sanitised form.
+func sessionDirName(name string) string {
+	safe := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return fmt.Sprintf("%s-%016x", strings.Trim(safe, "."), h.Sum64())
+}
+
 // Lookup returns the registered session with the given name.
 func (h *Hub) Lookup(name string) (*core.Session, bool) {
 	return h.shards[h.ring.lookup(name)].lookup(name)
 }
 
 // Evict closes and unregisters a session, detaching its clients. It reports
-// whether the session was registered.
+// whether the session was registered. The session closes first — every
+// broadcast a client could still receive is already journaled — and only
+// then does remove free the name and close the journal handle, atomically
+// under the shard lock, so by the time Evict returns the directory is
+// ready for revival and a racing re-create can never have opened it
+// alongside the dying writer. (An app still emitting after the close
+// reaches neither clients nor the journal: consistent, by construction.)
 func (h *Hub) Evict(name string) bool {
 	sh := h.shards[h.ring.lookup(name)]
-	sess, ok := sh.lookup(name)
-	if !ok {
+	e := sh.entry(name)
+	if e == nil {
 		return false
 	}
-	removed := sh.remove(name, sess)
-	sess.Close()
-	return removed
+	e.sess.Close()
+	// The Done-watcher (or this remove — whichever wins) frees the name
+	// and closes the journal; wait for that completion so an immediate
+	// re-create succeeds. A concurrent hub shutdown takes over cleanup.
+	sh.remove(name, e.sess)
+	select {
+	case <-e.gone:
+	case <-h.closeCh:
+	}
+	return true
 }
 
 // SetDefaultSession names the session served to clients that attach without
@@ -210,8 +302,8 @@ func (h *Hub) SetDefaultSession(name string) {
 func (h *Hub) SessionNames() []string {
 	var out []string
 	for _, sh := range h.shards {
-		for _, s := range sh.snapshot() {
-			out = append(out, s.Name())
+		for _, e := range sh.snapshot() {
+			out = append(out, e.sess.Name())
 		}
 	}
 	return out
@@ -280,7 +372,8 @@ func (h *Hub) route(conn net.Conn) {
 func (h *Hub) Stats() Stats {
 	st := Stats{Shards: len(h.shards)}
 	for _, sh := range h.shards {
-		for _, sess := range sh.snapshot() {
+		for _, e := range sh.snapshot() {
+			sess := e.sess
 			st.Sessions++
 			st.Clients += sess.ClientCount()
 			s := sess.Stats()

@@ -1,0 +1,185 @@
+package hub
+
+import (
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func waitCond(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// steerAndBroadcast drives a journaled session through a steer, an event
+// and a sample so its log carries one frame of every class.
+func steerAndBroadcast(t *testing.T, sess *core.Session, st *core.Steered, g float64) {
+	t.Helper()
+	if err := sess.QueueSetParam("g", g); err != nil {
+		t.Fatal(err)
+	}
+	st.Poll()
+	sess.SetViewServer(core.ViewState{Eye: [3]float64{g, 0, 0}})
+	st.Event("reached " + time.Duration(int64(g)).String())
+	sample := core.NewSample(int64(g))
+	sample.Channels["seg"] = core.Scalar(g / 10)
+	st.Emit(sample)
+}
+
+// TestJournalRevivalAfterEviction evicts a journaled session and re-creates
+// it under the same name: the new session recovers the old one's state from
+// disk and replays its history to late joiners.
+func TestJournalRevivalAfterEviction(t *testing.T) {
+	dir := t.TempDir()
+	h := New(Config{Shards: 2, JournalDir: dir})
+	defer h.Close()
+
+	sess, err := h.CreateSession(core.SessionConfig{Name: "lb"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sess.Steered()
+	if err := st.RegisterFloat("g", 0, 0, 10, "", func(float64) {}); err != nil {
+		t.Fatal(err)
+	}
+	steerAndBroadcast(t, sess, st, 5)
+
+	// Evict closes the session and — synchronously — its journal handle,
+	// so the directory is immediately ready for revival.
+	if !h.Evict("lb") {
+		t.Fatal("evict failed")
+	}
+
+	revived, err := h.CreateSession(core.SessionConfig{Name: "lb"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := revived.Steered()
+	var g float64
+	if err := st2.RegisterFloat("g", 0, 0, 10, "", func(v float64) { g = v }); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := revived.Recover(); err != nil || n == 0 {
+		t.Fatalf("Recover: n=%d err=%v", n, err)
+	}
+	if g != 5 {
+		t.Fatalf("revived coupling = %v, want 5", g)
+	}
+	if v := revived.View(); v.Eye[0] != 5 {
+		t.Fatalf("revived view: %+v", v)
+	}
+	if ls := revived.LastSample(); ls == nil || ls.Step != 5 {
+		t.Fatalf("revived sample: %+v", ls)
+	}
+}
+
+// TestJournalSurvivesHubRestart shuts a whole hub down and rebuilds it over
+// the same journal root: sessions revive and late joiners see pre-restart
+// history.
+func TestJournalSurvivesHubRestart(t *testing.T) {
+	dir := t.TempDir()
+
+	h1 := New(Config{JournalDir: dir, JournalFsync: true})
+	sess, err := h1.CreateSession(core.SessionConfig{Name: "run-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sess.Steered()
+	if err := st.RegisterFloat("g", 0, 0, 10, "", func(float64) {}); err != nil {
+		t.Fatal(err)
+	}
+	steerAndBroadcast(t, sess, st, 7)
+	h1.Close()
+
+	if entries, err := os.ReadDir(filepath.Join(dir, sessionDirName("run-a"))); err != nil || len(entries) == 0 {
+		t.Fatalf("no journal segments on disk: %v %v", entries, err)
+	}
+
+	h2 := New(Config{JournalDir: dir})
+	defer h2.Close()
+	revived, err := h2.CreateSession(core.SessionConfig{Name: "run-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := revived.Steered()
+	var g float64
+	if err := st2.RegisterFloat("g", 0, 0, 10, "", func(v float64) { g = v }); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := revived.Recover(); err != nil || n == 0 {
+		t.Fatalf("Recover after restart: n=%d err=%v", n, err)
+	}
+	if g != 7 {
+		t.Fatalf("restarted coupling = %v, want 7", g)
+	}
+
+	// A client attaching to the revived hub session replays the
+	// pre-restart event and sample history.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go h2.Serve(l)
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.Attach(conn, core.AttachOptions{Name: "late", Session: "run-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	waitCond(t, "pre-restart event replay", func() bool { return len(c.Events()) == 1 })
+	select {
+	case got := <-c.Samples():
+		if got.Step != 7 {
+			t.Fatalf("replayed sample step = %d", got.Step)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pre-restart sample not replayed")
+	}
+	if p, _ := c.Param("g"); p.Value != core.FloatValue(7) {
+		t.Fatalf("late joiner param after restart: %+v", p)
+	}
+}
+
+func TestSessionDirNameSanitises(t *testing.T) {
+	// Clean names stay recognisable as a prefix of their directory.
+	if got := sessionDirName("steerd-lb3d-00"); !strings.HasPrefix(got, "steerd-lb3d-00-") {
+		t.Errorf("clean name not recognisable: %q", got)
+	}
+	// Distinct names must never share a directory: not when sanitising
+	// collapses their unsafe runes identically, and not when a literal
+	// name mimics another name's sanitised form.
+	seen := map[string]string{}
+	for _, in := range []string{
+		"sim:1", "sim 1", "sim/1", "a/b\\c", "..", "", "run:1 [hot]",
+		"steerd-lb3d-00", sessionDirName("sim:1"),
+	} {
+		got := sessionDirName(in)
+		if got == "" || got != filepath.Base(got) || strings.Trim(got, ".") == "" {
+			t.Errorf("sessionDirName(%q) = %q is not a safe directory name", in, got)
+		}
+		if prev, dup := seen[got]; dup {
+			t.Errorf("collision: %q and %q both map to %q", prev, in, got)
+		}
+		seen[got] = in
+	}
+	// Stable: the same name always maps to the same directory (revival
+	// depends on it).
+	if sessionDirName("run-a") != sessionDirName("run-a") {
+		t.Error("mapping not stable")
+	}
+}

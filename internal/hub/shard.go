@@ -5,32 +5,54 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/journal"
 )
 
 // shard owns a disjoint subset of the hub's sessions: its own registry map
 // under its own lock, its own dispatch goroutine binding routed connections
-// to sessions, and its own writer pool draining those sessions' clients.
-// Sessions on different shards therefore never contend on a shared lock,
-// a shared dispatch queue or a shared writer.
+// to sessions, its own writer pool draining those sessions' clients, and —
+// when journaling is on — its own journal syncer batching flush/fsync for
+// those sessions' logs. Sessions on different shards therefore never
+// contend on a shared lock, a shared dispatch queue, a shared writer or a
+// shared fsync.
 type shard struct {
-	id   int
-	pool *writerPool
+	id     int
+	pool   *writerPool
+	syncer *journal.Syncer // nil when journaling is off
 
 	mu       sync.Mutex
-	sessions map[string]*core.Session
+	sessions map[string]*sessionEntry
 
 	conns   chan *core.PendingConn
 	closeCh chan struct{}
 	wg      sync.WaitGroup
 }
 
+// sessionEntry pairs a session with its journal (nil when journaling is
+// off). The journal outlives the session's registration on disk, but its
+// handle closes with the entry so a re-created session can reopen the
+// directory immediately. An entry with a nil sess is a reservation:
+// CreateSession holds the name while it opens the journal, so a duplicate
+// create can never touch (or recover-truncate) a live session's log.
+type sessionEntry struct {
+	sess *core.Session
+	jnl  *journal.Journal
+	// gone closes when removal has fully completed — journal flushed and
+	// closed, name freed. Evict waits on it so "returned" means "ready
+	// for revival" even when the Done-watcher performed the removal.
+	gone chan struct{}
+}
+
 func newShard(id, writers, batch int, cfg Config) *shard {
 	sh := &shard{
 		id:       id,
 		pool:     newWriterPool(writers, batch, cfg.WriteTimeout),
-		sessions: make(map[string]*core.Session),
+		sessions: make(map[string]*sessionEntry),
 		conns:    make(chan *core.PendingConn, 64),
 		closeCh:  make(chan struct{}),
+	}
+	if cfg.JournalDir != "" {
+		sh.syncer = journal.NewSyncer(cfg.JournalFlushInterval)
 	}
 	sh.wg.Add(1)
 	go sh.dispatch()
@@ -47,13 +69,13 @@ func (sh *shard) dispatch() {
 		case pc := <-sh.conns:
 			name := pc.SessionName()
 			sh.mu.Lock()
-			sess := sh.sessions[name]
+			e := sh.sessions[name]
 			sh.mu.Unlock()
-			if sess == nil {
+			if e == nil || e.sess == nil {
 				pc.Reject(fmt.Sprintf("hub: no session %q", name))
 				continue
 			}
-			go sess.ServePending(pc)
+			go e.sess.ServePending(pc)
 		case <-sh.closeCh:
 			// Reject connections still buffered (or racing in) so their
 			// clients get an error now instead of a dangling socket.
@@ -69,44 +91,90 @@ func (sh *shard) dispatch() {
 	}
 }
 
-// add registers a session; duplicate names are an error.
-func (sh *shard) add(sess *core.Session) error {
+// reserve claims a name before its session (and journal) exist; duplicate
+// names — live sessions or concurrent reservations — are an error.
+func (sh *shard) reserve(name string) error {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if _, dup := sh.sessions[sess.Name()]; dup {
-		return fmt.Errorf("hub: session %q already exists", sess.Name())
+	if _, dup := sh.sessions[name]; dup {
+		return fmt.Errorf("hub: session %q already exists", name)
 	}
-	sh.sessions[sess.Name()] = sess
+	sh.sessions[name] = &sessionEntry{}
 	return nil
 }
 
-// remove unregisters name if it still maps to sess (an evict racing with a
-// re-create must not remove the newcomer) and reports whether it did.
-func (sh *shard) remove(name string, sess *core.Session) bool {
+// bind fills a reservation with its created session and journal.
+func (sh *shard) bind(name string, sess *core.Session, jnl *journal.Journal) {
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if cur, ok := sh.sessions[name]; ok && cur == sess {
-		delete(sh.sessions, name)
-		return true
-	}
-	return false
+	sh.sessions[name] = &sessionEntry{sess: sess, jnl: jnl, gone: make(chan struct{})}
+	sh.mu.Unlock()
 }
 
-// lookup returns the session named name, if registered.
+// unreserve drops a reservation whose session never materialised.
+func (sh *shard) unreserve(name string) {
+	sh.mu.Lock()
+	if e, ok := sh.sessions[name]; ok && e.sess == nil {
+		delete(sh.sessions, name)
+	}
+	sh.mu.Unlock()
+}
+
+// remove unregisters name if it still maps to sess (an evict racing with a
+// re-create must not remove the newcomer) and reports whether it did. The
+// entry is downgraded to a reservation while the journal handle closes
+// OUTSIDE the shard lock — the name stays claimed, so a revival can never
+// open the directory alongside the flushing writer, but dispatch, lookup
+// and creates for the shard's other sessions proceed during the flush.
+// Callers must only invoke remove once the session is closed, or its final
+// broadcasts would miss the journal.
+func (sh *shard) remove(name string, sess *core.Session) bool {
+	sh.mu.Lock()
+	cur, ok := sh.sessions[name]
+	if !ok || cur.sess != sess {
+		sh.mu.Unlock()
+		return false
+	}
+	sh.sessions[name] = &sessionEntry{}
+	sh.mu.Unlock()
+	if cur.jnl != nil {
+		cur.jnl.Close()
+	}
+	sh.unreserve(name)
+	close(cur.gone)
+	return true
+}
+
+// entry returns the bound entry for name, if any.
+func (sh *shard) entry(name string) *sessionEntry {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.sessions[name]
+	if !ok || e.sess == nil {
+		return nil
+	}
+	return e
+}
+
+// lookup returns the session named name, if registered and bound.
 func (sh *shard) lookup(name string) (*core.Session, bool) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	s, ok := sh.sessions[name]
-	return s, ok
+	e, ok := sh.sessions[name]
+	if !ok || e.sess == nil {
+		return nil, false
+	}
+	return e.sess, true
 }
 
-// snapshot returns the shard's sessions.
-func (sh *shard) snapshot() []*core.Session {
+// snapshot returns the shard's bound entries.
+func (sh *shard) snapshot() []*sessionEntry {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	out := make([]*core.Session, 0, len(sh.sessions))
-	for _, s := range sh.sessions {
-		out = append(out, s)
+	out := make([]*sessionEntry, 0, len(sh.sessions))
+	for _, e := range sh.sessions {
+		if e.sess != nil {
+			out = append(out, e)
+		}
 	}
 	return out
 }
@@ -114,8 +182,19 @@ func (sh *shard) snapshot() []*core.Session {
 func (sh *shard) close() {
 	close(sh.closeCh)
 	sh.wg.Wait()
-	for _, s := range sh.snapshot() {
-		s.Close()
+	entries := sh.snapshot()
+	for _, e := range entries {
+		e.sess.Close()
 	}
 	sh.pool.close()
+	if sh.syncer != nil {
+		sh.syncer.Close()
+	}
+	// Close journals last: sessions are down and the syncer has swept, so
+	// this is the final flush of anything still buffered.
+	for _, e := range entries {
+		if e.jnl != nil {
+			e.jnl.Close()
+		}
+	}
 }

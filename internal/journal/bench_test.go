@@ -1,0 +1,79 @@
+package journal
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// BenchmarkJournalAppend measures the broadcast-path cost of durability:
+// one Record of a pre-encoded 256-byte envelope. "inline" flushes per
+// append (standalone journal), "syncer" is the hub configuration where the
+// hot path only touches the mirror and a write buffer and a per-shard
+// syncer batches flush+fsync.
+func BenchmarkJournalAppend(b *testing.B) {
+	frame := make([]byte, 256)
+	for i := range frame {
+		frame[i] = byte(i)
+	}
+	for _, mode := range []string{"inline", "syncer"} {
+		b.Run(mode, func(b *testing.B) {
+			j, err := Open(Options{Dir: b.TempDir(), SegmentBytes: 8 << 20})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer j.Close()
+			if mode == "syncer" {
+				sy := NewSyncer(time.Millisecond)
+				defer sy.Close()
+				sy.Watch(j)
+			}
+			b.SetBytes(int64(len(frame)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				j.Record(core.JournalEvent, frame)
+			}
+		})
+	}
+}
+
+// BenchmarkCatchupReplay measures what one late joiner costs the session: a
+// full mirror replay of an event/sample history (the compaction-bounded
+// catch-up a client attaching mid-run receives).
+func BenchmarkCatchupReplay(b *testing.B) {
+	for _, records := range []int{128, 1024} {
+		b.Run(fmt.Sprintf("records=%d", records), func(b *testing.B) {
+			j, err := Open(Options{Dir: b.TempDir(), SegmentBytes: 8 << 20})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer j.Close()
+			frame := make([]byte, 256)
+			for i := 0; i < records; i++ {
+				class := core.JournalEvent
+				if i%8 == 0 {
+					class = core.JournalSample
+				}
+				j.Record(class, frame)
+			}
+			var bytes int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n := 0
+				j.Replay(func(class core.JournalClass, f []byte) bool {
+					if class == core.JournalEvent || class == core.JournalSample {
+						n++
+						bytes += int64(len(f))
+					}
+					return true
+				})
+				if n != records {
+					b.Fatalf("replayed %d records, want %d", n, records)
+				}
+			}
+			b.ReportMetric(float64(records), "frames/op")
+		})
+	}
+}

@@ -1,0 +1,488 @@
+// Package journal persists a steering session's broadcast stream as an
+// append-only, length-prefixed, CRC-checked log of the exact pre-encoded
+// wire envelopes the session fans out — the durability layer under the
+// collaborative-steering model: late joiners replay the log to converge on
+// a running session's accumulated history, and a restarted daemon rebuilds
+// session state from it (core.Session.Recover).
+//
+// The log is a directory of fixed-size-bounded segment files. Every record
+// is classed (state / event / sample) so a compaction pass can fold
+// superseded state frames into a snapshot — the session's full parameter
+// table and view, fetched through the Snapshot callback — while retaining
+// the event tail and the freshest sample. Recovery truncates a torn tail on
+// the active segment, skips the corrupt remainder of older segments, and
+// discards everything before the latest compaction barrier.
+//
+// A Journal keeps an in-memory mirror of the replayable records, so Replay
+// (the attach catch-up path) never touches disk. Record is memory-only: it
+// updates the mirror and appends the framed bytes to a pending buffer.
+// All disk I/O — writes, fsync, segment rotation, compaction — happens on
+// the maintenance path under a separate I/O lock, so the broadcast hot
+// path never waits behind the disk. A Syncer (one per hub shard) sweeps
+// the maintenance for every journal it watches; without one, Record runs
+// the maintenance inline.
+package journal
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// Record classes as stored on disk. The first three mirror core's
+// JournalClass values bit-for-bit; the last two exist only inside the log.
+const (
+	recState  = byte(core.JournalState)
+	recEvent  = byte(core.JournalEvent)
+	recSample = byte(core.JournalSample)
+	// recSnapshot is a full-state frame written by compaction; it replays
+	// as JournalState.
+	recSnapshot = 0x10
+	// recReset is the compaction barrier: recovery discards every record
+	// scanned before it — but only once the matching recCommit proves the
+	// whole fold reached disk. A reset whose fold is torn (no commit) is
+	// ignored, and the pre-fold history it would have superseded — still
+	// on disk, deletion runs only after a durable fold — is served
+	// instead.
+	recReset = 0x11
+	// recCommit seals a fold: written as the last record of the
+	// compaction blob.
+	recCommit = 0x12
+)
+
+// Options configure a Journal.
+type Options struct {
+	// Dir is the journal directory (one session per directory). Created if
+	// missing.
+	Dir string
+	// SegmentBytes bounds one segment file before rotation; 0 selects
+	// 1 MiB. A single maintenance sweep's batch (or a compaction fold)
+	// always lands in one segment, so a burst may overgrow the bound by
+	// one batch.
+	SegmentBytes int
+	// Fsync syncs the active segment on every maintenance flush (and on
+	// Close). Off, durability is the OS's page cache.
+	Fsync bool
+	// CompactRecords triggers compaction when the replay mirror exceeds
+	// this many records; 0 selects 4096. Compaction needs Snapshot.
+	CompactRecords int
+	// CompactBytes triggers compaction when the mirror exceeds this many
+	// payload bytes; 0 selects 4 MiB.
+	CompactBytes int
+	// RetainEvents is how many trailing event frames survive compaction;
+	// 0 selects 128.
+	RetainEvents int
+	// Snapshot returns the owning session's full state as wire envelopes
+	// (core.Session.SnapshotFrames); compaction replaces superseded state
+	// records with its result. Nil disables compaction. Settable later via
+	// SetSnapshot (the session usually exists only after the journal).
+	Snapshot func() [][]byte
+}
+
+func (o *Options) fill() {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 1 << 20
+	}
+	if o.CompactRecords <= 0 {
+		o.CompactRecords = 4096
+	}
+	if o.CompactBytes <= 0 {
+		o.CompactBytes = 4 << 20
+	}
+	if o.RetainEvents <= 0 {
+		o.RetainEvents = 128
+	}
+}
+
+// record is one mirrored log entry.
+type record struct {
+	class byte
+	frame []byte
+}
+
+// Stats counts journal activity.
+type Stats struct {
+	// Records and MirrorBytes size the replayable mirror (what a late
+	// joiner's catch-up scans).
+	Records     int
+	MirrorBytes int
+	// Segments is the number of live segment files.
+	Segments int
+	// Appends counts Record calls accepted since Open.
+	Appends uint64
+	// Compactions counts completed compaction passes.
+	Compactions uint64
+	// RecoveredRecords is how many records the opening scan yielded.
+	RecoveredRecords int
+	// SkippedSegments counts segments abandoned during recovery: a corrupt
+	// header, or a mid-segment CRC mismatch (the remainder is skipped).
+	SkippedSegments int
+	// TruncatedBytes is how much torn tail recovery cut off the active
+	// segment.
+	TruncatedBytes int64
+	// OversizedRecords counts frames too large to frame on disk
+	// (maxRecordBytes); the mirror serves them live, a restart will not.
+	OversizedRecords uint64
+	// WriteErrs counts disk write/flush failures; the mirror stays
+	// authoritative, so catch-up keeps working while disk state degrades.
+	WriteErrs uint64
+}
+
+// Journal is a durable, compacting record of one session's broadcasts.
+// It implements core.JournalSink. All methods are safe for concurrent use.
+type Journal struct {
+	opts Options
+
+	// mu guards the memory state: the replay mirror, the pending disk
+	// batch, and the counters. The broadcast hot path takes only this.
+	mu       sync.Mutex
+	recs     []record
+	mirBytes int
+	pending  []byte // framed records awaiting a maintenance write
+	snapshot func() [][]byte
+
+	needsCompact bool
+	closed       bool
+	stats        Stats
+
+	// lock holds the directory's cross-process advisory lock.
+	lock *os.File
+
+	// iomu guards the disk state; held across writes, fsync, rotation and
+	// compaction rewrites — never while mu-holders need to proceed.
+	iomu     sync.Mutex
+	ioClosed bool // Close ran: no path may touch (or resurrect) disk state
+	seg      *os.File
+	segIndex uint64
+	segSize  int64
+	segments []uint64 // live segment indices, ascending
+
+	writeErrs atomic.Uint64
+
+	// notify hands maintenance duty to a Syncer; nil means Record runs it
+	// inline. notified edge-triggers one wakeup per dirty period.
+	notify   func(*Journal)
+	notified atomic.Bool
+}
+
+// Open creates or recovers the journal in opts.Dir.
+func Open(opts Options) (*Journal, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("journal: Options.Dir required")
+	}
+	opts.fill()
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	lock, err := lockDir(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	j := &Journal{opts: opts, snapshot: opts.Snapshot, lock: lock}
+	if err := j.recoverDir(); err != nil {
+		if lock != nil {
+			lock.Close()
+		}
+		return nil, err
+	}
+	return j, nil
+}
+
+// SetSnapshot installs the full-state provider compaction folds superseded
+// state records into (typically core.Session.SnapshotFrames of the session
+// this journal records).
+func (j *Journal) SetSnapshot(fn func() [][]byte) {
+	j.mu.Lock()
+	j.snapshot = fn
+	j.mu.Unlock()
+}
+
+// Record implements core.JournalSink: it appends one broadcast frame. The
+// mirror is updated synchronously — an attach racing this call replays a
+// consistent prefix — and the disk bytes only join the pending batch;
+// without a Syncer the maintenance (write, fsync, compaction) runs inline
+// before returning.
+func (j *Journal) Record(class core.JournalClass, frame []byte) {
+	switch class {
+	case core.JournalState, core.JournalEvent, core.JournalSample:
+	default:
+		return
+	}
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return
+	}
+	j.recs = append(j.recs, record{class: byte(class), frame: frame})
+	j.mirBytes += len(frame)
+	if 1+len(frame) > maxRecordBytes {
+		j.stats.OversizedRecords++
+	} else {
+		j.pending = appendRecord(j.pending, byte(class), frame)
+	}
+	j.stats.Appends++
+	if j.snapshot != nil && (len(j.recs) > j.opts.CompactRecords || j.mirBytes > j.opts.CompactBytes) {
+		j.needsCompact = true
+	}
+	notify := j.notify
+	j.mu.Unlock()
+	if notify == nil {
+		j.Maintain()
+	} else if !j.notified.Swap(true) {
+		notify(j)
+	}
+}
+
+// Replay implements core.JournalSink: it visits the mirrored records oldest
+// first until visit returns false. Compaction-written snapshot frames visit
+// as JournalState. The visit runs without the journal lock — a compaction
+// swapping the mirror mid-replay leaves this replay on its (still
+// immutable) pre-compaction view.
+func (j *Journal) Replay(visit func(class core.JournalClass, frame []byte) bool) {
+	j.mu.Lock()
+	recs := j.recs
+	j.mu.Unlock()
+	for _, r := range recs {
+		class := r.class
+		if class == recSnapshot {
+			class = recState
+		}
+		if !visit(core.JournalClass(class), r.frame) {
+			return
+		}
+	}
+}
+
+// Maintain writes the pending batch (fsyncing per Options.Fsync), rotating
+// a full segment first, and runs a pending compaction. Syncers call it
+// once per sweep; it is also safe to call directly. Disk I/O happens under
+// the I/O lock only — Record never waits on it — and the batch is stolen
+// under BOTH locks, so concurrent Maintains cannot reorder batches on disk
+// and a racing Close either steals the batch itself or waits out this
+// write: nothing is silently dropped mid-handoff.
+func (j *Journal) Maintain() {
+	j.notified.Store(false)
+	j.iomu.Lock()
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		j.iomu.Unlock()
+		return
+	}
+	buf := j.pending
+	j.pending = nil
+	doCompact := j.needsCompact
+	j.needsCompact = false
+	j.mu.Unlock()
+	if len(buf) > 0 {
+		j.writeBlobLocked(buf)
+	}
+	j.iomu.Unlock()
+	if doCompact {
+		j.Compact()
+	}
+}
+
+// Compact runs a compaction pass (a no-op without a snapshot provider):
+// superseded state records collapse into the snapshot provider's
+// full-state frames, trailing events and the freshest sample survive. The
+// fold is persisted as a reset barrier plus the folded records at the head
+// of a fresh segment, after which every older segment is deleted — a crash
+// between the write and the deletes loses nothing, recovery discards
+// pre-barrier records anyway.
+func (j *Journal) Compact() {
+	j.iomu.Lock()
+	defer j.iomu.Unlock()
+
+	// Phase 1: snapshot the inputs. Only a slice header is taken under
+	// the hot-path lock; the fold itself (session state encode, CRC
+	// framing of up to CompactBytes of records) runs with iomu alone, so
+	// an emit's Record never stalls behind it.
+	j.mu.Lock()
+	if j.closed || j.snapshot == nil {
+		j.mu.Unlock()
+		return
+	}
+	snap := j.snapshot
+	base := j.recs
+	j.mu.Unlock()
+
+	state := snap()
+	var events []record
+	var lastSample *record
+	for i := range base {
+		switch base[i].class {
+		case recEvent:
+			events = append(events, base[i])
+		case recSample:
+			lastSample = &base[i]
+		}
+	}
+	if len(events) > j.opts.RetainEvents {
+		events = events[len(events)-j.opts.RetainEvents:]
+	}
+	fresh := make([]record, 0, len(state)+len(events)+1)
+	for _, f := range state {
+		fresh = append(fresh, record{class: recSnapshot, frame: f})
+	}
+	fresh = append(fresh, events...)
+	if lastSample != nil {
+		fresh = append(fresh, *lastSample)
+	}
+	// Only compaction-minted snapshot frames are NEW oversize counts;
+	// retained records were counted when first recorded.
+	var oversized uint64
+	blob := appendRecord(nil, recReset, nil)
+	for _, r := range fresh {
+		if 1+len(r.frame) > maxRecordBytes {
+			if r.class == recSnapshot {
+				oversized++
+			}
+			continue
+		}
+		blob = appendRecord(blob, r.class, r.frame)
+	}
+
+	// Phase 2: swap the fold in. Records that arrived during the fold are
+	// the tail beyond the snapshotted prefix — they join the fresh mirror
+	// and the blob (their pending batch is nulled with the rest, since the
+	// blob now carries them past the reset barrier; no Maintain can hold a
+	// stolen batch here, steals happen under iomu which we hold).
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return
+	}
+	for _, r := range j.recs[len(base):] {
+		fresh = append(fresh, r)
+		if 1+len(r.frame) > maxRecordBytes {
+			continue // counted when recorded
+		}
+		blob = appendRecord(blob, r.class, r.frame)
+	}
+	j.recs = fresh
+	j.mirBytes = 0
+	for _, r := range fresh {
+		j.mirBytes += len(r.frame)
+	}
+	j.pending = nil
+	j.needsCompact = false
+	j.stats.Compactions++
+	j.stats.OversizedRecords += oversized
+	j.mu.Unlock()
+
+	// Phase 3: persist — reset barrier + fold + commit at the head of a
+	// fresh segment, then drop every older segment. If the fold never
+	// (fully) reached disk, the older segments are the only durable
+	// history left: keep them — recovery ignores a commit-less reset and
+	// reads their records, and the next compaction retries.
+	blob = appendRecord(blob, recCommit, nil)
+	if err := j.rotateLocked(); err != nil {
+		j.writeErrs.Add(1)
+		j.retryCompact()
+		return
+	}
+	keep := j.segIndex
+	errsBefore := j.writeErrs.Load()
+	j.writeBlobLocked(blob)
+	if j.writeErrs.Load() != errsBefore {
+		j.retryCompact()
+		return
+	}
+	live := j.segments[:0]
+	for _, idx := range j.segments {
+		if idx < keep {
+			os.Remove(j.segPath(idx))
+		} else {
+			live = append(live, idx)
+		}
+	}
+	j.segments = live
+	if j.opts.Fsync {
+		// The deletes are directory metadata; make them durable so a
+		// crash cannot resurrect pre-fold segments after their fold.
+		j.syncDir()
+	}
+}
+
+// retryCompact re-arms compaction after a failed fold persist: the folded
+// records live only in the mirror until a retry lands them on disk (the
+// next maintenance after the next append; a crash before then loses the
+// folded middle, which is the bounded cost of a sick disk).
+func (j *Journal) retryCompact() {
+	j.mu.Lock()
+	if !j.closed {
+		j.needsCompact = true
+	}
+	j.mu.Unlock()
+}
+
+// Close writes the pending batch and closes the active segment. Further
+// Records are dropped; Replay keeps serving the mirror. A failed final
+// write also counts into Stats.WriteErrs, so callers that discard the
+// error (a hub evicting a session) still leave an observable trace of the
+// lost tail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return nil
+	}
+	j.closed = true
+	buf := j.pending
+	j.pending = nil
+	j.mu.Unlock()
+
+	j.iomu.Lock()
+	defer j.iomu.Unlock()
+	errsBefore := j.writeErrs.Load()
+	if len(buf) > 0 {
+		j.writeBlobLocked(buf)
+	}
+	j.ioClosed = true
+	if j.seg != nil {
+		if j.opts.Fsync {
+			if err := j.seg.Sync(); err != nil {
+				j.writeErrs.Add(1)
+			}
+		}
+		if err := j.seg.Close(); err != nil {
+			j.writeErrs.Add(1)
+		}
+		j.seg = nil
+	}
+	if j.lock != nil {
+		j.lock.Close() // releases the directory's advisory lock
+		j.lock = nil
+	}
+	if j.writeErrs.Load() != errsBefore {
+		return errors.New("journal: close failed to persist the buffered tail")
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the activity counters.
+func (j *Journal) Stats() Stats {
+	j.mu.Lock()
+	st := j.stats
+	st.Records = len(j.recs)
+	st.MirrorBytes = j.mirBytes
+	j.mu.Unlock()
+	j.iomu.Lock()
+	st.Segments = len(j.segments)
+	j.iomu.Unlock()
+	st.WriteErrs = j.writeErrs.Load()
+	return st
+}
+
+// crcRecord checksums a record body (class byte + frame) without
+// materialising it.
+func crcRecord(class byte, frame []byte) uint32 {
+	crc := crc32.ChecksumIEEE([]byte{class})
+	return crc32.Update(crc, crc32.IEEETable, frame)
+}

@@ -1,0 +1,10 @@
+//go:build !unix
+
+package journal
+
+import "os"
+
+// lockDir is advisory-lock-free on platforms without flock semantics; the
+// in-process guards still hold, cross-process exclusion is the operator's
+// responsibility there.
+func lockDir(dir string) (*os.File, error) { return nil, nil }

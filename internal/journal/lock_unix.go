@@ -1,0 +1,28 @@
+//go:build unix
+
+package journal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockDir takes an exclusive advisory lock on the journal directory so two
+// processes can never write (and recovery-truncate) the same log: the
+// in-process races are guarded by the hub's name reservation, this guards
+// an operator starting a second daemon on the same -journal-dir. The lock
+// lives with the returned file and releases on its Close (or process
+// exit).
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "journal.lock"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: %s is in use by another journal handle: %w", dir, err)
+	}
+	return f, nil
+}

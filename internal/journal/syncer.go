@@ -1,0 +1,99 @@
+package journal
+
+import (
+	"sync"
+	"time"
+)
+
+// Syncer batches journal maintenance — flush, fsync, compaction — across
+// every journal it watches, on one goroutine. This is the hub's per-shard
+// journal writer: a session's Record only touches the in-memory mirror and
+// a write buffer, and the syncer turns bursts of appends from every session
+// on the shard into one flush (and at most one fsync per journal) per
+// sweep, bounded by Interval of added latency.
+type Syncer struct {
+	interval time.Duration
+
+	mu    sync.Mutex
+	dirty map[*Journal]struct{}
+
+	kick      chan struct{}
+	closeCh   chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// NewSyncer starts a syncer whose sweeps dwell interval after the first
+// dirty signal so a burst lands in one flush; 0 selects 2ms.
+func NewSyncer(interval time.Duration) *Syncer {
+	if interval <= 0 {
+		interval = 2 * time.Millisecond
+	}
+	sy := &Syncer{
+		interval: interval,
+		dirty:    make(map[*Journal]struct{}),
+		kick:     make(chan struct{}, 1),
+		closeCh:  make(chan struct{}),
+	}
+	sy.wg.Add(1)
+	go sy.run()
+	return sy
+}
+
+// Watch takes over j's flush/compact duty: j.Record stops flushing inline
+// and signals this syncer instead.
+func (sy *Syncer) Watch(j *Journal) {
+	j.mu.Lock()
+	j.notify = sy.schedule
+	j.mu.Unlock()
+}
+
+// schedule marks a journal dirty; called at most once per dirty period via
+// the journal's edge trigger, so append throughput never serialises here.
+func (sy *Syncer) schedule(j *Journal) {
+	sy.mu.Lock()
+	sy.dirty[j] = struct{}{}
+	sy.mu.Unlock()
+	select {
+	case sy.kick <- struct{}{}:
+	default:
+	}
+}
+
+func (sy *Syncer) run() {
+	defer sy.wg.Done()
+	for {
+		select {
+		case <-sy.kick:
+			// Dwell so the appends behind this kick — and any racing in
+			// from other sessions on the shard — batch into one sweep.
+			select {
+			case <-time.After(sy.interval):
+			case <-sy.closeCh:
+			}
+			sy.sweep()
+		case <-sy.closeCh:
+			sy.sweep()
+			return
+		}
+	}
+}
+
+// sweep maintains every journal marked dirty since the last sweep.
+func (sy *Syncer) sweep() {
+	sy.mu.Lock()
+	batch := sy.dirty
+	sy.dirty = make(map[*Journal]struct{})
+	sy.mu.Unlock()
+	for j := range batch {
+		j.Maintain()
+	}
+}
+
+// Close performs a final sweep and stops the syncer. Journals it watched
+// stay write-buffered until closed — Journal.Close always persists the
+// remaining batch.
+func (sy *Syncer) Close() {
+	sy.closeOnce.Do(func() { close(sy.closeCh) })
+	sy.wg.Wait()
+}
