@@ -2,10 +2,13 @@ GO ?= go
 # FUZZTIME is the per-target budget of fuzz-smoke; CI raises it on the
 # nightly schedule.
 FUZZTIME ?= 10s
+# BENCHCOUNT is how many times bench-compare repeats each benchmark before
+# averaging; raise it for quieter numbers.
+BENCHCOUNT ?= 3
 
-.PHONY: check vet build test bench bench-smoke fuzz-smoke cover
+.PHONY: check vet build test test-framedebug bench bench-hotpath bench-smoke bench-compare fuzz-smoke cover
 
-check: vet build test bench-smoke
+check: vet build test test-framedebug bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -16,8 +19,20 @@ build:
 test:
 	$(GO) test ./...
 
+# test-framedebug re-runs the packages that enforce the FrameBuf lifetime
+# rules with poison-on-release compiled in: a read past the last Release
+# fails deterministically instead of racing the pool's next user.
+test-framedebug:
+	$(GO) test -tags framedebug ./internal/core ./internal/journal
+
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# bench-hotpath is the broadcast hot-path measurement from DESIGN.md §4.1:
+# allocs/op must sit at 0 in the steady state, and ns/op should fall as
+# -cpu grows (no session lock on the path).
+bench-hotpath:
+	$(GO) test -run '^$$' -bench 'BroadcastHotPath|BroadcastContention' -benchmem -cpu 1,4,16 ./internal/core
 
 # cover writes coverage.out and prints the total statement coverage; CI
 # surfaces the same line in the job summary.
@@ -36,6 +51,18 @@ bench-smoke:
 	@out=$$($(GO) test -run '^$$' -list 'Benchmark(JournalAppend|CatchupReplay)' ./internal/journal); \
 	echo "$$out" | grep -q BenchmarkJournalAppend && echo "$$out" | grep -q BenchmarkCatchupReplay \
 		|| { echo 'bench-smoke: journal benchmarks missing'; exit 1; }
+	@out=$$($(GO) test -run '^$$' -list 'Benchmark(BroadcastHotPath|BroadcastContention)' ./internal/core); \
+	echo "$$out" | grep -q BenchmarkBroadcastHotPath && echo "$$out" | grep -q BenchmarkBroadcastContention \
+		|| { echo 'bench-smoke: broadcast hot-path benchmarks missing'; exit 1; }
+
+# bench-compare re-measures the benchmarks recorded in BENCH_4.json and
+# prints a benchstat-style delta table against that committed baseline
+# (cmd/benchcompare is the stdlib-only comparator). Informational by
+# default; set BENCHCOMPARE_FLAGS='-max-regress 1.3' to gate.
+bench-compare:
+	$(GO) test -run '^$$' -bench 'HubFanout|SessionFanoutBaseline' -benchmem -count $(BENCHCOUNT) . > bench-new.txt
+	$(GO) test -run '^$$' -bench 'BroadcastHotPath|BroadcastContention' -benchmem -count $(BENCHCOUNT) ./internal/core >> bench-new.txt
+	$(GO) run ./cmd/benchcompare -baseline BENCH_4.json -new bench-new.txt $(BENCHCOMPARE_FLAGS) | tee bench-compare.txt
 
 # fuzz-smoke gives the protocol fuzz targets a short exploration budget
 # (the seed corpora already run as plain tests in `make test`). Both targets

@@ -1,0 +1,152 @@
+// benchcompare compares a fresh `go test -bench` run against the committed
+// JSON baseline (BENCH_4.json): a dependency-free stand-in for benchstat,
+// so `make bench-compare` works in a stdlib-only checkout and CI can
+// archive the comparison next to the raw numbers.
+//
+//	go test -run '^$' -bench ... -benchmem ./... | tee bench-new.txt
+//	go run ./cmd/benchcompare -baseline BENCH_4.json -new bench-new.txt
+//
+// Multiple -count runs of a benchmark are averaged. Benchmarks present on
+// only one side are listed but not compared. With -max-regress set (e.g.
+// 1.3), the exit status reports any compared benchmark whose ns/op grew by
+// more than that factor — CI leaves it unset, because shared runners are
+// too noisy to gate on.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Result is one benchmark's measurement, averaged over its runs.
+type Result struct {
+	NsOp     float64 `json:"ns_op"`
+	BOp      float64 `json:"b_op,omitempty"`
+	AllocsOp float64 `json:"allocs_op,omitempty"`
+	runs     int
+}
+
+// Baseline is the committed BENCH_N.json shape: free-form metadata plus a
+// name → result table (the "after" numbers of the PR that committed it).
+type Baseline struct {
+	Meta  map[string]any    `json:"meta,omitempty"`
+	Bench map[string]Result `json:"bench"`
+}
+
+// benchLine matches standard testing output:
+//
+//	BenchmarkName/sub-8   1234  567 ns/op  89 B/op  4 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:.*?\s([0-9.]+) B/op)?(?:.*?\s([0-9.]+) allocs/op)?`)
+
+// parseBench reads benchmark output, averaging repeated runs per name.
+func parseBench(path string) (map[string]Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]Result)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		r := out[name]
+		ns, _ := strconv.ParseFloat(m[2], 64)
+		r.NsOp += ns
+		if m[3] != "" {
+			b, _ := strconv.ParseFloat(m[3], 64)
+			r.BOp += b
+		}
+		if m[4] != "" {
+			a, _ := strconv.ParseFloat(m[4], 64)
+			r.AllocsOp += a
+		}
+		r.runs++
+		out[name] = r
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for name, r := range out {
+		n := float64(r.runs)
+		r.NsOp /= n
+		r.BOp /= n
+		r.AllocsOp /= n
+		out[name] = r
+	}
+	return out, nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_4.json", "committed JSON baseline")
+	newPath := flag.String("new", "", "fresh `go test -bench` output (text)")
+	maxRegress := flag.Float64("max-regress", 0, "fail if ns/op grew by more than this factor (0 = report only)")
+	flag.Parse()
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchcompare: -new is required")
+		os.Exit(2)
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcompare: %v\n", err)
+		os.Exit(2)
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcompare: %s: %v\n", *baselinePath, err)
+		os.Exit(2)
+	}
+	fresh, err := parseBench(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcompare: %v\n", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(base.Bench))
+	for name := range base.Bench {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("%-55s %12s %12s %8s %10s\n", "benchmark", "base ns/op", "new ns/op", "delta", "allocs Δ")
+	regressed := []string{}
+	compared := 0
+	for _, name := range names {
+		b := base.Bench[name]
+		n, ok := fresh[name]
+		if !ok {
+			fmt.Printf("%-55s %12.1f %12s\n", name, b.NsOp, "(missing)")
+			continue
+		}
+		compared++
+		ratio := n.NsOp / b.NsOp
+		fmt.Printf("%-55s %12.1f %12.1f %+7.1f%% %5.1f→%.1f\n",
+			name, b.NsOp, n.NsOp, (ratio-1)*100, b.AllocsOp, n.AllocsOp)
+		if *maxRegress > 0 && ratio > *maxRegress {
+			regressed = append(regressed, name)
+		}
+	}
+	extra := 0
+	for name := range fresh {
+		if _, ok := base.Bench[name]; !ok {
+			extra++
+		}
+	}
+	fmt.Printf("compared %d benchmarks (%d only in the fresh run)\n", compared, extra)
+	if len(regressed) > 0 {
+		fmt.Fprintf(os.Stderr, "benchcompare: regression beyond %.2fx: %v\n", *maxRegress, regressed)
+		os.Exit(1)
+	}
+}

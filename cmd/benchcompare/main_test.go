@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseBenchAveragesRuns(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.txt")
+	text := `goos: linux
+BenchmarkHubFanout/16x16-8   	   30000	     70000 ns/op	       256.0 clients	   55760 B/op	     472 allocs/op
+BenchmarkHubFanout/16x16-8   	   30000	     80000 ns/op	       256.0 clients	   55760 B/op	     478 allocs/op
+BenchmarkBroadcastHotPath/clients-4-16    1212322	   980.4 ns/op	       0 B/op	       0 allocs/op
+some unrelated line
+PASS
+`
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := parseBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub, ok := got["BenchmarkHubFanout/16x16"]
+	if !ok {
+		t.Fatalf("missing hub benchmark: %v", got)
+	}
+	if hub.NsOp != 75000 || hub.AllocsOp != 475 {
+		t.Fatalf("average: ns=%v allocs=%v, want 75000/475", hub.NsOp, hub.AllocsOp)
+	}
+	hot, ok := got["BenchmarkBroadcastHotPath/clients-4"]
+	if !ok {
+		t.Fatalf("cpu-suffixed name not normalised: %v", got)
+	}
+	if hot.NsOp != 980.4 || hot.AllocsOp != 0 {
+		t.Fatalf("hot path parse: %+v", hot)
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// FrameBuf is a pooled, refcounted envelope buffer: the allocation unit of
+// the broadcast hot path. A broadcast encodes its envelope once into a
+// FrameBuf drawn from a sync.Pool, then every consumer — each client queue
+// slot, the journal tap, a writer mid-drain — holds its own reference. The
+// last Release returns the buffer to the pool, so the steady-state fan-out
+// cost is refcount arithmetic, not allocation: encode-once becomes
+// allocate-rarely.
+//
+// Ownership discipline (the lifetime rules the -race stress tests guard):
+//
+//   - GetFrame returns a buffer the caller owns with one reference.
+//   - A holder that keeps the buffer past a call boundary takes its own
+//     reference with Retain before the handoff returns, and pairs it with
+//     exactly one Release when done. frameRing.push retains internally;
+//     JournalSink implementations retain inside Record.
+//   - Bytes must not be read after the holder's Release, and never mutated
+//     after the first handoff. The framedebug build tag enforces the former
+//     by poisoning buffers on their way back to the pool.
+//
+// Release panics on over-release in every build; retain-after-free and
+// read-after-release are detected under the framedebug tag (see
+// framebuf_debug.go).
+type FrameBuf struct {
+	b    []byte
+	refs atomic.Int32
+	// unpooled marks wrapper frames (NewFrame) whose bytes the pool must
+	// never recycle or poison: the caller owns the backing array.
+	unpooled bool
+}
+
+// maxPooledFrame bounds the capacity a buffer may keep when it returns to
+// the pool; a one-off giant sample must not pin its arena forever.
+const maxPooledFrame = 1 << 20
+
+var framePool = sync.Pool{New: func() any { return new(FrameBuf) }}
+
+// GetFrame returns a pooled buffer with one reference and at least capHint
+// capacity. Exported for tests and in-process sinks; sessions draw every
+// broadcast frame from here.
+func GetFrame(capHint int) *FrameBuf {
+	fb := framePool.Get().(*FrameBuf)
+	if cap(fb.b) < capHint {
+		fb.b = make([]byte, 0, capHint)
+	}
+	fb.b = fb.b[:0]
+	fb.refs.Store(1)
+	return fb
+}
+
+// NewFrame wraps caller-owned bytes in an unpooled FrameBuf with one
+// reference: the refcount protocol without the pool (recovery frames, test
+// fixtures). Release never recycles or poisons it.
+func NewFrame(b []byte) *FrameBuf {
+	fb := &FrameBuf{b: b, unpooled: true}
+	fb.refs.Store(1)
+	return fb
+}
+
+// Bytes returns the encoded frame. Valid only while the caller holds a
+// reference; never mutate it.
+func (f *FrameBuf) Bytes() []byte { return f.b }
+
+// Len returns the encoded frame length.
+func (f *FrameBuf) Len() int { return len(f.b) }
+
+// Refs returns the current reference count; a debugging and test aid, racy
+// by nature against concurrent holders.
+func (f *FrameBuf) Refs() int32 { return f.refs.Load() }
+
+// AppendBytes appends p to the frame. Only the sole owner (refcount one,
+// before any handoff) may grow a frame; sessions encode through
+// encodeEnvelope instead.
+func (f *FrameBuf) AppendBytes(p []byte) { f.b = append(f.b, p...) }
+
+// Retain adds a reference. The caller must already hold one (a buffer at
+// zero may be back in the pool).
+func (f *FrameBuf) Retain() {
+	if f.refs.Add(1) <= 1 {
+		panic("core: FrameBuf retained after release")
+	}
+}
+
+// Release drops one reference; the last release returns a pooled buffer to
+// the pool (poisoning it first under the framedebug tag). Releasing below
+// zero panics: every Retain pairs with exactly one Release.
+func (f *FrameBuf) Release() {
+	n := f.refs.Add(-1)
+	if n > 0 {
+		return
+	}
+	if n < 0 {
+		panic("core: FrameBuf over-released")
+	}
+	if f.unpooled {
+		return
+	}
+	poisonFrame(f.b)
+	if cap(f.b) > maxPooledFrame {
+		f.b = nil
+	}
+	framePool.Put(f)
+}
+
+// releaseFrames releases every frame in frames and nils the slots so a
+// reused scratch slice cannot pin buffers.
+func releaseFrames(frames []*FrameBuf) {
+	for i := range frames {
+		frames[i].Release()
+		frames[i] = nil
+	}
+}

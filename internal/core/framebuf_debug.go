@@ -1,0 +1,22 @@
+//go:build framedebug
+
+package core
+
+// FrameDebug reports whether the framedebug poison mode is compiled in.
+const FrameDebug = true
+
+// FramePoison is the byte poisonFrame fills released buffers with; exported
+// so lifetime tests in other packages can assert on it.
+const FramePoison = 0xDB
+
+// poisonFrame overwrites the full capacity of a buffer on its way back to
+// the pool, so a holder reading (or writing) past its last Release sees
+// garbage deterministically instead of silently racing the buffer's next
+// user. Enabled with `go test -tags framedebug`; the CI race job runs the
+// core and journal suites under it.
+func poisonFrame(b []byte) {
+	b = b[:cap(b)]
+	for i := range b {
+		b[i] = FramePoison
+	}
+}

@@ -1,0 +1,42 @@
+//go:build framedebug
+
+package core
+
+import "testing"
+
+// TestPoisonOnRelease (framedebug builds only): a pooled frame's bytes are
+// overwritten the moment its last reference drops, so any holder that kept
+// a raw []byte past its Release reads poison instead of silently racing
+// the buffer's next user.
+func TestPoisonOnRelease(t *testing.T) {
+	if !FrameDebug {
+		t.Fatal("framedebug tag not in effect")
+	}
+	fb := GetFrame(32)
+	fb.AppendBytes([]byte("sensitive-frame-bytes"))
+	leaked := fb.Bytes() // a contract violation, kept deliberately
+	fb.Retain()
+	fb.Release()
+	for _, b := range leaked {
+		if b == FramePoison {
+			t.Fatal("frame poisoned while a reference was still held")
+		}
+	}
+	fb.Release() // last reference: pool return + poison
+	for i, b := range leaked {
+		if b != FramePoison {
+			t.Fatalf("byte %d = %#x after final release, want poison %#x", i, b, FramePoison)
+		}
+	}
+}
+
+// TestUnpooledFramesNeverPoisoned: NewFrame wraps caller-owned bytes; the
+// pool must neither recycle nor poison them.
+func TestUnpooledFramesNeverPoisoned(t *testing.T) {
+	raw := []byte("caller-owned")
+	fb := NewFrame(raw)
+	fb.Release()
+	if raw[0] == FramePoison {
+		t.Fatal("unpooled frame poisoned")
+	}
+}

@@ -38,13 +38,24 @@ const (
 // JournalSink receives every broadcast envelope a session encodes and hands
 // recorded frames back for late-joiner catch-up and state recovery.
 //
-// Record must not block and must not mutate or retain-and-modify frame: the
-// same buffer sits in client queues. Replay visits recorded frames oldest
-// first until visit returns false. The session serialises Record against
-// Replay on its attach barrier, so a frame is seen exactly once by an
-// attaching client: in the replay, or in its live queue — never both.
+// Record receives the broadcast's refcounted buffer — the same one sitting
+// in client queues, so durability never re-encodes. The caller's reference
+// is live only for the duration of the call: a sink that keeps the frame
+// past return must Retain the buffer (once per reference it keeps, e.g.
+// one for its replay mirror and one for a pending fsync batch) before
+// returning, and Release each reference when done. Record must not block
+// and must never mutate the bytes.
+//
+// Replay visits recorded frames oldest first until visit returns false.
+// The frame bytes are valid only during the visit: a caller that keeps a
+// frame past its visit must copy it, because the sink may recycle a
+// compacted-away record's buffer.
+//
+// The session serialises Record against Replay on its attach barrier, so a
+// frame is seen exactly once by an attaching client: in the replay, or in
+// its live queue — never both.
 type JournalSink interface {
-	Record(class JournalClass, frame []byte)
+	Record(class JournalClass, frame *FrameBuf)
 	Replay(visit func(class JournalClass, frame []byte) bool)
 }
 
@@ -144,9 +155,7 @@ func (s *Session) Recover() (int, error) {
 			}
 			s.mu.Unlock()
 		case msgSample:
-			s.mu.Lock()
-			s.lastSample = e.Sample
-			s.mu.Unlock()
+			s.lastSample.Store(e.Sample)
 			applied++
 		}
 		return true

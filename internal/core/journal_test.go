@@ -19,12 +19,15 @@ type memSink struct {
 	}
 }
 
-func (m *memSink) Record(class JournalClass, frame []byte) {
+func (m *memSink) Record(class JournalClass, frame *FrameBuf) {
+	// The caller's buffer reference is live only for the call, so the sink
+	// copies (the durable implementation retains instead; both honour the
+	// contract).
 	m.mu.Lock()
 	m.recs = append(m.recs, struct {
 		class JournalClass
 		frame []byte
-	}{class, frame})
+	}{class, append([]byte(nil), frame.Bytes()...)})
 	m.mu.Unlock()
 }
 
@@ -186,22 +189,22 @@ func TestRecoverRestoresState(t *testing.T) {
 		}
 		return buf
 	}
-	sink.Record(JournalState, mk(&envelope{Type: msgParamUpdate, Params: []Param{
+	sink.Record(JournalState, NewFrame(mk(&envelope{Type: msgParamUpdate, Params: []Param{
 		{Name: "g", Type: FloatParam, Value: FloatValue(1.5), Min: 0, Max: 10},
-	}}))
-	sink.Record(JournalState, mk(&envelope{Type: msgParamUpdate, Params: []Param{
+	}})))
+	sink.Record(JournalState, NewFrame(mk(&envelope{Type: msgParamUpdate, Params: []Param{
 		{Name: "g", Type: FloatParam, Value: FloatValue(4.5), Min: 0, Max: 10},
 		{Name: "gone-param", Type: FloatParam, Value: FloatValue(1), Min: 0, Max: 10},
-	}}))
-	sink.Record(JournalEvent, mk(&envelope{Type: msgEvent, Event: "old news"}))
+	}})))
+	sink.Record(JournalEvent, NewFrame(mk(&envelope{Type: msgEvent, Event: "old news"})))
 	view := &ViewState{Seq: 7, Eye: [3]float64{9, 8, 7}, VizParams: map[string]float64{"iso": 0.5}}
-	sink.Record(JournalState, mk(&envelope{Type: msgViewUpdate, View: view}))
+	sink.Record(JournalState, NewFrame(mk(&envelope{Type: msgViewUpdate, View: view})))
 	s1 := NewSample(41)
 	s1.Channels["seg"] = Scalar(0.1)
-	sink.Record(JournalSample, mk(&envelope{Type: msgSample, Sample: s1}))
+	sink.Record(JournalSample, NewFrame(mk(&envelope{Type: msgSample, Sample: s1})))
 	s2 := NewSample(42)
 	s2.Channels["seg"] = Scalar(0.2)
-	sink.Record(JournalSample, mk(&envelope{Type: msgSample, Sample: s2}))
+	sink.Record(JournalSample, NewFrame(mk(&envelope{Type: msgSample, Sample: s2})))
 
 	s := NewSession(SessionConfig{Journal: sink})
 	defer s.Close()
@@ -244,7 +247,7 @@ func TestRecoverMutesJournalTap(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sink.Record(JournalState, buf)
+	sink.Record(JournalState, NewFrame(buf))
 
 	s := NewSession(SessionConfig{Journal: sink})
 	defer s.Close()
@@ -287,7 +290,7 @@ func TestRecoverBroadcastsToAttachedClients(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sink.Record(JournalState, buf)
+	sink.Record(JournalState, NewFrame(buf))
 
 	s, dial := testSession(t, SessionConfig{Journal: sink})
 	st := s.Steered()
@@ -332,7 +335,7 @@ func TestSnapshotFramesRoundTrip(t *testing.T) {
 	// path and reproduce the state.
 	sink := &memSink{}
 	for _, f := range frames {
-		sink.Record(JournalState, f)
+		sink.Record(JournalState, NewFrame(f))
 	}
 	s2 := NewSession(SessionConfig{Journal: sink})
 	defer s2.Close()

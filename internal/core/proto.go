@@ -449,15 +449,29 @@ func parseView(meta []int64, nums []float64, keys []string) (*ViewState, error) 
 	return v, nil
 }
 
+// sampleScratchChans sizes appendSample's stack scratch: samples with at
+// most this many channels (every steered demo, and any sane emitter)
+// serialize with zero slice allocations, which is what keeps the broadcast
+// hot path allocation-free.
+const sampleScratchChans = 16
+
 // appendSample emits the sample group: meta, names, then one data frame per
 // channel in name order.
 func appendSample(buf []byte, s *Sample) []byte {
-	names := make([]string, 0, len(s.Channels))
+	var nameScratch [sampleScratchChans]string
+	names := nameScratch[:0]
+	if len(s.Channels) > len(nameScratch) {
+		names = make([]string, 0, len(s.Channels))
+	}
 	for k := range s.Channels {
 		names = append(names, k)
 	}
 	sort.Strings(names)
-	meta := make([]int64, 0, 2+3*len(names))
+	var metaScratch [2 + 3*sampleScratchChans]int64
+	meta := metaScratch[:0]
+	if len(names) > sampleScratchChans {
+		meta = make([]int64, 0, 2+3*len(names))
+	}
 	meta = append(meta, s.Step, int64(len(names)))
 	for _, k := range names {
 		ch := s.Channels[k]

@@ -155,12 +155,17 @@ func BenchmarkProtocolFanout(b *testing.B) {
 			for i := 0; i < n; i++ {
 				name := fmt.Sprintf("c%02d", i)
 				s.clients[name] = &clientConn{
-					name: name,
-					out:  make(chan []byte, 2),
-					ctrl: make(chan []byte, 2),
-					gone: make(chan struct{}),
+					name:  name,
+					out:   newFrameRing(2),
+					ctrl:  newFrameRing(2),
+					ready: make(chan struct{}, 1),
+					gone:  make(chan struct{}),
 				}
+				s.order = append(s.order, name)
 			}
+			s.mu.Lock()
+			s.rebuildClientsLocked()
+			s.mu.Unlock()
 			sample := benchSample(4096)
 			b.ReportAllocs()
 			b.ResetTimer()

@@ -504,8 +504,8 @@ func TestChoiceRegistrationValidation(t *testing.T) {
 }
 
 // TestEncodeOnceSharesBuffer pins the tentpole property: one broadcast to N
-// clients performs exactly one serialization, and every queue holds the
-// same buffer.
+// clients performs exactly one serialization, and every queue slot holds a
+// reference to the same pooled buffer.
 func TestEncodeOnceSharesBuffer(t *testing.T) {
 	// No Close: the session never serves a listener and the fake clients
 	// carry no codec to shut down.
@@ -513,28 +513,37 @@ func TestEncodeOnceSharesBuffer(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		name := string(rune('a' + i))
 		s.clients[name] = &clientConn{
-			name: name,
-			out:  make(chan []byte, 4),
-			ctrl: make(chan []byte, 4),
-			gone: make(chan struct{}),
+			name:  name,
+			out:   newFrameRing(4),
+			ctrl:  newFrameRing(4),
+			ready: make(chan struct{}, 1),
+			gone:  make(chan struct{}),
 		}
+		s.order = append(s.order, name)
 	}
+	s.mu.Lock()
+	s.rebuildClientsLocked()
+	s.mu.Unlock()
 	sample := NewSample(1)
 	sample.Channels["x"] = Scalar(1)
 	s.broadcastSample(sample)
 
-	var bufs [][]byte
+	var frames []*FrameBuf
 	for _, cc := range s.clients {
-		select {
-		case b := <-cc.out:
-			bufs = append(bufs, b)
-		default:
-			t.Fatal("client queue empty after broadcast")
+		got := cc.out.drainInto(nil, 0)
+		if len(got) != 1 {
+			t.Fatalf("client queue holds %d frames after broadcast, want 1", len(got))
 		}
+		frames = append(frames, got[0])
 	}
-	for _, b := range bufs[1:] {
-		if &b[0] != &bufs[0][0] {
+	for _, fb := range frames[1:] {
+		if fb != frames[0] {
 			t.Fatal("broadcast did not share one encoded buffer across clients")
 		}
 	}
+	// Each of the three queue slots held one reference, now owned here.
+	if got := frames[0].Refs(); got != 3 {
+		t.Fatalf("shared frame refcount = %d, want 3 (one per queue slot)", got)
+	}
+	releaseFrames(frames)
 }

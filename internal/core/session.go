@@ -73,6 +73,13 @@ type Session struct {
 	viewSeq uint64
 	nextID  int
 
+	// clientsView is the broadcast path's read-copy-update snapshot of the
+	// attached clients: an immutable slice swapped atomically by
+	// attach/detach (which still serialise on s.mu). Broadcasts only load
+	// it, so the fan-out never touches s.mu — the registration lock is paid
+	// at membership-change rate, not message rate.
+	clientsView atomic.Pointer[[]*clientConn]
+
 	// application-side state
 	pending           chan pendingOp // steering ops awaiting the next poll
 	paused            bool
@@ -80,10 +87,17 @@ type Session struct {
 	checkpointPending bool
 	resumeCh          chan struct{}
 
-	stats Stats
+	// Hot-path activity counters: touched on every broadcast, so they are
+	// atomics — Stats readers never contend with (or block) a fan-out.
+	statSamplesEmitted   atomic.Uint64
+	statSamplesDelivered atomic.Uint64
+	statSamplesDropped   atomic.Uint64
+	statSteersApplied    atomic.Uint64
+	statSteersRejected   atomic.Uint64
+
 	// lastSample retains the most recent emission for pull-style consumers
 	// (the OGSI steering service's sample operation).
-	lastSample *Sample
+	lastSample atomic.Pointer[Sample]
 
 	closed  bool
 	closeCh chan struct{}
@@ -110,15 +124,19 @@ type clientConn struct {
 	codec *codec
 	role  Role
 	// out is the bounded sample queue; when full the oldest sample is
-	// evicted so a slow client sees the freshest data. ctrl is the separate
-	// control-frame queue, drained with priority, so a sample burst can
-	// never starve or evict an event, param update or master change.
-	// Synchronous acks bypass both with a deadline write. Both queues carry
-	// pre-encoded envelope bytes: a broadcast serializes once and every
-	// queue holds a reference to the same buffer (encode-once fan-out).
-	out      chan []byte
-	ctrl     chan []byte
-	dropped  uint64
+	// overwritten in place so a slow client sees the freshest data. ctrl is
+	// the separate control-frame queue, drained with priority, so a sample
+	// burst can never starve or evict an event, param update or master
+	// change. Synchronous acks bypass both with a deadline write. Both
+	// queues are rings of refcounted *FrameBuf: a broadcast serializes once
+	// into a pooled buffer and every queue slot holds a reference to it
+	// (encode-once, allocate-rarely fan-out).
+	out     *frameRing
+	ctrl    *frameRing
+	dropped atomic.Uint64
+	// ready wakes the dedicated writer goroutine (capacity-1 wakeup token);
+	// unused when an external WriterScheduler drains the client.
+	ready    chan struct{}
 	gone     chan struct{}
 	goneOnce sync.Once
 	// welcomed flips once the welcome frame is on the wire; no writer —
@@ -128,9 +146,11 @@ type clientConn struct {
 	// stash overflows the ctrl queue while the client is pre-welcome on a
 	// journaled session (the welcome + catch-up writes can outlast a
 	// control burst): frames land here instead of being evicted — or the
-	// client killed — and drain, in order, at the go-live handoff.
-	stashMu sync.Mutex
-	stash   [][]byte
+	// client killed — and drain, in order, at the go-live handoff. Stashed
+	// frames are retained; the drain (or the drop cleanup) releases them.
+	stashMu     sync.Mutex
+	stash       []*FrameBuf
+	stashClosed bool
 	// handle is the external-writer view of this client; nil when the
 	// session drains queues with per-client goroutines.
 	handle *ClientHandle
@@ -146,15 +166,16 @@ func (cc *clientConn) markGone() {
 // this many control frames behind during its own attach is beyond saving.
 const maxCtrlStash = 16384
 
-// stashCtrl stores one pre-welcome overflow frame, reporting false when
-// the stash bound is exhausted.
-func (cc *clientConn) stashCtrl(buf []byte) bool {
+// stashCtrl stores one pre-welcome overflow frame (retaining it), reporting
+// false when the stash bound is exhausted or the client already dropped.
+func (cc *clientConn) stashCtrl(fb *FrameBuf) bool {
 	cc.stashMu.Lock()
 	defer cc.stashMu.Unlock()
-	if len(cc.stash) >= maxCtrlStash {
+	if cc.stashClosed || len(cc.stash) >= maxCtrlStash {
 		return false
 	}
-	cc.stash = append(cc.stash, buf)
+	fb.Retain()
+	cc.stash = append(cc.stash, fb)
 	return true
 }
 
@@ -167,8 +188,8 @@ func (cc *clientConn) stashPending() bool {
 	return len(cc.stash) > 0
 }
 
-// takeStash empties the stash.
-func (cc *clientConn) takeStash() [][]byte {
+// takeStash empties the stash; the references transfer to the caller.
+func (cc *clientConn) takeStash() []*FrameBuf {
 	cc.stashMu.Lock()
 	defer cc.stashMu.Unlock()
 	stash := cc.stash
@@ -176,18 +197,23 @@ func (cc *clientConn) takeStash() [][]byte {
 	return stash
 }
 
+// closeStash releases stashed frames and refuses future stashes; part of
+// the drop cleanup.
+func (cc *clientConn) closeStash() {
+	cc.stashMu.Lock()
+	cc.stashClosed = true
+	stash := cc.stash
+	cc.stash = nil
+	cc.stashMu.Unlock()
+	releaseFrames(stash)
+}
+
 // drainBacklog empties the pre-welcome control backlog in arrival order:
-// the ctrl queue holds the older frames, the stash their overflow.
-func (cc *clientConn) drainBacklog() [][]byte {
-	var backlog [][]byte
-	for {
-		select {
-		case b := <-cc.ctrl:
-			backlog = append(backlog, b)
-		default:
-			return append(backlog, cc.takeStash()...)
-		}
-	}
+// the ctrl queue holds the older frames, the stash their overflow. The
+// caller owns (and must release) the returned references.
+func (cc *clientConn) drainBacklog() []*FrameBuf {
+	backlog := cc.ctrl.drainInto(nil, 0)
+	return append(backlog, cc.takeStash()...)
 }
 
 // NewSession creates a session ready to accept clients.
@@ -198,7 +224,7 @@ func NewSession(cfg SessionConfig) *Session {
 	if cfg.ControlTimeout <= 0 {
 		cfg.ControlTimeout = 2 * time.Second
 	}
-	return &Session{
+	s := &Session{
 		cfg:     cfg,
 		params:  newParamTable(),
 		clients: make(map[string]*clientConn),
@@ -211,6 +237,8 @@ func NewSession(cfg SessionConfig) *Session {
 		resumeCh: make(chan struct{}),
 		closeCh:  make(chan struct{}),
 	}
+	s.clientsView.Store(&[]*clientConn{})
+	return s
 }
 
 // Name returns the session name.
@@ -236,11 +264,17 @@ func (s *Session) Clients() []string {
 	return append([]string(nil), s.order...)
 }
 
-// Stats returns a copy of the activity counters.
+// Stats returns a copy of the activity counters. The counters are atomics
+// maintained on the broadcast hot path, so the copy is a consistent-enough
+// snapshot (each counter individually exact, the set read without a lock).
 func (s *Session) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return Stats{
+		SamplesEmitted:   s.statSamplesEmitted.Load(),
+		SamplesDelivered: s.statSamplesDelivered.Load(),
+		SamplesDropped:   s.statSamplesDropped.Load(),
+		SteersApplied:    s.statSteersApplied.Load(),
+		SteersRejected:   s.statSteersRejected.Load(),
+	}
 }
 
 // ClientCount returns the number of attached clients.
@@ -295,6 +329,23 @@ func (s *Session) writeFrames(cc *clientConn, frames [][]byte) error {
 	return s.chunkFrames(frames, func(batch [][]byte) error {
 		return cc.codec.writeBatch(batch, s.cfg.ControlTimeout)
 	})
+}
+
+// writeFrameBufs writes a backlog of refcounted frames in bounded batches
+// and releases every reference, success or not.
+func (s *Session) writeFrameBufs(cc *clientConn, frames []*FrameBuf, locked bool) error {
+	bufs := make([][]byte, len(frames))
+	for i, fb := range frames {
+		bufs[i] = fb.Bytes()
+	}
+	err := s.chunkFrames(bufs, func(batch [][]byte) error {
+		if locked {
+			return cc.codec.writeBatchLocked(batch, s.cfg.ControlTimeout)
+		}
+		return cc.codec.writeBatch(batch, s.cfg.ControlTimeout)
+	})
+	releaseFrames(frames)
+	return err
 }
 
 // chunkFrames feeds frames to write in byte- and count-bounded batches.
@@ -451,39 +502,48 @@ func (s *Session) ServePending(p *PendingConn) error {
 				cc.codec.lockWrites()
 				cc.welcomed.Store(true)
 				s.attachMu.Unlock()
-				err := s.chunkFrames(backlog, func(batch [][]byte) error {
-					return cc.codec.writeBatchLocked(batch, s.cfg.ControlTimeout)
-				})
+				err := s.writeFrameBufs(cc, backlog, true)
 				cc.codec.unlockWrites()
 				if err != nil {
 					return err
 				}
 				break
 			}
-			if err := s.writeFrames(cc, backlog); err != nil {
+			if err := s.writeFrameBufs(cc, backlog, false); err != nil {
 				return err
 			}
 		}
 	}
 
 	if s.cfg.Writer == nil {
-		// Writer goroutine drains both bounded queues, control first.
+		// Writer goroutine drains both rings in batches, control first;
+		// broadcasts leave a wakeup token in cc.ready after queueing.
 		go func() {
+			var frames []*FrameBuf
+			var bufs [][]byte
 			for {
-				var buf []byte
-				select {
-				case buf = <-cc.ctrl:
-				default:
+				frames = cc.ctrl.drainInto(frames[:0], 64)
+				frames = cc.out.drainInto(frames, 64)
+				if len(frames) == 0 {
 					select {
-					case buf = <-cc.ctrl:
-					case buf = <-cc.out:
+					case <-cc.ready:
+						continue
 					case <-cc.gone:
 						return
 					case <-s.closeCh:
 						return
 					}
 				}
-				if err := cc.codec.writeBytes(buf, s.cfg.ControlTimeout); err != nil {
+				bufs = bufs[:0]
+				for _, fb := range frames {
+					bufs = append(bufs, fb.Bytes())
+				}
+				err := cc.codec.writeBatch(bufs, s.cfg.ControlTimeout)
+				releaseFrames(frames)
+				for i := range bufs {
+					bufs[i] = nil // don't pin a released frame's backing array
+				}
+				if err != nil {
 					cc.markGone()
 					return
 				}
@@ -532,7 +592,11 @@ func (s *Session) admitWithCatchup(a *attachMsg, c *codec) (*clientConn, [][]byt
 	var catchup [][]byte
 	s.cfg.Journal.Replay(func(class JournalClass, frame []byte) bool {
 		if class == JournalEvent || class == JournalSample {
-			catchup = append(catchup, frame)
+			// Replay frames are valid only during the visit (the sink may
+			// recycle a compacted record's pooled buffer); the catch-up is
+			// written after this returns, so it takes copies. Attach is the
+			// cold path — the broadcast side stays copy-free.
+			catchup = append(catchup, append([]byte(nil), frame...))
 		}
 		return true
 	})
@@ -563,8 +627,9 @@ func (s *Session) admit(a *attachMsg, c *codec) (*clientConn, error) {
 		name:  name,
 		codec: c,
 		role:  RoleObserver,
-		out:   make(chan []byte, s.cfg.SampleQueue),
-		ctrl:  make(chan []byte, 64),
+		out:   newFrameRing(s.cfg.SampleQueue),
+		ctrl:  newFrameRing(64),
+		ready: make(chan struct{}, 1),
 		gone:  make(chan struct{}),
 	}
 	if s.cfg.Writer != nil {
@@ -576,7 +641,23 @@ func (s *Session) admit(a *attachMsg, c *codec) (*clientConn, error) {
 	}
 	s.clients[name] = cc
 	s.order = append(s.order, name)
+	s.rebuildClientsLocked()
 	return cc, nil
+}
+
+// rebuildClientsLocked swaps in a fresh immutable client snapshot for the
+// broadcast path; the caller holds s.mu. On a journaled session an attach
+// additionally runs under the exclusive attach barrier, so a broadcast
+// holding the shared side observes the swap atomically with the journal
+// catch-up fetch (the exactly-once delivery argument). A detach swaps under
+// s.mu alone: a broadcast still holding the old snapshot pushes onto the
+// dropped client's closed rings, which discard.
+func (s *Session) rebuildClientsLocked() {
+	view := make([]*clientConn, 0, len(s.order))
+	for _, name := range s.order {
+		view = append(view, s.clients[name])
+	}
+	s.clientsView.Store(&view)
 }
 
 // drop removes a client; if it held the master role the oldest remaining
@@ -605,9 +686,16 @@ func (s *Session) drop(cc *clientConn) {
 		}
 	}
 	master := s.master
+	s.rebuildClientsLocked()
 	s.mu.Unlock()
 
 	cc.markGone()
+	// Return queued buffer references to the pool: nobody will drain these
+	// rings again. The rings close first, so a broadcast that loaded the
+	// pre-drop snapshot discards instead of stranding references.
+	cc.ctrl.closeRelease()
+	cc.out.closeRelease()
+	cc.closeStash()
 	if s.cfg.Writer != nil && cc.handle != nil {
 		s.cfg.Writer.ClientClosed(cc.handle)
 	}
@@ -737,37 +825,14 @@ func (s *Session) ack(cc *clientConn, seq uint64) {
 }
 
 func (s *Session) rejectSteer(cc *clientConn, seq uint64, why error) {
-	s.mu.Lock()
-	s.stats.SteersRejected++
-	s.mu.Unlock()
+	s.statSteersRejected.Add(1)
 	cc.codec.write(&envelope{Type: msgAck, Seq: seq, Ack: &ackMsg{Code: codeFor(why), Err: why.Error()}}, s.cfg.ControlTimeout)
 }
 
-// broadcastControl encodes a control frame once and queues the bytes to
-// every client; clients whose queue is full have older entries evicted
-// (control frames are small and idempotent: last-writer-wins state updates).
-// tapBroadcast journals one broadcast frame under the shared side of the
-// attach barrier: the journal write is the same buffer the queues get, so
-// durability costs one append, zero re-encodes. It reports false — and
-// takes no lock — when the broadcast must be dropped (the session is
-// closing; the re-check is authoritative, Close stores the flag under the
-// exclusive side). On true the caller must defer unlock around its
-// enqueues. Journal-less sessions tap nothing and hold nothing.
-func (s *Session) tapBroadcast(class JournalClass, buf []byte) (unlock func(), ok bool) {
-	if s.cfg.Journal == nil {
-		return func() {}, true
-	}
-	s.attachMu.RLock()
-	if s.closing.Load() {
-		s.attachMu.RUnlock()
-		return nil, false
-	}
-	if !s.recovering.Load() {
-		s.cfg.Journal.Record(class, buf)
-	}
-	return s.attachMu.RUnlock, true
-}
-
+// broadcastControl encodes a control frame once into a pooled buffer and
+// queues a reference to every client; a client whose queue is full has its
+// oldest entry overwritten (control frames are small and idempotent:
+// last-writer-wins state updates).
 func (s *Session) broadcastControl(e *envelope) {
 	if s.closing.Load() {
 		// A dying session delivers nothing: the clients' conns are (being)
@@ -776,145 +841,138 @@ func (s *Session) broadcastControl(e *envelope) {
 		// consistent.
 		return
 	}
-	buf, err := encodeEnvelope(nil, e)
+	fb := GetFrame(256)
+	b, err := encodeEnvelope(fb.b[:0], e)
 	if err != nil {
+		fb.Release()
 		return
 	}
-	unlock, ok := s.tapBroadcast(journalClassOf(e.Type), buf)
-	if !ok {
-		return
-	}
-	defer unlock()
-	s.mu.Lock()
-	clients := make([]*clientConn, 0, len(s.clients))
-	for _, cc := range s.clients {
-		clients = append(clients, cc)
-	}
-	s.mu.Unlock()
-	for _, cc := range clients {
-		s.routeCtrl(cc, buf)
-		s.notifyWriter(cc)
-	}
+	fb.b = b
+	s.fanout(journalClassOf(e.Type), fb, true)
 }
 
-// enqueueCtrl delivers one control frame to a client's queue. A full queue
-// evicts its oldest entry (control frames are small, idempotent state; the
-// newest must land) — except pre-welcome on a journaled session, where no
+// fanout delivers one encoded broadcast frame: journal tap under the shared
+// side of the attach barrier, then one queue push per client in the current
+// snapshot. It consumes the caller's buffer reference and reports whether
+// the frame was delivered (false only when the session is closing — the
+// re-check under the shared barrier is authoritative, Close stores the flag
+// under the exclusive side, so delivery and the journal stay consistent).
+//
+// This is the hot path, and it is steady-state allocation- and lock-free:
+// the client list is an RCU snapshot load, the buffer came from the frame
+// pool, every queue is a ring whose eviction is an O(1) slot overwrite, and
+// the counters are atomics. Only a journaled session takes the shared
+// (read) side of the attach barrier, which the journal's exactly-once
+// catch-up semantics require; the journal tap itself is an in-memory append
+// of the same refcounted buffer — durability never re-encodes, and the
+// buffer cannot return to the pool before the journal's fsync batch
+// flushes (the sink retains it).
+func (s *Session) fanout(class JournalClass, fb *FrameBuf, ctrl bool) bool {
+	journaled := s.cfg.Journal != nil
+	if journaled {
+		s.attachMu.RLock()
+		if s.closing.Load() {
+			s.attachMu.RUnlock()
+			fb.Release()
+			return false
+		}
+		if !s.recovering.Load() {
+			s.cfg.Journal.Record(class, fb)
+		}
+	}
+	clients := *s.clientsView.Load()
+	if ctrl {
+		for _, cc := range clients {
+			s.routeCtrl(cc, fb)
+			s.notifyWriter(cc)
+		}
+	} else {
+		var delivered, dropped uint64
+		for _, cc := range clients {
+			if cc.out.push(fb) {
+				// The overwrite retracted an earlier queued sample: that one
+				// is the drop, the fresh frame replaces its delivery.
+				cc.dropped.Add(1)
+				dropped++
+			} else {
+				delivered++
+			}
+			s.notifyWriter(cc)
+		}
+		s.statSamplesDelivered.Add(delivered)
+		s.statSamplesDropped.Add(dropped)
+	}
+	if journaled {
+		s.attachMu.RUnlock()
+	}
+	fb.Release()
+	return true
+}
+
+// routeCtrl queues one control frame toward a client. A full ring evicts
+// its oldest entry — except pre-welcome on a journaled session, where no
 // writer is draining yet and an eviction would lose a frame that is in
 // neither the client's catch-up replay nor its queue: those overflow to
-// the stash, drained in order at the go-live handoff.
-func (s *Session) enqueueCtrl(cc *clientConn, buf []byte) {
-	for {
-		select {
-		case cc.ctrl <- buf:
-			return
-		default:
-		}
-		select {
-		case <-cc.gone:
-			return
-		default:
-		}
-		if s.cfg.Journal != nil && !cc.welcomed.Load() {
-			if !cc.stashCtrl(buf) {
+// the stash (and once overflow has started stashing, later frames stash
+// too, so the backlog drain — ctrl ring first, then stash — preserves
+// arrival order). A client that exhausts the stash bound is beyond saving.
+func (s *Session) routeCtrl(cc *clientConn, fb *FrameBuf) {
+	if s.cfg.Journal != nil && !cc.welcomed.Load() {
+		if cc.stashPending() || !cc.ctrl.tryPush(fb) {
+			if !cc.stashCtrl(fb) {
 				cc.markGone()
 			}
-			return
-		}
-		// Evict the oldest if one is still there (a writer may have
-		// drained it meanwhile), then retry the send.
-		select {
-		case <-cc.ctrl:
-		default:
-		}
-	}
-}
-
-// routeCtrl sends one control frame toward a pre-welcome-aware client:
-// once overflow has started stashing, later frames stash too so the
-// backlog drain (ctrl first, then stash) preserves arrival order.
-func (s *Session) routeCtrl(cc *clientConn, buf []byte) {
-	if s.cfg.Journal != nil && !cc.welcomed.Load() && cc.stashPending() {
-		if !cc.stashCtrl(buf) {
-			cc.markGone()
 		}
 		return
 	}
-	s.enqueueCtrl(cc, buf)
+	cc.ctrl.push(fb)
 }
 
-// notifyWriter tells the external writer scheduler, if any, that cc has
-// queued output to drain. Suppressed until the welcome frame is on the
-// wire; ServePending notifies once after it.
+// notifyWriter wakes whichever writer drains cc's queues: the external
+// scheduler's edge trigger, or the dedicated writer's wakeup token.
+// External notifies are suppressed until the welcome frame is on the wire;
+// ServePending notifies once after it.
 func (s *Session) notifyWriter(cc *clientConn) {
-	if s.cfg.Writer != nil && cc.handle != nil && cc.welcomed.Load() {
-		s.cfg.Writer.ClientReady(cc.handle)
+	if s.cfg.Writer != nil {
+		if cc.handle != nil && cc.welcomed.Load() {
+			s.cfg.Writer.ClientReady(cc.handle)
+		}
+		return
+	}
+	select {
+	case cc.ready <- struct{}{}:
+	default:
 	}
 }
 
 // broadcastSample fans a sample out to all clients, serializing it exactly
-// once: every client queue (and every batched writer behind DrainBatch)
-// shares the same encoded buffer, so fan-out cost is channel sends, not
-// N encodings. A slow client's queue evicts its oldest entries so the
-// freshest data always survives a burst: "failures or slow operation of the
-// visualization must not disturb the simulation progress", and a client
-// that falls behind sees the most recent samples rather than a stale prefix
-// (dropping newest would strand a client on pre-migration data across a
-// compute handoff).
+// once into a pooled buffer: every client ring (and every batched writer
+// behind DrainBatch) holds a reference to the same bytes, so fan-out cost
+// is refcounted slot writes, not N encodings or N buffers. A slow client's
+// full ring overwrites its oldest entry so the freshest data always
+// survives a burst: "failures or slow operation of the visualization must
+// not disturb the simulation progress", and a client that falls behind sees
+// the most recent samples rather than a stale prefix (dropping newest would
+// strand a client on pre-migration data across a compute handoff).
 func (s *Session) broadcastSample(sample *Sample) {
 	if s.closing.Load() {
 		return // see broadcastControl: a dying session delivers nothing
 	}
-	// Pre-size for the payload so the one serialization also means one
-	// allocation instead of append-growth over a multi-KB sample.
+	// Pre-size for the payload so a cold pool buffer costs one allocation
+	// instead of append-growth over a multi-KB sample; a warm one is free.
 	est := sample.ByteSize() + 64*len(sample.Channels) + 256
-	buf, err := encodeEnvelope(make([]byte, 0, est), &envelope{Type: msgSample, Sample: sample})
+	fb := GetFrame(est)
+	e := envelope{Type: msgSample, Sample: sample}
+	b, err := encodeEnvelope(fb.b[:0], &e)
 	if err != nil {
+		fb.Release()
 		return
 	}
-	unlock, ok := s.tapBroadcast(JournalSample, buf)
-	if !ok {
-		return
+	fb.b = b
+	if s.fanout(JournalSample, fb, false) {
+		s.statSamplesEmitted.Add(1)
+		s.lastSample.Store(sample)
 	}
-	defer unlock()
-	s.mu.Lock()
-	s.stats.SamplesEmitted++
-	s.lastSample = sample
-	clients := make([]*clientConn, 0, len(s.clients))
-	for _, cc := range s.clients {
-		clients = append(clients, cc)
-	}
-	s.mu.Unlock()
-
-	// delivered may go negative within one call: evicting a queued sample
-	// retracts a delivery counted by an earlier call.
-	var delivered, dropped int64
-	for _, cc := range clients {
-		for {
-			select {
-			case cc.out <- buf:
-				delivered++
-			default:
-				// Full: evict the oldest if one is still there (a writer
-				// may have drained it meanwhile), then retry the send —
-				// the freshest sample always lands.
-				select {
-				case <-cc.out:
-					cc.dropped++
-					dropped++
-					delivered--
-				default:
-				}
-				continue
-			}
-			break
-		}
-		s.notifyWriter(cc)
-	}
-	s.mu.Lock()
-	s.stats.SamplesDelivered = uint64(int64(s.stats.SamplesDelivered) + delivered)
-	s.stats.SamplesDropped = uint64(int64(s.stats.SamplesDropped) + dropped)
-	s.mu.Unlock()
 }
 
 // broadcastEvent sends a progress/status event string (the section 4.4
@@ -979,9 +1037,7 @@ func (s *Session) SetViewServer(v ViewState) ViewState {
 // LastSample returns the most recently emitted sample (nil before the first
 // emission).
 func (s *Session) LastSample() *Sample {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.lastSample
+	return s.lastSample.Load()
 }
 
 // Paused reports whether the session is currently paused.

@@ -162,9 +162,7 @@ func (st *Steered) applyOp(op pendingOp) {
 		if len(updated) == 0 {
 			return
 		}
-		s.mu.Lock()
-		s.stats.SteersApplied += uint64(len(updated))
-		s.mu.Unlock()
+		s.statSteersApplied.Add(uint64(len(updated)))
 		s.broadcastControl(&envelope{Type: msgParamUpdate, Params: updated})
 		return
 	}

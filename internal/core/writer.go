@@ -30,6 +30,12 @@ type ClientHandle struct {
 	// scheduled is the edge-trigger flag a scheduler uses to keep at most
 	// one pending drain request per client in flight.
 	scheduled atomic.Bool
+	// frames/bufs are DrainBatch's reusable scratch, what makes a
+	// steady-state drain allocation-free. The edge trigger serialises
+	// drains per client (at most one writer between MarkScheduled and
+	// ClearScheduled), which is what makes the reuse safe; see DrainBatch.
+	frames []*FrameBuf
+	bufs   [][]byte
 }
 
 // Name returns the client's session-assigned name.
@@ -39,7 +45,7 @@ func (h *ClientHandle) Name() string { return h.cc.name }
 func (h *ClientHandle) SessionName() string { return h.s.cfg.Name }
 
 // Pending returns the number of queued envelopes awaiting a drain.
-func (h *ClientHandle) Pending() int { return len(h.cc.ctrl) + len(h.cc.out) }
+func (h *ClientHandle) Pending() int { return h.cc.ctrl.length() + h.cc.out.length() }
 
 // Gone returns a channel closed when the client is declared dead.
 func (h *ClientHandle) Gone() <-chan struct{} { return h.cc.gone }
@@ -56,10 +62,17 @@ func (h *ClientHandle) ClearScheduled() { h.scheduled.Store(false) }
 // DrainBatch pops up to max queued pre-encoded envelopes (0 selects 32) and
 // writes their bytes to the client in one coalesced batch under a single
 // deadline — broadcasts were serialized once at enqueue time, so a drain
-// moves buffers, it never re-encodes. It returns the count written and
-// whether more output remained queued when it left. A write failure
-// declares the client dead (the session's read loop then drops it);
-// DrainBatch never blocks on queue input, only on the write.
+// moves refcounted buffers, it never re-encodes (and in the steady state it
+// never allocates: the pop lands in the handle's reusable scratch, and each
+// buffer's reference is released back toward the frame pool after the
+// write). It returns the count written and whether more output remained
+// queued when it left. A write failure declares the client dead (the
+// session's read loop then drops it); DrainBatch never blocks on queue
+// input, only on the write.
+//
+// Callers must serialise DrainBatch per handle — the MarkScheduled /
+// ClearScheduled edge trigger schedulers already use gives exactly that —
+// because the drain scratch is reused across calls.
 func (h *ClientHandle) DrainBatch(max int, timeout time.Duration) (int, bool, error) {
 	cc := h.cc
 	select {
@@ -73,33 +86,27 @@ func (h *ClientHandle) DrainBatch(max int, timeout time.Duration) (int, bool, er
 	if timeout <= 0 {
 		timeout = h.s.cfg.ControlTimeout
 	}
-	batch := make([][]byte, 0, min(max, len(cc.ctrl)+len(cc.out)))
 	// Control frames first: a sample burst must not delay events, parameter
 	// updates or master changes.
-ctrl:
-	for len(batch) < max {
-		select {
-		case buf := <-cc.ctrl:
-			batch = append(batch, buf)
-		default:
-			break ctrl
-		}
-	}
-	for len(batch) < max {
-		select {
-		case buf := <-cc.out:
-			batch = append(batch, buf)
-		default:
-			goto drain
-		}
-	}
-drain:
-	if len(batch) == 0 {
+	frames := cc.ctrl.drainInto(h.frames[:0], max)
+	frames = cc.out.drainInto(frames, max)
+	h.frames = frames
+	if len(frames) == 0 {
 		return 0, false, nil
 	}
-	if err := cc.codec.writeBatch(batch, timeout); err != nil {
+	bufs := h.bufs[:0]
+	for _, fb := range frames {
+		bufs = append(bufs, fb.Bytes())
+	}
+	h.bufs = bufs
+	err := cc.codec.writeBatch(bufs, timeout)
+	releaseFrames(frames)
+	for i := range bufs {
+		bufs[i] = nil
+	}
+	if err != nil {
 		cc.markGone()
 		return 0, false, err
 	}
-	return len(batch), len(cc.ctrl)+len(cc.out) > 0, nil
+	return len(frames), cc.ctrl.length()+cc.out.length() > 0, nil
 }

@@ -30,10 +30,12 @@ func BenchmarkJournalAppend(b *testing.B) {
 				defer sy.Close()
 				sy.Watch(j)
 			}
+			fb := core.NewFrame(frame)
 			b.SetBytes(int64(len(frame)))
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				j.Record(core.JournalEvent, frame)
+				j.Record(core.JournalEvent, fb)
 			}
 		})
 	}
@@ -50,13 +52,13 @@ func BenchmarkCatchupReplay(b *testing.B) {
 				b.Fatal(err)
 			}
 			defer j.Close()
-			frame := make([]byte, 256)
+			fb := core.NewFrame(make([]byte, 256))
 			for i := 0; i < records; i++ {
 				class := core.JournalEvent
 				if i%8 == 0 {
 					class = core.JournalSample
 				}
-				j.Record(class, frame)
+				j.Record(class, fb)
 			}
 			var bytes int64
 			b.ResetTimer()

@@ -14,13 +14,15 @@
 // discards everything before the latest compaction barrier.
 //
 // A Journal keeps an in-memory mirror of the replayable records, so Replay
-// (the attach catch-up path) never touches disk. Record is memory-only: it
-// updates the mirror and appends the framed bytes to a pending buffer.
-// All disk I/O — writes, fsync, segment rotation, compaction — happens on
-// the maintenance path under a separate I/O lock, so the broadcast hot
-// path never waits behind the disk. A Syncer (one per hub shard) sweeps
-// the maintenance for every journal it watches; without one, Record runs
-// the maintenance inline.
+// (the attach catch-up path) never touches disk. Record is memory-only and
+// copy-free: it retains the broadcast's refcounted buffer (core.FrameBuf)
+// once for the mirror and once for a pending batch. All disk I/O — framing
+// the batch, writes, fsync, segment rotation, compaction — happens on the
+// maintenance path under a separate I/O lock, so the broadcast hot path
+// never waits behind the disk; batch references release only after the
+// flush (and fsync) lands, mirror references when compaction drops the
+// record. A Syncer (one per hub shard) sweeps the maintenance for every
+// journal it watches; without one, Record runs the maintenance inline.
 package journal
 
 import (
@@ -99,10 +101,30 @@ func (o *Options) fill() {
 	}
 }
 
-// record is one mirrored log entry.
+// record is one mirrored log entry. fb is non-nil while frame aliases a
+// refcounted broadcast buffer the journal retained: the mirror holds one
+// reference for as long as the record is replayable (released when
+// compaction drops the record), and the pending fsync batch holds its own
+// (released once the flush lands). Recovered and compaction-minted records
+// own plain heap bytes and carry a nil fb.
 type record struct {
 	class byte
 	frame []byte
+	fb    *core.FrameBuf
+}
+
+// retain bumps the record's buffer reference, if it has one.
+func (r *record) retain() {
+	if r.fb != nil {
+		r.fb.Retain()
+	}
+}
+
+// release drops the record's buffer reference, if it has one.
+func (r *record) release() {
+	if r.fb != nil {
+		r.fb.Release()
+	}
 }
 
 // Stats counts journal activity.
@@ -143,7 +165,13 @@ type Journal struct {
 	mu       sync.Mutex
 	recs     []record
 	mirBytes int
-	pending  []byte // framed records awaiting a maintenance write
+	// tapped are records awaiting a maintenance write: Record no longer
+	// copies frames into a byte batch on the hot path — it retains the
+	// broadcast's refcounted buffer, and the maintenance sweep frames the
+	// bytes on the disk path and releases each buffer only after the write
+	// (and fsync, in durability mode) lands. A tapped buffer therefore
+	// cannot return to the frame pool before its fsync batch flushes.
+	tapped   []record
 	snapshot func() [][]byte
 
 	needsCompact bool
@@ -161,6 +189,10 @@ type Journal struct {
 	segIndex uint64
 	segSize  int64
 	segments []uint64 // live segment indices, ascending
+	// blobScratch is the maintenance path's reusable framing buffer
+	// (guarded by iomu): a steady stream of appends costs no allocation on
+	// the disk path either.
+	blobScratch []byte
 
 	writeErrs atomic.Uint64
 
@@ -204,26 +236,32 @@ func (j *Journal) SetSnapshot(fn func() [][]byte) {
 
 // Record implements core.JournalSink: it appends one broadcast frame. The
 // mirror is updated synchronously — an attach racing this call replays a
-// consistent prefix — and the disk bytes only join the pending batch;
-// without a Syncer the maintenance (write, fsync, compaction) runs inline
-// before returning.
-func (j *Journal) Record(class core.JournalClass, frame []byte) {
+// consistent prefix — but the hot path copies nothing: the refcounted
+// broadcast buffer is retained once for the mirror and once for the
+// pending disk batch, and the on-disk framing happens on the maintenance
+// path. Without a Syncer the maintenance (write, fsync, compaction) runs
+// inline before returning.
+func (j *Journal) Record(class core.JournalClass, fb *core.FrameBuf) {
 	switch class {
 	case core.JournalState, core.JournalEvent, core.JournalSample:
 	default:
 		return
 	}
+	frame := fb.Bytes()
 	j.mu.Lock()
 	if j.closed {
 		j.mu.Unlock()
 		return
 	}
-	j.recs = append(j.recs, record{class: byte(class), frame: frame})
+	r := record{class: byte(class), frame: frame, fb: fb}
+	r.retain() // mirror reference, dropped when compaction evicts the record
+	j.recs = append(j.recs, r)
 	j.mirBytes += len(frame)
 	if 1+len(frame) > maxRecordBytes {
 		j.stats.OversizedRecords++
 	} else {
-		j.pending = appendRecord(j.pending, byte(class), frame)
+		r.retain() // batch reference, dropped after the flush (+fsync) lands
+		j.tapped = append(j.tapped, r)
 	}
 	j.stats.Appends++
 	if j.snapshot != nil && (len(j.recs) > j.opts.CompactRecords || j.mirBytes > j.opts.CompactBytes) {
@@ -240,13 +278,23 @@ func (j *Journal) Record(class core.JournalClass, frame []byte) {
 
 // Replay implements core.JournalSink: it visits the mirrored records oldest
 // first until visit returns false. Compaction-written snapshot frames visit
-// as JournalState. The visit runs without the journal lock — a compaction
-// swapping the mirror mid-replay leaves this replay on its (still
-// immutable) pre-compaction view.
+// as JournalState. The visit runs without the journal lock; the replay
+// retains every record's buffer first, so a compaction swapping the mirror
+// mid-replay leaves this replay on its pre-compaction view with every
+// frame still alive (per the sink contract, frames are only valid during
+// the visit — callers copy what they keep).
 func (j *Journal) Replay(visit func(class core.JournalClass, frame []byte) bool) {
 	j.mu.Lock()
 	recs := j.recs
+	for i := range recs {
+		recs[i].retain()
+	}
 	j.mu.Unlock()
+	defer func() {
+		for i := range recs {
+			recs[i].release()
+		}
+	}()
 	for _, r := range recs {
 		class := r.class
 		if class == recSnapshot {
@@ -258,13 +306,16 @@ func (j *Journal) Replay(visit func(class core.JournalClass, frame []byte) bool)
 	}
 }
 
-// Maintain writes the pending batch (fsyncing per Options.Fsync), rotating
-// a full segment first, and runs a pending compaction. Syncers call it
-// once per sweep; it is also safe to call directly. Disk I/O happens under
-// the I/O lock only — Record never waits on it — and the batch is stolen
-// under BOTH locks, so concurrent Maintains cannot reorder batches on disk
-// and a racing Close either steals the batch itself or waits out this
-// write: nothing is silently dropped mid-handoff.
+// Maintain frames and writes the pending batch (fsyncing per
+// Options.Fsync), rotating a full segment first, and runs a pending
+// compaction. Syncers call it once per sweep; it is also safe to call
+// directly. Disk I/O happens under the I/O lock only — Record never waits
+// on it — and the batch is stolen under BOTH locks, so concurrent
+// Maintains cannot reorder batches on disk and a racing Close either
+// steals the batch itself or waits out this write: nothing is silently
+// dropped mid-handoff. The batch's buffer references are released only
+// after the write (and fsync) lands: until then the broadcast buffers
+// cannot return to the frame pool.
 func (j *Journal) Maintain() {
 	j.notified.Store(false)
 	j.iomu.Lock()
@@ -274,19 +325,41 @@ func (j *Journal) Maintain() {
 		j.iomu.Unlock()
 		return
 	}
-	buf := j.pending
-	j.pending = nil
+	tapped := j.tapped
+	j.tapped = nil
 	doCompact := j.needsCompact
 	j.needsCompact = false
 	j.mu.Unlock()
-	if len(buf) > 0 {
-		j.writeBlobLocked(buf)
+	if len(tapped) > 0 {
+		j.flushTappedLocked(tapped)
 	}
 	j.iomu.Unlock()
 	if doCompact {
 		j.Compact()
 	}
 }
+
+// flushTappedLocked frames a stolen batch into the scratch blob, writes it
+// (fsyncing per Options.Fsync inside writeBlobLocked) and releases the
+// batch references. Caller holds iomu.
+func (j *Journal) flushTappedLocked(tapped []record) {
+	blob := j.blobScratch[:0]
+	for i := range tapped {
+		blob = appendRecord(blob, tapped[i].class, tapped[i].frame)
+	}
+	j.writeBlobLocked(blob)
+	if cap(blob) <= maxBlobScratch {
+		j.blobScratch = blob[:0]
+	} else {
+		j.blobScratch = nil // a burst must not pin its arena forever
+	}
+	for i := range tapped {
+		tapped[i].release()
+	}
+}
+
+// maxBlobScratch bounds the framing buffer capacity kept between sweeps.
+const maxBlobScratch = 4 << 20
 
 // Compact runs a compaction pass (a no-op without a snapshot provider):
 // superseded state records collapse into the snapshot provider's
@@ -302,7 +375,10 @@ func (j *Journal) Compact() {
 	// Phase 1: snapshot the inputs. Only a slice header is taken under
 	// the hot-path lock; the fold itself (session state encode, CRC
 	// framing of up to CompactBytes of records) runs with iomu alone, so
-	// an emit's Record never stalls behind it.
+	// an emit's Record never stalls behind it. Reading base's frames
+	// without extra retains is safe: mirror references are only ever
+	// dropped by compaction itself, which iomu serialises (Close seals the
+	// journal but keeps the mirror alive for Replay).
 	j.mu.Lock()
 	if j.closed || j.snapshot == nil {
 		j.mu.Unlock()
@@ -350,9 +426,13 @@ func (j *Journal) Compact() {
 
 	// Phase 2: swap the fold in. Records that arrived during the fold are
 	// the tail beyond the snapshotted prefix — they join the fresh mirror
-	// and the blob (their pending batch is nulled with the rest, since the
-	// blob now carries them past the reset barrier; no Maintain can hold a
-	// stolen batch here, steals happen under iomu which we hold).
+	// and the blob (the tapped batch is stolen with the rest, since the
+	// blob now carries its content past the reset barrier; no Maintain can
+	// hold a stolen batch here, steals happen under iomu which we hold).
+	// Refcounts move with the swap: every record kept in the fresh mirror
+	// retains its buffer first, then every old mirror reference — and the
+	// superseded tapped batch — releases, so a dropped record's buffer
+	// returns to the frame pool and a kept one never dips to zero.
 	j.mu.Lock()
 	if j.closed {
 		j.mu.Unlock()
@@ -365,16 +445,27 @@ func (j *Journal) Compact() {
 		}
 		blob = appendRecord(blob, r.class, r.frame)
 	}
+	for i := range fresh {
+		fresh[i].retain()
+	}
+	old := j.recs
+	tapped := j.tapped
+	j.tapped = nil
 	j.recs = fresh
 	j.mirBytes = 0
 	for _, r := range fresh {
 		j.mirBytes += len(r.frame)
 	}
-	j.pending = nil
 	j.needsCompact = false
 	j.stats.Compactions++
 	j.stats.OversizedRecords += oversized
 	j.mu.Unlock()
+	for i := range old {
+		old[i].release()
+	}
+	for i := range tapped {
+		tapped[i].release()
+	}
 
 	// Phase 3: persist — reset barrier + fold + commit at the head of a
 	// fresh segment, then drop every older segment. If the fold never
@@ -423,10 +514,12 @@ func (j *Journal) retryCompact() {
 }
 
 // Close writes the pending batch and closes the active segment. Further
-// Records are dropped; Replay keeps serving the mirror. A failed final
-// write also counts into Stats.WriteErrs, so callers that discard the
-// error (a hub evicting a session) still leave an observable trace of the
-// lost tail.
+// Records are dropped; Replay keeps serving the mirror (whose buffer
+// references the journal therefore keeps holding — a sealed journal's
+// frames stay valid until the process, or the last replayer, lets go of
+// the Journal itself). A failed final write also counts into
+// Stats.WriteErrs, so callers that discard the error (a hub evicting a
+// session) still leave an observable trace of the lost tail.
 func (j *Journal) Close() error {
 	j.mu.Lock()
 	if j.closed {
@@ -434,15 +527,15 @@ func (j *Journal) Close() error {
 		return nil
 	}
 	j.closed = true
-	buf := j.pending
-	j.pending = nil
+	tapped := j.tapped
+	j.tapped = nil
 	j.mu.Unlock()
 
 	j.iomu.Lock()
 	defer j.iomu.Unlock()
 	errsBefore := j.writeErrs.Load()
-	if len(buf) > 0 {
-		j.writeBlobLocked(buf)
+	if len(tapped) > 0 {
+		j.flushTappedLocked(tapped)
 	}
 	j.ioClosed = true
 	if j.seg != nil {

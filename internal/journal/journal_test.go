@@ -20,6 +20,15 @@ func frameOf(class core.JournalClass, i int) []byte {
 	return []byte(fmt.Sprintf("%d:frame-%04d", class, i))
 }
 
+// rec drives Record the way a session broadcast does: a refcounted frame
+// handed over for the duration of the call, the caller's own reference
+// released after.
+func rec(j *Journal, class core.JournalClass, frame []byte) {
+	fb := core.NewFrame(frame)
+	j.Record(class, fb)
+	fb.Release()
+}
+
 // replayAll drains a journal's replay into (class, frame) pairs.
 func replayAll(j *Journal) (classes []core.JournalClass, frames [][]byte) {
 	j.Replay(func(class core.JournalClass, frame []byte) bool {
@@ -64,7 +73,7 @@ func TestAppendReplayReopen(t *testing.T) {
 			class = core.JournalSample
 		}
 		f := frameOf(class, i)
-		j.Record(class, f)
+		rec(j, class, f)
 		want = append(want, f)
 	}
 	_, got := replayAll(j)
@@ -126,7 +135,7 @@ func TestSegmentRotationPreservesOrder(t *testing.T) {
 	}
 	const n = 64
 	for i := 0; i < n; i++ {
-		j.Record(core.JournalEvent, frameOf(core.JournalEvent, i))
+		rec(j, core.JournalEvent, frameOf(core.JournalEvent, i))
 	}
 	j.Close()
 	if files := segFiles(t, dir); len(files) < 3 {
@@ -156,7 +165,7 @@ func TestTornTailTruncation(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 10; i++ {
-		j.Record(core.JournalEvent, frameOf(core.JournalEvent, i))
+		rec(j, core.JournalEvent, frameOf(core.JournalEvent, i))
 	}
 	j.Close()
 
@@ -192,7 +201,7 @@ func TestTornTailTruncation(t *testing.T) {
 	}
 
 	// Appends resume cleanly on the truncated segment.
-	j2.Record(core.JournalEvent, frameOf(core.JournalEvent, 10))
+	rec(j2, core.JournalEvent, frameOf(core.JournalEvent, 10))
 	j2.Close()
 	j3, err := Open(Options{Dir: dir})
 	if err != nil {
@@ -208,7 +217,7 @@ func TestTornTailMidRecord(t *testing.T) {
 	dir := t.TempDir()
 	j, _ := Open(Options{Dir: dir})
 	for i := 0; i < 5; i++ {
-		j.Record(core.JournalEvent, frameOf(core.JournalEvent, i))
+		rec(j, core.JournalEvent, frameOf(core.JournalEvent, i))
 	}
 	j.Close()
 
@@ -239,7 +248,7 @@ func TestCRCMismatchSkipsSegmentRemainder(t *testing.T) {
 	j, _ := Open(Options{Dir: dir, SegmentBytes: 96})
 	const n = 16
 	for i := 0; i < n; i++ {
-		j.Record(core.JournalEvent, frameOf(core.JournalEvent, i))
+		rec(j, core.JournalEvent, frameOf(core.JournalEvent, i))
 	}
 	j.Close()
 	files := segFiles(t, dir)
@@ -288,7 +297,7 @@ func TestBadHeaderSkipsWholeSegment(t *testing.T) {
 	j, _ := Open(Options{Dir: dir, SegmentBytes: 96})
 	const n = 16
 	for i := 0; i < n; i++ {
-		j.Record(core.JournalEvent, frameOf(core.JournalEvent, i))
+		rec(j, core.JournalEvent, frameOf(core.JournalEvent, i))
 	}
 	j.Close()
 	files := segFiles(t, dir)
@@ -325,9 +334,9 @@ func TestCompactionFoldsStateRetainsTail(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 30; i++ {
-		j.Record(core.JournalState, frameOf(core.JournalState, i))
-		j.Record(core.JournalEvent, frameOf(core.JournalEvent, i))
-		j.Record(core.JournalSample, frameOf(core.JournalSample, i))
+		rec(j, core.JournalState, frameOf(core.JournalState, i))
+		rec(j, core.JournalEvent, frameOf(core.JournalEvent, i))
+		rec(j, core.JournalSample, frameOf(core.JournalSample, i))
 	}
 	filesBefore := segFiles(t, dir)
 	j.Compact()
@@ -361,7 +370,7 @@ func TestCompactionFoldsStateRetainsTail(t *testing.T) {
 
 	// Post-compaction appends land after the fold, and recovery honours
 	// the reset barrier.
-	j.Record(core.JournalEvent, []byte("post-compact"))
+	rec(j, core.JournalEvent, []byte("post-compact"))
 	j.Close()
 	j2, err := Open(Options{Dir: dir})
 	if err != nil {
@@ -392,7 +401,7 @@ func TestCompactionFoldLargerThanSegment(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 20; i++ {
-		j.Record(core.JournalEvent, frameOf(core.JournalEvent, i))
+		rec(j, core.JournalEvent, frameOf(core.JournalEvent, i))
 	}
 	for round := 0; round < 2; round++ {
 		j.Compact()
@@ -425,7 +434,7 @@ func TestUncommittedFoldKeepsPreFoldHistory(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 6; i++ {
-		j.Record(core.JournalEvent, frameOf(core.JournalEvent, i))
+		rec(j, core.JournalEvent, frameOf(core.JournalEvent, i))
 	}
 	j.Close()
 
@@ -460,7 +469,7 @@ func TestUncommittedFoldKeepsPreFoldHistory(t *testing.T) {
 	}
 	// Appends after the recovery must not land behind the orphan barrier:
 	// a further restart has to keep serving them.
-	j2.Record(core.JournalEvent, frameOf(core.JournalEvent, 6))
+	rec(j2, core.JournalEvent, frameOf(core.JournalEvent, 6))
 	j2.Close()
 	j3, err := Open(Options{Dir: dir})
 	if err != nil {
@@ -485,7 +494,7 @@ func TestAutoCompactionTriggers(t *testing.T) {
 	}
 	defer j.Close()
 	for i := 0; i < 100; i++ {
-		j.Record(core.JournalEvent, frameOf(core.JournalEvent, i))
+		rec(j, core.JournalEvent, frameOf(core.JournalEvent, i))
 	}
 	st := j.Stats()
 	if st.Compactions == 0 {
@@ -505,9 +514,9 @@ func TestReplayDeterminism(t *testing.T) {
 		Snapshot:     func() [][]byte { return [][]byte{[]byte("snapshot-state")} },
 	})
 	for i := 0; i < 40; i++ {
-		j.Record(core.JournalEvent, frameOf(core.JournalEvent, i))
+		rec(j, core.JournalEvent, frameOf(core.JournalEvent, i))
 		if i%5 == 0 {
-			j.Record(core.JournalSample, frameOf(core.JournalSample, i))
+			rec(j, core.JournalSample, frameOf(core.JournalSample, i))
 		}
 		if i == 20 {
 			j.Compact()
@@ -551,7 +560,7 @@ func TestSyncerFlushesWithoutClose(t *testing.T) {
 	defer sy.Close()
 	sy.Watch(j)
 
-	j.Record(core.JournalEvent, []byte("flushed-by-syncer"))
+	rec(j, core.JournalEvent, []byte("flushed-by-syncer"))
 	deadline := time.Now().Add(2 * time.Second)
 	for {
 		files := segFiles(t, dir)
@@ -599,7 +608,7 @@ func TestConcurrentRecordReplayCompact(t *testing.T) {
 				return
 			default:
 			}
-			j.Record(core.JournalEvent, frameOf(core.JournalEvent, i))
+			rec(j, core.JournalEvent, frameOf(core.JournalEvent, i))
 		}
 	}()
 	go func() {

@@ -1,0 +1,144 @@
+package journal
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestTappedBufferHeldUntilFlush pins the refcount contract of the journal
+// tap: a broadcast buffer handed to Record cannot return to the frame pool
+// until the maintenance sweep's write (and fsync) lands. The journal holds
+// two references — one for the replay mirror, one for the pending batch —
+// and drops the batch reference only inside Maintain, after
+// writeBlobLocked.
+func TestTappedBufferHeldUntilFlush(t *testing.T) {
+	j, err := Open(Options{Dir: t.TempDir(), Fsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	// A syncer with an hour-long dwell: Record signals it but no sweep
+	// runs, so the flush happens only when the test calls Maintain.
+	sy := NewSyncer(time.Hour)
+	defer sy.Close()
+	sy.Watch(j)
+
+	fb := core.GetFrame(64)
+	fb.AppendBytes([]byte("tapped-frame"))
+	j.Record(core.JournalEvent, fb)
+	fb.Release() // the broadcaster is done; only the journal holds it now
+
+	if got := fb.Refs(); got != 2 {
+		t.Fatalf("refs after Record = %d, want 2 (mirror + pending batch)", got)
+	}
+	if st := j.Stats(); st.Segments != 1 {
+		t.Fatalf("unexpected early disk state: %+v", st)
+	}
+
+	j.Maintain() // the deferred flush — this is where the batch reference drops
+	if got := fb.Refs(); got != 1 {
+		t.Fatalf("refs after flush = %d, want 1 (mirror only)", got)
+	}
+
+	// The mirror reference survives even a Close (Replay keeps serving it).
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := fb.Refs(); got != 1 {
+		t.Fatalf("refs after Close = %d, want 1", got)
+	}
+	n := 0
+	j.Replay(func(core.JournalClass, []byte) bool { n++; return true })
+	if n != 1 {
+		t.Fatalf("sealed journal replayed %d records, want 1", n)
+	}
+}
+
+// TestCompactionReleasesDroppedBuffers: compaction folds superseded state
+// records away, and their mirror references must drop with them — that is
+// the only point a journaled broadcast buffer can finally return to the
+// pool. Retained records (the event tail) keep theirs.
+func TestCompactionReleasesDroppedBuffers(t *testing.T) {
+	j, err := Open(Options{Dir: t.TempDir(), RetainEvents: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	j.SetSnapshot(func() [][]byte { return [][]byte{[]byte("snapshot-state")} })
+
+	mk := func(s string) *core.FrameBuf {
+		fb := core.GetFrame(32)
+		fb.AppendBytes([]byte(s))
+		return fb
+	}
+	stale := mk("stale-state")
+	j.Record(core.JournalState, stale)
+	stale.Release()
+	oldEv := mk("old-event")
+	j.Record(core.JournalEvent, oldEv)
+	oldEv.Release()
+	kept1 := mk("kept-event-1")
+	j.Record(core.JournalEvent, kept1)
+	kept1.Release()
+	kept2 := mk("kept-event-2")
+	j.Record(core.JournalEvent, kept2)
+	kept2.Release()
+	j.Maintain() // flush: batch references drop, mirror references remain
+
+	for _, fb := range []*core.FrameBuf{stale, oldEv, kept1, kept2} {
+		if fb.Refs() != 1 {
+			t.Fatalf("pre-compaction refs = %d, want 1", fb.Refs())
+		}
+	}
+
+	j.Compact()
+	// stale-state folded into the snapshot, old-event beyond the retain
+	// bound: both released. The two newest events survive in the mirror.
+	if stale.Refs() != 0 || oldEv.Refs() != 0 {
+		t.Fatalf("dropped records still referenced: state=%d event=%d", stale.Refs(), oldEv.Refs())
+	}
+	if kept1.Refs() != 1 || kept2.Refs() != 1 {
+		t.Fatalf("retained records lost references: %d %d", kept1.Refs(), kept2.Refs())
+	}
+}
+
+// TestReplaySurvivesConcurrentCompaction: a replay that grabbed the mirror
+// must keep every frame alive for its whole visit even if a compaction
+// swaps and releases the records mid-replay — the replay's own retains
+// bridge the gap. (Under -tags framedebug a violation is a poisoned read;
+// under -race, a use-after-pool report.)
+func TestReplaySurvivesConcurrentCompaction(t *testing.T) {
+	j, err := Open(Options{Dir: t.TempDir(), RetainEvents: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	j.SetSnapshot(func() [][]byte { return [][]byte{[]byte("S")} })
+	for i := 0; i < 64; i++ {
+		fb := core.GetFrame(16)
+		fb.AppendBytes(frameOf(core.JournalState, i))
+		j.Record(core.JournalState, fb)
+		fb.Release()
+	}
+	j.Maintain()
+
+	compacted := make(chan struct{})
+	j.Replay(func(class core.JournalClass, frame []byte) bool {
+		select {
+		case <-compacted:
+		default:
+			// Compact once, from inside the visit: every remaining frame of
+			// this replay's view is released by the swap while we still
+			// read it.
+			go func() { j.Compact(); close(compacted) }()
+			<-compacted
+		}
+		if len(frame) == 0 || frame[0] == core.FramePoison && frame[1] == core.FramePoison {
+			t.Error("replayed frame recycled mid-visit")
+			return false
+		}
+		return true
+	})
+}
