@@ -9,6 +9,7 @@
 //
 //	steerd [-http :8090] [-steer :8091] [-lattice 16] [-sessions 1] [-shards 0]
 //	       [-journal-dir DIR] [-journal-fsync]
+//	       [-floor-policy fifo|priority|steal] [-master-lease 10s]
 //
 // With the default -sessions 1 the daemon behaves exactly like the classic
 // single-session steerd: one session named "steerd-lb3d" that clients may
@@ -22,6 +23,12 @@
 // revives each session's parameter values, view and freshest sample before
 // the first simulation step. -journal-fsync trades append throughput for
 // fsync'd batches.
+//
+// -floor-policy selects how contested master requests are arbitrated (FIFO
+// queue, attach-priority queue, or FIFO plus administrative steal), and
+// -master-lease bounds how long a silent master keeps the floor: a wedged
+// or partitioned steering client loses it within 1.25× the lease and the
+// next queued requester is granted it. 0 disables lease expiry.
 //
 // Then, e.g.:
 //
@@ -38,6 +45,7 @@ import (
 	"os"
 	"os/signal"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/hub"
@@ -53,12 +61,21 @@ func main() {
 	shards := flag.Int("shards", 0, "hub shard count (0 = auto)")
 	journalDir := flag.String("journal-dir", "", "durable session journal directory (empty disables journaling)")
 	journalFsync := flag.Bool("journal-fsync", false, "fsync batched journal flushes")
+	floorPolicyFlag := flag.String("floor-policy", "fifo", "master floor arbitration: fifo, priority or steal")
+	masterLease := flag.Duration("master-lease", 10*time.Second, "master lease; a master silent this long loses the floor (0 disables)")
 	flag.Parse()
 	if *sessions < 1 {
 		log.Fatal("steerd: -sessions must be >= 1")
 	}
+	floorPolicy, err := core.ParseFloorPolicy(*floorPolicyFlag)
+	if err != nil {
+		log.Fatalf("steerd: %v", err)
+	}
 
-	h := hub.New(hub.Config{Shards: *shards, JournalDir: *journalDir, JournalFsync: *journalFsync})
+	h := hub.New(hub.Config{
+		Shards: *shards, JournalDir: *journalDir, JournalFsync: *journalFsync,
+		SessionDefaults: core.SessionConfig{FloorPolicy: floorPolicy, MasterLease: *masterLease},
+	})
 	defer h.Close()
 	hosting := ogsi.NewHosting()
 	hosting.RegisterFactory("registry", ogsi.RegistryFactory)
@@ -166,6 +183,7 @@ func main() {
 	fmt.Printf("steerd: viz          %s\n", vizGSH)
 	fmt.Printf("steerd: steering hub %s hosting %d session(s) on %d shard(s) (attach with core.Attach)\n",
 		sl.Addr(), *sessions, h.Stats().Shards)
+	fmt.Printf("steerd: floor policy %v, master lease %v\n", floorPolicy, *masterLease)
 	for _, name := range h.SessionNames() {
 		fmt.Printf("steerd:   session %q on shard %d\n", name, h.ShardOf(name))
 	}
@@ -176,6 +194,8 @@ func main() {
 	stats := h.Stats()
 	fmt.Printf("steerd: shutting down (%d sessions, %d clients, %d samples emitted, %d delivered, %d dropped)\n",
 		stats.Sessions, stats.Clients, stats.SamplesEmitted, stats.SamplesDelivered, stats.SamplesDropped)
+	fmt.Printf("steerd: floor activity: %d grants, %d denials, %d lease expiries, %d steals, %d handoffs, %d pending\n",
+		stats.FloorGrants, stats.FloorDenials, stats.FloorExpiries, stats.FloorSteals, stats.FloorHandoffs, stats.FloorPending)
 	for _, name := range h.SessionNames() {
 		if s, ok := h.Lookup(name); ok {
 			s.QueueStop()

@@ -1,15 +1,19 @@
 // Quickstart: instrument a simulation with the steering core, attach a
-// remote client, steer typed parameters mid-run, and pause/resume the run.
+// remote client, steer typed parameters mid-run, hand the floor between two
+// collaborators, and pause/resume the run.
 //
 // This is the smallest complete use of the library: one Session, one
-// Steered handle polled at loop boundaries, one Client over TCP speaking
-// protocol v2 (wire-native tagged frames). The oscillator registers a
-// float, a choice and a bool parameter to show the typed API end to end.
+// Steered handle polled at loop boundaries, clients over TCP speaking the
+// wire-native tagged-frame protocol. The oscillator registers a float, a
+// choice and a bool parameter to show the typed API end to end; a second
+// client shows explicit floor control — denial with the holder's name, a
+// queued blocking request, and the grant on release.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -26,6 +30,10 @@ func main() {
 	session := core.NewSession(core.SessionConfig{
 		Name:    "quickstart-run",
 		AppName: "oscillator",
+		// Collaborative floor control: contested master requests queue in
+		// FIFO order, and a master silent for 2s loses the floor.
+		FloorPolicy: core.FloorFIFO,
+		MasterLease: 2 * time.Second,
 	})
 	defer session.Close()
 	st := session.Steered()
@@ -128,6 +136,52 @@ func main() {
 		fmt.Println("steering verified: stronger damping drains the oscillator")
 	}
 
+	// --- collaborative floor control ---------------------------------------
+	// A colleague attaches as an observer and asks for the steering floor.
+	conn2, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	colleague, err := core.Attach(conn2, core.AttachOptions{Name: "colleague"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer colleague.Close()
+
+	// The non-queueing request is answered explicitly: denied, naming the
+	// holder — never silence.
+	if err := colleague.TryRequestMaster(time.Second); errors.Is(err, core.ErrFloorHeld) {
+		fmt.Printf("floor denied while held: %v\n", err)
+	}
+
+	// The blocking request queues; the grant arrives when the holder
+	// releases. (Had "laptop" wedged instead, the 2s master lease would
+	// expire and pass the floor just the same.)
+	granted := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		granted <- colleague.RequestMaster(ctx)
+	}()
+	time.Sleep(50 * time.Millisecond) // let the request queue
+	if err := client.ReleaseMaster(time.Second); err != nil {
+		log.Fatal(err)
+	}
+	if err := <-granted; err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("floor passed to %q (reason: %s)\n", colleague.Name(), colleague.FloorReason())
+	if err := colleague.SetParam("damping", 0.8, time.Second); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("colleague steered damping -> 0.8 while holding the floor")
+	// Hand the floor back by name: coordinated cooperative steering.
+	if err := colleague.GrantMaster("laptop", time.Second); err != nil {
+		log.Fatal(err)
+	}
+	waitMaster(client, "laptop")
+	fmt.Printf("floor handed back to %q (reason: %s)\n", client.Name(), client.FloorReason())
+
 	// Pause, verify the sample stream stalls, resume.
 	if err := client.Pause(time.Second); err != nil {
 		log.Fatal(err)
@@ -150,6 +204,18 @@ func main() {
 	stats := session.Stats()
 	fmt.Printf("session stats: %d samples emitted, %d steers applied\n",
 		stats.SamplesEmitted, stats.SteersApplied)
+}
+
+// waitMaster blocks until c observes name holding the floor.
+func waitMaster(c *core.Client, name string) {
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if c.Master() == name {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	log.Fatalf("master never became %q", name)
 }
 
 // watchEnergy consumes n samples and returns the last energy value.

@@ -17,13 +17,29 @@ type Client struct {
 	name  string
 
 	mu      sync.Mutex
-	role    Role
 	master  string
 	session string
 	app     string
 	params  map[string]Param
 	view    ViewState
 	events  []string
+	// lease and policy are the session's floor-control advertisement from
+	// the welcome; a non-zero lease starts the heartbeat loop.
+	lease  time.Duration
+	policy FloorPolicy
+	// floorReason explains the most recent master change.
+	floorReason FloorReason
+	// floorSeq is the transition number the master field reflects; a
+	// master-changed broadcast with a lower seq is stale (two transitions
+	// emitted by different session goroutines may reach the queue out of
+	// order) and is dropped instead of regressing the view.
+	floorSeq uint64
+	// masterCh is closed and replaced on every master change; blocked
+	// RequestMaster callers wait on it. There is deliberately no role
+	// field: Role() derives from master == name, the single source of
+	// truth, so a welcome racing a master-changed broadcast can never leave
+	// the two disagreeing.
+	masterCh chan struct{}
 
 	seq     uint64
 	pending map[uint64]chan *ackMsg
@@ -51,11 +67,21 @@ type AttachOptions struct {
 	Session string
 	// WantMaster requests the master role if free.
 	WantMaster bool
+	// Priority orders this client's floor requests under the session's
+	// priority policy; higher wins. Ignored under other policies.
+	Priority int64
 	// SampleBuffer bounds the local sample queue (default 16). When full,
 	// the oldest sample is discarded: a slow consumer sees the freshest data.
 	SampleBuffer int
 	// Timeout bounds the attach handshake (default 5s).
 	Timeout time.Duration
+	// HeartbeatInterval overrides the lease-renewal heartbeat cadence.
+	// 0 derives it from the session's advertised master lease (a third of
+	// it); < 0 disables heartbeats entirely — a client that also sends
+	// nothing else will lose a held master role when the lease lapses
+	// (that is what the lease is for; disable only to simulate a wedged
+	// client).
+	HeartbeatInterval time.Duration
 }
 
 // Attach performs the protocol v2 handshake and starts the client's read
@@ -134,16 +160,20 @@ func AttachContext(ctx context.Context, conn net.Conn, opts AttachOptions) (*Cli
 	}
 
 	c := &Client{
-		codec:   newCodec(conn),
-		params:  make(map[string]Param),
-		pending: make(map[uint64]chan *ackMsg),
-		samples: make(chan *Sample, opts.SampleBuffer),
-		updates: make(chan ViewState, 16),
-		closed:  make(chan struct{}),
+		codec:    newCodec(conn),
+		params:   make(map[string]Param),
+		pending:  make(map[uint64]chan *ackMsg),
+		samples:  make(chan *Sample, opts.SampleBuffer),
+		updates:  make(chan ViewState, 16),
+		masterCh: make(chan struct{}),
+		closed:   make(chan struct{}),
 	}
 	if err := c.codec.write(&envelope{
-		Type:   msgAttach,
-		Attach: &attachMsg{Name: opts.Name, WantMaster: opts.WantMaster, Session: opts.Session},
+		Type: msgAttach,
+		Attach: &attachMsg{
+			Name: opts.Name, WantMaster: opts.WantMaster,
+			Session: opts.Session, Priority: opts.Priority,
+		},
 	}, 0); err != nil {
 		conn.Close()
 		return nil, ctxErr(err)
@@ -162,10 +192,12 @@ func AttachContext(ctx context.Context, conn net.Conn, opts AttachOptions) (*Cli
 	case msgWelcome:
 		w := first.Welcome
 		c.name = w.ClientName
-		c.role = w.Role
 		c.master = w.Master
 		c.session = w.SessionName
 		c.app = w.AppName
+		c.lease = time.Duration(w.LeaseMillis) * time.Millisecond
+		c.policy = w.Policy
+		c.floorSeq = w.FloorSeq
 		for _, p := range w.Params {
 			c.params[p.Name] = p
 		}
@@ -181,7 +213,35 @@ func AttachContext(ctx context.Context, conn net.Conn, opts AttachOptions) (*Cli
 	}
 
 	go c.readLoop()
+	if c.lease > 0 && opts.HeartbeatInterval >= 0 {
+		interval := opts.HeartbeatInterval
+		if interval == 0 {
+			interval = c.lease / 3
+		}
+		if interval < time.Millisecond {
+			interval = time.Millisecond
+		}
+		go c.heartbeatLoop(interval)
+	}
 	return c, nil
+}
+
+// heartbeatLoop renews the client's lease while the connection lives. Any
+// request also renews it; the heartbeat covers an otherwise idle master.
+// Write failures do not stop the loop — a dead connection ends it via
+// c.closed (the read loop closes the client), while a transient stall must
+// not silently end lease renewal for a connection that recovers.
+func (c *Client) heartbeatLoop(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			c.codec.write(&envelope{Type: msgHeartbeat}, time.Second)
+		case <-c.closed:
+			return
+		}
+	}
 }
 
 // ackError turns a rejection ack into its typed error.
@@ -327,11 +387,14 @@ func (c *Client) readLoop() {
 			}
 		case msgMasterChanged:
 			c.mu.Lock()
-			c.master = e.Target
-			if c.master == c.name {
-				c.role = RoleMaster
-			} else {
-				c.role = RoleObserver
+			if e.Seq == 0 || e.Seq > c.floorSeq {
+				c.master = e.Target
+				c.floorReason = e.Reason
+				if e.Seq > 0 {
+					c.floorSeq = e.Seq
+				}
+				close(c.masterCh)
+				c.masterCh = make(chan struct{})
 			}
 			c.mu.Unlock()
 		case msgEvent:
@@ -352,6 +415,14 @@ func (c *Client) readLoop() {
 
 // request performs a synchronous request/ack exchange.
 func (c *Client) request(e *envelope, timeout time.Duration) error {
+	_, err := c.requestAck(e, timeout)
+	return err
+}
+
+// requestAck performs a synchronous request/ack exchange and returns the
+// positive ack for callers that branch on its code (a queued floor request
+// acks OK with codeFloorQueued).
+func (c *Client) requestAck(e *envelope, timeout time.Duration) (*ackMsg, error) {
 	if timeout <= 0 {
 		timeout = 5 * time.Second
 	}
@@ -366,21 +437,63 @@ func (c *Client) request(e *envelope, timeout time.Duration) error {
 		c.mu.Lock()
 		delete(c.pending, seq)
 		c.mu.Unlock()
-		return err
+		return nil, err
 	}
 	select {
 	case ack := <-ch:
 		if ack == nil || !ack.OK {
-			return ackError(ack)
+			return nil, ackError(ack)
 		}
-		return nil
+		return ack, nil
 	case <-time.After(timeout):
 		c.mu.Lock()
 		delete(c.pending, seq)
 		c.mu.Unlock()
-		return errors.New("core: request timed out")
+		return nil, errors.New("core: request timed out")
 	case <-c.closed:
-		return errors.New("core: connection closed")
+		return nil, errors.New("core: connection closed")
+	}
+}
+
+// requestAckCtx is requestAck bounded by a context instead of a fixed
+// timeout: the write deadline shrinks to the context's remaining budget and
+// the ack wait ends on cancellation.
+func (c *Client) requestAckCtx(ctx context.Context, e *envelope) (*ackMsg, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	writeTimeout := 5 * time.Second
+	if d, ok := ctx.Deadline(); ok {
+		if remain := time.Until(d); remain < writeTimeout {
+			writeTimeout = remain
+		}
+	}
+	seq := atomic.AddUint64(&c.seq, 1)
+	e.Seq = seq
+	ch := make(chan *ackMsg, 1)
+	c.mu.Lock()
+	c.pending[seq] = ch
+	c.mu.Unlock()
+
+	if err := c.codec.write(e, writeTimeout); err != nil {
+		c.mu.Lock()
+		delete(c.pending, seq)
+		c.mu.Unlock()
+		return nil, err
+	}
+	select {
+	case ack := <-ch:
+		if ack == nil || !ack.OK {
+			return nil, ackError(ack)
+		}
+		return ack, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, seq)
+		c.mu.Unlock()
+		return nil, ctx.Err()
+	case <-c.closed:
+		return nil, errors.New("core: connection closed")
 	}
 }
 
@@ -448,15 +561,138 @@ func (c *Client) SetView(v ViewState, timeout time.Duration) error {
 	return c.request(&envelope{Type: msgSetView, View: &v}, timeout)
 }
 
-// RequestMaster claims the master role if it is free.
-func (c *Client) RequestMaster(timeout time.Duration) error {
-	return c.request(&envelope{Type: msgRequestMaster}, timeout)
+// RequestMaster asks for the master role and blocks until it is granted or
+// ctx ends. A free floor grants immediately; a held one queues the request
+// under the session's floor policy and the call waits for the grant
+// broadcast. Cancelling ctx withdraws the queued request before returning
+// ctx's error, so an abandoned wait can never be granted a floor nobody is
+// holding.
+func (c *Client) RequestMaster(ctx context.Context) error {
+	ack, err := c.requestAckCtx(ctx, &envelope{Type: msgRequestMaster})
+	if err != nil {
+		return err
+	}
+	if ack.Code != codeFloorQueued {
+		c.noteGranted(FloorGranted) // the broadcast may lag (or have been evicted)
+		return nil
+	}
+	// Waiting for the grant broadcast, with a periodic re-request as the
+	// safety net: the grant rides the lossy control ring, and re-requesting
+	// is idempotent — if this client already holds the floor the session
+	// answers a plain OK, which is the recovery path for a lost grant.
+	const repoll = time.Second
+	timer := time.NewTimer(repoll)
+	defer timer.Stop()
+	for {
+		c.mu.Lock()
+		granted, ch := c.master == c.name, c.masterCh
+		c.mu.Unlock()
+		if granted {
+			return nil
+		}
+		select {
+		case <-ch:
+		case <-timer.C:
+			ack, err := c.requestAckCtx(ctx, &envelope{Type: msgRequestMaster})
+			if err != nil {
+				return err
+			}
+			if ack.Code != codeFloorQueued {
+				c.noteGranted(FloorGranted)
+				return nil
+			}
+			timer.Reset(repoll)
+		case <-ctx.Done():
+			// Best-effort withdrawal; the session also drops the queued
+			// request when the connection dies.
+			c.request(&envelope{Type: msgReleaseMaster}, time.Second)
+			// The withdrawal races an in-flight grant: if the floor landed
+			// here first, the release passed it on — don't report mastership
+			// the release just gave away.
+			return ctx.Err()
+		case <-c.closed:
+			return errors.New("core: connection closed")
+		}
+	}
 }
 
-// HandoffMaster transfers the master role to another attached client
-// (master only): the paper's "coordinated cooperative steering".
-func (c *Client) HandoffMaster(to string, timeout time.Duration) error {
+// noteGranted records a server-acknowledged grant locally: the broadcast
+// carrying it may still be in flight — or, on a client far behind on its
+// control queue, evicted — and the caller must not observe Role() disagree
+// with a grant the session just confirmed. The floor seq is left alone, so
+// any genuinely newer transition broadcast still supersedes this.
+func (c *Client) noteGranted(reason FloorReason) {
+	c.mu.Lock()
+	if c.master != c.name {
+		c.master = c.name
+		c.floorReason = reason
+		close(c.masterCh)
+		c.masterCh = make(chan struct{})
+	}
+	c.mu.Unlock()
+}
+
+// TryRequestMaster claims the master role only if the floor is free. A held
+// floor is an explicit denial wrapping ErrFloorHeld and naming the holder —
+// never a queue entry, never silence.
+func (c *Client) TryRequestMaster(timeout time.Duration) error {
+	if err := c.request(&envelope{Type: msgRequestMaster, NoWait: true}, timeout); err != nil {
+		return err
+	}
+	c.noteGranted(FloorGranted)
+	return nil
+}
+
+// StealMaster preempts the current holder (administrative takeover). The
+// session honours it only under the steal floor policy; other policies deny
+// with ErrFloorHeld.
+func (c *Client) StealMaster(timeout time.Duration) error {
+	if err := c.request(&envelope{Type: msgRequestMaster, Steal: true}, timeout); err != nil {
+		return err
+	}
+	c.noteGranted(FloorStolen)
+	return nil
+}
+
+// ReleaseMaster gives the floor up: the session grants it to the next
+// queued requester, or leaves it free. Called by a non-holder it withdraws
+// that client's queued request, if any; it is idempotent either way.
+func (c *Client) ReleaseMaster(timeout time.Duration) error {
+	return c.request(&envelope{Type: msgReleaseMaster}, timeout)
+}
+
+// GrantMaster transfers the master role to another attached client (master
+// only): the paper's "coordinated cooperative steering".
+func (c *Client) GrantMaster(to string, timeout time.Duration) error {
 	return c.request(&envelope{Type: msgHandoffMaster, Target: to}, timeout)
+}
+
+// HandoffMaster is the pre-floor-control name of GrantMaster.
+func (c *Client) HandoffMaster(to string, timeout time.Duration) error {
+	return c.GrantMaster(to, timeout)
+}
+
+// FloorReason explains the most recent master change observed by this
+// client (0 before any change).
+func (c *Client) FloorReason() FloorReason {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.floorReason
+}
+
+// FloorPolicy returns the session's advertised floor arbitration policy.
+func (c *Client) FloorPolicy() FloorPolicy {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.policy
+}
+
+// MasterLease returns the session's advertised master lease (0 = leases
+// disabled).
+func (c *Client) MasterLease() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lease
 }
 
 // Close detaches and closes the connection.

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"net"
 	"strings"
 	"sync"
@@ -324,37 +326,76 @@ func TestMasterHandoff(t *testing.T) {
 	}
 }
 
-func TestMasterDisconnectPromotesOldest(t *testing.T) {
+func TestMasterDisconnectPromotesOldestRequester(t *testing.T) {
 	s, dial := testSession(t, SessionConfig{})
 	m := dial(AttachOptions{Name: "first"})
-	o1 := dial(AttachOptions{Name: "second"})
-	o2 := dial(AttachOptions{Name: "third"})
-	waitFor(t, "all attached", func() bool { return len(s.Clients()) == 3 })
+	o1 := dial(AttachOptions{Name: "second"}) // pure observer: never promoted
+	o2 := dial(AttachOptions{Name: "third", WantMaster: true})
+	o3 := dial(AttachOptions{Name: "fourth", WantMaster: true})
+	waitFor(t, "all attached", func() bool { return len(s.Clients()) == 4 })
 
 	m.Close()
-	waitFor(t, "promotion", func() bool { return s.Master() == "second" })
+	// Promotion prefers the oldest client that asked for mastership, not
+	// the oldest client outright.
+	waitFor(t, "promotion", func() bool { return s.Master() == "third" })
 	waitFor(t, "client view of promotion", func() bool {
-		return o1.Role() == RoleMaster && o2.Master() == "second"
+		return o2.Role() == RoleMaster && o1.Master() == "third" && o3.Master() == "third"
 	})
+	if o1.Role() != RoleObserver {
+		t.Fatal("pure observer was promoted")
+	}
+}
+
+func TestMasterDisconnectWithOnlyObserversFreesFloor(t *testing.T) {
+	s, dial := testSession(t, SessionConfig{})
+	m := dial(AttachOptions{Name: "first"})
+	o := dial(AttachOptions{Name: "viewer"})
+	waitFor(t, "attached", func() bool { return len(s.Clients()) == 2 })
+
+	m.Close()
+	// Nobody asked for mastership: the floor is broadcast free rather than
+	// press-ganging the observer.
+	waitFor(t, "no-master broadcast", func() bool {
+		return o.Master() == "" && o.FloorReason() == FloorVacated
+	})
+	if s.Master() != "" {
+		t.Fatalf("session master = %q, want none", s.Master())
+	}
+	if o.Role() != RoleObserver {
+		t.Fatal("observer hijacked into mastership")
+	}
+	// The floor being free, an explicit request now succeeds at once.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := o.RequestMaster(ctx); err != nil {
+		t.Fatalf("RequestMaster on free floor: %v", err)
+	}
+	waitFor(t, "grant visible", func() bool { return s.Master() == "viewer" })
 }
 
 func TestRequestMaster(t *testing.T) {
 	s, dial := testSession(t, SessionConfig{})
 	m := dial(AttachOptions{Name: "m"})
 	o := dial(AttachOptions{Name: "o"})
-	if err := o.RequestMaster(time.Second); err == nil {
-		t.Fatal("role stolen while held")
+	// The explicit non-queueing request is denied with the holder's name —
+	// never silently ignored.
+	err := o.TryRequestMaster(time.Second)
+	if !errors.Is(err, ErrFloorHeld) {
+		t.Fatalf("TryRequestMaster while held = %v, want ErrFloorHeld", err)
+	}
+	if !strings.Contains(err.Error(), `"m"`) {
+		t.Fatalf("denial does not name the holder: %v", err)
 	}
 	m.Close()
-	waitFor(t, "master release", func() bool { return s.Master() == "o" })
-	// o was auto-promoted as oldest remaining; a fresh client requesting
-	// master while o holds it must fail, then succeed after o leaves.
+	waitFor(t, "master release", func() bool { return s.Master() == "" })
 	late := dial(AttachOptions{Name: "late"})
-	if err := late.RequestMaster(time.Second); err == nil {
-		t.Fatal("role stolen while held by o")
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := late.RequestMaster(ctx); err != nil {
+		t.Fatalf("RequestMaster on free floor: %v", err)
 	}
-	o.Close()
-	waitFor(t, "second promotion", func() bool { return s.Master() == "late" })
+	waitFor(t, "grant", func() bool { return s.Master() == "late" })
+	_ = o
 }
 
 func TestWantMasterOnAttach(t *testing.T) {
@@ -474,15 +515,17 @@ func TestConcurrentClientsSingleMasterInvariant(t *testing.T) {
 	}
 	waitFor(t, "all attached", func() bool { return len(s.Clients()) == n })
 
-	// Everyone hammers RequestMaster concurrently; the invariant is that the
-	// session never reports more than one master and client roles converge.
+	// Everyone hammers non-queueing floor requests concurrently; the
+	// invariant is that the session never reports more than one master and
+	// client roles converge. (Queued-request churn, with releases in the
+	// mix, is exercised in floor_test.go.)
 	var wg sync.WaitGroup
 	for _, c := range clients {
 		wg.Add(1)
 		go func(c *Client) {
 			defer wg.Done()
 			for i := 0; i < 5; i++ {
-				c.RequestMaster(time.Second)
+				c.TryRequestMaster(time.Second)
 			}
 		}(c)
 	}

@@ -20,8 +20,12 @@ var (
 	// protocol version or a non-protocol byte stream (bad magic).
 	ErrVersionMismatch = errors.New("core: protocol version mismatch")
 	// ErrRejected is the generic rejection for requests with no more
-	// specific code (master role held, duplicate name, session closed...).
+	// specific code (duplicate name, session closed...).
 	ErrRejected = errors.New("core: request rejected")
+	// ErrFloorHeld reports an explicit floor-control denial: the master
+	// role is held by another client (the message names the holder) and the
+	// request did not — or was not allowed to — queue or steal.
+	ErrFloorHeld = errors.New("core: master floor held")
 )
 
 // errCode is the wire form of a rejection class.
@@ -34,6 +38,13 @@ const (
 	codeUnknownParam
 	codeBadValue
 	codeVersion
+	// codeFloorHeld is a floor-control denial; the ack message names the
+	// holder.
+	codeFloorHeld
+	// codeFloorQueued rides an OK ack: the floor request was accepted and
+	// queued behind the current holder (named in the ack message). The
+	// grant arrives later as a master-changed broadcast.
+	codeFloorQueued
 )
 
 // codeFor maps a server-side error onto its wire code.
@@ -49,6 +60,8 @@ func codeFor(err error) errCode {
 		return codeBadValue
 	case errors.Is(err, ErrVersionMismatch):
 		return codeVersion
+	case errors.Is(err, ErrFloorHeld):
+		return codeFloorHeld
 	default:
 		return codeGeneric
 	}
@@ -65,6 +78,8 @@ func errFor(code errCode) error {
 		return ErrBadValue
 	case codeVersion:
 		return ErrVersionMismatch
+	case codeFloorHeld:
+		return ErrFloorHeld
 	default:
 		return ErrRejected
 	}

@@ -39,6 +39,12 @@ func FuzzEnvelopeRoundTrip(f *testing.F) {
 	f.Add(fuzzSeed(&envelope{Type: msgCommand, Command: cmdPause}))
 	f.Add(fuzzSeed(&envelope{Type: msgAck, Seq: 1, Ack: &ackMsg{Code: codeBadValue, Err: "no"}}))
 	f.Add(fuzzSeed(&envelope{Type: msgEvent, Event: "paused"}))
+	f.Add(fuzzSeed(&envelope{Type: msgRequestMaster, Seq: 5, NoWait: true}))
+	f.Add(fuzzSeed(&envelope{Type: msgRequestMaster, Seq: 6, Steal: true}))
+	f.Add(fuzzSeed(&envelope{Type: msgReleaseMaster, Seq: 7}))
+	f.Add(fuzzSeed(&envelope{Type: msgHeartbeat}))
+	f.Add(fuzzSeed(&envelope{Type: msgMasterChanged, Target: "m", Reason: FloorExpired}))
+	f.Add(fuzzSeed(&envelope{Type: msgAck, Seq: 8, Ack: &ackMsg{OK: true, Code: codeFloorQueued, Err: `queued at 1 behind "m"`}}))
 	f.Add([]byte("VSIT junk that is not a frame"))
 
 	limits := wire.Limits{MaxElements: 1 << 12, MaxBlobLen: 1 << 12, MaxPayload: 1 << 16}

@@ -157,6 +157,15 @@ func (s *Session) Recover() (int, error) {
 		case msgSample:
 			s.lastSample.Store(e.Sample)
 			applied++
+		case msgMasterChanged:
+			// Master state is connection-bound: the recorded holder belongs
+			// to the previous process generation and its connection did not
+			// survive the restart. Resurrecting the name would create a
+			// phantom master no live client can release, steal from or
+			// heartbeat for — so a restarted session always comes up with
+			// the floor free and clients re-arbitrate under the floor
+			// policy. The welcome frame and the replayed log therefore
+			// agree: no master until somebody attached asks.
 		}
 		return true
 	})

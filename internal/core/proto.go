@@ -38,8 +38,13 @@ import (
 // the same buffer to every client queue (encode-once fan-out).
 
 // ProtoVersion is the protocol generation this package speaks. Version 1
-// was the gob-framed protocol and is no longer accepted.
-const ProtoVersion = 2
+// was the gob-framed protocol; version 2 introduced the wire-native framing
+// but had no floor-control vocabulary (its master requests could go
+// unanswered, so a v3 endpoint rejects v2 peers cleanly at the handshake
+// instead of leaving their requests to silently time out). Version 3 adds
+// the explicit request/grant/deny/release floor protocol, heartbeats and
+// lease advertisement.
+const ProtoVersion = 3
 
 // Frame tags of the envelope codec.
 const (
@@ -57,6 +62,11 @@ const (
 	tagSampleMeta
 	tagSampleName
 	tagSampleData
+	// tagFloor carries the welcome's floor-control advertisement:
+	// int64 ×3 [leaseMillis, policy, floorSeq]. A zero lease means leases
+	// are disabled and clients need not heartbeat; floorSeq anchors the
+	// client's newest-wins ordering of master-changed broadcasts.
+	tagFloor
 )
 
 // Header flag bits.
@@ -64,6 +74,12 @@ const (
 	flagWantMaster = 1 << iota
 	flagAckOK
 	flagHasView
+	// flagNoWait marks a master request that must be granted or denied
+	// immediately — never queued.
+	flagNoWait
+	// flagSteal marks an administrative master request that asks to preempt
+	// the current holder (honoured only under the steal policy).
+	flagSteal
 )
 
 // maxEnvelopeFrames bounds the field-group frames one envelope may declare;
@@ -119,6 +135,13 @@ const (
 	msgEvent
 	msgAck
 	msgDetach
+	// msgReleaseMaster gives the floor up (holder) or cancels a queued
+	// request (waiter); always acked.
+	msgReleaseMaster
+	// msgHeartbeat renews the sender's liveness for the master lease; it is
+	// one-way and never acked. Any inbound frame renews the lease — the
+	// heartbeat only exists so an idle master has something to send.
+	msgHeartbeat
 )
 
 // commandKind names the session-level commands a master may issue.
@@ -147,9 +170,14 @@ type envelope struct {
 	Params  []Param
 	View    *ViewState
 	Command commandKind
-	Target  string // handoff target / master-changed name
+	Target  string // handoff target / master-changed name ("" = floor free)
 	Event   string
 	Ack     *ackMsg
+	// Reason explains a master-changed broadcast (FloorReason).
+	Reason FloorReason
+	// NoWait/Steal qualify a master request (see the flag bits).
+	NoWait bool
+	Steal  bool
 }
 
 type attachMsg struct {
@@ -159,6 +187,9 @@ type attachMsg struct {
 	// Session names the target session when the endpoint hosts several
 	// (a hub); "" lets the endpoint pick its default session.
 	Session string
+	// Priority orders this client's floor requests under the priority
+	// policy; higher wins. Ignored by the FIFO policy.
+	Priority int64
 }
 
 type welcomeMsg struct {
@@ -169,6 +200,14 @@ type welcomeMsg struct {
 	Master      string
 	Params      []Param
 	View        *ViewState
+	// LeaseMillis advertises the session's master lease in milliseconds;
+	// clients heartbeat at a fraction of it. 0 means leases are disabled.
+	LeaseMillis int64
+	// Policy is the session's floor arbitration policy.
+	Policy FloorPolicy
+	// FloorSeq is the floor-transition sequence number the Master field
+	// reflects; master-changed broadcasts with a lower seq are stale.
+	FloorSeq uint64
 }
 
 type ackMsg struct {
@@ -206,7 +245,7 @@ func frameCount(e *envelope) (int, error) {
 		if e.Welcome == nil {
 			return 0, fmt.Errorf("%w: welcome without payload", errMalformed)
 		}
-		n := 1 + 3 // strings + param group
+		n := 1 + 3 + 1 // strings + param group + floor advertisement
 		if e.Welcome.View != nil {
 			n += 3
 		}
@@ -225,7 +264,7 @@ func frameCount(e *envelope) (int, error) {
 			return 0, fmt.Errorf("%w: view message without view", errMalformed)
 		}
 		return 3, nil
-	case msgCommand, msgRequestMaster, msgDetach:
+	case msgCommand, msgRequestMaster, msgReleaseMaster, msgHeartbeat, msgDetach:
 		return 0, nil
 	default:
 		return 0, fmt.Errorf("%w: type %d", errMalformed, e.Type)
@@ -247,8 +286,11 @@ func encodeEnvelope(buf []byte, e *envelope) ([]byte, error) {
 	var flags, aux int64
 	switch e.Type {
 	case msgAttach:
-		if e.Attach != nil && e.Attach.WantMaster {
-			flags |= flagWantMaster
+		if e.Attach != nil {
+			if e.Attach.WantMaster {
+				flags |= flagWantMaster
+			}
+			aux = e.Attach.Priority
 		}
 	case msgWelcome:
 		aux = int64(e.Welcome.Role)
@@ -259,6 +301,15 @@ func encodeEnvelope(buf []byte, e *envelope) ([]byte, error) {
 		flags |= flagHasView
 	case msgCommand:
 		aux = int64(e.Command)
+	case msgRequestMaster:
+		if e.NoWait {
+			flags |= flagNoWait
+		}
+		if e.Steal {
+			flags |= flagSteal
+		}
+	case msgMasterChanged:
+		aux = int64(e.Reason)
 	case msgAck:
 		if e.Ack != nil {
 			if e.Ack.OK {
@@ -282,6 +333,7 @@ func encodeEnvelope(buf []byte, e *envelope) ([]byte, error) {
 		w := e.Welcome
 		buf = wire.AppendStrings(buf, tagStrs, []string{w.SessionName, w.AppName, w.ClientName, w.Master})
 		buf = appendParams(buf, w.Params)
+		buf = wire.AppendInt64s(buf, tagFloor, []int64{w.LeaseMillis, int64(w.Policy), int64(w.FloorSeq)})
 		if w.View != nil {
 			buf = appendView(buf, w.View)
 		}
@@ -548,6 +600,7 @@ func decodeEnvelope(dec *wire.Decoder, budget int) (*envelope, error) {
 		smMeta              []int64
 		smNames             []string
 		smData              [][]float64
+		floorMeta           []int64
 	)
 	for i := int64(0); i < nframes; i++ {
 		m, err := dec.Next()
@@ -584,6 +637,8 @@ func decodeEnvelope(dec *wire.Decoder, budget int) (*envelope, error) {
 			smNames = m.Strings
 		case tagSampleData:
 			smData = append(smData, m.Float64s)
+		case tagFloor:
+			floorMeta = m.Int64s
 		default:
 			// Unknown field group from a newer minor revision: skip.
 		}
@@ -597,7 +652,11 @@ func decodeEnvelope(dec *wire.Decoder, budget int) (*envelope, error) {
 	}
 	switch e.Type {
 	case msgAttach:
-		e.Attach = &attachMsg{Name: str(0), Session: str(1), WantMaster: flags&flagWantMaster != 0}
+		e.Attach = &attachMsg{
+			Name: str(0), Session: str(1),
+			WantMaster: flags&flagWantMaster != 0,
+			Priority:   aux,
+		}
 	case msgWelcome:
 		params, err := parseParams(pMeta, pNum, pStr)
 		if err != nil {
@@ -607,6 +666,13 @@ func decodeEnvelope(dec *wire.Decoder, budget int) (*envelope, error) {
 			SessionName: str(0), AppName: str(1), ClientName: str(2), Master: str(3),
 			Role:   Role(aux),
 			Params: params,
+		}
+		if len(floorMeta) >= 2 {
+			w.LeaseMillis = floorMeta[0]
+			w.Policy = FloorPolicy(floorMeta[1])
+		}
+		if len(floorMeta) >= 3 {
+			w.FloorSeq = uint64(floorMeta[2])
 		}
 		if flags&flagHasView != 0 {
 			if w.View, err = parseView(vMeta, vNums, vKeys); err != nil {
@@ -635,13 +701,19 @@ func decodeEnvelope(dec *wire.Decoder, budget int) (*envelope, error) {
 		}
 	case msgCommand:
 		e.Command = commandKind(aux)
-	case msgHandoffMaster, msgMasterChanged:
+	case msgHandoffMaster:
 		e.Target = str(0)
+	case msgMasterChanged:
+		e.Target = str(0)
+		e.Reason = FloorReason(aux)
 	case msgEvent:
 		e.Event = str(0)
 	case msgAck:
 		e.Ack = &ackMsg{OK: flags&flagAckOK != 0, Code: errCode(aux), Err: str(0)}
-	case msgRequestMaster, msgDetach:
+	case msgRequestMaster:
+		e.NoWait = flags&flagNoWait != 0
+		e.Steal = flags&flagSteal != 0
+	case msgReleaseMaster, msgHeartbeat, msgDetach:
 	default:
 		return nil, fmt.Errorf("%w: message type %d", errMalformed, e.Type)
 	}

@@ -28,10 +28,11 @@ func TestEnvelopeRoundTripTypes(t *testing.T) {
 		{Name: "trace", Type: BoolParam, Value: BoolValue(true)},
 	}
 	cases := []*envelope{
-		{Type: msgAttach, Seq: 1, Attach: &attachMsg{Name: "alice", WantMaster: true, Session: "s1"}},
+		{Type: msgAttach, Seq: 1, Attach: &attachMsg{Name: "alice", WantMaster: true, Session: "s1", Priority: 7}},
 		{Type: msgWelcome, Seq: 2, Welcome: &welcomeMsg{
 			SessionName: "s1", AppName: "lb3d", ClientName: "alice", Master: "bob",
 			Role: RoleObserver, Params: params, View: view,
+			LeaseMillis: 1500, Policy: FloorPriority, FloorSeq: 42,
 		}},
 		{Type: msgSample, Sample: sample},
 		{Type: msgSetParam, Seq: 3, Sets: []ParamSet{
@@ -44,11 +45,17 @@ func TestEnvelopeRoundTripTypes(t *testing.T) {
 		{Type: msgViewUpdate, View: view},
 		{Type: msgCommand, Seq: 5, Command: cmdCheckpoint},
 		{Type: msgRequestMaster, Seq: 6},
+		{Type: msgRequestMaster, Seq: 12, NoWait: true},
+		{Type: msgRequestMaster, Seq: 13, Steal: true},
+		{Type: msgReleaseMaster, Seq: 14},
+		{Type: msgHeartbeat},
 		{Type: msgHandoffMaster, Seq: 7, Target: "bob"},
-		{Type: msgMasterChanged, Target: "bob"},
+		{Type: msgMasterChanged, Target: "bob", Reason: FloorGranted},
+		{Type: msgMasterChanged, Reason: FloorVacated}, // "" target: floor free
 		{Type: msgEvent, Event: "resumed"},
 		{Type: msgAck, Seq: 8, Ack: &ackMsg{OK: true}},
 		{Type: msgAck, Seq: 9, Ack: &ackMsg{Code: codeNotMaster, Err: "nope"}},
+		{Type: msgAck, Seq: 15, Ack: &ackMsg{OK: true, Code: codeFloorQueued, Err: `queued at 2 behind "bob"`}},
 		{Type: msgDetach},
 	}
 	for _, e := range cases {
@@ -86,6 +93,9 @@ func TestEnvelopeRoundTripTypes(t *testing.T) {
 			if w.SessionName != "s1" || w.Master != "bob" || w.Role != RoleObserver || len(w.Params) != 3 {
 				t.Fatalf("welcome: %+v", w)
 			}
+			if w.LeaseMillis != 1500 || w.Policy != FloorPriority || w.FloorSeq != 42 {
+				t.Fatalf("welcome floor advertisement: lease %d policy %v seq %d", w.LeaseMillis, w.Policy, w.FloorSeq)
+			}
 			if w.Params[1].Choices[1] != "slow" || w.Params[2].Value != BoolValue(true) {
 				t.Fatalf("welcome params: %+v", w.Params)
 			}
@@ -112,8 +122,12 @@ func TestEnvelopeRoundTripTypes(t *testing.T) {
 				t.Fatalf("command: %v", got.Command)
 			}
 		case msgHandoffMaster, msgMasterChanged:
-			if got.Target != "bob" {
-				t.Fatalf("target: %q", got.Target)
+			if got.Target != e.Target || got.Reason != e.Reason {
+				t.Fatalf("target/reason: %q/%v want %q/%v", got.Target, got.Reason, e.Target, e.Reason)
+			}
+		case msgRequestMaster:
+			if got.NoWait != e.NoWait || got.Steal != e.Steal {
+				t.Fatalf("request flags: nowait %v steal %v", got.NoWait, got.Steal)
 			}
 		case msgEvent:
 			if got.Event != "resumed" {
@@ -251,9 +265,40 @@ func TestAcceptConnRejectsWrongVersion(t *testing.T) {
 	}
 }
 
-// TestAcceptConnAcceptsV2 is the positive half of negotiation: a current
-// attach frame yields a PendingConn carrying the requested names.
-func TestAcceptConnAcceptsV2(t *testing.T) {
+// TestAcceptConnRejectsV2 pins the floor-control protocol cut: a v2 peer
+// has no request/grant/deny vocabulary (its master requests could go
+// unanswered), so it is rejected at the handshake with a version-coded ack
+// — cleanly, not by silent misbehaviour later.
+func TestAcceptConnRejectsV2(t *testing.T) {
+	buf, err := encodeEnvelope(nil, &envelope{
+		Version: 2, Type: msgAttach, Attach: &attachMsg{Name: "old"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, srv := net.Pipe()
+	defer cli.Close()
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := AcceptConn(srv)
+		errCh <- err
+	}()
+	go cli.Write(buf)
+	reply, err := decodeEnvelope(wire.NewDecoder(cli), clientEnvelopeBudget)
+	if err != nil {
+		t.Fatalf("reading rejection: %v", err)
+	}
+	if reply.Type != msgAck || reply.Ack == nil || reply.Ack.Code != codeVersion {
+		t.Fatalf("rejection = %+v", reply)
+	}
+	if err := <-errCh; !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("AcceptConn err = %v, want ErrVersionMismatch", err)
+	}
+}
+
+// TestAcceptConnAcceptsCurrent is the positive half of negotiation: a
+// current attach frame yields a PendingConn carrying the requested names.
+func TestAcceptConnAcceptsCurrent(t *testing.T) {
 	buf, err := encodeEnvelope(nil, &envelope{
 		Type: msgAttach, Attach: &attachMsg{Name: "alice", Session: "s7"},
 	})
@@ -322,7 +367,7 @@ func TestAttachSurfacesVersionAck(t *testing.T) {
 		}
 		c := newCodec(conn)
 		c.read() // consume the attach
-		c.write(&envelope{Type: msgAck, Ack: &ackMsg{Code: codeVersion, Err: "v2 only"}}, time.Second)
+		c.write(&envelope{Type: msgAck, Ack: &ackMsg{Code: codeVersion, Err: "v3 only"}}, time.Second)
 		conn.Close()
 	}()
 	conn, err := net.Dial("tcp", l.Addr().String())

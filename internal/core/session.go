@@ -35,6 +35,22 @@ type SessionConfig struct {
 	// during attach. internal/journal's Journal is the durable
 	// implementation; the session does not own the sink's lifecycle.
 	Journal JournalSink
+	// FloorPolicy arbitrates contested master requests: FIFO queueing,
+	// priority queueing, or FIFO plus administrative steal. The zero value
+	// (FloorUnset) resolves to FloorFIFO — or to a hub's configured
+	// session default first.
+	FloorPolicy FloorPolicy
+	// MasterLease bounds how long the master may go silent before the
+	// session's maintenance sweep takes the floor away: a wedged or
+	// partitioned master loses it within 1.25×MasterLease of its last
+	// inbound frame. The welcome advertises the lease so clients heartbeat
+	// at a third of it. <= 0 disables lease expiry (pass a negative value
+	// to disable explicitly on a hub whose session defaults set a lease).
+	MasterLease time.Duration
+	// Clock overrides the session's time source; nil means time.Now. Only
+	// lease bookkeeping reads it — deterministic expiry tests inject a
+	// virtual clock here.
+	Clock func() time.Time
 }
 
 // Session is the hub connecting one steered application with any number of
@@ -69,6 +85,7 @@ type Session struct {
 	clients map[string]*clientConn
 	order   []string // attach order, for deterministic master promotion
 	master  string   // "" when no master
+	floor   floorState
 	view    ViewState
 	viewSeq uint64
 	nextID  int
@@ -122,7 +139,15 @@ type pendingOp struct {
 type clientConn struct {
 	name  string
 	codec *codec
-	role  Role
+	// wantMaster records that the client attached asking for mastership;
+	// drop promotion prefers such clients over pure observers.
+	wantMaster bool
+	// priority orders the client's floor requests under the priority policy.
+	priority int64
+	// lastBeat is the UnixNano of the client's last inbound frame — the
+	// master lease renewal. Written by the read loop, read by the
+	// maintenance sweep, hence atomic; never touched on the broadcast path.
+	lastBeat atomic.Int64
 	// out is the bounded sample queue; when full the oldest sample is
 	// overwritten in place so a slow client sees the freshest data. ctrl is
 	// the separate control-frame queue, drained with priority, so a sample
@@ -224,6 +249,14 @@ func NewSession(cfg SessionConfig) *Session {
 	if cfg.ControlTimeout <= 0 {
 		cfg.ControlTimeout = 2 * time.Second
 	}
+	if cfg.FloorPolicy == FloorUnset {
+		cfg.FloorPolicy = FloorFIFO
+	}
+	if cfg.MasterLease < 0 {
+		// Negative means "explicitly disabled" to callers whose zero would
+		// otherwise be filled in by a hub's session defaults.
+		cfg.MasterLease = 0
+	}
 	s := &Session{
 		cfg:     cfg,
 		params:  newParamTable(),
@@ -238,6 +271,9 @@ func NewSession(cfg SessionConfig) *Session {
 		closeCh:  make(chan struct{}),
 	}
 	s.clientsView.Store(&[]*clientConn{})
+	if cfg.MasterLease > 0 {
+		go s.floorSweeper()
+	}
 	return s
 }
 
@@ -456,14 +492,21 @@ func (s *Session) ServePending(p *PendingConn) error {
 	// (view updates are Seq-guarded client-side), so delivering it after
 	// the welcome is harmless.
 	s.mu.Lock()
+	role := RoleObserver
+	if s.master == cc.name {
+		role = RoleMaster
+	}
 	welcome := &envelope{Type: msgWelcome, Seq: p.seq, Welcome: &welcomeMsg{
 		SessionName: s.cfg.Name,
 		AppName:     s.cfg.AppName,
 		ClientName:  cc.name,
-		Role:        cc.role,
+		Role:        role,
 		Master:      s.master,
 		Params:      s.params.snapshot(),
 		View:        cloneView(s.view),
+		LeaseMillis: s.cfg.MasterLease.Milliseconds(),
+		Policy:      s.cfg.FloorPolicy,
+		FloorSeq:    s.floor.seq,
 	}}
 	s.mu.Unlock()
 	if err := cc.codec.write(welcome, s.cfg.ControlTimeout); err != nil {
@@ -624,20 +667,27 @@ func (s *Session) admit(a *attachMsg, c *codec) (*clientConn, error) {
 	}
 	s.nextID++
 	cc := &clientConn{
-		name:  name,
-		codec: c,
-		role:  RoleObserver,
-		out:   newFrameRing(s.cfg.SampleQueue),
-		ctrl:  newFrameRing(64),
-		ready: make(chan struct{}, 1),
-		gone:  make(chan struct{}),
+		name:       name,
+		codec:      c,
+		wantMaster: a.WantMaster,
+		priority:   a.Priority,
+		out:        newFrameRing(s.cfg.SampleQueue),
+		ctrl:       newFrameRing(64),
+		ready:      make(chan struct{}, 1),
+		gone:       make(chan struct{}),
 	}
+	cc.lastBeat.Store(s.now().UnixNano())
 	if s.cfg.Writer != nil {
 		cc.handle = &ClientHandle{s: s, cc: cc}
 	}
 	if s.master == "" && (a.WantMaster || len(s.clients) == 0) {
-		cc.role = RoleMaster
+		// Implicit grant at attach: the floor is free and the client asked
+		// (or is the first participant, the paper's one-user degenerate
+		// case). No broadcast — the welcome snapshot carries it — but the
+		// transition still takes a seq so later broadcasts order after it.
 		s.master = name
+		s.floor.stats.Grants++
+		s.floor.seq++
 	}
 	s.clients[name] = cc
 	s.order = append(s.order, name)
@@ -660,9 +710,12 @@ func (s *Session) rebuildClientsLocked() {
 	s.clientsView.Store(&view)
 }
 
-// drop removes a client; if it held the master role the oldest remaining
-// client is promoted, so a master crash never strands the session
-// (failure-handling behaviour of section 3.3's authenticated collaboration).
+// drop removes a client. If it held the master role the floor passes to
+// the next queued requester, then to the oldest remaining client that asked
+// for mastership — never to a pure observer; a session left with only
+// observers broadcasts "no master" instead of silently press-ganging one
+// (failure-handling behaviour of section 3.3's authenticated collaboration,
+// with ShAppliT-style explicit floor arbitration).
 func (s *Session) drop(cc *clientConn) {
 	s.mu.Lock()
 	if _, ok := s.clients[cc.name]; !ok {
@@ -676,16 +729,7 @@ func (s *Session) drop(cc *clientConn) {
 			break
 		}
 	}
-	var promoted *clientConn
-	if s.master == cc.name {
-		s.master = ""
-		if len(s.order) > 0 {
-			s.master = s.order[0]
-			promoted = s.clients[s.master]
-			promoted.role = RoleMaster
-		}
-	}
-	master := s.master
+	mc := s.dropFloorLocked(cc)
 	s.rebuildClientsLocked()
 	s.mu.Unlock()
 
@@ -699,17 +743,21 @@ func (s *Session) drop(cc *clientConn) {
 	if s.cfg.Writer != nil && cc.handle != nil {
 		s.cfg.Writer.ClientClosed(cc.handle)
 	}
-	if promoted != nil {
-		s.broadcastControl(&envelope{Type: msgMasterChanged, Target: master})
-	}
+	mc.emit(s)
 }
 
 // dispatch handles one client request. done reports that the connection
 // should terminate.
 func (s *Session) dispatch(cc *clientConn, e *envelope) (done bool, err error) {
+	// Every inbound frame renews the client's lease; msgHeartbeat exists so
+	// an idle master has something to send.
+	cc.lastBeat.Store(s.now().UnixNano())
 	switch e.Type {
 	case msgDetach:
 		return true, nil
+
+	case msgHeartbeat:
+		return false, nil
 
 	case msgSetParam:
 		if len(e.Sets) == 0 {
@@ -763,38 +811,13 @@ func (s *Session) dispatch(cc *clientConn, e *envelope) (done bool, err error) {
 		s.broadcastControl(&envelope{Type: msgViewUpdate, View: update})
 
 	case msgRequestMaster:
-		s.mu.Lock()
-		if s.master == "" {
-			s.master = cc.name
-			cc.role = RoleMaster
-			s.mu.Unlock()
-			s.ack(cc, e.Seq)
-			s.broadcastControl(&envelope{Type: msgMasterChanged, Target: cc.name})
-		} else {
-			master := s.master
-			s.mu.Unlock()
-			s.rejectSteer(cc, e.Seq, fmt.Errorf("%w: master role held by %q", ErrRejected, master))
-		}
+		s.handleRequestMaster(cc, e)
+
+	case msgReleaseMaster:
+		s.handleReleaseMaster(cc, e)
 
 	case msgHandoffMaster:
-		s.mu.Lock()
-		if s.master != cc.name {
-			s.mu.Unlock()
-			s.rejectSteer(cc, e.Seq, ErrNotMaster)
-			return false, nil
-		}
-		target, ok := s.clients[e.Target]
-		if !ok {
-			s.mu.Unlock()
-			s.rejectSteer(cc, e.Seq, fmt.Errorf("%w: no client %q", ErrRejected, e.Target))
-			return false, nil
-		}
-		cc.role = RoleObserver
-		target.role = RoleMaster
-		s.master = target.name
-		s.mu.Unlock()
-		s.ack(cc, e.Seq)
-		s.broadcastControl(&envelope{Type: msgMasterChanged, Target: e.Target})
+		s.handleHandoffMaster(cc, e)
 	}
 	return false, nil
 }

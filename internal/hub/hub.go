@@ -107,6 +107,17 @@ type Stats struct {
 	SteersApplied    uint64
 	SteersRejected   uint64
 
+	// Floor-control aggregates across every hosted session: how often the
+	// master role moved, how contested it is right now, and how it moved
+	// (explicit denial, lease expiry, administrative steal). Per-session
+	// detail is available from SessionFloor.
+	FloorGrants   uint64
+	FloorDenials  uint64
+	FloorExpiries uint64
+	FloorSteals   uint64
+	FloorHandoffs uint64
+	FloorPending  int
+
 	// SamplesPerSec is the emission rate observed between the two most
 	// recent Stats calls at least rateWindow apart (0 until measurable).
 	SamplesPerSec float64
@@ -179,6 +190,17 @@ func (h *Hub) CreateSession(cfg core.SessionConfig) (*core.Session, error) {
 	}
 	if cfg.ControlTimeout <= 0 {
 		cfg.ControlTimeout = h.cfg.SessionDefaults.ControlTimeout
+	}
+	// Floor defaults fill only *unset* fields: an explicit FloorFIFO (not
+	// the FloorUnset zero) survives a hub whose default is another policy,
+	// and an explicit MasterLease < 0 means "leases disabled for this
+	// session" despite a hub-wide lease default (core treats <= 0 as
+	// disabled).
+	if cfg.FloorPolicy == core.FloorUnset {
+		cfg.FloorPolicy = h.cfg.SessionDefaults.FloorPolicy
+	}
+	if cfg.MasterLease == 0 {
+		cfg.MasterLease = h.cfg.SessionDefaults.MasterLease
 	}
 	sh := h.shards[h.ring.lookup(cfg.Name)]
 	// Reserve the name before touching any journal directory: a duplicate
@@ -261,6 +283,16 @@ func sessionDirName(name string) string {
 // Lookup returns the registered session with the given name.
 func (h *Hub) Lookup(name string) (*core.Session, bool) {
 	return h.shards[h.ring.lookup(name)].lookup(name)
+}
+
+// SessionFloor returns one session's floor-control snapshot: the current
+// master, the pending-requester backlog and the transition counters.
+func (h *Hub) SessionFloor(name string) (core.FloorStats, bool) {
+	sess, ok := h.Lookup(name)
+	if !ok {
+		return core.FloorStats{}, false
+	}
+	return sess.FloorStats(), true
 }
 
 // Evict closes and unregisters a session, detaching its clients. It reports
@@ -382,6 +414,13 @@ func (h *Hub) Stats() Stats {
 			st.SamplesDropped += s.SamplesDropped
 			st.SteersApplied += s.SteersApplied
 			st.SteersRejected += s.SteersRejected
+			f := sess.FloorStats()
+			st.FloorGrants += f.Grants
+			st.FloorDenials += f.Denials
+			st.FloorExpiries += f.Expiries
+			st.FloorSteals += f.Steals
+			st.FloorHandoffs += f.Handoffs
+			st.FloorPending += f.Pending
 		}
 	}
 

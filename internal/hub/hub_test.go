@@ -1,6 +1,8 @@
 package hub
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -419,4 +421,96 @@ func TestControlSurvivesSampleBurst(t *testing.T) {
 		}
 		return false
 	})
+}
+
+// TestHubFloorControl drives the floor-control subsystem through the hub:
+// session floor defaults flow from Config.SessionDefaults, a wedged master
+// behind the pooled writers loses its lease, per-session floor state is
+// visible via SessionFloor, and the hub Stats aggregate the transitions.
+func TestHubFloorControl(t *testing.T) {
+	h, addr := testHub(t, Config{
+		Shards: 2,
+		SessionDefaults: core.SessionConfig{
+			FloorPolicy: core.FloorSteal,
+			MasterLease: 60 * time.Millisecond,
+		},
+	})
+	sess, err := h.CreateSession(core.SessionConfig{Name: "contested"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The wedged master: heartbeats disabled, never sends after attach.
+	m := dialSession(t, addr, core.AttachOptions{
+		Name: "wedged", Session: "contested", HeartbeatInterval: -1,
+	})
+	if m.FloorPolicy() != core.FloorSteal || m.MasterLease() != 60*time.Millisecond {
+		t.Fatalf("welcome floor advertisement: %v/%v", m.FloorPolicy(), m.MasterLease())
+	}
+	next := dialSession(t, addr, core.AttachOptions{Name: "next", Session: "contested"})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := next.RequestMaster(ctx); err != nil {
+		t.Fatalf("queued requester not granted after lease expiry: %v", err)
+	}
+	waitFor(t, "expiry visible", func() bool { return sess.Master() == "next" })
+
+	fs, ok := h.SessionFloor("contested")
+	if !ok || fs.Master != "next" || fs.Expiries == 0 {
+		t.Fatalf("SessionFloor = %+v, %v", fs, ok)
+	}
+	if _, ok := h.SessionFloor("ghost"); ok {
+		t.Fatal("SessionFloor found a ghost session")
+	}
+
+	// Administrative steal through the hub (policy came from the defaults).
+	admin := dialSession(t, addr, core.AttachOptions{Name: "admin", Session: "contested"})
+	if err := admin.StealMaster(time.Second); err != nil {
+		t.Fatalf("steal: %v", err)
+	}
+	waitFor(t, "steal visible", func() bool { return sess.Master() == "admin" })
+
+	st := h.Stats()
+	if st.FloorGrants == 0 || st.FloorExpiries == 0 || st.FloorSteals == 0 {
+		t.Fatalf("hub floor aggregates = %+v", st)
+	}
+}
+
+// TestHubFloorDefaultsRespectExplicitValues: SessionDefaults fill only
+// unset floor fields — an explicit FloorFIFO is not upgraded to the hub's
+// default policy, and a negative MasterLease disables leases per session
+// despite a hub-wide lease default.
+func TestHubFloorDefaultsRespectExplicitValues(t *testing.T) {
+	h, addr := testHub(t, Config{
+		Shards: 1,
+		SessionDefaults: core.SessionConfig{
+			FloorPolicy: core.FloorSteal,
+			MasterLease: 50 * time.Millisecond,
+		},
+	})
+	if _, err := h.CreateSession(core.SessionConfig{
+		Name:        "pinned",
+		FloorPolicy: core.FloorFIFO,
+		MasterLease: -1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c := dialSession(t, addr, core.AttachOptions{Name: "m", Session: "pinned"})
+	if c.FloorPolicy() != core.FloorFIFO {
+		t.Fatalf("explicit FIFO upgraded to %v", c.FloorPolicy())
+	}
+	if c.MasterLease() != 0 {
+		t.Fatalf("explicitly disabled lease advertised as %v", c.MasterLease())
+	}
+	// No lease: steal attempts under FIFO are denied, and the master keeps
+	// the floor without heartbeats well past the hub's default lease.
+	thief := dialSession(t, addr, core.AttachOptions{Name: "thief", Session: "pinned"})
+	if err := thief.StealMaster(time.Second); !errors.Is(err, core.ErrFloorHeld) {
+		t.Fatalf("steal under pinned FIFO = %v", err)
+	}
+	time.Sleep(150 * time.Millisecond) // 3× the hub default lease
+	if fs, _ := h.SessionFloor("pinned"); fs.Master != "m" || fs.Expiries != 0 {
+		t.Fatalf("lease-disabled session expired its master: %+v", fs)
+	}
 }

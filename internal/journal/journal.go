@@ -178,8 +178,10 @@ type Journal struct {
 	closed       bool
 	stats        Stats
 
-	// lock holds the directory's cross-process advisory lock.
-	lock *os.File
+	// lock holds the directory's cross-process advisory lock. Its Close is
+	// nil-safe, so unlock paths need no platform- or state-dependent
+	// branching.
+	lock *dirLock
 
 	// iomu guards the disk state; held across writes, fsync, rotation and
 	// compaction rewrites — never while mu-holders need to proceed.
@@ -217,9 +219,7 @@ func Open(opts Options) (*Journal, error) {
 	}
 	j := &Journal{opts: opts, snapshot: opts.Snapshot, lock: lock}
 	if err := j.recoverDir(); err != nil {
-		if lock != nil {
-			lock.Close()
-		}
+		lock.Close()
 		return nil, err
 	}
 	return j, nil
@@ -549,10 +549,7 @@ func (j *Journal) Close() error {
 		}
 		j.seg = nil
 	}
-	if j.lock != nil {
-		j.lock.Close() // releases the directory's advisory lock
-		j.lock = nil
-	}
+	j.lock.Close() // releases the directory's advisory lock; nil-safe
 	if j.writeErrs.Load() != errsBefore {
 		return errors.New("journal: close failed to persist the buffered tail")
 	}

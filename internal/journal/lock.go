@@ -1,0 +1,28 @@
+package journal
+
+import "os"
+
+// dirLock holds (or stands in for) a journal directory's cross-process
+// advisory lock. On platforms without flock semantics lockDir returns a
+// handle with a nil file — still a valid, closable lock object, so no
+// caller ever branches on platform. Close is idempotent and safe on a nil
+// receiver: every unlock path (Open's error unwinding, Journal.Close) may
+// call it unconditionally.
+type dirLock struct {
+	f *os.File
+}
+
+// Close releases the advisory lock, if one is held. Safe on nil receivers,
+// nil files and repeated calls.
+func (l *dirLock) Close() error {
+	if l == nil || l.f == nil {
+		return nil
+	}
+	f := l.f
+	l.f = nil
+	return f.Close()
+}
+
+// Locked reports whether the handle holds a real OS-level lock (false on
+// platforms where lockDir is advisory-lock-free).
+func (l *dirLock) Locked() bool { return l != nil && l.f != nil }

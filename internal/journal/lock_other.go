@@ -2,9 +2,10 @@
 
 package journal
 
-import "os"
-
 // lockDir is advisory-lock-free on platforms without flock semantics; the
 // in-process guards still hold, cross-process exclusion is the operator's
-// responsibility there.
-func lockDir(dir string) (*os.File, error) { return nil, nil }
+// responsibility there. The returned handle is non-nil and closable like
+// the real lock, so callers never special-case the platform (the historic
+// (nil, nil) return made every unlock path's nil-safety a per-caller
+// obligation).
+func lockDir(dir string) (*dirLock, error) { return &dirLock{}, nil }

@@ -1,0 +1,49 @@
+package journal
+
+import "testing"
+
+// TestDirLockCloseNilSafety pins the contract every unlock path relies on:
+// Close never panics on a nil receiver, a lock-free handle, or a second
+// call. This is the platform-neutral half of the lock_other regression — on
+// non-flock platforms lockDir hands out exactly such file-less handles.
+func TestDirLockCloseNilSafety(t *testing.T) {
+	var nilLock *dirLock
+	if err := nilLock.Close(); err != nil {
+		t.Fatalf("nil receiver Close: %v", err)
+	}
+	if nilLock.Locked() {
+		t.Fatal("nil receiver reports Locked")
+	}
+
+	stub := &dirLock{}
+	if stub.Locked() {
+		t.Fatal("file-less handle reports Locked")
+	}
+	if err := stub.Close(); err != nil {
+		t.Fatalf("file-less Close: %v", err)
+	}
+	if err := stub.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestDirLockDoubleClose proves a real (or stub) lockDir handle survives
+// the double-unlock an Open error path followed by a Close could produce.
+func TestDirLockDoubleClose(t *testing.T) {
+	l, err := lockDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l == nil {
+		t.Fatal("lockDir returned nil handle: callers would need nil branches again")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if l.Locked() {
+		t.Fatal("closed handle reports Locked")
+	}
+}

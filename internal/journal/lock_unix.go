@@ -13,9 +13,9 @@ import (
 // processes can never write (and recovery-truncate) the same log: the
 // in-process races are guarded by the hub's name reservation, this guards
 // an operator starting a second daemon on the same -journal-dir. The lock
-// lives with the returned file and releases on its Close (or process
+// lives with the returned handle and releases on its Close (or process
 // exit).
-func lockDir(dir string) (*os.File, error) {
+func lockDir(dir string) (*dirLock, error) {
 	f, err := os.OpenFile(filepath.Join(dir, "journal.lock"), os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, err
@@ -24,5 +24,5 @@ func lockDir(dir string) (*os.File, error) {
 		f.Close()
 		return nil, fmt.Errorf("journal: %s is in use by another journal handle: %w", dir, err)
 	}
-	return f, nil
+	return &dirLock{f: f}, nil
 }

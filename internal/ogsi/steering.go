@@ -120,6 +120,22 @@ func (s *SteeringService) ServeOp(op string, args json.RawMessage) (any, error) 
 	case "clients":
 		return s.session.Clients(), nil
 
+	case "floor":
+		// The floor-control SDE: who holds steering authority, how
+		// contested it is, and how it has moved (the collaborative-steering
+		// observability the broker-mediated scenarios need).
+		f := s.session.FloorStats()
+		return map[string]any{
+			"master":   f.Master,
+			"pending":  f.Pending,
+			"grants":   f.Grants,
+			"denials":  f.Denials,
+			"releases": f.Releases,
+			"handoffs": f.Handoffs,
+			"expiries": f.Expiries,
+			"steals":   f.Steals,
+		}, nil
+
 	default:
 		return nil, fmt.Errorf("ogsi: steering service has no operation %q", op)
 	}
@@ -129,12 +145,13 @@ func (s *SteeringService) ServeOp(op string, args json.RawMessage) (any, error) 
 // binding.
 func (s *SteeringService) ServiceData() map[string]any {
 	return map[string]any{
-		"serviceType": "SteeringService",
-		"session":     s.session.Name(),
-		"paramCount":  len(s.session.Params()),
-		"clients":     s.session.Clients(),
-		"master":      s.session.Master(),
-		"paused":      s.session.Paused(),
+		"serviceType":  "SteeringService",
+		"session":      s.session.Name(),
+		"paramCount":   len(s.session.Params()),
+		"clients":      s.session.Clients(),
+		"master":       s.session.Master(),
+		"floorPending": s.session.FloorStats().Pending,
+		"paused":       s.session.Paused(),
 	}
 }
 
