@@ -5,8 +5,15 @@ FUZZTIME ?= 10s
 # BENCHCOUNT is how many times bench-compare repeats each benchmark before
 # averaging; raise it for quieter numbers.
 BENCHCOUNT ?= 3
+# Soak shape: ISSUE 6's acceptance floor is 4 sessions × 64 clients over
+# real TCP with churn + floor contention; CI's nightly job raises DURATION.
+SOAK_SESSIONS ?= 4
+SOAK_CLIENTS ?= 64
+SOAK_DURATION ?= 20s
+SOAK_OUT ?= BENCH_6.json
+SOAK_FLAGS ?=
 
-.PHONY: check vet build test test-framedebug bench bench-hotpath bench-smoke bench-compare fuzz-smoke cover
+.PHONY: check vet build test test-framedebug bench bench-hotpath bench-smoke bench-compare fuzz-smoke cover soak
 
 check: vet build test test-framedebug bench-smoke
 
@@ -52,7 +59,8 @@ bench-smoke:
 	echo "$$out" | grep -q BenchmarkJournalAppend && echo "$$out" | grep -q BenchmarkCatchupReplay \
 		|| { echo 'bench-smoke: journal benchmarks missing'; exit 1; }
 	@out=$$($(GO) test -run '^$$' -list 'Benchmark(BroadcastHotPath|BroadcastContention)' ./internal/core); \
-	echo "$$out" | grep -q BenchmarkBroadcastHotPath && echo "$$out" | grep -q BenchmarkBroadcastContention \
+	echo "$$out" | grep -q BenchmarkBroadcastHotPath && echo "$$out" | grep -q 'BenchmarkBroadcastContention$$' \
+		&& echo "$$out" | grep -q BenchmarkBroadcastContention1k \
 		|| { echo 'bench-smoke: broadcast hot-path benchmarks missing'; exit 1; }
 
 # bench-compare re-measures the benchmarks recorded in BENCH_4.json and
@@ -65,11 +73,21 @@ bench-compare:
 	$(GO) run ./cmd/benchcompare -baseline BENCH_4.json -new bench-new.txt $(BENCHCOMPARE_FLAGS) | tee bench-compare.txt
 
 # fuzz-smoke gives the protocol fuzz targets a short exploration budget
-# (the seed corpora already run as plain tests in `make test`). Both targets
-# always run — a crasher in the first must not mask the second — and the
-# exit status reports any failure after both have finished.
+# (the seed corpora already run as plain tests in `make test`). All targets
+# always run — a crasher in the first must not mask the others — and the
+# exit status reports any failure after all have finished.
 fuzz-smoke:
 	@status=0; \
 	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime $(FUZZTIME) ./internal/wire || status=1; \
 	$(GO) test -run '^$$' -fuzz FuzzEnvelopeRoundTrip -fuzztime $(FUZZTIME) ./internal/core || status=1; \
+	$(GO) test -run '^$$' -fuzz FuzzFloorFrames -fuzztime $(FUZZTIME) ./internal/core || status=1; \
 	exit $$status
+
+# soak drives the steerload harness against an in-process hub over real
+# loopback TCP — 4 sessions × 64 clients with attach/detach churn, floor
+# contention and journaled replay by default — and writes the
+# benchcompare-compatible latency histograms to BENCH_6.json. Gate against
+# the committed baseline with SOAK_FLAGS='-baseline BENCH_6.json -max-regress 3'.
+soak:
+	$(GO) run ./cmd/steerload -sessions $(SOAK_SESSIONS) -clients $(SOAK_CLIENTS) \
+		-duration $(SOAK_DURATION) -churn -floor -journal -out $(SOAK_OUT) $(SOAK_FLAGS)

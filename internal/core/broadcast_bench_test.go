@@ -142,6 +142,52 @@ func BenchmarkBroadcastContention(b *testing.B) {
 	}
 }
 
+// BenchmarkBroadcastContention1k is the collaboration-scaling shape two
+// orders past the paper's handful of participants: a single session fanning
+// every emission out to 1024 observers. One emitter per benchmark goroutine
+// measures the pure fan-out cost — encode once, 1024 ring enqueues, inline
+// batched drains — with no cross-session sharding to hide behind.
+func BenchmarkBroadcastContention1k(b *testing.B) {
+	const clients = 1024
+	s, st := benchBroadcastSession(b, clients)
+	defer s.Close()
+	sample := hotPathSample()
+	for i := 0; i < 16; i++ {
+		st.Emit(sample) // warm the pool and every client's drain scratch
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			st.Emit(sample)
+		}
+	})
+	b.StopTimer()
+	stats := s.Stats()
+	if total := stats.SamplesDelivered + stats.SamplesDropped; total > 0 {
+		b.ReportMetric(float64(stats.SamplesDelivered)/float64(total), "delivered_frac")
+	}
+}
+
+// TestBroadcastContention1kAllocFree extends the PR 4 zero-alloc invariant
+// to the 1k-observer case: fan-out cost may scale with the audience, but
+// allocation must not — the pooled buffers and ring queues hold at three
+// orders of magnitude too.
+func TestBroadcastContention1kAllocFree(t *testing.T) {
+	s, st := benchBroadcastSession(t, 1024)
+	defer s.Close()
+	sample := hotPathSample()
+	for i := 0; i < 32; i++ {
+		st.Emit(sample)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		st.Emit(sample)
+	})
+	if avg > 0.1 {
+		t.Fatalf("1k-observer broadcast allocates %.3f allocs/op, want ~0", avg)
+	}
+}
+
 // TestBroadcastHotPathAllocFree enforces the tentpole claim as a test, not
 // just a benchmark report: a steady-state sample broadcast to 4 clients —
 // including its inline batched drain — performs (amortised) zero heap

@@ -49,6 +49,12 @@ type Config struct {
 	// HandshakeTimeout bounds reading a connection's attach frame; 0
 	// selects 5s.
 	HandshakeTimeout time.Duration
+	// MaxHandshakes caps connections allowed in the handshake phase at
+	// once; 0 selects 512. Beyond the cap new connections are shed (closed
+	// immediately) rather than queued: a flood of silent dialers can burn
+	// at most MaxHandshakes × HandshakeTimeout of patience, never wedge the
+	// accept path, and a shed client gets a fast failure it can retry.
+	MaxHandshakes int
 	// DefaultSession serves clients that attach without naming a session
 	// (a single-session steerd's classic clients). "" rejects them unless
 	// SetDefaultSession is called (CreateSession sets it to the first
@@ -92,6 +98,9 @@ func (c *Config) fill() {
 	if c.HandshakeTimeout <= 0 {
 		c.HandshakeTimeout = 5 * time.Second
 	}
+	if c.MaxHandshakes <= 0 {
+		c.MaxHandshakes = 512
+	}
 }
 
 // Stats aggregates activity across every session the hub hosts, exposed the
@@ -121,6 +130,13 @@ type Stats struct {
 	// SamplesPerSec is the emission rate observed between the two most
 	// recent Stats calls at least rateWindow apart (0 until measurable).
 	SamplesPerSec float64
+
+	// Accept-path health: connections accepted, connections shed because
+	// MaxHandshakes were already mid-handshake, and handshakes that failed
+	// (bad frame, silent dialer hitting HandshakeTimeout).
+	ConnsAccepted  uint64
+	ConnsShed      uint64
+	HandshakeFails uint64
 }
 
 // rateWindow is the minimum spacing between rate measurements.
@@ -139,6 +155,13 @@ type Hub struct {
 	closeCh   chan struct{}
 	closed    atomic.Bool
 
+	// hsSem holds one slot per connection currently in the handshake
+	// phase; Serve sheds connections when none is free.
+	hsSem              chan struct{}
+	statConnsAccepted  atomic.Uint64
+	statConnsShed      atomic.Uint64
+	statHandshakeFails atomic.Uint64
+
 	rateMu      sync.Mutex
 	rateTime    time.Time
 	rateEmitted uint64
@@ -154,6 +177,7 @@ func New(cfg Config) *Hub {
 		shards:         make([]*shard, cfg.Shards),
 		defaultSession: cfg.DefaultSession,
 		closeCh:        make(chan struct{}),
+		hsSem:          make(chan struct{}, cfg.MaxHandshakes),
 	}
 	for i := range h.shards {
 		h.shards[i] = newShard(i, cfg.WritersPerShard, cfg.WriteBatch, cfg)
@@ -342,14 +366,20 @@ func (h *Hub) SessionNames() []string {
 }
 
 // Serve accepts connections from l until the hub closes or the listener
-// fails. Each connection's attach frame is read on its own goroutine (a
-// stalled handshake never blocks the accept loop), then routed to its
-// session's shard.
+// fails permanently. Each connection's attach frame is read on its own
+// goroutine under HandshakeTimeout (a stalled handshake never blocks the
+// accept loop), with at most Config.MaxHandshakes connections in that phase
+// at once — excess connections are shed with an immediate close, so a flood
+// of silent or hostile dialers cannot wedge a shard or exhaust goroutines.
+// Transient accept errors (EMFILE, aborted connections) back off
+// exponentially instead of killing the listener.
 func (h *Hub) Serve(l net.Listener) error {
 	go func() {
 		<-h.closeCh
 		l.Close()
 	}()
+	const backoffMin, backoffMax = 5 * time.Millisecond, time.Second
+	backoff := backoffMin
 	for {
 		conn, err := l.Accept()
 		if err != nil {
@@ -357,11 +387,44 @@ func (h *Hub) Serve(l net.Listener) error {
 			case <-h.closeCh:
 				return nil
 			default:
-				return err
 			}
+			if ne, ok := err.(net.Error); ok && (ne.Timeout() || isTemporary(err)) {
+				select {
+				case <-time.After(backoff):
+				case <-h.closeCh:
+					return nil
+				}
+				backoff = min(backoff*2, backoffMax)
+				continue
+			}
+			return err
 		}
-		go h.route(conn)
+		backoff = backoffMin
+		h.statConnsAccepted.Add(1)
+		select {
+		case h.hsSem <- struct{}{}:
+		default:
+			// Every handshake slot is occupied: shed. Closing is kinder
+			// than queueing — the dialer fails fast and can retry, and the
+			// hub's exposure to slow-handshake abuse stays bounded.
+			h.statConnsShed.Add(1)
+			conn.Close()
+			continue
+		}
+		go func() {
+			defer func() { <-h.hsSem }()
+			h.route(conn)
+		}()
 	}
+}
+
+// isTemporary reports whether err advertises itself as retryable. net.Error's
+// Temporary is deprecated but still what syscall-level accept failures
+// (EMFILE, ECONNABORTED) implement; consulting it via a local interface keeps
+// the deprecation contained.
+func isTemporary(err error) bool {
+	var te interface{ Temporary() bool }
+	return errors.As(err, &te) && te.Temporary()
 }
 
 // route reads the attach frame and hands the pending connection to the home
@@ -370,6 +433,7 @@ func (h *Hub) route(conn net.Conn) {
 	conn.SetReadDeadline(time.Now().Add(h.cfg.HandshakeTimeout))
 	pc, err := core.AcceptConn(conn)
 	if err != nil {
+		h.statHandshakeFails.Add(1)
 		return // AcceptConn closed the conn
 	}
 	conn.SetReadDeadline(time.Time{})
@@ -402,7 +466,12 @@ func (h *Hub) route(conn net.Conn) {
 // Stats aggregates counters across all sessions and samples the emission
 // rate.
 func (h *Hub) Stats() Stats {
-	st := Stats{Shards: len(h.shards)}
+	st := Stats{
+		Shards:         len(h.shards),
+		ConnsAccepted:  h.statConnsAccepted.Load(),
+		ConnsShed:      h.statConnsShed.Load(),
+		HandshakeFails: h.statHandshakeFails.Load(),
+	}
 	for _, sh := range h.shards {
 		for _, e := range sh.snapshot() {
 			sess := e.sess

@@ -1,0 +1,166 @@
+package hub
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestSilentDialerCannotWedgeShard is the ISSUE 6 hardening regression: a
+// flood of connections that never send their attach frame must not wedge
+// the accept path. With MaxHandshakes slots all held by silent dialers the
+// hub sheds the overflow immediately, a legitimate client gets through as
+// soon as HandshakeTimeout reclaims a slot, and the accept-path counters
+// account for every connection.
+func TestSilentDialerCannotWedgeShard(t *testing.T) {
+	h, addr := testHub(t, Config{
+		Shards:           1,
+		HandshakeTimeout: 200 * time.Millisecond,
+		MaxHandshakes:    4,
+	})
+	if _, err := h.CreateSession(core.SessionConfig{Name: "victim"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Saturate every handshake slot, then keep pouring connections on: the
+	// overflow must be shed (closed), not queued.
+	const silent = 12
+	conns := make([]net.Conn, 0, silent)
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+	for i := 0; i < silent; i++ {
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns = append(conns, c)
+	}
+	waitFor(t, "overflow connections to be shed", func() bool {
+		return h.Stats().ConnsShed > 0
+	})
+
+	// A real client retried through the flood must attach well within a few
+	// handshake windows — shed now, admitted once the silent dialers time
+	// out and free their slots.
+	deadline := time.Now().Add(5 * time.Second)
+	var cl *core.Client
+	for time.Now().Before(deadline) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl, err = core.Attach(conn, core.AttachOptions{Session: "victim", Timeout: time.Second})
+		if err == nil {
+			break
+		}
+		cl = nil
+		time.Sleep(20 * time.Millisecond)
+	}
+	if cl == nil {
+		t.Fatal("legitimate client never got through the silent-dialer flood")
+	}
+	defer cl.Close()
+	if cl.SessionName() != "victim" {
+		t.Fatalf("attached to %q, want victim", cl.SessionName())
+	}
+
+	// Every silent connection ends accounted for: shed at accept, or it won
+	// a handshake slot and HandshakeTimeout failed it.
+	waitFor(t, "silent connections to be shed or timed out", func() bool {
+		st := h.Stats()
+		return st.ConnsShed+st.HandshakeFails >= silent
+	})
+	st := h.Stats()
+	if st.ConnsAccepted == 0 || st.ConnsShed == 0 {
+		t.Fatalf("accept-path counters flat: %+v", st)
+	}
+}
+
+// flakyListener fails its first n Accepts with a temporary error, then
+// delegates to the real listener: the EMFILE/ECONNABORTED shape Serve must
+// ride out with backoff instead of returning.
+type flakyListener struct {
+	net.Listener
+	mu   sync.Mutex
+	fail int
+}
+
+type tempErr struct{}
+
+func (tempErr) Error() string   { return "synthetic temporary accept failure" }
+func (tempErr) Timeout() bool   { return false }
+func (tempErr) Temporary() bool { return true }
+
+func (l *flakyListener) Accept() (net.Conn, error) {
+	l.mu.Lock()
+	if l.fail > 0 {
+		l.fail--
+		l.mu.Unlock()
+		return nil, tempErr{}
+	}
+	l.mu.Unlock()
+	return l.Listener.Accept()
+}
+
+// TestAcceptLoopBackoffOnTemporaryError proves Serve survives a burst of
+// temporary accept errors and still serves the clients that follow.
+func TestAcceptLoopBackoffOnTemporaryError(t *testing.T) {
+	h := New(Config{Shards: 1})
+	t.Cleanup(h.Close)
+	if _, err := h.CreateSession(core.SessionConfig{Name: "s"}); err != nil {
+		t.Fatal(err)
+	}
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := &flakyListener{Listener: inner, fail: 5}
+
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- h.Serve(fl) }()
+
+	cl := dialSession(t, inner.Addr().String(), core.AttachOptions{Session: "s"})
+	if cl.SessionName() != "s" {
+		t.Fatalf("attached to %q, want s", cl.SessionName())
+	}
+	select {
+	case err := <-serveDone:
+		t.Fatalf("Serve returned during temporary errors: %v", err)
+	default:
+	}
+
+	fl.mu.Lock()
+	remaining := fl.fail
+	fl.mu.Unlock()
+	if remaining != 0 {
+		t.Fatalf("Serve retried only %d of 5 temporary failures", 5-remaining)
+	}
+
+	// A permanent listener failure must still end Serve.
+	h.Close()
+	if err := <-serveDone; err != nil {
+		t.Fatalf("Serve after Close: %v", err)
+	}
+}
+
+// TestServeReturnsOnPermanentError pins the non-temporary branch: a broken
+// listener ends Serve with its error rather than spinning.
+func TestServeReturnsOnPermanentError(t *testing.T) {
+	h := New(Config{Shards: 1})
+	t.Cleanup(h.Close)
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner.Close() // Accept now fails with a permanent ErrClosed
+	if err := h.Serve(inner); !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("Serve = %v, want net.ErrClosed", err)
+	}
+}

@@ -1,0 +1,149 @@
+// Package loadgen is the load/soak harness behind cmd/steerload: workload
+// actors that drive a live steering hub over real TCP — steady broadcast
+// fan-out, attach/detach churn, floor request storms, late-joiner replay
+// floods — and measure the paper's central latency, the steer→apply→observe
+// round trip, with log-bucketed histograms whose record path never
+// allocates (the harness must not perturb the hub it measures).
+//
+// The package has three layers: Hist (this file) is the concurrent
+// HDR-style histogram; Scenario/Result (scenario.go) describe a workload
+// and its machine-readable outcome, JSON-compatible with cmd/benchcompare
+// baselines (BENCH_6.json); Run (run.go) spins the actors against an
+// in-process hub or a remote steerd address.
+package loadgen
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Log-linear bucketing: histSubCount linear sub-buckets per power of two of
+// nanoseconds, the HdrHistogram shape. Relative quantile error is bounded by
+// 1/histSubCount (~3%), and the whole table is a fixed array of atomics —
+// Record is a few integer ops plus two atomic adds, zero allocations,
+// concurrent-writer safe.
+const (
+	histSubBits     = 5
+	histSubCount    = 1 << histSubBits
+	histBucketCount = histSubCount + (64-histSubBits)*histSubCount
+)
+
+// Hist is a concurrent latency histogram over time.Duration values. The
+// zero value is ready to use; all methods are safe for concurrent callers.
+type Hist struct {
+	buckets [histBucketCount]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	max     atomic.Int64
+}
+
+// bucketFor maps a non-negative nanosecond value onto its bucket index.
+func bucketFor(v uint64) int {
+	b := bits.Len64(v >> histSubBits)
+	if b == 0 {
+		return int(v) // exact linear buckets 0..histSubCount-1
+	}
+	sub := int(v >> uint(b-1)) // top histSubBits+1 bits: [histSubCount, 2*histSubCount)
+	return b*histSubCount + (sub - histSubCount)
+}
+
+// bucketUpper returns the largest value a bucket index covers.
+func bucketUpper(idx int) int64 {
+	if idx < histSubCount {
+		return int64(idx)
+	}
+	b := idx / histSubCount
+	sub := uint64(histSubCount + idx%histSubCount)
+	return int64((sub+1)<<uint(b-1) - 1)
+}
+
+// Record adds one observation. Negative durations clamp to zero (a clock
+// step mid-measurement must not corrupt the table). The path is
+// allocation-free; TestHistRecordAllocFree enforces that.
+func (h *Hist) Record(d time.Duration) {
+	v := uint64(0)
+	if d > 0 {
+		v = uint64(d)
+	}
+	h.buckets[bucketFor(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if int64(v) <= cur || h.max.CompareAndSwap(cur, int64(v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Hist) Count() uint64 { return h.count.Load() }
+
+// Snapshot copies the histogram into an immutable, queryable view.
+// Concurrent Records during the copy may land on either side; a snapshot is
+// consistent enough for reporting, exact once the writers have stopped.
+func (h *Hist) Snapshot() *HistSnapshot {
+	s := &HistSnapshot{
+		Count: h.count.Load(),
+		Max:   h.max.Load(),
+	}
+	sum := h.sum.Load()
+	if s.Count > 0 {
+		s.MeanNs = float64(sum) / float64(s.Count)
+	}
+	s.buckets = make([]uint64, histBucketCount)
+	for i := range h.buckets {
+		s.buckets[i] = h.buckets[i].Load()
+	}
+	s.P50 = s.Quantile(0.50)
+	s.P90 = s.Quantile(0.90)
+	s.P99 = s.Quantile(0.99)
+	s.P999 = s.Quantile(0.999)
+	return s
+}
+
+// HistSnapshot is a point-in-time view of a Hist with its headline
+// quantiles precomputed for JSON emission (all values nanoseconds).
+type HistSnapshot struct {
+	Count  uint64  `json:"count"`
+	MeanNs float64 `json:"mean_ns"`
+	P50    int64   `json:"p50_ns"`
+	P90    int64   `json:"p90_ns"`
+	P99    int64   `json:"p99_ns"`
+	P999   int64   `json:"p999_ns"`
+	Max    int64   `json:"max_ns"`
+
+	buckets []uint64
+}
+
+// Quantile returns the value at quantile q in [0, 1]: the upper bound of
+// the bucket containing the q-th ranked observation, clamped to the true
+// observed maximum. Zero observations yield 0.
+func (s *HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 || len(s.buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range s.buckets {
+		cum += c
+		if cum >= rank {
+			v := bucketUpper(i)
+			if v > s.Max {
+				v = s.Max
+			}
+			return v
+		}
+	}
+	return s.Max
+}

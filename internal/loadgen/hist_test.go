@@ -1,0 +1,146 @@
+package loadgen
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketBoundaries pins the log-linear bucket math: exact buckets below
+// histSubCount, then histSubCount sub-buckets per power of two, and
+// bucketUpper as the inverse of bucketFor at every boundary.
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{
+		{0, 0},
+		{1, 1},
+		{histSubCount - 1, histSubCount - 1},
+		{histSubCount, histSubCount},
+		{2*histSubCount - 1, 2*histSubCount - 1},
+		{2 * histSubCount, 2 * histSubCount},
+		{1 << 63, histBucketCount - histSubCount},
+		{^uint64(0), histBucketCount - 1},
+	}
+	for _, c := range cases {
+		if got := bucketFor(c.v); got != c.want {
+			t.Errorf("bucketFor(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Every value must land in a bucket whose range contains it, and
+	// indices must be monotone in the value.
+	prev := -1
+	for _, v := range []uint64{0, 1, 31, 32, 33, 63, 64, 100, 1000, 1 << 20, 1<<20 + 12345, 1 << 40, 1 << 63, ^uint64(0)} {
+		idx := bucketFor(v)
+		if idx < 0 || idx >= histBucketCount {
+			t.Fatalf("bucketFor(%d) = %d out of range [0, %d)", v, idx, histBucketCount)
+		}
+		if idx < prev {
+			t.Fatalf("bucketFor not monotone at %d: %d < %d", v, idx, prev)
+		}
+		prev = idx
+		if upper := uint64(bucketUpper(idx)); v > upper && idx != histBucketCount-1 {
+			t.Errorf("value %d above its bucket upper bound %d (idx %d)", v, upper, idx)
+		}
+		if idx > 0 {
+			if lower := uint64(bucketUpper(idx-1)) + 1; v < lower {
+				t.Errorf("value %d below its bucket lower bound %d (idx %d)", v, lower, idx)
+			}
+		}
+	}
+}
+
+// TestQuantiles checks the quantile walk against a known distribution and
+// the ≤ 1/histSubCount relative-error bound of the bucketing.
+func TestQuantiles(t *testing.T) {
+	var h Hist
+	// 1..10000 ns, uniformly: p50 ≈ 5000, p99 ≈ 9900.
+	for i := 1; i <= 10000; i++ {
+		h.Record(time.Duration(i))
+	}
+	s := h.Snapshot()
+	if s.Count != 10000 {
+		t.Fatalf("count = %d, want 10000", s.Count)
+	}
+	check := func(name string, got int64, want float64) {
+		t.Helper()
+		rel := (float64(got) - want) / want
+		if rel < -0.001 || rel > 2.0/histSubCount {
+			t.Errorf("%s = %d, want ~%g (rel err %.4f)", name, got, want, rel)
+		}
+	}
+	check("p50", s.P50, 5000)
+	check("p90", s.P90, 9000)
+	check("p99", s.P99, 9900)
+	check("p999", s.P999, 9990)
+	if s.Max != 10000 {
+		t.Errorf("max = %d, want 10000", s.Max)
+	}
+	if s.MeanNs < 4900 || s.MeanNs > 5100 {
+		t.Errorf("mean = %g, want ~5000.5", s.MeanNs)
+	}
+	// Quantiles never exceed the observed max even in the top bucket.
+	if q := s.Quantile(1.0); q != 10000 {
+		t.Errorf("p100 = %d, want clamp to max 10000", q)
+	}
+}
+
+func TestHistEmptyAndNegative(t *testing.T) {
+	var h Hist
+	s := h.Snapshot()
+	if s.Count != 0 || s.P50 != 0 || s.P99 != 0 || s.Max != 0 {
+		t.Fatalf("empty snapshot not zero: %+v", s)
+	}
+	h.Record(-5 * time.Second) // clock step: clamps to 0, never corrupts
+	s = h.Snapshot()
+	if s.Count != 1 || s.Max != 0 || s.P50 != 0 {
+		t.Fatalf("negative record mishandled: %+v", s)
+	}
+}
+
+func TestHistConcurrent(t *testing.T) {
+	var h Hist
+	const goroutines, per = 8, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Record(time.Duration(r.Intn(1_000_000)))
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if got := h.Count(); got != goroutines*per {
+		t.Fatalf("count = %d, want %d", got, goroutines*per)
+	}
+}
+
+// TestHistRecordAllocFree is the ISSUE 6 acceptance check: the harness's
+// record path must not allocate, so measuring never perturbs the hub under
+// test.
+func TestHistRecordAllocFree(t *testing.T) {
+	var h Hist
+	d := 137 * time.Microsecond
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Record(d)
+	})
+	if allocs > 0.1 {
+		t.Fatalf("Record allocates %.2f allocs/op, want 0", allocs)
+	}
+}
+
+func BenchmarkHistRecord(b *testing.B) {
+	var h Hist
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		d := 42 * time.Microsecond
+		for pb.Next() {
+			h.Record(d)
+		}
+	})
+}
