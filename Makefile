@@ -13,12 +13,36 @@ SOAK_DURATION ?= 20s
 SOAK_OUT ?= BENCH_6.json
 SOAK_FLAGS ?=
 
-.PHONY: check vet build test test-framedebug bench bench-hotpath bench-smoke bench-compare fuzz-smoke cover soak
+.PHONY: check vet lint steervet staticcheck vulncheck build test test-framedebug bench bench-hotpath bench-smoke bench-compare fuzz-smoke cover soak
 
-check: vet build test test-framedebug bench-smoke
+check: vet lint build test test-framedebug bench-smoke
 
 vet:
 	$(GO) vet ./...
+
+# lint is the static-analysis gate: steervet (the in-tree go/analysis suite
+# that machine-checks the hot path's hand-maintained invariants — FrameBuf
+# refcount balance, //steer:hotpath allocation freedom, atomic-field access
+# discipline) always runs; staticcheck and govulncheck run when installed
+# (the dev container is offline, CI installs them).
+lint: steervet staticcheck vulncheck
+
+steervet:
+	$(GO) run ./cmd/steervet ./...
+
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo 'lint: staticcheck not installed, skipping (CI runs it)'; \
+	fi
+
+vulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo 'lint: govulncheck not installed, skipping (CI runs it nightly)'; \
+	fi
 
 build:
 	$(GO) build ./...

@@ -11,6 +11,12 @@
 // 1.3), the exit status reports any compared benchmark whose ns/op grew by
 // more than that factor — CI leaves it unset, because shared runners are
 // too noisy to gate on.
+//
+// A gated run refuses to pass on data it cannot actually judge: a baseline
+// benchmark missing from the fresh output, a zero or negative baseline, or
+// a NaN/Inf on either side is an error, not a silent pass — `ratio > max`
+// is false for NaN, and a malformed BENCH_*.json must not green-light a
+// regression.
 package main
 
 import (
@@ -18,6 +24,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"math"
 	"os"
 	"regexp"
 	"sort"
@@ -52,40 +60,113 @@ func parseBench(path string) (map[string]Result, error) {
 		return nil, err
 	}
 	defer f.Close()
+	out, err := parseBenchReader(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return out, nil
+}
+
+func parseBenchReader(r io.Reader) (map[string]Result, error) {
 	out := make(map[string]Result)
-	sc := bufio.NewScanner(f)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
 	for sc.Scan() {
+		line++
 		m := benchLine.FindStringSubmatch(sc.Text())
 		if m == nil {
 			continue
 		}
 		name := m[1]
-		r := out[name]
-		ns, _ := strconv.ParseFloat(m[2], 64)
-		r.NsOp += ns
+		res := out[name]
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad ns/op %q: %w", line, m[2], err)
+		}
+		res.NsOp += ns
 		if m[3] != "" {
-			b, _ := strconv.ParseFloat(m[3], 64)
-			r.BOp += b
+			b, err := strconv.ParseFloat(m[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad B/op %q: %w", line, m[3], err)
+			}
+			res.BOp += b
 		}
 		if m[4] != "" {
-			a, _ := strconv.ParseFloat(m[4], 64)
-			r.AllocsOp += a
+			a, err := strconv.ParseFloat(m[4], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad allocs/op %q: %w", line, m[4], err)
+			}
+			res.AllocsOp += a
 		}
-		r.runs++
-		out[name] = r
+		res.runs++
+		out[name] = res
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	for name, r := range out {
-		n := float64(r.runs)
-		r.NsOp /= n
-		r.BOp /= n
-		r.AllocsOp /= n
-		out[name] = r
+	for name, res := range out {
+		n := float64(res.runs)
+		res.NsOp /= n
+		res.BOp /= n
+		res.AllocsOp /= n
+		out[name] = res
 	}
 	return out, nil
+}
+
+// compare writes the comparison table to w. It returns the benchmarks whose
+// ns/op grew beyond maxRegress and — when gating (maxRegress > 0) — the
+// problems that make the gate unjudgeable: baseline benchmarks missing from
+// the fresh run, and non-finite or non-positive numbers whose ratio would
+// bypass a `> max` check.
+func compare(base Baseline, fresh map[string]Result, maxRegress float64, w io.Writer) (regressed, problems []string) {
+	gating := maxRegress > 0
+	names := make([]string, 0, len(base.Bench))
+	for name := range base.Bench {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(w, "%-55s %12s %12s %8s %10s\n", "benchmark", "base ns/op", "new ns/op", "delta", "allocs Δ")
+	compared := 0
+	for _, name := range names {
+		b := base.Bench[name]
+		n, ok := fresh[name]
+		if !ok {
+			fmt.Fprintf(w, "%-55s %12.1f %12s\n", name, b.NsOp, "(missing)")
+			if gating {
+				problems = append(problems, name+": in baseline but missing from the fresh run")
+			}
+			continue
+		}
+		if !isFinite(b.NsOp) || !isFinite(n.NsOp) || b.NsOp <= 0 || n.NsOp < 0 {
+			fmt.Fprintf(w, "%-55s %12v %12v %8s\n", name, b.NsOp, n.NsOp, "(bad)")
+			if gating {
+				problems = append(problems, fmt.Sprintf("%s: unjudgeable ns/op (base %v, new %v)", name, b.NsOp, n.NsOp))
+			}
+			continue
+		}
+		compared++
+		ratio := n.NsOp / b.NsOp
+		fmt.Fprintf(w, "%-55s %12.1f %12.1f %+7.1f%% %5.1f→%.1f\n",
+			name, b.NsOp, n.NsOp, (ratio-1)*100, b.AllocsOp, n.AllocsOp)
+		if gating && ratio > maxRegress {
+			regressed = append(regressed, name)
+		}
+	}
+	extra := 0
+	for name := range fresh {
+		if _, ok := base.Bench[name]; !ok {
+			extra++
+		}
+	}
+	fmt.Fprintf(w, "compared %d benchmarks (%d only in the fresh run)\n", compared, extra)
+	return regressed, problems
+}
+
+func isFinite(f float64) bool {
+	return !math.IsNaN(f) && !math.IsInf(f, 0)
 }
 
 func main() {
@@ -114,39 +195,14 @@ func main() {
 		os.Exit(2)
 	}
 
-	names := make([]string, 0, len(base.Bench))
-	for name := range base.Bench {
-		names = append(names, name)
+	regressed, problems := compare(base, fresh, *maxRegress, os.Stdout)
+	for _, p := range problems {
+		fmt.Fprintf(os.Stderr, "benchcompare: %s\n", p)
 	}
-	sort.Strings(names)
-
-	fmt.Printf("%-55s %12s %12s %8s %10s\n", "benchmark", "base ns/op", "new ns/op", "delta", "allocs Δ")
-	regressed := []string{}
-	compared := 0
-	for _, name := range names {
-		b := base.Bench[name]
-		n, ok := fresh[name]
-		if !ok {
-			fmt.Printf("%-55s %12.1f %12s\n", name, b.NsOp, "(missing)")
-			continue
-		}
-		compared++
-		ratio := n.NsOp / b.NsOp
-		fmt.Printf("%-55s %12.1f %12.1f %+7.1f%% %5.1f→%.1f\n",
-			name, b.NsOp, n.NsOp, (ratio-1)*100, b.AllocsOp, n.AllocsOp)
-		if *maxRegress > 0 && ratio > *maxRegress {
-			regressed = append(regressed, name)
-		}
-	}
-	extra := 0
-	for name := range fresh {
-		if _, ok := base.Bench[name]; !ok {
-			extra++
-		}
-	}
-	fmt.Printf("compared %d benchmarks (%d only in the fresh run)\n", compared, extra)
 	if len(regressed) > 0 {
 		fmt.Fprintf(os.Stderr, "benchcompare: regression beyond %.2fx: %v\n", *maxRegress, regressed)
+	}
+	if len(regressed) > 0 || len(problems) > 0 {
 		os.Exit(1)
 	}
 }

@@ -1,8 +1,11 @@
 package main
 
 import (
+	"io"
+	"math"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -36,5 +39,113 @@ PASS
 	}
 	if hot.NsOp != 980.4 || hot.AllocsOp != 0 {
 		t.Fatalf("hot path parse: %+v", hot)
+	}
+}
+
+func TestParseBenchMalformedNumberIsError(t *testing.T) {
+	_, err := parseBenchReader(strings.NewReader(
+		"BenchmarkX-8   10   12..5 ns/op\n"))
+	if err == nil {
+		t.Fatal("parseBenchReader accepted a malformed ns/op value")
+	}
+	if !strings.Contains(err.Error(), "bad ns/op") {
+		t.Errorf("error %q does not identify the bad field", err)
+	}
+}
+
+func res(ns float64) Result { return Result{NsOp: ns} }
+
+func baseline(bench map[string]Result) Baseline { return Baseline{Bench: bench} }
+
+func TestCompareMissingBenchmarkFailsGate(t *testing.T) {
+	base := baseline(map[string]Result{"BenchmarkGone": res(100)})
+	fresh := map[string]Result{"BenchmarkOther": res(100)}
+
+	regressed, problems := compare(base, fresh, 1.3, io.Discard)
+	if len(regressed) != 0 {
+		t.Errorf("regressed = %v, want none", regressed)
+	}
+	if len(problems) != 1 || !strings.Contains(problems[0], "missing") {
+		t.Fatalf("problems = %v, want one missing-benchmark problem", problems)
+	}
+
+	// Without gating, a missing benchmark is informational only.
+	if _, problems := compare(base, fresh, 0, io.Discard); len(problems) != 0 {
+		t.Errorf("ungated problems = %v, want none", problems)
+	}
+}
+
+func TestCompareZeroBaselineFailsGate(t *testing.T) {
+	base := baseline(map[string]Result{"BenchmarkZero": res(0)})
+	fresh := map[string]Result{"BenchmarkZero": res(50)}
+
+	_, problems := compare(base, fresh, 1.3, io.Discard)
+	if len(problems) != 1 || !strings.Contains(problems[0], "unjudgeable") {
+		t.Fatalf("problems = %v, want one unjudgeable-ns/op problem", problems)
+	}
+}
+
+// The original gate computed ratio = new/base and checked ratio > max; a
+// zero-vs-zero pair yields NaN, every comparison with NaN is false, and the
+// gate passed silently. It must fail instead.
+func TestCompareNaNRatioFailsGate(t *testing.T) {
+	base := baseline(map[string]Result{"BenchmarkNaN": res(0)})
+	fresh := map[string]Result{"BenchmarkNaN": res(0)}
+
+	_, problems := compare(base, fresh, 1.3, io.Discard)
+	if len(problems) != 1 {
+		t.Fatalf("problems = %v, want one (NaN ratio must not silently pass)", problems)
+	}
+}
+
+func TestCompareNonFiniteInputsFailGate(t *testing.T) {
+	for name, pair := range map[string][2]float64{
+		"nan base": {math.NaN(), 100},
+		"nan new":  {100, math.NaN()},
+		"inf base": {math.Inf(1), 100},
+		"inf new":  {100, math.Inf(1)},
+		"neg base": {-5, 100},
+		"neg new":  {100, -5},
+	} {
+		t.Run(name, func(t *testing.T) {
+			base := baseline(map[string]Result{"BenchmarkB": res(pair[0])})
+			fresh := map[string]Result{"BenchmarkB": res(pair[1])}
+			if _, problems := compare(base, fresh, 1.3, io.Discard); len(problems) != 1 {
+				t.Errorf("problems = %v, want one", problems)
+			}
+		})
+	}
+}
+
+func TestCompareFlagsRealRegression(t *testing.T) {
+	base := baseline(map[string]Result{
+		"BenchmarkFast": res(100),
+		"BenchmarkSlow": res(100),
+	})
+	fresh := map[string]Result{
+		"BenchmarkFast": res(110), // +10%: inside a 1.3x budget
+		"BenchmarkSlow": res(200), // +100%: over budget
+	}
+
+	regressed, problems := compare(base, fresh, 1.3, io.Discard)
+	if len(problems) != 0 {
+		t.Errorf("problems = %v, want none", problems)
+	}
+	if len(regressed) != 1 || regressed[0] != "BenchmarkSlow" {
+		t.Errorf("regressed = %v, want [BenchmarkSlow]", regressed)
+	}
+}
+
+func TestCompareCleanRunPasses(t *testing.T) {
+	base := baseline(map[string]Result{"BenchmarkOK": res(100)})
+	fresh := map[string]Result{"BenchmarkOK": res(90)}
+
+	var sb strings.Builder
+	regressed, problems := compare(base, fresh, 1.3, &sb)
+	if len(regressed) != 0 || len(problems) != 0 {
+		t.Fatalf("regressed = %v, problems = %v, want none", regressed, problems)
+	}
+	if !strings.Contains(sb.String(), "BenchmarkOK") {
+		t.Errorf("table output missing benchmark row:\n%s", sb.String())
 	}
 }

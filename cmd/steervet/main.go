@@ -1,0 +1,96 @@
+// steervet machine-checks the hand-maintained invariants of the broadcast
+// hot path (DESIGN.md §4.1): it loads the whole module and runs the
+// internal/analysis suite —
+//
+//	framebuflife — FrameBuf Retain/Release balance on every path,
+//	               use-after-Release, double-Release, and undocumented
+//	               ownership-transferring escapes
+//	hotpathalloc — no allocation-causing constructs or lock acquisitions in
+//	               //steer:hotpath functions and their static callees
+//	atomicfield  — a field accessed via sync/atomic anywhere is never read
+//	               or written plainly anywhere in the module
+//
+// A finding fails the build the same way a broken test does: `make lint`
+// runs steervet over ./... and exits nonzero on any diagnostic. Sanctioned
+// exceptions carry a //steer:allow comment at the finding site; see
+// internal/analysis and DESIGN.md §4.1 for the annotation vocabulary.
+//
+// Usage:
+//
+//	steervet [-run name[,name...]] [-list] [packages]
+//
+// The package arguments exist for go-vet-style invocation compatibility
+// (`steervet ./...`); analysis is always module-wide, because the invariants
+// are: a hot path spans packages and an atomic field's plain access may hide
+// anywhere.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/atomicfield"
+	"repro/internal/analysis/framebuflife"
+	"repro/internal/analysis/hotpathalloc"
+)
+
+func main() {
+	run := flag.String("run", "", "comma-separated analyzer names to run (default all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	all := []*analysis.Analyzer{
+		framebuflife.Analyzer,
+		hotpathalloc.Analyzer,
+		atomicfield.Analyzer,
+	}
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-14s %s\n", a.Name, firstLine(a.Doc))
+		}
+		return
+	}
+	selected := all
+	if *run != "" {
+		selected = nil
+		want := strings.Split(*run, ",")
+		for _, name := range want {
+			found := false
+			for _, a := range all {
+				if a.Name == strings.TrimSpace(name) {
+					selected = append(selected, a)
+					found = true
+				}
+			}
+			if !found {
+				fmt.Fprintf(os.Stderr, "steervet: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+		}
+	}
+
+	mod, err := analysis.Load()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "steervet: %v\n", err)
+		os.Exit(2)
+	}
+	diags := mod.Run(selected...)
+	for _, d := range diags {
+		pos := mod.Fset.Position(d.Pos)
+		fmt.Printf("%s: %s: %s\n", pos, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "steervet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

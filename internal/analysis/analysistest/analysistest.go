@@ -1,0 +1,109 @@
+// Package analysistest runs steervet analyzers over deliberately buggy
+// testdata packages and checks their findings against golden `// want`
+// comments, in the style of golang.org/x/tools/go/analysis/analysistest:
+//
+//	fb.Release()
+//	fb.Release() // want `double release`
+//
+// A want comment carries one or more backquoted or quoted regular
+// expressions; each must match a distinct diagnostic reported on that line,
+// every diagnostic must be claimed by a want, and every want must be
+// matched — so the golden files prove both the reports (at exact positions)
+// and the silences (allow-suppressions, //steer:owns paths).
+package analysistest
+
+import (
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// want is one expected-diagnostic pattern.
+type want struct {
+	pattern string
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wantRx extracts the quoted patterns of a want comment: `re`, "re".
+var wantRx = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// Run loads the fixture package in dir, runs the analyzers over it, and
+// reports any mismatch against the // want comments as test failures.
+func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	mod, err := analysis.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	wants := parseWants(t, mod)
+	for _, d := range mod.Run(analyzers...) {
+		pos := mod.Fset.Position(d.Pos)
+		if !claim(wants[pos.Filename][pos.Line], d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	for file, lines := range wants {
+		for line, ws := range lines {
+			for _, w := range ws {
+				if !w.matched {
+					t.Errorf("%s:%d: no diagnostic matched want %q", file, line, w.pattern)
+				}
+			}
+		}
+	}
+}
+
+// claim marks the first unmatched want whose pattern matches msg.
+func claim(ws []*want, msg string) bool {
+	for _, w := range ws {
+		if !w.matched && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// parseWants collects // want comments per file and line.
+func parseWants(t *testing.T, mod *analysis.Module) map[string]map[int][]*want {
+	t.Helper()
+	wants := make(map[string]map[int][]*want)
+	for _, pkg := range mod.Pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, "// want ")
+					if !ok {
+						continue
+					}
+					pos := mod.Fset.Position(c.Pos())
+					for _, m := range wantRx.FindAllStringSubmatch(rest, -1) {
+						pattern := m[1]
+						if pattern == "" {
+							pattern = m[2]
+						}
+						re, err := regexp.Compile(pattern)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", pos, pattern, err)
+						}
+						addWant(wants, pos, &want{pattern: pattern, re: re})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func addWant(wants map[string]map[int][]*want, pos token.Position, w *want) {
+	byLine := wants[pos.Filename]
+	if byLine == nil {
+		byLine = make(map[int][]*want)
+		wants[pos.Filename] = byLine
+	}
+	byLine[pos.Line] = append(byLine[pos.Line], w)
+}

@@ -1,0 +1,141 @@
+// Package atomicfield implements the steervet analyzer that enforces
+// atomics-only access: a struct field accessed through sync/atomic anywhere
+// in the module must never be read or written plainly anywhere else in the
+// module. This is field-granular and module-global — stricter than go
+// vet's atomic checker, which only catches self-assignment misuse — and it
+// targets the mixed-access races the -race detector only reports under the
+// right interleaving: a maintenance sweep plainly reading a counter the
+// read loop updates with atomic.Store (the shape of PR 5's pre-fix
+// observer-hijack promotion, where connection-role state was read outside
+// its synchronisation domain).
+//
+// Fields whose type is one of sync/atomic's struct types (atomic.Int64,
+// atomic.Pointer[T], ...) are safe by construction — they have no plain
+// access to catch — so the analyzer concerns itself with plain-typed fields
+// passed by address to atomic functions (atomic.AddUint64(&s.count, 1)).
+// Composite-literal keys are exempt: a constructor initialising a field
+// before the value is published is the documented safe idiom. Any other
+// plain read, write, or escaping &field is a finding; a sanctioned
+// pre-publication access carries //steer:allow atomicfield with its
+// justification.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the atomicfield pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc:  "fields accessed via sync/atomic must never be accessed plainly",
+	Run:  run,
+}
+
+// atomicUse records why a field is considered atomic.
+type atomicUse struct {
+	pos  token.Pos // first atomic access seen
+	call string    // the atomic function used there
+}
+
+func run(pass *analysis.Pass) {
+	mod := pass.Module
+
+	// Pass 1: find every field whose address is taken inside a sync/atomic
+	// call argument, and remember those sanctioned &field nodes.
+	atomicFields := make(map[*types.Var]atomicUse)
+	sanctioned := make(map[*ast.SelectorExpr]bool)
+	for _, pkg := range mod.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := analysis.FuncFor(pkg.Info, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+					return true
+				}
+				for _, arg := range call.Args {
+					sel, field := addressedField(pkg.Info, arg)
+					if field == nil {
+						continue
+					}
+					sanctioned[sel] = true
+					if _, seen := atomicFields[field]; !seen {
+						atomicFields[field] = atomicUse{pos: sel.Pos(), call: "atomic." + fn.Name()}
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+
+	// Pass 2: every other selector resolving to one of those fields is a
+	// mixed plain access.
+	for _, pkg := range mod.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || sanctioned[sel] {
+					return true
+				}
+				s, ok := pkg.Info.Selections[sel]
+				if !ok || s.Kind() != types.FieldVal {
+					return true
+				}
+				field, ok := s.Obj().(*types.Var)
+				if !ok {
+					return true
+				}
+				use, isAtomic := atomicFields[field]
+				if !isAtomic {
+					return true
+				}
+				usePos := mod.Fset.Position(use.pos)
+				pass.Reportf(sel.Pos(),
+					"plain access to field %s, which is accessed atomically via %s (%s:%d); use sync/atomic on every access or //steer:allow atomicfield a documented pre-publication access",
+					fieldName(field), use.call, usePos.Filename, usePos.Line)
+				return true
+			})
+		}
+	}
+}
+
+// addressedField matches &x.f where f resolves to a struct field, returning
+// the selector and the field object.
+func addressedField(info *types.Info, arg ast.Expr) (*ast.SelectorExpr, *types.Var) {
+	u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return nil, nil
+	}
+	sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil, nil
+	}
+	field, ok := s.Obj().(*types.Var)
+	if !ok {
+		return nil, nil
+	}
+	return sel, field
+}
+
+// fieldName renders pkg.Type.field for diagnostics when the receiver type
+// is recoverable, else pkg.field.
+func fieldName(field *types.Var) string {
+	name := field.Name()
+	if field.Pkg() != nil {
+		name = field.Pkg().Name() + "." + name
+	}
+	return name
+}

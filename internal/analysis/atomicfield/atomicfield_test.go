@@ -1,0 +1,14 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/atomicfield"
+)
+
+// testdata/mixed includes the PR 5 observer-hijack regression shape: an
+// atomically stored lease timestamp read plainly by a maintenance sweep.
+func TestAtomicfield(t *testing.T) {
+	analysistest.Run(t, "testdata/mixed", atomicfield.Analyzer)
+}

@@ -1,0 +1,55 @@
+// Package mixed seeds mixed atomic/plain access to struct fields. The
+// lastBeat shape reproduces PR 5's pre-fix observer-hijack race: the read
+// loop renews a lease timestamp with an atomic store while the maintenance
+// sweep read it plainly — a data race -race only reports under the right
+// interleaving, and a stale read promotes the wrong client to master.
+package mixed
+
+import "sync/atomic"
+
+type conn struct {
+	lastBeat int64
+	sent     uint64
+	plain    int // never touched atomically; plain access is fine
+}
+
+// beat renews the lease from the read loop.
+func (c *conn) beat(now int64) {
+	atomic.StoreInt64(&c.lastBeat, now)
+}
+
+// expired is the maintenance sweep with the pre-fix plain read.
+func (c *conn) expired(deadline int64) bool {
+	return c.lastBeat < deadline // want `plain access to field mixed\.lastBeat`
+}
+
+// expiredFixed is the post-fix control: atomic on every access, no finding.
+func (c *conn) expiredFixed(deadline int64) bool {
+	return atomic.LoadInt64(&c.lastBeat) < deadline
+}
+
+// record counts atomically...
+func (c *conn) record(n uint64) {
+	atomic.AddUint64(&c.sent, n)
+}
+
+// reset zeroes the counter plainly — a lost-update race with record.
+func (c *conn) reset() {
+	c.sent = 0 // want `plain access to field mixed\.sent`
+}
+
+// newConn initialises fields through composite-literal keys: exempt, the
+// value is pre-publication.
+func newConn(now int64) *conn {
+	return &conn{lastBeat: now, sent: 0}
+}
+
+// resetSanctioned documents a pre-publication plain write.
+func (c *conn) resetSanctioned() {
+	c.sent = 0 //steer:allow atomicfield pre-publication reset before the conn is shared
+}
+
+// bumpPlain touches the never-atomic field: no finding.
+func (c *conn) bumpPlain() {
+	c.plain++
+}

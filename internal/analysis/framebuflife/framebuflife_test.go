@@ -1,0 +1,23 @@
+package framebuflife_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/framebuflife"
+)
+
+// One deliberately buggy fixture package per rule; the golden // want
+// comments pin each finding to its exact line.
+func TestFramebuflife(t *testing.T) {
+	for _, dir := range []string{
+		"testdata/leak",
+		"testdata/doublerelease",
+		"testdata/useafter",
+		"testdata/escape",
+	} {
+		t.Run(dir, func(t *testing.T) {
+			analysistest.Run(t, dir, framebuflife.Analyzer)
+		})
+	}
+}

@@ -1,0 +1,39 @@
+// Package doublerelease seeds releases of references the function does not
+// hold: double Release, releasing a borrowed caller reference, and
+// over-consuming under //steer:consumes.
+package doublerelease
+
+import "repro/internal/core"
+
+// double releases the same owned reference twice.
+func double() {
+	fb := core.GetFrame(8)
+	fb.Release()
+	fb.Release() // want `double release`
+}
+
+// releasesBorrowed discharges a reference the caller still owns.
+func releasesBorrowed(fb *core.FrameBuf) {
+	fb.Release() // want `releases the caller's reference to fb`
+}
+
+// consumeTwice is entitled to exactly one caller reference, not two.
+//
+//steer:consumes
+func consumeTwice(fb *core.FrameBuf) {
+	fb.Release()
+	fb.Release() // want `double release`
+}
+
+// consumesOK is the control: one Release on every path under
+// //steer:consumes, no findings.
+//
+//steer:consumes
+func consumesOK(fb *core.FrameBuf, drop bool) bool {
+	if drop {
+		fb.Release()
+		return false
+	}
+	fb.Release()
+	return true
+}

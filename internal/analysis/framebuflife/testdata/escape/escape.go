@@ -1,0 +1,46 @@
+// Package escape seeds undocumented ownership transfers: buffers stored
+// beyond the function without //steer:owns on the storing API, with and
+// without a held reference.
+package escape
+
+import "repro/internal/core"
+
+type holder struct {
+	fb    *core.FrameBuf
+	stash []*core.FrameBuf
+}
+
+// storeWithoutReference parks a borrowed pointer it holds no reference
+// for — the stored buffer can be recycled under the holder.
+func (h *holder) storeWithoutReference(fb *core.FrameBuf) {
+	h.fb = fb // want `without a held reference`
+}
+
+// retainedEscape retains but the storing API is undocumented: no
+// //steer:owns declares who releases the stashed reference.
+func (h *holder) retainedEscape(fb *core.FrameBuf) {
+	fb.Retain()
+	h.fb = fb
+} // want `escapes with 1 retained reference\(s\)`
+
+// appendEscape stashes through append without a reference.
+func (h *holder) appendEscape(fb *core.FrameBuf) {
+	h.stash = append(h.stash, fb) // want `without a held reference`
+}
+
+// storeOwns is the control: the API documents the transfer, it retains what
+// it stores, no findings.
+//
+//steer:owns
+func (h *holder) storeOwns(fb *core.FrameBuf) {
+	fb.Retain()
+	h.fb = fb
+}
+
+// drop releases the owned slot; pairs with storeOwns.
+func (h *holder) drop() {
+	if h.fb != nil {
+		h.fb.Release()
+		h.fb = nil
+	}
+}

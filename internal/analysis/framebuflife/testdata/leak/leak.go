@@ -1,0 +1,63 @@
+// Package leak seeds Retain/Release imbalance: references leaked on early
+// returns, error paths, panic edges, and dropped acquisition results.
+package leak
+
+import (
+	"errors"
+
+	"repro/internal/core"
+)
+
+var errBad = errors.New("bad")
+
+// errorPathLeak forgets the Release on the validation early-return.
+func errorPathLeak(n int) error {
+	fb := core.GetFrame(64)
+	if n < 0 {
+		return errBad // want `path leaks 1 reference\(s\) to fb`
+	}
+	fb.Release()
+	return nil
+}
+
+// retainOnErrorPath retains a borrowed buffer and forgets the matching
+// Release on the failure branch.
+func retainOnErrorPath(fb *core.FrameBuf, fail bool) error {
+	fb.Retain()
+	if fail {
+		return errBad // want `holding 1 extra reference\(s\) to borrowed fb`
+	}
+	fb.Release()
+	return nil
+}
+
+// fallOffLeak retains and never releases on the fall-off exit.
+func fallOffLeak(fb *core.FrameBuf) {
+	fb.Retain()
+} // want `holding 1 extra reference\(s\) to borrowed fb`
+
+// panicLeak loses the reference on the explicit panic edge.
+func panicLeak(n int) {
+	fb := core.GetFrame(8)
+	if n > 1000 {
+		panic("implausible sample size") // want `panic path leaks 1 reference\(s\) to fb`
+	}
+	_ = fb.Bytes()
+	fb.Release()
+}
+
+// droppedResult discards the owned reference GetFrame returns.
+func droppedResult() {
+	core.GetFrame(8) // want `owned \*FrameBuf reference but is dropped`
+}
+
+// balanced is the control: release on every path, no findings.
+func balanced(n int) error {
+	fb := core.GetFrame(64)
+	if n < 0 {
+		fb.Release()
+		return errBad
+	}
+	defer fb.Release()
+	return nil
+}

@@ -1,0 +1,46 @@
+// Package useafter seeds touches of a buffer after its last held reference
+// was released — the recycled-buffer read the framedebug poisoner only
+// catches when a test walks the path at runtime.
+package useafter
+
+import "repro/internal/core"
+
+// useAfterRelease reads the buffer after giving its reference back.
+func useAfterRelease() int {
+	fb := core.GetFrame(8)
+	fb.Release()
+	return len(fb.Bytes()) // want `use of fb after its last reference was released`
+}
+
+// returnAfterRelease hands the caller a buffer that may already be back in
+// the pool.
+func returnAfterRelease() *core.FrameBuf {
+	fb := core.GetFrame(8)
+	fb.Release()
+	return fb // want `returns fb after its last reference was released`
+}
+
+// retainAfterRelease resurrects a reference from a dead buffer.
+func retainAfterRelease() {
+	fb := core.GetFrame(8)
+	fb.Release()
+	fb.Retain() // want `Retain of fb after its last reference was released`
+	fb.Release()
+}
+
+// consumedThenUsed touches the buffer after discharging the caller's
+// reference in a //steer:consumes function.
+//
+//steer:consumes
+func consumedThenUsed(fb *core.FrameBuf) int {
+	fb.Release()
+	return len(fb.Bytes()) // want `use of fb after its last reference was released`
+}
+
+// useBeforeRelease is the control: read first, release last, no findings.
+func useBeforeRelease() int {
+	fb := core.GetFrame(8)
+	n := len(fb.Bytes())
+	fb.Release()
+	return n
+}

@@ -1,0 +1,385 @@
+// Package hotpathalloc implements the steervet analyzer that keeps the
+// steady-state broadcast path allocation- and lock-free at compile time.
+// Functions annotated //steer:hotpath, and every same-module function
+// statically reachable from one, may not contain allocation-causing
+// constructs or acquire a sync.Mutex/RWMutex. This turns the
+// testing.AllocsPerRun guards of BenchmarkBroadcastHotPath into reports
+// with exact positions: the benchmark tells you the budget regressed,
+// the analyzer tells you which line did it.
+//
+// Flagged constructs:
+//
+//   - map and slice composite literals, and pointer composites &T{} (value
+//     struct/array composites are stack values and pass)
+//   - make and new
+//   - func literals (closure allocation) and go statements
+//   - append whose result is not assigned back to its own first argument —
+//     self-append into a reusable scratch slice amortises to zero, anything
+//     else may grow into a fresh backing array
+//   - string concatenation and string<->[]byte/[]rune conversions
+//   - any call into package fmt
+//   - interface boxing of non-pointer values (assignments, call arguments,
+//     returns into interface-typed slots)
+//   - Lock/RLock on sync.Mutex or sync.RWMutex
+//
+// Propagation follows static same-module calls only. Interface method calls
+// are the propagation boundary — implementations on the hot path carry
+// their own //steer:hotpath. //steer:coldpath on a callee stops descent
+// (the annotation documents why the call is off the steady-state path), and
+// //steer:allow hotpathalloc sanctions an individual construct (a cold
+// pool-refill branch proven amortised-zero by the benchmarks).
+package hotpathalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the hotpathalloc pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "//steer:hotpath functions and their static callees must not allocate or lock",
+	Run:  run,
+}
+
+// fnDecl pairs a function's type object with its syntax and package.
+type fnDecl struct {
+	fn   *types.Func
+	decl *ast.FuncDecl
+	pkg  *analysis.Package
+}
+
+func run(pass *analysis.Pass) {
+	mod := pass.Module
+
+	// Index every function declaration in the module.
+	decls := make(map[*types.Func]fnDecl)
+	var roots []*types.Func
+	for _, pkg := range mod.Pkgs {
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				decls[fn] = fnDecl{fn: fn, decl: fd, pkg: pkg}
+				if mod.AnnotationOf(fn).Hotpath {
+					roots = append(roots, fn)
+				}
+			}
+		}
+	}
+
+	// BFS from the hotpath roots across static same-module calls, remembering
+	// how each function was reached for the diagnostic chain.
+	via := make(map[*types.Func]string)
+	queue := make([]*types.Func, 0, len(roots))
+	for _, fn := range roots {
+		via[fn] = ""
+		queue = append(queue, fn)
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		fd, ok := decls[fn]
+		if !ok {
+			continue
+		}
+		chain := analysis.FuncName(fn)
+		if via[fn] != "" {
+			chain = via[fn] + " → " + chain
+		}
+		checkBody(pass, fd, chain)
+		ast.Inspect(fd.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := analysis.FuncFor(fd.pkg.Info, call)
+			if callee == nil || analysis.IsInterfaceMethod(callee) {
+				return true
+			}
+			if _, inModule := decls[callee]; !inModule {
+				return true
+			}
+			if mod.AnnotationOf(callee).Coldpath {
+				return true
+			}
+			if _, seen := via[callee]; !seen {
+				via[callee] = chain
+				queue = append(queue, callee)
+			}
+			return true
+		})
+	}
+}
+
+// checkBody reports every allocation-causing construct and lock acquisition
+// in one reached function body.
+func checkBody(pass *analysis.Pass, fd fnDecl, chain string) {
+	info := fd.pkg.Info
+	report := func(pos token.Pos, what string) {
+		pass.Reportf(pos, "%s in hot path %s", what, chain)
+	}
+	selfAppends := collectSelfAppends(info, fd.decl.Body)
+	ast.Inspect(fd.decl.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CompositeLit:
+			switch info.Types[e].Type.Underlying().(type) {
+			case *types.Map:
+				report(e.Pos(), "map literal allocates")
+			case *types.Slice:
+				report(e.Pos(), "slice literal allocates")
+			}
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				if _, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
+					report(e.Pos(), "pointer composite literal allocates")
+				}
+			}
+		case *ast.FuncLit:
+			report(e.Pos(), "func literal allocates a closure")
+			return false // the closure body runs off this path
+		case *ast.GoStmt:
+			report(e.Pos(), "go statement spawns a goroutine")
+		case *ast.BinaryExpr:
+			if e.Op == token.ADD && isString(info.Types[e.X].Type) {
+				report(e.Pos(), "string concatenation allocates")
+			}
+		case *ast.AssignStmt:
+			if len(e.Lhs) == len(e.Rhs) {
+				for i, rhs := range e.Rhs {
+					if lt := info.Types[e.Lhs[i]].Type; lt != nil {
+						checkConvert(info, rhs, lt, report)
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for _, name := range e.Names {
+				if obj := info.Defs[name]; obj != nil {
+					for _, v := range e.Values {
+						checkConvert(info, v, obj.Type(), report)
+					}
+				}
+				break // all names share the spec's declared type
+			}
+		case *ast.ReturnStmt:
+			checkReturns(info, fd.fn, e, report)
+		case *ast.SendStmt:
+			ch, ok := info.Types[e.Chan].Type.Underlying().(*types.Chan)
+			if ok {
+				checkConvert(info, e.Value, ch.Elem(), report)
+			}
+		case *ast.CallExpr:
+			checkCall(info, e, selfAppends, report)
+		}
+		return true
+	})
+}
+
+// collectSelfAppends returns the append calls assigned back into their own
+// first argument (x = append(x, ...)): reusable-scratch appends that
+// amortise to zero allocation and are accepted on the hot path.
+func collectSelfAppends(info *types.Info, body *ast.BlockStmt) map[*ast.CallExpr]bool {
+	accepted := make(map[*ast.CallExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		a, ok := n.(*ast.AssignStmt)
+		if !ok || len(a.Lhs) != len(a.Rhs) {
+			return true
+		}
+		for i, rhs := range a.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || !isBuiltin(info, call, "append") || len(call.Args) == 0 {
+				continue
+			}
+			if types.ExprString(a.Lhs[i]) == types.ExprString(call.Args[0]) {
+				accepted[call] = true
+			}
+		}
+		return true
+	})
+	return accepted
+}
+
+// checkReturns flags interface boxing through return values.
+func checkReturns(info *types.Info, fn *types.Func, r *ast.ReturnStmt, report func(token.Pos, string)) {
+	sig := fn.Type().(*types.Signature)
+	if sig.Results().Len() != len(r.Results) {
+		return // naked return or tuple-forwarding: nothing convertible here
+	}
+	for i, res := range r.Results {
+		checkConvert(info, res, sig.Results().At(i).Type(), report)
+	}
+}
+
+// checkCall flags make/new, cross-append, fmt calls, mutex acquisition,
+// string conversions, and boxing through call arguments.
+func checkCall(info *types.Info, call *ast.CallExpr, selfAppends map[*ast.CallExpr]bool, report func(token.Pos, string)) {
+	// Builtins.
+	switch {
+	case isBuiltin(info, call, "make"):
+		report(call.Pos(), "make allocates")
+		return
+	case isBuiltin(info, call, "new"):
+		report(call.Pos(), "new allocates")
+		return
+	case isBuiltin(info, call, "append"):
+		if !selfAppends[call] {
+			report(call.Pos(), "append may grow its backing array")
+		}
+		return
+	}
+
+	// Remaining builtins (panic, len, copy, ...): panic is terminal — a
+	// panicking path already left the steady state — and none of the others
+	// box their operands.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, ok := info.Uses[id].(*types.Builtin); ok {
+			return
+		}
+	}
+
+	// Conversions: string <-> []byte/[]rune copies.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to := tv.Type
+		from := info.Types[call.Args[0]].Type
+		if from != nil && stringBytesConversion(from, to) {
+			report(call.Pos(), "string conversion allocates")
+		}
+		return
+	}
+
+	fn := analysis.FuncFor(info, call)
+	if fn != nil && fn.Pkg() != nil {
+		if fn.Pkg().Path() == "fmt" {
+			report(call.Pos(), "fmt."+fn.Name()+" allocates")
+			return
+		}
+		if isMutexAcquire(fn) {
+			report(call.Pos(), "acquires sync."+recvTypeName(fn)+"."+fn.Name())
+			return
+		}
+	}
+
+	// Boxing through parameters.
+	sig := signatureOf(info, call)
+	if sig == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		if sig.Variadic() && i >= sig.Params().Len()-1 {
+			if call.Ellipsis.IsValid() {
+				pt = sig.Params().At(sig.Params().Len() - 1).Type()
+			} else if s, ok := sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		} else if i < sig.Params().Len() {
+			pt = sig.Params().At(i).Type()
+		}
+		if pt != nil {
+			checkConvert(info, arg, pt, report)
+		}
+	}
+}
+
+// checkConvert reports interface boxing when expr's concrete non-pointer
+// value converts to an interface-typed slot.
+func checkConvert(info *types.Info, expr ast.Expr, to types.Type, report func(token.Pos, string)) {
+	if to == nil || !types.IsInterface(to.Underlying()) {
+		return
+	}
+	tv, ok := info.Types[expr]
+	if !ok || tv.Type == nil {
+		return
+	}
+	from := tv.Type
+	if tv.IsNil() || types.IsInterface(from.Underlying()) {
+		return
+	}
+	switch from.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return // pointer-shaped: no box
+	}
+	report(expr.Pos(), "interface boxing of non-pointer "+from.String()+" allocates")
+}
+
+// isBuiltin reports whether the call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// isMutexAcquire reports whether fn is (RW)Mutex.Lock/RLock from package sync.
+func isMutexAcquire(fn *types.Func) bool {
+	if fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	if fn.Name() != "Lock" && fn.Name() != "RLock" {
+		return false
+	}
+	n := recvTypeName(fn)
+	return n == "Mutex" || n == "RWMutex"
+}
+
+// recvTypeName returns the bare receiver type name of a method, or "".
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// signatureOf returns the called signature for boxing checks, nil for
+// builtins and conversions.
+func signatureOf(info *types.Info, call *ast.CallExpr) *types.Signature {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// isString reports whether t's underlying type is string.
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// stringBytesConversion reports whether from→to is a copying string
+// conversion ([]byte/[]rune <-> string).
+func stringBytesConversion(from, to types.Type) bool {
+	return (isString(from) && isByteOrRuneSlice(to)) || (isByteOrRuneSlice(from) && isString(to))
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

@@ -1,0 +1,19 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/hotpathalloc"
+)
+
+func TestHotpathalloc(t *testing.T) {
+	for _, dir := range []string{
+		"testdata/alloc",
+		"testdata/lock",
+	} {
+		t.Run(dir, func(t *testing.T) {
+			analysistest.Run(t, dir, hotpathalloc.Analyzer)
+		})
+	}
+}

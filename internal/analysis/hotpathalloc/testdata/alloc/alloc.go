@@ -1,0 +1,59 @@
+// Package alloc seeds allocation-causing constructs in //steer:hotpath
+// functions and their transitive same-module callees.
+package alloc
+
+import "fmt"
+
+// stats is a hot counter sink.
+type stats struct {
+	names []string
+	total int
+}
+
+// hotAlloc is a hot-path root stuffed with steady-state allocations.
+//
+//steer:hotpath
+func hotAlloc(s *stats, name string, vals []int) {
+	buf := make([]int, len(vals)) // want `make allocates`
+	copy(buf, vals)
+	m := map[string]int{name: 1} // want `map literal allocates`
+	_ = m
+	pair := []string{name, name}    // want `slice literal allocates`
+	_ = pair                        //
+	s.names = append(s.names, name) // self-append: accepted
+	other := append(s.names, name)  // want `append may grow its backing array`
+	_ = other                       //
+	tag := name + "!"               // want `string concatenation allocates`
+	_ = tag                         //
+	fn := func() { s.total++ }      // want `func literal allocates a closure`
+	fn()                            //
+	go helper(s)                    // want `go statement spawns a goroutine`
+	helper(s)                       // transitive descent: findings land in helper
+	coldHelper(s)                   // //steer:coldpath: not descended
+	fmt.Println(s.total)            // want `fmt\.Println allocates`
+	var sink any = s.total          // want `interface boxing of non-pointer int`
+	_ = sink                        //
+	raw := []byte(name)             // want `string conversion allocates`
+	_ = raw                         //
+	//steer:allow hotpathalloc cold branch proven amortised-zero by benchmarks
+	sanctioned := make([]int, 4)
+	_ = sanctioned
+}
+
+// helper is reached transitively from hotAlloc.
+func helper(s *stats) {
+	s.names = make([]string, 0, 4) // want `make allocates`
+}
+
+// coldHelper is asserted off the steady-state path; its allocations are not
+// findings.
+//
+//steer:coldpath
+func coldHelper(s *stats) {
+	s.names = make([]string, 0, 4)
+}
+
+// notHot is unannotated and unreachable from any root: allocations are fine.
+func notHot() []int {
+	return make([]int, 8)
+}

@@ -1,0 +1,44 @@
+// Package lock seeds mutex acquisitions on the hot path.
+package lock
+
+import "sync"
+
+type table struct {
+	mu  sync.Mutex
+	rw  sync.RWMutex
+	val int
+}
+
+// hotLock takes a mutex on a hot-path root.
+//
+//steer:hotpath
+func hotLock(t *table) int {
+	t.mu.Lock() // want `acquires sync\.Mutex\.Lock`
+	v := t.val
+	t.mu.Unlock()
+	return v
+}
+
+// hotRLock takes the read side of an RWMutex, transitively.
+//
+//steer:hotpath
+func hotRLock(t *table) int {
+	return readLocked(t)
+}
+
+func readLocked(t *table) int {
+	t.rw.RLock() // want `acquires sync\.RWMutex\.RLock`
+	v := t.val
+	t.rw.RUnlock()
+	return v
+}
+
+// sanctionedLock documents why its mutex is acceptable.
+//
+//steer:hotpath
+func sanctionedLock(t *table) int {
+	t.mu.Lock() //steer:allow hotpathalloc per-shard mutex, never contended in steady state
+	v := t.val
+	t.mu.Unlock()
+	return v
+}

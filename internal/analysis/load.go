@@ -1,0 +1,244 @@
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The loader type-checks the repository without the go command or a module
+// proxy: module-internal import paths resolve against the module root by
+// directory, everything else falls through to go/importer's source importer,
+// which type-checks the standard library from GOROOT sources. That keeps the
+// whole suite runnable in a stdlib-only, network-less environment — the same
+// constraint cmd/benchcompare lives under.
+
+// Load locates the enclosing module from the working directory and loads
+// every package in it (testdata and hidden directories excluded, test files
+// excluded — deliberate-violation fixtures live in _test.go files and
+// testdata packages).
+func Load() (*Module, error) {
+	wd, err := os.Getwd()
+	if err != nil {
+		return nil, err
+	}
+	root, path, err := findModule(wd)
+	if err != nil {
+		return nil, err
+	}
+	return LoadRoot(root, path)
+}
+
+// LoadRoot loads every package under the module root.
+func LoadRoot(root, modPath string) (*Module, error) {
+	l := newLoader(root, modPath)
+	var dirs []string
+	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, p)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		path := modPath
+		if rel != "." {
+			path = modPath + "/" + filepath.ToSlash(rel)
+		}
+		if _, err := l.importModulePkg(path, dir); err != nil {
+			var noGo *build.NoGoError
+			if errors.As(err, &noGo) {
+				continue
+			}
+			return nil, err
+		}
+	}
+	return l.module(), nil
+}
+
+// LoadDir loads the single package in dir (a testdata fixture) plus its
+// dependencies; only that package carries syntax in the returned module.
+// The enclosing repository's module path still resolves, so fixtures may
+// import the real core package.
+func LoadDir(dir string) (*Module, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root, modPath, err := findModule(abs)
+	if err != nil {
+		return nil, err
+	}
+	l := newLoader(root, modPath)
+	rel, err := filepath.Rel(root, abs)
+	if err != nil {
+		return nil, err
+	}
+	path := modPath + "/" + filepath.ToSlash(rel)
+	if _, err := l.importModulePkg(path, abs); err != nil {
+		return nil, err
+	}
+	m := l.module()
+	// Only the fixture package is the analysis subject.
+	var subject []*Package
+	for _, p := range m.Pkgs {
+		if p.Path == path {
+			subject = append(subject, p)
+		}
+	}
+	m.Pkgs = subject
+	return m, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root and path.
+func findModule(dir string) (root, path string, err error) {
+	for d := dir; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module line", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+type loader struct {
+	fset    *token.FileSet
+	root    string
+	modPath string
+	ctxt    build.Context
+	std     types.ImporterFrom
+	pkgs    map[string]*Package
+	loading map[string]bool
+	order   []string
+}
+
+func newLoader(root, modPath string) *loader {
+	// The source importer type-checks dependencies from GOROOT sources and
+	// reads build.Default directly; cgo variants cannot be type-checked from
+	// source, so force the pure-Go file sets everywhere (package net et al
+	// have complete pure-Go implementations).
+	build.Default.CgoEnabled = false
+	l := &loader{
+		fset:    token.NewFileSet(),
+		root:    root,
+		modPath: modPath,
+		ctxt:    build.Default,
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+	l.std = importer.ForCompiler(l.fset, "source", nil).(types.ImporterFrom)
+	return l
+}
+
+func (l *loader) module() *Module {
+	m := &Module{Path: l.modPath, Root: l.root, Fset: l.fset}
+	for _, path := range l.order {
+		m.Pkgs = append(m.Pkgs, l.pkgs[path])
+	}
+	return m
+}
+
+// Import implements types.Importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.root, 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-internal paths load from
+// the module tree, the rest from GOROOT sources.
+func (l *loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if rel, ok := l.moduleRel(path); ok {
+		return l.importModulePkg(path, filepath.Join(l.root, filepath.FromSlash(rel)))
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}
+
+// moduleRel maps a module-internal import path to its root-relative
+// directory.
+func (l *loader) moduleRel(path string) (string, bool) {
+	if path == l.modPath {
+		return ".", true
+	}
+	if rest, ok := strings.CutPrefix(path, l.modPath+"/"); ok {
+		return rest, true
+	}
+	return "", false
+}
+
+// importModulePkg parses and type-checks one module directory, memoized.
+func (l *loader) importModulePkg(path, dir string) (*types.Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p.Types, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	bp, err := l.ctxt.ImportDir(dir, 0)
+	if err != nil {
+		return nil, err
+	}
+	files := make([]*ast.File, 0, len(bp.GoFiles))
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	cfg := types.Config{Importer: l}
+	tpkg, err := cfg.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	l.pkgs[path] = &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	l.order = append(l.order, path)
+	return tpkg, nil
+}

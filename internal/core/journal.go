@@ -55,6 +55,11 @@ const (
 // frame is seen exactly once by an attaching client: in the replay, or in
 // its live queue — never both.
 type JournalSink interface {
+	// Record appends one broadcast frame. The sink takes shared ownership:
+	// it retains the references it stores (mirror, pending disk batch) and
+	// releases them from its own maintenance path.
+	//
+	//steer:owns
 	Record(class JournalClass, frame *FrameBuf)
 	Replay(visit func(class JournalClass, frame []byte) bool)
 }

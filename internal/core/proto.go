@@ -243,6 +243,7 @@ func frameCount(e *envelope) (int, error) {
 		return 1, nil
 	case msgWelcome:
 		if e.Welcome == nil {
+			//steer:allow hotpathalloc malformed-envelope error path aborts the broadcast before any fan-out
 			return 0, fmt.Errorf("%w: welcome without payload", errMalformed)
 		}
 		n := 1 + 3 + 1 // strings + param group + floor advertisement
@@ -252,6 +253,7 @@ func frameCount(e *envelope) (int, error) {
 		return n, nil
 	case msgSample:
 		if e.Sample == nil {
+			//steer:allow hotpathalloc malformed-envelope error path aborts the broadcast before any fan-out
 			return 0, fmt.Errorf("%w: sample without payload", errMalformed)
 		}
 		return 2 + len(e.Sample.Channels), nil
@@ -261,12 +263,14 @@ func frameCount(e *envelope) (int, error) {
 		return 3, nil
 	case msgSetView, msgViewUpdate:
 		if e.View == nil {
+			//steer:allow hotpathalloc malformed-envelope error path aborts the broadcast before any fan-out
 			return 0, fmt.Errorf("%w: view message without view", errMalformed)
 		}
 		return 3, nil
 	case msgCommand, msgRequestMaster, msgReleaseMaster, msgHeartbeat, msgDetach:
 		return 0, nil
 	default:
+		//steer:allow hotpathalloc malformed-envelope error path aborts the broadcast before any fan-out
 		return 0, fmt.Errorf("%w: type %d", errMalformed, e.Type)
 	}
 }
@@ -318,18 +322,18 @@ func encodeEnvelope(buf []byte, e *envelope) ([]byte, error) {
 			aux = int64(e.Ack.Code)
 		}
 	}
-	buf = wire.AppendInt64s(buf, tagHeader, []int64{
+	buf = wire.AppendInt64s(buf, tagHeader, []int64{ //steer:allow hotpathalloc non-escaping literal the compiler stack-allocates; BenchmarkBroadcastHotPath proves 0 allocs/op
 		int64(version), int64(e.Type), int64(e.Seq), flags, aux, int64(nframes),
 	})
 
 	switch e.Type {
-	case msgAttach:
+	case msgAttach: //steer:allow hotpathalloc control-plane case; the steady-state sample path takes msgSample
 		a := e.Attach
 		if a == nil {
 			a = &attachMsg{}
 		}
 		buf = wire.AppendStrings(buf, tagStrs, []string{a.Name, a.Session})
-	case msgWelcome:
+	case msgWelcome: //steer:allow hotpathalloc control-plane case; the steady-state sample path takes msgSample
 		w := e.Welcome
 		buf = wire.AppendStrings(buf, tagStrs, []string{w.SessionName, w.AppName, w.ClientName, w.Master})
 		buf = appendParams(buf, w.Params)
@@ -345,11 +349,11 @@ func encodeEnvelope(buf []byte, e *envelope) ([]byte, error) {
 		buf = appendParams(buf, e.Params)
 	case msgSetView, msgViewUpdate:
 		buf = appendView(buf, e.View)
-	case msgHandoffMaster, msgMasterChanged:
+	case msgHandoffMaster, msgMasterChanged: //steer:allow hotpathalloc control-plane case; the steady-state sample path takes msgSample
 		buf = wire.AppendStrings(buf, tagStrs, []string{e.Target})
-	case msgEvent:
+	case msgEvent: //steer:allow hotpathalloc control-plane case; the steady-state sample path takes msgSample
 		buf = wire.AppendStrings(buf, tagStrs, []string{e.Event})
-	case msgAck:
+	case msgAck: //steer:allow hotpathalloc control-plane case; the steady-state sample path takes msgSample
 		msg := ""
 		if e.Ack != nil {
 			msg = e.Ack.Err
@@ -360,6 +364,8 @@ func encodeEnvelope(buf []byte, e *envelope) ([]byte, error) {
 }
 
 // appendParams emits the three-frame parameter group.
+//
+//steer:coldpath control-plane encode (welcome/param-update), never on the sample path
 func appendParams(buf []byte, params []Param) []byte {
 	n := len(params)
 	meta := make([]int64, 0, 4*n)
@@ -421,6 +427,8 @@ func parseParams(meta []int64, nums []float64, strs []string) ([]Param, error) {
 }
 
 // appendSets emits the three-frame assignment group of a SetParams batch.
+//
+//steer:coldpath control-plane encode (set-param), never on the sample path
 func appendSets(buf []byte, sets []ParamSet) []byte {
 	n := len(sets)
 	meta := make([]int64, 0, 2*n)
@@ -455,6 +463,8 @@ func parseSets(meta []int64, nums []float64, strs []string) ([]ParamSet, error) 
 }
 
 // appendView emits the three-frame view group.
+//
+//steer:coldpath control-plane encode (view update), never on the sample path
 func appendView(buf []byte, v *ViewState) []byte {
 	keys := make([]string, 0, len(v.VizParams))
 	for k := range v.VizParams {
@@ -513,6 +523,7 @@ func appendSample(buf []byte, s *Sample) []byte {
 	var nameScratch [sampleScratchChans]string
 	names := nameScratch[:0]
 	if len(s.Channels) > len(nameScratch) {
+		//steer:allow hotpathalloc oversized-sample cold branch; <= sampleScratchChans channels stay on the stack
 		names = make([]string, 0, len(s.Channels))
 	}
 	for k := range s.Channels {
@@ -522,6 +533,7 @@ func appendSample(buf []byte, s *Sample) []byte {
 	var metaScratch [2 + 3*sampleScratchChans]int64
 	meta := metaScratch[:0]
 	if len(names) > sampleScratchChans {
+		//steer:allow hotpathalloc oversized-sample cold branch; <= sampleScratchChans channels stay on the stack
 		meta = make([]int64, 0, 2+3*len(names))
 	}
 	meta = append(meta, s.Step, int64(len(names)))
@@ -775,20 +787,6 @@ func (c *codec) write(e *envelope, timeout time.Duration) error {
 	return c.bw.Flush()
 }
 
-// writeBytes sends one pre-encoded envelope.
-func (c *codec) writeBytes(buf []byte, timeout time.Duration) error {
-	c.wmu.Lock()
-	defer c.wmu.Unlock()
-	if timeout > 0 {
-		c.conn.SetWriteDeadline(time.Now().Add(timeout))
-		defer c.conn.SetWriteDeadline(time.Time{})
-	}
-	if _, err := c.bw.Write(buf); err != nil {
-		return err
-	}
-	return c.bw.Flush()
-}
-
 // writeBatch sends several pre-encoded envelopes under one lock acquisition
 // and one deadline, flushing once at the end: the unit of work of a pooled
 // writer.
@@ -796,7 +794,7 @@ func (c *codec) writeBatch(batch [][]byte, timeout time.Duration) error {
 	if len(batch) == 0 {
 		return nil
 	}
-	c.wmu.Lock()
+	c.wmu.Lock() //steer:allow hotpathalloc per-connection write mutex serialises this client's batches; never session-wide
 	defer c.wmu.Unlock()
 	return c.writeBatchLocked(batch, timeout)
 }

@@ -47,8 +47,11 @@ func (r *frameRing) next(i int) int {
 // overwritten and released (the frame that arrived first is the one a slow
 // client can best afford to lose). It reports whether it evicted. Pushes on
 // a closed ring are discarded.
+//
+//steer:hotpath
+//steer:owns
 func (r *frameRing) push(fb *FrameBuf) (evicted bool) {
-	r.mu.Lock()
+	r.mu.Lock() //steer:allow hotpathalloc per-ring mutex, never contended with s.mu; held O(1) slot ops only (DESIGN.md §4.1)
 	if r.closed {
 		r.mu.Unlock()
 		return false
@@ -76,8 +79,11 @@ func (r *frameRing) push(fb *FrameBuf) (evicted bool) {
 // no-eviction variant the pre-welcome control path uses, where an overflow
 // must stash rather than lose a frame. It reports whether the frame was
 // queued; a closed ring reports true (discard, like push).
+//
+//steer:hotpath
+//steer:owns
 func (r *frameRing) tryPush(fb *FrameBuf) bool {
-	r.mu.Lock()
+	r.mu.Lock() //steer:allow hotpathalloc per-ring mutex, never contended with s.mu; held O(1) slot ops only (DESIGN.md §4.1)
 	if r.closed {
 		r.mu.Unlock()
 		return true
@@ -97,8 +103,10 @@ func (r *frameRing) tryPush(fb *FrameBuf) bool {
 // drainInto pops frames in FIFO order, appending to dst until it holds max
 // entries (max <= 0 drains everything). Slot references transfer to the
 // caller.
+//
+//steer:hotpath
 func (r *frameRing) drainInto(dst []*FrameBuf, max int) []*FrameBuf {
-	r.mu.Lock()
+	r.mu.Lock() //steer:allow hotpathalloc per-ring mutex, never contended with s.mu; held O(1) slot ops only (DESIGN.md §4.1)
 	for r.n > 0 && (max <= 0 || len(dst) < max) {
 		dst = append(dst, r.buf[r.tail])
 		r.buf[r.tail] = nil
@@ -111,7 +119,7 @@ func (r *frameRing) drainInto(dst []*FrameBuf, max int) []*FrameBuf {
 
 // length returns the live count.
 func (r *frameRing) length() int {
-	r.mu.Lock()
+	r.mu.Lock() //steer:allow hotpathalloc per-ring mutex, never contended with s.mu; held O(1) slot ops only (DESIGN.md §4.1)
 	n := r.n
 	r.mu.Unlock()
 	return n

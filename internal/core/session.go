@@ -183,6 +183,8 @@ type clientConn struct {
 
 // markGone declares the client dead exactly once; the read loop and any
 // writer observing gone will unwind and drop the client.
+//
+//steer:coldpath client teardown, runs once per connection death
 func (cc *clientConn) markGone() {
 	cc.goneOnce.Do(func() { close(cc.gone) })
 }
@@ -193,8 +195,11 @@ const maxCtrlStash = 16384
 
 // stashCtrl stores one pre-welcome overflow frame (retaining it), reporting
 // false when the stash bound is exhausted or the client already dropped.
+// Stashed references are released by takeStash's consumer or dropStash.
+//
+//steer:owns
 func (cc *clientConn) stashCtrl(fb *FrameBuf) bool {
-	cc.stashMu.Lock()
+	cc.stashMu.Lock() //steer:allow hotpathalloc pre-welcome overflow only; per-client mutex guarding the stash slice
 	defer cc.stashMu.Unlock()
 	if cc.stashClosed || len(cc.stash) >= maxCtrlStash {
 		return false
@@ -208,7 +213,7 @@ func (cc *clientConn) stashCtrl(fb *FrameBuf) bool {
 // later pre-welcome frames must also stash (not re-enter the ctrl queue)
 // or the backlog drain would reorder them.
 func (cc *clientConn) stashPending() bool {
-	cc.stashMu.Lock()
+	cc.stashMu.Lock() //steer:allow hotpathalloc pre-welcome overflow only; per-client mutex guarding the stash slice
 	defer cc.stashMu.Unlock()
 	return len(cc.stash) > 0
 }
@@ -890,10 +895,13 @@ func (s *Session) broadcastControl(e *envelope) {
 // of the same refcounted buffer — durability never re-encodes, and the
 // buffer cannot return to the pool before the journal's fsync batch
 // flushes (the sink retains it).
+//
+//steer:hotpath
+//steer:consumes
 func (s *Session) fanout(class JournalClass, fb *FrameBuf, ctrl bool) bool {
 	journaled := s.cfg.Journal != nil
 	if journaled {
-		s.attachMu.RLock()
+		s.attachMu.RLock() //steer:allow hotpathalloc shared side of the attach barrier, journaled sessions only; writers are rare attach/detach events
 		if s.closing.Load() {
 			s.attachMu.RUnlock()
 			fb.Release()
@@ -977,6 +985,8 @@ func (s *Session) notifyWriter(cc *clientConn) {
 // not disturb the simulation progress", and a client that falls behind sees
 // the most recent samples rather than a stale prefix (dropping newest would
 // strand a client on pre-migration data across a compute handoff).
+//
+//steer:hotpath
 func (s *Session) broadcastSample(sample *Sample) {
 	if s.closing.Load() {
 		return // see broadcastControl: a dying session delivers nothing

@@ -73,6 +73,8 @@ func (h *ClientHandle) ClearScheduled() { h.scheduled.Store(false) }
 // Callers must serialise DrainBatch per handle — the MarkScheduled /
 // ClearScheduled edge trigger schedulers already use gives exactly that —
 // because the drain scratch is reused across calls.
+//
+//steer:hotpath
 func (h *ClientHandle) DrainBatch(max int, timeout time.Duration) (int, bool, error) {
 	cc := h.cc
 	select {

@@ -58,6 +58,7 @@ func (p *writerPool) ClientReady(h *core.ClientHandle) {
 	default:
 		// Dirty queue full (more live clients than capacity): hand the
 		// signal to a goroutine so the emitter still never blocks.
+		//steer:allow hotpathalloc overflow fallback only; sized dirty queues make this branch unreachable in steady state
 		go func() {
 			select {
 			case p.dirty <- h:
@@ -87,6 +88,8 @@ func (p *writerPool) run() {
 // drain writes one batch for the client, then re-arms its edge trigger. The
 // clear-then-recheck order guarantees an enqueue racing with the batch is
 // rescheduled rather than lost.
+//
+//steer:hotpath
 func (p *writerPool) drain(h *core.ClientHandle) {
 	_, more, err := h.DrainBatch(p.batch, p.timeout)
 	h.ClearScheduled()

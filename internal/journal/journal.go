@@ -241,6 +241,9 @@ func (j *Journal) SetSnapshot(fn func() [][]byte) {
 // pending disk batch, and the on-disk framing happens on the maintenance
 // path. Without a Syncer the maintenance (write, fsync, compaction) runs
 // inline before returning.
+//
+//steer:hotpath
+//steer:owns
 func (j *Journal) Record(class core.JournalClass, fb *core.FrameBuf) {
 	switch class {
 	case core.JournalState, core.JournalEvent, core.JournalSample:
@@ -248,7 +251,7 @@ func (j *Journal) Record(class core.JournalClass, fb *core.FrameBuf) {
 		return
 	}
 	frame := fb.Bytes()
-	j.mu.Lock()
+	j.mu.Lock() //steer:allow hotpathalloc journal tap mutex; held for slice appends only, disk I/O is under iomu on the maintenance path
 	if j.closed {
 		j.mu.Unlock()
 		return
@@ -316,6 +319,12 @@ func (j *Journal) Replay(visit func(class core.JournalClass, frame []byte) bool)
 // dropped mid-handoff. The batch's buffer references are released only
 // after the write (and fsync) lands: until then the broadcast buffers
 // cannot return to the frame pool.
+//
+// Ref handoff: the stolen batch carries the references Record retained for
+// it; flushTappedLocked releases them after the blob is durable.
+//
+//steer:coldpath
+//steer:owns
 func (j *Journal) Maintain() {
 	j.notified.Store(false)
 	j.iomu.Lock()
@@ -342,6 +351,8 @@ func (j *Journal) Maintain() {
 // flushTappedLocked frames a stolen batch into the scratch blob, writes it
 // (fsyncing per Options.Fsync inside writeBlobLocked) and releases the
 // batch references. Caller holds iomu.
+//
+//steer:owns
 func (j *Journal) flushTappedLocked(tapped []record) {
 	blob := j.blobScratch[:0]
 	for i := range tapped {
@@ -368,6 +379,12 @@ const maxBlobScratch = 4 << 20
 // of a fresh segment, after which every older segment is deleted — a crash
 // between the write and the deletes loses nothing, recovery discards
 // pre-barrier records anyway.
+//
+// Ref handoff: the mirror references Record retained for evicted records
+// are released here, once the folded segment is durable.
+//
+//steer:coldpath
+//steer:owns
 func (j *Journal) Compact() {
 	j.iomu.Lock()
 	defer j.iomu.Unlock()

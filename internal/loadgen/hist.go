@@ -62,6 +62,8 @@ func bucketUpper(idx int) int64 {
 // Record adds one observation. Negative durations clamp to zero (a clock
 // step mid-measurement must not corrupt the table). The path is
 // allocation-free; TestHistRecordAllocFree enforces that.
+//
+//steer:hotpath
 func (h *Hist) Record(d time.Duration) {
 	v := uint64(0)
 	if d > 0 {

@@ -311,7 +311,7 @@ func (r *runner) attachCounted(ctx context.Context, opts core.AttachOptions) (*c
 	t0 := time.Now()
 	c, err := r.dialAttach(ctx, opts)
 	if err != nil {
-		if ctx.Err() == nil {
+		if ctx.Err() == nil && !deadlineTimeout(ctx, err) {
 			r.ct.attachErrs.Add(1)
 		}
 		return nil, err
@@ -319,6 +319,25 @@ func (r *runner) attachCounted(ctx context.Context, opts core.AttachOptions) (*c
 	r.attach.Record(time.Since(t0))
 	r.ct.attaches.Add(1)
 	return c, nil
+}
+
+// deadlineTimeout reports whether err is a timeout attributable to ctx's
+// deadline having arrived. ctx.Err() alone is not a reliable witness: the
+// socket deadline the dial and handshake derive from ctx fires on the
+// netpoller's clock, while context.WithTimeout flips its state only when
+// its own timer goroutine runs — under load (notably -race) the latter can
+// lag by tens of milliseconds, so a deadline-caused i/o timeout surfaces
+// while ctx.Err() still reads nil.
+func deadlineTimeout(ctx context.Context, err error) bool {
+	d, ok := ctx.Deadline()
+	if !ok || time.Now().Before(d) {
+		return false
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, os.ErrDeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 // steerer is the session's master: it attaches WantMaster, closes masterUp,
