@@ -12,8 +12,16 @@ SOAK_CLIENTS ?= 64
 SOAK_DURATION ?= 20s
 SOAK_OUT ?= BENCH_6.json
 SOAK_FLAGS ?=
+# Observer-tier soak shape: ISSUE 8's interest-management scenario — one
+# steering session, a 4k observer fleet of which 1% subscribed to the live
+# echo channel, coalesced observer-tier delivery.
+SOAK_OBS_CLIENTS ?= 4096
+SOAK_OBS_INTEREST ?= 0.01
+SOAK_OBS_DURATION ?= 20s
+SOAK_OBS_OUT ?= bench-soak-observer.json
+SOAK_OBS_FLAGS ?=
 
-.PHONY: check vet lint steervet staticcheck vulncheck build test test-framedebug bench bench-hotpath bench-smoke bench-compare fuzz-smoke cover soak
+.PHONY: check vet lint steervet staticcheck vulncheck build test test-framedebug bench bench-hotpath bench-smoke bench-compare fuzz-smoke cover soak soak-observer
 
 check: vet lint build test test-framedebug bench-smoke
 
@@ -82,19 +90,26 @@ bench-smoke:
 	@out=$$($(GO) test -run '^$$' -list 'Benchmark(JournalAppend|CatchupReplay)' ./internal/journal); \
 	echo "$$out" | grep -q BenchmarkJournalAppend && echo "$$out" | grep -q BenchmarkCatchupReplay \
 		|| { echo 'bench-smoke: journal benchmarks missing'; exit 1; }
-	@out=$$($(GO) test -run '^$$' -list 'Benchmark(BroadcastHotPath|BroadcastContention)' ./internal/core); \
+	@out=$$($(GO) test -run '^$$' -list 'Benchmark(BroadcastHotPath|BroadcastContention|BroadcastInterest)' ./internal/core); \
 	echo "$$out" | grep -q BenchmarkBroadcastHotPath && echo "$$out" | grep -q 'BenchmarkBroadcastContention$$' \
 		&& echo "$$out" | grep -q BenchmarkBroadcastContention1k \
+		&& echo "$$out" | grep -q 'BenchmarkBroadcastInterest$$' \
 		|| { echo 'bench-smoke: broadcast hot-path benchmarks missing'; exit 1; }
 
-# bench-compare re-measures the benchmarks recorded in BENCH_4.json and
-# prints a benchstat-style delta table against that committed baseline
-# (cmd/benchcompare is the stdlib-only comparator). Informational by
+# bench-compare re-measures the benchmarks recorded in the committed
+# baselines and prints benchstat-style delta tables (cmd/benchcompare is
+# the stdlib-only comparator): the fan-out/broadcast suite against
+# BENCH_4.json, then the interest-management suite against BENCH_8.json
+# (-filter because BENCH_8.json also carries the observer-soak latency
+# keys, which only `make soak-observer` can re-measure). Informational by
 # default; set BENCHCOMPARE_FLAGS='-max-regress 1.3' to gate.
 bench-compare:
 	$(GO) test -run '^$$' -bench 'HubFanout|SessionFanoutBaseline' -benchmem -count $(BENCHCOUNT) . > bench-new.txt
 	$(GO) test -run '^$$' -bench 'BroadcastHotPath|BroadcastContention' -benchmem -count $(BENCHCOUNT) ./internal/core >> bench-new.txt
 	$(GO) run ./cmd/benchcompare -baseline BENCH_4.json -new bench-new.txt $(BENCHCOMPARE_FLAGS) | tee bench-compare.txt
+	$(GO) test -run '^$$' -bench 'BroadcastInterest' -benchmem -count $(BENCHCOUNT) ./internal/core > bench-interest.txt
+	$(GO) run ./cmd/benchcompare -baseline BENCH_8.json -new bench-interest.txt \
+		-filter '^BenchmarkBroadcastInterest/' $(BENCHCOMPARE_FLAGS) | tee -a bench-compare.txt
 
 # fuzz-smoke gives the protocol fuzz targets a short exploration budget
 # (the seed corpora already run as plain tests in `make test`). All targets
@@ -115,3 +130,14 @@ fuzz-smoke:
 soak:
 	$(GO) run ./cmd/steerload -sessions $(SOAK_SESSIONS) -clients $(SOAK_CLIENTS) \
 		-duration $(SOAK_DURATION) -churn -floor -journal -out $(SOAK_OUT) $(SOAK_FLAGS)
+
+# soak-observer is the interest-management soak from ISSUE 8: one steered
+# session with a 4096-observer fleet at the observer tier, 1% of it
+# subscribed to the live echo channel. The steer→observe p99 it records is
+# the end-to-end cost of coalesced relay delivery under a fan-out two
+# orders past the steering tier's. Gate against the committed baseline with
+# SOAK_OBS_FLAGS='-baseline BENCH_8.json -max-regress 3'.
+soak-observer:
+	$(GO) run ./cmd/steerload -sessions 1 -clients $(SOAK_OBS_CLIENTS) \
+		-duration $(SOAK_OBS_DURATION) -observer-tier -observer-interest $(SOAK_OBS_INTEREST) \
+		-out $(SOAK_OBS_OUT) $(SOAK_OBS_FLAGS)

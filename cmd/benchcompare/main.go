@@ -10,7 +10,10 @@
 // only one side are listed but not compared. With -max-regress set (e.g.
 // 1.3), the exit status reports any compared benchmark whose ns/op grew by
 // more than that factor — CI leaves it unset, because shared runners are
-// too noisy to gate on.
+// too noisy to gate on. -filter restricts the comparison to baseline keys
+// matching a regexp: BENCH_8.json mixes `go test -bench` keys with
+// steerload soak keys, and a bench-only run must not trip the
+// missing-from-fresh check on the soak half.
 //
 // A gated run refuses to pass on data it cannot actually judge: a baseline
 // benchmark missing from the fresh output, a zero or negative baseline, or
@@ -120,10 +123,13 @@ func parseBenchReader(r io.Reader) (map[string]Result, error) {
 // problems that make the gate unjudgeable: baseline benchmarks missing from
 // the fresh run, and non-finite or non-positive numbers whose ratio would
 // bypass a `> max` check.
-func compare(base Baseline, fresh map[string]Result, maxRegress float64, w io.Writer) (regressed, problems []string) {
+func compare(base Baseline, fresh map[string]Result, maxRegress float64, filter *regexp.Regexp, w io.Writer) (regressed, problems []string) {
 	gating := maxRegress > 0
 	names := make([]string, 0, len(base.Bench))
 	for name := range base.Bench {
+		if filter != nil && !filter.MatchString(name) {
+			continue
+		}
 		names = append(names, name)
 	}
 	sort.Strings(names)
@@ -173,10 +179,19 @@ func main() {
 	baselinePath := flag.String("baseline", "BENCH_4.json", "committed JSON baseline")
 	newPath := flag.String("new", "", "fresh `go test -bench` output (text)")
 	maxRegress := flag.Float64("max-regress", 0, "fail if ns/op grew by more than this factor (0 = report only)")
+	filterExpr := flag.String("filter", "", "regexp restricting which baseline keys are compared (empty = all)")
 	flag.Parse()
 	if *newPath == "" {
 		fmt.Fprintln(os.Stderr, "benchcompare: -new is required")
 		os.Exit(2)
+	}
+	var filter *regexp.Regexp
+	if *filterExpr != "" {
+		var err error
+		if filter, err = regexp.Compile(*filterExpr); err != nil {
+			fmt.Fprintf(os.Stderr, "benchcompare: bad -filter: %v\n", err)
+			os.Exit(2)
+		}
 	}
 
 	raw, err := os.ReadFile(*baselinePath)
@@ -195,7 +210,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	regressed, problems := compare(base, fresh, *maxRegress, os.Stdout)
+	regressed, problems := compare(base, fresh, *maxRegress, filter, os.Stdout)
 	for _, p := range problems {
 		fmt.Fprintf(os.Stderr, "benchcompare: %s\n", p)
 	}

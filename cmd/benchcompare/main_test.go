@@ -5,6 +5,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -61,7 +62,7 @@ func TestCompareMissingBenchmarkFailsGate(t *testing.T) {
 	base := baseline(map[string]Result{"BenchmarkGone": res(100)})
 	fresh := map[string]Result{"BenchmarkOther": res(100)}
 
-	regressed, problems := compare(base, fresh, 1.3, io.Discard)
+	regressed, problems := compare(base, fresh, 1.3, nil, io.Discard)
 	if len(regressed) != 0 {
 		t.Errorf("regressed = %v, want none", regressed)
 	}
@@ -70,7 +71,7 @@ func TestCompareMissingBenchmarkFailsGate(t *testing.T) {
 	}
 
 	// Without gating, a missing benchmark is informational only.
-	if _, problems := compare(base, fresh, 0, io.Discard); len(problems) != 0 {
+	if _, problems := compare(base, fresh, 0, nil, io.Discard); len(problems) != 0 {
 		t.Errorf("ungated problems = %v, want none", problems)
 	}
 }
@@ -79,7 +80,7 @@ func TestCompareZeroBaselineFailsGate(t *testing.T) {
 	base := baseline(map[string]Result{"BenchmarkZero": res(0)})
 	fresh := map[string]Result{"BenchmarkZero": res(50)}
 
-	_, problems := compare(base, fresh, 1.3, io.Discard)
+	_, problems := compare(base, fresh, 1.3, nil, io.Discard)
 	if len(problems) != 1 || !strings.Contains(problems[0], "unjudgeable") {
 		t.Fatalf("problems = %v, want one unjudgeable-ns/op problem", problems)
 	}
@@ -92,7 +93,7 @@ func TestCompareNaNRatioFailsGate(t *testing.T) {
 	base := baseline(map[string]Result{"BenchmarkNaN": res(0)})
 	fresh := map[string]Result{"BenchmarkNaN": res(0)}
 
-	_, problems := compare(base, fresh, 1.3, io.Discard)
+	_, problems := compare(base, fresh, 1.3, nil, io.Discard)
 	if len(problems) != 1 {
 		t.Fatalf("problems = %v, want one (NaN ratio must not silently pass)", problems)
 	}
@@ -110,7 +111,7 @@ func TestCompareNonFiniteInputsFailGate(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			base := baseline(map[string]Result{"BenchmarkB": res(pair[0])})
 			fresh := map[string]Result{"BenchmarkB": res(pair[1])}
-			if _, problems := compare(base, fresh, 1.3, io.Discard); len(problems) != 1 {
+			if _, problems := compare(base, fresh, 1.3, nil, io.Discard); len(problems) != 1 {
 				t.Errorf("problems = %v, want one", problems)
 			}
 		})
@@ -127,7 +128,7 @@ func TestCompareFlagsRealRegression(t *testing.T) {
 		"BenchmarkSlow": res(200), // +100%: over budget
 	}
 
-	regressed, problems := compare(base, fresh, 1.3, io.Discard)
+	regressed, problems := compare(base, fresh, 1.3, nil, io.Discard)
 	if len(problems) != 0 {
 		t.Errorf("problems = %v, want none", problems)
 	}
@@ -136,12 +137,46 @@ func TestCompareFlagsRealRegression(t *testing.T) {
 	}
 }
 
+// A -filter regexp must hide non-matching baseline keys entirely: a gated
+// bench-only run against BENCH_8.json would otherwise fail on the steerload
+// soak keys it cannot re-measure.
+func TestCompareFilterExcludesBaselineKeys(t *testing.T) {
+	base := baseline(map[string]Result{
+		"BenchmarkBroadcastInterest/observers=1000/mode=obs-1pct": res(100),
+		"LoadSteerObserve/p99": res(5000),
+	})
+	fresh := map[string]Result{
+		"BenchmarkBroadcastInterest/observers=1000/mode=obs-1pct": res(105),
+	}
+
+	filter := mustCompile(t, "^BenchmarkBroadcastInterest/")
+	regressed, problems := compare(base, fresh, 1.3, filter, io.Discard)
+	if len(regressed) != 0 || len(problems) != 0 {
+		t.Fatalf("regressed = %v, problems = %v, want none (Load key filtered out)", regressed, problems)
+	}
+
+	// Without the filter the soak key is missing from the fresh run and
+	// the gate must refuse to pass.
+	if _, problems := compare(base, fresh, 1.3, nil, io.Discard); len(problems) != 1 {
+		t.Errorf("unfiltered problems = %v, want one missing-benchmark problem", problems)
+	}
+}
+
+func mustCompile(t *testing.T, expr string) *regexp.Regexp {
+	t.Helper()
+	re, err := regexp.Compile(expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return re
+}
+
 func TestCompareCleanRunPasses(t *testing.T) {
 	base := baseline(map[string]Result{"BenchmarkOK": res(100)})
 	fresh := map[string]Result{"BenchmarkOK": res(90)}
 
 	var sb strings.Builder
-	regressed, problems := compare(base, fresh, 1.3, &sb)
+	regressed, problems := compare(base, fresh, 1.3, nil, &sb)
 	if len(regressed) != 0 || len(problems) != 0 {
 		t.Fatalf("regressed = %v, problems = %v, want none", regressed, problems)
 	}

@@ -10,6 +10,7 @@
 //	steerd [-http :8090] [-steer :8091] [-lattice 16] [-sessions 1] [-shards 0]
 //	       [-journal-dir DIR] [-journal-fsync]
 //	       [-floor-policy fifo|priority|steal] [-master-lease 10s]
+//	       [-fanout-workers 0] [-observer-interval 25ms]
 //
 // With the default -sessions 1 the daemon behaves exactly like the classic
 // single-session steerd: one session named "steerd-lb3d" that clients may
@@ -29,6 +30,12 @@
 // -master-lease bounds how long a silent master keeps the floor: a wedged
 // or partitioned steering client loses it within 1.25× the lease and the
 // next queued requester is granted it. 0 disables lease expiry.
+//
+// -fanout-workers sizes the per-session observer-tier relay pool (0 picks
+// min(4, GOMAXPROCS)) and -observer-interval sets the observer coalescing
+// cadence: observers receive freshest-wins sample batches on this interval
+// instead of every frame (0 keeps the 25ms default, negative flushes
+// immediately).
 //
 // Then, e.g.:
 //
@@ -63,6 +70,8 @@ func main() {
 	journalFsync := flag.Bool("journal-fsync", false, "fsync batched journal flushes")
 	floorPolicyFlag := flag.String("floor-policy", "fifo", "master floor arbitration: fifo, priority or steal")
 	masterLease := flag.Duration("master-lease", 10*time.Second, "master lease; a master silent this long loses the floor (0 disables)")
+	fanoutWorkers := flag.Int("fanout-workers", 0, "observer-tier relay workers per session (0 = auto, negative = 1)")
+	observerInterval := flag.Duration("observer-interval", 0, "observer coalescing interval (0 = default 25ms, negative = flush immediately)")
 	flag.Parse()
 	if *sessions < 1 {
 		log.Fatal("steerd: -sessions must be >= 1")
@@ -74,7 +83,10 @@ func main() {
 
 	h := hub.New(hub.Config{
 		Shards: *shards, JournalDir: *journalDir, JournalFsync: *journalFsync,
-		SessionDefaults: core.SessionConfig{FloorPolicy: floorPolicy, MasterLease: *masterLease},
+		SessionDefaults: core.SessionConfig{
+			FloorPolicy: floorPolicy, MasterLease: *masterLease,
+			FanoutWorkers: *fanoutWorkers, ObserverInterval: *observerInterval,
+		},
 	})
 	defer h.Close()
 	hosting := ogsi.NewHosting()
@@ -196,6 +208,8 @@ func main() {
 		stats.Sessions, stats.Clients, stats.SamplesEmitted, stats.SamplesDelivered, stats.SamplesDropped)
 	fmt.Printf("steerd: floor activity: %d grants, %d denials, %d lease expiries, %d steals, %d handoffs, %d pending\n",
 		stats.FloorGrants, stats.FloorDenials, stats.FloorExpiries, stats.FloorSteals, stats.FloorHandoffs, stats.FloorPending)
+	fmt.Printf("steerd: delivery tiers: %d steerers, %d observers, %d frames filtered, %d relay publishes, %d coalesced\n",
+		stats.TierSteerers, stats.TierObservers, stats.FramesFiltered, stats.RelayPublished, stats.RelayCoalesced)
 	for _, name := range h.SessionNames() {
 		if s, ok := h.Lookup(name); ok {
 			s.QueueStop()

@@ -11,6 +11,16 @@
 //	steerload -sessions 4 -clients 64 -duration 20s -churn -floor -journal \
 //	          -out BENCH_6.json
 //
+// With -observer-tier (local mode) the observer crowd attaches at
+// core.TierObserver behind interest subscriptions — an -observer-interest
+// fraction of it subscribed to the live echo channel, the rest to a channel
+// that never fires — which is the `make soak-observer` / BENCH_8.json shape
+// (1 steerer × 4096 observers at 1% interest); the fleet's attaches ramp
+// over the first third of the run:
+//
+//	steerload -sessions 1 -clients 4096 -duration 20s -observer-tier \
+//	          -observer-interest 0.01 -baseline BENCH_8.json
+//
 // Pointed at a live steerd it drives that instead; without the echo
 // application the steer→observe distribution is empty, and the control-RTT,
 // attach and floor histograms carry the result:
@@ -56,6 +66,10 @@ func main() {
 	flag.BoolVar(&sc.Churn, "churn", false, "cycle two clients per session through attach/detach (journal replay floods when -journal)")
 	flag.BoolVar(&sc.Floor, "floor", false, "run two floor contenders per session against the held floor")
 	flag.BoolVar(&sc.Journal, "journal", false, "journal in-process sessions in a temp dir (late joins replay history)")
+	flag.BoolVar(&sc.ObserverTier, "observer-tier", false, "attach observers at the observer tier with interest subscriptions (local mode)")
+	flag.Float64Var(&sc.ObserverInterest, "observer-interest", 0.01, "fraction of observers subscribed to the live echo channel")
+	flag.DurationVar(&sc.ObserverInterval, "observer-interval", 0, "session observer coalescing interval (0 = core default, negative = immediate)")
+	flag.IntVar(&sc.FanoutWorkers, "fanout-workers", 0, "session relay workers (0 = auto)")
 	sessionNames := flag.String("session-names", "", "comma-separated session names to drive (remote mode; default derives steerd's naming)")
 	flag.StringVar(&sc.Param, "param", "", `steered parameter in remote mode (default "miscibility-g")`)
 	flag.Float64Var(&sc.ParamMin, "param-min", 0, "steered parameter range low (remote mode)")

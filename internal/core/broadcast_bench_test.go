@@ -169,11 +169,112 @@ func BenchmarkBroadcastContention1k(b *testing.B) {
 	}
 }
 
+// benchInterestSession builds a session with n admitted observers at the
+// given tier: an interest fraction of them subscribed to the emitted "phi"
+// channel, the rest to a channel that never appears. Admission goes through
+// admitLocked with one snapshot rebuild at the end, so a 100k fleet costs
+// O(n), not O(n²).
+func benchInterestSession(tb testing.TB, n int, interest float64, tier Tier) (*Session, *Steered) {
+	tb.Helper()
+	s := NewSession(SessionConfig{
+		Name: "interest", SampleQueue: 64,
+		Writer:           &inlineWriter{batch: 64, timeout: time.Second},
+		ObserverInterval: -1, // flush immediately: no ticker noise under the benchmark
+	})
+	interested := int(float64(n) * interest)
+	if interested < 1 {
+		interested = 1
+	}
+	s.mu.Lock()
+	for i := 0; i < n; i++ {
+		subs := []Subscription{ChannelSub("phi")}
+		if i >= interested {
+			subs = []Subscription{ChannelSub("cold")}
+		}
+		cc, err := s.admitLocked(&attachMsg{
+			Name: fmt.Sprintf("o%06d", i), Tier: tier, Subs: subs,
+		}, newCodec(discardConn{}))
+		if err != nil {
+			s.mu.Unlock()
+			tb.Fatal(err)
+		}
+		cc.welcomed.Store(true)
+	}
+	s.rebuildClientsLocked()
+	s.mu.Unlock()
+	return s, s.Steered()
+}
+
+// BenchmarkBroadcastInterest extends BenchmarkBroadcastContention1k across
+// the interest-management tentpole: the same emission measured against a
+// subscribe-all steering-tier audience (the session walks every ring
+// inline — the pre-PR-8 shape) and against an observer-tier audience at 1%
+// interest (the session hands the frame to the relay workers and moves on).
+// The steering mode's ns/op grows linearly with the audience; the observer
+// mode's must stay roughly flat — the session goroutine pays O(workers),
+// not O(observers) — and both must hold 0 allocs/op.
+func BenchmarkBroadcastInterest(b *testing.B) {
+	for _, n := range []int{1_000, 10_000, 100_000} {
+		for _, mode := range []struct {
+			name     string
+			tier     Tier
+			interest float64
+		}{
+			{"steer-all", TierSteering, 1.0},
+			{"obs-1pct", TierObserver, 0.01},
+		} {
+			b.Run(fmt.Sprintf("observers=%d/mode=%s", n, mode.name), func(b *testing.B) {
+				s, st := benchInterestSession(b, n, mode.interest, mode.tier)
+				defer s.Close()
+				sample := hotPathSample()
+				for i := 0; i < 32; i++ {
+					st.Emit(sample) // warm the pool, the keys scratch and the rings
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					st.Emit(sample)
+				}
+			})
+		}
+	}
+}
+
+// TestBroadcastInterestAllocFree pins the observer-tier emission to the
+// same zero-alloc invariant as the steering hot path: publishing a frame to
+// the relay workers — interest keys included — must not allocate in steady
+// state. The warmup must exceed relayQueue: frames park in the worker's
+// input ring until it is full, and only then does every further publish
+// recycle an evicted frame through the pool.
+func TestBroadcastInterestAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race mode drops sync.Pool puts; zero-alloc holds only without -race")
+	}
+	s, st := benchInterestSession(t, 1024, 0.01, TierObserver)
+	defer s.Close()
+	sample := hotPathSample()
+	for i := 0; i < 2*relayQueue; i++ {
+		st.Emit(sample)
+	}
+	avg := testing.AllocsPerRun(500, func() {
+		st.Emit(sample)
+	})
+	if avg > 0.1 {
+		t.Fatalf("observer-tier broadcast allocates %.3f allocs/op, want ~0", avg)
+	}
+	if st.s.Stats().RelayPublished == 0 {
+		t.Fatal("relay published nothing — observer fan-out never engaged")
+	}
+}
+
 // TestBroadcastContention1kAllocFree extends the PR 4 zero-alloc invariant
 // to the 1k-observer case: fan-out cost may scale with the audience, but
 // allocation must not — the pooled buffers and ring queues hold at three
 // orders of magnitude too.
 func TestBroadcastContention1kAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race mode drops sync.Pool puts; zero-alloc holds only without -race")
+	}
 	s, st := benchBroadcastSession(t, 1024)
 	defer s.Close()
 	sample := hotPathSample()
@@ -194,6 +295,9 @@ func TestBroadcastContention1kAllocFree(t *testing.T) {
 // allocations. The small tolerance absorbs sync.Pool refills after the GC
 // cycles AllocsPerRun forces.
 func TestBroadcastHotPathAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race mode drops sync.Pool puts; zero-alloc holds only without -race")
+	}
 	s, st := benchBroadcastSession(t, 4)
 	defer s.Close()
 	sample := hotPathSample()

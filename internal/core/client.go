@@ -27,6 +27,10 @@ type Client struct {
 	// the welcome; a non-zero lease starts the heartbeat loop.
 	lease  time.Duration
 	policy FloorPolicy
+	// tier and observerEvery are the welcome's delivery advertisement: the
+	// granted tier and the observer coalescing interval (<= 0 = immediate).
+	tier          Tier
+	observerEvery time.Duration
 	// floorReason explains the most recent master change.
 	floorReason FloorReason
 	// floorSeq is the transition number the master field reflects; a
@@ -82,12 +86,37 @@ type AttachOptions struct {
 	// (that is what the lease is for; disable only to simulate a wedged
 	// client).
 	HeartbeatInterval time.Duration
+	// Tier selects the delivery tier (v4). The zero value, TierSteering,
+	// delivers every frame inline; TierObserver delivers coalesced
+	// freshest-wins batches on the session's observer interval.
+	Tier Tier
+	// Subscriptions is the initial interest set (v4); empty means
+	// subscribe-all. Param selectors are validated against the session's
+	// registry at attach — an unknown name rejects the attach with
+	// ErrUnknownParam. Subscribe/Unsubscribe adjust the set later.
+	Subscriptions []Subscription
+	// ReplayPolicy selects how much journal history to replay at attach
+	// (v4): everything (the zero value), events only, or none.
+	ReplayPolicy ReplayPolicy
 }
 
-// Attach performs the protocol v2 handshake and starts the client's read
-// loop. See AttachContext for cancellation.
+// Attach performs the handshake without a context; a thin wrapper kept so
+// pre-context callers still compile. New code should call AttachContext —
+// every option, including cancellation, lives there.
 func Attach(conn net.Conn, opts AttachOptions) (*Client, error) {
 	return AttachContext(context.Background(), conn, opts)
+}
+
+// Dial connects to addr over TCP and attaches under ctx: the functional
+// entry point for the common case, one options struct end to end. The
+// context bounds both the dial and the handshake.
+func Dial(ctx context.Context, addr string, opts AttachOptions) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return AttachContext(ctx, conn, opts)
 }
 
 // AttachContext performs the handshake under ctx: cancellation or deadline
@@ -173,6 +202,7 @@ func AttachContext(ctx context.Context, conn net.Conn, opts AttachOptions) (*Cli
 		Attach: &attachMsg{
 			Name: opts.Name, WantMaster: opts.WantMaster,
 			Session: opts.Session, Priority: opts.Priority,
+			Tier: opts.Tier, Replay: opts.ReplayPolicy, Subs: opts.Subscriptions,
 		},
 	}, 0); err != nil {
 		conn.Close()
@@ -198,6 +228,8 @@ func AttachContext(ctx context.Context, conn net.Conn, opts AttachOptions) (*Cli
 		c.lease = time.Duration(w.LeaseMillis) * time.Millisecond
 		c.policy = w.Policy
 		c.floorSeq = w.FloorSeq
+		c.tier = w.Tier
+		c.observerEvery = time.Duration(w.ObserverMillis) * time.Millisecond
 		for _, p := range w.Params {
 			c.params[p.Name] = p
 		}
@@ -288,6 +320,46 @@ func (c *Client) Master() string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.master
+}
+
+// Tier returns the delivery tier the session granted at attach.
+func (c *Client) Tier() Tier {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tier
+}
+
+// ObserverInterval returns the session's advertised observer coalescing
+// interval (<= 0 means observer frames flush immediately).
+func (c *Client) ObserverInterval() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.observerEvery
+}
+
+// Subscribe adds selectors to this client's interest set. The first
+// selective subscription for a kind (channel or parameter) narrows that
+// kind from subscribe-all to exactly the named set; later calls accumulate.
+// Unknown parameter names are rejected with ErrUnknownParam; channel names
+// are not validated (channels are whatever the application emits).
+func (c *Client) Subscribe(ctx context.Context, subs ...Subscription) error {
+	_, err := c.requestAckCtx(ctx, &envelope{Type: msgSubscribe, Subs: subs})
+	return err
+}
+
+// Unsubscribe removes selectors from the interest set. Removing from a
+// kind still at subscribe-all is a no-op; with no selectors at all it
+// clears both kinds to interested-in-nothing.
+func (c *Client) Unsubscribe(ctx context.Context, subs ...Subscription) error {
+	_, err := c.requestAckCtx(ctx, &envelope{Type: msgUnsubscribe, Subs: subs})
+	return err
+}
+
+// SubscribeAll resets the interest set to subscribe-all for both kinds,
+// undoing every narrowing Subscribe.
+func (c *Client) SubscribeAll(ctx context.Context) error {
+	_, err := c.requestAckCtx(ctx, &envelope{Type: msgSubscribe, SubAll: true})
+	return err
 }
 
 // Params returns the last known parameter table.
@@ -497,17 +569,34 @@ func (c *Client) requestAckCtx(ctx context.Context, e *envelope) (*ackMsg, error
 	}
 }
 
+// requestCtx is the error-only form of requestAckCtx, for callers that do
+// not branch on the positive ack.
+func (c *Client) requestCtx(ctx context.Context, e *envelope) error {
+	_, err := c.requestAckCtx(ctx, e)
+	return err
+}
+
 // SetValue submits a typed steering assignment; only the master succeeds.
 // The value is validated against the parameter's registered type and bounds
 // and applied at the simulation's next poll. Rejections carry typed errors:
 // ErrNotMaster, ErrUnknownParam, ErrBadValue.
+//
+// New code should prefer the context form, SetValueContext.
 func (c *Client) SetValue(name string, value Value, timeout time.Duration) error {
 	return c.SetParams([]ParamSet{{Name: name, Value: value}}, timeout)
+}
+
+// SetValueContext is SetValue bounded by a context instead of a fixed
+// timeout.
+func (c *Client) SetValueContext(ctx context.Context, name string, value Value) error {
+	return c.SetParamsContext(ctx, []ParamSet{{Name: name, Value: value}})
 }
 
 // SetParams submits a batch of steering assignments in one envelope with
 // one round trip. The batch is atomic: the session validates every
 // assignment before queueing any, so a rejected batch changes nothing.
+//
+// New code should prefer the context form, SetParamsContext.
 func (c *Client) SetParams(sets []ParamSet, timeout time.Duration) error {
 	if len(sets) == 0 {
 		return nil
@@ -515,10 +604,27 @@ func (c *Client) SetParams(sets []ParamSet, timeout time.Duration) error {
 	return c.request(&envelope{Type: msgSetParam, Sets: sets}, timeout)
 }
 
+// SetParamsContext is SetParams bounded by a context instead of a fixed
+// timeout.
+func (c *Client) SetParamsContext(ctx context.Context, sets []ParamSet) error {
+	if len(sets) == 0 {
+		return nil
+	}
+	return c.requestCtx(ctx, &envelope{Type: msgSetParam, Sets: sets})
+}
+
 // SetParam submits a float steering assignment; the float convenience form
 // of SetValue.
+//
+// New code should prefer the context form, SetParamContext.
 func (c *Client) SetParam(name string, value float64, timeout time.Duration) error {
 	return c.SetValue(name, FloatValue(value), timeout)
+}
+
+// SetParamContext is SetParam bounded by a context instead of a fixed
+// timeout.
+func (c *Client) SetParamContext(ctx context.Context, name string, value float64) error {
+	return c.SetValueContext(ctx, name, FloatValue(value))
 }
 
 // SetInt submits an integer steering assignment.
@@ -537,28 +643,65 @@ func (c *Client) SetString(name, value string, timeout time.Duration) error {
 }
 
 // Pause asks the simulation to pause at its next poll (master only).
+//
+// New code should prefer the context form, PauseContext.
 func (c *Client) Pause(timeout time.Duration) error {
 	return c.request(&envelope{Type: msgCommand, Command: cmdPause}, timeout)
 }
 
+// PauseContext is Pause bounded by a context instead of a fixed timeout.
+func (c *Client) PauseContext(ctx context.Context) error {
+	return c.requestCtx(ctx, &envelope{Type: msgCommand, Command: cmdPause})
+}
+
 // Resume releases a paused simulation (master only).
+//
+// New code should prefer the context form, ResumeContext.
 func (c *Client) Resume(timeout time.Duration) error {
 	return c.request(&envelope{Type: msgCommand, Command: cmdResume}, timeout)
 }
 
+// ResumeContext is Resume bounded by a context instead of a fixed timeout.
+func (c *Client) ResumeContext(ctx context.Context) error {
+	return c.requestCtx(ctx, &envelope{Type: msgCommand, Command: cmdResume})
+}
+
 // Stop asks the simulation to terminate cleanly (master only).
+//
+// New code should prefer the context form, StopContext.
 func (c *Client) Stop(timeout time.Duration) error {
 	return c.request(&envelope{Type: msgCommand, Command: cmdStop}, timeout)
 }
 
+// StopContext is Stop bounded by a context instead of a fixed timeout.
+func (c *Client) StopContext(ctx context.Context) error {
+	return c.requestCtx(ctx, &envelope{Type: msgCommand, Command: cmdStop})
+}
+
 // Checkpoint asks the simulation to write a checkpoint (master only).
+//
+// New code should prefer the context form, CheckpointContext.
 func (c *Client) Checkpoint(timeout time.Duration) error {
 	return c.request(&envelope{Type: msgCommand, Command: cmdCheckpoint}, timeout)
 }
 
+// CheckpointContext is Checkpoint bounded by a context instead of a fixed
+// timeout.
+func (c *Client) CheckpointContext(ctx context.Context) error {
+	return c.requestCtx(ctx, &envelope{Type: msgCommand, Command: cmdCheckpoint})
+}
+
 // SetView publishes a new shared view state (master only).
+//
+// New code should prefer the context form, SetViewContext.
 func (c *Client) SetView(v ViewState, timeout time.Duration) error {
 	return c.request(&envelope{Type: msgSetView, View: &v}, timeout)
+}
+
+// SetViewContext is SetView bounded by a context instead of a fixed
+// timeout.
+func (c *Client) SetViewContext(ctx context.Context, v ViewState) error {
+	return c.requestCtx(ctx, &envelope{Type: msgSetView, View: &v})
 }
 
 // RequestMaster asks for the master role and blocks until it is granted or

@@ -30,6 +30,13 @@ import (
 type FrameBuf struct {
 	b    []byte
 	refs atomic.Int32
+	// keys are the interest keys of the encoded envelope — sample channel
+	// names or updated parameter names — so asynchronous consumers (relay
+	// workers) can match the frame against a client's interest set without
+	// re-decoding it. Empty means the frame is not interest-filtered and
+	// goes to everyone. The slice rides the pooled buffer (capacity reused,
+	// strings cleared on release) under the same lifetime rules as b.
+	keys []string
 	// unpooled marks wrapper frames (NewFrame) whose bytes the pool must
 	// never recycle or poison: the caller owns the backing array.
 	unpooled bool
@@ -51,6 +58,7 @@ func GetFrame(capHint int) *FrameBuf {
 		fb.b = make([]byte, 0, capHint)
 	}
 	fb.b = fb.b[:0]
+	fb.keys = fb.keys[:0]
 	fb.refs.Store(1)
 	return fb
 }
@@ -67,6 +75,22 @@ func NewFrame(b []byte) *FrameBuf {
 // Bytes returns the encoded frame. Valid only while the caller holds a
 // reference; never mutate it.
 func (f *FrameBuf) Bytes() []byte { return f.b }
+
+// Keys returns the frame's interest keys (see the field doc); same lifetime
+// rules as Bytes.
+func (f *FrameBuf) Keys() []string { return f.keys }
+
+// setKeys records the frame's interest keys, reusing the slice capacity a
+// pooled buffer already carries. Only the sole owner (before any handoff)
+// may set keys, under the same rule as AppendBytes.
+func (f *FrameBuf) setKeys(keys []string) {
+	f.keys = append(f.keys[:0], keys...)
+}
+
+// appendKey adds one interest key; same ownership rule as setKeys.
+func (f *FrameBuf) appendKey(key string) {
+	f.keys = append(f.keys, key)
+}
 
 // Len returns the encoded frame length.
 func (f *FrameBuf) Len() int { return len(f.b) }
@@ -106,6 +130,12 @@ func (f *FrameBuf) Release() {
 	if cap(f.b) > maxPooledFrame {
 		f.b = nil
 	}
+	// Clear key strings so a pooled buffer cannot pin them; the slice
+	// capacity itself is the reusable asset.
+	for i := range f.keys {
+		f.keys[i] = ""
+	}
+	f.keys = f.keys[:0]
 	framePool.Put(f)
 }
 

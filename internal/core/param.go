@@ -216,6 +216,15 @@ func (t *paramTable) validate(name string, v Value) (Value, error) {
 	return normalize(&d.Param, v)
 }
 
+// has reports whether a parameter is registered; subscription validation
+// checks selector names against the registry without touching values.
+func (t *paramTable) has(name string) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_, ok := t.defs[name]
+	return ok
+}
+
 // applyAndGet applies a validated steering request and returns the updated
 // Param for broadcast. It must only be called from the simulation's poll
 // path so applications never see concurrent parameter mutation.

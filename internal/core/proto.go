@@ -43,8 +43,21 @@ import (
 // unanswered, so a v3 endpoint rejects v2 peers cleanly at the handshake
 // instead of leaving their requests to silently time out). Version 3 adds
 // the explicit request/grant/deny/release floor protocol, heartbeats and
-// lease advertisement.
-const ProtoVersion = 3
+// lease advertisement. Version 4 adds interest management: subscribe /
+// unsubscribe frames, delivery tiers and replay policies on attach, and the
+// extended welcome advertisement.
+//
+// A v4 endpoint still accepts v3 peers (minProtoVersion): the session
+// records the peer's version at attach, answers the handshake at that
+// version, and downgrades a v3 client to subscribe-all at TierSteering —
+// exactly the v3 delivery semantics. The v4 additions are all new frame
+// tags or trailing ints in existing groups, both of which v3 decoders
+// skip, so broadcast framing needs no per-client re-encode.
+const ProtoVersion = 4
+
+// minProtoVersion is the oldest peer generation a v4 endpoint still
+// accepts (see the downgrade note on ProtoVersion).
+const minProtoVersion = 3
 
 // Frame tags of the envelope codec.
 const (
@@ -65,9 +78,47 @@ const (
 	// tagFloor carries the welcome's floor-control advertisement:
 	// int64 ×3 [leaseMillis, policy, floorSeq]. A zero lease means leases
 	// are disabled and clients need not heartbeat; floorSeq anchors the
-	// client's newest-wins ordering of master-changed broadcasts.
+	// client's newest-wins ordering of master-changed broadcasts. Since v4
+	// the group carries three more ints [tier, observerMillis, proto] —
+	// the granted delivery tier, the observer coalescing interval and the
+	// version the session decided to speak to this client. v3 decoders
+	// read the first three and ignore the rest.
 	tagFloor
+	// tagAttachExt is the v4 attach extension: int64 ×(3+n)
+	// [tier, replayPolicy, nsubs, kind...] with the matching subscription
+	// names appended to the attach's tagStrs after [name, session]. v3
+	// decoders skip the unknown tag.
+	tagAttachExt
+	// tagSub carries a subscribe/unsubscribe selector set: int64 ×n
+	// subscription kinds, names in the envelope's tagStrs positionally.
+	tagSub
 )
+
+// Register the envelope tag names so wire-level tag mismatches report
+// "tagHeader (0x53430001)" instead of a bare number.
+func init() {
+	for tag, name := range map[uint32]string{
+		tagHeader:     "tagHeader",
+		tagStrs:       "tagStrs",
+		tagParamMeta:  "tagParamMeta",
+		tagParamNum:   "tagParamNum",
+		tagParamStr:   "tagParamStr",
+		tagSetMeta:    "tagSetMeta",
+		tagSetNum:     "tagSetNum",
+		tagSetStr:     "tagSetStr",
+		tagViewMeta:   "tagViewMeta",
+		tagViewNums:   "tagViewNums",
+		tagViewKeys:   "tagViewKeys",
+		tagSampleMeta: "tagSampleMeta",
+		tagSampleName: "tagSampleName",
+		tagSampleData: "tagSampleData",
+		tagFloor:      "tagFloor",
+		tagAttachExt:  "tagAttachExt",
+		tagSub:        "tagSub",
+	} {
+		wire.TagName[tag] = name
+	}
+}
 
 // Header flag bits.
 const (
@@ -80,6 +131,9 @@ const (
 	// flagSteal marks an administrative master request that asks to preempt
 	// the current holder (honoured only under the steal policy).
 	flagSteal
+	// flagSubAll marks a msgSubscribe that resets the sender's interest set
+	// to subscribe-all (both kinds), ignoring any selectors in the frame.
+	flagSubAll
 )
 
 // maxEnvelopeFrames bounds the field-group frames one envelope may declare;
@@ -142,6 +196,15 @@ const (
 	// one-way and never acked. Any inbound frame renews the lease — the
 	// heartbeat only exists so an idle master has something to send.
 	msgHeartbeat
+	// msgSubscribe (v4) adds selectors to the sender's interest set (the
+	// first selective subscribe for a kind narrows that kind from
+	// subscribe-all to exactly the named set), or resets to subscribe-all
+	// under flagSubAll; always acked.
+	msgSubscribe
+	// msgUnsubscribe (v4) removes the named selectors from the sender's
+	// interest set; with no selectors it clears both kinds to
+	// interested-in-nothing. Always acked.
+	msgUnsubscribe
 )
 
 // commandKind names the session-level commands a master may issue.
@@ -178,6 +241,10 @@ type envelope struct {
 	// NoWait/Steal qualify a master request (see the flag bits).
 	NoWait bool
 	Steal  bool
+	// Subs carries the selectors of a subscribe/unsubscribe frame; SubAll
+	// marks a subscribe-all reset (flagSubAll).
+	Subs   []Subscription
+	SubAll bool
 }
 
 type attachMsg struct {
@@ -190,6 +257,15 @@ type attachMsg struct {
 	// Priority orders this client's floor requests under the priority
 	// policy; higher wins. Ignored by the FIFO policy.
 	Priority int64
+	// Tier is the requested delivery tier (v4; zero = TierSteering).
+	Tier Tier
+	// Replay is the requested journal replay policy (v4; zero = ReplayAll).
+	Replay ReplayPolicy
+	// Subs is the initial interest set (v4; empty = subscribe-all).
+	Subs []Subscription
+	// proto is the protocol version the peer attached with; never on the
+	// wire (the envelope header carries it). 0 means ProtoVersion.
+	proto uint32
 }
 
 type welcomeMsg struct {
@@ -208,6 +284,15 @@ type welcomeMsg struct {
 	// FloorSeq is the floor-transition sequence number the Master field
 	// reflects; master-changed broadcasts with a lower seq are stale.
 	FloorSeq uint64
+	// Tier is the delivery tier the session granted (v4).
+	Tier Tier
+	// ObserverMillis is the observer-tier coalescing interval in
+	// milliseconds; <= 0 means observer frames are flushed immediately.
+	ObserverMillis int64
+	// Proto is the protocol version the session speaks to this client —
+	// the peer's own version under negotiated downgrade. 0 (a v3 session)
+	// means v3.
+	Proto uint32
 }
 
 type ackMsg struct {
@@ -224,6 +309,16 @@ func valueLanes(v Value) (kind int64, i int64, f float64, s string) {
 	return int64(v.Kind), v.I, v.F, v.S
 }
 
+// subscriptionFromLanes validates one decoded (kind, name) selector pair.
+func subscriptionFromLanes(kind int64, name string) (Subscription, error) {
+	switch SubscriptionKind(kind) {
+	case SubChannel, SubParam:
+		return Subscription{Kind: SubscriptionKind(kind), Name: name}, nil
+	default:
+		return Subscription{}, fmt.Errorf("%w: subscription kind %d", errMalformed, kind)
+	}
+}
+
 // valueFromLanes is the inverse of valueLanes.
 func valueFromLanes(kind, i int64, f float64, s string) (Value, error) {
 	k := wire.Kind(kind)
@@ -236,10 +331,23 @@ func valueFromLanes(kind, i int64, f float64, s string) (Value, error) {
 }
 
 // frameCount returns the number of field-group frames the envelope encodes
-// to after the header.
-func frameCount(e *envelope) (int, error) {
+// to after the header at the given protocol version — the declared nframes
+// must match what the version actually emits, so version-gated extension
+// frames count only when the version carries them.
+func frameCount(e *envelope, version uint32) (int, error) {
 	switch e.Type {
-	case msgAttach, msgHandoffMaster, msgMasterChanged, msgEvent, msgAck:
+	case msgAttach:
+		if version >= 4 {
+			return 2, nil // strings + attach extension
+		}
+		return 1, nil
+	case msgSubscribe, msgUnsubscribe:
+		if version < 4 {
+			//steer:allow hotpathalloc malformed-envelope error path aborts the broadcast before any fan-out
+			return 0, fmt.Errorf("%w: subscribe frames require v4, encoding at v%d", errMalformed, version)
+		}
+		return 2, nil // selector names + kinds
+	case msgHandoffMaster, msgMasterChanged, msgEvent, msgAck:
 		return 1, nil
 	case msgWelcome:
 		if e.Welcome == nil {
@@ -283,7 +391,7 @@ func encodeEnvelope(buf []byte, e *envelope) ([]byte, error) {
 	if version == 0 {
 		version = ProtoVersion
 	}
-	nframes, err := frameCount(e)
+	nframes, err := frameCount(e, version)
 	if err != nil {
 		return nil, err
 	}
@@ -312,6 +420,10 @@ func encodeEnvelope(buf []byte, e *envelope) ([]byte, error) {
 		if e.Steal {
 			flags |= flagSteal
 		}
+	case msgSubscribe:
+		if e.SubAll {
+			flags |= flagSubAll
+		}
 	case msgMasterChanged:
 		aux = int64(e.Reason)
 	case msgAck:
@@ -332,12 +444,30 @@ func encodeEnvelope(buf []byte, e *envelope) ([]byte, error) {
 		if a == nil {
 			a = &attachMsg{}
 		}
-		buf = wire.AppendStrings(buf, tagStrs, []string{a.Name, a.Session})
+		if version >= 4 {
+			strs := make([]string, 0, 2+len(a.Subs))
+			strs = append(strs, a.Name, a.Session)
+			ext := make([]int64, 0, 3+len(a.Subs))
+			ext = append(ext, int64(a.Tier), int64(a.Replay), int64(len(a.Subs)))
+			for _, sub := range a.Subs {
+				strs = append(strs, sub.Name)
+				ext = append(ext, int64(sub.Kind))
+			}
+			buf = wire.AppendStrings(buf, tagStrs, strs)
+			buf = wire.AppendInt64s(buf, tagAttachExt, ext)
+		} else {
+			buf = wire.AppendStrings(buf, tagStrs, []string{a.Name, a.Session})
+		}
 	case msgWelcome: //steer:allow hotpathalloc control-plane case; the steady-state sample path takes msgSample
 		w := e.Welcome
 		buf = wire.AppendStrings(buf, tagStrs, []string{w.SessionName, w.AppName, w.ClientName, w.Master})
 		buf = appendParams(buf, w.Params)
-		buf = wire.AppendInt64s(buf, tagFloor, []int64{w.LeaseMillis, int64(w.Policy), int64(w.FloorSeq)})
+		// The trailing [tier, observerMillis, proto] ints are harmless to v3
+		// decoders, which only read the first three (see tagFloor).
+		buf = wire.AppendInt64s(buf, tagFloor, []int64{
+			w.LeaseMillis, int64(w.Policy), int64(w.FloorSeq),
+			int64(w.Tier), w.ObserverMillis, int64(w.Proto),
+		})
 		if w.View != nil {
 			buf = appendView(buf, w.View)
 		}
@@ -353,6 +483,15 @@ func encodeEnvelope(buf []byte, e *envelope) ([]byte, error) {
 		buf = wire.AppendStrings(buf, tagStrs, []string{e.Target})
 	case msgEvent: //steer:allow hotpathalloc control-plane case; the steady-state sample path takes msgSample
 		buf = wire.AppendStrings(buf, tagStrs, []string{e.Event})
+	case msgSubscribe, msgUnsubscribe: //steer:allow hotpathalloc control-plane case; the steady-state sample path takes msgSample
+		names := make([]string, 0, len(e.Subs))
+		kinds := make([]int64, 0, len(e.Subs))
+		for _, sub := range e.Subs {
+			names = append(names, sub.Name)
+			kinds = append(kinds, int64(sub.Kind))
+		}
+		buf = wire.AppendStrings(buf, tagStrs, names)
+		buf = wire.AppendInt64s(buf, tagSub, kinds)
 	case msgAck: //steer:allow hotpathalloc control-plane case; the steady-state sample path takes msgSample
 		msg := ""
 		if e.Ack != nil {
@@ -589,8 +728,9 @@ func decodeEnvelope(dec *wire.Decoder, budget int) (*envelope, error) {
 	}
 	h := hdr.Int64s
 	version := uint32(h[0])
-	if version != ProtoVersion {
-		return nil, fmt.Errorf("%w: peer speaks v%d, this endpoint speaks v%d", ErrVersionMismatch, version, ProtoVersion)
+	if version < minProtoVersion || version > ProtoVersion {
+		return nil, fmt.Errorf("%w: peer speaks v%d, this endpoint speaks v%d (accepts v%d..v%d)",
+			ErrVersionMismatch, version, ProtoVersion, minProtoVersion, ProtoVersion)
 	}
 	nframes := h[5]
 	if nframes < 0 || nframes > maxEnvelopeFrames {
@@ -613,6 +753,9 @@ func decodeEnvelope(dec *wire.Decoder, budget int) (*envelope, error) {
 		smNames             []string
 		smData              [][]float64
 		floorMeta           []int64
+		attachExt           []int64
+		subKinds            []int64
+		sawSub              bool
 	)
 	for i := int64(0); i < nframes; i++ {
 		m, err := dec.Next()
@@ -651,6 +794,11 @@ func decodeEnvelope(dec *wire.Decoder, budget int) (*envelope, error) {
 			smData = append(smData, m.Float64s)
 		case tagFloor:
 			floorMeta = m.Int64s
+		case tagAttachExt:
+			attachExt = m.Int64s
+		case tagSub:
+			subKinds = m.Int64s
+			sawSub = true
 		default:
 			// Unknown field group from a newer minor revision: skip.
 		}
@@ -668,6 +816,32 @@ func decodeEnvelope(dec *wire.Decoder, budget int) (*envelope, error) {
 			Name: str(0), Session: str(1),
 			WantMaster: flags&flagWantMaster != 0,
 			Priority:   aux,
+			proto:      version,
+		}
+		if len(attachExt) >= 3 {
+			nsubs := attachExt[2]
+			if nsubs != int64(len(attachExt)-3) || nsubs > int64(len(strs)-2) {
+				return nil, fmt.Errorf("%w: attach extension counts %d/%d/%d", errMalformed, len(attachExt), nsubs, len(strs))
+			}
+			tier, replay := attachExt[0], attachExt[1]
+			if tier < int64(TierSteering) || tier > int64(TierObserver) {
+				return nil, fmt.Errorf("%w: delivery tier %d", errMalformed, tier)
+			}
+			if replay < int64(ReplayAll) || replay > int64(ReplayNone) {
+				return nil, fmt.Errorf("%w: replay policy %d", errMalformed, replay)
+			}
+			e.Attach.Tier = Tier(tier)
+			e.Attach.Replay = ReplayPolicy(replay)
+			if nsubs > 0 {
+				e.Attach.Subs = make([]Subscription, 0, nsubs)
+				for i := int64(0); i < nsubs; i++ {
+					sub, err := subscriptionFromLanes(attachExt[3+i], strs[2+i])
+					if err != nil {
+						return nil, err
+					}
+					e.Attach.Subs = append(e.Attach.Subs, sub)
+				}
+			}
 		}
 	case msgWelcome:
 		params, err := parseParams(pMeta, pNum, pStr)
@@ -685,6 +859,11 @@ func decodeEnvelope(dec *wire.Decoder, budget int) (*envelope, error) {
 		}
 		if len(floorMeta) >= 3 {
 			w.FloorSeq = uint64(floorMeta[2])
+		}
+		if len(floorMeta) >= 6 {
+			w.Tier = Tier(floorMeta[3])
+			w.ObserverMillis = floorMeta[4]
+			w.Proto = uint32(floorMeta[5])
 		}
 		if flags&flagHasView != 0 {
 			if w.View, err = parseView(vMeta, vNums, vKeys); err != nil {
@@ -725,6 +904,21 @@ func decodeEnvelope(dec *wire.Decoder, budget int) (*envelope, error) {
 	case msgRequestMaster:
 		e.NoWait = flags&flagNoWait != 0
 		e.Steal = flags&flagSteal != 0
+	case msgSubscribe, msgUnsubscribe:
+		if !sawSub || len(subKinds) != len(strs) {
+			return nil, fmt.Errorf("%w: subscribe selector counts %d/%d", errMalformed, len(subKinds), len(strs))
+		}
+		e.SubAll = e.Type == msgSubscribe && flags&flagSubAll != 0
+		if len(subKinds) > 0 {
+			e.Subs = make([]Subscription, 0, len(subKinds))
+			for i, kind := range subKinds {
+				sub, err := subscriptionFromLanes(kind, strs[i])
+				if err != nil {
+					return nil, err
+				}
+				e.Subs = append(e.Subs, sub)
+			}
+		}
 	case msgReleaseMaster, msgHeartbeat, msgDetach:
 	default:
 		return nil, fmt.Errorf("%w: message type %d", errMalformed, e.Type)

@@ -85,8 +85,17 @@ func TestEnvelopeRoundTripTypes(t *testing.T) {
 		}
 		switch e.Type {
 		case msgAttach:
-			if *got.Attach != *e.Attach {
+			a, want := got.Attach, e.Attach
+			if a.Name != want.Name || a.Session != want.Session ||
+				a.WantMaster != want.WantMaster || a.Priority != want.Priority ||
+				a.Tier != want.Tier || a.Replay != want.Replay ||
+				len(a.Subs) != len(want.Subs) {
 				t.Fatalf("attach: %+v", got.Attach)
+			}
+			for i := range a.Subs {
+				if a.Subs[i] != want.Subs[i] {
+					t.Fatalf("attach subs: %+v", a.Subs)
+				}
 			}
 		case msgWelcome:
 			w := got.Welcome

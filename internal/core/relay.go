@@ -1,0 +1,188 @@
+package core
+
+import (
+	"runtime"
+	"time"
+)
+
+// Observer-tier fan-out: the session goroutine hands each sample frame to a
+// small pool of relay workers instead of walking every observer itself —
+// internal/netsim/mcast.go's replicate-at-the-fabric idea promoted into the
+// real delivery path. Each worker owns a stride of the observer RCU
+// snapshot (obsView[i] where i % workers == idx), so one steer frame costs
+// the session O(workers) ring pushes and the per-observer work — interest
+// match, queue push, writer wakeup — runs off the hot goroutine at
+// O(observers / workers) per worker.
+//
+// The worker's input queue is a frameRing: under overload its drop-oldest
+// overwrite coalesces the backlog before fan-out even starts, and each
+// observer's own sample ring coalesces again between writer wakeups. With a
+// positive ObserverInterval the worker wakes writers only on that cadence,
+// so a slow observer reads freshest-wins batches instead of every frame.
+
+// relayQueue bounds a worker's input ring; beyond it the oldest undelivered
+// frame is coalesced away (observers want freshest, not complete).
+const relayQueue = 256
+
+// defaultObserverInterval is the observer coalescing cadence when the
+// config leaves it zero.
+const defaultObserverInterval = 25 * time.Millisecond
+
+// defaultFanoutWorkers resolves FanoutWorkers = 0.
+func defaultFanoutWorkers() int {
+	if n := runtime.GOMAXPROCS(0); n < 4 {
+		return n
+	}
+	return 4
+}
+
+// relay is the started worker pool; the Session holds it behind an
+// atomic.Pointer, created lazily under s.mu by the first observer admit.
+type relay struct {
+	s       *Session
+	workers []*relayWorker
+}
+
+type relayWorker struct {
+	s *Session
+	// idx/n define the worker's stride over the observer snapshot.
+	idx, n int
+	// in is the worker's input queue; pushes retain, drains transfer the
+	// references to the worker.
+	in *frameRing
+	// ready is the capacity-1 wakeup token, same shape as a dedicated
+	// client writer's.
+	ready chan struct{}
+}
+
+// ensureRelayLocked starts the pool on the first observer-tier admit; the
+// caller holds s.mu. Sessions without observers never pay for the
+// goroutines.
+func (s *Session) ensureRelayLocked() {
+	if s.relay.Load() != nil {
+		return
+	}
+	n := s.cfg.FanoutWorkers
+	if n <= 0 {
+		n = 1
+	}
+	rl := &relay{s: s, workers: make([]*relayWorker, n)}
+	for i := range rl.workers {
+		w := &relayWorker{
+			s: s, idx: i, n: n,
+			in:    newFrameRing(relayQueue),
+			ready: make(chan struct{}, 1),
+		}
+		rl.workers[i] = w
+		go w.run()
+	}
+	s.relay.Store(rl)
+}
+
+// publish hands one sample frame to every worker: the session goroutine's
+// whole share of observer fan-out. Each ring push takes its own reference;
+// an overwritten slot is a frame coalesced away before fan-out.
+//
+//steer:hotpath
+func (rl *relay) publish(fb *FrameBuf) {
+	var coalesced uint64
+	for _, w := range rl.workers {
+		if w.in.push(fb) {
+			coalesced++
+		}
+		select {
+		case w.ready <- struct{}{}:
+		default:
+		}
+	}
+	rl.s.statRelayPublished.Add(1)
+	if coalesced > 0 {
+		rl.s.statRelayCoalesced.Add(coalesced)
+	}
+}
+
+// run is the worker loop: drain the input ring on each wakeup, deliver into
+// observer rings, and wake observer writers — immediately when the
+// coalescing interval is disabled (negative), else on the ticker cadence so
+// each observer's ring accumulates a freshest-wins batch between flushes.
+func (w *relayWorker) run() {
+	interval := w.s.cfg.ObserverInterval
+	var tickC <-chan time.Time
+	if interval > 0 {
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		tickC = tick.C
+	}
+	var frames []*FrameBuf
+	dirty := false
+	for {
+		select {
+		case <-w.ready:
+			frames = w.in.drainInto(frames[:0], 0)
+			if len(frames) == 0 {
+				continue
+			}
+			w.deliver(frames)
+			if tickC == nil {
+				w.notify()
+			} else {
+				dirty = true
+			}
+		case <-tickC:
+			if dirty {
+				w.notify()
+				dirty = false
+			}
+		case <-w.s.closeCh:
+			w.in.closeRelease()
+			return
+		}
+	}
+}
+
+// deliver pushes a drained batch into the rings of this worker's stride of
+// the observer snapshot, interest-filtered per client. The batch references
+// belong to the worker and are released here; each ring push retains its
+// own. The snapshot is loaded per batch: a client dropped since the frame
+// was published has closed rings, which discard.
+//
+//steer:hotpath
+func (w *relayWorker) deliver(frames []*FrameBuf) {
+	obs := *w.s.obsView.Load()
+	var delivered, dropped, filtered uint64
+	for i := w.idx; i < len(obs); i += w.n {
+		cc := obs[i]
+		d := cc.desc.Load()
+		for _, fb := range frames {
+			if len(fb.keys) > 0 && !d.wantsSample(fb.keys) {
+				filtered++
+				continue
+			}
+			if cc.out.push(fb) {
+				cc.dropped.Add(1)
+				dropped++
+			} else {
+				delivered++
+			}
+		}
+	}
+	releaseFrames(frames)
+	w.s.statSamplesDelivered.Add(delivered)
+	w.s.statSamplesDropped.Add(dropped)
+	if filtered > 0 {
+		w.s.statFramesFiltered.Add(filtered)
+	}
+}
+
+// notify wakes the writers of this worker's observers that have queued
+// output. Runs on the coalescing cadence, so its cost — one snapshot walk
+// per tick — is paid per interval, not per frame.
+func (w *relayWorker) notify() {
+	obs := *w.s.obsView.Load()
+	for i := w.idx; i < len(obs); i += w.n {
+		cc := obs[i]
+		if cc.out.length() > 0 {
+			w.s.notifyWriter(cc)
+		}
+	}
+}

@@ -109,3 +109,86 @@ func (r Role) String() string {
 	}
 	return "observer"
 }
+
+// Tier selects the delivery tier a client attaches at. The tier decides how
+// the session moves sample traffic to the client, never what the client may
+// do: floor control (Role) and delivery (Tier) are independent axes.
+type Tier int
+
+// Delivery tiers.
+const (
+	// TierSteering delivers every frame inline from the session goroutine:
+	// the tier for masters, floor requesters and anything driving a control
+	// loop off the sample stream.
+	TierSteering Tier = iota
+	// TierObserver delivers coalesced freshest-wins batches on the session's
+	// observer interval, fanned out by relay workers off the session
+	// goroutine: the tier for passive viewers, where the newest state matters
+	// and a dropped intermediate frame does not.
+	TierObserver
+)
+
+// String returns the tier name.
+func (t Tier) String() string {
+	if t == TierObserver {
+		return "observer"
+	}
+	return "steering"
+}
+
+// SubscriptionKind discriminates what a Subscription selects.
+type SubscriptionKind int
+
+// Subscription kinds.
+const (
+	// SubChannel selects a sample channel by name (the PR 2 registry names
+	// reflected into Sample.Channels).
+	SubChannel SubscriptionKind = iota
+	// SubParam selects a registered steering parameter by name; it filters
+	// msgParamUpdate broadcasts.
+	SubParam
+)
+
+// Subscription is one typed interest selector. A client's interest set is
+// the union of its subscriptions, kept per kind: subscribing to any channel
+// narrows channel delivery to the named ones, subscribing to any parameter
+// narrows parameter-update delivery likewise. A kind with no subscriptions
+// stays at subscribe-all, which is also the v3-client downgrade default.
+type Subscription struct {
+	Kind SubscriptionKind
+	Name string
+}
+
+// ChannelSub returns a sample-channel selector.
+func ChannelSub(name string) Subscription { return Subscription{Kind: SubChannel, Name: name} }
+
+// ParamSub returns a steering-parameter selector.
+func ParamSub(name string) Subscription { return Subscription{Kind: SubParam, Name: name} }
+
+// ReplayPolicy selects how much journal history an attaching client wants
+// replayed before live frames start.
+type ReplayPolicy int
+
+// Replay policies.
+const (
+	// ReplayAll replays the full journaled backlog (events and samples):
+	// the pre-v4 behaviour and the zero value.
+	ReplayAll ReplayPolicy = iota
+	// ReplayEvents replays journaled control traffic but skips bulk samples;
+	// an observer that only needs current params/view attaches much faster.
+	ReplayEvents
+	// ReplayNone skips replay entirely and starts at the live stream.
+	ReplayNone
+)
+
+// String returns the replay-policy name.
+func (p ReplayPolicy) String() string {
+	switch p {
+	case ReplayEvents:
+		return "events"
+	case ReplayNone:
+		return "none"
+	default:
+		return "all"
+	}
+}

@@ -40,6 +40,17 @@ type SessionConfig struct {
 	// (FloorUnset) resolves to FloorFIFO — or to a hub's configured
 	// session default first.
 	FloorPolicy FloorPolicy
+	// FanoutWorkers sets the number of observer-tier relay workers (see
+	// relay.go); they start lazily on the first TierObserver attach. 0
+	// selects min(4, GOMAXPROCS); negative forces a single worker.
+	FanoutWorkers int
+	// ObserverInterval is the observer-tier coalescing cadence: relay
+	// workers deliver continuously, but an observer's writer is woken only
+	// this often, so its ring coalesces to freshest-wins batches between
+	// flushes. 0 selects 25ms; negative disables coalescing (observers are
+	// flushed per frame, like the steering tier but off the session
+	// goroutine).
+	ObserverInterval time.Duration
 	// MasterLease bounds how long the master may go silent before the
 	// session's maintenance sweep takes the floor away: a wedged or
 	// partitioned master loses it within 1.25×MasterLease of its last
@@ -97,6 +108,17 @@ type Session struct {
 	// at membership-change rate, not message rate.
 	clientsView atomic.Pointer[[]*clientConn]
 
+	// steerView/obsView partition the same snapshot by delivery tier:
+	// sample fan-out walks steerView inline and hands the frame to the
+	// relay workers only when obsView is non-empty. Tier is fixed at
+	// attach, so the partition changes exactly when clientsView does.
+	steerView atomic.Pointer[[]*clientConn]
+	obsView   atomic.Pointer[[]*clientConn]
+
+	// relay is the observer-tier worker pool, started lazily by the first
+	// observer admit (ensureRelayLocked) and loaded lock-free by fanout.
+	relay atomic.Pointer[relay]
+
 	// application-side state
 	pending           chan pendingOp // steering ops awaiting the next poll
 	paused            bool
@@ -111,6 +133,13 @@ type Session struct {
 	statSamplesDropped   atomic.Uint64
 	statSteersApplied    atomic.Uint64
 	statSteersRejected   atomic.Uint64
+	// statFramesFiltered counts deliveries skipped by interest matching
+	// (both tiers, samples and param updates alike).
+	statFramesFiltered atomic.Uint64
+	// statRelayPublished/Coalesced count frames handed to the relay pool
+	// and frames its input rings coalesced away before fan-out.
+	statRelayPublished atomic.Uint64
+	statRelayCoalesced atomic.Uint64
 
 	// lastSample retains the most recent emission for pull-style consumers
 	// (the OGSI steering service's sample operation).
@@ -127,6 +156,14 @@ type Stats struct {
 	SamplesDropped   uint64
 	SteersApplied    uint64
 	SteersRejected   uint64
+	// FramesFiltered counts deliveries skipped because the frame matched
+	// nothing in the client's interest set.
+	FramesFiltered uint64
+	// RelayPublished counts sample frames handed to the observer relay
+	// pool; RelayCoalesced counts frames its input rings overwrote before
+	// fan-out (freshest-wins under overload).
+	RelayPublished uint64
+	RelayCoalesced uint64
 }
 
 // pendingOp is a steering operation queued for the simulation's next poll.
@@ -139,6 +176,14 @@ type pendingOp struct {
 type clientConn struct {
 	name  string
 	codec *codec
+	// desc is the immutable delivery descriptor (tier + interest set),
+	// swapped copy-on-write by the client's subscribe/unsubscribe dispatch;
+	// fan-out paths Load it. Nil means subscribe-all at TierSteering (see
+	// clientDesc).
+	desc atomic.Pointer[clientDesc]
+	// proto is the protocol version the client attached with; handshake
+	// replies and acks are encoded at it (negotiated downgrade).
+	proto uint32
 	// wantMaster records that the client attached asking for mastership;
 	// drop promotion prefers such clients over pure observers.
 	wantMaster bool
@@ -262,6 +307,15 @@ func NewSession(cfg SessionConfig) *Session {
 		// otherwise be filled in by a hub's session defaults.
 		cfg.MasterLease = 0
 	}
+	if cfg.FanoutWorkers == 0 {
+		cfg.FanoutWorkers = defaultFanoutWorkers()
+	}
+	if cfg.FanoutWorkers < 0 {
+		cfg.FanoutWorkers = 1
+	}
+	if cfg.ObserverInterval == 0 {
+		cfg.ObserverInterval = defaultObserverInterval
+	}
 	s := &Session{
 		cfg:     cfg,
 		params:  newParamTable(),
@@ -276,6 +330,8 @@ func NewSession(cfg SessionConfig) *Session {
 		closeCh:  make(chan struct{}),
 	}
 	s.clientsView.Store(&[]*clientConn{})
+	s.steerView.Store(&[]*clientConn{})
+	s.obsView.Store(&[]*clientConn{})
 	if cfg.MasterLease > 0 {
 		go s.floorSweeper()
 	}
@@ -315,7 +371,16 @@ func (s *Session) Stats() Stats {
 		SamplesDropped:   s.statSamplesDropped.Load(),
 		SteersApplied:    s.statSteersApplied.Load(),
 		SteersRejected:   s.statSteersRejected.Load(),
+		FramesFiltered:   s.statFramesFiltered.Load(),
+		RelayPublished:   s.statRelayPublished.Load(),
+		RelayCoalesced:   s.statRelayCoalesced.Load(),
 	}
+}
+
+// TierCounts returns the current number of steering- and observer-tier
+// clients (a point-in-time read of the tier snapshots).
+func (s *Session) TierCounts() (steering, observers int) {
+	return len(*s.steerView.Load()), len(*s.obsView.Load())
 }
 
 // ClientCount returns the number of attached clients.
@@ -416,9 +481,9 @@ type PendingConn struct {
 }
 
 // AcceptConn reads and version-checks the attach frame from conn. A stream
-// that is not protocol v2 — wrong magic (a gob v1 client, an HTTP probe) or
-// an unsupported header version — is answered with a version-coded ack when
-// possible and fails with ErrVersionMismatch. Callers that must bound the
+// outside the supported protocol range (v3..v4) — wrong magic (a gob v1
+// client, an HTTP probe) or an unsupported header version — is answered
+// with a version-coded ack when possible and fails with ErrVersionMismatch. Callers that must bound the
 // handshake set a read deadline on conn first (and clear it afterwards).
 func AcceptConn(conn net.Conn) (*PendingConn, error) {
 	c := newCodec(conn)
@@ -501,17 +566,22 @@ func (s *Session) ServePending(p *PendingConn) error {
 	if s.master == cc.name {
 		role = RoleMaster
 	}
-	welcome := &envelope{Type: msgWelcome, Seq: p.seq, Welcome: &welcomeMsg{
-		SessionName: s.cfg.Name,
-		AppName:     s.cfg.AppName,
-		ClientName:  cc.name,
-		Role:        role,
-		Master:      s.master,
-		Params:      s.params.snapshot(),
-		View:        cloneView(s.view),
-		LeaseMillis: s.cfg.MasterLease.Milliseconds(),
-		Policy:      s.cfg.FloorPolicy,
-		FloorSeq:    s.floor.seq,
+	// The welcome is encoded at the peer's own version (cc.proto): the
+	// negotiated-downgrade half of the v3/v4 handshake.
+	welcome := &envelope{Type: msgWelcome, Seq: p.seq, Version: cc.proto, Welcome: &welcomeMsg{
+		SessionName:    s.cfg.Name,
+		AppName:        s.cfg.AppName,
+		ClientName:     cc.name,
+		Role:           role,
+		Master:         s.master,
+		Params:         s.params.snapshot(),
+		View:           cloneView(s.view),
+		LeaseMillis:    s.cfg.MasterLease.Milliseconds(),
+		Policy:         s.cfg.FloorPolicy,
+		FloorSeq:       s.floor.seq,
+		Tier:           cc.desc.Load().tierOf(),
+		ObserverMillis: s.cfg.ObserverInterval.Milliseconds(),
+		Proto:          cc.proto,
 	}}
 	s.mu.Unlock()
 	if err := cc.codec.write(welcome, s.cfg.ControlTimeout); err != nil {
@@ -638,16 +708,18 @@ func (s *Session) admitWithCatchup(a *attachMsg, c *codec) (*clientConn, [][]byt
 	s.attachMu.Lock()
 	defer s.attachMu.Unlock()
 	var catchup [][]byte
-	s.cfg.Journal.Replay(func(class JournalClass, frame []byte) bool {
-		if class == JournalEvent || class == JournalSample {
-			// Replay frames are valid only during the visit (the sink may
-			// recycle a compacted record's pooled buffer); the catch-up is
-			// written after this returns, so it takes copies. Attach is the
-			// cold path — the broadcast side stays copy-free.
-			catchup = append(catchup, append([]byte(nil), frame...))
-		}
-		return true
-	})
+	if a.Replay != ReplayNone {
+		s.cfg.Journal.Replay(func(class JournalClass, frame []byte) bool {
+			if class == JournalEvent || (class == JournalSample && a.Replay == ReplayAll) {
+				// Replay frames are valid only during the visit (the sink may
+				// recycle a compacted record's pooled buffer); the catch-up is
+				// written after this returns, so it takes copies. Attach is the
+				// cold path — the broadcast side stays copy-free.
+				catchup = append(catchup, append([]byte(nil), frame...))
+			}
+			return true
+		})
+	}
 	cc, err := s.admit(a, c)
 	if err != nil {
 		return nil, nil, err
@@ -660,8 +732,28 @@ func (s *Session) admitWithCatchup(a *attachMsg, c *codec) (*clientConn, [][]byt
 func (s *Session) admit(a *attachMsg, c *codec) (*clientConn, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	cc, err := s.admitLocked(a, c)
+	if err != nil {
+		return nil, err
+	}
+	s.rebuildClientsLocked()
+	return cc, nil
+}
+
+// admitLocked is admit's body without the snapshot rebuild; bulk admissions
+// (benchmark fixtures) run it per client and rebuild once. The caller holds
+// s.mu.
+func (s *Session) admitLocked(a *attachMsg, c *codec) (*clientConn, error) {
 	if s.closed {
 		return nil, errors.New("core: session closed")
+	}
+	for _, sub := range a.Subs {
+		// Param selectors are keyed by the registry; a typo'd subscription
+		// must fail the attach, not silently never match. Channel names are
+		// not validated — channels are whatever the application emits.
+		if sub.Kind == SubParam && !s.params.has(sub.Name) {
+			return nil, fmt.Errorf("%w: subscription %q", ErrUnknownParam, sub.Name)
+		}
 	}
 	name := a.Name
 	if name == "" {
@@ -681,6 +773,17 @@ func (s *Session) admit(a *attachMsg, c *codec) (*clientConn, error) {
 		ready:      make(chan struct{}, 1),
 		gone:       make(chan struct{}),
 	}
+	cc.proto = a.proto
+	if cc.proto == 0 {
+		cc.proto = ProtoVersion
+	}
+	// The delivery descriptor: a v3 attach carries no tier or selectors, so
+	// its zero values land on TierSteering + subscribe-all — the negotiated
+	// downgrade is exactly the old delivery semantics.
+	cc.desc.Store(newClientDesc(a.Tier, a.Subs))
+	if a.Tier == TierObserver {
+		s.ensureRelayLocked()
+	}
 	cc.lastBeat.Store(s.now().UnixNano())
 	if s.cfg.Writer != nil {
 		cc.handle = &ClientHandle{s: s, cc: cc}
@@ -696,7 +799,6 @@ func (s *Session) admit(a *attachMsg, c *codec) (*clientConn, error) {
 	}
 	s.clients[name] = cc
 	s.order = append(s.order, name)
-	s.rebuildClientsLocked()
 	return cc, nil
 }
 
@@ -709,10 +811,22 @@ func (s *Session) admit(a *attachMsg, c *codec) (*clientConn, error) {
 // dropped client's closed rings, which discard.
 func (s *Session) rebuildClientsLocked() {
 	view := make([]*clientConn, 0, len(s.order))
+	steer := make([]*clientConn, 0, len(s.order))
+	obs := []*clientConn{}
 	for _, name := range s.order {
-		view = append(view, s.clients[name])
+		cc := s.clients[name]
+		view = append(view, cc)
+		// Tier is fixed at attach (clientDesc.tier never changes on an
+		// interest swap), so the partition is stable between rebuilds.
+		if cc.desc.Load().tierOf() == TierObserver {
+			obs = append(obs, cc)
+		} else {
+			steer = append(steer, cc)
+		}
 	}
 	s.clientsView.Store(&view)
+	s.steerView.Store(&steer)
+	s.obsView.Store(&obs)
 }
 
 // drop removes a client. If it held the master role the floor passes to
@@ -823,6 +937,28 @@ func (s *Session) dispatch(cc *clientConn, e *envelope) (done bool, err error) {
 
 	case msgHandoffMaster:
 		s.handleHandoffMaster(cc, e)
+
+	case msgSubscribe:
+		d := cc.desc.Load()
+		if e.SubAll {
+			cc.desc.Store(descSubscribeAll(d.tierOf()))
+			s.ack(cc, e.Seq)
+			return false, nil
+		}
+		for _, sub := range e.Subs {
+			// Same registry check as the attach selectors; channel names
+			// pass unchecked (see admitLocked).
+			if sub.Kind == SubParam && !s.params.has(sub.Name) {
+				s.nack(cc, e.Seq, fmt.Errorf("%w: subscription %q", ErrUnknownParam, sub.Name))
+				return false, nil
+			}
+		}
+		cc.desc.Store(d.withSubs(e.Subs))
+		s.ack(cc, e.Seq)
+
+	case msgUnsubscribe:
+		cc.desc.Store(cc.desc.Load().withoutSubs(e.Subs))
+		s.ack(cc, e.Seq)
 	}
 	return false, nil
 }
@@ -848,13 +984,20 @@ func (s *Session) enqueueOp(op pendingOp) {
 	}
 }
 
+// Acks are encoded at the client's attach version so a downgraded v3 peer
+// reads v3-headed replies.
 func (s *Session) ack(cc *clientConn, seq uint64) {
-	cc.codec.write(&envelope{Type: msgAck, Seq: seq, Ack: &ackMsg{OK: true}}, s.cfg.ControlTimeout)
+	cc.codec.write(&envelope{Type: msgAck, Seq: seq, Version: cc.proto, Ack: &ackMsg{OK: true}}, s.cfg.ControlTimeout)
+}
+
+// nack refuses a non-steering request with a typed code.
+func (s *Session) nack(cc *clientConn, seq uint64, why error) {
+	cc.codec.write(&envelope{Type: msgAck, Seq: seq, Version: cc.proto, Ack: &ackMsg{Code: codeFor(why), Err: why.Error()}}, s.cfg.ControlTimeout)
 }
 
 func (s *Session) rejectSteer(cc *clientConn, seq uint64, why error) {
 	s.statSteersRejected.Add(1)
-	cc.codec.write(&envelope{Type: msgAck, Seq: seq, Ack: &ackMsg{Code: codeFor(why), Err: why.Error()}}, s.cfg.ControlTimeout)
+	cc.codec.write(&envelope{Type: msgAck, Seq: seq, Version: cc.proto, Ack: &ackMsg{Code: codeFor(why), Err: why.Error()}}, s.cfg.ControlTimeout)
 }
 
 // broadcastControl encodes a control frame once into a pooled buffer and
@@ -876,15 +1019,25 @@ func (s *Session) broadcastControl(e *envelope) {
 		return
 	}
 	fb.b = b
+	if e.Type == msgParamUpdate {
+		// Parameter updates are interest-keyed by the updated names so
+		// selectively-subscribed clients skip updates they never asked for.
+		for i := range e.Params {
+			fb.appendKey(e.Params[i].Name)
+		}
+	}
 	s.fanout(journalClassOf(e.Type), fb, true)
 }
 
 // fanout delivers one encoded broadcast frame: journal tap under the shared
-// side of the attach barrier, then one queue push per client in the current
-// snapshot. It consumes the caller's buffer reference and reports whether
-// the frame was delivered (false only when the session is closing — the
-// re-check under the shared barrier is authoritative, Close stores the flag
-// under the exclusive side, so delivery and the journal stay consistent).
+// side of the attach barrier, then one queue push per interested client in
+// the current snapshot — steering tier inline, observer tier via the relay
+// workers (publish). A frame with interest keys skips clients whose
+// descriptor matches none of them before touching their ring. It consumes
+// the caller's buffer reference and reports whether the frame was delivered
+// (false only when the session is closing — the re-check under the shared
+// barrier is authoritative, Close stores the flag under the exclusive side,
+// so delivery and the journal stay consistent).
 //
 // This is the hot path, and it is steady-state allocation- and lock-free:
 // the client list is an RCU snapshot load, the buffer came from the frame
@@ -911,15 +1064,34 @@ func (s *Session) fanout(class JournalClass, fb *FrameBuf, ctrl bool) bool {
 			s.cfg.Journal.Record(class, fb)
 		}
 	}
-	clients := *s.clientsView.Load()
 	if ctrl {
+		// Control frames go to every tier inline — they are small, rare and
+		// latency-sensitive (acks of state the client may act on). A keyed
+		// frame (param update) still honours interest; keyless control goes
+		// to everyone.
+		clients := *s.clientsView.Load()
+		var filtered uint64
 		for _, cc := range clients {
+			if len(fb.keys) > 0 && !cc.desc.Load().wantsParams(fb.keys) {
+				filtered++
+				continue
+			}
 			s.routeCtrl(cc, fb)
 			s.notifyWriter(cc)
 		}
+		if filtered > 0 {
+			s.statFramesFiltered.Add(filtered)
+		}
 	} else {
-		var delivered, dropped uint64
-		for _, cc := range clients {
+		// Steering tier: every frame, inline. The interest check is one
+		// atomic load plus map probes against an immutable descriptor.
+		steer := *s.steerView.Load()
+		var delivered, dropped, filtered uint64
+		for _, cc := range steer {
+			if len(fb.keys) > 0 && !cc.desc.Load().wantsSample(fb.keys) {
+				filtered++
+				continue
+			}
 			if cc.out.push(fb) {
 				// The overwrite retracted an earlier queued sample: that one
 				// is the drop, the fresh frame replaces its delivery.
@@ -930,8 +1102,19 @@ func (s *Session) fanout(class JournalClass, fb *FrameBuf, ctrl bool) bool {
 			}
 			s.notifyWriter(cc)
 		}
+		// Observer tier: the session's whole share is one ring push per
+		// relay worker; the workers do the per-observer work off this
+		// goroutine.
+		if len(*s.obsView.Load()) > 0 {
+			if rl := s.relay.Load(); rl != nil {
+				rl.publish(fb)
+			}
+		}
 		s.statSamplesDelivered.Add(delivered)
 		s.statSamplesDropped.Add(dropped)
+		if filtered > 0 {
+			s.statFramesFiltered.Add(filtered)
+		}
 	}
 	if journaled {
 		s.attachMu.RUnlock()
@@ -1002,6 +1185,12 @@ func (s *Session) broadcastSample(sample *Sample) {
 		return
 	}
 	fb.b = b
+	// Interest keys ride on the buffer itself so the relay workers can
+	// match asynchronously without re-decoding; map iteration appends into
+	// the pooled buffer's reused key slice — no allocation once warm.
+	for name := range sample.Channels {
+		fb.appendKey(name)
+	}
 	if s.fanout(JournalSample, fb, false) {
 		s.statSamplesEmitted.Add(1)
 		s.lastSample.Store(sample)

@@ -116,6 +116,16 @@ type Stats struct {
 	SteersApplied    uint64
 	SteersRejected   uint64
 
+	// Delivery-tier aggregates: how the connected clients split across the
+	// steering and observer tiers, frames skipped by interest filtering,
+	// and relay-worker activity (publishes onto the worker rings, frames
+	// coalesced away under backlog).
+	TierSteerers   int
+	TierObservers  int
+	FramesFiltered uint64
+	RelayPublished uint64
+	RelayCoalesced uint64
+
 	// Floor-control aggregates across every hosted session: how often the
 	// master role moved, how contested it is right now, and how it moved
 	// (explicit denial, lease expiry, administrative steal). Per-session
@@ -225,6 +235,15 @@ func (h *Hub) CreateSession(cfg core.SessionConfig) (*core.Session, error) {
 	}
 	if cfg.MasterLease == 0 {
 		cfg.MasterLease = h.cfg.SessionDefaults.MasterLease
+	}
+	// Relay defaults follow the same unset-only rule: 0 inherits the hub
+	// default, and an explicit negative keeps its core meaning (one worker;
+	// observer coalescing disabled).
+	if cfg.FanoutWorkers == 0 {
+		cfg.FanoutWorkers = h.cfg.SessionDefaults.FanoutWorkers
+	}
+	if cfg.ObserverInterval == 0 {
+		cfg.ObserverInterval = h.cfg.SessionDefaults.ObserverInterval
 	}
 	sh := h.shards[h.ring.lookup(cfg.Name)]
 	// Reserve the name before touching any journal directory: a duplicate
@@ -483,6 +502,12 @@ func (h *Hub) Stats() Stats {
 			st.SamplesDropped += s.SamplesDropped
 			st.SteersApplied += s.SteersApplied
 			st.SteersRejected += s.SteersRejected
+			st.FramesFiltered += s.FramesFiltered
+			st.RelayPublished += s.RelayPublished
+			st.RelayCoalesced += s.RelayCoalesced
+			steer, obs := sess.TierCounts()
+			st.TierSteerers += steer
+			st.TierObservers += obs
 			f := sess.FloorStats()
 			st.FloorGrants += f.Grants
 			st.FloorDenials += f.Denials

@@ -92,8 +92,10 @@ func Run(ctx context.Context, sc Scenario) (*Result, error) {
 		h = hub.New(hub.Config{
 			JournalDir: jdir,
 			SessionDefaults: core.SessionConfig{
-				FloorPolicy: core.FloorFIFO,
-				MasterLease: sc.MasterLease,
+				FloorPolicy:      core.FloorFIFO,
+				MasterLease:      sc.MasterLease,
+				FanoutWorkers:    sc.FanoutWorkers,
+				ObserverInterval: sc.ObserverInterval,
 			},
 		})
 		defer h.Close()
@@ -140,6 +142,24 @@ func Run(ctx context.Context, sc Scenario) (*Result, error) {
 	defer cancel()
 	start := time.Now()
 
+	// Tier membership is a property of the live fleet — by the time the run
+	// ends every client has detached and the counts read zero — so sample
+	// it at half-duration, when the fleet is fully attached and steady.
+	tierC := make(chan [2]int, 1)
+	if h != nil {
+		go func() {
+			t := time.NewTimer(sc.Duration / 2)
+			defer t.Stop()
+			select {
+			case <-t.C:
+				st := h.Stats()
+				tierC <- [2]int{st.TierSteerers, st.TierObservers}
+			case <-runCtx.Done():
+				tierC <- [2]int{0, 0}
+			}
+		}()
+	}
+
 	var wg sync.WaitGroup
 	for _, name := range sessions {
 		name := name
@@ -168,11 +188,11 @@ func Run(ctx context.Context, sc Scenario) (*Result, error) {
 		}()
 		for i := 0; i < observers; i++ {
 			wg.Add(1)
-			go func(idx int) {
+			go func(idx, total int) {
 				defer wg.Done()
 				<-masterUp
-				r.observer(runCtx, name, idx)
-			}(i)
+				r.observer(runCtx, name, idx, total)
+			}(i, observers)
 		}
 		for i := 0; i < floorers; i++ {
 			wg.Add(1)
@@ -209,6 +229,8 @@ func Run(ctx context.Context, sc Scenario) (*Result, error) {
 	}
 	if h != nil {
 		st := h.Stats()
+		tc := <-tierC
+		st.TierSteerers, st.TierObservers = tc[0], tc[1]
 		res.Hub = &HubStats{
 			Sessions:         st.Sessions,
 			Clients:          st.Clients,
@@ -219,6 +241,11 @@ func Run(ctx context.Context, sc Scenario) (*Result, error) {
 			FloorGrants:      st.FloorGrants,
 			FloorDenials:     st.FloorDenials,
 			FloorExpiries:    st.FloorExpiries,
+			TierSteerers:     st.TierSteerers,
+			TierObservers:    st.TierObservers,
+			FramesFiltered:   st.FramesFiltered,
+			RelayPublished:   st.RelayPublished,
+			RelayCoalesced:   st.RelayCoalesced,
 			SamplesPerSec:    st.SamplesPerSec,
 		}
 		close(appStop)
@@ -408,8 +435,39 @@ func (r *runner) steerer(ctx context.Context, session string, masterUp chan<- st
 // arrivals, and in local mode turns echoed steer timestamps into
 // steer→observe latencies. Observer 0 of each session also records sample
 // inter-arrival gaps (fan-out jitter — meaningful in remote mode too).
-func (r *runner) observer(ctx context.Context, session string, idx int) {
-	c, err := r.attachCounted(ctx, core.AttachOptions{Session: session, SampleBuffer: 32})
+//
+// With ObserverTier on (local mode), observers attach at core.TierObserver:
+// the first ceil(total × ObserverInterest) subscribe to the echo channel —
+// present in every emitted sample, so they receive the full stream through
+// the relay workers — and the rest subscribe to a channel the application
+// never emits, so the interest filter drops everything before their rings.
+func (r *runner) observer(ctx context.Context, session string, idx, total int) {
+	opts := core.AttachOptions{Session: session, SampleBuffer: 32}
+	if r.sc.ObserverTier && r.local {
+		opts.Tier = core.TierObserver
+		interested := int(math.Ceil(float64(total) * r.sc.ObserverInterest))
+		if interested < 1 {
+			interested = 1
+		}
+		if idx < interested {
+			opts.Subscriptions = []core.Subscription{core.ChannelSub(echoParam)}
+		} else {
+			opts.Subscriptions = []core.Subscription{core.ChannelSub("steerload-uninterested")}
+		}
+		// A 4k-observer fleet attaching in one instant measures a handshake
+		// DoS, not relay delivery: ramp the fleet over the first third of
+		// the run, interested observers (lowest idx) first, so steer→observe
+		// is sampled against a steadily growing audience.
+		if total > 1 {
+			step := r.sc.Duration / 3 / time.Duration(total)
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(time.Duration(idx) * step):
+			}
+		}
+	}
+	c, err := r.attachCounted(ctx, opts)
 	if err != nil {
 		return
 	}

@@ -58,6 +58,23 @@ type Scenario struct {
 	// FloorInterval is the cadence of each contender's floor probes.
 	FloorInterval time.Duration `json:"floor_interval_ns,omitempty"`
 
+	// ObserverTier attaches the steady observers at core.TierObserver with
+	// selective subscriptions: a fraction ObserverInterest of them
+	// subscribe to the live "echo" channel (and so receive every sample),
+	// the rest to a channel that never appears (and so receive nothing) —
+	// the interest-managed fan-out shape of a big collaborative viewing
+	// audience. Local mode only; remote observers attach as before.
+	ObserverTier bool `json:"observer_tier"`
+	// ObserverInterest is the interested fraction (default 0.01); at least
+	// one observer per session is always interested so steer→observe keeps
+	// recording.
+	ObserverInterest float64 `json:"observer_interest,omitempty"`
+	// ObserverInterval sets the in-process sessions' observer coalescing
+	// cadence (0 keeps core's default, negative flushes immediately).
+	ObserverInterval time.Duration `json:"observer_interval_ns,omitempty"`
+	// FanoutWorkers sizes the in-process sessions' relay pool (0 = auto).
+	FanoutWorkers int `json:"fanout_workers,omitempty"`
+
 	// Journal gives in-process sessions durable journals in a temp
 	// directory, so churn exercises replay catch-up. Ignored in remote
 	// mode (the target's configuration decides).
@@ -102,6 +119,9 @@ func (sc *Scenario) fill() {
 	if sc.ChurnDwell <= 0 {
 		sc.ChurnDwell = 150 * time.Millisecond
 	}
+	if sc.ObserverInterest <= 0 || sc.ObserverInterest > 1 {
+		sc.ObserverInterest = 0.01
+	}
 	if sc.FloorInterval <= 0 {
 		sc.FloorInterval = 20 * time.Millisecond
 	}
@@ -140,6 +160,11 @@ type HubStats struct {
 	FloorGrants      uint64  `json:"floor_grants"`
 	FloorDenials     uint64  `json:"floor_denials"`
 	FloorExpiries    uint64  `json:"floor_expiries"`
+	TierSteerers     int     `json:"tier_steerers,omitempty"`
+	TierObservers    int     `json:"tier_observers,omitempty"`
+	FramesFiltered   uint64  `json:"frames_filtered,omitempty"`
+	RelayPublished   uint64  `json:"relay_published,omitempty"`
+	RelayCoalesced   uint64  `json:"relay_coalesced,omitempty"`
 	SamplesPerSec    float64 `json:"samples_per_sec"`
 }
 
@@ -242,6 +267,11 @@ func (r *Result) String() string {
 		out += fmt.Sprintf("  hub: emitted=%d delivered=%d dropped=%d applied=%d grants=%d denials=%d rate=%.0f/s\n",
 			r.Hub.SamplesEmitted, r.Hub.SamplesDelivered, r.Hub.SamplesDropped,
 			r.Hub.SteersApplied, r.Hub.FloorGrants, r.Hub.FloorDenials, r.Hub.SamplesPerSec)
+		if r.Scenario.ObserverTier {
+			out += fmt.Sprintf("  tiers: steerers=%d observers=%d filtered=%d relayed=%d coalesced=%d\n",
+				r.Hub.TierSteerers, r.Hub.TierObservers, r.Hub.FramesFiltered,
+				r.Hub.RelayPublished, r.Hub.RelayCoalesced)
+		}
 	}
 	return out
 }

@@ -199,7 +199,7 @@ func (d *Decoder) Expect(tag uint32) (*Message, error) {
 		return nil, err
 	}
 	if m.Header.Tag != tag {
-		return nil, fmt.Errorf("wire: got tag %d, want %d", m.Header.Tag, tag)
+		return nil, fmt.Errorf("wire: got tag %s, want %s", TagLabel(m.Header.Tag), TagLabel(tag))
 	}
 	return m, nil
 }

@@ -135,6 +135,21 @@ func (l Limits) withDefaults() Limits {
 	return l
 }
 
+// TagName maps tag values to symbolic names for diagnostics. Packages that
+// own a tag space register their names from an init function; the map is
+// read without locking after that, so it must not be mutated once the
+// program is serving traffic.
+var TagName = map[uint32]string{}
+
+// TagLabel renders a tag for an error message: "name (0xhex)" when the tag
+// is registered in TagName, "decimal (0xhex)" otherwise.
+func TagLabel(tag uint32) string {
+	if name, ok := TagName[tag]; ok {
+		return fmt.Sprintf("%s (0x%x)", name, tag)
+	}
+	return fmt.Sprintf("%d (0x%x)", tag, tag)
+}
+
 // Errors reported by the codec.
 var (
 	ErrBadMagic   = errors.New("wire: bad magic")
