@@ -90,19 +90,21 @@ bench-smoke:
 	@out=$$($(GO) test -run '^$$' -list 'Benchmark(JournalAppend|CatchupReplay)' ./internal/journal); \
 	echo "$$out" | grep -q BenchmarkJournalAppend && echo "$$out" | grep -q BenchmarkCatchupReplay \
 		|| { echo 'bench-smoke: journal benchmarks missing'; exit 1; }
-	@out=$$($(GO) test -run '^$$' -list 'Benchmark(BroadcastHotPath|BroadcastContention|BroadcastInterest)' ./internal/core); \
+	@out=$$($(GO) test -run '^$$' -list 'Benchmark(BroadcastHotPath|BroadcastContention|BroadcastInterest|EgressWritev)' ./internal/core); \
 	echo "$$out" | grep -q BenchmarkBroadcastHotPath && echo "$$out" | grep -q 'BenchmarkBroadcastContention$$' \
 		&& echo "$$out" | grep -q BenchmarkBroadcastContention1k \
 		&& echo "$$out" | grep -q 'BenchmarkBroadcastInterest$$' \
+		&& echo "$$out" | grep -q BenchmarkEgressWritev \
 		|| { echo 'bench-smoke: broadcast hot-path benchmarks missing'; exit 1; }
 
 # bench-compare re-measures the benchmarks recorded in the committed
 # baselines and prints benchstat-style delta tables (cmd/benchcompare is
 # the stdlib-only comparator): the fan-out/broadcast suite against
-# BENCH_4.json, then the interest-management suite against BENCH_8.json
-# (-filter because BENCH_8.json also carries the observer-soak latency
-# keys, which only `make soak-observer` can re-measure). Informational by
-# default; set BENCHCOMPARE_FLAGS='-max-regress 1.3' to gate.
+# BENCH_4.json, the interest-management suite against BENCH_8.json, then
+# the vectored-egress suite against BENCH_9.json (-filter because those
+# baselines also carry soak latency keys, which only the steerload soaks
+# can re-measure). Informational by default; set
+# BENCHCOMPARE_FLAGS='-max-regress 1.3' to gate.
 bench-compare:
 	$(GO) test -run '^$$' -bench 'HubFanout|SessionFanoutBaseline' -benchmem -count $(BENCHCOUNT) . > bench-new.txt
 	$(GO) test -run '^$$' -bench 'BroadcastHotPath|BroadcastContention' -benchmem -count $(BENCHCOUNT) ./internal/core >> bench-new.txt
@@ -110,6 +112,9 @@ bench-compare:
 	$(GO) test -run '^$$' -bench 'BroadcastInterest' -benchmem -count $(BENCHCOUNT) ./internal/core > bench-interest.txt
 	$(GO) run ./cmd/benchcompare -baseline BENCH_8.json -new bench-interest.txt \
 		-filter '^BenchmarkBroadcastInterest/' $(BENCHCOMPARE_FLAGS) | tee -a bench-compare.txt
+	$(GO) test -run '^$$' -bench 'EgressWritev' -benchmem -count $(BENCHCOUNT) ./internal/core > bench-egress.txt
+	$(GO) run ./cmd/benchcompare -baseline BENCH_9.json -new bench-egress.txt \
+		-filter '^BenchmarkEgressWritev/' $(BENCHCOMPARE_FLAGS) | tee -a bench-compare.txt
 
 # fuzz-smoke gives the protocol fuzz targets a short exploration budget
 # (the seed corpora already run as plain tests in `make test`). All targets

@@ -11,6 +11,8 @@
 //	       [-journal-dir DIR] [-journal-fsync]
 //	       [-floor-policy fifo|priority|steal] [-master-lease 10s]
 //	       [-fanout-workers 0] [-observer-interval 25ms]
+//	       [-coalesce-bytes 0] [-tcp-nodelay] [-tcp-rcvbuf N] [-tcp-sndbuf N]
+//	       [-tcp-keepalive 0]
 //
 // With the default -sessions 1 the daemon behaves exactly like the classic
 // single-session steerd: one session named "steerd-lb3d" that clients may
@@ -36,6 +38,13 @@
 // cadence: observers receive freshest-wins sample batches on this interval
 // instead of every frame (0 keeps the 25ms default, negative flushes
 // immediately).
+//
+// Egress and socket tuning: -coalesce-bytes sets the vectored (writev)
+// egress gather threshold — frames below it are copied into one shared
+// iovec per batch, frames at or above it ride zero-copy (0 keeps the ~1KB
+// default, negative disables gathering). -tcp-nodelay (on by default),
+// -tcp-rcvbuf, -tcp-sndbuf and -tcp-keepalive tune every accepted
+// connection at birth.
 //
 // Then, e.g.:
 //
@@ -72,6 +81,11 @@ func main() {
 	masterLease := flag.Duration("master-lease", 10*time.Second, "master lease; a master silent this long loses the floor (0 disables)")
 	fanoutWorkers := flag.Int("fanout-workers", 0, "observer-tier relay workers per session (0 = auto, negative = 1)")
 	observerInterval := flag.Duration("observer-interval", 0, "observer coalescing interval (0 = default 25ms, negative = flush immediately)")
+	coalesceBytes := flag.Int("coalesce-bytes", 0, "vectored egress gather threshold: frames below it share one iovec (0 = default ~1KB, negative disables gathering)")
+	tcpNoDelay := flag.Bool("tcp-nodelay", true, "set TCP_NODELAY on accepted connections (false re-enables Nagle)")
+	tcpRcvBuf := flag.Int("tcp-rcvbuf", 0, "SO_RCVBUF for accepted connections in bytes (0 = OS default)")
+	tcpSndBuf := flag.Int("tcp-sndbuf", 0, "SO_SNDBUF for accepted connections in bytes (0 = OS default)")
+	tcpKeepAlive := flag.Duration("tcp-keepalive", 0, "TCP keep-alive probe period (0 = Go default 15s, negative disables)")
 	flag.Parse()
 	if *sessions < 1 {
 		log.Fatal("steerd: -sessions must be >= 1")
@@ -86,6 +100,13 @@ func main() {
 		SessionDefaults: core.SessionConfig{
 			FloorPolicy: floorPolicy, MasterLease: *masterLease,
 			FanoutWorkers: *fanoutWorkers, ObserverInterval: *observerInterval,
+			CoalesceBytes: *coalesceBytes,
+		},
+		Sock: core.SockOpts{
+			Delay:     !*tcpNoDelay,
+			RcvBuf:    *tcpRcvBuf,
+			SndBuf:    *tcpSndBuf,
+			KeepAlive: *tcpKeepAlive,
 		},
 	})
 	defer h.Close()
@@ -210,6 +231,9 @@ func main() {
 		stats.FloorGrants, stats.FloorDenials, stats.FloorExpiries, stats.FloorSteals, stats.FloorHandoffs, stats.FloorPending)
 	fmt.Printf("steerd: delivery tiers: %d steerers, %d observers, %d frames filtered, %d relay publishes, %d coalesced\n",
 		stats.TierSteerers, stats.TierObservers, stats.FramesFiltered, stats.RelayPublished, stats.RelayCoalesced)
+	fmt.Printf("steerd: egress: %d vectored batches, %d buffered, %d frames coalesced (%d bytes), %d bytes zero-copy, ~%d syscalls saved\n",
+		stats.EgressBatchesVectored, stats.EgressBatchesBuffered, stats.EgressFramesCoalesced,
+		stats.EgressBytesCoalesced, stats.EgressBytesZeroCopy, stats.EgressSyscallsSaved)
 	for _, name := range h.SessionNames() {
 		if s, ok := h.Lookup(name); ok {
 			s.QueueStop()

@@ -11,6 +11,7 @@ func TestHotpathalloc(t *testing.T) {
 	for _, dir := range []string{
 		"testdata/alloc",
 		"testdata/lock",
+		"testdata/writev",
 	} {
 		t.Run(dir, func(t *testing.T) {
 			analysistest.Run(t, dir, hotpathalloc.Analyzer)

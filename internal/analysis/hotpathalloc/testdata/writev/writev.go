@@ -1,0 +1,61 @@
+// Package writev models the vectored egress drain (PR 9): the iovec build
+// and the small-frame coalesce gather loop of codec.writeVectoredLocked,
+// in both the careless per-batch-allocation shape and the shipped
+// reusable-scratch shape.
+package writev
+
+type codec struct {
+	iov      [][]byte
+	gather   []byte
+	coalesce int
+}
+
+// drainNaive is the writev drain written carelessly: fresh scratch per
+// batch and an iovec handed off through a growing append.
+//
+//steer:hotpath
+func drainNaive(c *codec, batch [][]byte) [][]byte {
+	iov := make([][]byte, 0, len(batch)) // want `make allocates`
+	gather := []byte{}                   // want `slice literal allocates`
+	for _, buf := range batch {
+		if len(buf) < c.coalesce {
+			gather = append(gather, buf...) // self-append: accepted
+			continue
+		}
+		iov = append(iov, buf) // self-append: accepted
+	}
+	c.iov = append(iov, gather) // want `append may grow its backing array`
+	return c.iov
+}
+
+// drainReused is the shipped shape: codec-owned scratches truncated per
+// batch, the gather pre-sized before any iovec entry aliases it (one
+// sanctioned high-water-mark grow), self-appends everywhere else.
+//
+//steer:hotpath
+func drainReused(c *codec, batch [][]byte) {
+	need := 0
+	for _, buf := range batch {
+		if len(buf) < c.coalesce {
+			need += len(buf)
+		}
+	}
+	if cap(c.gather) < need {
+		//steer:allow hotpathalloc gather scratch grows to the batch high-water mark once; steady state reuses it
+		c.gather = make([]byte, 0, need)
+	}
+	gather := c.gather[:0]
+	iov := c.iov[:0]
+	for _, buf := range batch {
+		if len(buf) < c.coalesce {
+			gather = append(gather, buf...) // self-append: accepted
+			continue
+		}
+		iov = append(iov, buf) // self-append: accepted
+	}
+	c.gather = gather
+	c.iov = iov
+	for i := range iov {
+		iov[i] = nil // post-write scrub: no allocation, no finding
+	}
+}

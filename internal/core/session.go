@@ -51,6 +51,13 @@ type SessionConfig struct {
 	// flushed per frame, like the steering tier but off the session
 	// goroutine).
 	ObserverInterval time.Duration
+	// CoalesceBytes is the vectored egress hybrid threshold: when a batch
+	// takes the writev path, frames shorter than this are gathered
+	// (copied) into one shared iovec entry while frames at or above it
+	// ride as their own zero-copy entries. 0 selects ~1KB; negative
+	// disables gathering (every frame its own iovec entry). Conns without
+	// vectored-write support ignore it — they keep the buffered fallback.
+	CoalesceBytes int
 	// MasterLease bounds how long the master may go silent before the
 	// session's maintenance sweep takes the floor away: a wedged or
 	// partitioned master loses it within 1.25×MasterLease of its last
@@ -140,6 +147,9 @@ type Session struct {
 	// and frames its input rings coalesced away before fan-out.
 	statRelayPublished atomic.Uint64
 	statRelayCoalesced atomic.Uint64
+	// egress is the vectored-egress counter block shared by every admitted
+	// client's codec (injected at admit, read by Stats).
+	egress egressStats
 
 	// lastSample retains the most recent emission for pull-style consumers
 	// (the OGSI steering service's sample operation).
@@ -164,6 +174,17 @@ type Stats struct {
 	// fan-out (freshest-wins under overload).
 	RelayPublished uint64
 	RelayCoalesced uint64
+	// Vectored-egress activity: batches by path taken, small frames (and
+	// bytes) gathered into the shared coalesce iovec, large-frame bytes
+	// handed to the kernel without a copy, and the estimated Write
+	// syscalls the buffered fallback would have needed beyond the writev
+	// each vectored batch actually issued.
+	EgressBatchesVectored uint64
+	EgressBatchesBuffered uint64
+	EgressFramesCoalesced uint64
+	EgressBytesCoalesced  uint64
+	EgressBytesZeroCopy   uint64
+	EgressSyscallsSaved   uint64
 }
 
 // pendingOp is a steering operation queued for the simulation's next poll.
@@ -374,6 +395,13 @@ func (s *Session) Stats() Stats {
 		FramesFiltered:   s.statFramesFiltered.Load(),
 		RelayPublished:   s.statRelayPublished.Load(),
 		RelayCoalesced:   s.statRelayCoalesced.Load(),
+
+		EgressBatchesVectored: s.egress.batchesVectored.Load(),
+		EgressBatchesBuffered: s.egress.batchesBuffered.Load(),
+		EgressFramesCoalesced: s.egress.framesCoalesced.Load(),
+		EgressBytesCoalesced:  s.egress.bytesCoalesced.Load(),
+		EgressBytesZeroCopy:   s.egress.bytesZeroCopy.Load(),
+		EgressSyscallsSaved:   s.egress.syscallsSaved.Load(),
 	}
 }
 
@@ -776,6 +804,15 @@ func (s *Session) admitLocked(a *attachMsg, c *codec) (*clientConn, error) {
 	cc.proto = a.proto
 	if cc.proto == 0 {
 		cc.proto = ProtoVersion
+	}
+	// Bind the codec's egress layer to this session: the shared counter
+	// block, and the configured coalesce threshold (0 keeps the codec's
+	// ~1KB default; negative disables gathering). Safe without the write
+	// lock — the welcome, the first write this codec sees post-admit,
+	// happens after admit returns.
+	c.egr = &s.egress
+	if s.cfg.CoalesceBytes != 0 {
+		c.coalesce = s.cfg.CoalesceBytes
 	}
 	// The delivery descriptor: a v3 attach carries no tier or selectors, so
 	// its zero values land on TierSteering + subscribe-all — the negotiated

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"net"
+	"time"
+)
+
+// SockOpts tunes a TCP connection at birth: the knobs a deployment turns
+// when the vectored egress path (writev batches, see codec) meets a real
+// network instead of loopback. The zero value is the shipped default —
+// TCP_NODELAY on, OS-tuned buffer sizes, Go's default keep-alive — so
+// configs that never mention SockOpts change nothing.
+type SockOpts struct {
+	// Delay re-enables Nagle's algorithm. The zero value keeps TCP_NODELAY
+	// set (Go's own default, restated here so the shipped behaviour is
+	// explicit): steering control frames and acks must not wait out a
+	// delayed-ACK window, and batched writev egress already coalesces
+	// small frames before the kernel sees them.
+	Delay bool
+	// RcvBuf/SndBuf set SO_RCVBUF / SO_SNDBUF in bytes when positive; 0
+	// keeps the OS default and its auto-tuning. Raise SndBuf on fan-out
+	// servers pushing bulk frames to many clients; raise RcvBuf on clients
+	// consuming them over long fat networks.
+	RcvBuf int
+	SndBuf int
+	// KeepAlive sets the TCP keep-alive probe period when positive; 0
+	// keeps Go's default (15s), negative disables keep-alives entirely.
+	KeepAlive time.Duration
+}
+
+// Apply configures conn when it is a TCP connection; anything else —
+// net.Pipe, netsim links, test doubles — is left untouched, mirroring the
+// codec's vectored-write capability probe. Setter errors are dropped: a
+// socket that rejects a buffer-size hint still works, and the accept loop
+// must never fail a connection over a tuning preference.
+func (o SockOpts) Apply(conn net.Conn) {
+	tc, ok := conn.(*net.TCPConn)
+	if !ok {
+		return
+	}
+	tc.SetNoDelay(!o.Delay)
+	if o.RcvBuf > 0 {
+		tc.SetReadBuffer(o.RcvBuf)
+	}
+	if o.SndBuf > 0 {
+		tc.SetWriteBuffer(o.SndBuf)
+	}
+	switch {
+	case o.KeepAlive > 0:
+		tc.SetKeepAlive(true)
+		tc.SetKeepAlivePeriod(o.KeepAlive)
+	case o.KeepAlive < 0:
+		tc.SetKeepAlive(false)
+	}
+}

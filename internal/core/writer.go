@@ -102,13 +102,25 @@ func (h *ClientHandle) DrainBatch(max int, timeout time.Duration) (int, bool, er
 	}
 	h.bufs = bufs
 	err := cc.codec.writeBatch(bufs, timeout)
+	n := len(frames)
 	releaseFrames(frames)
+	// Scrub both scratches, not just bufs: releaseFrames nils the slots it
+	// was handed, but the handle must not depend on that side effect — a
+	// stale *FrameBuf surviving here would pin a released (pooled, possibly
+	// already-recycled) buffer reachable between drains, and under
+	// framedebug poisoning alias whatever the pool hands out next. Truncate
+	// to zero length so the scratch never advertises released entries.
+	for i := range frames {
+		frames[i] = nil
+	}
 	for i := range bufs {
 		bufs[i] = nil
 	}
+	h.frames = frames[:0]
+	h.bufs = bufs[:0]
 	if err != nil {
 		cc.markGone()
 		return 0, false, err
 	}
-	return len(frames), cc.ctrl.length()+cc.out.length() > 0, nil
+	return n, cc.ctrl.length()+cc.out.length() > 0, nil
 }

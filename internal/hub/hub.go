@@ -63,6 +63,11 @@ type Config struct {
 	// SessionDefaults seeds SampleQueue and ControlTimeout for sessions the
 	// hub creates.
 	SessionDefaults core.SessionConfig
+	// Sock tunes every connection the hub accepts, applied in Serve before
+	// the handshake: TCP_NODELAY stays on by default, with SO_RCVBUF /
+	// SO_SNDBUF and keep-alive knobs per core.SockOpts. The zero value
+	// changes nothing.
+	Sock core.SockOpts
 	// JournalDir, when non-empty, gives every session a durable on-disk
 	// journal under JournalDir/<session-name>: broadcasts are logged
 	// (encode-once — the journal stores the same bytes the clients get),
@@ -125,6 +130,18 @@ type Stats struct {
 	FramesFiltered uint64
 	RelayPublished uint64
 	RelayCoalesced uint64
+
+	// Vectored-egress aggregates across every hosted session: batches by
+	// path taken (writev vs the buffered fallback), small frames and bytes
+	// gathered into the shared coalesce iovec, large-frame bytes handed to
+	// the kernel zero-copy, and the estimated syscalls saved vs the
+	// buffered path.
+	EgressBatchesVectored uint64
+	EgressBatchesBuffered uint64
+	EgressFramesCoalesced uint64
+	EgressBytesCoalesced  uint64
+	EgressBytesZeroCopy   uint64
+	EgressSyscallsSaved   uint64
 
 	// Floor-control aggregates across every hosted session: how often the
 	// master role moved, how contested it is right now, and how it moved
@@ -244,6 +261,12 @@ func (h *Hub) CreateSession(cfg core.SessionConfig) (*core.Session, error) {
 	}
 	if cfg.ObserverInterval == 0 {
 		cfg.ObserverInterval = h.cfg.SessionDefaults.ObserverInterval
+	}
+	// Egress coalescing follows the unset-only rule too: 0 inherits the
+	// hub default, explicit negative keeps its core meaning (gathering
+	// disabled, every frame its own iovec entry).
+	if cfg.CoalesceBytes == 0 {
+		cfg.CoalesceBytes = h.cfg.SessionDefaults.CoalesceBytes
 	}
 	sh := h.shards[h.ring.lookup(cfg.Name)]
 	// Reserve the name before touching any journal directory: a duplicate
@@ -420,6 +443,10 @@ func (h *Hub) Serve(l net.Listener) error {
 		}
 		backoff = backoffMin
 		h.statConnsAccepted.Add(1)
+		// Socket tuning happens where the conn is born, before any
+		// handshake byte moves: NODELAY (default), buffer sizes,
+		// keep-alive. Non-TCP listeners (tests over pipes) are untouched.
+		h.cfg.Sock.Apply(conn)
 		select {
 		case h.hsSem <- struct{}{}:
 		default:
@@ -505,6 +532,12 @@ func (h *Hub) Stats() Stats {
 			st.FramesFiltered += s.FramesFiltered
 			st.RelayPublished += s.RelayPublished
 			st.RelayCoalesced += s.RelayCoalesced
+			st.EgressBatchesVectored += s.EgressBatchesVectored
+			st.EgressBatchesBuffered += s.EgressBatchesBuffered
+			st.EgressFramesCoalesced += s.EgressFramesCoalesced
+			st.EgressBytesCoalesced += s.EgressBytesCoalesced
+			st.EgressBytesZeroCopy += s.EgressBytesZeroCopy
+			st.EgressSyscallsSaved += s.EgressSyscallsSaved
 			steer, obs := sess.TierCounts()
 			st.TierSteerers += steer
 			st.TierObservers += obs

@@ -97,6 +97,7 @@ func Run(ctx context.Context, sc Scenario) (*Result, error) {
 				FanoutWorkers:    sc.FanoutWorkers,
 				ObserverInterval: sc.ObserverInterval,
 			},
+			Sock: sc.sockOpts(),
 		})
 		defer h.Close()
 		l, err := net.Listen("tcp", "127.0.0.1:0")
@@ -246,6 +247,11 @@ func Run(ctx context.Context, sc Scenario) (*Result, error) {
 			FramesFiltered:   st.FramesFiltered,
 			RelayPublished:   st.RelayPublished,
 			RelayCoalesced:   st.RelayCoalesced,
+			EgressVectored:   st.EgressBatchesVectored,
+			EgressBuffered:   st.EgressBatchesBuffered,
+			EgressCoalesced:  st.EgressBytesCoalesced,
+			EgressZeroCopy:   st.EgressBytesZeroCopy,
+			EgressSyscalls:   st.EgressSyscallsSaved,
 			SamplesPerSec:    st.SamplesPerSec,
 		}
 		close(appStop)
@@ -284,11 +290,26 @@ func (r *runner) echoApp(sess *core.Session, stop <-chan struct{}) {
 		}
 		burst[i] = core.Channel{Dims: [3]int{len(data), 1, 1}, Data: data}
 	}
+	// -payload-bytes adds one bulk channel per sample: the large-frame
+	// shape that drives the hub's zero-copy writev egress (each such frame
+	// becomes its own iovec entry instead of a pass through the buffered
+	// writer).
+	var payload core.Channel
+	if r.sc.PayloadBytes > 0 {
+		data := make([]float64, (r.sc.PayloadBytes+7)/8)
+		for j := range data {
+			data[j] = float64(j)
+		}
+		payload = core.Channel{Dims: [3]int{len(data), 1, 1}, Data: data}
+	}
 	emit := func(step int64) {
 		s := core.NewSample(step)
 		s.Channels[echoParam] = core.Scalar(math.Float64frombits(echoBits.Load()))
 		for i, ch := range burst {
 			s.Channels[fmt.Sprintf("burst-%02d", i)] = ch
+		}
+		if payload.Data != nil {
+			s.Channels["payload"] = payload
 		}
 		st.Emit(s)
 	}
@@ -328,6 +349,7 @@ func (r *runner) dialAttach(ctx context.Context, opts core.AttachOptions) (*core
 	if err != nil {
 		return nil, err
 	}
+	r.sc.sockOpts().Apply(conn)
 	return core.AttachContext(ctx, conn, opts)
 }
 

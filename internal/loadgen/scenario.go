@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"time"
+
+	"repro/internal/core"
 )
 
 // Scenario describes one load/soak run: the target, the fleet shape, the
@@ -44,6 +46,12 @@ type Scenario struct {
 	// channel. Together they size the broadcast payload.
 	BurstChannels int `json:"burst_channels"`
 	BurstLen      int `json:"burst_len"`
+	// PayloadBytes, when positive, adds one bulk "payload" channel of
+	// ~PayloadBytes to every emitted sample (in-process mode): the
+	// large-frame workload that exercises the hub's zero-copy writev
+	// egress, where each frame rides as its own iovec entry instead of
+	// being memcpy'd through the buffered writer.
+	PayloadBytes int `json:"payload_bytes,omitempty"`
 
 	// Churn cycles two client slots per session through
 	// attach → dwell → detach, measuring attach latency (which, with
@@ -74,6 +82,14 @@ type Scenario struct {
 	ObserverInterval time.Duration `json:"observer_interval_ns,omitempty"`
 	// FanoutWorkers sizes the in-process sessions' relay pool (0 = auto).
 	FanoutWorkers int `json:"fanout_workers,omitempty"`
+
+	// TCPDelay re-enables Nagle's algorithm on the fleet's client conns
+	// and (in-process mode) the hub's accepted conns; the default keeps
+	// TCP_NODELAY on. TCPRcvBuf/TCPSndBuf set SO_RCVBUF/SO_SNDBUF in
+	// bytes when positive, both sides in in-process mode.
+	TCPDelay  bool `json:"tcp_delay,omitempty"`
+	TCPRcvBuf int  `json:"tcp_rcvbuf,omitempty"`
+	TCPSndBuf int  `json:"tcp_sndbuf,omitempty"`
 
 	// Journal gives in-process sessions durable journals in a temp
 	// directory, so churn exercises replay catch-up. Ignored in remote
@@ -134,6 +150,12 @@ func (sc *Scenario) fill() {
 	}
 }
 
+// sockOpts maps the scenario's TCP knobs onto core.SockOpts, applied to the
+// fleet's dialed conns and (in-process mode) the hub's accepted conns.
+func (sc *Scenario) sockOpts() core.SockOpts {
+	return core.SockOpts{Delay: sc.TCPDelay, RcvBuf: sc.TCPRcvBuf, SndBuf: sc.TCPSndBuf}
+}
+
 // Counters are the run's cumulative event counts, separate from the latency
 // distributions.
 type Counters struct {
@@ -165,6 +187,11 @@ type HubStats struct {
 	FramesFiltered   uint64  `json:"frames_filtered,omitempty"`
 	RelayPublished   uint64  `json:"relay_published,omitempty"`
 	RelayCoalesced   uint64  `json:"relay_coalesced,omitempty"`
+	EgressVectored   uint64  `json:"egress_vectored,omitempty"`
+	EgressBuffered   uint64  `json:"egress_buffered,omitempty"`
+	EgressCoalesced  uint64  `json:"egress_bytes_coalesced,omitempty"`
+	EgressZeroCopy   uint64  `json:"egress_bytes_zero_copy,omitempty"`
+	EgressSyscalls   uint64  `json:"egress_syscalls_saved,omitempty"`
 	SamplesPerSec    float64 `json:"samples_per_sec"`
 }
 
