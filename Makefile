@@ -96,14 +96,18 @@ bench-smoke:
 		&& echo "$$out" | grep -q 'BenchmarkBroadcastInterest$$' \
 		&& echo "$$out" | grep -q BenchmarkEgressWritev \
 		|| { echo 'bench-smoke: broadcast hot-path benchmarks missing'; exit 1; }
+	@out=$$($(GO) test -run '^$$' -list 'BenchmarkE12_CollaborationScaling' .); \
+	echo "$$out" | grep -q BenchmarkE12_CollaborationScaling \
+		|| { echo 'bench-smoke: E12 live-hub collaboration benchmark missing'; exit 1; }
 
 # bench-compare re-measures the benchmarks recorded in the committed
 # baselines and prints benchstat-style delta tables (cmd/benchcompare is
 # the stdlib-only comparator): the fan-out/broadcast suite against
-# BENCH_4.json, the interest-management suite against BENCH_8.json, then
-# the vectored-egress suite against BENCH_9.json (-filter because those
+# BENCH_4.json, the interest-management suite against BENCH_8.json, the
+# vectored-egress suite against BENCH_9.json (-filter because those
 # baselines also carry soak latency keys, which only the steerload soaks
-# can re-measure). Informational by default; set
+# can re-measure), then the E12 live-hub collaboration-scaling suite
+# against BENCH_10.json. Informational by default; set
 # BENCHCOMPARE_FLAGS='-max-regress 1.3' to gate.
 bench-compare:
 	$(GO) test -run '^$$' -bench 'HubFanout|SessionFanoutBaseline' -benchmem -count $(BENCHCOUNT) . > bench-new.txt
@@ -115,6 +119,9 @@ bench-compare:
 	$(GO) test -run '^$$' -bench 'EgressWritev' -benchmem -count $(BENCHCOUNT) ./internal/core > bench-egress.txt
 	$(GO) run ./cmd/benchcompare -baseline BENCH_9.json -new bench-egress.txt \
 		-filter '^BenchmarkEgressWritev/' $(BENCHCOMPARE_FLAGS) | tee -a bench-compare.txt
+	$(GO) test -run '^$$' -bench 'E12_CollaborationScaling' -benchmem -count $(BENCHCOUNT) . > bench-e12.txt
+	$(GO) run ./cmd/benchcompare -baseline BENCH_10.json -new bench-e12.txt \
+		-filter '^BenchmarkE12_CollaborationScaling/' $(BENCHCOMPARE_FLAGS) | tee -a bench-compare.txt
 
 # fuzz-smoke gives the protocol fuzz targets a short exploration budget
 # (the seed corpora already run as plain tests in `make test`). All targets

@@ -11,11 +11,11 @@ import (
 	"testing"
 
 	"repro/internal/covise"
+	"repro/internal/pixel"
 	"repro/internal/render"
 	"repro/internal/sim/lb"
 	"repro/internal/sim/pepc"
 	"repro/internal/viz"
-	"repro/internal/vizserver"
 )
 
 // BenchmarkAblation_TreeTheta sweeps the multipole acceptance parameter:
@@ -80,14 +80,14 @@ func BenchmarkAblation_FrameEncoding(b *testing.B) {
 	b.Run("keyframe", func(b *testing.B) {
 		n := 0
 		for i := 0; i < b.N; i++ {
-			n = len(vizserver.EncodeKey(fb.Pix))
+			n = len(pixel.EncodeKey(fb.Pix))
 		}
 		b.ReportMetric(float64(n), "bytes")
 	})
 	b.Run("delta", func(b *testing.B) {
 		n := 0
 		for i := 0; i < b.N; i++ {
-			d, err := vizserver.EncodeDelta(prev, fb.Pix)
+			d, err := pixel.EncodeDelta(prev, fb.Pix)
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -127,20 +127,10 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		st := session.Steered()
-		if err := st.RegisterFloat("miscibility-g", 0, 0, 6,
-			"Shan–Chen coupling: 0 mixes, >4 demixes", sim.SetCoupling); err != nil {
-			log.Fatal(err)
-		}
-		// Typed protocol-v2 parameters: an int throttles the sample stream,
-		// a string labels the run in samples and logs.
-		stride := int64(1)
-		if err := st.RegisterInt("sample-stride", 1, 1, 1000,
-			"emit a sample every N steps", func(v int64) { stride = v }); err != nil {
-			log.Fatal(err)
-		}
-		if err := st.RegisterString("run-label", name,
-			"free-form run label", func(v string) { st.Event("run-label: " + v) }); err != nil {
+		// The lb adapter registers the steering surface — "miscibility-g",
+		// "sample-stride", "run-label" — and owns the poll/step/sample loop.
+		adapter, err := lb.NewSteered(session.Steered(), sim, lb.SteerConfig{Label: name})
+		if err != nil {
 			log.Fatal(err)
 		}
 
@@ -163,18 +153,7 @@ func main() {
 			// Closing on a steered stop is what lets the hub evict the
 			// ended session and free its name.
 			defer session.Close()
-			for step := int64(0); ; step++ {
-				if st.PollBlocking(0) == core.ControlStop {
-					return
-				}
-				sim.Step()
-				if step%stride != 0 {
-					continue
-				}
-				s := core.NewSample(step)
-				s.Channels["segregation"] = core.Scalar(sim.Segregation())
-				st.Emit(s)
-			}
+			adapter.Run()
 		}()
 
 		// Per-session grid services; the first session also keeps the

@@ -1,0 +1,244 @@
+// Command steersim hosts one of the paper's workload simulations in-process
+// on a steering hub: the sim runs its own loop against a session's Steered
+// surface, and any number of clients attach over TCP to observe its sample
+// stream, steer its registered parameters, pause/resume it, and request
+// checkpoints.
+//
+// Usage:
+//
+//	steersim [-sim pepc|lb|mc|airflow] [-steer 127.0.0.1:8091]
+//	         [-session NAME] [-size N] [-particles N]
+//	         [-max-steps N] [-sample-stride N]
+//	         [-journal-dir DIR] [-journal-fsync] [-checkpoint FILE]
+//
+// -sim selects the workload:
+//
+//	pepc     tree-code plasma (beam-intensity, beam-charge, beam-speed,
+//	         beam-axis, damping); -particles sizes the initial plasma ball
+//	lb       lattice-Boltzmann binary fluid (miscibility-g, run-label);
+//	         -size is the lattice edge
+//	mc       Ising Monte Carlo (temperature, field); -size is the lattice edge
+//	airflow  room climatization (vent temperatures); -size is the room edge
+//
+// -checkpoint FILE composes the adapter's checkpoint hook with the journal:
+// a steering client's checkpoint request serialises the sim's state
+// atomically to FILE, and a restarted steersim pointed at the same FILE
+// (and -journal-dir) resumes from the checkpointed step with the journaled
+// parameter values, view and freshest sample replayed on top — the
+// evict→reopen→replay→resume path. Checkpointing is supported for pepc and
+// lb (the sims with serialisable state).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+
+	"repro/internal/core"
+	"repro/internal/hub"
+	"repro/internal/sim/airflow"
+	"repro/internal/sim/lb"
+	"repro/internal/sim/mc"
+	"repro/internal/sim/pepc"
+)
+
+// atomicSink returns a SteerConfig.Checkpoint hook that serialises to path
+// via a temp file and rename, so a crash mid-write never corrupts the last
+// good checkpoint.
+func atomicSink(path string) func(write func(io.Writer) error) error {
+	return func(write func(io.Writer) error) error {
+		tmp := path + ".tmp"
+		f, err := os.Create(tmp)
+		if err != nil {
+			return err
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+		if err := f.Close(); err != nil {
+			os.Remove(tmp)
+			return err
+		}
+		return os.Rename(tmp, path)
+	}
+}
+
+func main() {
+	simKind := flag.String("sim", "pepc", "workload: pepc, lb, mc or airflow")
+	steerAddr := flag.String("steer", "127.0.0.1:8091", "steering hub address")
+	sessionName := flag.String("session", "", "session name (default steersim-<sim>)")
+	size := flag.Int("size", 16, "lattice/room edge for lb, mc and airflow")
+	particles := flag.Int("particles", 500, "initial plasma-ball particle count (pepc)")
+	maxSteps := flag.Int64("max-steps", 0, "stop after N steps (0 = run until stopped)")
+	sampleStride := flag.Int64("sample-stride", 1, "emit a diagnostics sample every N steps")
+	journalDir := flag.String("journal-dir", "", "durable session journal directory (empty disables journaling)")
+	journalFsync := flag.Bool("journal-fsync", false, "fsync batched journal flushes")
+	ckptPath := flag.String("checkpoint", "", "checkpoint file: written on request, restored on start when present (pepc, lb)")
+	flag.Parse()
+
+	name := *sessionName
+	if name == "" {
+		name = "steersim-" + *simKind
+	}
+
+	h := hub.New(hub.Config{JournalDir: *journalDir, JournalFsync: *journalFsync})
+	defer h.Close()
+	session, err := h.CreateSession(core.SessionConfig{Name: name, AppName: *simKind})
+	if err != nil {
+		log.Fatalf("steersim: %v", err)
+	}
+
+	// restored reports whether a prior run's checkpoint was picked up.
+	var restored bool
+	ckptIn := func(restore func(io.Reader) error) bool {
+		if *ckptPath == "" {
+			return false
+		}
+		f, err := os.Open(*ckptPath)
+		if os.IsNotExist(err) {
+			return false
+		}
+		if err != nil {
+			log.Fatalf("steersim: open checkpoint: %v", err)
+		}
+		defer f.Close()
+		if err := restore(f); err != nil {
+			log.Fatalf("steersim: restore %s: %v", *ckptPath, err)
+		}
+		return true
+	}
+
+	var run func() error
+	switch *simKind {
+	case "pepc":
+		var sim *pepc.Sim
+		restored = ckptIn(func(r io.Reader) error {
+			var err error
+			sim, err = pepc.Restore(r)
+			return err
+		})
+		if !restored {
+			sim, err = pepc.New(pepc.Params{Theta: 0.5, Dt: 0.005, Eps: 0.05, Seed: 7})
+			if err != nil {
+				log.Fatalf("steersim: %v", err)
+			}
+			sim.AddPlasmaBall(*particles, pepc.Vec{}, 1, 0.05)
+		}
+		cfg := pepc.SteerConfig{SampleStride: *sampleStride, MaxSteps: *maxSteps}
+		if *ckptPath != "" {
+			cfg.Checkpoint = atomicSink(*ckptPath)
+		}
+		adapter, err := pepc.NewSteered(session.Steered(), sim, cfg)
+		if err != nil {
+			log.Fatalf("steersim: %v", err)
+		}
+		run = adapter.Run
+	case "lb":
+		var sim *lb.Sim
+		restored = ckptIn(func(r io.Reader) error {
+			var err error
+			sim, err = lb.Restore(r)
+			return err
+		})
+		if !restored {
+			sim, err = lb.New(lb.Params{Nx: *size, Ny: *size, Nz: *size, Tau: 1, G: 0, Seed: 7})
+			if err != nil {
+				log.Fatalf("steersim: %v", err)
+			}
+		}
+		cfg := lb.SteerConfig{Label: name, SampleStride: *sampleStride, MaxSteps: *maxSteps}
+		if *ckptPath != "" {
+			cfg.Checkpoint = atomicSink(*ckptPath)
+		}
+		adapter, err := lb.NewSteered(session.Steered(), sim, cfg)
+		if err != nil {
+			log.Fatalf("steersim: %v", err)
+		}
+		run = adapter.Run
+	case "mc":
+		if *ckptPath != "" {
+			log.Fatal("steersim: -checkpoint is not supported for mc")
+		}
+		sim, err := mc.New(mc.Params{N: *size, T: 5, Seed: 7, Hot: true})
+		if err != nil {
+			log.Fatalf("steersim: %v", err)
+		}
+		adapter, err := mc.NewSteered(session.Steered(), sim,
+			mc.SteerConfig{SampleStride: *sampleStride, MaxSweeps: *maxSteps})
+		if err != nil {
+			log.Fatalf("steersim: %v", err)
+		}
+		run = adapter.Run
+	case "airflow":
+		if *ckptPath != "" {
+			log.Fatal("steersim: -checkpoint is not supported for airflow")
+		}
+		sim, err := airflow.New(airflow.Params{Nx: *size, Ny: *size, Nz: *size})
+		if err != nil {
+			log.Fatalf("steersim: %v", err)
+		}
+		adapter, err := airflow.NewSteered(session.Steered(), sim,
+			airflow.SteerConfig{SampleStride: *sampleStride, MaxSteps: *maxSteps})
+		if err != nil {
+			log.Fatalf("steersim: %v", err)
+		}
+		run = adapter.Run
+	default:
+		log.Fatalf("steersim: unknown -sim %q (want pepc, lb, mc or airflow)", *simKind)
+	}
+
+	// Replay-on-restart: journaled parameter values, view and freshest
+	// sample are applied before the sim's first step, on top of whatever
+	// the checkpoint restored.
+	if *journalDir != "" {
+		if n, err := session.Recover(); err != nil {
+			log.Printf("steersim: journal replay: %v", err)
+		} else if n > 0 {
+			fmt.Printf("steersim: revived %d journaled state frame(s)\n", n)
+		}
+	}
+
+	l, err := net.Listen("tcp", *steerAddr)
+	if err != nil {
+		log.Fatalf("steersim: %v", err)
+	}
+	go h.Serve(l)
+
+	done := make(chan error, 1)
+	go func() {
+		defer session.Close()
+		done <- run()
+	}()
+
+	if restored {
+		fmt.Printf("steersim: resumed %s from checkpoint %s\n", *simKind, *ckptPath)
+	}
+	fmt.Printf("steersim: hosting %s as session %q on %s (attach with core.Attach)\n",
+		*simKind, name, l.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	select {
+	case err := <-done:
+		if err != nil {
+			log.Fatalf("steersim: %v", err)
+		}
+	case <-sig:
+		session.QueueStop()
+		<-done
+	}
+	stats := h.Stats()
+	fmt.Printf("steersim: shutting down (%d clients, %d samples emitted, %d delivered)\n",
+		stats.Clients, stats.SamplesEmitted, stats.SamplesDelivered)
+}

@@ -116,18 +116,23 @@ func main() {
 	e0 := watchEnergy(client, 20)
 	fmt.Printf("energy after 20 samples with damping=0.01: %.4f\n", e0)
 
+	// A single bounded context covers the whole steering exchange; each
+	// round trip returns as soon as the session acks or rejects it.
+	steerCtx, cancelSteer := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancelSteer()
+
 	// Steer: one atomic batch flips the integrator and cranks the damping,
 	// each value tagged with its own wire kind.
-	if err := client.SetParams([]core.ParamSet{
+	if err := client.SetParamsContext(steerCtx, []core.ParamSet{
 		{Name: "damping", Value: core.FloatValue(0.5)},
 		{Name: "integrator", Value: core.StringValue("euler")},
-	}, time.Second); err != nil {
+	}); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("steered damping -> 0.5 and integrator -> euler in one batch")
 
 	// Rejections carry typed errors, not strings.
-	if err := client.SetString("integrator", "rk4", time.Second); errors.Is(err, core.ErrBadValue) {
+	if err := client.SetValueContext(steerCtx, "integrator", core.StringValue("rk4")); errors.Is(err, core.ErrBadValue) {
 		fmt.Println("typed rejection: \"rk4\" is not a registered choice (core.ErrBadValue)")
 	}
 	e1 := watchEnergy(client, 40)
@@ -171,7 +176,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("floor passed to %q (reason: %s)\n", colleague.Name(), colleague.FloorReason())
-	if err := colleague.SetParam("damping", 0.8, time.Second); err != nil {
+	if err := colleague.SetParamContext(steerCtx, "damping", 0.8); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("colleague steered damping -> 0.8 while holding the floor")
@@ -183,21 +188,21 @@ func main() {
 	fmt.Printf("floor handed back to %q (reason: %s)\n", client.Name(), client.FloorReason())
 
 	// Pause, verify the sample stream stalls, resume.
-	if err := client.Pause(time.Second); err != nil {
+	if err := client.PauseContext(steerCtx); err != nil {
 		log.Fatal(err)
 	}
 	time.Sleep(50 * time.Millisecond)
 	drain(client)
 	quiet := countSamples(client, 100*time.Millisecond)
 	fmt.Printf("paused: %d samples in 100ms (want 0)\n", quiet)
-	if err := client.Resume(time.Second); err != nil {
+	if err := client.ResumeContext(steerCtx); err != nil {
 		log.Fatal(err)
 	}
 	flowing := countSamples(client, 200*time.Millisecond)
 	fmt.Printf("resumed: %d samples in 200ms\n", flowing)
 
 	// Stop the run cleanly.
-	if err := client.Stop(time.Second); err != nil {
+	if err := client.StopContext(steerCtx); err != nil {
 		log.Fatal(err)
 	}
 	<-simDone

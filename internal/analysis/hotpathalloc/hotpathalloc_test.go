@@ -10,6 +10,7 @@ import (
 func TestHotpathalloc(t *testing.T) {
 	for _, dir := range []string{
 		"testdata/alloc",
+		"testdata/blob",
 		"testdata/lock",
 		"testdata/writev",
 	} {

@@ -1,0 +1,74 @@
+// Package blob models the pixel-frame publish path (PR 10): a publisher
+// hands a bulk frame to the session's broadcast, which encodes it once into
+// a pooled size-classed buffer and fans refcounted references out. The
+// naive shape re-allocates per frame; the shipped shape touches the heap
+// only through the pool.
+package blob
+
+type frame struct {
+	stream string
+	data   []byte
+}
+
+type pooled struct {
+	b    []byte
+	refs int32
+}
+
+type session struct {
+	pool   []*pooled
+	rings  [][]*pooled
+	frames uint64
+}
+
+// getFrame models the size-classed pool checkout: amortised-zero, the one
+// sanctioned allocation site of the publish path.
+func getFrame(s *session, n int) *pooled {
+	if len(s.pool) > 0 {
+		fb := s.pool[len(s.pool)-1]
+		s.pool = s.pool[:len(s.pool)-1]
+		fb.b = fb.b[:0]
+		fb.refs = 1
+		return fb
+	}
+	//steer:allow hotpathalloc pool miss: the size-classed pool refills on a cold path and reuse is amortised-zero in steady state
+	return &pooled{b: make([]byte, 0, n), refs: 1}
+}
+
+// publishNaive is the pixel publish written carelessly: a fresh payload
+// copy, a tag built by concatenation and a per-frame header slice.
+//
+//steer:hotpath
+func publishNaive(s *session, f *frame) {
+	payload := make([]byte, len(f.data)) // want `make allocates`
+	copy(payload, f.data)
+	tag := f.stream + "/pixels" // want `string concatenation allocates`
+	_ = tag
+	header := []byte{1, 2, 3, 4} // want `slice literal allocates`
+	for i := range s.rings {
+		grown := append(s.rings[i], &pooled{b: payload}) // want `append may grow its backing array` `composite literal allocates`
+		s.rings[i] = grown
+	}
+	_ = header
+}
+
+// publishPooled is the shipped shape: one pool checkout, self-appends into
+// the pooled buffer, refcounted ring pushes that reuse ring capacity.
+//
+//steer:hotpath
+func publishPooled(s *session, f *frame) {
+	fb := getFrame(s, len(f.data)+16)
+	fb.b = append(fb.b, byte(len(f.stream))) // self-append: accepted
+	fb.b = append(fb.b, f.stream...)         // self-append: accepted
+	fb.b = append(fb.b, f.data...)           // self-append: accepted
+	for i := range s.rings {
+		fb.refs++
+		if n := len(s.rings[i]); n < cap(s.rings[i]) {
+			s.rings[i] = s.rings[i][:n+1]
+			s.rings[i][n] = fb
+		} else if n > 0 {
+			s.rings[i][n-1] = fb // freshest-wins overwrite: no growth
+		}
+	}
+	s.frames++
+}

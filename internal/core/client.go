@@ -49,6 +49,7 @@ type Client struct {
 	pending map[uint64]chan *ackMsg
 
 	samples chan *Sample
+	blobs   chan *Blob
 	updates chan ViewState
 	closed  chan struct{}
 	once    sync.Once
@@ -77,6 +78,10 @@ type AttachOptions struct {
 	// SampleBuffer bounds the local sample queue (default 16). When full,
 	// the oldest sample is discarded: a slow consumer sees the freshest data.
 	SampleBuffer int
+	// BlobBuffer bounds the local blob queue (default 4 — blob frames are
+	// big, so the client holds few of them). Same freshest-wins eviction as
+	// SampleBuffer.
+	BlobBuffer int
 	// Timeout bounds the attach handshake (default 5s).
 	Timeout time.Duration
 	// HeartbeatInterval overrides the lease-renewal heartbeat cadence.
@@ -132,6 +137,9 @@ func Dial(ctx context.Context, addr string, opts AttachOptions) (*Client, error)
 func AttachContext(ctx context.Context, conn net.Conn, opts AttachOptions) (*Client, error) {
 	if opts.SampleBuffer <= 0 {
 		opts.SampleBuffer = 16
+	}
+	if opts.BlobBuffer <= 0 {
+		opts.BlobBuffer = 4
 	}
 	if opts.Timeout <= 0 {
 		opts.Timeout = 5 * time.Second
@@ -198,6 +206,7 @@ func AttachContext(ctx context.Context, conn net.Conn, opts AttachOptions) (*Cli
 		params:   make(map[string]Param),
 		pending:  make(map[uint64]chan *ackMsg),
 		samples:  make(chan *Sample, opts.SampleBuffer),
+		blobs:    make(chan *Blob, opts.BlobBuffer),
 		updates:  make(chan ViewState, 16),
 		masterCh: make(chan struct{}),
 		closed:   make(chan struct{}),
@@ -404,6 +413,13 @@ func (c *Client) Events() []string {
 // oldest entries, never block the session.
 func (c *Client) Samples() <-chan *Sample { return c.samples }
 
+// Blobs returns the channel of incoming bulk frames (protocol v5): pixel
+// tiles, rendered frames, geometry, keyed by stream name. Same
+// freshest-wins semantics as Samples — a slow consumer loses the oldest
+// queued blob, never blocks the session. The Data slice of a received blob
+// belongs to the consumer outright.
+func (c *Client) Blobs() <-chan *Blob { return c.blobs }
+
 // ViewUpdates returns the channel of view synchronisation updates.
 func (c *Client) ViewUpdates() <-chan ViewState { return c.updates }
 
@@ -429,6 +445,22 @@ func (c *Client) readLoop() {
 				default:
 					select {
 					case <-c.samples: // evict oldest
+						continue
+					default:
+					}
+				}
+				break
+			}
+		case msgBlob:
+			if e.Blob == nil {
+				continue
+			}
+			for {
+				select {
+				case c.blobs <- e.Blob:
+				default:
+					select {
+					case <-c.blobs: // evict oldest
 						continue
 					default:
 					}
@@ -581,36 +613,17 @@ func (c *Client) requestCtx(ctx context.Context, e *envelope) error {
 	return err
 }
 
-// SetValue submits a typed steering assignment; only the master succeeds.
-// The value is validated against the parameter's registered type and bounds
-// and applied at the simulation's next poll. Rejections carry typed errors:
-// ErrNotMaster, ErrUnknownParam, ErrBadValue.
-//
-// New code should prefer the context form, SetValueContext.
-func (c *Client) SetValue(name string, value Value, timeout time.Duration) error {
-	return c.SetParams([]ParamSet{{Name: name, Value: value}}, timeout)
-}
-
-// SetValueContext is SetValue bounded by a context instead of a fixed
-// timeout.
+// SetValueContext submits a typed steering assignment; only the master
+// succeeds. The value is validated against the parameter's registered type
+// and bounds and applied at the simulation's next poll. Rejections carry
+// typed errors: ErrNotMaster, ErrUnknownParam, ErrBadValue.
 func (c *Client) SetValueContext(ctx context.Context, name string, value Value) error {
 	return c.SetParamsContext(ctx, []ParamSet{{Name: name, Value: value}})
 }
 
-// SetParams submits a batch of steering assignments in one envelope with
-// one round trip. The batch is atomic: the session validates every
+// SetParamsContext submits a batch of steering assignments in one envelope
+// with one round trip. The batch is atomic: the session validates every
 // assignment before queueing any, so a rejected batch changes nothing.
-//
-// New code should prefer the context form, SetParamsContext.
-func (c *Client) SetParams(sets []ParamSet, timeout time.Duration) error {
-	if len(sets) == 0 {
-		return nil
-	}
-	return c.request(&envelope{Type: msgSetParam, Sets: sets}, timeout)
-}
-
-// SetParamsContext is SetParams bounded by a context instead of a fixed
-// timeout.
 func (c *Client) SetParamsContext(ctx context.Context, sets []ParamSet) error {
 	if len(sets) == 0 {
 		return nil
@@ -618,93 +631,36 @@ func (c *Client) SetParamsContext(ctx context.Context, sets []ParamSet) error {
 	return c.requestCtx(ctx, &envelope{Type: msgSetParam, Sets: sets})
 }
 
-// SetParam submits a float steering assignment; the float convenience form
-// of SetValue.
-//
-// New code should prefer the context form, SetParamContext.
-func (c *Client) SetParam(name string, value float64, timeout time.Duration) error {
-	return c.SetValue(name, FloatValue(value), timeout)
-}
-
-// SetParamContext is SetParam bounded by a context instead of a fixed
-// timeout.
+// SetParamContext submits a float steering assignment; the float
+// convenience form of SetValueContext. Other value kinds go through
+// SetValueContext with the matching constructor (IntValue, BoolValue,
+// StringValue).
 func (c *Client) SetParamContext(ctx context.Context, name string, value float64) error {
 	return c.SetValueContext(ctx, name, FloatValue(value))
 }
 
-// SetInt submits an integer steering assignment.
-func (c *Client) SetInt(name string, value int64, timeout time.Duration) error {
-	return c.SetValue(name, IntValue(value), timeout)
-}
-
-// SetBool submits a bool steering assignment.
-func (c *Client) SetBool(name string, value bool, timeout time.Duration) error {
-	return c.SetValue(name, BoolValue(value), timeout)
-}
-
-// SetString submits a string (or choice) steering assignment.
-func (c *Client) SetString(name, value string, timeout time.Duration) error {
-	return c.SetValue(name, StringValue(value), timeout)
-}
-
-// Pause asks the simulation to pause at its next poll (master only).
-//
-// New code should prefer the context form, PauseContext.
-func (c *Client) Pause(timeout time.Duration) error {
-	return c.request(&envelope{Type: msgCommand, Command: cmdPause}, timeout)
-}
-
-// PauseContext is Pause bounded by a context instead of a fixed timeout.
+// PauseContext asks the simulation to pause at its next poll (master only).
 func (c *Client) PauseContext(ctx context.Context) error {
 	return c.requestCtx(ctx, &envelope{Type: msgCommand, Command: cmdPause})
 }
 
-// Resume releases a paused simulation (master only).
-//
-// New code should prefer the context form, ResumeContext.
-func (c *Client) Resume(timeout time.Duration) error {
-	return c.request(&envelope{Type: msgCommand, Command: cmdResume}, timeout)
-}
-
-// ResumeContext is Resume bounded by a context instead of a fixed timeout.
+// ResumeContext releases a paused simulation (master only).
 func (c *Client) ResumeContext(ctx context.Context) error {
 	return c.requestCtx(ctx, &envelope{Type: msgCommand, Command: cmdResume})
 }
 
-// Stop asks the simulation to terminate cleanly (master only).
-//
-// New code should prefer the context form, StopContext.
-func (c *Client) Stop(timeout time.Duration) error {
-	return c.request(&envelope{Type: msgCommand, Command: cmdStop}, timeout)
-}
-
-// StopContext is Stop bounded by a context instead of a fixed timeout.
+// StopContext asks the simulation to terminate cleanly (master only).
 func (c *Client) StopContext(ctx context.Context) error {
 	return c.requestCtx(ctx, &envelope{Type: msgCommand, Command: cmdStop})
 }
 
-// Checkpoint asks the simulation to write a checkpoint (master only).
-//
-// New code should prefer the context form, CheckpointContext.
-func (c *Client) Checkpoint(timeout time.Duration) error {
-	return c.request(&envelope{Type: msgCommand, Command: cmdCheckpoint}, timeout)
-}
-
-// CheckpointContext is Checkpoint bounded by a context instead of a fixed
-// timeout.
+// CheckpointContext asks the simulation to write a checkpoint (master
+// only).
 func (c *Client) CheckpointContext(ctx context.Context) error {
 	return c.requestCtx(ctx, &envelope{Type: msgCommand, Command: cmdCheckpoint})
 }
 
-// SetView publishes a new shared view state (master only).
-//
-// New code should prefer the context form, SetViewContext.
-func (c *Client) SetView(v ViewState, timeout time.Duration) error {
-	return c.request(&envelope{Type: msgSetView, View: &v}, timeout)
-}
-
-// SetViewContext is SetView bounded by a context instead of a fixed
-// timeout.
+// SetViewContext publishes a new shared view state (master only).
 func (c *Client) SetViewContext(ctx context.Context, v ViewState) error {
 	return c.requestCtx(ctx, &envelope{Type: msgSetView, View: &v})
 }
@@ -852,6 +808,10 @@ func (c *Client) Close() error {
 	})
 	return nil
 }
+
+// Done is closed when the client detaches or its connection fails; consumers
+// draining Samples or Blobs select on it to learn the stream has ended.
+func (c *Client) Done() <-chan struct{} { return c.closed }
 
 // Err returns the read-loop error after the connection has failed.
 func (c *Client) Err() error {

@@ -10,6 +10,16 @@ import (
 	"time"
 )
 
+// testCtx bounds one steering round trip so a wedged session fails the
+// test instead of hanging it; the context-form calls take it where the
+// retired convenience wrappers took a fixed timeout.
+func testCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
 // testSession starts a session on a loopback TCP listener and returns it
 // with a dialer.
 func testSession(t *testing.T, cfg SessionConfig) (*Session, func(opts AttachOptions) *Client) {
@@ -123,7 +133,7 @@ func TestSteeringAppliedAtPoll(t *testing.T) {
 	st.RegisterFloat("g", 0, 0, 10, "", func(v float64) { applied <- v })
 
 	m := dial(AttachOptions{Name: "m"})
-	if err := m.SetParam("g", 4.5, time.Second); err != nil {
+	if err := m.SetParamContext(testCtx(t), "g", 4.5); err != nil {
 		t.Fatalf("SetParam: %v", err)
 	}
 	// Not yet applied: the simulation has not polled.
@@ -159,7 +169,7 @@ func TestObserverCannotSteer(t *testing.T) {
 	st.RegisterFloat("g", 0, 0, 10, "", func(float64) {})
 	dial(AttachOptions{Name: "m"})
 	o := dial(AttachOptions{Name: "o"})
-	err := o.SetParam("g", 1, time.Second)
+	err := o.SetParamContext(testCtx(t), "g", 1)
 	if err == nil || !strings.Contains(err.Error(), "master") {
 		t.Fatalf("observer steer err = %v", err)
 	}
@@ -173,13 +183,13 @@ func TestParamValidation(t *testing.T) {
 	st := s.Steered()
 	st.RegisterFloat("g", 0, 0, 10, "", func(float64) {})
 	m := dial(AttachOptions{Name: "m"})
-	if err := m.SetParam("nosuch", 1, time.Second); err == nil {
+	if err := m.SetParamContext(testCtx(t), "nosuch", 1); err == nil {
 		t.Fatal("unknown param accepted")
 	}
-	if err := m.SetParam("g", 11, time.Second); err == nil {
+	if err := m.SetParamContext(testCtx(t), "g", 11); err == nil {
 		t.Fatal("out-of-bounds accepted")
 	}
-	if err := m.SetParam("g", -0.1, time.Second); err == nil {
+	if err := m.SetParamContext(testCtx(t), "g", -0.1); err == nil {
 		t.Fatal("below-min accepted")
 	}
 }
@@ -207,7 +217,7 @@ func TestPauseResumeStop(t *testing.T) {
 	st := s.Steered()
 	m := dial(AttachOptions{Name: "m"})
 
-	if err := m.Pause(time.Second); err != nil {
+	if err := m.PauseContext(testCtx(t)); err != nil {
 		t.Fatal(err)
 	}
 	waitFor(t, "pause to take effect", func() bool { return st.Poll() == ControlPaused })
@@ -220,7 +230,7 @@ func TestPauseResumeStop(t *testing.T) {
 	done := make(chan Control, 1)
 	go func() { done <- st.PollBlocking(0) }()
 	time.Sleep(20 * time.Millisecond)
-	if err := m.Resume(time.Second); err != nil {
+	if err := m.ResumeContext(testCtx(t)); err != nil {
 		t.Fatal(err)
 	}
 	select {
@@ -232,7 +242,7 @@ func TestPauseResumeStop(t *testing.T) {
 		t.Fatal("PollBlocking stuck after resume")
 	}
 
-	if err := m.Stop(time.Second); err != nil {
+	if err := m.StopContext(testCtx(t)); err != nil {
 		t.Fatal(err)
 	}
 	waitFor(t, "stop", func() bool { return st.Poll() == ControlStop })
@@ -245,7 +255,7 @@ func TestCheckpointRequest(t *testing.T) {
 	if st.CheckpointRequested() {
 		t.Fatal("spurious checkpoint request")
 	}
-	if err := m.Checkpoint(time.Second); err != nil {
+	if err := m.CheckpointContext(testCtx(t)); err != nil {
 		t.Fatal(err)
 	}
 	waitFor(t, "checkpoint pending", func() bool {
@@ -264,7 +274,7 @@ func TestViewSynchronisation(t *testing.T) {
 	o2 := dial(AttachOptions{Name: "o2"})
 
 	v := ViewState{Eye: [3]float64{5, 6, 7}, FovY: 1.1, VizParams: map[string]float64{"iso": 0.25}}
-	if err := m.SetView(v, time.Second); err != nil {
+	if err := m.SetViewContext(testCtx(t), v); err != nil {
 		t.Fatal(err)
 	}
 	for _, c := range []*Client{m, o1, o2} {
@@ -274,7 +284,7 @@ func TestViewSynchronisation(t *testing.T) {
 		})
 	}
 	// Observer may not move the shared view.
-	if err := o1.SetView(v, time.Second); err == nil {
+	if err := o1.SetViewContext(testCtx(t), v); err == nil {
 		t.Fatal("observer moved the shared view")
 	}
 }
@@ -285,7 +295,7 @@ func TestViewSeqMonotonic(t *testing.T) {
 	o := dial(AttachOptions{Name: "o"})
 	for i := 1; i <= 5; i++ {
 		v := ViewState{Eye: [3]float64{float64(i), 0, 0}}
-		if err := m.SetView(v, time.Second); err != nil {
+		if err := m.SetViewContext(testCtx(t), v); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -318,10 +328,10 @@ func TestMasterHandoff(t *testing.T) {
 		t.Fatalf("session master = %q", s.Master())
 	}
 	// The new master steers; the old one cannot.
-	if err := o.SetParam("g", 2, time.Second); err != nil {
+	if err := o.SetParamContext(testCtx(t), "g", 2); err != nil {
 		t.Fatalf("new master rejected: %v", err)
 	}
-	if err := m.SetParam("g", 3, time.Second); err == nil {
+	if err := m.SetParamContext(testCtx(t), "g", 3); err == nil {
 		t.Fatal("old master still steering")
 	}
 }

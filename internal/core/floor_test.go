@@ -58,7 +58,7 @@ func TestReleaseMasterWithEmptyQueueFreesFloor(t *testing.T) {
 		return s.Master() == "" && o.Master() == "" && o.FloorReason() == FloorReleased
 	})
 	// Released floor means the old holder cannot steer either.
-	if err := m.Pause(time.Second); !errors.Is(err, ErrNotMaster) {
+	if err := m.PauseContext(testCtx(t)); !errors.Is(err, ErrNotMaster) {
 		t.Fatalf("ex-master pause = %v, want ErrNotMaster", err)
 	}
 }
@@ -190,7 +190,7 @@ func TestStealMasterPolicyGate(t *testing.T) {
 	waitFor(t, "steal visible", func() bool {
 		return s.Master() == "admin" && m.Master() == "admin" && m.FloorReason() == FloorStolen
 	})
-	if err := m.Pause(time.Second); !errors.Is(err, ErrNotMaster) {
+	if err := m.PauseContext(testCtx(t)); !errors.Is(err, ErrNotMaster) {
 		t.Fatalf("preempted master pause = %v, want ErrNotMaster", err)
 	}
 	if st := s.FloorStats(); st.Steals != 1 {
@@ -258,7 +258,7 @@ func TestLeaseExpiryDeterministic(t *testing.T) {
 	}
 	// The wedged client is demoted, not evicted: when it wakes, its steers
 	// are rejected — no split-brain mastership.
-	if err := m.Pause(time.Second); !errors.Is(err, ErrNotMaster) {
+	if err := m.PauseContext(testCtx(t)); !errors.Is(err, ErrNotMaster) {
 		t.Fatalf("expired master pause = %v, want ErrNotMaster", err)
 	}
 	if got := len(s.Clients()); got != 2 {
@@ -421,7 +421,7 @@ func TestMasterStateRestartConvergence(t *testing.T) {
 		t.Fatal(err)
 	}
 	m := dial1(AttachOptions{Name: "alice"})
-	if err := m.SetParam("g", 7, time.Second); err != nil {
+	if err := m.SetParamContext(testCtx(t), "g", 7); err != nil {
 		t.Fatal(err)
 	}
 	st.Poll()

@@ -40,25 +40,78 @@ type FrameBuf struct {
 	// unpooled marks wrapper frames (NewFrame) whose bytes the pool must
 	// never recycle or poison: the caller owns the backing array.
 	unpooled bool
+	// minProto, when non-zero, is the lowest protocol version whose decoder
+	// understands this frame; fan-out (inline and relay) skips clients
+	// attached below it instead of killing their read loops with an unknown
+	// message type. Zero — every frame class that predates v5 — delivers to
+	// everyone.
+	minProto uint32
 }
 
 // maxPooledFrame bounds the capacity a buffer may keep when it returns to
 // the pool; a one-off giant sample must not pin its arena forever.
 const maxPooledFrame = 1 << 20
 
-var framePool = sync.Pool{New: func() any { return new(FrameBuf) }}
+// frameClassCaps are the pool size-class ceilings. One pool served fine
+// while every broadcast was a ~100-byte sample, but the blob frame class
+// mixes 64KB–1MB pixel payloads into the same traffic: a shared pool would
+// thrash — a control broadcast grabs a megabyte arena and pins it for a
+// 200-byte ack's lifetime, or a pixel frame draws a small buffer and
+// reallocs — so buffers are classed by capacity. Get rounds a cold refill
+// up to its class ceiling, and Release files the buffer under the class its
+// actual capacity fits, so growth migrates buffers upward instead of
+// wasting them.
+var frameClassCaps = [...]int{4 << 10, 64 << 10, 256 << 10, maxPooledFrame}
+
+var framePools [len(frameClassCaps)]sync.Pool
+
+func init() {
+	for i := range framePools {
+		framePools[i].New = func() any { return new(FrameBuf) }
+	}
+}
+
+// frameClassFor returns the index of the smallest size class holding n
+// bytes, or -1 when n exceeds every ceiling (the buffer is unpoolable).
+//
+//steer:hotpath
+func frameClassFor(n int) int {
+	for i, c := range frameClassCaps {
+		if n <= c {
+			return i
+		}
+	}
+	return -1
+}
 
 // GetFrame returns a pooled buffer with one reference and at least capHint
-// capacity. Exported for tests and in-process sinks; sessions draw every
-// broadcast frame from here.
+// capacity, drawn from the smallest size class that holds it. Exported for
+// tests and in-process sinks; sessions draw every broadcast frame from
+// here.
+//
+//steer:hotpath
 func GetFrame(capHint int) *FrameBuf {
-	fb := framePool.Get().(*FrameBuf)
+	cls := frameClassFor(capHint)
+	pool := cls
+	if pool < 0 {
+		// Oversize request: borrow a struct from the top class; Release will
+		// drop the arena rather than pool it.
+		pool = len(frameClassCaps) - 1
+	}
+	fb := framePools[pool].Get().(*FrameBuf)
 	if cap(fb.b) < capHint {
+		// Round a cold refill up to the class ceiling so the buffer serves
+		// any request in its class without reallocating.
+		c := capHint
+		if cls >= 0 {
+			c = frameClassCaps[cls]
+		}
 		//steer:allow hotpathalloc cold pool-refill branch; a warm pool reuses capacity and the benchmarks hold 0 allocs/op
-		fb.b = make([]byte, 0, capHint)
+		fb.b = make([]byte, 0, c)
 	}
 	fb.b = fb.b[:0]
 	fb.keys = fb.keys[:0]
+	fb.minProto = 0
 	fb.refs.Store(1)
 	return fb
 }
@@ -127,8 +180,13 @@ func (f *FrameBuf) Release() {
 		return
 	}
 	poisonFrame(f.b)
-	if cap(f.b) > maxPooledFrame {
+	// File the buffer under the class its actual capacity fits — a buffer
+	// grown past its birth class migrates up — and drop arenas no class
+	// holds so a one-off giant frame cannot pin its memory forever.
+	cls := frameClassFor(cap(f.b))
+	if cls < 0 {
 		f.b = nil
+		cls = 0
 	}
 	// Clear key strings so a pooled buffer cannot pin them; the slice
 	// capacity itself is the reusable asset.
@@ -136,7 +194,8 @@ func (f *FrameBuf) Release() {
 		f.keys[i] = ""
 	}
 	f.keys = f.keys[:0]
-	framePool.Put(f)
+	f.minProto = 0
+	framePools[cls].Put(f)
 }
 
 // releaseFrames releases every frame in frames and nils the slots so a

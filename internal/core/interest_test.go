@@ -147,7 +147,7 @@ func TestParamSubscriptionFiltering(t *testing.T) {
 
 	set := func(name string, v float64) {
 		t.Helper()
-		if err := master.SetParam(name, v, time.Second); err != nil {
+		if err := master.SetParamContext(testCtx(t), name, v); err != nil {
 			t.Fatal(err)
 		}
 		st.Poll() // apply and broadcast the update

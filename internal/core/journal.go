@@ -33,6 +33,15 @@ const (
 	// joiner has data before the next emission; a compacting sink may keep
 	// only the freshest.
 	JournalSample
+	// JournalBlob marks bulk blob frames (pixel tiles, rendered frames,
+	// geometry). They are never recorded or replayed: blob streams are
+	// delta-coded by their publisher, so a replayed delta without its
+	// keyframe is garbage, and durably retaining megabyte pixel history
+	// would swamp the log for state nobody can reuse — publishers re-key
+	// late joiners with a fresh keyframe instead. The class exists so
+	// fanout can recognise and skip the journal tap on an otherwise
+	// ordinary broadcast.
+	JournalBlob
 )
 
 // JournalSink receives every broadcast envelope a session encodes and hands
@@ -71,6 +80,8 @@ func journalClassOf(t msgType) JournalClass {
 		return JournalEvent
 	case msgSample:
 		return JournalSample
+	case msgBlob:
+		return JournalBlob
 	default:
 		return JournalState
 	}

@@ -64,7 +64,7 @@ func TestLateJoinerConvergence(t *testing.T) {
 	}
 
 	early := dial(AttachOptions{Name: "early"})
-	if err := early.SetParam("g", 4.5, time.Second); err != nil {
+	if err := early.SetParamContext(testCtx(t), "g", 4.5); err != nil {
 		t.Fatal(err)
 	}
 	st.Poll() // apply + broadcast the param update
@@ -159,7 +159,7 @@ func TestJournalRecordsBroadcastClasses(t *testing.T) {
 	st.RegisterFloat("g", 0, 0, 10, "", func(float64) {})
 
 	m := dial(AttachOptions{Name: "m"})
-	if err := m.SetParam("g", 2, time.Second); err != nil {
+	if err := m.SetParamContext(testCtx(t), "g", 2); err != nil {
 		t.Fatal(err)
 	}
 	st.Poll()
@@ -167,7 +167,7 @@ func TestJournalRecordsBroadcastClasses(t *testing.T) {
 	sample := NewSample(1)
 	sample.Channels["x"] = Scalar(1)
 	st.Emit(sample)
-	if err := m.SetView(ViewState{Eye: [3]float64{1, 2, 3}}, time.Second); err != nil {
+	if err := m.SetViewContext(testCtx(t), ViewState{Eye: [3]float64{1, 2, 3}}); err != nil {
 		t.Fatal(err)
 	}
 

@@ -1,13 +1,24 @@
-package core
+package core_test
 
 import (
 	"bytes"
+	"context"
 	"net"
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/sim/lb"
 )
+
+// testCtx bounds one steering round trip (the in-package suite has its own
+// copy; external test packages cannot share unexported helpers).
+func testCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
 
 // TestMigrationWithoutClientDisturbance reproduces the section 2.4
 // capability: "the ability to migrate both computation ... within a session
@@ -17,7 +28,7 @@ import (
 // client never reattaches and sees a continuous, monotonic sample stream
 // with its steered parameter intact.
 func TestMigrationWithoutClientDisturbance(t *testing.T) {
-	session := NewSession(SessionConfig{Name: "migrating-run", AppName: "lb3d"})
+	session := core.NewSession(core.SessionConfig{Name: "migrating-run", AppName: "lb3d"})
 	defer session.Close()
 	st := session.Steered()
 
@@ -43,19 +54,19 @@ func TestMigrationWithoutClientDisturbance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	client, err := Attach(conn, AttachOptions{Name: "steerer", SampleBuffer: 256})
+	client, err := core.Attach(conn, core.AttachOptions{Name: "steerer", SampleBuffer: 256})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer client.Close()
 
 	// Host A runs 30 steps, then checkpoints (as if being evicted).
-	if err := client.SetParam("g", 4.5, time.Second); err != nil {
+	if err := client.SetParamContext(testCtx(t), "g", 4.5); err != nil {
 		t.Fatal(err)
 	}
 	emit := func(s *lb.Sim) {
-		sample := NewSample(int64(s.StepCount()))
-		sample.Channels["segregation"] = Scalar(s.Segregation())
+		sample := core.NewSample(int64(s.StepCount()))
+		sample.Channels["segregation"] = core.Scalar(s.Segregation())
 		st.Emit(sample)
 	}
 	for i := 0; i < 30; i++ {
@@ -121,7 +132,7 @@ drain:
 		t.Fatal("migration event not announced")
 	}
 	// Steering still works against host B without reattaching.
-	if err := client.SetParam("g", 2.0, time.Second); err != nil {
+	if err := client.SetParamContext(testCtx(t), "g", 2.0); err != nil {
 		t.Fatal(err)
 	}
 	st.Poll()

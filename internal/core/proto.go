@@ -54,11 +54,25 @@ import (
 // exactly the v3 delivery semantics. The v4 additions are all new frame
 // tags or trailing ints in existing groups, both of which v3 decoders
 // skip, so broadcast framing needs no per-client re-encode.
-const ProtoVersion = 4
+//
+// Version 5 adds the bulk blob frame class (msgBlob): large binary
+// payloads — pixel tiles, rendered frames, geometry — ride the same
+// refcounted FrameBuf fan-out as samples, interest-keyed by stream name
+// and sized for the zero-copy writev egress path. Unlike the v4
+// additions, a blob is a whole new message type, which pre-v5 decoders
+// reject as malformed rather than skip — so blob delivery is proto-gated
+// per client (FrameBuf.minProto): a v5 session simply never queues a blob
+// toward a v3/v4 peer, and mixed fleets keep working on the shared
+// encode-once buffer.
+const ProtoVersion = 5
 
-// minProtoVersion is the oldest peer generation a v4 endpoint still
-// accepts (see the downgrade note on ProtoVersion).
+// minProtoVersion is the oldest peer generation a v5 endpoint still
+// accepts (see the downgrade notes on ProtoVersion).
 const minProtoVersion = 3
+
+// blobProtoVersion is the first protocol generation whose decoder
+// understands msgBlob; fan-out gates blob frames on it per client.
+const blobProtoVersion = 5
 
 // Frame tags of the envelope codec.
 const (
@@ -93,6 +107,14 @@ const (
 	// tagSub carries a subscribe/unsubscribe selector set: int64 ×n
 	// subscription kinds, names in the envelope's tagStrs positionally.
 	tagSub
+	// tagBlobMeta (v5) carries a blob frame's fixed-size descriptor:
+	// int64 ×6 [seq, encoding, width, height, flags, len]. The stream name
+	// rides in the envelope's tagStrs; len must match the tagBlobData
+	// payload exactly.
+	tagBlobMeta
+	// tagBlobData (v5) carries the blob payload as one wire bytes element —
+	// the big-frame half of the envelope, 64KB–1MB for pixel streams.
+	tagBlobData
 )
 
 // Register the envelope tag names so wire-level tag mismatches report
@@ -116,6 +138,8 @@ func init() {
 		tagFloor:      "tagFloor",
 		tagAttachExt:  "tagAttachExt",
 		tagSub:        "tagSub",
+		tagBlobMeta:   "tagBlobMeta",
+		tagBlobData:   "tagBlobData",
 	} {
 		wire.TagName[tag] = name
 	}
@@ -206,6 +230,12 @@ const (
 	// interest set; with no selectors it clears both kinds to
 	// interested-in-nothing. Always acked.
 	msgUnsubscribe
+	// msgBlob (v5) is the bulk binary frame class: an application-defined
+	// payload (pixel tiles, rendered frames, geometry) keyed by a stream
+	// name for interest filtering. Session→client only, never journaled
+	// (blob streams are publisher-delta-coded; see JournalBlob), and never
+	// queued toward a pre-v5 peer.
+	msgBlob
 )
 
 // commandKind names the session-level commands a master may issue.
@@ -246,6 +276,8 @@ type envelope struct {
 	// marks a subscribe-all reset (flagSubAll).
 	Subs   []Subscription
 	SubAll bool
+	// Blob is the v5 bulk frame payload.
+	Blob *Blob
 }
 
 type attachMsg struct {
@@ -366,6 +398,16 @@ func frameCount(e *envelope, version uint32) (int, error) {
 			return 0, fmt.Errorf("%w: sample without payload", errMalformed)
 		}
 		return 2 + len(e.Sample.Channels), nil
+	case msgBlob:
+		if version < blobProtoVersion {
+			//steer:allow hotpathalloc malformed-envelope error path aborts the broadcast before any fan-out
+			return 0, fmt.Errorf("%w: blob frames require v%d, encoding at v%d", errMalformed, blobProtoVersion, version)
+		}
+		if e.Blob == nil {
+			//steer:allow hotpathalloc malformed-envelope error path aborts the broadcast before any fan-out
+			return 0, fmt.Errorf("%w: blob without payload", errMalformed)
+		}
+		return 3, nil // stream name + meta + data
 	case msgSetParam:
 		return 3, nil
 	case msgParamUpdate:
@@ -474,6 +516,8 @@ func encodeEnvelope(buf []byte, e *envelope) ([]byte, error) {
 		}
 	case msgSample:
 		buf = appendSample(buf, e.Sample)
+	case msgBlob:
+		buf = appendBlob(buf, e.Blob)
 	case msgSetParam:
 		buf = appendSets(buf, e.Sets)
 	case msgParamUpdate:
@@ -709,6 +753,46 @@ func parseSample(meta []int64, names []string, data [][]float64) (*Sample, error
 	return s, nil
 }
 
+// appendBlob emits the blob group: the stream name, the fixed descriptor,
+// then the payload as a single wire bytes element. The payload is appended
+// byte-for-byte — no per-pixel framing — so the encoded frame's dominant
+// cost is one memcpy into the (size-classed) pooled buffer, after which
+// fan-out and the writev egress are copy-free.
+//
+//steer:hotpath
+func appendBlob(buf []byte, b *Blob) []byte {
+	buf = wire.AppendStrings(buf, tagStrs, []string{b.Stream}) //steer:allow hotpathalloc non-escaping literal the compiler stack-allocates, same as the header frame
+	buf = wire.AppendInt64s(buf, tagBlobMeta, []int64{         //steer:allow hotpathalloc non-escaping literal the compiler stack-allocates, same as the header frame
+		int64(b.Seq), b.Encoding, int64(b.Width), int64(b.Height), b.Flags, int64(len(b.Data)),
+	})
+	//steer:allow hotpathalloc broadcastBlob pre-sizes the frame with Blob.ByteSize, so the payload append never grows a warm pooled buffer
+	return wire.AppendBytes(buf, tagBlobData, b.Data)
+}
+
+// parseBlob assembles the blob group back into a Blob. The data slice
+// aliases the decoder's per-message allocation; callers that retain it past
+// the envelope dispatch own it outright (the decoder never recycles it).
+func parseBlob(strs []string, meta []int64, data [][]byte) (*Blob, error) {
+	if len(meta) != 6 || len(data) != 1 {
+		return nil, fmt.Errorf("%w: blob group counts %d/%d", errMalformed, len(meta), len(data))
+	}
+	if meta[5] != int64(len(data[0])) {
+		return nil, fmt.Errorf("%w: blob declares %d bytes, carries %d", errMalformed, meta[5], len(data[0]))
+	}
+	if len(strs) < 1 {
+		return nil, fmt.Errorf("%w: blob without stream name", errMalformed)
+	}
+	return &Blob{
+		Stream:   strs[0],
+		Seq:      uint64(meta[0]),
+		Encoding: meta[1],
+		Width:    int(meta[2]),
+		Height:   int(meta[3]),
+		Flags:    meta[4],
+		Data:     data[0],
+	}, nil
+}
+
 // ---- decoding ----
 
 // decodeEnvelope reads one envelope from dec, refusing to retain more than
@@ -757,6 +841,8 @@ func decodeEnvelope(dec *wire.Decoder, budget int) (*envelope, error) {
 		attachExt           []int64
 		subKinds            []int64
 		sawSub              bool
+		blobMeta            []int64
+		blobData            [][]byte
 	)
 	for i := int64(0); i < nframes; i++ {
 		m, err := dec.Next()
@@ -800,6 +886,10 @@ func decodeEnvelope(dec *wire.Decoder, budget int) (*envelope, error) {
 		case tagSub:
 			subKinds = m.Int64s
 			sawSub = true
+		case tagBlobMeta:
+			blobMeta = m.Int64s
+		case tagBlobData:
+			blobData = m.Blobs
 		default:
 			// Unknown field group from a newer minor revision: skip.
 		}
@@ -874,6 +964,10 @@ func decodeEnvelope(dec *wire.Decoder, budget int) (*envelope, error) {
 		e.Welcome = w
 	case msgSample:
 		if e.Sample, err = parseSample(smMeta, smNames, smData); err != nil {
+			return nil, err
+		}
+	case msgBlob:
+		if e.Blob, err = parseBlob(strs, blobMeta, blobData); err != nil {
 			return nil, err
 		}
 	case msgSetParam:

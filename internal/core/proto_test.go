@@ -449,17 +449,17 @@ func TestTypedParamsEndToEnd(t *testing.T) {
 		t.Fatalf("scheme param: %+v", p)
 	}
 
-	if err := m.SetInt("iters", 42, time.Second); err != nil {
+	if err := m.SetValueContext(testCtx(t), "iters", IntValue(42)); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.SetBool("verbose", true, time.Second); err != nil {
+	if err := m.SetValueContext(testCtx(t), "verbose", BoolValue(true)); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.SetString("label", "run-b", time.Second); err != nil {
+	if err := m.SetValueContext(testCtx(t), "label", StringValue("run-b")); err != nil {
 		t.Fatal(err)
 	}
 	// A choice accepts its index too: receiver-side conversion.
-	if err := m.SetValue("scheme", IntValue(1), time.Second); err != nil {
+	if err := m.SetValueContext(testCtx(t), "scheme", IntValue(1)); err != nil {
 		t.Fatal(err)
 	}
 	st.Poll()
@@ -475,10 +475,10 @@ func TestTypedParamsEndToEnd(t *testing.T) {
 
 	// An integer parameter accepts an integral float but rejects a
 	// fractional one (no silent truncation).
-	if err := m.SetParam("iters", 7, time.Second); err != nil {
+	if err := m.SetParamContext(testCtx(t), "iters", 7); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.SetParam("iters", 7.5, time.Second); !errors.Is(err, ErrBadValue) {
+	if err := m.SetParamContext(testCtx(t), "iters", 7.5); !errors.Is(err, ErrBadValue) {
 		t.Fatalf("fractional int err = %v", err)
 	}
 }
@@ -490,16 +490,16 @@ func TestTypedErrors(t *testing.T) {
 	m := dial(AttachOptions{Name: "m"})
 	o := dial(AttachOptions{Name: "o"})
 
-	if err := o.SetParam("g", 1, time.Second); !errors.Is(err, ErrNotMaster) {
+	if err := o.SetParamContext(testCtx(t), "g", 1); !errors.Is(err, ErrNotMaster) {
 		t.Fatalf("observer steer err = %v, want ErrNotMaster", err)
 	}
-	if err := m.SetParam("nosuch", 1, time.Second); !errors.Is(err, ErrUnknownParam) {
+	if err := m.SetParamContext(testCtx(t), "nosuch", 1); !errors.Is(err, ErrUnknownParam) {
 		t.Fatalf("unknown param err = %v, want ErrUnknownParam", err)
 	}
-	if err := m.SetParam("g", 11, time.Second); !errors.Is(err, ErrBadValue) {
+	if err := m.SetParamContext(testCtx(t), "g", 11); !errors.Is(err, ErrBadValue) {
 		t.Fatalf("out-of-range err = %v, want ErrBadValue", err)
 	}
-	if err := m.SetValue("g", StringValue("warp"), time.Second); !errors.Is(err, ErrBadValue) {
+	if err := m.SetValueContext(testCtx(t), "g", StringValue("warp")); !errors.Is(err, ErrBadValue) {
 		t.Fatalf("kind clash err = %v, want ErrBadValue", err)
 	}
 }
@@ -514,10 +514,10 @@ func TestBatchSetParamsAtomic(t *testing.T) {
 	m := dial(AttachOptions{Name: "m"})
 
 	// One envelope, one ack, both applied at the next poll.
-	if err := m.SetParams([]ParamSet{
+	if err := m.SetParamsContext(testCtx(t), []ParamSet{
 		{Name: "g", Value: FloatValue(2.5)},
 		{Name: "n", Value: IntValue(5)},
-	}, time.Second); err != nil {
+	}); err != nil {
 		t.Fatal(err)
 	}
 	st.Poll()
@@ -529,10 +529,10 @@ func TestBatchSetParamsAtomic(t *testing.T) {
 	}
 
 	// A batch with one bad assignment is rejected whole: nothing applies.
-	err := m.SetParams([]ParamSet{
+	err := m.SetParamsContext(testCtx(t), []ParamSet{
 		{Name: "g", Value: FloatValue(9)},
 		{Name: "n", Value: IntValue(1000)},
-	}, time.Second)
+	})
 	if !errors.Is(err, ErrBadValue) {
 		t.Fatalf("bad batch err = %v", err)
 	}

@@ -154,6 +154,12 @@ func (w *relayWorker) deliver(frames []*FrameBuf) {
 		cc := obs[i]
 		d := cc.desc.Load()
 		for _, fb := range frames {
+			// Same proto gate as the inline steering loop: never hand a
+			// frame class to a decoder that predates it.
+			if fb.minProto > cc.proto {
+				filtered++
+				continue
+			}
 			if len(fb.keys) > 0 && !d.wantsSample(fb.keys) {
 				filtered++
 				continue

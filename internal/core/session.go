@@ -147,6 +147,11 @@ type Session struct {
 	// and frames its input rings coalesced away before fan-out.
 	statRelayPublished atomic.Uint64
 	statRelayCoalesced atomic.Uint64
+	// statBlobsEmitted/statBlobBytes count blob-class broadcasts and their
+	// payload bytes (deliveries and drops share the sample counters — the
+	// tiers make no distinction past the proto gate).
+	statBlobsEmitted atomic.Uint64
+	statBlobBytes    atomic.Uint64
 	// egress is the vectored-egress counter block shared by every admitted
 	// client's codec (injected at admit, read by Stats).
 	egress egressStats
@@ -174,6 +179,11 @@ type Stats struct {
 	// fan-out (freshest-wins under overload).
 	RelayPublished uint64
 	RelayCoalesced uint64
+	// BlobsEmitted/BlobBytes count blob-class broadcasts (protocol v5 bulk
+	// frames) and their payload bytes; their deliveries and drops share
+	// SamplesDelivered/SamplesDropped.
+	BlobsEmitted uint64
+	BlobBytes    uint64
 	// Vectored-egress activity: batches by path taken, small frames (and
 	// bytes) gathered into the shared coalesce iovec, large-frame bytes
 	// handed to the kernel without a copy, and the estimated Write
@@ -395,6 +405,8 @@ func (s *Session) Stats() Stats {
 		FramesFiltered:   s.statFramesFiltered.Load(),
 		RelayPublished:   s.statRelayPublished.Load(),
 		RelayCoalesced:   s.statRelayCoalesced.Load(),
+		BlobsEmitted:     s.statBlobsEmitted.Load(),
+		BlobBytes:        s.statBlobBytes.Load(),
 
 		EgressBatchesVectored: s.egress.batchesVectored.Load(),
 		EgressBatchesBuffered: s.egress.batchesBuffered.Load(),
@@ -1097,7 +1109,10 @@ func (s *Session) fanout(class JournalClass, fb *FrameBuf, ctrl bool) bool {
 			fb.Release()
 			return false
 		}
-		if !s.recovering.Load() {
+		// Blob frames never reach the journal (see JournalBlob): the tap is
+		// skipped, but the frame still holds the shared barrier so Close's
+		// closing-flag handshake stays exact.
+		if !s.recovering.Load() && class != JournalBlob {
 			s.cfg.Journal.Record(class, fb)
 		}
 	}
@@ -1125,6 +1140,13 @@ func (s *Session) fanout(class JournalClass, fb *FrameBuf, ctrl bool) bool {
 		steer := *s.steerView.Load()
 		var delivered, dropped, filtered uint64
 		for _, cc := range steer {
+			// Proto gate: a frame class the client's decoder predates (a blob
+			// toward a v3/v4 peer) is skipped, not delivered — an unknown
+			// message type would kill the peer's read loop.
+			if fb.minProto > cc.proto {
+				filtered++
+				continue
+			}
 			if len(fb.keys) > 0 && !cc.desc.Load().wantsSample(fb.keys) {
 				filtered++
 				continue
@@ -1231,6 +1253,38 @@ func (s *Session) broadcastSample(sample *Sample) {
 	if s.fanout(JournalSample, fb, false) {
 		s.statSamplesEmitted.Add(1)
 		s.lastSample.Store(sample)
+	}
+}
+
+// broadcastBlob fans one bulk binary frame out to the v5+ clients whose
+// interest set wants its stream, through the same tiered path as samples:
+// steering tier inline, observer tier via the relay workers. The payload is
+// copied exactly once — into the pooled, size-classed broadcast buffer —
+// and from there every delivery is a refcounted ring push; on TCP conns the
+// writev egress hands the buffer to the kernel zero-copy (a blob payload is
+// always far above the coalesce threshold). Blobs skip the journal tap (see
+// JournalBlob) and are never queued toward pre-v5 peers (fb.minProto).
+//
+//steer:hotpath
+func (s *Session) broadcastBlob(b *Blob) {
+	if s.closing.Load() {
+		return // see broadcastControl: a dying session delivers nothing
+	}
+	fb := GetFrame(b.ByteSize())
+	e := envelope{Type: msgBlob, Blob: b}
+	buf, err := encodeEnvelope(fb.b[:0], &e)
+	if err != nil {
+		fb.Release()
+		return
+	}
+	fb.b = buf
+	fb.minProto = blobProtoVersion
+	if b.Stream != "" {
+		fb.appendKey(b.Stream)
+	}
+	if s.fanout(JournalBlob, fb, false) {
+		s.statBlobsEmitted.Add(1)
+		s.statBlobBytes.Add(uint64(len(b.Data)))
 	}
 }
 

@@ -91,8 +91,27 @@ func (st *Steered) Event(ev string) {
 	st.s.broadcastEvent(ev)
 }
 
+// EmitBlob publishes one bulk binary frame — pixel tiles, a rendered
+// frame, geometry — to the v5+ clients subscribed to its stream. Like
+// Emit it never blocks: a slow client's ring overwrites its oldest blob,
+// so viewers see the freshest frame rather than a growing backlog. Blobs
+// are never journaled; publishers are responsible for re-keying late
+// joiners (emit a keyframe when ClientCount grows or on a periodic
+// keyframe cadence).
+//
+// This is the pixel-frame publish entry point: per-frame work below it is
+// one pooled-buffer encode plus refcounted ring pushes, and steervet's
+// hotpathalloc pass holds the whole descent to that budget.
+//
+//steer:hotpath
+func (st *Steered) EmitBlob(b *Blob) {
+	st.s.broadcastBlob(b)
+}
+
 // Poll applies every queued steering operation and returns the control
 // verdict. Call it once per simulation loop iteration; it never blocks.
+// A closed session reads as stopped: when the hosting daemon tears the
+// session down, the application loop winds down with it.
 func (st *Steered) Poll() Control {
 	s := st.s
 	for {
@@ -103,7 +122,7 @@ func (st *Steered) Poll() Control {
 			s.mu.Lock()
 			defer s.mu.Unlock()
 			switch {
-			case s.stopped:
+			case s.stopped, s.closed:
 				return ControlStop
 			case s.paused:
 				return ControlPaused

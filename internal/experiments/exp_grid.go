@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/netsim"
 	"repro/internal/ogsi"
+	"repro/internal/pixel"
 	"repro/internal/render"
 	"repro/internal/sim/lb"
 	"repro/internal/sim/pepc"
@@ -246,13 +247,13 @@ func RunE3() (*Result, error) {
 			Up:     render.Vec3{Y: 1}, FovY: 0.7854, Near: 0.1, Far: 1000,
 		}
 		render.Render(fb, cam, scene)
-		key := vizserver.EncodeKey(fb.Pix)
+		key := pixel.EncodeKey(fb.Pix)
 
 		// A small camera move, then a delta frame.
 		prev := append([]byte(nil), fb.Pix...)
 		cam.Eye.X += 1
 		render.Render(fb, cam, scene)
-		delta, err := vizserver.EncodeDelta(prev, fb.Pix)
+		delta, err := pixel.EncodeDelta(prev, fb.Pix)
 		if err != nil {
 			return nil, err
 		}

@@ -72,7 +72,7 @@ var All = []Experiment{
 	{"E9", "Desktop rate and multi-site view divergence", "§4.2", RunE9},
 	{"E10", "Post-processing loop: local regeneration vs image streaming", "§4.3", RunE10},
 	{"E11", "Simulation feedback loop vs human tolerance", "§4.4", RunE11},
-	{"E12", "Collaboration cost vs displayed geometry volume", "§4.6", RunE12},
+	{"E12", "Collaboration scaling on a live hub: PEPC with a mixed-tier audience", "§4.6", RunE12},
 	{"E13", "Venue integration: shared app, multicast and bridge", "Fig 4, §4.6", RunE13},
 }
 

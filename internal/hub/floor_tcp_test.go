@@ -278,7 +278,9 @@ func TestTCPFloorLeaseExpiry(t *testing.T) {
 		return st.Master == "o" && st.Expiries >= 1
 	})
 	// The wedged client wakes to find it lost the floor.
-	if err := wedged.Pause(time.Second); !errors.Is(err, core.ErrNotMaster) {
+	wctx, wcancel := context.WithTimeout(context.Background(), time.Second)
+	defer wcancel()
+	if err := wedged.PauseContext(wctx); !errors.Is(err, core.ErrNotMaster) {
 		t.Fatalf("woken ex-master pause = %v, want ErrNotMaster", err)
 	}
 	if hs := h.Stats(); hs.FloorExpiries == 0 {

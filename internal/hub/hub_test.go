@@ -176,7 +176,10 @@ func TestConcurrentAttachSteerDetach(t *testing.T) {
 			}
 			// The master steers its own session's parameter.
 			want := float64(10 + i)
-			if err := master.SetParam("x", want, 5*time.Second); err != nil {
+			sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+			err := master.SetParamContext(sctx, "x", want)
+			scancel()
+			if err != nil {
 				errCh <- fmt.Errorf("%s steer: %v", session, err)
 				return
 			}

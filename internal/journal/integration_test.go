@@ -1,6 +1,7 @@
 package journal
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"reflect"
@@ -10,6 +11,15 @@ import (
 
 	"repro/internal/core"
 )
+
+// testCtx bounds one steering round trip so a wedged session fails the
+// test instead of hanging it.
+func testCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
 
 // serveSession wires a session to a loopback listener and returns a dialer.
 func serveSession(t *testing.T, s *core.Session) func(opts core.AttachOptions) *core.Client {
@@ -64,7 +74,7 @@ func TestLateJoinerCatchupOnDisk(t *testing.T) {
 	}
 
 	early := dial(core.AttachOptions{Name: "early"})
-	if err := early.SetParam("g", 4.5, time.Second); err != nil {
+	if err := early.SetParamContext(testCtx(t), "g", 4.5); err != nil {
 		t.Fatal(err)
 	}
 	st.Poll()

@@ -434,7 +434,9 @@ func (r *runner) steerer(ctx context.Context, session string, masterUp chan<- st
 				v = r.sc.ParamMin + span*float64(n%100)/100
 			}
 			t0 := time.Now()
-			err := c.SetParam(param, v, 2*time.Second)
+			sctx, scancel := context.WithTimeout(ctx, 2*time.Second)
+			err := c.SetParamContext(sctx, param, v)
+			scancel()
 			switch {
 			case err == nil:
 				r.steerAck.Record(time.Since(t0))

@@ -1,0 +1,178 @@
+// Package pixel holds the bitmap encodings shared by the pixel delivery
+// tiers: the VizServer-style full-frame keyframe/XOR-delta codec and the
+// vnc-style dirty-tile codec. Encoded frames are plain byte payloads made
+// to ride the session engine's bulk blob frame class (core.Blob) — encoded
+// once, fanned out to every subscribed viewer over the refcounted
+// FrameBuf/writev path — rather than any per-connection stream format.
+//
+// Delta streams and freshest-wins delivery interact: a viewer that loses a
+// blob to ring overwrite has no delta base for the next one. Publishers
+// therefore re-key — on a new viewer, on a sequence gap, and on a periodic
+// cadence — and viewers discard deltas until a keyframe re-anchors them
+// (see Rekeyer and the vizserver/vnc packages).
+package pixel
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Blob encodings, carried in core.Blob.Encoding.
+const (
+	// EncKey is a self-contained flate-compressed frame.
+	EncKey int64 = iota
+	// EncDelta is a flate-compressed XOR against the previous frame.
+	EncDelta
+	// EncTiles is a dirty-tile update: a sequence of tile records, each
+	// raw or flate-compressed (the vnc-style encoding).
+	EncTiles
+)
+
+// FlagKey, carried in core.Blob.Flags, marks a tile update that covers the
+// whole framebuffer — a keyframe in tile clothing. Tile streams keep
+// EncTiles as their payload encoding throughout; viewers map a flagged
+// update to EncKey when consulting their Anchor so it re-anchors them.
+const FlagKey int64 = 1
+
+// compress flate-compresses b at BestSpeed.
+func compress(b []byte) []byte {
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		return b
+	}
+	w.Write(b)
+	w.Close()
+	return buf.Bytes()
+}
+
+// decompress inflates b, expecting want bytes.
+func decompress(b []byte, want int) ([]byte, error) {
+	r := flate.NewReader(bytes.NewReader(b))
+	out := make([]byte, 0, want)
+	buf := make([]byte, 16<<10)
+	for {
+		n, err := r.Read(buf)
+		out = append(out, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(out) != want {
+		return nil, fmt.Errorf("pixel: frame %d bytes, want %d", len(out), want)
+	}
+	return out, nil
+}
+
+// EncodeKey encodes a self-contained frame.
+func EncodeKey(pix []byte) []byte { return compress(pix) }
+
+// DecodeKey decodes a keyframe of the expected size.
+func DecodeKey(data []byte, size int) ([]byte, error) { return decompress(data, size) }
+
+// EncodeDelta encodes cur as a compressed XOR against prev. Frames that
+// changed little compress dramatically — the paper's bandwidth claim.
+func EncodeDelta(prev, cur []byte) ([]byte, error) {
+	if len(prev) != len(cur) {
+		return nil, fmt.Errorf("pixel: delta frames differ in size: %d vs %d", len(prev), len(cur))
+	}
+	x := make([]byte, len(cur))
+	for i := range cur {
+		x[i] = cur[i] ^ prev[i]
+	}
+	return compress(x), nil
+}
+
+// DecodeDelta reverses EncodeDelta against the receiver's previous frame.
+func DecodeDelta(prev, data []byte, size int) ([]byte, error) {
+	x, err := decompress(data, size)
+	if err != nil {
+		return nil, err
+	}
+	if len(prev) != size {
+		return nil, fmt.Errorf("pixel: receiver frame %d bytes, want %d", len(prev), size)
+	}
+	out := make([]byte, size)
+	for i := range out {
+		out[i] = x[i] ^ prev[i]
+	}
+	return out, nil
+}
+
+// Tile record encodings inside an EncTiles payload.
+const (
+	tileRaw uint8 = iota
+	tileFlate
+)
+
+// Tile is one dirty rectangle of an EncTiles update.
+type Tile struct {
+	X, Y, W, H int
+	// Pix is the tile's raw RGBA pixels, W*H*4 bytes row-major.
+	Pix []byte
+}
+
+// AppendTile appends one tile record to an EncTiles payload: a fixed
+// header [enc u8, x u32, y u32, w u16, h u16, len u32] followed by the raw
+// or flate-compressed pixels, whichever is smaller.
+func AppendTile(buf []byte, t Tile) ([]byte, error) {
+	if len(t.Pix) != t.W*t.H*4 {
+		return nil, fmt.Errorf("pixel: tile payload %d bytes, want %d", len(t.Pix), t.W*t.H*4)
+	}
+	enc, data := tileRaw, t.Pix
+	if c := compress(t.Pix); len(c) < len(t.Pix) {
+		enc, data = tileFlate, c
+	}
+	buf = append(buf, enc)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(t.X))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(t.Y))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(t.W))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(t.H))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(data)))
+	buf = append(buf, data...)
+	return buf, nil
+}
+
+// DecodeTiles walks an EncTiles payload, invoking apply for every tile.
+func DecodeTiles(data []byte, apply func(Tile) error) error {
+	for len(data) > 0 {
+		if len(data) < 17 {
+			return fmt.Errorf("pixel: truncated tile header (%d bytes)", len(data))
+		}
+		enc := data[0]
+		x := int(binary.BigEndian.Uint32(data[1:5]))
+		y := int(binary.BigEndian.Uint32(data[5:9]))
+		w := int(binary.BigEndian.Uint16(data[9:11]))
+		h := int(binary.BigEndian.Uint16(data[11:13]))
+		n := int(binary.BigEndian.Uint32(data[13:17]))
+		data = data[17:]
+		if n > len(data) {
+			return fmt.Errorf("pixel: tile payload %d bytes, have %d", n, len(data))
+		}
+		raw := data[:n]
+		data = data[n:]
+		switch enc {
+		case tileRaw:
+		case tileFlate:
+			var err error
+			if raw, err = decompress(raw, w*h*4); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("pixel: unknown tile encoding %d", enc)
+		}
+		if len(raw) != w*h*4 {
+			return fmt.Errorf("pixel: tile %d bytes, want %d", len(raw), w*h*4)
+		}
+		if err := apply(Tile{X: x, Y: y, W: w, H: h, Pix: raw}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

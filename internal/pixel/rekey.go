@@ -1,0 +1,60 @@
+package pixel
+
+// Rekeyer is the publisher-side keyframe policy. Blob delivery is
+// freshest-wins — a slow viewer's ring overwrites its oldest blob — so a
+// delta chain is only useful to viewers that saw every link. The policy
+// re-keys whenever the audience grew (a late joiner has no base at all)
+// and on a periodic cadence that bounds how long a gapped viewer shows a
+// stale frame.
+type Rekeyer struct {
+	// Interval forces a keyframe at least every N frames; <= 0 means 32.
+	Interval uint64
+
+	seq      uint64
+	sinceKey uint64
+	viewers  int
+	started  bool
+}
+
+// Next allocates the next frame's sequence number and reports whether it
+// must be encoded as a keyframe, given the current viewer count.
+func (r *Rekeyer) Next(viewers int) (seq uint64, key bool) {
+	interval := r.Interval
+	if interval == 0 {
+		interval = 32
+	}
+	r.seq++
+	key = !r.started || viewers > r.viewers || r.sinceKey+1 >= interval
+	r.started = true
+	r.viewers = viewers
+	if key {
+		r.sinceKey = 0
+	} else {
+		r.sinceKey++
+	}
+	return r.seq, key
+}
+
+// Anchor tracks delta-chain continuity on the viewer side: a delta only
+// applies if the viewer decoded the immediately preceding sequence number;
+// otherwise the viewer waits, unanchored, for the next keyframe.
+type Anchor struct {
+	seq      uint64
+	anchored bool
+}
+
+// Accept reports whether a blob with the given sequence number and
+// encoding can be decoded, and records the outcome. Keyframes always
+// re-anchor; tile updates and deltas require continuity.
+func (a *Anchor) Accept(seq uint64, enc int64) bool {
+	if enc == EncKey {
+		a.seq, a.anchored = seq, true
+		return true
+	}
+	if a.anchored && seq == a.seq+1 {
+		a.seq = seq
+		return true
+	}
+	a.anchored = false
+	return false
+}

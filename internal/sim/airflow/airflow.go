@@ -13,6 +13,7 @@ package airflow
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 
 	"repro/internal/viz"
@@ -149,6 +150,23 @@ func (s *Sim) AddExhaust(i, j, k int) {
 	s.exhausts = append(s.exhausts, id)
 	s.flowDirty = true
 	s.mu.Unlock()
+}
+
+// Vents returns a snapshot of every installed vent, ordered by flat cell
+// index; the steering adapter uses it to apply building-wide setpoints.
+func (s *Sim) Vents() []VentSpec {
+	s.mu.RLock()
+	ids := make([]int, 0, len(s.vents))
+	for id := range s.vents {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]VentSpec, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, *s.vents[id])
+	}
+	s.mu.RUnlock()
+	return out
 }
 
 // SetVent steers an existing vent's temperature and flow; safe to call while

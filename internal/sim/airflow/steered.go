@@ -1,0 +1,105 @@
+package airflow
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// This file binds the climatization workload onto a core steering session:
+// the COVISE demonstration of section 4.7, where vent temperature and flow
+// are the steerable climatization parameters and the mean hall temperature
+// is what the engineers watch converge.
+
+// SteerConfig configures a steered run.
+type SteerConfig struct {
+	// SampleStride emits a diagnostics sample every N steps; <= 0 means
+	// every step. Steerable at runtime via "sample-stride".
+	SampleStride int64
+	// MaxSteps stops the run after N completed steps; 0 runs until stopped.
+	MaxSteps int64
+	// PauseTimeout bounds how long a paused run blocks waiting for resume.
+	PauseTimeout time.Duration
+}
+
+// Steered is the climatization steering adapter.
+type Steered struct {
+	st     *core.Steered
+	sim    *Sim
+	cfg    SteerConfig
+	stride atomic.Int64
+
+	// installed is the vent layout at bind time: "vent-temp" applies one
+	// setpoint to every supply, "vent-flow-scale" multiplies each vent's
+	// installed flow so the layout's relative balance is preserved. scale
+	// is the current multiplier; both are only touched from apply
+	// callbacks, which run on the simulation's poll goroutine.
+	installed []VentSpec
+	scale     float64
+}
+
+// NewSteered registers the climatization steerable surface on st:
+// "vent-temp" and "vent-flow-scale" (float) plus "sample-stride" (int).
+func NewSteered(st *core.Steered, sim *Sim, cfg SteerConfig) (*Steered, error) {
+	if cfg.SampleStride <= 0 {
+		cfg.SampleStride = 1
+	}
+	a := &Steered{st: st, sim: sim, cfg: cfg, installed: sim.Vents(), scale: 1}
+	a.stride.Store(cfg.SampleStride)
+	initialTemp := 18.0
+	if len(a.installed) > 0 {
+		initialTemp = a.installed[0].Temperature
+	}
+	if err := st.RegisterFloat("vent-temp", initialTemp, 0, 45,
+		"supply temperature applied to every vent", func(v float64) {
+			for i := range a.installed {
+				a.installed[i].Temperature = v
+				a.applyVent(i)
+			}
+		}); err != nil {
+		return nil, err
+	}
+	if err := st.RegisterFloat("vent-flow-scale", 1, 0, 4,
+		"multiplier on every vent's installed flow", func(v float64) {
+			a.scale = v
+			for i := range a.installed {
+				a.applyVent(i)
+			}
+		}); err != nil {
+		return nil, err
+	}
+	if err := st.RegisterInt("sample-stride", cfg.SampleStride, 1, 1000,
+		"emit a sample every N steps", a.stride.Store); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+func (a *Steered) applyVent(i int) {
+	v := a.installed[i]
+	a.sim.SetVent(v.I, v.J, v.K, v.Temperature, v.Flow*a.scale)
+}
+
+// Run drives the steering loop until the session stops (or MaxSteps).
+func (a *Steered) Run() error {
+	for step := int64(0); a.cfg.MaxSteps == 0 || step < a.cfg.MaxSteps; step++ {
+		if a.st.PollBlocking(a.cfg.PauseTimeout) == core.ControlStop {
+			return nil
+		}
+		a.sim.Step()
+		if stride := a.stride.Load(); stride <= 1 || step%stride == 0 {
+			a.st.Emit(a.Sample(step))
+		}
+	}
+	return nil
+}
+
+// Sample builds the per-step diagnostics sample: mean hall temperature (the
+// convergence quantity) and total heat.
+func (a *Steered) Sample(step int64) *core.Sample {
+	s := core.NewSample(step)
+	s.Channels["meanT"] = core.Scalar(a.sim.MeanTemperature())
+	s.Channels["totalHeat"] = core.Scalar(a.sim.TotalHeat())
+	return s
+}

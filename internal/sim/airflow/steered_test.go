@@ -1,0 +1,94 @@
+package airflow
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hub"
+)
+
+// TestSteeredAirflowOnHub attaches the climatization workload to a live hub
+// session over loopback TCP: the mean-temperature diagnostics stream out
+// and the section 4.7 vent-temperature steer measurably heats the hall.
+func TestSteeredAirflowOnHub(t *testing.T) {
+	h := hub.New(hub.Config{})
+	defer h.Close()
+	session, err := h.CreateSession(core.SessionConfig{Name: "airflow-run", AppName: "airflow"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := CarShowBuilding(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adapter, err := NewSteered(session.Steered(), sim, SteerConfig{SampleStride: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go h.Serve(l)
+	runDone := make(chan error, 1)
+	go func() { runDone <- adapter.Run() }()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	pilot, err := core.Dial(ctx, l.Addr().String(), core.AttachOptions{
+		Name: "pilot", Session: "airflow-run", WantMaster: true, SampleBuffer: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pilot.Close()
+
+	var baseline float64
+	select {
+	case s := <-pilot.Samples():
+		mt, ok := s.Channels["meanT"]
+		if !ok {
+			t.Fatalf("sample missing meanT channel: %v", s.Channels)
+		}
+		baseline = mt.Value()
+	case <-time.After(5 * time.Second):
+		t.Fatal("no diagnostics sample from the running solver")
+	}
+
+	// Crank every supply vent to 45°C; the hall mean must respond in the
+	// diagnostics stream — the end-to-end steer→apply→observe loop.
+	if err := pilot.SetParamContext(ctx, "vent-temp", 45); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var s *core.Sample
+		select {
+		case s = <-pilot.Samples():
+		case <-time.After(5 * time.Second):
+			t.Fatal("sample stream dried up after the steer")
+		}
+		if mt, ok := s.Channels["meanT"]; ok && mt.Value() > baseline+0.1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("hall mean never rose from baseline %.3f after the vent steer", baseline)
+		}
+	}
+
+	if err := pilot.StopContext(ctx); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-runDone:
+		if err != nil {
+			t.Fatalf("solver loop: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("solver loop did not exit on stop")
+	}
+}

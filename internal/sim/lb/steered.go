@@ -1,0 +1,121 @@
+package lb
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// This file binds the lattice-Boltzmann workload onto a core steering
+// session: the Steered-backed adapter that replaces the ad-hoc control
+// surfaces the daemons used to wire by hand. The registered parameter names
+// are stable — they are what journals record and steering clients script
+// against — so a restarted daemon recovering a journal finds the same
+// surface it checkpointed under.
+
+// SteerConfig configures a steered run.
+type SteerConfig struct {
+	// Label is the initial "run-label" value (defaults to "lb3d").
+	Label string
+	// SampleStride emits a diagnostics sample every N steps; <= 0 means
+	// every step. Steerable at runtime via the "sample-stride" parameter.
+	SampleStride int64
+	// MaxSteps stops the run after N completed steps; 0 runs until a
+	// steering client stops the session.
+	MaxSteps int64
+	// PauseTimeout bounds how long a paused run blocks waiting for resume
+	// (0 waits indefinitely; see core.Steered.PollBlocking).
+	PauseTimeout time.Duration
+	// Checkpoint, when non-nil, receives the simulation's serialised state
+	// at the loop boundary whenever a steering client requests a
+	// checkpoint. Composing it with a journal-backed session is what lets
+	// a steered run survive a daemon restart.
+	Checkpoint func(write func(io.Writer) error) error
+}
+
+// Steered is the lattice-Boltzmann steering adapter: one Sim bound to one
+// session's steering surface.
+type Steered struct {
+	st     *core.Steered
+	sim    *Sim
+	cfg    SteerConfig
+	stride atomic.Int64
+}
+
+// NewSteered registers the simulation's steerable surface on st and returns
+// the adapter that drives it:
+//
+//   - "miscibility-g" (float): the Shan–Chen coupling of section 2.2, the
+//     paper's original steering demonstration.
+//   - "sample-stride" (int): diagnostics decimation.
+//   - "run-label" (string): free-form label echoed on the event stream.
+func NewSteered(st *core.Steered, sim *Sim, cfg SteerConfig) (*Steered, error) {
+	if cfg.SampleStride <= 0 {
+		cfg.SampleStride = 1
+	}
+	if cfg.Label == "" {
+		cfg.Label = "lb3d"
+	}
+	a := &Steered{st: st, sim: sim, cfg: cfg}
+	a.stride.Store(cfg.SampleStride)
+	if err := st.RegisterFloat("miscibility-g", sim.Coupling(), 0, 6,
+		"Shan–Chen coupling: 0 mixes, >4 demixes", sim.SetCoupling); err != nil {
+		return nil, err
+	}
+	if err := st.RegisterInt("sample-stride", cfg.SampleStride, 1, 1000,
+		"emit a sample every N steps", a.stride.Store); err != nil {
+		return nil, err
+	}
+	if err := st.RegisterString("run-label", cfg.Label,
+		"free-form run label", func(v string) { st.Event("run-label: " + v) }); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Run drives the steering loop until the session stops (or MaxSteps): poll
+// at the loop boundary, honour checkpoint requests, step, sample.
+func (a *Steered) Run() error {
+	for step := int64(0); a.cfg.MaxSteps == 0 || step < a.cfg.MaxSteps; step++ {
+		if a.st.PollBlocking(a.cfg.PauseTimeout) == core.ControlStop {
+			return nil
+		}
+		if a.st.CheckpointRequested() {
+			a.checkpoint()
+		}
+		a.sim.Step()
+		if stride := a.stride.Load(); stride <= 1 || step%stride == 0 {
+			// Samples carry the sim's own step counter, not the loop index:
+			// after a checkpoint restore the stream continues where the
+			// checkpoint left off instead of restarting at zero.
+			a.st.Emit(a.Sample(int64(a.sim.StepCount())))
+		}
+	}
+	return nil
+}
+
+// Sample builds the per-step diagnostics sample: the segregation order
+// parameter steering clients watch, plus the live coupling.
+func (a *Steered) Sample(step int64) *core.Sample {
+	s := core.NewSample(step)
+	s.Channels["segregation"] = core.Scalar(a.sim.Segregation())
+	s.Channels["coupling"] = core.Scalar(a.sim.Coupling())
+	return s
+}
+
+// checkpoint runs the configured sink and reports the outcome on the event
+// stream (section 4.4's activity indicator).
+func (a *Steered) checkpoint() {
+	if a.cfg.Checkpoint == nil {
+		a.st.Event("checkpoint requested but no checkpoint sink configured")
+		return
+	}
+	if err := a.cfg.Checkpoint(a.sim.WriteCheckpoint); err != nil {
+		a.st.Event(fmt.Sprintf("checkpoint failed: %v", err))
+		return
+	}
+	a.st.Event(fmt.Sprintf("checkpoint written at step %d", a.sim.StepCount()))
+}

@@ -1,0 +1,80 @@
+package mc
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// This file binds the Ising Monte Carlo workload onto a core steering
+// session: temperature and external field are the steerable parameters
+// (sweeping the temperature through T_c is the classic parameter-space
+// exploration of section 2.1), with the magnetisation as the monitored
+// order parameter.
+
+// SteerConfig configures a steered run.
+type SteerConfig struct {
+	// SampleStride emits a diagnostics sample every N sweeps; <= 0 means
+	// every sweep. Steerable at runtime via "sample-stride".
+	SampleStride int64
+	// MaxSweeps stops the run after N completed sweeps; 0 runs until
+	// stopped.
+	MaxSweeps int64
+	// PauseTimeout bounds how long a paused run blocks waiting for resume.
+	PauseTimeout time.Duration
+}
+
+// Steered is the Monte Carlo steering adapter.
+type Steered struct {
+	st     *core.Steered
+	sim    *Sim
+	cfg    SteerConfig
+	stride atomic.Int64
+}
+
+// NewSteered registers the Monte Carlo steerable surface on st:
+// "temperature" and "field" (float) plus "sample-stride" (int).
+func NewSteered(st *core.Steered, sim *Sim, cfg SteerConfig) (*Steered, error) {
+	if cfg.SampleStride <= 0 {
+		cfg.SampleStride = 1
+	}
+	a := &Steered{st: st, sim: sim, cfg: cfg}
+	a.stride.Store(cfg.SampleStride)
+	if err := st.RegisterFloat("temperature", sim.Temperature(), 0.1, 10,
+		"temperature in J/k_B (T_c ≈ 4.51)", func(v float64) { sim.SetTemperature(v) }); err != nil {
+		return nil, err
+	}
+	if err := st.RegisterFloat("field", sim.Field(), -2, 2,
+		"external field in J", sim.SetField); err != nil {
+		return nil, err
+	}
+	if err := st.RegisterInt("sample-stride", cfg.SampleStride, 1, 1000,
+		"emit a sample every N sweeps", a.stride.Store); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Run drives the steering loop until the session stops (or MaxSweeps).
+func (a *Steered) Run() error {
+	for sweep := int64(0); a.cfg.MaxSweeps == 0 || sweep < a.cfg.MaxSweeps; sweep++ {
+		if a.st.PollBlocking(a.cfg.PauseTimeout) == core.ControlStop {
+			return nil
+		}
+		a.sim.Sweep()
+		if stride := a.stride.Load(); stride <= 1 || sweep%stride == 0 {
+			a.st.Emit(a.Sample(sweep))
+		}
+	}
+	return nil
+}
+
+// Sample builds the per-sweep diagnostics sample: the magnetisation order
+// parameter and the Metropolis acceptance rate.
+func (a *Steered) Sample(sweep int64) *core.Sample {
+	s := core.NewSample(sweep)
+	s.Channels["magnetisation"] = core.Scalar(a.sim.Magnetisation())
+	s.Channels["acceptance"] = core.Scalar(a.sim.AcceptanceRate())
+	return s
+}

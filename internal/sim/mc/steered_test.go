@@ -1,0 +1,88 @@
+package mc
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hub"
+)
+
+// TestSteeredMCOnHub attaches the Ising Monte Carlo workload to a live hub
+// session over loopback TCP: the magnetisation diagnostics stream out, and
+// the classic temperature sweep of section 2.1 is one steer away.
+func TestSteeredMCOnHub(t *testing.T) {
+	h := hub.New(hub.Config{})
+	defer h.Close()
+	session, err := h.CreateSession(core.SessionConfig{Name: "mc-run", AppName: "ising"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := New(Params{N: 8, T: 5, Seed: 3, Hot: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adapter, err := NewSteered(session.Steered(), sim, SteerConfig{SampleStride: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go h.Serve(l)
+	runDone := make(chan error, 1)
+	go func() { runDone <- adapter.Run() }()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	pilot, err := core.Dial(ctx, l.Addr().String(), core.AttachOptions{
+		Name: "pilot", Session: "mc-run", WantMaster: true, SampleBuffer: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pilot.Close()
+
+	select {
+	case s := <-pilot.Samples():
+		for _, ch := range []string{"magnetisation", "acceptance"} {
+			if _, ok := s.Channels[ch]; !ok {
+				t.Fatalf("sample missing channel %q: %v", ch, s.Channels)
+			}
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no diagnostics sample from the running sweep loop")
+	}
+
+	// Quench through T_c: the param-update broadcast confirming the steer
+	// only goes out after the sweep loop's apply callback ran.
+	if err := pilot.SetParamContext(ctx, "temperature", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if p, ok := pilot.Param("temperature"); ok && p.Value.Float() == 0.5 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("temperature steer never confirmed by a param update")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	if err := pilot.StopContext(ctx); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-runDone:
+		if err != nil {
+			t.Fatalf("sweep loop: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("sweep loop did not exit on stop")
+	}
+}

@@ -1,0 +1,160 @@
+package pepc
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// This file binds the particle code onto a core steering session. The
+// registered surface is section 3.4's: "the particle beam or laser
+// parameters (charge/intensity, direction) can be altered by the user
+// interactively while the application is running", plus the velocity
+// damping that assists "an initially random plasma system towards a cold,
+// ordered state".
+
+// beamAxes are the steerable injection directions, exposed as a choice
+// parameter (a free 3-vector is hostile to a steering GUI; six axes match
+// the beam demonstration).
+var beamAxes = []string{"+x", "-x", "+y", "-y", "+z", "-z"}
+
+func axisVec(axis string) Vec {
+	switch axis {
+	case "+x":
+		return Vec{X: 1}
+	case "-x":
+		return Vec{X: -1}
+	case "+y":
+		return Vec{Y: 1}
+	case "-y":
+		return Vec{Y: -1}
+	case "-z":
+		return Vec{Z: -1}
+	default:
+		return Vec{Z: 1}
+	}
+}
+
+// SteerConfig configures a steered run.
+type SteerConfig struct {
+	// SampleStride emits a diagnostics sample every N steps; <= 0 means
+	// every step. Steerable at runtime via "sample-stride".
+	SampleStride int64
+	// MaxSteps stops the run after N completed steps; 0 runs until stopped.
+	MaxSteps int64
+	// PauseTimeout bounds how long a paused run blocks waiting for resume.
+	PauseTimeout time.Duration
+	// Checkpoint, when non-nil, receives the simulation's serialised state
+	// at the loop boundary whenever a steering client requests one.
+	Checkpoint func(write func(io.Writer) error) error
+}
+
+// Steered is the particle-code steering adapter.
+type Steered struct {
+	st     *core.Steered
+	sim    *Sim
+	cfg    SteerConfig
+	stride atomic.Int64
+
+	// beamMu serialises read-modify-write of the beam: each registered
+	// parameter updates one field of the whole BeamParams value.
+	beamMu sync.Mutex
+	beam   BeamParams
+}
+
+// NewSteered registers the particle code's steerable surface on st:
+// "beam-intensity" (int), "beam-charge"/"beam-speed"/"damping" (float),
+// "beam-axis" (choice) and "sample-stride" (int).
+func NewSteered(st *core.Steered, sim *Sim, cfg SteerConfig) (*Steered, error) {
+	if cfg.SampleStride <= 0 {
+		cfg.SampleStride = 1
+	}
+	a := &Steered{st: st, sim: sim, cfg: cfg, beam: sim.Beam()}
+	a.stride.Store(cfg.SampleStride)
+	if err := st.RegisterInt("beam-intensity", int64(a.beam.Intensity), 0, 10000,
+		"particles injected per timestep", func(v int64) {
+			a.updateBeam(func(b *BeamParams) { b.Intensity = int(v) })
+		}); err != nil {
+		return nil, err
+	}
+	if err := st.RegisterFloat("beam-charge", a.beam.Charge, -10, 10,
+		"charge of each injected particle", func(v float64) {
+			a.updateBeam(func(b *BeamParams) { b.Charge = v })
+		}); err != nil {
+		return nil, err
+	}
+	if err := st.RegisterFloat("beam-speed", a.beam.Speed, 0, 100,
+		"injection speed", func(v float64) {
+			a.updateBeam(func(b *BeamParams) { b.Speed = v })
+		}); err != nil {
+		return nil, err
+	}
+	if err := st.RegisterChoice("beam-axis", beamAxes, "+z",
+		"beam injection direction", func(v string) {
+			a.updateBeam(func(b *BeamParams) { b.Direction = axisVec(v) })
+		}); err != nil {
+		return nil, err
+	}
+	if err := st.RegisterFloat("damping", 0, 0, 0.99,
+		"per-step velocity damping towards a cold state", sim.SetDamping); err != nil {
+		return nil, err
+	}
+	if err := st.RegisterInt("sample-stride", cfg.SampleStride, 1, 1000,
+		"emit a sample every N steps", a.stride.Store); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+func (a *Steered) updateBeam(mod func(*BeamParams)) {
+	a.beamMu.Lock()
+	mod(&a.beam)
+	a.sim.SetBeam(a.beam)
+	a.beamMu.Unlock()
+}
+
+// Run drives the steering loop until the session stops (or MaxSteps).
+func (a *Steered) Run() error {
+	for step := int64(0); a.cfg.MaxSteps == 0 || step < a.cfg.MaxSteps; step++ {
+		if a.st.PollBlocking(a.cfg.PauseTimeout) == core.ControlStop {
+			return nil
+		}
+		if a.st.CheckpointRequested() {
+			a.checkpoint()
+		}
+		a.sim.Step()
+		if stride := a.stride.Load(); stride <= 1 || step%stride == 0 {
+			// Samples carry the sim's own step counter, not the loop index:
+			// after a checkpoint restore the stream continues where the
+			// checkpoint left off instead of restarting at zero.
+			a.st.Emit(a.Sample(int64(a.sim.StepCount())))
+		}
+	}
+	return nil
+}
+
+// Sample builds the per-step diagnostics sample: kinetic energy (the cheap
+// monitored quantity), particle count and tree interaction count.
+func (a *Steered) Sample(step int64) *core.Sample {
+	s := core.NewSample(step)
+	s.Channels["kinetic"] = core.Scalar(a.sim.KineticEnergy())
+	s.Channels["particles"] = core.Scalar(float64(a.sim.N()))
+	s.Channels["interactions"] = core.Scalar(float64(a.sim.Interactions()))
+	return s
+}
+
+func (a *Steered) checkpoint() {
+	if a.cfg.Checkpoint == nil {
+		a.st.Event("checkpoint requested but no checkpoint sink configured")
+		return
+	}
+	if err := a.cfg.Checkpoint(a.sim.WriteCheckpoint); err != nil {
+		a.st.Event(fmt.Sprintf("checkpoint failed: %v", err))
+		return
+	}
+	a.st.Event(fmt.Sprintf("checkpoint written at step %d", a.sim.StepCount()))
+}

@@ -1,0 +1,290 @@
+package pepc
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hub"
+)
+
+// steerCtx bounds the steering round trips of one test.
+func steerCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// fileSink writes checkpoints to path via temp file + rename, the same
+// atomic shape cmd/steersim uses.
+func fileSink(path string) func(write func(io.Writer) error) error {
+	return func(write func(io.Writer) error) error {
+		tmp := path + ".tmp"
+		f, err := os.Create(tmp)
+		if err != nil {
+			return err
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		return os.Rename(tmp, path)
+	}
+}
+
+// waitCheckpointStep polls the client's event stream until the adapter
+// reports a written checkpoint, returning the step it recorded.
+func waitCheckpointStep(t *testing.T, c *core.Client) int64 {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, ev := range c.Events() {
+			var step int64
+			if _, err := fmt.Sscanf(ev, "checkpoint written at step %d", &step); err == nil {
+				return step
+			}
+			if strings.HasPrefix(ev, "checkpoint failed") {
+				t.Fatalf("checkpoint sink failed: %s", ev)
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("no checkpoint-written event")
+	return 0
+}
+
+// TestSteeredPEPCOnHub attaches the particle code to a live hub session
+// over loopback TCP: diagnostics stream out, a steer lands at the next loop
+// boundary, and a stop terminates the run loop.
+func TestSteeredPEPCOnHub(t *testing.T) {
+	h := hub.New(hub.Config{})
+	defer h.Close()
+	session, err := h.CreateSession(core.SessionConfig{Name: "pepc-run", AppName: "pepc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := New(Params{Theta: 0.5, Dt: 0.005, Eps: 0.05, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.AddPlasmaBall(48, Vec{}, 1, 0.05)
+	adapter, err := NewSteered(session.Steered(), sim, SteerConfig{SampleStride: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go h.Serve(l)
+	runDone := make(chan error, 1)
+	go func() { runDone <- adapter.Run() }()
+
+	ctx := steerCtx(t)
+	pilot, err := core.Dial(ctx, l.Addr().String(), core.AttachOptions{
+		Name: "pilot", Session: "pepc-run", WantMaster: true, SampleBuffer: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pilot.Close()
+
+	select {
+	case s := <-pilot.Samples():
+		for _, ch := range []string{"kinetic", "particles", "interactions"} {
+			if _, ok := s.Channels[ch]; !ok {
+				t.Fatalf("sample missing channel %q: %v", ch, s.Channels)
+			}
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no diagnostics sample from the running sim")
+	}
+
+	// The beam steer is applied at a loop boundary; the param-update
+	// broadcast that confirms it only happens after the apply callback ran.
+	if err := pilot.SetValueContext(ctx, "beam-intensity", core.IntValue(3)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if p, ok := pilot.Param("beam-intensity"); ok && p.Value.I == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("beam-intensity steer never confirmed by a param update")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	if err := pilot.StopContext(ctx); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-runDone:
+		if err != nil {
+			t.Fatalf("run loop: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run loop did not exit on stop")
+	}
+}
+
+// TestSteeredSurvivesDaemonRestart is the evict→reopen→replay→resume path:
+// a journaled hub hosts a steered PEPC run, a client steers a parameter and
+// requests a checkpoint, the daemon is killed mid-run, and a restarted
+// daemon pointed at the same journal directory and checkpoint file resumes
+// from the checkpointed step with the steered value intact — late joiners
+// see the recovered surface and a sample stream that continues rather than
+// restarts.
+func TestSteeredSurvivesDaemonRestart(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "pepc.ckpt")
+	jdir := filepath.Join(dir, "journal")
+	ctx := steerCtx(t)
+
+	// --- first daemon generation -------------------------------------
+	h1 := hub.New(hub.Config{JournalDir: jdir})
+	s1, err := h1.CreateSession(core.SessionConfig{Name: "pepc-run", AppName: "pepc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim1, err := New(Params{Theta: 0.5, Dt: 0.005, Eps: 0.05, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim1.AddPlasmaBall(48, Vec{}, 1, 0.05)
+	ad1, err := NewSteered(s1.Steered(), sim1, SteerConfig{SampleStride: 1, Checkpoint: fileSink(ckpt)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go h1.Serve(l1)
+	run1 := make(chan error, 1)
+	go func() { run1 <- ad1.Run() }()
+
+	pilot, err := core.Dial(ctx, l1.Addr().String(), core.AttachOptions{
+		Name: "pilot", Session: "pepc-run", WantMaster: true, SampleBuffer: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pilot.SetParamContext(ctx, "damping", 0.7); err != nil {
+		t.Fatal(err)
+	}
+	if err := pilot.CheckpointContext(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ckptStep := waitCheckpointStep(t, pilot)
+	pilot.Close()
+
+	// Kill the daemon mid-run: no graceful sim stop, just the hub going
+	// away (sessions close, the journal gets its final flush).
+	h1.Close()
+	l1.Close()
+	select {
+	case err := <-run1:
+		if err != nil {
+			t.Fatalf("run loop after kill: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run loop did not exit when the daemon died")
+	}
+
+	// --- second daemon generation ------------------------------------
+	f, err := os.Open(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim2, err := Restore(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := int64(sim2.StepCount()); got != ckptStep {
+		t.Fatalf("restored at step %d, checkpoint was written at step %d", got, ckptStep)
+	}
+
+	h2 := hub.New(hub.Config{JournalDir: jdir})
+	defer h2.Close()
+	s2, err := h2.CreateSession(core.SessionConfig{Name: "pepc-run", AppName: "pepc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad2, err := NewSteered(s2.Steered(), sim2, SteerConfig{SampleStride: 1, Checkpoint: fileSink(ckpt)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	revived, err := s2.Recover()
+	if err != nil {
+		t.Fatalf("journal replay: %v", err)
+	}
+	if revived == 0 {
+		t.Fatal("journal replay revived nothing; the steer was never durable")
+	}
+	l2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	go h2.Serve(l2)
+	run2 := make(chan error, 1)
+	go func() { run2 <- ad2.Run() }()
+
+	// A late joiner converges on the recovered state: the steered damping
+	// is in the welcome surface, and the sample stream continues past the
+	// checkpointed step instead of restarting at zero.
+	late, err := core.Dial(ctx, l2.Addr().String(), core.AttachOptions{
+		Name: "late", Session: "pepc-run", SampleBuffer: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer late.Close()
+	if p, ok := late.Param("damping"); !ok || p.Value.Float() != 0.7 {
+		t.Fatalf("late joiner sees damping %+v, want the journaled 0.7", p)
+	}
+	// The welcome replay may deliver the journal's historical freshest
+	// sample first; the live stream must then carry on past the
+	// checkpointed step rather than restarting from zero.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		select {
+		case s := <-late.Samples():
+			if s.Step > ckptStep {
+				// Resumed: the step counter continued from the checkpoint.
+			} else if time.Now().Before(deadline) {
+				continue
+			} else {
+				t.Fatalf("samples stuck at step %d, want > checkpoint step %d", s.Step, ckptStep)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("no samples from the resumed run")
+		}
+		break
+	}
+
+	s2.QueueStop()
+	select {
+	case err := <-run2:
+		if err != nil {
+			t.Fatalf("resumed run loop: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("resumed run loop did not exit on stop")
+	}
+}

@@ -1,0 +1,133 @@
+package visit
+
+import (
+	"errors"
+	"net"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// ErrStopped is what a VISIT simulation's recv returns after a steering
+// client stopped the session: the sim's next loop-boundary exchange is how
+// the stop reaches it.
+var ErrStopped = errors.New("visit: session stopped")
+
+// Bridge hosts the visualization end of VISIT on a core steering session —
+// the thin shim that puts VISIT-instrumented simulations on the hub without
+// touching their instrumentation. The sim keeps its tagged send/recv calls;
+// the bridge maps them onto the session's steering surface:
+//
+//   - a recv of a bound parameter tag applies queued steers (the sim's recv
+//     IS its loop boundary) and returns the registered parameters' current
+//     values, so hub clients steer the sim through the ordinary typed
+//     parameter registry;
+//   - a send of a bound channel tag re-publishes the pushed array as a
+//     session sample, so hub clients observe the sim's diagnostics over the
+//     ordinary sample stream, tiers and journal included.
+type Bridge struct {
+	srv *Server
+	st  *core.Steered
+
+	mu     sync.Mutex
+	values map[string]float64 // bound parameter name → latest applied value
+	steps  map[uint32]int64   // bound channel tag → sample step counter
+}
+
+// FloatSpec declares one steerable float the bridge registers on the
+// session and serves to the simulation.
+type FloatSpec struct {
+	Name     string
+	Initial  float64
+	Min, Max float64
+	Help     string
+}
+
+// NewBridge returns a bridge serving the VISIT protocol configured by cfg,
+// bound to the given session's steering surface.
+func NewBridge(cfg ServerConfig, session *core.Session) *Bridge {
+	return &Bridge{
+		srv:    NewServer(cfg),
+		st:     session.Steered(),
+		values: make(map[string]float64),
+		steps:  make(map[uint32]int64),
+	}
+}
+
+// Server exposes the underlying VISIT server (extra handlers, stats).
+func (b *Bridge) Server() *Server { return b.srv }
+
+// Serve accepts simulation connections from a listener.
+func (b *Bridge) Serve(l net.Listener) error { return b.srv.Serve(l) }
+
+// ServeConn runs the protocol on one simulation connection.
+func (b *Bridge) ServeConn(conn net.Conn) error { return b.srv.ServeConn(conn) }
+
+// Close stops accepting and terminates active simulation connections on
+// their next exchange.
+func (b *Bridge) Close() { b.srv.Close() }
+
+// BindParams registers the specs as steerable session parameters and serves
+// their current values — in spec order, as a float64 array — to the
+// simulation under the given recv tag. The recv doubles as the steering
+// poll: queued parameter sets are applied first, and a stopped session
+// fails the recv with ErrStopped so the simulation terminates its loop.
+func (b *Bridge) BindParams(tag uint32, specs []FloatSpec) error {
+	names := make([]string, len(specs))
+	for i, spec := range specs {
+		spec := spec
+		names[i] = spec.Name
+		b.mu.Lock()
+		b.values[spec.Name] = spec.Initial
+		b.mu.Unlock()
+		err := b.st.RegisterFloat(spec.Name, spec.Initial, spec.Min, spec.Max, spec.Help,
+			func(v float64) {
+				b.mu.Lock()
+				b.values[spec.Name] = v
+				b.mu.Unlock()
+			})
+		if err != nil {
+			return err
+		}
+	}
+	return b.srv.HandleRecv(tag, func() (*wire.Message, error) {
+		if b.st.Poll() == core.ControlStop {
+			return nil, ErrStopped
+		}
+		b.mu.Lock()
+		vals := make([]float64, len(names))
+		for i, name := range names {
+			vals[i] = b.values[name]
+		}
+		b.mu.Unlock()
+		return &wire.Message{
+			Header:   wire.Header{Kind: wire.KindFloat64, Count: uint32(len(vals))},
+			Float64s: vals,
+		}, nil
+	})
+}
+
+// BindChannel re-publishes float64 arrays the simulation pushes under the
+// given send tag as session samples on the named channel (scalars when the
+// array has one element). Each push advances the tag's step counter.
+func (b *Bridge) BindChannel(tag uint32, channel string) error {
+	return b.srv.HandleSend(tag, func(m *wire.Message) error {
+		vals, err := m.AsFloat64s()
+		if err != nil {
+			return err
+		}
+		b.mu.Lock()
+		b.steps[tag]++
+		step := b.steps[tag]
+		b.mu.Unlock()
+		s := core.NewSample(step)
+		if len(vals) == 1 {
+			s.Channels[channel] = core.Scalar(vals[0])
+		} else {
+			s.Channels[channel] = core.Channel{Dims: [3]int{len(vals), 1, 1}, Data: vals}
+		}
+		b.st.Emit(s)
+		return nil
+	})
+}

@@ -1,0 +1,106 @@
+package visit
+
+import (
+	"context"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hub"
+)
+
+// TestBridgeSimOnHub runs a VISIT-instrumented simulation against the
+// bridge: steering flows hub client → session registry → sim recv, and
+// diagnostics flow sim send → session samples → hub client.
+func TestBridgeSimOnHub(t *testing.T) {
+	hb := hub.New(hub.Config{})
+	defer hb.Close()
+	session, err := hb.CreateSession(core.SessionConfig{Name: "visit-sim", AppName: "visit"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bridge := NewBridge(ServerConfig{}, session)
+	defer bridge.Close()
+	if err := bridge.BindParams(20, []FloatSpec{
+		{Name: "dt", Initial: 0.01, Min: 0, Max: 1, Help: "timestep"},
+		{Name: "viscosity", Initial: 1, Min: 0, Max: 10, Help: "viscosity"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bridge.BindChannel(10, "energy"); err != nil {
+		t.Fatal(err)
+	}
+
+	visitL, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer visitL.Close()
+	go bridge.Serve(visitL)
+
+	hubL, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hubL.Close()
+	go hb.Serve(hubL)
+
+	// The simulation side: plain VISIT, oblivious to the hub behind it.
+	sim := NewSim(TCPDialer(visitL.Addr().String()), "")
+	defer sim.Close()
+	m, err := sim.Recv(20, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := m.AsFloat64s()
+	if err != nil || len(vals) != 2 || vals[0] != 0.01 || vals[1] != 1 {
+		t.Fatalf("initial params = %v (%v), want [0.01 1]", vals, err)
+	}
+
+	// A steering client on the hub changes dt; the sim's next loop-boundary
+	// recv sees it.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	cli, err := core.Dial(ctx, hubL.Addr().String(), core.AttachOptions{
+		Name: "steerer", Session: "visit-sim", WantMaster: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if err := cli.SetParamContext(ctx, "dt", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	m, err = sim.Recv(20, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals, _ = m.AsFloat64s(); vals[0] != 0.5 {
+		t.Fatalf("steered dt = %v, want 0.5", vals[0])
+	}
+
+	// Diagnostics pushed by the sim arrive as session samples.
+	if err := sim.SendFloat64s(10, []float64{42.5}, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case s := <-cli.Samples():
+		if got := s.Channels["energy"].Value(); got != 42.5 {
+			t.Fatalf("energy sample = %v, want 42.5", got)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pushed diagnostics never reached the steering client")
+	}
+
+	// A stop reaches the sim on its next exchange.
+	if err := cli.StopContext(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Recv(20, 2*time.Second); err == nil ||
+		!strings.Contains(err.Error(), "stopped") {
+		t.Fatalf("recv after stop = %v, want session-stopped error", err)
+	}
+}

@@ -1,159 +1,139 @@
 package vizserver
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"hash/crc32"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/core"
+	"repro/internal/pixel"
 	"repro/internal/render"
-	"repro/internal/wire"
 )
 
 // Client is one participant in a shared remote-rendering session: the
 // "laptop" of Figure 1, viewing isosurfaces it could never render itself.
+// It is a viewer-shaped veneer over a core steering client: frames arrive as
+// blobs on the "pixels" stream, the camera is the session's shared view, and
+// control is the session's master floor.
 type Client struct {
-	conn net.Conn
-	enc  *wire.Encoder
+	cc *core.Client
 
 	mu       sync.Mutex
 	w, h     int
 	pix      []byte
-	frameSeq int32
+	anchor   pixel.Anchor
+	frameSeq uint64
 	frames   uint64
 	rxBytes  uint64
 	readErr  error
 
-	acks    chan bool
-	frameCh chan int32
-	reqMu   sync.Mutex // serialises request/ack exchanges
-	once    sync.Once
+	frameCh  chan uint64
+	refreshN atomic.Int64
+	wg       sync.WaitGroup
 }
 
-// Attach joins a session over an established connection.
+// Attach joins the endpoint's default session over an established
+// connection.
 func Attach(conn net.Conn) (*Client, error) {
-	c := &Client{
-		conn:    conn,
-		enc:     wire.NewEncoder(conn),
-		acks:    make(chan bool, 4),
-		frameCh: make(chan int32, 64),
+	return AttachContext(context.Background(), conn, core.AttachOptions{})
+}
+
+// AttachContext joins a session with full control over the attach options
+// (session name on a multi-session hub, client name, buffers). The viewer
+// defaults are applied on top: a subscription to the pixel stream, a blob
+// ring deep enough to ride out render bursts, and WantMaster — every
+// participant is a control candidate, so the floor passes to a survivor when
+// the controller disconnects.
+func AttachContext(ctx context.Context, conn net.Conn, opts core.AttachOptions) (*Client, error) {
+	opts.WantMaster = true
+	if opts.BlobBuffer == 0 {
+		opts.BlobBuffer = 8
 	}
-	dec := wire.NewDecoder(conn)
-	init, err := dec.Expect(tagInit)
+	opts.Subscriptions = append(opts.Subscriptions, core.ChannelSub(PixelStream))
+	cc, err := core.AttachContext(ctx, conn, opts)
 	if err != nil {
-		conn.Close()
 		return nil, err
 	}
-	dims, err := init.AsInt64s()
-	if err != nil || len(dims) != 2 {
-		conn.Close()
-		return nil, fmt.Errorf("vizserver: malformed init")
-	}
-	c.w, c.h = int(dims[0]), int(dims[1])
-	c.pix = make([]byte, c.w*c.h*4)
-	go c.readLoop(dec)
+	c := &Client{cc: cc, frameCh: make(chan uint64, 64)}
+	c.wg.Add(1)
+	go c.readLoop()
 	return c, nil
 }
 
-func (c *Client) readLoop(dec *wire.Decoder) {
-	var pendingHdr []int64
+// Core exposes the underlying steering client for anything beyond the viewer
+// surface (events, parameters, floor introspection).
+func (c *Client) Core() *core.Client { return c.cc }
+
+func (c *Client) readLoop() {
+	defer c.wg.Done()
 	for {
-		m, err := dec.Next()
-		if err != nil {
+		select {
+		case b := <-c.cc.Blobs():
+			c.apply(b)
+		case <-c.cc.Done():
 			c.mu.Lock()
-			c.readErr = err
+			c.readErr = c.cc.Err()
 			c.mu.Unlock()
-			c.Close()
 			return
-		}
-		switch m.Header.Tag {
-		case tagCamAck:
-			v, err := m.AsInt64s()
-			if err == nil && len(v) == 1 {
-				select {
-				case c.acks <- v[0] == 1:
-				default:
-				}
-			}
-		case tagFrameHdr:
-			hdr, err := m.AsInt64s()
-			if err == nil && len(hdr) == 2 {
-				pendingHdr = hdr
-			}
-		case tagFrame:
-			if pendingHdr == nil || len(m.Blobs) != 1 {
-				continue
-			}
-			seq, enc := int32(pendingHdr[0]), int32(pendingHdr[1])
-			pendingHdr = nil
-			c.mu.Lock()
-			size := c.w * c.h * 4
-			var next []byte
-			var derr error
-			if enc == EncKey {
-				next, derr = DecodeKey(m.Blobs[0], size)
-			} else {
-				next, derr = DecodeDelta(c.pix, m.Blobs[0], size)
-			}
-			if derr == nil {
-				c.pix = next
-				c.frameSeq = seq
-				c.frames++
-				c.rxBytes += uint64(len(m.Blobs[0]))
-			}
-			c.mu.Unlock()
-			if derr == nil {
-				select {
-				case c.frameCh <- seq:
-				default:
-				}
-			}
 		}
 	}
 }
 
-// request sends a frame and waits for the matching ack.
-func (c *Client) request(write func() error, timeout time.Duration) (bool, error) {
-	c.reqMu.Lock()
-	defer c.reqMu.Unlock()
-	// Drain stale acks.
-	for {
-		select {
-		case <-c.acks:
-			continue
-		default:
-		}
-		break
+// apply decodes one pixel blob into the local framebuffer. Deltas only apply
+// on an unbroken sequence; after a gap (ring eviction on a slow link) the
+// viewer stays on its last good frame until the next keyframe re-anchors it.
+func (c *Client) apply(b *core.Blob) {
+	if b.Stream != PixelStream {
+		return
 	}
-	if err := write(); err != nil {
-		return false, err
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.anchor.Accept(b.Seq, b.Encoding) {
+		return
 	}
+	size := b.Width * b.Height * 4
+	var next []byte
+	var err error
+	switch b.Encoding {
+	case pixel.EncKey:
+		next, err = pixel.DecodeKey(b.Data, size)
+	case pixel.EncDelta:
+		next, err = pixel.DecodeDelta(c.pix, b.Data, size)
+	default:
+		err = fmt.Errorf("vizserver: unknown frame encoding %d", b.Encoding)
+	}
+	if err != nil {
+		c.anchor = pixel.Anchor{} // wait for a keyframe
+		return
+	}
+	c.w, c.h = b.Width, b.Height
+	c.pix = next
+	c.frameSeq = b.Seq
+	c.frames++
+	c.rxBytes += uint64(len(b.Data))
 	select {
-	case ok := <-c.acks:
-		return ok, nil
-	case <-time.After(timeout):
-		return false, errors.New("vizserver: ack timeout")
+	case c.frameCh <- b.Seq:
+	default:
 	}
 }
 
 // SetCamera moves the shared session camera. Only the controlling
 // participant succeeds; the server re-renders and broadcasts to everyone.
 func (c *Client) SetCamera(cam render.Camera, timeout time.Duration) error {
-	ok, err := c.request(func() error {
-		return c.enc.Float64s(tagSetCam, []float64{
-			cam.Eye.X, cam.Eye.Y, cam.Eye.Z,
-			cam.Center.X, cam.Center.Y, cam.Center.Z,
-			cam.Up.X, cam.Up.Y, cam.Up.Z,
-			cam.FovY,
-		})
-	}, timeout)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	err := c.cc.SetViewContext(ctx, core.ViewState{
+		Eye:    [3]float64{cam.Eye.X, cam.Eye.Y, cam.Eye.Z},
+		Center: [3]float64{cam.Center.X, cam.Center.Y, cam.Center.Z},
+		Up:     [3]float64{cam.Up.X, cam.Up.Y, cam.Up.Z},
+		FovY:   cam.FovY,
+	})
 	if err != nil {
-		return err
-	}
-	if !ok {
-		return errors.New("vizserver: not in control of the session")
+		return fmt.Errorf("vizserver: not in control of the session: %w", err)
 	}
 	return nil
 }
@@ -161,29 +141,23 @@ func (c *Client) SetCamera(cam render.Camera, timeout time.Duration) error {
 // GrabControl claims the session camera (fails while another participant
 // holds it).
 func (c *Client) GrabControl(timeout time.Duration) error {
-	ok, err := c.request(func() error {
-		return c.enc.Int32s(tagControl, []int32{1})
-	}, timeout)
-	if err != nil {
-		return err
-	}
-	if !ok {
-		return errors.New("vizserver: control held by another participant")
+	if err := c.cc.TryRequestMaster(timeout); err != nil {
+		return fmt.Errorf("vizserver: control held by another participant: %w", err)
 	}
 	return nil
 }
 
 // ReleaseControl gives up the session camera.
 func (c *Client) ReleaseControl(timeout time.Duration) error {
-	_, err := c.request(func() error {
-		return c.enc.Int32s(tagControl, []int32{0})
-	}, timeout)
-	return err
+	return c.cc.ReleaseMaster(timeout)
 }
 
-// Refresh asks the server to re-render (the scene advanced).
+// Refresh asks the server to re-render (the scene advanced). Like every
+// steer it requires control of the session.
 func (c *Client) Refresh() error {
-	return c.enc.Int32s(tagRefresh, []int32{1})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return c.cc.SetValueContext(ctx, "refresh", core.IntValue(c.refreshN.Add(1)))
 }
 
 // Framebuffer returns a copy of the last decoded frame.
@@ -201,13 +175,13 @@ func (c *Client) Checksum() uint32 {
 }
 
 // FrameSeq returns the sequence number of the last decoded frame.
-func (c *Client) FrameSeq() int32 {
+func (c *Client) FrameSeq() uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.frameSeq
 }
 
-// Frames returns the number of frames received.
+// Frames returns the number of frames decoded.
 func (c *Client) Frames() uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -222,7 +196,7 @@ func (c *Client) RxBytes() uint64 {
 }
 
 // FrameUpdates exposes frame-arrival notifications.
-func (c *Client) FrameUpdates() <-chan int32 { return c.frameCh }
+func (c *Client) FrameUpdates() <-chan uint64 { return c.frameCh }
 
 // Err returns the terminal read error, if any.
 func (c *Client) Err() error {
@@ -233,6 +207,7 @@ func (c *Client) Err() error {
 
 // Close leaves the session.
 func (c *Client) Close() error {
-	c.once.Do(func() { c.conn.Close() })
-	return nil
+	err := c.cc.Close()
+	c.wg.Wait()
+	return err
 }

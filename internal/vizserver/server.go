@@ -1,24 +1,36 @@
+// Package vizserver reimplements the remote-rendering model the paper uses
+// SGI OpenGL VizServer for: "the datasets which are being rendered as
+// isosurfaces are too large to be visualized on a laptop client. VizServer
+// allows the output of the graphics pipes from an Onyx visual supercomputer
+// to be accessed remotely. In addition this greatly reduces network traffic
+// since only compressed bitmaps need to be sent to the participating sites"
+// (section 2.4).
+//
+// A Server owns the scene (too large to ship) and a software renderer; any
+// number of participants attach to one shared steering session. The session
+// engine supplies everything the old bespoke protocol hand-rolled: floor
+// control arbitrates the single camera holder (VizServer's collaborative
+// "multiple users share the same login session" mode), the view state carries
+// the shared camera, and every rendered frame is broadcast once as a bulk
+// blob on the "pixels" stream — encoded one time, fanned out to every
+// subscriber over the refcounted FrameBuf/writev path — as a flate-compressed
+// keyframe or XOR-delta bitmap (the codecs live in package pixel).
 package vizserver
 
 import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
+	"repro/internal/core"
+	"repro/internal/pixel"
 	"repro/internal/render"
-	"repro/internal/wire"
 )
 
-// wire tags of the protocol.
-const (
-	tagInit     = 0x0AF1 // Int32s [w, h]
-	tagSetCam   = 0x0AF2 // Float64s [eye3, center3, up3, fovy]
-	tagCamAck   = 0x0AF3 // Int32s [ok]
-	tagControl  = 0x0AF4 // Int32s [1 grab / 0 release]
-	tagFrameHdr = 0x0AF5 // Int32s [seq, encoding]
-	tagFrame    = 0x0AF6 // Bytes
-	tagRefresh  = 0x0AF7 // Int32s [1]: ask for a re-render (scene advanced)
-)
+// PixelStream is the blob stream name rendered frames are published on;
+// participants subscribe to it at attach.
+const PixelStream = "pixels"
 
 // SceneProvider supplies the current scene at render time; the simulation
 // side updates it between frames.
@@ -32,21 +44,37 @@ type Config struct {
 	Scene SceneProvider
 	// Camera is the initial session camera.
 	Camera render.Camera
+	// Session, when non-nil, hosts the render service on an existing
+	// steering session (e.g. one created by a hub, sharing it with a
+	// simulation). Nil creates a private session owned by the server.
+	Session *core.Session
+	// KeyInterval forces a keyframe at least every N frames; 0 keeps the
+	// pixel.Rekeyer default.
+	KeyInterval int
 }
 
 // Server is the remote rendering service.
 type Server struct {
-	cfg Config
+	cfg     Config
+	session *core.Session
+	st      *core.Steered
+	own     bool // the server created (and must close) the session
 
-	mu         sync.Mutex
-	cam        render.Camera
-	fb         *render.Framebuffer
-	prevPix    []byte // last broadcast frame, delta base
-	frameSeq   int32
-	clients    map[*clientConn]struct{}
-	controller *clientConn
-	stats      Stats
-	closed     bool
+	renderMu sync.Mutex // serialises render+publish so blob seqs stay ordered
+
+	mu      sync.Mutex
+	cam     render.Camera
+	fb      *render.Framebuffer
+	prevPix []byte // last rendered frame, delta base
+	rekey   pixel.Rekeyer
+	lastSeq uint64
+	stats   Stats
+	closed  bool
+
+	refresh   chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
 }
 
 // Stats counts rendering and transport activity.
@@ -58,16 +86,7 @@ type Stats struct {
 	ControlDenied  uint64
 }
 
-// clientConn is one attached participant.
-type clientConn struct {
-	conn net.Conn
-	enc  *wire.Encoder
-	emu  sync.Mutex
-	// hasFrame tracks whether the participant has a delta base yet.
-	hasFrame bool
-}
-
-// NewServer creates a render service.
+// NewServer creates a render service and starts its steering watcher.
 func NewServer(cfg Config) (*Server, error) {
 	if cfg.Width <= 0 || cfg.Height <= 0 {
 		return nil, fmt.Errorf("vizserver: bad viewport %dx%d", cfg.Width, cfg.Height)
@@ -75,19 +94,56 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.Scene == nil {
 		return nil, fmt.Errorf("vizserver: nil scene provider")
 	}
-	return &Server{
+	session := cfg.Session
+	own := false
+	if session == nil {
+		session = core.NewSession(core.SessionConfig{Name: "vizserver", AppName: "vizserver"})
+		own = true
+	}
+	s := &Server{
 		cfg:     cfg,
+		session: session,
+		st:      session.Steered(),
+		own:     own,
 		cam:     cfg.Camera,
 		fb:      render.NewFramebuffer(cfg.Width, cfg.Height),
-		clients: make(map[*clientConn]struct{}),
-	}, nil
+		rekey:   pixel.Rekeyer{Interval: uint64(cfg.KeyInterval)},
+		refresh: make(chan struct{}, 1),
+		done:    make(chan struct{}),
+	}
+	// "refresh" is how a controlling participant asks for a re-render after
+	// the scene advanced; the value is a client-side counter and carries no
+	// meaning beyond forcing a change.
+	if err := s.st.RegisterInt("refresh", 0, 0, 1<<31,
+		"re-render request counter (scene advanced)", func(int64) {
+			select {
+			case s.refresh <- struct{}{}:
+			default:
+			}
+		}); err != nil {
+		if own {
+			session.Close()
+		}
+		return nil, err
+	}
+	s.wg.Add(1)
+	go s.watch()
+	return s, nil
 }
+
+// Session exposes the steering session the server renders for, so callers
+// hosting the server on a hub can wire additional services to it.
+func (s *Server) Session() *core.Session { return s.session }
 
 // Stats returns a copy of the counters.
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	st := s.stats
+	s.mu.Unlock()
+	// Camera moves by non-controllers are rejected by the session's floor
+	// check; surface them as control denials.
+	st.ControlDenied = s.session.Stats().SteersRejected
+	return st
 }
 
 // Camera returns the current session camera.
@@ -98,116 +154,83 @@ func (s *Server) Camera() render.Camera {
 }
 
 // Serve accepts participants from a listener.
-func (s *Server) Serve(l net.Listener) error {
-	for {
-		conn, err := l.Accept()
-		if err != nil {
-			return err
-		}
-		go s.ServeConn(conn)
-	}
-}
+func (s *Server) Serve(l net.Listener) error { return s.session.Serve(l) }
 
 // ServeConn attaches one participant and runs its read loop.
-func (s *Server) ServeConn(conn net.Conn) error {
-	c := &clientConn{conn: conn, enc: wire.NewEncoder(conn)}
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		conn.Close()
-		return fmt.Errorf("vizserver: closed")
-	}
-	s.clients[c] = struct{}{}
-	if s.controller == nil {
-		s.controller = c // first participant starts in control
-	}
-	s.mu.Unlock()
+func (s *Server) ServeConn(conn net.Conn) error { return s.session.ServeConn(conn) }
 
-	if err := c.enc.Int32s(tagInit, []int32{int32(s.cfg.Width), int32(s.cfg.Height)}); err != nil {
-		s.detach(c)
-		return err
-	}
-	// Ship the current view immediately so late joiners see content.
-	s.RenderBroadcast()
-
-	dec := wire.NewDecoder(conn)
+// watch is the render pump: it applies queued steering (the refresh counter),
+// follows the session's shared view, and re-renders on a view change, an
+// audience change (a late joiner needs a keyframe) or an explicit refresh.
+func (s *Server) watch() {
+	defer s.wg.Done()
+	t := time.NewTicker(time.Millisecond)
+	defer t.Stop()
+	var lastView uint64
+	lastCount := 0
 	for {
-		m, err := dec.Next()
-		if err != nil {
-			s.detach(c)
-			return err
+		select {
+		case <-s.done:
+			return
+		case <-s.session.Done():
+			return
+		case <-t.C:
 		}
-		switch m.Header.Tag {
-		case tagSetCam:
-			v, err := m.AsFloat64s()
-			if err != nil || len(v) != 10 {
-				s.ack(c, false)
-				continue
-			}
-			s.mu.Lock()
-			isController := s.controller == c
-			if isController {
-				s.cam = render.Camera{
-					Eye:    render.Vec3{X: v[0], Y: v[1], Z: v[2]},
-					Center: render.Vec3{X: v[3], Y: v[4], Z: v[5]},
-					Up:     render.Vec3{X: v[6], Y: v[7], Z: v[8]},
-					FovY:   v[9],
-					Near:   s.cam.Near, Far: s.cam.Far,
-				}
-				if s.cam.Near == 0 {
-					s.cam.Near, s.cam.Far = 0.1, 100
-				}
-				s.stats.CamMoves++
-			} else {
-				s.stats.ControlDenied++
-			}
-			s.mu.Unlock()
-			s.ack(c, isController)
-			if isController {
-				s.RenderBroadcast()
-			}
-		case tagControl:
-			v, err := m.AsInt64s()
-			if err != nil || len(v) != 1 {
-				continue
-			}
-			s.mu.Lock()
-			if v[0] == 1 {
-				// Grab succeeds when nobody (or this client) holds control.
-				grabbed := s.controller == nil || s.controller == c
-				if grabbed {
-					s.controller = c
-				}
-				s.mu.Unlock()
-				s.ack(c, grabbed)
-			} else {
-				if s.controller == c {
-					s.controller = nil
-				}
-				s.mu.Unlock()
-				s.ack(c, true)
-			}
-		case tagRefresh:
+		s.st.Poll()
+		need := false
+		select {
+		case <-s.refresh:
+			need = true
+		default:
+		}
+		if v := s.session.View(); v.Seq != lastView {
+			lastView = v.Seq
+			s.applyView(v)
+			need = true
+		}
+		n := s.session.ClientCount()
+		if n > lastCount {
+			need = true
+		}
+		lastCount = n
+		if need && n > 0 {
 			s.RenderBroadcast()
 		}
 	}
 }
 
-func (s *Server) ack(c *clientConn, ok bool) {
-	v := int32(0)
-	if ok {
-		v = 1
+// applyView adopts the session's shared view as the render camera, keeping
+// the server-side clip planes (clients steer the viewpoint, not the frustum).
+func (s *Server) applyView(v core.ViewState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	near, far := s.cam.Near, s.cam.Far
+	if near == 0 {
+		near, far = 0.1, 100
 	}
-	c.emu.Lock()
-	c.enc.Int32s(tagCamAck, []int32{v})
-	c.emu.Unlock()
+	s.cam = render.Camera{
+		Eye:    render.Vec3{X: v.Eye[0], Y: v.Eye[1], Z: v.Eye[2]},
+		Center: render.Vec3{X: v.Center[0], Y: v.Center[1], Z: v.Center[2]},
+		Up:     render.Vec3{X: v.Up[0], Y: v.Up[1], Z: v.Up[2]},
+		FovY:   v.FovY,
+		Near:   near, Far: far,
+	}
+	s.stats.CamMoves++
 }
 
-// RenderBroadcast renders the scene from the session camera and sends the
-// frame to every participant (keyframe for those without a delta base).
-// It returns the rendered framebuffer's checksum.
+// RenderBroadcast renders the scene from the session camera and publishes
+// the frame to every subscribed participant: a keyframe when the audience
+// grew or the rekey cadence came due, an XOR-delta otherwise. It returns the
+// rendered framebuffer's checksum.
 func (s *Server) RenderBroadcast() uint32 {
+	s.renderMu.Lock()
+	defer s.renderMu.Unlock()
+
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0
+	}
 	cam := s.cam
 	scene := s.cfg.Scene()
 	s.mu.Unlock()
@@ -217,91 +240,55 @@ func (s *Server) RenderBroadcast() uint32 {
 	pix := append([]byte(nil), s.fb.Pix...)
 	sum := s.fb.Checksum()
 
+	viewers := s.session.ClientCount()
 	s.mu.Lock()
 	prev := s.prevPix
 	s.prevPix = pix
-	s.frameSeq++
-	seq := s.frameSeq
+	seq, key := s.rekey.Next(viewers)
+	s.lastSeq = seq
 	s.stats.FramesRendered++
-	clients := make([]*clientConn, 0, len(s.clients))
-	for c := range s.clients {
-		clients = append(clients, c)
-	}
 	s.mu.Unlock()
 
-	var key []byte // lazily encoded
-	var delta []byte
-	for _, c := range clients {
-		var enc int32
-		var data []byte
-		if c.hasFrame && prev != nil {
-			if delta == nil {
-				delta, _ = EncodeDelta(prev, pix)
-			}
-			enc, data = EncDelta, delta
-		} else {
-			if key == nil {
-				key = EncodeKey(pix)
-			}
-			enc, data = EncKey, key
+	enc, data := pixel.EncKey, []byte(nil)
+	if !key && prev != nil {
+		if d, err := pixel.EncodeDelta(prev, pix); err == nil {
+			enc, data = pixel.EncDelta, d
 		}
-		c.emu.Lock()
-		err1 := c.enc.Int32s(tagFrameHdr, []int32{seq, enc})
-		err2 := c.enc.Bytes(tagFrame, data)
-		c.emu.Unlock()
-		if err1 != nil || err2 != nil {
-			s.detach(c)
-			continue
-		}
-		c.hasFrame = true
-		s.mu.Lock()
-		s.stats.BytesSent += uint64(len(data))
-		s.stats.RawBytes += uint64(len(pix))
-		s.mu.Unlock()
 	}
+	if data == nil {
+		data = pixel.EncodeKey(pix)
+	}
+	s.st.EmitBlob(&core.Blob{
+		Stream: PixelStream, Seq: seq, Encoding: enc,
+		Width: s.cfg.Width, Height: s.cfg.Height, Data: data,
+	})
+
+	s.mu.Lock()
+	s.stats.BytesSent += uint64(len(data)) * uint64(viewers)
+	s.stats.RawBytes += uint64(len(pix)) * uint64(viewers)
+	s.mu.Unlock()
 	return sum
 }
 
-func (s *Server) detach(c *clientConn) {
-	s.mu.Lock()
-	delete(s.clients, c)
-	if s.controller == c {
-		s.controller = nil
-		// Pass control to any remaining participant for continuity.
-		for other := range s.clients {
-			s.controller = other
-			break
-		}
-	}
-	s.mu.Unlock()
-	c.conn.Close()
-}
-
-// FrameSeq returns the sequence number of the most recently broadcast frame.
-func (s *Server) FrameSeq() int32 {
+// FrameSeq returns the sequence number of the most recently published frame.
+func (s *Server) FrameSeq() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.frameSeq
+	return s.lastSeq
 }
 
 // ClientCount reports attached participants.
-func (s *Server) ClientCount() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.clients)
-}
+func (s *Server) ClientCount() int { return s.session.ClientCount() }
 
-// Close detaches everyone.
+// Close stops the render pump and, if the server owns its session, detaches
+// everyone.
 func (s *Server) Close() {
 	s.mu.Lock()
 	s.closed = true
-	clients := make([]*clientConn, 0, len(s.clients))
-	for c := range s.clients {
-		clients = append(clients, c)
-	}
-	s.clients = make(map[*clientConn]struct{})
 	s.mu.Unlock()
-	for _, c := range clients {
-		c.conn.Close()
+	s.closeOnce.Do(func() { close(s.done) })
+	if s.own {
+		s.session.Close()
 	}
+	s.wg.Wait()
 }

@@ -1,13 +1,15 @@
 package vizserver
 
 import (
-	"bytes"
+	"context"
 	"math"
 	"net"
 	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/core"
+	"repro/internal/hub"
 	"repro/internal/render"
 	"repro/internal/viz"
 )
@@ -69,42 +71,26 @@ func waitFrames(t *testing.T, c *Client, n uint64) {
 	}
 }
 
-func TestCodecRoundTrip(t *testing.T) {
-	size := 64 * 64 * 4
-	a := make([]byte, size)
-	b := make([]byte, size)
-	for i := range a {
-		a[i] = byte(i * 7)
-		b[i] = byte(i * 7)
-	}
-	b[100] = 0xFF // small change
-
-	key := EncodeKey(a)
-	back, err := DecodeKey(key, size)
-	if err != nil || !bytes.Equal(back, a) {
-		t.Fatalf("keyframe round trip failed: %v", err)
-	}
-
-	delta, err := EncodeDelta(a, b)
-	if err != nil {
-		t.Fatal(err)
-	}
-	back2, err := DecodeDelta(a, delta, size)
-	if err != nil || !bytes.Equal(back2, b) {
-		t.Fatalf("delta round trip failed: %v", err)
-	}
-	// Small changes compress dramatically better than keyframes.
-	if len(delta) >= len(key)/2 {
-		t.Fatalf("delta %d bytes vs key %d: delta coding ineffective", len(delta), len(key))
-	}
-}
-
-func TestCodecSizeMismatch(t *testing.T) {
-	if _, err := EncodeDelta(make([]byte, 4), make([]byte, 8)); err == nil {
-		t.Fatal("size mismatch accepted")
-	}
-	if _, err := DecodeKey(EncodeKey(make([]byte, 16)), 32); err == nil {
-		t.Fatal("wrong decode size accepted")
+// waitCaughtUp waits until every client has decoded the server's latest
+// published frame.
+func waitCaughtUp(t *testing.T, srv *Server, clients ...*Client) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		want := srv.FrameSeq()
+		caughtUp := want > 0
+		for _, c := range clients {
+			if c.FrameSeq() != want {
+				caughtUp = false
+			}
+		}
+		if caughtUp && want == srv.FrameSeq() {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("participants never caught up to frame %d", srv.FrameSeq())
+		}
+		time.Sleep(time.Millisecond)
 	}
 }
 
@@ -130,11 +116,16 @@ func TestCompressionBeatsRaw(t *testing.T) {
 		if err := clients[0].SetCamera(cam, 2*time.Second); err != nil {
 			t.Fatal(err)
 		}
+		// One render per move: wait for the frame before the next steer.
+		waitFrames(t, clients[0], uint64(i)+2)
 	}
-	waitFrames(t, clients[0], 6)
+	waitCaughtUp(t, srv, clients[0])
 	st := srv.Stats()
 	if st.BytesSent >= st.RawBytes/2 {
 		t.Fatalf("compressed %d vs raw %d: bandwidth claim fails", st.BytesSent, st.RawBytes)
+	}
+	if clients[0].RxBytes() == 0 {
+		t.Fatal("client counted no received bytes")
 	}
 }
 
@@ -145,24 +136,9 @@ func TestAllParticipantsSeeSameFrame(t *testing.T) {
 	if err := clients[0].SetCamera(cam, 2*time.Second); err != nil {
 		t.Fatal(err)
 	}
-	// Wait until every participant has decoded the server's LATEST frame:
-	// attach-time broadcasts mean raw frame counts differ between clients.
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		caughtUp := true
-		for _, c := range clients {
-			if c.FrameSeq() != srv.FrameSeq() {
-				caughtUp = false
-			}
-		}
-		if caughtUp {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("participants never caught up to the latest frame")
-		}
-		time.Sleep(time.Millisecond)
-	}
+	// Attach-time broadcasts mean raw frame counts differ between clients;
+	// wait until every participant has decoded the server's LATEST frame.
+	waitCaughtUp(t, srv, clients...)
 	want := clients[0].Checksum()
 	for i, c := range clients[1:] {
 		if c.Checksum() != want {
@@ -222,8 +198,16 @@ func TestControllerDisconnectPassesControl(t *testing.T) {
 	}
 	cam := srv.Camera()
 	cam.Eye.X -= 2
-	if err := clients[1].SetCamera(cam, 2*time.Second); err != nil {
-		t.Fatalf("surviving participant did not inherit control: %v", err)
+	deadline = time.Now().Add(2 * time.Second)
+	for {
+		// The floor promotion broadcast races the survivor's next steer;
+		// retry until it lands.
+		if err := clients[1].SetCamera(cam, 2*time.Second); err == nil {
+			return
+		} else if time.Now().After(deadline) {
+			t.Fatalf("surviving participant did not inherit control: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }
 
@@ -266,6 +250,56 @@ func TestRefreshRendersSceneAdvance(t *testing.T) {
 	waitFrames(t, c, 2)
 	if c.Checksum() == before {
 		t.Fatal("refresh did not pick up scene change")
+	}
+}
+
+// TestServerOnHubSession hosts the render service on a hub-owned session —
+// the deployment shape cmd/steersim uses — and attaches a named viewer
+// through the hub's shared listener.
+func TestServerOnHubSession(t *testing.T) {
+	h := hub.New(hub.Config{})
+	defer h.Close()
+	session, err := h.CreateSession(core.SessionConfig{Name: "viz-e2e", AppName: "vizserver"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(Config{
+		Width: 96, Height: 64, Scene: testScene(9),
+		Camera: render.DefaultCamera(), Session: session,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go h.Serve(l)
+
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := AttachContext(context.Background(), conn, core.AttachOptions{
+		Name: "laptop", Session: "viz-e2e",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	waitFrames(t, c, 1)
+
+	cam := srv.Camera()
+	cam.Eye.X += 1
+	if err := c.SetCamera(cam, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	waitCaughtUp(t, srv, c)
+	if c.Checksum() == 0 {
+		t.Fatal("hub-hosted viewer decoded no pixels")
 	}
 }
 

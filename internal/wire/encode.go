@@ -78,7 +78,8 @@ func AppendStrings(buf []byte, tag uint32, v []string) []byte {
 func AppendBytes(buf []byte, tag uint32, b []byte) []byte {
 	buf = AppendHeader(buf, tag, KindBytes, 1)
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(b)))
-	return append(buf, b...)
+	buf = append(buf, b...)
+	return buf
 }
 
 // AppendBools appends a bool-array message (one byte per element).
